@@ -1,0 +1,344 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. IV) plus the ablations indexed in DESIGN.md, then
+   runs Bechamel microbenchmarks of the performance-critical
+   primitives.
+
+     dune exec bench/main.exe            # everything, full scale
+     dune exec bench/main.exe -- --fast  # reduced scale (CI-friendly)
+     dune exec bench/main.exe -- --skip-micro
+     dune exec bench/main.exe -- --csv   # also write fig4/fig5/table3 CSVs
+
+   Experiment index (see DESIGN.md section 4):
+     FIG4   - Figure 4: max load per middlebox type vs volume, campus
+     FIG5   - Figure 5: same, Waxman topology
+     TABLE3 - Table III: per-type max/min load distribution, campus
+     ABL-K     - candidate-set size sensitivity
+     ABL-CACHE - flow-cache lookup suppression (Sec. III.D)
+     ABL-FRAG  - fragmentation vs label switching (Sec. III.E)
+     ABL-FAIL  - middlebox failure: fast failover vs re-optimization
+     ABL-EPOCH - adaptation across measurement epochs (stale weights)
+     ABL-SKETCH- Count-Min sketched measurement vs exact
+     ABL-LP    - LP formulation Eq.(1) vs Eq.(2) *)
+
+let fast = Array.exists (( = ) "--fast") Sys.argv
+let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+let csv_dir = if Array.exists (( = ) "--csv") Sys.argv then Some "bench_csv" else None
+
+let write_csv name content =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    Format.printf "[wrote %s]@." path
+
+let section name = Format.printf "@.##### %s #####@.@." name
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Format.printf "[%s took %.1fs]@." name (Unix.gettimeofday () -. t0);
+  r
+
+let flow_counts =
+  if fast then [ 30_000; 90_000; 150_000 ] else Sim.Experiment.default_flow_counts
+
+let () =
+  section "FIG4: campus topology (Figure 4)";
+  let fig4 =
+    timed "FIG4" (fun () ->
+        Sim.Experiment.run_figure Sim.Experiment.Campus ~flow_counts ())
+  in
+  Format.printf "%a@." Sim.Report.pp_figure fig4;
+  write_csv "fig4.csv" (Sim.Report.figure_csv fig4);
+
+  section "FIG5: Waxman topology (Figure 5)";
+  let fig5 =
+    timed "FIG5" (fun () ->
+        Sim.Experiment.run_figure Sim.Experiment.Waxman ~flow_counts ())
+  in
+  Format.printf "%a@." Sim.Report.pp_figure fig5;
+  write_csv "fig5.csv" (Sim.Report.figure_csv fig5);
+
+  section "TABLE3: load distribution, campus (Table III)";
+  let table3 =
+    timed "TABLE3" (fun () ->
+        Sim.Experiment.run_table3 ~flows:(if fast then 150_000 else 300_000) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_table3 table3;
+  write_csv "table3.csv" (Sim.Report.table3_csv table3);
+
+  section "TABLE3-WAXMAN: load distribution, Waxman (supplementary)";
+  let table3w =
+    timed "TABLE3-WAXMAN" (fun () ->
+        Sim.Experiment.run_table3 ~scenario:Sim.Experiment.Waxman
+          ~flows:(if fast then 150_000 else 300_000) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_table3 table3w;
+
+  section "ABL-K: candidate-set size sensitivity";
+  let abk =
+    timed "ABL-K" (fun () ->
+        Sim.Experiment.ablation_k ~flows:(if fast then 60_000 else 120_000) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_k_ablation abk;
+
+  section "ABL-CACHE: flow cache vs multi-field lookups (Sec. III.D)";
+  let abc =
+    timed "ABL-CACHE" (fun () ->
+        Sim.Experiment.ablation_cache ~flows:(if fast then 500 else 2_000) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_cache_ablation abc;
+
+  section "ABL-CACHESIZE: flow-cache capacity vs lookups";
+  let abcs =
+    timed "ABL-CACHESIZE" (fun () ->
+        Sim.Experiment.ablation_cache_size
+          ~flows:(if fast then 300 else 1_000) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_cache_size_ablation abcs;
+
+  section "ABL-FRAG: fragmentation vs label switching (Sec. III.E)";
+  let abf =
+    timed "ABL-FRAG" (fun () ->
+        Sim.Experiment.ablation_fragmentation
+          ~flows:(if fast then 500 else 2_000) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_frag_ablation abf;
+
+  section "ABL-FAIL: middlebox failure, failover vs re-optimization";
+  let abfail =
+    timed "ABL-FAIL" (fun () ->
+        Sim.Experiment.ablation_failure
+          ~flows:(if fast then 60_000 else 120_000) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_failure_ablation abfail;
+
+  section "ABL-EPOCH: adaptation across measurement epochs";
+  let abe =
+    timed "ABL-EPOCH" (fun () ->
+        let deployment =
+          Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed:17
+        in
+        Sim.Epochsim.run ~deployment
+          ~base_flows:(if fast then 30_000 else 60_000)
+          ())
+  in
+  Format.printf "%a@." Sim.Report.pp_epochs abe;
+
+  section "ABL-SKETCH: Count-Min sketched measurement vs exact";
+  let absk =
+    timed "ABL-SKETCH" (fun () ->
+        Sim.Experiment.ablation_sketch
+          ~flows:(if fast then 60_000 else 120_000) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_sketch_ablation absk;
+
+  section "ABL-LAT: end-to-end latency overhead of enforcement";
+  let ablat =
+    timed "ABL-LAT" (fun () ->
+        Sim.Experiment.ablation_latency ~flows:(if fast then 300 else 1_000) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_latency_ablation ablat;
+
+  section "ABL-QUEUE: middlebox queueing, HP vs LB latency";
+  let abq =
+    timed "ABL-QUEUE" (fun () ->
+        Sim.Experiment.ablation_queue ~flows:(if fast then 300 else 800) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_queue_ablation abq;
+
+  section "ABL-LP: Eq.(1) exact vs Eq.(2) simplified";
+  let abl =
+    timed "ABL-LP" (fun () ->
+        Sim.Experiment.ablation_lp ~flows:(if fast then 2_000 else 5_000) ())
+  in
+  Format.printf "%a@." Sim.Report.pp_lp_ablation abl;
+
+  section "CONFIG: controller dissemination volume (campus, LB)";
+  let () =
+    let deployment = Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed:17 in
+    let workload =
+      Sim.Workload.generate ~deployment ~seed:17 ~flows:30_000 ()
+    in
+    let traffic = Sim.Workload.measure workload in
+    match
+      Sdm.Controller.configure deployment ~rules:workload.Sim.Workload.rules
+        (Sdm.Controller.Load_balanced traffic)
+    with
+    | Ok c ->
+      Format.printf "%a@." Sdm.Controller.pp_config_summary
+        (Sdm.Controller.config_summary c);
+      Format.printf "%a@." Sim.Controlplane.pp_report
+        (Sim.Controlplane.price c ~traffic);
+      (match Sdm.Verify.check c with
+      | Ok () -> Format.printf "static verification: configuration certified@."
+      | Error vs ->
+        Format.printf "static verification FAILED (%d violations)@."
+          (List.length vs))
+    | Error e -> Format.printf "configuration failed: %s@." e
+  in
+  ()
+
+(* ---- Classifier scaling ------------------------------------------- *)
+
+(* Synthetic rule sets of growing size: compare the three classifiers'
+   lookup cost as the table grows (linear is O(n); the trie and the
+   decision tree should stay flat). *)
+let classifier_scaling () =
+  Format.printf "@.##### MICRO-CLASSIFIER: matcher scaling #####@.@.";
+  let rng = Stdx.Rng.create 99 in
+  let random_prefix () =
+    if Stdx.Rng.int rng 4 = 0 then Netpkt.Addr.Prefix.any
+    else begin
+      let len = 8 * (1 + Stdx.Rng.int rng 3) in
+      Netpkt.Addr.Prefix.make
+        (Netpkt.Addr.of_octets (Stdx.Rng.int rng 32) (Stdx.Rng.int rng 32)
+           (Stdx.Rng.int rng 32) 0)
+        len
+    end
+  in
+  let random_port () =
+    match Stdx.Rng.int rng 3 with
+    | 0 -> Policy.Descriptor.Any_port
+    | 1 -> Policy.Descriptor.Port (Stdx.Rng.int rng 1024)
+    | _ ->
+      let a = Stdx.Rng.int rng 1024 in
+      Policy.Descriptor.Port_range (a, a + Stdx.Rng.int rng 64)
+  in
+  let make_rules n =
+    List.init n (fun id ->
+        Policy.Rule.make ~id
+          ~descriptor:
+            (Policy.Descriptor.make ~src:(random_prefix ()) ~dst:(random_prefix ())
+               ~sport:(random_port ()) ~dport:(random_port ()) ())
+          ~actions:Policy.Action.[ FW ])
+  in
+  let random_flow () =
+    Netpkt.Flow.make
+      ~src:
+        (Netpkt.Addr.of_octets (Stdx.Rng.int rng 32) (Stdx.Rng.int rng 32)
+           (Stdx.Rng.int rng 32) (Stdx.Rng.int rng 256))
+      ~dst:
+        (Netpkt.Addr.of_octets (Stdx.Rng.int rng 32) (Stdx.Rng.int rng 32)
+           (Stdx.Rng.int rng 32) (Stdx.Rng.int rng 256))
+      ~proto:6 ~sport:(Stdx.Rng.int rng 1100) ~dport:(Stdx.Rng.int rng 1100)
+  in
+  let lookups = 10_000 in
+  let flows = Array.init lookups (fun _ -> random_flow ()) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let acc = ref 0 in
+    Array.iter (fun flow -> if f flow <> None then incr acc) flows;
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt /. float_of_int lookups *. 1e9, !acc)
+  in
+  Format.printf "%8s %12s %12s %12s %12s %10s@." "rules" "linear ns"
+    "trie ns" "dectree ns" "trie nodes" "tree depth";
+  List.iter
+    (fun n ->
+      let rules = make_rules n in
+      let trie = Policy.Trie.build rules in
+      let tree = Policy.Dectree.build rules in
+      let lin_ns, lin_hits = time (fun f -> Policy.Rule.first_match rules f) in
+      let trie_ns, trie_hits = time (fun f -> Policy.Trie.first_match trie f) in
+      let tree_ns, tree_hits = time (fun f -> Policy.Dectree.first_match tree f) in
+      (* All three must agree on every lookup — a live cross-check. *)
+      if lin_hits <> trie_hits || lin_hits <> tree_hits then
+        failwith "classifier disagreement in scaling bench";
+      Format.printf "%8d %12.0f %12.0f %12.0f %12d %10d@." n lin_ns trie_ns
+        tree_ns
+        (Policy.Trie.node_count trie)
+        (Policy.Dectree.depth tree))
+    [ 16; 64; 256; 1024; 4096 ]
+
+let () = classifier_scaling ()
+
+(* ---- Bechamel microbenchmarks ------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  let dep = Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed:42 in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:42 ~flows:5_000 () in
+  let rules = workload.Sim.Workload.rules in
+  let trie = Policy.Trie.build rules in
+  let flows =
+    Array.map
+      (fun (f : Sim.Workload.flow_spec) -> f.Sim.Workload.flow)
+      workload.Sim.Workload.flows
+  in
+  let n_flows = Array.length flows in
+  let counter = ref 0 in
+  let next_flow () =
+    counter := (!counter + 1) mod n_flows;
+    flows.(!counter)
+  in
+  let graph = dep.Sdm.Deployment.topo.Netgraph.Topology.graph in
+  let traffic = Sim.Workload.measure workload in
+  let candidates = Sdm.Candidate.compute dep ~k:Sdm.Controller.default_k in
+  let cache = Policy.Flow_cache.create () in
+  Array.iteri
+    (fun i f ->
+      if i < 2000 then
+        ignore
+          (Policy.Flow_cache.insert cache ~now:0.0 f ~rule_id:0
+             ~actions:Policy.Action.[ FW ] ()))
+    flows;
+  let controller =
+    match
+      Sdm.Controller.configure dep ~rules (Sdm.Controller.Load_balanced traffic)
+    with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  let rule0 =
+    List.find (fun r -> not (Policy.Action.is_permit r.Policy.Rule.actions)) rules
+  in
+  [
+    Test.make ~name:"policy-match/trie"
+      (Staged.stage (fun () -> ignore (Policy.Trie.first_match trie (next_flow ()))));
+    Test.make ~name:"policy-match/linear"
+      (Staged.stage (fun () -> ignore (Policy.Rule.first_match rules (next_flow ()))));
+    Test.make ~name:"flow-cache/lookup"
+      (Staged.stage (fun () ->
+           ignore (Policy.Flow_cache.lookup cache ~now:1.0 (next_flow ()))));
+    Test.make ~name:"flow-hash/fnv1a"
+      (Staged.stage (fun () -> ignore (Netpkt.Flow.hash (next_flow ()))));
+    Test.make ~name:"selector/next-hop-lb"
+      (Staged.stage (fun () ->
+           ignore
+             (Sdm.Controller.next_hop controller (Mbox.Entity.Proxy 0) ~rule:rule0
+                ~nf:Policy.Action.FW (next_flow ()))));
+    Test.make ~name:"dijkstra/campus-sssp"
+      (Staged.stage (fun () -> ignore (Netgraph.Dijkstra.run graph 0)));
+    Test.make ~name:"lp/eq2-campus-solve"
+      (Staged.stage (fun () ->
+           ignore (Sdm.Lp_formulation.solve_simplified candidates ~rules ~traffic ())));
+  ]
+
+let run_micro () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+  Format.printf "@.##### MICRO: Bechamel microbenchmarks #####@.@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Format.printf "%-28s %14.1f ns/op@." name est
+          | _ -> Format.printf "%-28s (no estimate)@." name)
+        analyzed)
+    (micro_tests ())
+
+let () = if not skip_micro then run_micro ()

@@ -1,0 +1,1 @@
+examples/campus_enforcement.ml: Array Format List Mbox Netgraph Policy Sdm Sim Stdx

@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Array Format List Mbox Option Policy Sdm Sim

@@ -1,0 +1,1 @@
+examples/label_switching_demo.ml: Array Format List Mbox Netpkt Policy Sdm Sim

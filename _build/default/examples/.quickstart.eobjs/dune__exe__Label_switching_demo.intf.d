@@ -1,0 +1,1 @@
+examples/label_switching_demo.mli:

@@ -1,0 +1,1 @@
+examples/operations_day.ml: Array Format List Mbox Netgraph Policy Sdm Sim

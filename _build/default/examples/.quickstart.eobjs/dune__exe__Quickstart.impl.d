@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Mbox Netgraph Netpkt Option Policy Sdm

@@ -1,0 +1,1 @@
+examples/routing_protocols.ml: Array Dvr Format List Netgraph Ospf

@@ -1,0 +1,1 @@
+examples/waxman_scale.ml: Format List Netgraph Ospf Policy Sdm Sim Unix

@@ -1,0 +1,1 @@
+examples/waxman_scale.mli:

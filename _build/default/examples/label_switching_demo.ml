@@ -1,0 +1,148 @@
+(* Figure 3 walk-through: label switching + web-proxy caching.
+
+   The paper's running example: web traffic from stub-network A is
+   first forwarded to a web proxy; if the requested page is cached the
+   request is honored right there, otherwise the flow continues
+   through Firewall -> IDS and on to the web server.
+
+   Packet-level mechanics demonstrated below:
+   - the flow's first packet travels IP-over-IP (20 extra bytes per
+     tunnel leg, fragmenting full-MTU packets) and installs
+     ⟨src|label⟩ entries in the label tables along the chain;
+   - the last middlebox sends a control packet back to the policy
+     proxy; every later packet is label-switched at its original size;
+   - with a web-proxy cache hit ratio, a fraction of flows short-
+     circuit at the WP and never load the downstream FW/IDS.
+
+     dune exec examples/label_switching_demo.exe *)
+
+let () =
+  let deployment = Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed:17 in
+
+  (* Figure 3's policy: web traffic from stub 0 goes WP -> FW -> IDS. *)
+  let rules =
+    Policy.Rule.index
+      [
+        Policy.Descriptor.make
+          ~src:(Sdm.Deployment.subnet_of deployment 0)
+          ~dport:(Policy.Descriptor.Port 80) ();
+      ]
+      [ Policy.Action.[ WP; FW; IDS ] ]
+  in
+  let controller =
+    match Sdm.Controller.configure deployment ~rules Sdm.Controller.Hot_potato with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+
+  (* --- Part 1: one flow, the label-switching life cycle. --- *)
+  let flow =
+    Netpkt.Flow.make
+      ~src:(Netpkt.Addr.Prefix.nth_addr (Sdm.Deployment.subnet_of deployment 0) 5)
+      ~dst:(Netpkt.Addr.Prefix.nth_addr (Sdm.Deployment.subnet_of deployment 7) 9)
+      ~proto:6 ~sport:50001 ~dport:80
+  in
+  let packets = 40 in
+  let one_flow =
+    {
+      Sim.Workload.rules;
+      flows =
+        [|
+          {
+            Sim.Workload.id = 0;
+            flow;
+            src_proxy = 0;
+            dst_proxy = 7;
+            rule_id = Some 0;
+            intended_class = Sim.Workload.One_to_many;
+            packets;
+            packet_bytes = 1500 (* full MTU: tunnelling must fragment *);
+          };
+        |];
+      total_packets = packets;
+    }
+  in
+  Format.printf "flow %s, %d packets of 1500 B@." (Netpkt.Flow.to_string flow)
+    packets;
+  Format.printf "@.enforcement chain (hot-potato, as the controller configures):@.";
+  let rule = List.hd rules in
+  let entity = ref (Mbox.Entity.Proxy 0) in
+  List.iter
+    (fun nf ->
+      let mb = Sdm.Controller.next_hop controller !entity ~rule ~nf flow in
+      Format.printf "  %s --IP-over-IP--> %a@."
+        (Mbox.Entity.to_string !entity)
+        Mbox.Middlebox.pp mb;
+      entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id)
+    rule.Policy.Rule.actions;
+
+  let run ?(wp_cache_hit_ratio = 0.0) ~label_switching workload =
+    Sim.Pktsim.run
+      ~config:
+        {
+          Sim.Pktsim.default_config with
+          label_switching;
+          wp_cache_hit_ratio;
+          packet_interval = 1.0;
+          start_window = 1.0;
+        }
+      ~controller ~workload ()
+  in
+  let ls = run ~label_switching:true one_flow in
+  Format.printf "@.with label switching:@.";
+  Format.printf "  tunneled legs (first packets): %d@." ls.Sim.Pktsim.tunneled_packets;
+  Format.printf "  control packets back to proxy: %d@." ls.Sim.Pktsim.control_packets;
+  Format.printf "  label-switched legs:           %d@." ls.Sim.Pktsim.label_switched_packets;
+  Format.printf "  extra fragments created:       %d@." ls.Sim.Pktsim.fragments_created;
+  Format.printf "  multi-field lookups:           %d@." ls.Sim.Pktsim.multi_field_lookups;
+  Format.printf "  delivered:                     %d/%d@."
+    ls.Sim.Pktsim.delivered_packets packets;
+
+  let no_ls = run ~label_switching:false one_flow in
+  Format.printf "@.without label switching (IP-over-IP for every packet):@.";
+  Format.printf "  tunneled legs:           %d@." no_ls.Sim.Pktsim.tunneled_packets;
+  Format.printf "  extra fragments created: %d@." no_ls.Sim.Pktsim.fragments_created;
+
+  (* --- Part 2: the web-proxy cache, over many flows. --- *)
+  let flows =
+    Array.init 40 (fun i ->
+        {
+          Sim.Workload.id = i;
+          flow =
+            Netpkt.Flow.make
+              ~src:
+                (Netpkt.Addr.Prefix.nth_addr
+                   (Sdm.Deployment.subnet_of deployment 0)
+                   (10 + i))
+              ~dst:
+                (Netpkt.Addr.Prefix.nth_addr
+                   (Sdm.Deployment.subnet_of deployment 7)
+                   (10 + i))
+              ~proto:6 ~sport:(40000 + i) ~dport:80;
+          src_proxy = 0;
+          dst_proxy = 7;
+          rule_id = Some 0;
+          intended_class = Sim.Workload.One_to_many;
+          packets = 15;
+          packet_bytes = 576;
+        })
+  in
+  let many = { Sim.Workload.rules; flows; total_packets = 40 * 15 } in
+  let cached = run ~label_switching:true ~wp_cache_hit_ratio:0.3 many in
+  let load_of nf =
+    List.fold_left
+      (fun acc (m : Mbox.Middlebox.t) -> acc +. cached.Sim.Pktsim.loads.(m.id))
+      0.0
+      (Sdm.Deployment.middleboxes_of deployment nf)
+  in
+  Format.printf
+    "@.with a 30%% web-proxy cache hit ratio over %d flows:@."
+    (Array.length flows);
+  Format.printf "  packets answered from the WP cache: %d@."
+    cached.Sim.Pktsim.wp_cache_served;
+  Format.printf "  WP load: %.0f, FW load: %.0f, IDS load: %.0f@."
+    (load_of Policy.Action.WP) (load_of Policy.Action.FW)
+    (load_of Policy.Action.IDS);
+  Format.printf
+    "  (cached flows stop at the proxy; only the misses continue through FW \
+     and IDS, exactly as in the paper's Figure 3.)@."

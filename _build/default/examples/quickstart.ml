@@ -1,0 +1,99 @@
+(* Quickstart: the whole public API on a six-router toy network.
+
+   Build a topology, attach middleboxes and policy proxies, write a
+   policy list, let the controller configure everything, and watch a
+   flow be steered through its middlebox chain under the hot-potato
+   and load-balanced strategies.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A toy network: six routers in a line; stub networks hang off
+        the two ends. *)
+  let g = Netgraph.Graph.create 6 in
+  for i = 0 to 4 do
+    Netgraph.Graph.add_edge g i (i + 1) 1.0
+  done;
+  let roles =
+    [| Netgraph.Topology.Edge; Core; Core; Core; Core; Netgraph.Topology.Edge |]
+  in
+  let topo = Netgraph.Topology.make ~name:"toy" ~graph:g ~roles in
+
+  (* 2. Deployment: two firewalls, two IDSes, a proxy per stub. *)
+  let mbox id nf router =
+    Mbox.Middlebox.make ~id ~nf ~router ~addr:(Sdm.Deployment.mbox_addr id) ()
+  in
+  let proxy id router =
+    Mbox.Proxy.make ~id ~subnet:(Sdm.Deployment.proxy_subnet id) ~router
+      ~addr:(Sdm.Deployment.proxy_addr id) ()
+  in
+  let deployment =
+    Sdm.Deployment.make ~topo
+      ~middleboxes:
+        [| mbox 0 Policy.Action.FW 1; mbox 1 Policy.Action.FW 4;
+           mbox 2 Policy.Action.IDS 2; mbox 3 Policy.Action.IDS 3 |]
+      ~proxies:[| proxy 0 0; proxy 1 5 |]
+  in
+
+  (* 3. Policies: web traffic from stub 0 must go FW -> IDS; everything
+        else is permitted. *)
+  let rules =
+    Policy.Rule.index
+      [
+        Policy.Descriptor.make
+          ~src:(Sdm.Deployment.proxy_subnet 0)
+          ~dport:(Policy.Descriptor.Port 80) ();
+        Policy.Descriptor.make ();
+      ]
+      [ Policy.Action.[ FW; IDS ]; Policy.Action.permit ]
+  in
+  List.iter (fun r -> Format.printf "policy %a@." Policy.Rule.pp r) rules;
+
+  (* 4. A flow from stub 0 to stub 1, port 80. *)
+  let flow =
+    Netpkt.Flow.make
+      ~src:(Netpkt.Addr.Prefix.nth_addr (Sdm.Deployment.proxy_subnet 0) 10)
+      ~dst:(Netpkt.Addr.Prefix.nth_addr (Sdm.Deployment.proxy_subnet 1) 20)
+      ~proto:6 ~sport:43210 ~dport:80
+  in
+  let rule = Option.get (Policy.Rule.first_match rules flow) in
+  Format.printf "@.flow %s matches policy #%d (%s)@." (Netpkt.Flow.to_string flow)
+    rule.Policy.Rule.id
+    (Policy.Action.to_string rule.Policy.Rule.actions);
+
+  (* 5. Configure the controller and trace the chain under hot-potato. *)
+  let trace controller name =
+    Format.printf "@.%s enforcement of the chain:@." name;
+    let entity = ref (Mbox.Entity.Proxy 0) in
+    List.iter
+      (fun nf ->
+        let mb = Sdm.Controller.next_hop controller !entity ~rule ~nf flow in
+        Format.printf "  %s -> %a (router %d)@." (Mbox.Entity.to_string !entity)
+          Mbox.Middlebox.pp mb mb.Mbox.Middlebox.router;
+        entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id)
+      rule.Policy.Rule.actions
+  in
+  (match Sdm.Controller.configure deployment ~rules Sdm.Controller.Hot_potato with
+  | Ok c -> trace c "Hot-potato"
+  | Error e -> failwith e);
+
+  (* 6. Load-balanced enforcement needs measured traffic: pretend the
+        proxies reported 1000 packets for this policy. *)
+  let traffic = Sdm.Measurement.create () in
+  Sdm.Measurement.add traffic ~src:0 ~dst:1 ~rule:0 1000.0;
+  (match
+     Sdm.Controller.configure deployment ~rules
+       (Sdm.Controller.Load_balanced traffic)
+   with
+  | Ok c ->
+    trace c "Load-balanced";
+    (match c.Sdm.Controller.lp with
+    | Some lp ->
+      Format.printf "@.LP optimum lambda = %.1f packets per middlebox@."
+        lp.Sdm.Lp_formulation.lambda;
+      Array.iteri
+        (fun i load -> Format.printf "  predicted load mbox%d = %.1f@." i load)
+        lp.Sdm.Lp_formulation.loads
+    | None -> ())
+  | Error e -> failwith e);
+  Format.printf "@.quickstart done.@."

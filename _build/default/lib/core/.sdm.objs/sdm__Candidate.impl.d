@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Array Deployment Hashtbl List Mbox Policy

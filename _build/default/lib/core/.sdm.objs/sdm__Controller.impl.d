@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Candidate Deployment Format List Lp_formulation Mbox Measurement Option Policy Printf Strategy String Weights Weights_sd

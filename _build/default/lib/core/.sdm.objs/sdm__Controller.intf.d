@@ -1,0 +1,1 @@
+lib/core/controller.mli: Candidate Deployment Format Lp_formulation Mbox Measurement Netpkt Policy Stdlib Strategy

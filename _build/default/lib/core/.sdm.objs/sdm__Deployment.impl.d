@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Array Hashtbl List Mbox Netgraph Netpkt Policy Stdx

@@ -1,0 +1,1 @@
+lib/core/lp_formulation.ml: Array Candidate Deployment Hashtbl List Lp Mbox Measurement Option Policy Printf Weights Weights_sd

@@ -1,0 +1,1 @@
+lib/core/lp_formulation.mli: Candidate Measurement Policy Stdlib Weights Weights_sd

@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/selector.ml: Array Int64 List Mbox Netpkt Policy Stdx

@@ -1,0 +1,1 @@
+lib/core/selector.mli: Mbox Netpkt Policy

@@ -1,0 +1,1 @@
+lib/core/sketch.ml: Array List Measurement Policy Stdx

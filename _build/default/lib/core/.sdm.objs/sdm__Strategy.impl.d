@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Candidate Deployment List Mbox Netpkt Policy Printf Selector Seq Weights Weights_sd

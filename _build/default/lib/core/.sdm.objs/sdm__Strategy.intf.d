@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Candidate Mbox Netpkt Policy Weights Weights_sd

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Candidate Controller Deployment Format Fun List Mbox Policy Strategy Weights

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Controller Format Mbox Policy

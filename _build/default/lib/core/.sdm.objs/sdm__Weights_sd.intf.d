@@ -1,0 +1,1 @@
+lib/core/weights_sd.mli: Mbox Policy

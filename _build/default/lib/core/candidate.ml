@@ -1,0 +1,79 @@
+type t = {
+  deployment : Deployment.t;
+  sets : (int * Policy.Action.nf, Mbox.Middlebox.t list) Hashtbl.t;
+}
+
+let implements (dep : Deployment.t) entity nf =
+  match entity with
+  | Mbox.Entity.Proxy _ -> false
+  | Mbox.Entity.Middlebox i ->
+    Policy.Action.equal_nf dep.Deployment.middleboxes.(i).Mbox.Middlebox.nf nf
+
+let compute ?(exclude = []) dep ~k =
+  let sets = Hashtbl.create 256 in
+  let excluded id = List.mem id exclude in
+  let functions = Deployment.functions dep in
+  let entities =
+    List.init (Array.length dep.Deployment.proxies) (fun i -> Mbox.Entity.Proxy i)
+    @ List.init (Array.length dep.Deployment.middleboxes) (fun i ->
+          Mbox.Entity.Middlebox i)
+  in
+  List.iter
+    (fun nf ->
+      let offering =
+        List.filter
+          (fun (m : Mbox.Middlebox.t) -> not (excluded m.id))
+          (Deployment.middleboxes_of dep nf)
+      in
+      if offering = [] then
+        invalid_arg
+          ("Candidate.compute: no middlebox implements "
+          ^ Policy.Action.nf_to_string nf);
+      let kn = k nf in
+      if kn < 1 then invalid_arg "Candidate.compute: k must be >= 1";
+      let kn = min kn (List.length offering) in
+      List.iter
+        (fun entity ->
+          if not (implements dep entity nf) then begin
+            let ranked =
+              List.sort
+                (fun (a : Mbox.Middlebox.t) (b : Mbox.Middlebox.t) ->
+                  let da = Deployment.distance dep entity (Mbox.Entity.Middlebox a.id)
+                  and db = Deployment.distance dep entity (Mbox.Entity.Middlebox b.id) in
+                  match compare da db with 0 -> compare a.id b.id | c -> c)
+                offering
+            in
+            let rec take n = function
+              | [] -> []
+              | _ when n = 0 -> []
+              | x :: rest -> x :: take (n - 1) rest
+            in
+            Hashtbl.replace sets (Mbox.Entity.hash_key entity, nf) (take kn ranked)
+          end)
+        entities)
+    functions;
+  { deployment = dep; sets }
+
+let get t entity nf =
+  if implements t.deployment entity nf then
+    invalid_arg "Candidate.get: entity implements the function itself";
+  match Hashtbl.find_opt t.sets (Mbox.Entity.hash_key entity, nf) with
+  | Some l -> l
+  | None -> raise Not_found
+
+let closest t entity nf =
+  match get t entity nf with
+  | [] -> assert false (* compute guarantees non-empty sets *)
+  | m :: _ -> m
+
+let fingerprint t entity =
+  let functions = List.sort Policy.Action.compare_nf (Deployment.functions t.deployment) in
+  List.concat_map
+    (fun nf ->
+      if implements t.deployment entity nf then []
+      else
+        let ids = List.map (fun (m : Mbox.Middlebox.t) -> m.id) (get t entity nf) in
+        -1 :: ids)
+    functions
+
+let deployment t = t.deployment

@@ -1,0 +1,33 @@
+(** Candidate middlebox sets — the paper's [M_x^e].
+
+    For every entity [x] (proxy or middlebox) and every function [e]
+    that [x] does not itself implement, the controller assigns the [k]
+    middleboxes offering [e] closest to [x] (ties broken by middlebox
+    id).  [k] is per-function — the evaluation uses 4 for FW/IDS and 2
+    for WP/TM.  [k = 1] for every function degenerates to the
+    hot-potato strategy's single closest middlebox [m_x^e]. *)
+
+type t
+
+val compute :
+  ?exclude:int list -> Deployment.t -> k:(Policy.Action.nf -> int) -> t
+(** [k nf] is clamped to [|M^nf|].  [exclude] removes middleboxes (by
+    id) from every candidate set — the controller's response to
+    reported middlebox failures.  Raises [Invalid_argument] if some
+    function is left with no middlebox or [k nf < 1]. *)
+
+val get : t -> Mbox.Entity.t -> Policy.Action.nf -> Mbox.Middlebox.t list
+(** Candidates ordered closest-first.  Raises [Not_found] for a
+    function unknown to the deployment.  For a middlebox entity
+    implementing [nf] itself the candidate set is not defined and
+    [Invalid_argument] is raised (a chain never repeats a function). *)
+
+val closest : t -> Mbox.Entity.t -> Policy.Action.nf -> Mbox.Middlebox.t
+(** The paper's [m_x^e]: head of the candidate list. *)
+
+val fingerprint : t -> Mbox.Entity.t -> int list
+(** Canonical encoding of all candidate sets of an entity (function ids
+    and member ids, ordered) — entities with equal fingerprints are
+    interchangeable sources for the LP and get aggregated. *)
+
+val deployment : t -> Deployment.t

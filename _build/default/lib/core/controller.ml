@@ -1,0 +1,191 @@
+type kind =
+  | Hot_potato
+  | Random_uniform
+  | Load_balanced of Measurement.t
+  | Load_balanced_exact of Measurement.t
+
+type t = {
+  deployment : Deployment.t;
+  candidates : Candidate.t;
+  rules : Policy.Rule.t list;
+  strategy : Strategy.t;
+  lp : Lp_formulation.result option;
+  k : Policy.Action.nf -> int;
+}
+
+let default_k = function
+  | Policy.Action.FW | Policy.Action.IDS -> 4
+  | Policy.Action.WP | Policy.Action.TM | Policy.Action.Custom _ -> 2
+
+let referenced_functions rules =
+  List.concat_map (fun r -> r.Policy.Rule.actions) rules
+  |> List.sort_uniq Policy.Action.compare_nf
+
+let configure deployment ~rules ?(k = default_k) ?(failed = []) kind =
+  let missing =
+    List.filter
+      (fun nf -> Deployment.middleboxes_of deployment nf = [])
+      (referenced_functions rules)
+  in
+  if missing <> [] then
+    Error
+      (Printf.sprintf "no middlebox implements: %s"
+         (String.concat ", " (List.map Policy.Action.nf_to_string missing)))
+  else begin
+    match Candidate.compute ~exclude:failed deployment ~k with
+    | exception Invalid_argument e -> Error e
+    | candidates ->
+    (
+    match kind with
+    | Hot_potato ->
+      Ok
+        { deployment; candidates; rules; strategy = Strategy.Hot_potato;
+          lp = None; k }
+    | Random_uniform ->
+      Ok
+        { deployment; candidates; rules; strategy = Strategy.Random_uniform;
+          lp = None; k }
+    | Load_balanced traffic -> (
+      match Lp_formulation.solve_simplified candidates ~rules ~traffic () with
+      | Error e -> Error e
+      | Ok lp ->
+        Ok
+          {
+            deployment;
+            candidates;
+            rules;
+            strategy = Strategy.Load_balanced lp.Lp_formulation.weights;
+            lp = Some lp;
+            k;
+          })
+    | Load_balanced_exact traffic -> (
+      match Lp_formulation.solve_exact candidates ~rules ~traffic () with
+      | Error e -> Error e
+      | Ok lp ->
+        let sd =
+          (* solve_exact always tags commodities; an empty measurement
+             legitimately yields no rows. *)
+          Option.value ~default:(Weights_sd.create ())
+            lp.Lp_formulation.weights_sd
+        in
+        Ok
+          {
+            deployment;
+            candidates;
+            rules;
+            strategy =
+              Strategy.Load_balanced_exact (sd, lp.Lp_formulation.weights);
+            lp = Some lp;
+            k;
+          }))
+  end
+
+let policy_table_for t = function
+  | Mbox.Entity.Proxy i ->
+    Policy.Rule.relevant_to_subnet t.rules (Deployment.subnet_of t.deployment i)
+  | Mbox.Entity.Middlebox i ->
+    Policy.Rule.relevant_to_function t.rules
+      t.deployment.Deployment.middleboxes.(i).Mbox.Middlebox.nf
+
+let next_hop ?alive t entity ~rule ~nf flow =
+  Strategy.next_hop ?alive t.strategy t.candidates entity ~rule ~nf flow
+
+type config_summary = {
+  entities : int;
+  policy_rows : int;
+  candidate_entries : int;
+  weight_rows : int;
+  weight_cells : int;
+}
+
+let config_summary t =
+  let all_entities =
+    List.init (Array.length t.deployment.Deployment.proxies) (fun i ->
+        Mbox.Entity.Proxy i)
+    @ List.init (Array.length t.deployment.Deployment.middleboxes) (fun i ->
+          Mbox.Entity.Middlebox i)
+  in
+  let policy_rows =
+    List.fold_left
+      (fun acc e -> acc + List.length (policy_table_for t e))
+      0 all_entities
+  in
+  let candidate_entries =
+    List.fold_left
+      (fun acc e ->
+        List.fold_left
+          (fun acc nf ->
+            match Candidate.get t.candidates e nf with
+            | members -> acc + List.length members
+            | exception Invalid_argument _ -> acc (* own function *)
+            | exception Not_found -> acc)
+          acc
+          (Deployment.functions t.deployment))
+      0 all_entities
+  in
+  let weight_rows, weight_cells =
+    match t.strategy with
+    | Strategy.Load_balanced w -> (Weights.entries w, Weights.cells w)
+    | Strategy.Load_balanced_exact (sd, fallback) ->
+      ( Weights_sd.entries sd + Weights.entries fallback,
+        Weights_sd.cells sd + Weights.cells fallback )
+    | Strategy.Hot_potato | Strategy.Random_uniform -> (0, 0)
+  in
+  {
+    entities = List.length all_entities;
+    policy_rows;
+    candidate_entries;
+    weight_rows;
+    weight_cells;
+  }
+
+let pp_config_summary ppf s =
+  Format.fprintf ppf
+    "%d entities; %d policy rows; %d candidate entries; %d weight rows (%d \
+     values)"
+    s.entities s.policy_rows s.candidate_entries s.weight_rows s.weight_cells
+
+let closest t entity nf = Candidate.closest t.candidates entity nf
+
+type update_delta = {
+  controller : t;
+  entities_touched : int;
+  rows_added : int;
+  rows_removed : int;
+}
+
+let update_rules t ~rules kind =
+  match configure t.deployment ~rules ~k:t.k kind with
+  | Error e -> Error e
+  | Ok controller ->
+    let all_entities =
+      List.init (Array.length t.deployment.Deployment.proxies) (fun i ->
+          Mbox.Entity.Proxy i)
+      @ List.init (Array.length t.deployment.Deployment.middleboxes) (fun i ->
+            Mbox.Entity.Middlebox i)
+    in
+    let touched = ref 0 and added = ref 0 and removed = ref 0 in
+    List.iter
+      (fun entity ->
+        (* Diff the entity's table by rule identity (id + content):
+           ids are positional, so a pure insertion shifts later ids and
+           honestly counts as re-pushing them — first-match order is
+           part of each row's meaning. *)
+        let key r = (r.Policy.Rule.id, r.Policy.Rule.descriptor, r.Policy.Rule.actions) in
+        let before = List.map key (policy_table_for t entity) in
+        let after = List.map key (policy_table_for controller entity) in
+        let plus = List.filter (fun r -> not (List.mem r before)) after in
+        let minus = List.filter (fun r -> not (List.mem r after)) before in
+        if plus <> [] || minus <> [] then begin
+          incr touched;
+          added := !added + List.length plus;
+          removed := !removed + List.length minus
+        end)
+      all_entities;
+    Ok
+      {
+        controller;
+        entities_touched = !touched;
+        rows_added = !added;
+        rows_removed = !removed;
+      }

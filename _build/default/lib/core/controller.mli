@@ -1,0 +1,90 @@
+(** The middlebox controller (Sec. III.A-III.C).
+
+    Pre-configures every policy proxy and middlebox: computes the
+    candidate sets [M_x^e], distributes to each entity its relevant
+    policy subset [P_x], and — for load-balanced enforcement — solves
+    the Eq. (2) LP over the measured traffic matrix and distributes
+    the resulting forwarding weights.  The controller never sees a
+    packet; everything here happens at configuration time, which is
+    the architectural difference from SDN controllers the paper
+    stresses. *)
+
+type kind =
+  | Hot_potato
+  | Random_uniform
+  | Load_balanced of Measurement.t
+      (** Eq. (2): aggregated weights from a measured traffic matrix *)
+  | Load_balanced_exact of Measurement.t
+      (** Eq. (1): per-(source, destination) weights — exponentially
+          more configuration state for (at best) marginally better
+          balance; provided for the formulation comparison *)
+
+type t = {
+  deployment : Deployment.t;
+  candidates : Candidate.t;
+  rules : Policy.Rule.t list;     (** the network-wide ordered policy list *)
+  strategy : Strategy.t;
+  lp : Lp_formulation.result option;  (** present for load-balanced *)
+  k : Policy.Action.nf -> int;    (** candidate-set sizing, kept for updates *)
+}
+
+val default_k : Policy.Action.nf -> int
+(** The evaluation's candidate-set sizes: FW 4, IDS 4, WP 2, TM 2
+    (and 2 for custom functions). *)
+
+val configure :
+  Deployment.t ->
+  rules:Policy.Rule.t list ->
+  ?k:(Policy.Action.nf -> int) ->
+  ?failed:int list ->
+  kind ->
+  (t, string) Stdlib.result
+(** Validates that every function referenced by a rule is implemented
+    by some middlebox; for [Load_balanced] solves the LP (source
+    grouping on).  [failed] middleboxes are excluded from every
+    candidate set — calling [configure] again with the current failure
+    list is the controller's re-optimization step after failures are
+    reported. *)
+
+val policy_table_for : t -> Mbox.Entity.t -> Policy.Rule.t list
+(** The subset [P_x] the controller sends to entity [x]: for a proxy,
+    rules whose descriptor can match traffic sourced in its subnet;
+    for a middlebox, rules whose action list contains its function. *)
+
+val next_hop :
+  ?alive:(int -> bool) ->
+  t -> Mbox.Entity.t -> rule:Policy.Rule.t -> nf:Policy.Action.nf ->
+  Netpkt.Flow.t -> Mbox.Middlebox.t
+(** [alive] enables local fast failover before the controller has
+    re-configured; see {!Strategy.next_hop}. *)
+
+val closest : t -> Mbox.Entity.t -> Policy.Action.nf -> Mbox.Middlebox.t
+(** The hot-potato target [m_x^e], whatever the active strategy. *)
+
+type config_summary = {
+  entities : int;           (** proxies + middleboxes configured *)
+  policy_rows : int;        (** Σ_x |P_x| — policy-table rows pushed *)
+  candidate_entries : int;  (** Σ_x Σ_e |M_x^e| — candidate-set members pushed *)
+  weight_rows : int;        (** LB only: t_{e,p}(x, ·) rows pushed *)
+  weight_cells : int;       (** LB only: individual t_{e,p}(x,y) values *)
+}
+
+val config_summary : t -> config_summary
+(** Size of the configuration the controller disseminates — the
+    communication-overhead metric behind the paper's preference for
+    the aggregated Eq. (2) variables. *)
+
+val pp_config_summary : Format.formatter -> config_summary -> unit
+
+type update_delta = {
+  controller : t;            (** the reconfigured controller *)
+  entities_touched : int;    (** entities whose policy table changed *)
+  rows_added : int;          (** policy rows pushed by the update *)
+  rows_removed : int;        (** policy rows withdrawn *)
+}
+
+val update_rules : t -> rules:Policy.Rule.t list -> kind -> (update_delta, string) Stdlib.result
+(** Replace the network-wide policy list: reconfigure (same deployment
+    and candidate sizing) and report the incremental dissemination —
+    only entities whose [P_x] changed need a push, which is what keeps
+    policy updates cheap in this architecture. *)

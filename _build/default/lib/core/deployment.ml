@@ -1,0 +1,127 @@
+type t = {
+  topo : Netgraph.Topology.t;
+  middleboxes : Mbox.Middlebox.t array;
+  proxies : Mbox.Proxy.t array;
+  dist : float array array;
+  subnet_order : (int * int * int) array;
+}
+
+let validate ~topo ~middleboxes ~proxies =
+  let n = Netgraph.Graph.node_count topo.Netgraph.Topology.graph in
+  Array.iteri
+    (fun i (m : Mbox.Middlebox.t) ->
+      if m.id <> i then invalid_arg "Deployment.make: middlebox ids not dense";
+      if m.router < 0 || m.router >= n then
+        invalid_arg "Deployment.make: middlebox attachment router out of range")
+    middleboxes;
+  Array.iteri
+    (fun i (p : Mbox.Proxy.t) ->
+      if p.id <> i then invalid_arg "Deployment.make: proxy ids not dense";
+      if p.router < 0 || p.router >= n then
+        invalid_arg "Deployment.make: proxy attachment router out of range")
+    proxies;
+  let addrs = Hashtbl.create 64 in
+  Array.iter
+    (fun (m : Mbox.Middlebox.t) ->
+      if Hashtbl.mem addrs m.addr then
+        invalid_arg "Deployment.make: duplicate middlebox address";
+      Hashtbl.replace addrs m.addr ())
+    middleboxes;
+  Array.iteri
+    (fun i (p : Mbox.Proxy.t) ->
+      Array.iteri
+        (fun j (q : Mbox.Proxy.t) ->
+          if i < j && Netpkt.Addr.Prefix.overlaps p.subnet q.subnet then
+            invalid_arg "Deployment.make: overlapping proxy subnets")
+        proxies)
+    proxies
+
+let make ~topo ~middleboxes ~proxies =
+  validate ~topo ~middleboxes ~proxies;
+  let dist = Netgraph.Dijkstra.all_pairs topo.Netgraph.Topology.graph in
+  let subnet_order =
+    Array.map
+      (fun (p : Mbox.Proxy.t) ->
+        (p.subnet.Netpkt.Addr.Prefix.base, p.subnet.Netpkt.Addr.Prefix.len, p.id))
+      proxies
+  in
+  Array.sort compare subnet_order;
+  { topo; middleboxes; proxies; dist; subnet_order }
+
+let entity_router t = function
+  | Mbox.Entity.Proxy i -> t.proxies.(i).Mbox.Proxy.router
+  | Mbox.Entity.Middlebox i -> t.middleboxes.(i).Mbox.Middlebox.router
+
+let distance t a b = t.dist.(entity_router t a).(entity_router t b)
+
+let middleboxes_of t nf =
+  Array.to_list t.middleboxes
+  |> List.filter (fun (m : Mbox.Middlebox.t) -> Policy.Action.equal_nf m.nf nf)
+
+let functions t =
+  Array.fold_left
+    (fun acc (m : Mbox.Middlebox.t) ->
+      if List.exists (Policy.Action.equal_nf m.nf) acc then acc else m.nf :: acc)
+    [] t.middleboxes
+  |> List.rev
+
+(* Subnets are pairwise disjoint (validated above), so the candidate
+   containing [addr] — if any — is the one with the greatest base <=
+   addr: binary search. *)
+let proxy_of_addr t addr =
+  let n = Array.length t.subnet_order in
+  let rec search lo hi best =
+    if lo > hi then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      let base, _, _ = t.subnet_order.(mid) in
+      if base <= addr then search (mid + 1) hi (Some t.subnet_order.(mid))
+      else search lo (mid - 1) best
+    end
+  in
+  match search 0 (n - 1) None with
+  | Some (base, len, id)
+    when Netpkt.Addr.Prefix.contains (Netpkt.Addr.Prefix.make base len) addr ->
+    Some t.proxies.(id)
+  | _ -> None
+
+let middlebox_of_addr t addr =
+  Array.to_list t.middleboxes
+  |> List.find_opt (fun (m : Mbox.Middlebox.t) -> m.addr = addr)
+
+let subnet_of t i = t.proxies.(i).Mbox.Proxy.subnet
+
+(* Address plan: proxies own 10.x.y.0/24 (their stub), with the proxy
+   itself at host .1; middleboxes live at 192.168.x.y, outside every
+   stub subnet. *)
+let proxy_subnet i =
+  if i < 0 || i >= 65536 then invalid_arg "Deployment.proxy_subnet: id out of range";
+  Netpkt.Addr.Prefix.make (Netpkt.Addr.of_octets 10 (i / 256) (i mod 256) 0) 24
+
+let proxy_addr i = Netpkt.Addr.of_octets 10 (i / 256) (i mod 256) 1
+
+let mbox_addr i =
+  if i < 0 || i >= 65536 then invalid_arg "Deployment.mbox_addr: id out of range";
+  Netpkt.Addr.of_octets 192 168 (i / 256) (i mod 256)
+
+let standard ~topo ~mbox_counts ~seed =
+  let rng = Stdx.Rng.create seed in
+  let cores = Array.of_list (Netgraph.Topology.cores topo) in
+  if Array.length cores = 0 then invalid_arg "Deployment.standard: no core routers";
+  let middleboxes =
+    List.concat_map
+      (fun (nf, count) -> List.init count (fun _ -> nf))
+      mbox_counts
+    |> List.mapi (fun id nf ->
+           Mbox.Middlebox.make ~id ~nf ~router:(Stdx.Rng.choose rng cores)
+             ~addr:(mbox_addr id) ())
+    |> Array.of_list
+  in
+  let proxies =
+    Netgraph.Topology.edges topo
+    |> List.mapi (fun id router ->
+           Mbox.Proxy.make ~id ~subnet:(proxy_subnet id) ~router
+             ~addr:(proxy_addr id) ())
+    |> Array.of_list
+  in
+  make ~topo ~middleboxes ~proxies

@@ -1,0 +1,68 @@
+(** A deployment: topology + middleboxes + policy proxies.
+
+    The controller's static world view (Sec. III.B: "configured with
+    the complete network topology with subnet addresses, the placement
+    of all middleboxes").  Construction precomputes all-pairs
+    shortest-path distances over the router graph; entity-to-entity
+    distances reduce to attachment-router distances because both
+    in-path and off-path attachments are transparent to routing. *)
+
+type t = {
+  topo : Netgraph.Topology.t;
+  middleboxes : Mbox.Middlebox.t array;  (** indexed by middlebox id *)
+  proxies : Mbox.Proxy.t array;          (** indexed by proxy id *)
+  dist : float array array;              (** router-to-router shortest-path cost *)
+  subnet_order : (int * int * int) array;
+      (** (base, prefix length, proxy id) sorted by base — the binary-
+          search index behind {!proxy_of_addr}.  Subnets are disjoint,
+          so the greatest base <= addr is the only candidate. *)
+}
+
+val make :
+  topo:Netgraph.Topology.t ->
+  middleboxes:Mbox.Middlebox.t array ->
+  proxies:Mbox.Proxy.t array ->
+  t
+(** Validates ids are dense (array position = id), attachment routers
+    exist, middlebox addresses are unique, and proxy subnets are
+    disjoint. *)
+
+val entity_router : t -> Mbox.Entity.t -> int
+
+val distance : t -> Mbox.Entity.t -> Mbox.Entity.t -> float
+
+val middleboxes_of : t -> Policy.Action.nf -> Mbox.Middlebox.t list
+(** The paper's [M^e], ascending id. *)
+
+val functions : t -> Policy.Action.nf list
+(** The paper's Pi: distinct functions implemented by the deployment,
+    in first-appearance order. *)
+
+val proxy_of_addr : t -> Netpkt.Addr.t -> Mbox.Proxy.t option
+(** The proxy whose stub subnet contains the address.  O(log #proxies)
+    — hot enough to sit on the per-packet path of the simulators. *)
+
+val middlebox_of_addr : t -> Netpkt.Addr.t -> Mbox.Middlebox.t option
+
+val subnet_of : t -> int -> Netpkt.Addr.Prefix.t
+(** Subnet of proxy [i]. *)
+
+(* {2 Standard builders} *)
+
+val mbox_addr : int -> Netpkt.Addr.t
+(** 192.168.x.y address assigned to middlebox id. *)
+
+val proxy_addr : int -> Netpkt.Addr.t
+(** 10.x.y.1 address assigned to proxy id. *)
+
+val proxy_subnet : int -> Netpkt.Addr.Prefix.t
+(** 10.x.y.0/24 stub subnet of proxy id. *)
+
+val standard :
+  topo:Netgraph.Topology.t ->
+  mbox_counts:(Policy.Action.nf * int) list ->
+  seed:int ->
+  t
+(** The evaluation's deployment recipe: one proxy per edge router
+    (subnet 10.i.0/24-style), and for each (function, count) pair that
+    many middleboxes attached to randomly chosen core routers. *)

@@ -1,0 +1,331 @@
+type result = {
+  lambda : float;
+  weights : Weights.t;
+  weights_sd : Weights_sd.t option;
+  loads : float array;
+  lp_vars : int;
+  lp_constraints : int;
+}
+
+(* Shared LP-building state: the model, the lambda variable, the
+   per-middlebox load expressions, and the rows from which forwarding
+   weights are extracted after solving. *)
+type builder = {
+  model : Lp.Model.t;
+  lambda : Lp.Model.var;
+  load_terms : (float * Lp.Model.var) list array; (* per middlebox id *)
+  mutable weight_rows :
+    (Mbox.Entity.t
+    * int
+    * Policy.Action.nf
+    * (int * int) option (* Eq. (1) commodity (src, dst), if any *)
+    * (int * Lp.Model.var) list)
+    list;
+}
+
+let new_builder dep =
+  let model = Lp.Model.create () in
+  {
+    model;
+    lambda = Lp.Model.var model "lambda";
+    load_terms = Array.make (Array.length dep.Deployment.middleboxes) [];
+    weight_rows = [];
+  }
+
+let terms_of vars = List.map (fun (_, v) -> (1.0, v)) vars
+
+(* One policy chain contributes entry, per-stage transfer and exit
+   variables plus conservation rows.  [entry_groups] is the list of
+   (weight recipients, representative entity, volume); recipients all
+   share the representative's candidate sets. *)
+let add_chain ?commodity b cand ~rule_id ~chain ~entry_groups =
+  let chain = Array.of_list chain in
+  let n_stages = Array.length chain in
+  (* stage_in.(i): (middlebox id, var) inflow pairs of stage i.
+     stage_out.(i): per middlebox id, the outflow vars. *)
+  let stage_in = Array.make n_stages [] in
+  let stage_out = Array.make n_stages [] in
+  let reachable = Array.make n_stages [] in
+  (* Entry variables. *)
+  List.iter
+    (fun (recipients, repr, volume) ->
+      let cands = Candidate.get cand repr chain.(0) in
+      let vars =
+        List.map
+          (fun (mb : Mbox.Middlebox.t) ->
+            ( mb.id,
+              Lp.Model.var b.model
+                (Printf.sprintf "in_p%d_%s_y%d" rule_id
+                   (Mbox.Entity.to_string repr) mb.id) ))
+          cands
+      in
+      Lp.Model.add_constraint b.model (terms_of vars) Lp.Model.Eq volume;
+      stage_in.(0) <- vars @ stage_in.(0);
+      List.iter
+        (fun entity ->
+          b.weight_rows <-
+            (entity, rule_id, chain.(0), commodity, vars) :: b.weight_rows)
+        recipients)
+    entry_groups;
+  reachable.(0) <-
+    List.sort_uniq compare (List.map fst stage_in.(0));
+  (* Transfer variables between consecutive stages, restricted to
+     middleboxes actually reachable at the upstream stage. *)
+  for i = 0 to n_stages - 2 do
+    List.iter
+      (fun x_id ->
+        let x_entity = Mbox.Entity.Middlebox x_id in
+        let cands = Candidate.get cand x_entity chain.(i + 1) in
+        let vars =
+          List.map
+            (fun (mb : Mbox.Middlebox.t) ->
+              ( mb.id,
+                Lp.Model.var b.model
+                  (Printf.sprintf "t_p%d_s%d_x%d_y%d" rule_id i x_id mb.id) ))
+            cands
+        in
+        stage_out.(i) <- (x_id, vars) :: stage_out.(i);
+        stage_in.(i + 1) <- vars @ stage_in.(i + 1);
+        b.weight_rows <-
+          (x_entity, rule_id, chain.(i + 1), commodity, vars) :: b.weight_rows)
+      reachable.(i);
+    reachable.(i + 1) <-
+      List.sort_uniq compare (List.map fst stage_in.(i + 1))
+  done;
+  (* Exit variables (aggregated over destinations; see .mli note). *)
+  let last = n_stages - 1 in
+  List.iter
+    (fun x_id ->
+      let v =
+        Lp.Model.var b.model (Printf.sprintf "out_p%d_x%d" rule_id x_id)
+      in
+      stage_out.(last) <- (x_id, [ (-1, v) ]) :: stage_out.(last))
+    reachable.(last);
+  (* Conservation and load accounting per stage and reachable box. *)
+  for i = 0 to n_stages - 1 do
+    List.iter
+      (fun y_id ->
+        let inflow =
+          List.filter_map
+            (fun (id, v) -> if id = y_id then Some (1.0, v) else None)
+            stage_in.(i)
+        in
+        let outflow =
+          match List.assoc_opt y_id stage_out.(i) with
+          | Some vars -> List.map (fun (_, v) -> (-1.0, v)) vars
+          | None -> []
+        in
+        Lp.Model.add_constraint b.model (inflow @ outflow) Lp.Model.Eq 0.0;
+        b.load_terms.(y_id) <- inflow @ b.load_terms.(y_id))
+      reachable.(i)
+  done
+
+(* Secondary/tertiary objective weights.  Minimising lambda alone is
+   degenerate: once the bottleneck middlebox type is balanced, every
+   other type may be left arbitrarily skewed below lambda.  The paper's
+   results (Fig. 4/5, Table III) show LB balancing *every* type, so we
+   refine lexicographically: for each function e, a variable for the
+   type's max load (minimised with weight [eps_type_max]) and one for
+   its min load (maximised with weight [eps_type_min]).  The weights
+   keep the refinement subordinate to lambda: the primary optimum is
+   perturbed by at most ~0.1%. *)
+let eps_type_max = 1e-4
+let eps_type_min = 1e-8
+
+let finish b cand ?lambda_cap () =
+  let dep = Candidate.deployment cand in
+  (* Per-type max/min variables over middleboxes that can carry load. *)
+  let type_vars = Hashtbl.create 8 in
+  let type_var nf =
+    match Hashtbl.find_opt type_vars nf with
+    | Some pair -> pair
+    | None ->
+      let name = Policy.Action.nf_to_string nf in
+      let pair =
+        ( Lp.Model.var b.model ("max_" ^ name),
+          Lp.Model.var b.model ("min_" ^ name) )
+      in
+      Hashtbl.replace type_vars nf pair;
+      pair
+  in
+  Array.iteri
+    (fun x_id terms ->
+      if terms <> [] then begin
+        let mb = dep.Deployment.middleboxes.(x_id) in
+        let cap = mb.Mbox.Middlebox.capacity in
+        Lp.Model.add_constraint b.model
+          ((-.cap, b.lambda) :: terms)
+          Lp.Model.Le 0.0;
+        let vmax, vmin = type_var mb.Mbox.Middlebox.nf in
+        Lp.Model.add_constraint b.model ((-.cap, vmax) :: terms) Lp.Model.Le 0.0;
+        Lp.Model.add_constraint b.model ((-.cap, vmin) :: terms) Lp.Model.Ge 0.0
+      end)
+    b.load_terms;
+  (match lambda_cap with
+  | Some cap ->
+    Lp.Model.add_constraint b.model [ (1.0, b.lambda) ] Lp.Model.Le cap
+  | None -> ());
+  let refinement =
+    Hashtbl.fold
+      (fun _ (vmax, vmin) acc ->
+        (eps_type_max, vmax) :: (-.eps_type_min, vmin) :: acc)
+      type_vars []
+  in
+  Lp.Model.set_objective b.model ((1.0, b.lambda) :: refinement);
+  match Lp.Model.solve b.model with
+  | Lp.Model.Infeasible -> Error "load-balancing LP infeasible"
+  | Lp.Model.Unbounded -> Error "load-balancing LP unbounded (bug)"
+  | Lp.Model.Optimal sol ->
+    let weights = Weights.create () in
+    (* Rows are pushed most-recent-first; accumulate sums so the exact
+       formulation's many per-(s,d) rows aggregate cleanly into the
+       fallback table while also populating the per-commodity one. *)
+    let weights_sd = Weights_sd.create () in
+    let any_commodity = ref false in
+    let acc :
+        (int * int * Policy.Action.nf, (int, float) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let row_entities = Hashtbl.create 256 in
+    List.iter
+      (fun (entity, rule, nf, commodity, vars) ->
+        (match commodity with
+        | Some (src, dst) ->
+          any_commodity := true;
+          let row =
+            List.map (fun (y, var) -> (y, Lp.Model.value sol var)) vars
+            |> Array.of_list
+          in
+          Weights_sd.set weights_sd entity ~rule ~nf ~src ~dst row
+        | None -> ());
+        let key = (Mbox.Entity.hash_key entity, rule, nf) in
+        Hashtbl.replace row_entities key (entity, rule, nf);
+        let cell =
+          match Hashtbl.find_opt acc key with
+          | Some c -> c
+          | None ->
+            let c = Hashtbl.create 8 in
+            Hashtbl.replace acc key c;
+            c
+        in
+        List.iter
+          (fun (y, var) ->
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt cell y) in
+            Hashtbl.replace cell y (prev +. Lp.Model.value sol var))
+          vars)
+      b.weight_rows;
+    Hashtbl.iter
+      (fun key cell ->
+        let entity, rule, nf = Hashtbl.find row_entities key in
+        let row =
+          Hashtbl.fold (fun y v l -> (y, v) :: l) cell []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> Array.of_list
+        in
+        Weights.set weights entity ~rule ~nf row)
+      acc;
+    let loads =
+      Array.map
+        (fun terms ->
+          List.fold_left
+            (fun s (c, v) -> s +. (c *. Lp.Model.value sol v))
+            0.0 terms)
+        b.load_terms
+    in
+    Ok
+      {
+        lambda = Lp.Model.value sol b.lambda;
+        weights;
+        weights_sd = (if !any_commodity then Some weights_sd else None);
+        loads;
+        lp_vars = Lp.Model.num_vars b.model;
+        lp_constraints = Lp.Model.num_constraints b.model;
+      }
+
+let check_chain rule =
+  let chain = rule.Policy.Rule.actions in
+  if Policy.Action.has_duplicates chain then
+    Error
+      (Printf.sprintf "rule %d repeats a function in its action list"
+         rule.Policy.Rule.id)
+  else Ok chain
+
+(* Group traffic sources by candidate-set fingerprint.  Members of a
+   group see identical candidate sets, so one aggregated entry
+   constraint represents them exactly (DESIGN.md, substitution notes). *)
+let group_entry_sources cand ~group_sources sources =
+  if not group_sources then
+    List.map
+      (fun (s, volume) ->
+        let e = Mbox.Entity.Proxy s in
+        ([ e ], e, volume))
+      sources
+  else begin
+    let groups = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun (s, volume) ->
+        let e = Mbox.Entity.Proxy s in
+        let fp = Candidate.fingerprint cand e in
+        match Hashtbl.find_opt groups fp with
+        | Some cell ->
+          let members, repr, total = !cell in
+          cell := (e :: members, repr, total +. volume)
+        | None ->
+          let cell = ref ([ e ], e, volume) in
+          Hashtbl.replace groups fp cell;
+          order := fp :: !order)
+      sources;
+    List.rev_map (fun fp -> !(Hashtbl.find groups fp)) !order
+  end
+
+let solve_simplified cand ~rules ~traffic ?(group_sources = true) ?lambda_cap ()
+    =
+  let b = new_builder (Candidate.deployment cand) in
+  let rec add = function
+    | [] -> Ok ()
+    | rule :: rest -> (
+      match check_chain rule with
+      | Error _ as e -> e
+      | Ok [] -> add rest (* permit: no middlebox traffic *)
+      | Ok chain ->
+        let sources = Measurement.sources_for traffic ~rule:rule.Policy.Rule.id in
+        if sources = [] then add rest
+        else begin
+          let entry_groups = group_entry_sources cand ~group_sources sources in
+          add_chain b cand ~rule_id:rule.Policy.Rule.id ~chain ~entry_groups;
+          add rest
+        end)
+  in
+  match add rules with
+  | Error e -> Error e
+  | Ok () -> finish b cand ?lambda_cap ()
+  | exception Not_found ->
+    Error "a rule references a function no middlebox implements"
+
+let solve_exact cand ~rules ~traffic ?lambda_cap () =
+  let b = new_builder (Candidate.deployment cand) in
+  let rec add = function
+    | [] -> Ok ()
+    | rule :: rest -> (
+      match check_chain rule with
+      | Error _ as e -> e
+      | Ok [] -> add rest
+      | Ok chain ->
+        (* One commodity per (s, d) pair with traffic: full Eq. (1)
+           resolution.  Entry groups are singletons. *)
+        let pairs = Measurement.pairs_for traffic ~rule:rule.Policy.Rule.id in
+        List.iter
+          (fun (s, d, volume) ->
+            let e = Mbox.Entity.Proxy s in
+            add_chain ~commodity:(s, d) b cand ~rule_id:rule.Policy.Rule.id
+              ~chain
+              ~entry_groups:[ ([ e ], e, volume) ])
+          pairs;
+        add rest)
+  in
+  match add rules with
+  | Error e -> Error e
+  | Ok () -> finish b cand ?lambda_cap ()
+  | exception Not_found ->
+    Error "a rule references a function no middlebox implements"

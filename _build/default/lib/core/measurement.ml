@@ -1,0 +1,57 @@
+type t = { cells : (int * int * int, float) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 1024 }
+
+let add t ~src ~dst ~rule v =
+  if v < 0.0 then invalid_arg "Measurement.add: negative volume";
+  if v > 0.0 then begin
+    let key = (src, dst, rule) in
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt t.cells key) in
+    Hashtbl.replace t.cells key (prev +. v)
+  end
+
+let t_sdp t ~src ~dst ~rule =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.cells (src, dst, rule))
+
+let fold t f init = Hashtbl.fold f t.cells init
+
+let t_sp t ~src ~rule =
+  fold t
+    (fun (s, _, p) v acc -> if s = src && p = rule then acc +. v else acc)
+    0.0
+
+let t_dp t ~dst ~rule =
+  fold t
+    (fun (_, d, p) v acc -> if d = dst && p = rule then acc +. v else acc)
+    0.0
+
+let t_p t ~rule =
+  fold t (fun (_, _, p) v acc -> if p = rule then acc +. v else acc) 0.0
+
+let rules_with_traffic t =
+  fold t (fun (_, _, p) v acc -> if v > 0.0 then p :: acc else acc) []
+  |> List.sort_uniq compare
+
+let group_by t ~rule ~key =
+  let tbl = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (s, d, p) v ->
+      if p = rule && v > 0.0 then begin
+        let k = key s d in
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl k) in
+        Hashtbl.replace tbl k (prev +. v)
+      end)
+    t.cells;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let sources_for t ~rule = group_by t ~rule ~key:(fun s _ -> s)
+let destinations_for t ~rule = group_by t ~rule ~key:(fun _ d -> d)
+
+let pairs_for t ~rule =
+  fold t
+    (fun (s, d, p) v acc -> if p = rule && v > 0.0 then (s, d, v) :: acc else acc)
+    []
+  |> List.sort compare
+
+let total t = fold t (fun _ v acc -> acc +. v) 0.0

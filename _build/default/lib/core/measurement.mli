@@ -1,0 +1,34 @@
+(** Traffic measurements reported by policy proxies.
+
+    "Periodically, all policy proxies send their measured traffic
+    volumes to the controller" (Sec. III.C).  The fundamental datum is
+    T_{s,d,p} — the volume (packets per epoch) from source subnet [s]
+    to destination subnet [d] matching policy [p]; the aggregates
+    T_{s,p}, T_{d,p} and T_p that Eq. (2) consumes are folds of it. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> src:int -> dst:int -> rule:int -> float -> unit
+(** Accumulate volume for (source proxy, destination proxy, rule id).
+    Raises [Invalid_argument] on negative volume. *)
+
+val t_sdp : t -> src:int -> dst:int -> rule:int -> float
+val t_sp : t -> src:int -> rule:int -> float
+val t_dp : t -> dst:int -> rule:int -> float
+val t_p : t -> rule:int -> float
+
+val rules_with_traffic : t -> int list
+(** Ascending rule ids with positive volume. *)
+
+val sources_for : t -> rule:int -> (int * float) list
+(** (source proxy, T_{s,p}) pairs with positive volume, ascending. *)
+
+val destinations_for : t -> rule:int -> (int * float) list
+
+val pairs_for : t -> rule:int -> (int * int * float) list
+(** (s, d, T_{s,d,p}) triples with positive volume — the Eq. (1)
+    granularity. *)
+
+val total : t -> float

@@ -1,0 +1,47 @@
+let nf_salt nf = Stdx.Xhash.string (Policy.Action.nf_to_string nf)
+
+let flow_point flow ~entity ~nf =
+  let h = Netpkt.Flow.hash flow in
+  let h = Stdx.Xhash.fold_int h (Mbox.Entity.hash_key entity) in
+  let h = Stdx.Xhash.fold_int h (Int64.to_int (nf_salt nf)) in
+  Stdx.Xhash.to_unit_interval h
+
+let pick row ~u =
+  if u < 0.0 || u >= 1.0 then invalid_arg "Selector.pick: u out of [0,1)";
+  let total =
+    Array.fold_left
+      (fun acc (_, w) ->
+        if w < 0.0 then invalid_arg "Selector.pick: negative weight";
+        acc +. w)
+      0.0 row
+  in
+  if total <= 0.0 then None
+  else begin
+    let target = u *. total in
+    let acc = ref 0.0 and chosen = ref None in
+    Array.iter
+      (fun (id, w) ->
+        if !chosen = None then begin
+          acc := !acc +. w;
+          if target < !acc then chosen := Some id
+        end)
+      row;
+    (* Floating-point slack can leave the last bucket unmatched. *)
+    match !chosen with
+    | Some id -> Some id
+    | None ->
+      let rec last_positive i =
+        if i < 0 then None
+        else
+          let id, w = row.(i) in
+          if w > 0.0 then Some id else last_positive (i - 1)
+      in
+      last_positive (Array.length row - 1)
+  end
+
+let pick_uniform candidates ~u =
+  let n = List.length candidates in
+  if n = 0 then invalid_arg "Selector.pick_uniform: empty candidates";
+  let i = int_of_float (u *. float_of_int n) in
+  let i = if i >= n then n - 1 else i in
+  List.nth candidates i

@@ -1,0 +1,58 @@
+type t = {
+  sketches : Stdx.Count_min.t array; (* per source proxy *)
+  totals : float array;              (* exact per-proxy totals *)
+  epsilon : float;
+  n_proxies : int;
+}
+
+let create ?(epsilon = 0.001) ?(delta = 0.01) ~n_proxies () =
+  {
+    sketches = Array.init n_proxies (fun _ -> Stdx.Count_min.create ~epsilon ~delta ());
+    totals = Array.make n_proxies 0.0;
+    epsilon;
+    n_proxies;
+  }
+
+let key ~dst ~rule = Stdx.Xhash.ints [ dst; rule ]
+
+let add t ~src ~dst ~rule v =
+  if src < 0 || src >= t.n_proxies then invalid_arg "Sketch.add: bad source proxy";
+  Stdx.Count_min.add t.sketches.(src) (key ~dst ~rule) v;
+  t.totals.(src) <- t.totals.(src) +. v
+
+let memory_cells t =
+  Array.fold_left
+    (fun acc s -> acc + (Stdx.Count_min.width s * Stdx.Count_min.depth s))
+    0 t.sketches
+
+let to_measurement t ~rules =
+  let m = Measurement.create () in
+  Array.iteri
+    (fun src sketch ->
+      if t.totals.(src) > 0.0 then begin
+        let floor_ = t.epsilon *. t.totals.(src) in
+        List.iter
+          (fun rule ->
+            for dst = 0 to t.n_proxies - 1 do
+              if dst <> src then begin
+                let est =
+                  Stdx.Count_min.estimate sketch (key ~dst ~rule:rule.Policy.Rule.id)
+                in
+                if est > floor_ then
+                  Measurement.add m ~src ~dst ~rule:rule.Policy.Rule.id est
+              end
+            done)
+          rules
+      end)
+    t.sketches;
+  m
+
+let of_workload_measurement ~exact ~n_proxies ~rules ?epsilon ?delta () =
+  let t = create ?epsilon ?delta ~n_proxies () in
+  List.iter
+    (fun rule ->
+      List.iter
+        (fun (src, dst, v) -> add t ~src ~dst ~rule:rule.Policy.Rule.id v)
+        (Measurement.pairs_for exact ~rule:rule.Policy.Rule.id))
+    rules;
+  t

@@ -1,0 +1,35 @@
+(** Sketched traffic measurement at the proxies.
+
+    An approximate drop-in for {!Measurement}: each policy proxy keeps
+    one Count-Min sketch of its (destination, policy) volumes instead
+    of an exact cell per combination, which is how a real proxy would
+    bound its measurement memory.  The controller reconstructs a
+    {!Measurement.t} by querying every (source proxy, destination
+    proxy, rule) combination and dropping estimates below the sketch's
+    own noise floor (epsilon times the proxy's exact total, which a
+    proxy always knows).
+
+    The ABL-SKETCH ablation quantifies the end effect: how far the LP
+    optimum and the realised loads drift when the controller plans on
+    sketched rather than exact volumes. *)
+
+type t
+
+val create : ?epsilon:float -> ?delta:float -> n_proxies:int -> unit -> t
+(** One sketch per proxy.  Defaults: epsilon 0.001, delta 0.01. *)
+
+val add : t -> src:int -> dst:int -> rule:int -> float -> unit
+(** Record volume at the source proxy's sketch. *)
+
+val memory_cells : t -> int
+(** Total sketch counters across all proxies — the memory the
+    approximation buys. *)
+
+val to_measurement : t -> rules:Policy.Rule.t list -> Measurement.t
+(** Reconstruct the controller-side traffic matrix.  Estimates below
+    the per-proxy noise floor are treated as zero. *)
+
+val of_workload_measurement :
+  exact:Measurement.t -> n_proxies:int -> rules:Policy.Rule.t list ->
+  ?epsilon:float -> ?delta:float -> unit -> t
+(** Feed an exact matrix through sketches — the ablation's harness. *)

@@ -1,0 +1,152 @@
+type violation =
+  | Empty_candidates of Mbox.Entity.t * int * Policy.Action.nf
+  | Wrong_function of Mbox.Entity.t * int * Policy.Action.nf * int
+  | Foreign_weight of Mbox.Entity.t * int * Policy.Action.nf * int
+  | Negative_weight of Mbox.Entity.t * int * Policy.Action.nf * int
+  | Table_mismatch of Mbox.Entity.t * int
+  | Duplicate_function of int
+
+let pp_violation ppf = function
+  | Empty_candidates (e, rule, nf) ->
+    Format.fprintf ppf "%a has no candidate for %s (rule %d)" Mbox.Entity.pp e
+      (Policy.Action.nf_to_string nf)
+      rule
+  | Wrong_function (e, rule, nf, mb) ->
+    Format.fprintf ppf
+      "candidate mbox%d of %a does not implement %s (rule %d)" mb Mbox.Entity.pp
+      e
+      (Policy.Action.nf_to_string nf)
+      rule
+  | Foreign_weight (e, rule, nf, mb) ->
+    Format.fprintf ppf
+      "weight row of %a for %s (rule %d) references non-candidate mbox%d"
+      Mbox.Entity.pp e
+      (Policy.Action.nf_to_string nf)
+      rule mb
+  | Negative_weight (e, rule, nf, mb) ->
+    Format.fprintf ppf "negative weight at %a for %s (rule %d) toward mbox%d"
+      Mbox.Entity.pp e
+      (Policy.Action.nf_to_string nf)
+      rule mb
+  | Table_mismatch (e, rule) ->
+    Format.fprintf ppf "policy table of %a inconsistent for rule %d"
+      Mbox.Entity.pp e rule
+  | Duplicate_function rule ->
+    Format.fprintf ppf "rule %d repeats a function in its action list" rule
+
+let check (c : Controller.t) =
+  let dep = c.Controller.deployment in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let weights =
+    match c.Controller.strategy with
+    | Strategy.Load_balanced w -> Some w
+    | Strategy.Load_balanced_exact (_, fallback) ->
+      (* The per-(s,d) rows are sums of the fallback's; checking the
+         aggregate covers candidate membership and sign for both. *)
+      Some fallback
+    | Strategy.Hot_potato | Strategy.Random_uniform -> None
+  in
+  (* Per-entity step check: candidates exist, implement the function,
+     and any weight row stays within the candidate set. *)
+  let check_step entity rule_id nf =
+    match Candidate.get c.Controller.candidates entity nf with
+    | exception Not_found ->
+      add (Empty_candidates (entity, rule_id, nf));
+      []
+    | exception Invalid_argument _ ->
+      (* The entity implements [nf] itself: chains never ask this. *)
+      add (Empty_candidates (entity, rule_id, nf));
+      []
+    | [] ->
+      add (Empty_candidates (entity, rule_id, nf));
+      []
+    | members ->
+      List.iter
+        (fun (m : Mbox.Middlebox.t) ->
+          if not (Policy.Action.equal_nf m.nf nf) then
+            add (Wrong_function (entity, rule_id, nf, m.id)))
+        members;
+      (match weights with
+      | None -> ()
+      | Some w -> (
+        match Weights.find w entity ~rule:rule_id ~nf with
+        | None -> ()
+        | Some row ->
+          Array.iter
+            (fun (id, v) ->
+              if v < 0.0 then add (Negative_weight (entity, rule_id, nf, id));
+              if
+                not
+                  (List.exists (fun (m : Mbox.Middlebox.t) -> m.id = id) members)
+              then add (Foreign_weight (entity, rule_id, nf, id)))
+            row));
+      members
+  in
+  (* Walk every rule's chain from every proxy, following every
+     candidate (all run-time choices are a subset of this). *)
+  List.iter
+    (fun rule ->
+      let rule_id = rule.Policy.Rule.id in
+      let chain = rule.Policy.Rule.actions in
+      if Policy.Action.has_duplicates chain then add (Duplicate_function rule_id);
+      match chain with
+      | [] -> ()
+      | first :: rest ->
+        let n_proxies = Array.length dep.Deployment.proxies in
+        let starters =
+          List.filter
+            (fun i ->
+              Policy.Descriptor.src_overlaps rule.Policy.Rule.descriptor
+                (Deployment.subnet_of dep i))
+            (List.init n_proxies Fun.id)
+        in
+        (* Frontier of middleboxes reachable at each chain position. *)
+        let frontier =
+          List.concat_map
+            (fun i -> check_step (Mbox.Entity.Proxy i) rule_id first)
+            starters
+          |> List.sort_uniq (fun (a : Mbox.Middlebox.t) b -> compare a.id b.id)
+        in
+        ignore
+          (List.fold_left
+             (fun frontier nf ->
+               List.concat_map
+                 (fun (m : Mbox.Middlebox.t) ->
+                   check_step (Mbox.Entity.Middlebox m.id) rule_id nf)
+                 frontier
+               |> List.sort_uniq (fun (a : Mbox.Middlebox.t) b ->
+                      compare a.id b.id))
+             frontier rest))
+    c.Controller.rules;
+  (* Policy-table consistency. *)
+  Array.iter
+    (fun (m : Mbox.Middlebox.t) ->
+      let entity = Mbox.Entity.Middlebox m.id in
+      List.iter
+        (fun r ->
+          if
+            not
+              (List.exists
+                 (Policy.Action.equal_nf m.Mbox.Middlebox.nf)
+                 r.Policy.Rule.actions)
+          then add (Table_mismatch (entity, r.Policy.Rule.id)))
+        (Controller.policy_table_for c entity))
+    dep.Deployment.middleboxes;
+  Array.iteri
+    (fun i _ ->
+      let entity = Mbox.Entity.Proxy i in
+      let table = Controller.policy_table_for c entity in
+      List.iter
+        (fun r ->
+          let relevant =
+            Policy.Descriptor.src_overlaps r.Policy.Rule.descriptor
+              (Deployment.subnet_of dep i)
+          in
+          let present =
+            List.exists (fun t -> t.Policy.Rule.id = r.Policy.Rule.id) table
+          in
+          if relevant <> present then add (Table_mismatch (entity, r.Policy.Rule.id)))
+        c.Controller.rules)
+    dep.Deployment.proxies;
+  match List.rev !violations with [] -> Ok () | vs -> Error vs

@@ -1,0 +1,43 @@
+(** Static verification of a controller configuration.
+
+    Inspired by the invariant-checking line of work the paper cites
+    (VeriFlow): before a configuration is pushed, prove that it cannot
+    violate the enforcement semantics, whatever per-flow choices the
+    hash selector makes at run time.
+
+    Checked invariants, over every rule and every entity that can hold
+    traffic of that rule:
+
+    - {b completeness}: at each position of the rule's action list,
+      every reachable deciding entity has a non-empty candidate set
+      for the next function (so no packet can strand mid-chain);
+    - {b function correctness}: every candidate implements exactly the
+      function it is consulted for;
+    - {b weight sanity} (LB only): every weight row references only
+      members of the corresponding candidate set, with non-negative
+      weights;
+    - {b table consistency}: each middlebox's policy table holds only
+      rules that mention its function, and each proxy's table holds
+      every rule its subnet's traffic can match;
+    - {b chain well-formedness}: no action list repeats a function.
+
+    The walk explores all candidate choices (not just the hash's), so
+    a pass certifies every flow the policies can classify. *)
+
+type violation =
+  | Empty_candidates of Mbox.Entity.t * int * Policy.Action.nf
+      (** (deciding entity, rule id, function with no candidates) *)
+  | Wrong_function of Mbox.Entity.t * int * Policy.Action.nf * int
+      (** candidate middlebox (last int) does not implement the function *)
+  | Foreign_weight of Mbox.Entity.t * int * Policy.Action.nf * int
+      (** LB weight row references a non-candidate middlebox *)
+  | Negative_weight of Mbox.Entity.t * int * Policy.Action.nf * int
+  | Table_mismatch of Mbox.Entity.t * int
+      (** entity's policy table holds an irrelevant rule, or misses a
+          relevant one (rule id given) *)
+  | Duplicate_function of int  (** rule id with a repeated function *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Controller.t -> (unit, violation list) result
+(** Empty violation list = certified. *)

@@ -1,0 +1,16 @@
+type t = (int * int * Policy.Action.nf, (int * float) array) Hashtbl.t
+
+let create () = Hashtbl.create 512
+
+let set t entity ~rule ~nf row =
+  Array.iter
+    (fun (_, v) -> if v < 0.0 then invalid_arg "Weights.set: negative volume")
+    row;
+  Hashtbl.replace t (Mbox.Entity.hash_key entity, rule, nf) row
+
+let find t entity ~rule ~nf =
+  Hashtbl.find_opt t (Mbox.Entity.hash_key entity, rule, nf)
+
+let entries t = Hashtbl.length t
+
+let cells t = Hashtbl.fold (fun _ row acc -> acc + Array.length row) t 0

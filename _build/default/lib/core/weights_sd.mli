@@ -1,0 +1,26 @@
+(** Per-(source, destination) forwarding weights — Eq. (1)'s
+    t_{s,d,p}(x,y) values.
+
+    The exact formulation keeps a separate split per (source subnet,
+    destination subnet) pair; an enforcing node recovers (s, d) from
+    the packet's addresses and looks its row up here, falling back to
+    the aggregated {!Weights} (and ultimately hot-potato) when a pair
+    was never measured. *)
+
+type t
+
+val create : unit -> t
+
+val set :
+  t -> Mbox.Entity.t -> rule:int -> nf:Policy.Action.nf ->
+  src:int -> dst:int -> (int * float) array -> unit
+(** [src]/[dst] are proxy ids. *)
+
+val find :
+  t -> Mbox.Entity.t -> rule:int -> nf:Policy.Action.nf ->
+  src:int -> dst:int -> (int * float) array option
+
+val entries : t -> int
+(** Row count — the dissemination volume Eq. (2) exists to avoid. *)
+
+val cells : t -> int

@@ -1,0 +1,1 @@
+lib/dess/engine.mli:

@@ -1,0 +1,88 @@
+type event = { time : float; seq : int; id : int; action : t -> unit }
+
+and t = {
+  queue : event Stdx.Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable next_id : int;
+  mutable processed : int;
+}
+
+type handle = int
+
+let cmp a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  {
+    queue = Stdx.Heap.create ~cmp;
+    cancelled = Hashtbl.create 64;
+    clock = 0.0;
+    next_seq = 0;
+    next_id = 0;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Stdx.Heap.push t.queue { time; seq; id; action };
+  id
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel t handle = Hashtbl.replace t.cancelled handle ()
+
+let pending t = Stdx.Heap.length t.queue
+
+(* Pop until a live event is found; cancelled entries are discarded
+   lazily here. *)
+let rec next_live t =
+  match Stdx.Heap.pop t.queue with
+  | None -> None
+  | Some ev ->
+    if Hashtbl.mem t.cancelled ev.id then begin
+      Hashtbl.remove t.cancelled ev.id;
+      next_live t
+    end
+    else Some ev
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some ev ->
+    t.clock <- ev.time;
+    t.processed <- t.processed + 1;
+    ev.action t;
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+    let continue = ref true in
+    while !continue do
+      match next_live t with
+      | None -> continue := false
+      | Some ev ->
+        if ev.time > horizon then begin
+          (* Too far in the future: push it back untouched. *)
+          Stdx.Heap.push t.queue ev;
+          continue := false
+        end
+        else begin
+          t.clock <- ev.time;
+          t.processed <- t.processed + 1;
+          ev.action t
+        end
+    done
+
+let events_processed t = t.processed

@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine.
+
+    The substrate that replaces OMNET++ in this reproduction.  A
+    simulation is a priority queue of timestamped callbacks; events
+    scheduled for the same instant fire in FIFO order (stable sequence
+    numbers), which keeps packet-level runs deterministic.
+
+    The engine is deliberately minimal: no processes, channels or
+    modules — network nodes are ordinary OCaml values whose handlers
+    schedule further events.  That is all the paper's evaluation needs
+    and it keeps the packet simulator easy to audit. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time; 0.0 before the first event runs. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> handle
+(** [schedule t ~delay f] fires [f] at [now t +. delay].
+    Raises [Invalid_argument] on negative delays. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> handle
+(** Absolute-time variant.  Raises [Invalid_argument] if [time] is in
+    the past. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (cancelled ones may be counted until
+    they are lazily discarded). *)
+
+val step : t -> bool
+(** Run the single earliest event.  [false] if the queue was empty. *)
+
+val run : ?until:float -> t -> unit
+(** Run events until the queue drains, or (if [until] is given) until
+    the next event would fire strictly after [until]; simulated time
+    then rests at the last fired event. *)
+
+val events_processed : t -> int

@@ -1,0 +1,1 @@
+lib/dvr/protocol.ml: Array Dess List Netgraph Router Stdx

@@ -1,0 +1,1 @@
+lib/dvr/protocol.mli: Netgraph

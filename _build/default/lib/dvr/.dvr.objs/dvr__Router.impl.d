@@ -1,0 +1,1 @@
+lib/dvr/router.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/dvr/router.mli: Netgraph

@@ -1,0 +1,53 @@
+type stats = { messages : int; convergence_time : float }
+
+type result = {
+  tables : Netgraph.Routing.table array;
+  distances : float array array;
+  stats : stats;
+}
+
+let converge ?(link_delay = 1.0) ?(hold_down = 0.5) ?(jitter_seed = 7) topo =
+  let g = topo.Netgraph.Topology.graph in
+  let n = Netgraph.Graph.node_count g in
+  let rng = Stdx.Rng.create jitter_seed in
+  let routers =
+    Array.init n (fun i ->
+        let neighbors =
+          List.map
+            (fun { Netgraph.Graph.dst; cost } -> (dst, cost))
+            (Netgraph.Graph.neighbors g i)
+        in
+        Router.create ~id:i ~neighbors)
+  in
+  let engine = Dess.Engine.create () in
+  let messages = ref 0 in
+  let send_pending = Array.make n false in
+  (* Batched triggered update: one advertisement per neighbour, at most
+     one batch in flight per router. *)
+  let rec schedule_send i =
+    if not send_pending.(i) then begin
+      send_pending.(i) <- true;
+      ignore
+        (Dess.Engine.schedule engine ~delay:hold_down (fun _ ->
+             send_pending.(i) <- false;
+             List.iter
+               (fun { Netgraph.Graph.dst; _ } ->
+                 let adv = Router.advertisement_for routers.(i) ~neighbor:dst in
+                 incr messages;
+                 ignore
+                   (Dess.Engine.schedule engine ~delay:link_delay (fun _ ->
+                        if Router.receive routers.(dst) adv then
+                          schedule_send dst)))
+               (Netgraph.Graph.neighbors g i)))
+    end
+  in
+  for i = 0 to n - 1 do
+    let jitter = Stdx.Rng.float rng 0.5 in
+    ignore (Dess.Engine.schedule engine ~delay:jitter (fun _ -> schedule_send i))
+  done;
+  Dess.Engine.run engine;
+  {
+    tables = Array.map (fun r -> Router.table r ~node_count:n) routers;
+    distances = Array.map (fun r -> Router.distances r ~node_count:n) routers;
+    stats = { messages = !messages; convergence_time = Dess.Engine.now engine };
+  }

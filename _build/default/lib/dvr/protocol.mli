@@ -1,0 +1,31 @@
+(** Distance-vector routing over the event engine.
+
+    Drives one {!Router.t} per topology node: initial self-route
+    announcements at jittered start times, then triggered updates —
+    a router whose vector changed schedules one batched advertisement
+    to every neighbour after a short hold-down, which keeps message
+    complexity polynomial.  The run ends when the event queue drains.
+
+    The distances converge to exactly the shortest-path costs of the
+    graph (tested against Dijkstra); next hops may differ from OSPF's
+    on equal-cost ties, but every hop-by-hop walk realises an optimal
+    path. *)
+
+type stats = {
+  messages : int;            (** advertisements sent on links *)
+  convergence_time : float;
+}
+
+type result = {
+  tables : Netgraph.Routing.table array;
+  distances : float array array;
+  stats : stats;
+}
+
+val converge :
+  ?link_delay:float ->
+  ?hold_down:float ->
+  ?jitter_seed:int ->
+  Netgraph.Topology.t ->
+  result
+(** [link_delay] defaults 1.0, [hold_down] 0.5. *)

@@ -1,0 +1,84 @@
+type route = { mutable dist : float; mutable via : int }
+
+type t = {
+  id : int;
+  neighbors : (int * float) list;
+  routes : (int, route) Hashtbl.t;
+}
+
+type advertisement = { from : int; entries : (int * float) list }
+
+let create ~id ~neighbors =
+  let t = { id; neighbors; routes = Hashtbl.create 64 } in
+  Hashtbl.replace t.routes id { dist = 0.0; via = id };
+  t
+
+let id t = t.id
+
+let advertisement_for t ~neighbor =
+  let entries =
+    Hashtbl.fold
+      (fun dst route acc ->
+        (* Poisoned reverse: routes through the neighbour are
+           advertised back to it as unreachable. *)
+        let dist = if route.via = neighbor then infinity else route.dist in
+        (dst, dist) :: acc)
+      t.routes []
+  in
+  { from = t.id; entries = List.sort compare entries }
+
+let initial_advertisements t =
+  List.map (fun (nbr, _) -> (nbr, advertisement_for t ~neighbor:nbr)) t.neighbors
+
+let receive t adv =
+  match List.assoc_opt adv.from t.neighbors with
+  | None -> invalid_arg "Dvr.Router.receive: advertisement from a non-neighbor"
+  | Some link_cost ->
+    let changed = ref false in
+    List.iter
+      (fun (dst, nbr_dist) ->
+        if dst <> t.id then begin
+          let candidate = link_cost +. nbr_dist in
+          match Hashtbl.find_opt t.routes dst with
+          | None ->
+            if candidate < infinity then begin
+              Hashtbl.replace t.routes dst { dist = candidate; via = adv.from };
+              changed := true
+            end
+          | Some route ->
+            if
+              candidate < route.dist -. 1e-12
+              || (candidate < route.dist +. 1e-12 && adv.from < route.via
+                  && route.via <> t.id)
+            then begin
+              (* Strictly better, or an equal-cost path through a
+                 lower-id neighbour (deterministic tie-break). *)
+              route.dist <- candidate;
+              route.via <- adv.from;
+              changed := true
+            end
+            else if route.via = adv.from && candidate > route.dist +. 1e-12
+            then begin
+              (* Our current next hop got worse (or poisoned):
+                 accept the new cost; a better path, if any, will
+                 arrive in a neighbour's next advertisement. *)
+              route.dist <- candidate;
+              changed := true
+            end
+        end)
+      adv.entries;
+    !changed
+
+let distances t ~node_count =
+  Array.init node_count (fun dst ->
+      match Hashtbl.find_opt t.routes dst with
+      | Some { dist; _ } when dist < infinity -> dist
+      | _ -> infinity)
+
+let table t ~node_count =
+  Array.init node_count (fun dst ->
+      if dst = t.id then t.id
+      else
+        match Hashtbl.find_opt t.routes dst with
+        | Some { dist; via } when dist < infinity -> via
+        | _ -> -1)

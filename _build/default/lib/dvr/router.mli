@@ -1,0 +1,41 @@
+(** A distance-vector router (EIGRP-flavoured, simplified).
+
+    The paper's networks "forward packets based on classical routing
+    protocols such as OSPF and EIGRP"; this is the EIGRP-side
+    substrate: each router keeps, per destination, the best known
+    distance and the neighbour it goes through, and advertises its
+    vector to neighbours with split horizon and poisoned reverse.
+    Without link failures (our simulations are static once converged)
+    the protocol converges to exact shortest-path distances, and
+    because every next hop strictly decreases the distance to the
+    destination, the resulting hop-by-hop forwarding is loop-free. *)
+
+type t
+
+type advertisement = {
+  from : int;
+  entries : (int * float) list;
+      (** (destination, distance); [infinity] = poisoned *)
+}
+
+val create : id:int -> neighbors:(int * float) list -> t
+
+val id : t -> int
+
+val initial_advertisements : t -> (int * advertisement) list
+(** The self-route announcements to send each neighbour at start-up
+    (per-neighbour because of poisoned reverse). *)
+
+val receive : t -> advertisement -> bool
+(** Integrate a neighbour's vector; [true] when any route changed
+    (meaning new advertisements must be emitted). *)
+
+val advertisement_for : t -> neighbor:int -> advertisement
+(** The current vector as seen by one neighbour: routes through that
+    neighbour are poisoned to [infinity]. *)
+
+val distances : t -> node_count:int -> float array
+(** Current best distances ([infinity] where unknown). *)
+
+val table : t -> node_count:int -> Netgraph.Routing.table
+(** Forwarding table from the current routes. *)

@@ -1,0 +1,90 @@
+type var = int
+
+type cmp = Le | Ge | Eq
+
+type row = { terms : (float * var) list; cmp : cmp; rhs : float }
+
+type t = {
+  mutable names : string list; (* reversed *)
+  mutable n : int;
+  mutable rows : row list; (* reversed *)
+  mutable m : int;
+  mutable objective : (float * var) list;
+}
+
+type solution = { objective : float; values : float array }
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+let create () = { names = []; n = 0; rows = []; m = 0; objective = [] }
+
+let var t name =
+  let id = t.n in
+  t.n <- id + 1;
+  t.names <- name :: t.names;
+  id
+
+let var_index v = v
+
+let var_name t v =
+  if v < 0 || v >= t.n then invalid_arg "Model.var_name: bad variable";
+  List.nth t.names (t.n - 1 - v)
+
+let num_vars t = t.n
+let num_constraints t = t.m
+
+let check_terms t terms =
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= t.n then invalid_arg "Model: variable from another model")
+    terms
+
+(* Sum duplicate variables so each appears once per row. *)
+let normalise terms =
+  let tbl = Hashtbl.create (List.length terms) in
+  List.iter
+    (fun (c, v) ->
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl v) in
+      Hashtbl.replace tbl v (prev +. c))
+    terms;
+  Hashtbl.fold (fun v c acc -> if c = 0.0 then acc else (c, v) :: acc) tbl []
+
+let add_constraint t terms cmp rhs =
+  check_terms t terms;
+  t.rows <- { terms = normalise terms; cmp; rhs } :: t.rows;
+  t.m <- t.m + 1
+
+let set_objective t terms =
+  check_terms t terms;
+  t.objective <- normalise terms
+
+let value sol v = sol.values.(v)
+
+let solve t =
+  let rows = List.rev t.rows in
+  let dense_rows =
+    List.map
+      (fun { terms; cmp; rhs } ->
+        let coefs = Array.make t.n 0.0 in
+        List.iter (fun (c, v) -> coefs.(v) <- coefs.(v) +. c) terms;
+        let sense =
+          match cmp with Le -> Simplex.Le | Ge -> Simplex.Ge | Eq -> Simplex.Eq
+        in
+        (coefs, sense, rhs))
+      rows
+  in
+  let cost = Array.make t.n 0.0 in
+  List.iter (fun (c, v) -> cost.(v) <- cost.(v) +. c) t.objective;
+  match Simplex.solve ~cost ~rows:(Array.of_list dense_rows) with
+  | Simplex.Optimal values ->
+    let objective =
+      Array.fold_left ( +. ) 0.0 (Array.mapi (fun i v -> cost.(i) *. v) values)
+    in
+    Optimal { objective; values }
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+
+let pp_outcome ppf = function
+  | Optimal { objective; _ } -> Format.fprintf ppf "optimal(%.6g)" objective
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"

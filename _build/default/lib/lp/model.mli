@@ -1,0 +1,44 @@
+(** Linear-program builder.
+
+    Minimisation over non-negative variables with sparse rows — all
+    the generality the paper's load-balancing formulations Eq. (1) and
+    Eq. (2) require.  Build a model incrementally, then {!solve} hands
+    it to the {!Simplex} engine. *)
+
+type t
+
+type var
+(** A variable handle, valid only for the model that created it. *)
+
+type cmp = Le | Ge | Eq
+
+type solution = {
+  objective : float;
+  values : float array; (** indexed by {!var_index} *)
+}
+
+type outcome = Optimal of solution | Infeasible | Unbounded
+
+val create : unit -> t
+
+val var : t -> string -> var
+(** Fresh non-negative variable.  The name is kept for debugging and
+    duplicate detection is not performed. *)
+
+val var_index : var -> int
+val var_name : t -> var -> string
+val num_vars : t -> int
+val num_constraints : t -> int
+
+val add_constraint : t -> (float * var) list -> cmp -> float -> unit
+(** [add_constraint t terms cmp rhs] adds [Σ coef·var cmp rhs].
+    Repeated variables in [terms] are summed. *)
+
+val set_objective : t -> (float * var) list -> unit
+(** Minimised objective; variables not mentioned have cost 0. *)
+
+val value : solution -> var -> float
+
+val solve : t -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,232 @@
+type sense = Le | Ge | Eq
+
+type result = Optimal of float array | Infeasible | Unbounded
+
+let eps = 1e-9
+
+(* Tableau layout: [a] has [m] constraint rows and one objective row
+   (index m).  Columns: [0, width) are variables (structural, then
+   slack/surplus, then artificial), column [width] is the RHS.  The
+   objective row holds reduced costs, and its RHS holds the negated
+   objective value. *)
+type tableau = {
+  a : float array array;
+  m : int;
+  width : int;
+  basis : int array; (* basic variable of each row *)
+}
+
+let pivot t ~row ~col =
+  let a = t.a in
+  let piv = a.(row).(col) in
+  let arow = a.(row) in
+  let inv = 1.0 /. piv in
+  for j = 0 to t.width do
+    arow.(j) <- arow.(j) *. inv
+  done;
+  for i = 0 to t.m do
+    if i <> row then begin
+      let f = a.(i).(col) in
+      if f <> 0.0 then begin
+        let ai = a.(i) in
+        for j = 0 to t.width do
+          ai.(j) <- ai.(j) -. (f *. arow.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Entering column: Dantzig unless [bland]; [allowed col] filters out
+   artificial columns during phase 2. *)
+let entering t ~bland ~allowed =
+  let obj = t.a.(t.m) in
+  if bland then begin
+    let rec find j =
+      if j >= t.width then None
+      else if allowed j && obj.(j) < -.eps then Some j
+      else find (j + 1)
+    in
+    find 0
+  end
+  else begin
+    let best = ref (-1) and best_v = ref (-.eps) in
+    for j = 0 to t.width - 1 do
+      if allowed j && obj.(j) < !best_v then begin
+        best := j;
+        best_v := obj.(j)
+      end
+    done;
+    if !best = -1 then None else Some !best
+  end
+
+(* Leaving row: minimum ratio; ties by smallest basic variable index
+   (lexicographic enough for Bland's rule to terminate). *)
+let leaving t ~col =
+  let best = ref (-1) and best_ratio = ref infinity in
+  for i = 0 to t.m - 1 do
+    let coef = t.a.(i).(col) in
+    if coef > eps then begin
+      let ratio = t.a.(i).(t.width) /. coef in
+      if
+        ratio < !best_ratio -. eps
+        || (ratio < !best_ratio +. eps
+            && (!best = -1 || t.basis.(i) < t.basis.(!best)))
+      then begin
+        best := i;
+        best_ratio := ratio
+      end
+    end
+  done;
+  if !best = -1 then None else Some !best
+
+exception Unbounded_lp
+
+let iteration_cap = 2_000_000
+
+(* Run simplex iterations until no entering column remains. *)
+let optimise t ~allowed =
+  let degenerate_streak = ref 0 in
+  let bland = ref false in
+  let iter = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr iter;
+    if !iter > iteration_cap then failwith "Simplex: iteration cap exceeded";
+    match entering t ~bland:!bland ~allowed with
+    | None -> continue := false
+    | Some col -> (
+      match leaving t ~col with
+      | None -> raise Unbounded_lp
+      | Some row ->
+        let ratio = t.a.(row).(t.width) /. t.a.(row).(col) in
+        if ratio < eps then begin
+          incr degenerate_streak;
+          if !degenerate_streak > 1000 then bland := true
+        end
+        else degenerate_streak := 0;
+        pivot t ~row ~col)
+  done
+
+let solve ~cost ~rows =
+  let n = Array.length cost in
+  let m = Array.length rows in
+  Array.iter
+    (fun (coefs, _, _) ->
+      if Array.length coefs <> n then invalid_arg "Simplex.solve: ragged rows")
+    rows;
+  (* Count auxiliary columns: one slack/surplus per inequality, one
+     artificial per Ge/Eq row (and per Le row with negative RHS once
+     normalised). *)
+  let norm =
+    Array.map
+      (fun (coefs, sense, rhs) ->
+        if rhs < 0.0 then
+          ( Array.map (fun c -> -.c) coefs,
+            (match sense with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.rhs )
+        else (coefs, sense, rhs))
+      rows
+  in
+  let slacks = ref 0 and artificials = ref 0 in
+  Array.iter
+    (fun (_, sense, _) ->
+      match sense with
+      | Le ->
+        incr slacks
+      | Ge ->
+        incr slacks;
+        incr artificials
+      | Eq -> incr artificials)
+    norm;
+  let width = n + !slacks + !artificials in
+  let a = Array.make_matrix (m + 1) (width + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let slack_col = ref n and art_col = ref (n + !slacks) in
+  let art_first = n + !slacks in
+  Array.iteri
+    (fun i (coefs, sense, rhs) ->
+      Array.blit coefs 0 a.(i) 0 n;
+      a.(i).(width) <- rhs;
+      (match sense with
+      | Le ->
+        a.(i).(!slack_col) <- 1.0;
+        basis.(i) <- !slack_col;
+        incr slack_col
+      | Ge ->
+        a.(i).(!slack_col) <- -1.0;
+        incr slack_col;
+        a.(i).(!art_col) <- 1.0;
+        basis.(i) <- !art_col;
+        incr art_col
+      | Eq ->
+        a.(i).(!art_col) <- 1.0;
+        basis.(i) <- !art_col;
+        incr art_col))
+    norm;
+  let t = { a; m; width; basis } in
+  let is_artificial j = j >= art_first in
+  (* ---- Phase 1: minimise the artificial sum. ---- *)
+  if !artificials > 0 then begin
+    (* Objective row = -(sum of artificial rows) expressed on non-basic
+       columns: start from cost 1 on artificials, then eliminate the
+       basic artificials row by row. *)
+    for j = art_first to width - 1 do
+      a.(m).(j) <- 1.0
+    done;
+    for i = 0 to m - 1 do
+      if is_artificial basis.(i) then
+        for j = 0 to width do
+          a.(m).(j) <- a.(m).(j) -. a.(i).(j)
+        done
+    done;
+    (try optimise t ~allowed:(fun _ -> true)
+     with Unbounded_lp -> failwith "Simplex: phase 1 cannot be unbounded");
+    let phase1 = -.a.(m).(width) in
+    if phase1 > 1e-6 then raise Exit
+  end;
+  (* Drive any zero-valued basic artificials out of the basis. *)
+  for i = 0 to m - 1 do
+    if is_artificial t.basis.(i) then begin
+      let col = ref (-1) in
+      for j = 0 to art_first - 1 do
+        if !col = -1 && abs_float a.(i).(j) > eps then col := j
+      done;
+      if !col >= 0 then pivot t ~row:i ~col:!col
+      (* Otherwise the row is redundant (all-zero over real columns);
+         the artificial stays basic at value ~0 and, because phase 2
+         never lets artificial columns enter, its value can only change
+         through pivots in this row, which the ratio test performs only
+         at ratio 0 here. *)
+    end
+  done;
+  (* ---- Phase 2: real objective. ---- *)
+  for j = 0 to width do
+    a.(m).(j) <- 0.0
+  done;
+  for j = 0 to n - 1 do
+    a.(m).(j) <- cost.(j)
+  done;
+  for i = 0 to m - 1 do
+    let b = t.basis.(i) in
+    if b < n && cost.(b) <> 0.0 then begin
+      let f = cost.(b) in
+      for j = 0 to width do
+        a.(m).(j) <- a.(m).(j) -. (f *. a.(i).(j))
+      done
+    end
+  done;
+  match optimise t ~allowed:(fun j -> not (is_artificial j)) with
+  | () ->
+    let values = Array.make n 0.0 in
+    for i = 0 to m - 1 do
+      if t.basis.(i) < n then values.(t.basis.(i)) <- a.(i).(width)
+    done;
+    (* Clamp the tiny negatives numerical noise can leave behind. *)
+    Array.iteri (fun j v -> if v < 0.0 && v > -1e-7 then values.(j) <- 0.0) values;
+    Optimal values
+  | exception Unbounded_lp -> Unbounded
+  | exception Exit -> Infeasible
+
+let solve ~cost ~rows =
+  try solve ~cost ~rows with Exit -> Infeasible

@@ -1,0 +1,27 @@
+(** Two-phase dense primal simplex.
+
+    Solves  min cᵀx  s.t.  Ax {≤,=,≥} b,  x ≥ 0.
+
+    Phase 1 minimises the sum of artificial variables to find a basic
+    feasible solution; phase 2 optimises the real objective.  Pricing
+    is Dantzig (most negative reduced cost) with a permanent switch to
+    Bland's rule after a long degenerate streak, which guarantees
+    termination.  Dense float arrays throughout: the paper's Eq. (2)
+    instances stay in the low thousands of variables, where a dense
+    tableau is simple and fast enough.
+
+    This module is the raw engine; prefer the {!Model} builder. *)
+
+type sense = Le | Ge | Eq
+
+type result =
+  | Optimal of float array (** optimal values of the structural variables *)
+  | Infeasible
+  | Unbounded
+
+val solve : cost:float array -> rows:(float array * sense * float) array -> result
+(** [solve ~cost ~rows]: [cost] has one entry per structural variable;
+    each row is (coefficients, sense, rhs) with coefficient arrays of
+    the same length.  Raises [Invalid_argument] on ragged input and
+    [Failure] if the iteration cap (a defensive bound far above any
+    realistic run) is hit. *)

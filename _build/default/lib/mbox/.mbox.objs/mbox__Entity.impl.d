@@ -1,0 +1,1 @@
+lib/mbox/entity.ml: Format Printf Stdlib

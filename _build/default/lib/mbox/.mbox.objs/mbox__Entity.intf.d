@@ -1,0 +1,1 @@
+lib/mbox/entity.mli: Format

@@ -1,0 +1,1 @@
+lib/mbox/label_table.ml: Hashtbl List Netpkt Policy

@@ -1,0 +1,1 @@
+lib/mbox/label_table.mli: Netpkt Policy

@@ -1,0 +1,1 @@
+lib/mbox/middlebox.ml: Format Netpkt Policy

@@ -1,0 +1,1 @@
+lib/mbox/middlebox.mli: Format Netpkt Policy

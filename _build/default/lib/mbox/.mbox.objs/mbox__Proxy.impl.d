@@ -1,0 +1,1 @@
+lib/mbox/proxy.ml: Format Netpkt

@@ -1,0 +1,1 @@
+lib/mbox/proxy.mli: Format Netpkt

@@ -1,0 +1,12 @@
+type t = Proxy of int | Middlebox of int
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Proxy i -> Printf.sprintf "proxy%d" i
+  | Middlebox i -> Printf.sprintf "mbox%d" i
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let hash_key = function Proxy i -> 2 * i | Middlebox i -> (2 * i) + 1

@@ -1,0 +1,18 @@
+(** Enforcement entities: the things the controller configures.
+
+    A policy proxy (one per stub network) or a middlebox.  Both kinds
+    hold policy tables, flow caches and next-hop candidate sets; the
+    controller addresses its configuration to entities, and the LP
+    formulations index traffic variables by entity. *)
+
+type t = Proxy of int | Middlebox of int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val hash_key : t -> int
+(** A collision-free int key (proxies even, middleboxes odd) for use
+    in hashtables. *)

@@ -1,0 +1,48 @@
+type key = { src : Netpkt.Addr.t; label : int }
+
+type entry = {
+  actions : Policy.Action.t;
+  next : Netpkt.Addr.t option;
+  final_dst : Netpkt.Addr.t option;
+  mutable last_used : float;
+}
+
+type t = { table : (key, entry) Hashtbl.t; timeout : float }
+
+let create ?(timeout = infinity) () =
+  if timeout <= 0.0 then invalid_arg "Label_table.create: timeout must be positive";
+  { table = Hashtbl.create 256; timeout }
+
+let insert t ~now key ~actions ~next ~final_dst =
+  (match (next, final_dst) with
+  | Some _, Some _ -> invalid_arg "Label_table.insert: both next and final_dst"
+  | None, None -> invalid_arg "Label_table.insert: neither next nor final_dst"
+  | Some _, None | None, Some _ -> ());
+  Hashtbl.replace t.table key { actions; next; final_dst; last_used = now }
+
+let lookup t ~now key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some entry ->
+    if now -. entry.last_used > t.timeout then begin
+      Hashtbl.remove t.table key;
+      None
+    end
+    else begin
+      entry.last_used <- now;
+      Some entry
+    end
+
+let size t = Hashtbl.length t.table
+
+let remove t key = Hashtbl.remove t.table key
+
+let purge t ~now =
+  let expired =
+    Hashtbl.fold
+      (fun key entry acc ->
+        if now -. entry.last_used > t.timeout then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) expired;
+  List.length expired

@@ -1,0 +1,51 @@
+(** Per-middlebox label tables (Sec. III.E).
+
+    Keyed by ⟨source address | label⟩ — the concatenation the paper
+    uses, which is unique because each proxy assigns labels that are
+    locally unique and the source address survives along the chain.
+    An entry records the flow's action list, the next-hop middlebox
+    chosen when the first (tunnelled) packet passed by — label-switched
+    packets must retrace the same middleboxes, since only those hold
+    the entry — and, at the last middlebox of the chain, the original
+    destination address to restore.
+
+    Entries are soft state like the flow cache's: a table created with
+    a [timeout] treats entries idle for longer than that as absent.
+    The packet simulator recovers from an expired entry by tearing the
+    label-switched path down to the proxy, which falls back to
+    IP-over-IP and re-establishes it. *)
+
+type key = { src : Netpkt.Addr.t; label : int }
+
+type entry = {
+  actions : Policy.Action.t;
+  next : Netpkt.Addr.t option;  (** next middlebox; [None] = this is the last *)
+  final_dst : Netpkt.Addr.t option;
+      (** original destination, present iff [next = None] *)
+  mutable last_used : float;
+}
+
+type t
+
+val create : ?timeout:float -> unit -> t
+(** [timeout] defaults to infinity (no expiry). *)
+
+val insert :
+  t -> now:float -> key ->
+  actions:Policy.Action.t ->
+  next:Netpkt.Addr.t option ->
+  final_dst:Netpkt.Addr.t option ->
+  unit
+(** Raises [Invalid_argument] if [next]/[final_dst] are both set or
+    both absent. *)
+
+val lookup : t -> now:float -> key -> entry option
+(** Refreshes [last_used] on hit; an entry idle past the timeout is
+    dropped and reported absent. *)
+
+val size : t -> int
+
+val remove : t -> key -> unit
+
+val purge : t -> now:float -> int
+(** Evict every expired entry; returns how many were dropped. *)

@@ -1,0 +1,21 @@
+type attachment = In_path | Off_path
+
+type t = {
+  id : int;
+  nf : Policy.Action.nf;
+  capacity : float;
+  router : int;
+  attachment : attachment;
+  addr : Netpkt.Addr.t;
+}
+
+let make ~id ~nf ?(capacity = 1.0) ~router ?(attachment = Off_path) ~addr () =
+  if capacity <= 0.0 then invalid_arg "Middlebox.make: capacity must be positive";
+  if id < 0 then invalid_arg "Middlebox.make: negative id";
+  { id; nf; capacity; router; attachment; addr }
+
+let pp ppf t =
+  Format.fprintf ppf "mbox%d(%s@r%d %s)" t.id
+    (Policy.Action.nf_to_string t.nf)
+    t.router
+    (match t.attachment with In_path -> "in-path" | Off_path -> "off-path")

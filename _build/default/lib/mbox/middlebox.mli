@@ -1,0 +1,33 @@
+(** Middlebox descriptors.
+
+    A software-defined middlebox implements one network function, has
+    a processing capacity (the LP's C(x)) and is attached to a router
+    either in-path or off-path — both attachments are transparent to
+    the routers (Sec. III.A), so for routing purposes only the
+    attachment router matters. *)
+
+type attachment = In_path | Off_path
+
+type t = {
+  id : int;
+  nf : Policy.Action.nf;
+  capacity : float;
+  router : int;          (** attachment router (graph node id) *)
+  attachment : attachment;
+  addr : Netpkt.Addr.t;  (** the middlebox's own IP, tunnel endpoint *)
+}
+
+val make :
+  id:int ->
+  nf:Policy.Action.nf ->
+  ?capacity:float ->
+  router:int ->
+  ?attachment:attachment ->
+  addr:Netpkt.Addr.t ->
+  unit ->
+  t
+(** [capacity] defaults to 1.0 (uniform capacities, the evaluation's
+    setting, under which the LP's lambda*C(x) bound makes lambda the
+    maximum per-middlebox load). *)
+
+val pp : Format.formatter -> t -> unit

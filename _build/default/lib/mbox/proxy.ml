@@ -1,0 +1,18 @@
+type attachment = In_path | Off_path
+
+type t = {
+  id : int;
+  subnet : Netpkt.Addr.Prefix.t;
+  router : int;
+  attachment : attachment;
+  addr : Netpkt.Addr.t;
+}
+
+let make ~id ~subnet ~router ?(attachment = In_path) ~addr () =
+  if id < 0 then invalid_arg "Proxy.make: negative id";
+  { id; subnet; router; attachment; addr }
+
+let pp ppf t =
+  Format.fprintf ppf "proxy%d(%s@r%d)" t.id
+    (Netpkt.Addr.Prefix.to_string t.subnet)
+    t.router

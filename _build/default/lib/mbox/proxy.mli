@@ -1,0 +1,27 @@
+(** Policy-proxy descriptors.
+
+    One proxy fronts each stub network, attached to the stub's edge
+    router in-path or off-path (off-path uses the router's loopback
+    trick of Sec. III.A; for routing both reduce to "traffic of this
+    subnet passes the proxy"). *)
+
+type attachment = In_path | Off_path
+
+type t = {
+  id : int;
+  subnet : Netpkt.Addr.Prefix.t;
+  router : int;          (** the stub's edge router *)
+  attachment : attachment;
+  addr : Netpkt.Addr.t;  (** the proxy's own IP (tunnel source) *)
+}
+
+val make :
+  id:int ->
+  subnet:Netpkt.Addr.Prefix.t ->
+  router:int ->
+  ?attachment:attachment ->
+  addr:Netpkt.Addr.t ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit

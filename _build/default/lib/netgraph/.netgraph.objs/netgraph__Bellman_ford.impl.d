@@ -1,0 +1,1 @@
+lib/netgraph/bellman_ford.ml: Array Graph List

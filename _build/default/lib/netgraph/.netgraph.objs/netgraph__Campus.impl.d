@@ -1,0 +1,1 @@
+lib/netgraph/campus.ml: Array Graph Stdx Topology

@@ -1,0 +1,1 @@
+lib/netgraph/dot.ml: Format Graph List Printf Topology

@@ -1,0 +1,1 @@
+lib/netgraph/dot.mli: Format Topology

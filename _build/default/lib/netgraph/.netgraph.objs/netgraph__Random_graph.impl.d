@@ -1,0 +1,1 @@
+lib/netgraph/random_graph.ml: Array Graph Option Stdx Topology

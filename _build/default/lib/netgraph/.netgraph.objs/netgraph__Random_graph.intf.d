@@ -1,0 +1,1 @@
+lib/netgraph/random_graph.mli: Graph Stdx Topology

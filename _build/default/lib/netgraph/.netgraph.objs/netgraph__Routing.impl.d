@@ -1,0 +1,1 @@
+lib/netgraph/routing.ml: Array Dijkstra Graph List

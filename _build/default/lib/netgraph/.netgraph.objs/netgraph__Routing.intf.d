@@ -1,0 +1,1 @@
+lib/netgraph/routing.mli: Graph

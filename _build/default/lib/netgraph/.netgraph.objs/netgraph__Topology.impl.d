@@ -1,0 +1,1 @@
+lib/netgraph/topology.ml: Array Format Graph List

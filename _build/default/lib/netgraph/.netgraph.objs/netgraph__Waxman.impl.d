@@ -1,0 +1,1 @@
+lib/netgraph/waxman.ml: Array Fun Graph List Stdx Topology

@@ -1,0 +1,24 @@
+let distances g src =
+  let n = Graph.node_count g in
+  if src < 0 || src >= n then invalid_arg "Bellman_ford.distances: bad source";
+  let dist = Array.make n infinity in
+  dist.(src) <- 0.0;
+  let edges = Graph.edges g in
+  let relax () =
+    let changed = ref false in
+    List.iter
+      (fun (u, v, c) ->
+        if dist.(u) +. c < dist.(v) then begin
+          dist.(v) <- dist.(u) +. c;
+          changed := true
+        end;
+        if dist.(v) +. c < dist.(u) then begin
+          dist.(u) <- dist.(v) +. c;
+          changed := true
+        end)
+      edges;
+    !changed
+  in
+  let rec iterate k = if k > 0 && relax () then iterate (k - 1) in
+  iterate n;
+  dist

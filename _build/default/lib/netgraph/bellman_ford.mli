@@ -1,0 +1,8 @@
+(** Bellman-Ford single-source shortest paths.
+
+    Kept as an independent oracle: property tests cross-check Dijkstra
+    distances against this implementation on random graphs. *)
+
+val distances : Graph.t -> int -> float array
+(** [distances g src] returns per-node shortest-path cost, [infinity]
+    for unreachable nodes. *)

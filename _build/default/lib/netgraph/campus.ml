@@ -1,0 +1,53 @@
+type params = {
+  gateways : int;
+  cores : int;
+  edges : int;
+  edge_homing : int;
+  core_peers : int;
+}
+
+let default_params =
+  { gateways = 2; cores = 16; edges = 10; edge_homing = 2; core_peers = 2 }
+
+let generate ?(params = default_params) ~seed () =
+  let { gateways; cores; edges; edge_homing; core_peers } = params in
+  if gateways < 1 || cores < 2 || edges < 1 then
+    invalid_arg "Campus.generate: degenerate parameters";
+  if edge_homing < 1 || edge_homing > cores then
+    invalid_arg "Campus.generate: edge_homing out of range";
+  let rng = Stdx.Rng.create seed in
+  let n = gateways + cores + edges in
+  let g = Graph.create n in
+  let core_id i = gateways + i in
+  let edge_id i = gateways + cores + i in
+  (* Every core dual-homes to every gateway (the published structure). *)
+  for c = 0 to cores - 1 do
+    for gw = 0 to gateways - 1 do
+      Graph.add_edge g gw (core_id c) 1.0
+    done
+  done;
+  (* Random core-core peering for transit diversity. *)
+  let core_ids = Array.init cores core_id in
+  for c = 0 to cores - 1 do
+    let placed = ref 0 and attempts = ref 0 in
+    while !placed < core_peers && !attempts < 50 * cores do
+      incr attempts;
+      let peer = Stdx.Rng.choose rng core_ids in
+      if peer <> core_id c && not (Graph.has_edge g (core_id c) peer) then begin
+        Graph.add_edge g (core_id c) peer 1.0;
+        incr placed
+      end
+    done
+  done;
+  (* Edge routers home to [edge_homing] distinct cores. *)
+  for e = 0 to edges - 1 do
+    let homes = Stdx.Rng.sample_without_replacement rng edge_homing core_ids in
+    Array.iter (fun c -> Graph.add_edge g (edge_id e) c 1.0) homes
+  done;
+  let roles =
+    Array.init n (fun i ->
+        if i < gateways then Topology.Gateway
+        else if i < gateways + cores then Topology.Core
+        else Topology.Edge)
+  in
+  Topology.make ~name:"campus" ~graph:g ~roles

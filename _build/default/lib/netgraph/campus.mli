@@ -1,0 +1,24 @@
+(** The paper's campus topology (Sec. IV.A).
+
+    "A real-world campus network topology, with two main gateways to
+    the Internet, 16 core routers each connecting to both gateways and
+    10 edge routers."  The published description fixes the node counts
+    and the core-gateway dual-homing; the remaining wiring (which cores
+    an edge router homes to, and the core-core mesh that interconnects
+    the edges) is not published, so we generate it deterministically
+    from a seed: each edge router dual-homes to two distinct random
+    cores and each core keeps two extra random core peers for path
+    diversity.  All link costs are 1 (hop-count metric). *)
+
+type params = {
+  gateways : int;       (** default 2 *)
+  cores : int;          (** default 16 *)
+  edges : int;          (** default 10 *)
+  edge_homing : int;    (** cores each edge router connects to; default 2 *)
+  core_peers : int;     (** extra random core-core links per core; default 2 *)
+}
+
+val default_params : params
+
+val generate : ?params:params -> seed:int -> unit -> Topology.t
+(** Node numbering: gateways first, then cores, then edge routers. *)

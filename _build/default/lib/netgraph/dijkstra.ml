@@ -1,0 +1,62 @@
+type tree = { source : int; dist : float array; prev : int array }
+
+(* Heap entries are (distance, predecessor, node): comparing the full
+   triple realises the lowest-predecessor-id tie-break. *)
+let cmp (d1, p1, n1) (d2, p2, n2) =
+  match compare d1 d2 with
+  | 0 -> ( match compare p1 p2 with 0 -> compare n1 n2 | c -> c)
+  | c -> c
+
+let run g source =
+  let n = Graph.node_count g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra.run: bad source";
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let final = Array.make n false in
+  let heap = Stdx.Heap.create ~cmp in
+  dist.(source) <- 0.0;
+  Stdx.Heap.push heap (0.0, -1, source);
+  let rec loop () =
+    match Stdx.Heap.pop heap with
+    | None -> ()
+    | Some (d, p, u) ->
+      if not final.(u) then begin
+        final.(u) <- true;
+        dist.(u) <- d;
+        prev.(u) <- p;
+        List.iter
+          (fun { Graph.dst; cost } ->
+            if not final.(dst) then begin
+              let nd = d +. cost in
+              (* Push relaxations even on ties: the heap order picks the
+                 lowest-predecessor candidate among equal distances. *)
+              if nd <= dist.(dst) then begin
+                dist.(dst) <- nd;
+                Stdx.Heap.push heap (nd, u, dst)
+              end
+            end)
+          (Graph.neighbors g u)
+      end;
+      loop ()
+  in
+  loop ();
+  { source; dist; prev }
+
+let distance t v = if t.dist.(v) = infinity then None else Some t.dist.(v)
+
+let path t v =
+  if t.dist.(v) = infinity then None
+  else begin
+    let rec build acc u = if u = t.source then u :: acc else build (u :: acc) t.prev.(u) in
+    Some (build [] v)
+  end
+
+let first_hop t v =
+  match path t v with
+  | None | Some [ _ ] -> None
+  | Some (_ :: hop :: _) -> Some hop
+  | Some [] -> None
+
+let all_pairs g =
+  let n = Graph.node_count g in
+  Array.init n (fun u -> (run g u).dist)

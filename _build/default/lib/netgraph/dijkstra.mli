@@ -1,0 +1,29 @@
+(** Single-source shortest paths (Dijkstra).
+
+    Deterministic tie-breaking: among equal-cost paths the one whose
+    predecessor has the smaller node id wins, mirroring the
+    lowest-router-id convention that makes an OSPF network's ECMP
+    choice reproducible.  This guarantees that the distributed OSPF
+    implementation and this global oracle compute identical routing
+    tables (an integration test relies on it). *)
+
+type tree = {
+  source : int;
+  dist : float array;   (** [infinity] if unreachable *)
+  prev : int array;     (** predecessor on the chosen path, [-1] at source / unreachable *)
+}
+
+val run : Graph.t -> int -> tree
+
+val path : tree -> int -> int list option
+(** Node sequence from the source to the given destination, inclusive;
+    [None] if unreachable. *)
+
+val distance : tree -> int -> float option
+
+val all_pairs : Graph.t -> float array array
+(** [all_pairs g] runs Dijkstra from every node; [result.(u).(v)] is the
+    shortest-path cost ([infinity] if disconnected). *)
+
+val first_hop : tree -> int -> int option
+(** First node after the source on the path to the destination. *)

@@ -1,0 +1,26 @@
+let shape_of = function
+  | Topology.Gateway -> "diamond"
+  | Topology.Core -> "circle"
+  | Topology.Edge -> "box"
+
+let topology ?(extra_labels = []) ppf (t : Topology.t) =
+  Format.fprintf ppf "graph %s {@." t.name;
+  Format.fprintf ppf "  layout=neato;@.  overlap=false;@.";
+  let n = Graph.node_count t.graph in
+  for i = 0 to n - 1 do
+    let role = Topology.role t i in
+    let extra =
+      match List.assoc_opt i extra_labels with
+      | Some s -> Printf.sprintf "\\n%s" s
+      | None -> ""
+    in
+    Format.fprintf ppf "  n%d [shape=%s, label=\"%s%d%s\"];@." i (shape_of role)
+      (Topology.role_to_string role)
+      i extra
+  done;
+  List.iter
+    (fun (u, v, cost) ->
+      if cost = 1.0 then Format.fprintf ppf "  n%d -- n%d;@." u v
+      else Format.fprintf ppf "  n%d -- n%d [label=\"%.0f\"];@." u v cost)
+    (Graph.edges t.graph);
+  Format.fprintf ppf "}@."

@@ -1,0 +1,14 @@
+(** Graphviz export of topologies.
+
+    [sdmctl topo --dot] renders the campus or Waxman network (and a
+    deployment's middlebox/proxy attachments, supplied as extra
+    labels) for inspection with [dot -Tsvg]. *)
+
+val topology :
+  ?extra_labels:(int * string) list ->
+  Format.formatter ->
+  Topology.t ->
+  unit
+(** Emit an undirected [graph { ... }].  Gateways render as diamonds,
+    cores as circles, edge routers as boxes; [extra_labels] appends
+    text to a router's label (e.g. ["FW0, IDS3"] for attachments). *)

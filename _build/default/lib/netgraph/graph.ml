@@ -1,0 +1,79 @@
+type edge = { dst : int; cost : float }
+
+type t = {
+  n : int;
+  adj : edge list array; (* reversed insertion order; normalised in [neighbors] *)
+  mutable m : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  { n; adj = Array.make n []; m = 0 }
+
+let node_count t = t.n
+let edge_count t = t.m
+
+let check_node t u =
+  if u < 0 || u >= t.n then invalid_arg "Graph: node id out of range"
+
+let has_edge t u v =
+  check_node t u;
+  check_node t v;
+  List.exists (fun e -> e.dst = v) t.adj.(u)
+
+let add_edge t u v cost =
+  check_node t u;
+  check_node t v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if cost <= 0.0 then invalid_arg "Graph.add_edge: non-positive cost";
+  if has_edge t u v then invalid_arg "Graph.add_edge: duplicate edge";
+  t.adj.(u) <- { dst = v; cost } :: t.adj.(u);
+  t.adj.(v) <- { dst = u; cost } :: t.adj.(v);
+  t.m <- t.m + 1
+
+let cost t u v =
+  check_node t u;
+  check_node t v;
+  List.find_map (fun e -> if e.dst = v then Some e.cost else None) t.adj.(u)
+
+let neighbors t u =
+  check_node t u;
+  List.rev t.adj.(u)
+
+let degree t u =
+  check_node t u;
+  List.length t.adj.(u)
+
+let edges t =
+  let acc = ref [] in
+  for u = t.n - 1 downto 0 do
+    List.iter (fun e -> if u < e.dst then acc := (u, e.dst, e.cost) :: !acc) t.adj.(u)
+  done;
+  !acc
+
+let is_connected t =
+  if t.n = 0 then true
+  else begin
+    let seen = Array.make t.n false in
+    let stack = ref [ 0 ] in
+    seen.(0) <- true;
+    let count = ref 1 in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+        stack := rest;
+        List.iter
+          (fun e ->
+            if not seen.(e.dst) then begin
+              seen.(e.dst) <- true;
+              incr count;
+              stack := e.dst :: !stack
+            end)
+          t.adj.(u)
+    done;
+    !count = t.n
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "graph(%d nodes, %d edges)" t.n t.m

@@ -1,0 +1,37 @@
+(** Undirected weighted graphs with dense integer node ids.
+
+    Routers are nodes [0 .. n-1]; links carry a positive OSPF-style
+    cost.  The structure is append-only: experiments build a topology
+    once and never mutate it afterwards, so adjacency is stored as
+    plain lists frozen into arrays on demand. *)
+
+type edge = { dst : int; cost : float }
+
+type t
+
+val create : int -> t
+(** [create n] makes a graph with [n] nodes and no edges. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+(** Number of undirected edges. *)
+
+val add_edge : t -> int -> int -> float -> unit
+(** [add_edge g u v cost] inserts the undirected link [u -- v].
+    Raises [Invalid_argument] on self-loops, out-of-range nodes,
+    non-positive costs, or duplicate links. *)
+
+val has_edge : t -> int -> int -> bool
+val cost : t -> int -> int -> float option
+
+val neighbors : t -> int -> edge list
+(** Adjacency of a node, in insertion order. *)
+
+val degree : t -> int -> int
+
+val edges : t -> (int * int * float) list
+(** Every undirected edge once, as [(u, v, cost)] with [u < v]. *)
+
+val is_connected : t -> bool
+
+val pp : Format.formatter -> t -> unit

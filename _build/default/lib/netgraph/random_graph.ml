@@ -1,0 +1,24 @@
+let connected ~rng ~nodes ?extra_edges ?(max_cost = 5) () =
+  if nodes < 1 then invalid_arg "Random_graph.connected: need at least one node";
+  if max_cost < 1 then invalid_arg "Random_graph.connected: max_cost must be >= 1";
+  let extra = Option.value ~default:(nodes / 2) extra_edges in
+  let g = Graph.create nodes in
+  let cost () = float_of_int (1 + Stdx.Rng.int rng max_cost) in
+  (* Random spanning tree: attach each node to an earlier one. *)
+  for v = 1 to nodes - 1 do
+    Graph.add_edge g (Stdx.Rng.int rng v) v (cost ())
+  done;
+  let attempts = ref 0 and added = ref 0 in
+  while !added < extra && !attempts < 20 * (extra + 1) do
+    incr attempts;
+    let u = Stdx.Rng.int rng nodes and v = Stdx.Rng.int rng nodes in
+    if u <> v && not (Graph.has_edge g u v) then begin
+      Graph.add_edge g u v (cost ());
+      incr added
+    end
+  done;
+  g
+
+let topology ~rng ~nodes ?extra_edges ?max_cost ?(name = "random") () =
+  let graph = connected ~rng ~nodes ?extra_edges ?max_cost () in
+  Topology.make ~name ~graph ~roles:(Array.make nodes Topology.Core)

@@ -1,0 +1,20 @@
+(** Seeded random connected graphs.
+
+    Used by property tests (Dijkstra vs Bellman-Ford, OSPF/DV
+    convergence) and available to users who want topologies beyond the
+    paper's two: a uniform random spanning tree guarantees
+    connectivity, then extra edges add path diversity. *)
+
+val connected :
+  rng:Stdx.Rng.t -> nodes:int -> ?extra_edges:int -> ?max_cost:int -> unit ->
+  Graph.t
+(** [connected ~rng ~nodes ()] — [extra_edges] (default [nodes/2])
+    additional random links beyond the spanning tree (silently fewer
+    if the graph saturates); integer link costs drawn uniformly from
+    [\[1, max_cost\]] (default 5).  Raises [Invalid_argument] when
+    [nodes < 1]. *)
+
+val topology :
+  rng:Stdx.Rng.t -> nodes:int -> ?extra_edges:int -> ?max_cost:int ->
+  ?name:string -> unit -> Topology.t
+(** Same graph wrapped as an all-core topology. *)

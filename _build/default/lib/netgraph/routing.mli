@@ -1,0 +1,36 @@
+(** Per-router forwarding tables.
+
+    A table maps every destination node to the next hop on the
+    (deterministically tie-broken) shortest path, which is exactly the
+    state OSPF installs in each router.  This module computes the
+    tables from a global view; the [ospf] library computes the same
+    tables by distributed LSA flooding, and an integration test checks
+    the two agree. *)
+
+type table = int array
+(** [table.(dst)] is the next-hop node id, [dst] itself when the router
+    is the destination, or [-1] when unreachable. *)
+
+val table_for : Graph.t -> int -> table
+
+val build_all : Graph.t -> table array
+(** One table per node. *)
+
+val next_hop : table -> int -> int option
+
+val walk : table array -> src:int -> dst:int -> int list
+(** Follow next hops from [src] to [dst]; returns the node sequence
+    including both endpoints.  Raises [Failure] if a loop or a dead end
+    is encountered (cannot happen on tables produced by
+    {!build_all}). *)
+
+type ecmp_table = int list array
+(** [ecmp.(dst)] is every next hop lying on some shortest path
+    (ascending node id); [[dst]] at the destination itself; [[]] when
+    unreachable. *)
+
+val build_all_ecmp : Graph.t -> ecmp_table array
+(** Equal-cost multipath: the full next-hop sets real OSPF/EIGRP
+    routers install.  Any per-packet or per-flow choice from these sets
+    realises a shortest path (every hop strictly decreases the
+    remaining distance), so hash-based ECMP spreading cannot loop. *)

@@ -1,0 +1,34 @@
+type role = Gateway | Core | Edge
+
+type t = { name : string; graph : Graph.t; roles : role array }
+
+let make ~name ~graph ~roles =
+  if Array.length roles <> Graph.node_count graph then
+    invalid_arg "Topology.make: roles length mismatch";
+  if not (Graph.is_connected graph) then
+    invalid_arg "Topology.make: graph must be connected";
+  { name; graph; roles }
+
+let ids_with t r =
+  let acc = ref [] in
+  for i = Array.length t.roles - 1 downto 0 do
+    if t.roles.(i) = r then acc := i :: !acc
+  done;
+  !acc
+
+let gateways t = ids_with t Gateway
+let cores t = ids_with t Core
+let edges t = ids_with t Edge
+
+let role t i = t.roles.(i)
+
+let role_to_string = function
+  | Gateway -> "gateway"
+  | Core -> "core"
+  | Edge -> "edge"
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %a (%d gw, %d core, %d edge)" t.name Graph.pp t.graph
+    (List.length (gateways t))
+    (List.length (cores t))
+    (List.length (edges t))

@@ -1,0 +1,29 @@
+(** Router-level topologies with role annotations.
+
+    The enforcement system distinguishes three router roles:
+    gateways (border to the Internet), core routers (transit only) and
+    edge routers (each fronting one stub network / policy proxy).
+    Middleboxes and proxies are *not* nodes here; the [core] library's
+    deployment layer attaches them to routers. *)
+
+type role = Gateway | Core | Edge
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  roles : role array;
+}
+
+val make : name:string -> graph:Graph.t -> roles:role array -> t
+(** Raises [Invalid_argument] if lengths disagree or the graph is
+    disconnected (policy enforcement assumes full reachability). *)
+
+val gateways : t -> int list
+val cores : t -> int list
+val edges : t -> int list
+(** Node ids carrying each role, ascending. *)
+
+val role : t -> int -> role
+val role_to_string : role -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+type params = {
+  cores : int;
+  edges : int;
+  core_degree : int;
+  region : float;
+  beta : float;
+}
+
+let default_params =
+  { cores = 25; edges = 400; core_degree = 4; region = 100.0; beta = 0.4 }
+
+let generate ?(params = default_params) ~seed () =
+  let { cores; edges; core_degree; region; beta } = params in
+  if cores < 2 then invalid_arg "Waxman.generate: need at least 2 cores";
+  if edges mod cores <> 0 then
+    invalid_arg "Waxman.generate: edges must divide evenly across cores";
+  if core_degree < 1 || core_degree >= cores then
+    invalid_arg "Waxman.generate: core_degree out of range";
+  let rng = Stdx.Rng.create seed in
+  let n = cores + edges in
+  let g = Graph.create n in
+  let coords =
+    Array.init cores (fun _ ->
+        (Stdx.Rng.float rng region, Stdx.Rng.float rng region))
+  in
+  let dist i j =
+    let xi, yi = coords.(i) and xj, yj = coords.(j) in
+    sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0))
+  in
+  let l_max = region *. sqrt 2.0 in
+  (* Each core draws [core_degree] distinct peers, weighting closer
+     cores exponentially higher (the Waxman kernel). *)
+  let weight i j = exp (-.dist i j /. (beta *. l_max)) in
+  for u = 0 to cores - 1 do
+    let missing () = core_degree - Graph.degree g u in
+    let attempts = ref 0 in
+    while missing () > 0 && !attempts < 200 * cores do
+      incr attempts;
+      let candidates =
+        List.filter (fun v -> v <> u && not (Graph.has_edge g u v)) (List.init cores Fun.id)
+      in
+      match candidates with
+      | [] -> attempts := max_int
+      | _ ->
+        let total = List.fold_left (fun acc v -> acc +. weight u v) 0.0 candidates in
+        let pick = Stdx.Rng.float rng total in
+        let rec select acc = function
+          | [ v ] -> v
+          | v :: rest ->
+            let acc = acc +. weight u v in
+            if pick < acc then v else select acc rest
+          | [] -> assert false
+        in
+        let v = select 0.0 candidates in
+        (* Do not let the peer's degree explode; accept only if it still
+           has head-room, unless we are running out of attempts. *)
+        if Graph.degree g v < core_degree + 2 || !attempts > 100 * cores then
+          Graph.add_edge g u v 1.0
+    done
+  done;
+  (* Guarantee connectivity of the core mesh: link each unreached
+     component to its nearest reached core. *)
+  let reached = Array.make cores false in
+  let rec bfs u =
+    reached.(u) <- true;
+    List.iter
+      (fun { Graph.dst; _ } -> if dst < cores && not reached.(dst) then bfs dst)
+      (Graph.neighbors g u)
+  in
+  bfs 0;
+  for u = 1 to cores - 1 do
+    if not reached.(u) then begin
+      let best = ref (-1) and best_d = ref infinity in
+      for v = 0 to cores - 1 do
+        if reached.(v) && dist u v < !best_d then begin
+          best := v;
+          best_d := dist u v
+        end
+      done;
+      Graph.add_edge g u !best 1.0;
+      bfs u
+    end
+  done;
+  (* Edge routers split evenly, single-homed to their core. *)
+  let per_core = edges / cores in
+  for e = 0 to edges - 1 do
+    let core = e / per_core in
+    Graph.add_edge g (cores + e) core 1.0
+  done;
+  let roles =
+    Array.init n (fun i -> if i < cores then Topology.Core else Topology.Edge)
+  in
+  Topology.make ~name:"waxman" ~graph:g ~roles

@@ -1,0 +1,32 @@
+(** Waxman random topology (Sec. IV.A).
+
+    "The number of edge routers is set to 400, and the number of core
+    routers is set to 25, each of which is connected to an equal number
+    of edge routers.  The core routers are interconnected based on the
+    Waxman model, in which each router is assigned a pair of
+    coordinates in a 100-by-100 region at random and the connection
+    between two routers is probabilistically established with a
+    distribution exponentially decreasing in their distance.  The
+    number of links from each core router to other core routers is set
+    to 4."
+
+    We realise this as: place the cores uniformly at random in the
+    region; each core draws neighbours (without replacement) with
+    probability proportional to [exp (-d / (beta * l_max))] until it
+    has [core_degree] links; a spanning pass afterwards guarantees
+    connectivity.  Edge routers are split evenly across cores,
+    single-homed.  All link costs are 1. *)
+
+type params = {
+  cores : int;          (** default 25 *)
+  edges : int;          (** default 400; must be a multiple of [cores] *)
+  core_degree : int;    (** target core-core links per core; default 4 *)
+  region : float;       (** side of the square region; default 100. *)
+  beta : float;         (** Waxman locality parameter; default 0.4 *)
+}
+
+val default_params : params
+
+val generate : ?params:params -> seed:int -> unit -> Topology.t
+(** Node numbering: cores first, then edge routers (no gateways in this
+    topology, matching the paper's description). *)

@@ -1,0 +1,1 @@
+lib/ospf/lsa.ml: Format List

@@ -1,0 +1,1 @@
+lib/ospf/lsa.mli: Format

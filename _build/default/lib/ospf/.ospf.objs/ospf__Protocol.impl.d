@@ -1,0 +1,1 @@
+lib/ospf/protocol.ml: Array Dess List Netgraph Router Stdx

@@ -1,0 +1,1 @@
+lib/ospf/protocol.mli: Netgraph

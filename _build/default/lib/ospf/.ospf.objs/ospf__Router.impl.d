@@ -1,0 +1,1 @@
+lib/ospf/router.ml: Hashtbl List Lsa Netgraph

@@ -1,0 +1,1 @@
+lib/ospf/router.mli: Lsa Netgraph

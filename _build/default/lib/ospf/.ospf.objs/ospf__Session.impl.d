@@ -1,0 +1,1 @@
+lib/ospf/session.ml: Array Dess List Netgraph Option Router Stdx

@@ -1,0 +1,1 @@
+lib/ospf/session.mli: Netgraph

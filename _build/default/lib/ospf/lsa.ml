@@ -1,0 +1,16 @@
+type t = { origin : int; seq : int; links : (int * float) list }
+
+let make ~origin ~seq ~links =
+  let links = List.sort (fun (a, _) (b, _) -> compare a b) links in
+  { origin; seq; links }
+
+let newer_than a b =
+  if a.origin <> b.origin then invalid_arg "Lsa.newer_than: different origins";
+  a.seq > b.seq
+
+let pp ppf t =
+  Format.fprintf ppf "LSA(origin=%d seq=%d links=[%a])" t.origin t.seq
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (n, c) -> Format.fprintf ppf "%d@%.0f" n c))
+    t.links

@@ -1,0 +1,19 @@
+(** Link-state advertisements.
+
+    Each router originates one LSA describing its directly attached
+    links.  A sequence number orders re-originations; receivers keep
+    only the newest LSA per origin. *)
+
+type t = {
+  origin : int;                 (** originating router id *)
+  seq : int;                    (** monotonically increasing per origin *)
+  links : (int * float) list;   (** (neighbour, cost), sorted by neighbour *)
+}
+
+val make : origin:int -> seq:int -> links:(int * float) list -> t
+
+val newer_than : t -> t -> bool
+(** [newer_than a b] — same origin required; true when [a] supersedes
+    [b]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type stats = { messages : int; convergence_time : float }
+type result = { tables : Netgraph.Routing.table array; stats : stats }
+
+let converge ?(link_delay = 1.0) ?(jitter_seed = 7) topo =
+  let g = topo.Netgraph.Topology.graph in
+  let n = Netgraph.Graph.node_count g in
+  let rng = Stdx.Rng.create jitter_seed in
+  let routers =
+    Array.init n (fun i ->
+        let neighbors =
+          List.map (fun { Netgraph.Graph.dst; cost } -> (dst, cost)) (Netgraph.Graph.neighbors g i)
+        in
+        Router.create ~id:i ~neighbors)
+  in
+  let engine = Dess.Engine.create () in
+  let messages = ref 0 in
+  (* Flood [lsa] from [node] to all neighbours except [except]. *)
+  let rec flood node ~except lsa =
+    List.iter
+      (fun { Netgraph.Graph.dst; _ } ->
+        if dst <> except then begin
+          incr messages;
+          ignore
+            (Dess.Engine.schedule engine ~delay:link_delay (fun _ ->
+                 deliver dst ~from:node lsa))
+        end)
+      (Netgraph.Graph.neighbors g node)
+  and deliver node ~from lsa =
+    if Router.install routers.(node) lsa then flood node ~except:from lsa
+  in
+  (* Jittered origination wakes routers asynchronously. *)
+  for i = 0 to n - 1 do
+    let jitter = Stdx.Rng.float rng 0.5 in
+    ignore
+      (Dess.Engine.schedule engine ~delay:jitter (fun _ ->
+           let lsa = Router.originate routers.(i) in
+           flood i ~except:i lsa))
+  done;
+  Dess.Engine.run engine;
+  let tables = Array.map (fun r -> Router.spf r ~node_count:n) routers in
+  {
+    tables;
+    stats = { messages = !messages; convergence_time = Dess.Engine.now engine };
+  }

@@ -1,0 +1,29 @@
+(** Distributed link-state routing over the event engine.
+
+    Drives a {!Router.t} per topology node: at time ~0 every router
+    originates its LSA; routers flood over links with a configurable
+    propagation delay; the run ends when the event queue drains.  The
+    result is each router's forwarding table computed from its own
+    database — the distributed counterpart of
+    [Netgraph.Routing.build_all], and an integration test asserts the
+    two are identical. *)
+
+type stats = {
+  messages : int;          (** LSA transmissions on links *)
+  convergence_time : float;(** simulated time of the last event *)
+}
+
+type result = {
+  tables : Netgraph.Routing.table array;
+  stats : stats;
+}
+
+val converge :
+  ?link_delay:float ->
+  ?jitter_seed:int ->
+  Netgraph.Topology.t ->
+  result
+(** [converge topo] floods to quiescence and returns per-router tables.
+    [link_delay] (default 1.0) is the per-hop propagation delay;
+    origination times are jittered deterministically from
+    [jitter_seed] (default 7) to exercise asynchrony. *)

@@ -1,0 +1,67 @@
+type t = {
+  id : int;
+  mutable neighbors : (int * float) list;
+  db : (int, Lsa.t) Hashtbl.t;
+  mutable own_seq : int;
+}
+
+let create ~id ~neighbors =
+  { id; neighbors; db = Hashtbl.create 16; own_seq = 0 }
+
+let id t = t.id
+
+let neighbors t = t.neighbors
+
+let remove_neighbor t nbr =
+  t.neighbors <- List.filter (fun (n, _) -> n <> nbr) t.neighbors
+
+let add_neighbor t nbr cost =
+  if cost <= 0.0 then invalid_arg "Ospf.Router.add_neighbor: non-positive cost";
+  if List.mem_assoc nbr t.neighbors then
+    invalid_arg "Ospf.Router.add_neighbor: neighbor already present";
+  t.neighbors <- (nbr, cost) :: t.neighbors
+
+let originate t =
+  t.own_seq <- t.own_seq + 1;
+  let lsa = Lsa.make ~origin:t.id ~seq:t.own_seq ~links:t.neighbors in
+  Hashtbl.replace t.db t.id lsa;
+  lsa
+
+let install t lsa =
+  match Hashtbl.find_opt t.db lsa.Lsa.origin with
+  | None ->
+    Hashtbl.replace t.db lsa.Lsa.origin lsa;
+    true
+  | Some existing ->
+    if Lsa.newer_than lsa existing then begin
+      Hashtbl.replace t.db lsa.Lsa.origin lsa;
+      true
+    end
+    else false
+
+let lsdb t =
+  Hashtbl.fold (fun _ lsa acc -> lsa :: acc) t.db []
+  |> List.sort (fun a b -> compare a.Lsa.origin b.Lsa.origin)
+
+let lsdb_size t = Hashtbl.length t.db
+
+let spf t ~node_count =
+  let g = Netgraph.Graph.create node_count in
+  let advertised u v =
+    match Hashtbl.find_opt t.db u with
+    | None -> None
+    | Some lsa -> List.assoc_opt v lsa.Lsa.links
+  in
+  Hashtbl.iter
+    (fun origin lsa ->
+      List.iter
+        (fun (nbr, cost) ->
+          (* Add each confirmed-bidirectional link once (origin < nbr). *)
+          if origin < nbr then
+            match advertised nbr origin with
+            | Some cost' when not (Netgraph.Graph.has_edge g origin nbr) ->
+              Netgraph.Graph.add_edge g origin nbr (min cost cost')
+            | _ -> ())
+        lsa.Lsa.links)
+    t.db;
+  Netgraph.Routing.table_for g t.id

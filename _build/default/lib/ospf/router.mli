@@ -1,0 +1,48 @@
+(** A single link-state router instance.
+
+    Owns a link-state database (newest LSA per origin) and floods
+    received advertisements to every neighbour except the one it heard
+    them from, exactly like OSPF's reliable flooding (minus
+    acknowledgements, which matter only under loss — our links are
+    lossless).  Once the network has quiesced, {!spf} computes the
+    router's forwarding table from its database.
+
+    A link is used by SPF only when *both* endpoints advertise it
+    (OSPF's bidirectionality check), so a half-propagated database can
+    never produce a path through a link the other side does not
+    confirm. *)
+
+type t
+
+val create : id:int -> neighbors:(int * float) list -> t
+
+val id : t -> int
+
+val neighbors : t -> (int * float) list
+(** Current adjacency (shrinks as links fail). *)
+
+val remove_neighbor : t -> int -> unit
+(** Local link-down event: drop the adjacency.  The caller re-floods
+    by calling {!originate} afterwards.  Unknown neighbours are
+    ignored. *)
+
+val add_neighbor : t -> int -> float -> unit
+(** Local link-up / metric-change event: (re-)install the adjacency at
+    the given cost.  Raises [Invalid_argument] if the neighbour is
+    already present (remove first) or the cost is non-positive. *)
+
+val originate : t -> Lsa.t
+(** The router's own current LSA (bumps its sequence number). *)
+
+val install : t -> Lsa.t -> bool
+(** [install t lsa] stores the LSA if it is new or newer than the one
+    on file; returns [true] when the database changed (meaning the LSA
+    must be flooded onward). *)
+
+val lsdb : t -> Lsa.t list
+(** Snapshot of the database, ordered by origin id. *)
+
+val lsdb_size : t -> int
+
+val spf : t -> node_count:int -> Netgraph.Routing.table
+(** Dijkstra over the confirmed-bidirectional links in the database. *)

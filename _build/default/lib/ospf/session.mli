@@ -1,0 +1,41 @@
+(** A long-running link-state routing session with topology changes.
+
+    {!Protocol.converge} answers "what tables does a static network
+    settle on"; a session keeps the routers and their databases alive
+    so that links can fail afterwards: on [fail_link] both endpoints
+    drop the adjacency, re-originate their LSAs, and the updates flood
+    through the *surviving* links until the network quiesces again.
+    Tables then match a global Dijkstra oracle on the reduced graph —
+    the reconvergence property tests assert exactly that.
+
+    Limitations, as documented trade-offs: LSA aging/flushing is not
+    modelled, so a failure that partitions the network leaves stale
+    routes toward the lost partition (real OSPF ages them out in
+    MaxAge seconds); tests therefore only fail links that keep the
+    graph connected.  Link recovery is out of scope. *)
+
+type t
+
+val start : ?link_delay:float -> ?jitter_seed:int -> Netgraph.Topology.t -> t
+(** Flood to initial convergence. *)
+
+val fail_link : t -> int -> int -> unit
+(** [fail_link t u v] — both ends notice, re-originate, re-flood to
+    quiescence.  Raises [Invalid_argument] if the link does not exist
+    (or has already failed). *)
+
+val change_cost : t -> int -> int -> float -> unit
+(** [change_cost t u v cost] — a metric update (traffic engineering,
+    interface renegotiation): both ends re-originate with the new cost
+    and the network reconverges.  Raises [Invalid_argument] on a
+    non-existent/failed link or a non-positive cost. *)
+
+val tables : t -> Netgraph.Routing.table array
+(** Current per-router forwarding tables (computed from each router's
+    own database). *)
+
+val surviving_graph : t -> Netgraph.Graph.t
+(** The topology minus failed links — the oracle's input. *)
+
+val messages : t -> int
+(** Cumulative LSA transmissions, including reconvergence traffic. *)

@@ -1,0 +1,1 @@
+lib/packet/flow.ml: Addr Format Hashtbl Int64 Printf Stdlib Stdx

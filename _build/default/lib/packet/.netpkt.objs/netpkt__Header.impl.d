@@ -1,0 +1,1 @@
+lib/packet/header.ml: Addr Flow Format Printf

@@ -1,0 +1,1 @@
+lib/packet/header.mli: Addr Flow Format

@@ -1,0 +1,64 @@
+type t = int
+
+let of_octets a b c d =
+  if a < 0 || a > 255 || b < 0 || b > 255 || c < 0 || c > 255 || d < 0 || d > 255
+  then invalid_arg "Addr.of_octets: octet out of range";
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+    try of_octets (int_of_string a) (int_of_string b) (int_of_string c) (int_of_string d)
+    with Failure _ -> invalid_arg ("Addr.of_string: " ^ s))
+  | _ -> invalid_arg ("Addr.of_string: " ^ s)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((t lsr 24) land 0xff)
+    ((t lsr 16) land 0xff)
+    ((t lsr 8) land 0xff)
+    (t land 0xff)
+
+module Prefix = struct
+  type addr = t
+  type t = { base : addr; len : int }
+
+  let mask len = if len = 0 then 0 else 0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF
+
+  let make base len =
+    if len < 0 || len > 32 then invalid_arg "Prefix.make: bad length";
+    { base = base land mask len; len }
+
+  let of_string s =
+    match String.index_opt s '/' with
+    | None -> make (of_string s) 32
+    | Some i ->
+      let addr = of_string (String.sub s 0 i) in
+      let len =
+        try int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+        with Failure _ -> invalid_arg ("Prefix.of_string: " ^ s)
+      in
+      make addr len
+
+  let to_string t = Printf.sprintf "%s/%d" (to_string t.base) t.len
+
+  let any = { base = 0; len = 0 }
+  let is_any t = t.len = 0
+
+  let contains t a = a land mask t.len = t.base
+
+  let subsumes outer inner =
+    outer.len <= inner.len && contains outer inner.base
+
+  let overlaps a b = subsumes a b || subsumes b a
+
+  let first_addr t = t.base
+
+  let nth_addr t i =
+    let size = if t.len = 32 then 1 else 1 lsl (32 - t.len) in
+    if i < 0 || i >= size then invalid_arg "Prefix.nth_addr: out of range";
+    t.base lor i
+
+  let compare a b =
+    match compare a.base b.base with 0 -> compare a.len b.len | c -> c
+end

@@ -1,0 +1,29 @@
+type t = { src : Addr.t; dst : Addr.t; proto : int; sport : int; dport : int }
+
+let make ~src ~dst ~proto ~sport ~dport =
+  if proto < 0 || proto > 255 then invalid_arg "Flow.make: bad protocol";
+  if sport < 0 || sport > 65535 || dport < 0 || dport > 65535 then
+    invalid_arg "Flow.make: bad port";
+  { src; dst; proto; sport; dport }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let hash t = Stdx.Xhash.ints [ t.src; t.dst; t.proto; t.sport; t.dport ]
+
+let hash_to_unit t = Stdx.Xhash.to_unit_interval (hash t)
+
+let reverse t = { t with src = t.dst; dst = t.src; sport = t.dport; dport = t.sport }
+
+let to_string t =
+  Printf.sprintf "%s:%d>%s:%d/%d" (Addr.to_string t.src) t.sport
+    (Addr.to_string t.dst) t.dport t.proto
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash t = Int64.to_int (hash t) land max_int
+end)

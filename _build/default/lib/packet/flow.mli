@@ -1,0 +1,33 @@
+(** Flow identifiers: the classic 5-tuple.
+
+    The paper's flow cache keys on this tuple, and its probabilistic
+    middlebox selection hashes it, so the tuple's hash must be
+    deterministic across runs (FNV-1a via [Stdx.Xhash]). *)
+
+type t = {
+  src : Addr.t;
+  dst : Addr.t;
+  proto : int;    (** 6 = TCP, 17 = UDP, ... *)
+  sport : int;
+  dport : int;
+}
+
+val make : src:Addr.t -> dst:Addr.t -> proto:int -> sport:int -> dport:int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val hash : t -> int64
+(** Deterministic FNV-1a over the five fields. *)
+
+val hash_to_unit : t -> float
+(** [hash] mapped to [\[0, 1)] — the value [r / N] used for
+    probabilistic next-hop selection. *)
+
+val reverse : t -> t
+(** Swap source and destination (address and port) — the return flow. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,37 @@
+let default_mtu = 1500
+
+let check_mtu mtu =
+  if mtu < Header.size + 8 then invalid_arg "Fragment: MTU too small"
+
+(* Fragment payload slots are rounded down to 8-byte blocks, as IP
+   requires for all fragments but the last. *)
+let slot mtu = (mtu - Header.size) / 8 * 8
+
+let count ~mtu size =
+  check_mtu mtu;
+  if size <= mtu then 1
+  else begin
+    let payload = size - Header.size in
+    let s = slot mtu in
+    (payload + s - 1) / s
+  end
+
+let fragments ~mtu pkt =
+  check_mtu mtu;
+  let total = Packet.size pkt in
+  if total <= mtu then [ pkt ]
+  else begin
+    let payload = total - Header.size in
+    let s = slot mtu in
+    let rec build remaining acc =
+      if remaining <= 0 then List.rev acc
+      else begin
+        let take = min s remaining in
+        let frag = Packet.plain pkt.Packet.header ~payload_bytes:take in
+        build (remaining - take) (frag :: acc)
+      end
+    in
+    build payload []
+  end
+
+let extra_bytes ~mtu size = (count ~mtu size - 1) * Header.size

@@ -1,0 +1,28 @@
+(** IP fragmentation model.
+
+    Only the arithmetic the evaluation needs: how many fragments a
+    packet of a given size produces under a given MTU, and the
+    fragment list itself (each fragment re-carries the outer header).
+    Sec. III.E's label switching exists precisely to keep tunnelled
+    packets at their original size so this count stays 1. *)
+
+val default_mtu : int
+(** 1500, Ethernet. *)
+
+val count : mtu:int -> int -> int
+(** [count ~mtu size] — fragments needed for an IP packet of [size]
+    total bytes (header included).  1 when it fits.  Raises
+    [Invalid_argument] if the MTU cannot even carry a header plus one
+     8-byte block. *)
+
+val fragments : mtu:int -> Packet.t -> Packet.t list
+(** Split a packet; fragment payloads are multiples of 8 bytes except
+    the last.  An encapsulated packet fragments on its outer header;
+    the inner packet's bytes count as opaque payload (reassembly
+    happens at the tunnel endpoint).  Byte conservation:
+    total payload bytes are preserved, one extra header per extra
+    fragment. *)
+
+val extra_bytes : mtu:int -> int -> int
+(** Overhead bytes added by fragmentation of a packet of the given
+    size: (count - 1) * header size. *)

@@ -1,0 +1,32 @@
+type body = Payload of int | Encap of t
+
+and t = { header : Header.t; body : body }
+
+let plain header ~payload_bytes =
+  if payload_bytes < 0 then invalid_arg "Packet.plain: negative payload";
+  { header; body = Payload payload_bytes }
+
+let rec size t =
+  Header.size + (match t.body with Payload n -> n | Encap inner -> size inner)
+
+let ip_in_ip_proto = 4
+
+let encapsulate ~src ~dst t =
+  let header =
+    Header.make ~src ~dst ~proto:ip_in_ip_proto ~sport:0 ~dport:0 ()
+  in
+  { header; body = Encap t }
+
+let decapsulate t = match t.body with Encap inner -> Some inner | Payload _ -> None
+
+let is_encapsulated t = match t.body with Encap _ -> true | Payload _ -> false
+
+let rec innermost t =
+  match t.body with Payload _ -> t | Encap inner -> innermost inner
+
+let inner_flow t = Header.flow (innermost t).header
+
+let rec pp ppf t =
+  match t.body with
+  | Payload n -> Format.fprintf ppf "[%a | %dB]" Header.pp t.header n
+  | Encap inner -> Format.fprintf ppf "[%a | %a]" Header.pp t.header pp inner

@@ -1,0 +1,33 @@
+(** Packets, possibly IP-over-IP encapsulated.
+
+    A packet is a header plus either an opaque payload (sized in
+    bytes) or a whole inner packet — the hot-potato strategy tunnels
+    the original packet as the payload of a fresh outer header, which
+    adds {!Header.size} bytes and is what may push the packet over the
+    MTU (Sec. III.E's motivation for label switching). *)
+
+type body = Payload of int | Encap of t
+
+and t = { header : Header.t; body : body }
+
+val plain : Header.t -> payload_bytes:int -> t
+(** Raises [Invalid_argument] on a negative payload size. *)
+
+val size : t -> int
+(** Total on-wire bytes, headers included (inner headers too). *)
+
+val encapsulate : src:Addr.t -> dst:Addr.t -> t -> t
+(** Wrap in an outer IP header (protocol 4, IP-in-IP).  The inner
+    packet is untouched. *)
+
+val decapsulate : t -> t option
+(** Strip one outer header; [None] if the packet is not encapsulated. *)
+
+val is_encapsulated : t -> bool
+
+val inner_flow : t -> Flow.t
+(** The 5-tuple of the innermost header — what policies match on. *)
+
+val innermost : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/policy/dectree.ml: Array Descriptor List Netpkt Rule

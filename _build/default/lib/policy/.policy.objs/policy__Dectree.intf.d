@@ -1,0 +1,1 @@
+lib/policy/dectree.mli: Netpkt Rule

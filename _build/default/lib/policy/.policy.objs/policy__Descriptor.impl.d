@@ -1,0 +1,1 @@
+lib/policy/descriptor.ml: Format Netpkt Printf

@@ -1,0 +1,1 @@
+lib/policy/descriptor.mli: Format Netpkt

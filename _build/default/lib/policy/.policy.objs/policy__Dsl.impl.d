@@ -1,0 +1,1 @@
+lib/policy/dsl.ml: Action Buffer Descriptor List Netpkt Option Printf Result Rule String

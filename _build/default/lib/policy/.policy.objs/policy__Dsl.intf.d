@@ -1,0 +1,1 @@
+lib/policy/dsl.mli: Action Descriptor Rule

@@ -1,0 +1,1 @@
+lib/policy/flow_cache.ml: Action List Netpkt

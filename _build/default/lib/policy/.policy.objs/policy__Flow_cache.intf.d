@@ -1,0 +1,1 @@
+lib/policy/flow_cache.mli: Action Netpkt

@@ -1,0 +1,1 @@
+lib/policy/rule.mli: Action Descriptor Format Netpkt

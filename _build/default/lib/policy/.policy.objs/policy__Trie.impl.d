@@ -1,0 +1,1 @@
+lib/policy/trie.ml: Descriptor List Netpkt Rule

@@ -1,0 +1,1 @@
+lib/policy/trie.mli: Netpkt Rule

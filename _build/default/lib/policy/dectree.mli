@@ -1,0 +1,30 @@
+(** Decision-tree packet classifier (HiCuts-style).
+
+    The second software classifier alongside {!Trie}, following the
+    decision-tree family the paper's classification references survey
+    (Gupta & McKeown; Taylor's taxonomy).  The five-dimensional rule
+    space (src, dst, sport, dport, proto) is recursively cut into
+    equal-width intervals along the locally most discriminating
+    dimension until few enough rules remain per leaf; a lookup walks
+    the cuts for the packet's point and linearly scans one small leaf.
+
+    Semantics are identical to {!Rule.first_match} (lowest rule id
+    among matches); a property test enforces the equivalence against
+    the linear scan on random rule sets. *)
+
+type t
+
+val build : ?binth:int -> ?max_depth:int -> Rule.t list -> t
+(** [binth] (default 8) is the leaf size target; [max_depth]
+    (default 24) bounds the tree.  Rules replicated into multiple
+    children are shared, not copied. *)
+
+val first_match : t -> Netpkt.Flow.t -> Rule.t option
+
+val rule_count : t -> int
+
+val node_count : t -> int
+(** Internal + leaf nodes — a memory proxy for benchmarks. *)
+
+val depth : t -> int
+(** Longest root-to-leaf path. *)

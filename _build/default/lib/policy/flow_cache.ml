@@ -1,0 +1,123 @@
+type entry = {
+  actions : Action.t option;
+  rule_id : int;
+  label : int option;
+  mutable ls_ready : bool;
+  mutable last_used : float;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable negative_hits : int;
+  mutable misses : int;
+  mutable expirations : int;
+  mutable evictions : int;
+}
+
+type t = {
+  table : entry Netpkt.Flow.Table.t;
+  timeout : float;
+  capacity : int option;
+  stats : stats;
+}
+
+let create ?(timeout = 60.0) ?capacity () =
+  if timeout <= 0.0 then invalid_arg "Flow_cache.create: timeout must be positive";
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Flow_cache.create: capacity must be >= 1"
+  | _ -> ());
+  {
+    table = Netpkt.Flow.Table.create 256;
+    timeout;
+    capacity;
+    stats = { hits = 0; negative_hits = 0; misses = 0; expirations = 0; evictions = 0 };
+  }
+
+let lookup t ~now flow =
+  match Netpkt.Flow.Table.find_opt t.table flow with
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    None
+  | Some entry ->
+    if now -. entry.last_used > t.timeout then begin
+      Netpkt.Flow.Table.remove t.table flow;
+      t.stats.expirations <- t.stats.expirations + 1;
+      t.stats.misses <- t.stats.misses + 1;
+      None
+    end
+    else begin
+      entry.last_used <- now;
+      (match entry.actions with
+      | None -> t.stats.negative_hits <- t.stats.negative_hits + 1
+      | Some _ -> t.stats.hits <- t.stats.hits + 1);
+      Some entry
+    end
+
+(* Bounded caches behave like a hardware hash table: when full, expired
+   entries go first, then the least-recently-used live one. *)
+let make_room t ~now flow =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+    if
+      Netpkt.Flow.Table.length t.table >= cap
+      && not (Netpkt.Flow.Table.mem t.table flow)
+    then begin
+      let expired =
+        Netpkt.Flow.Table.fold
+          (fun f e acc -> if now -. e.last_used > t.timeout then f :: acc else acc)
+          t.table []
+      in
+      List.iter (Netpkt.Flow.Table.remove t.table) expired;
+      t.stats.expirations <- t.stats.expirations + List.length expired;
+      while Netpkt.Flow.Table.length t.table >= cap do
+        let victim =
+          Netpkt.Flow.Table.fold
+            (fun f e acc ->
+              match acc with
+              | Some (_, oldest) when oldest <= e.last_used -> acc
+              | _ -> Some (f, e.last_used))
+            t.table None
+        in
+        match victim with
+        | Some (f, _) ->
+          Netpkt.Flow.Table.remove t.table f;
+          t.stats.evictions <- t.stats.evictions + 1
+        | None -> assert false (* table non-empty while >= cap >= 1 *)
+      done
+    end
+
+let insert t ~now flow ~rule_id ~actions ?label () =
+  make_room t ~now flow;
+  let entry = { actions = Some actions; rule_id; label; ls_ready = false; last_used = now } in
+  Netpkt.Flow.Table.replace t.table flow entry;
+  entry
+
+let insert_negative t ~now flow =
+  make_room t ~now flow;
+  let entry = { actions = None; rule_id = -1; label = None; ls_ready = false; last_used = now } in
+  Netpkt.Flow.Table.replace t.table flow entry;
+  entry
+
+let mark_ls_ready t flow =
+  match Netpkt.Flow.Table.find_opt t.table flow with
+  | Some ({ actions = Some _; _ } as entry) ->
+    entry.ls_ready <- true;
+    true
+  | Some { actions = None; _ } | None -> false
+
+let purge t ~now =
+  let expired =
+    Netpkt.Flow.Table.fold
+      (fun flow entry acc ->
+        if now -. entry.last_used > t.timeout then flow :: acc else acc)
+      t.table []
+  in
+  List.iter (Netpkt.Flow.Table.remove t.table) expired;
+  let n = List.length expired in
+  t.stats.expirations <- t.stats.expirations + n;
+  n
+
+let size t = Netpkt.Flow.Table.length t.table
+let stats t = t.stats
+let timeout t = t.timeout

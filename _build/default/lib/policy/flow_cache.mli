@@ -1,0 +1,60 @@
+(** Per-node flow cache (Sec. III.D) with the label-switching
+    extensions of Sec. III.E.
+
+    Stores ⟨flow-id, action-list⟩ pairs so only the first packet of a
+    flow pays the multi-field policy lookup.  Misses against both the
+    cache and the policy table insert a *negative* entry (action
+    [None]) so later packets of a no-policy flow skip the policy table
+    too.  Entries are soft state: not being touched for [timeout] time
+    units makes them reclaimable.
+
+    A proxy additionally stores in each positive entry the locally
+    unique label it assigned to the flow and — once the control packet
+    from the last middlebox in the chain arrives — the
+    "label-switching ready" flag. *)
+
+type entry = {
+  actions : Action.t option;  (** [None] = negative (no policy matched) *)
+  rule_id : int;              (** matching rule id, -1 for negative entries *)
+  label : int option;         (** proxy-assigned label, if any *)
+  mutable ls_ready : bool;    (** label-switched path established *)
+  mutable last_used : float;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable negative_hits : int;
+  mutable misses : int;
+  mutable expirations : int;
+  mutable evictions : int;  (** capacity-forced LRU evictions *)
+}
+
+type t
+
+val create : ?timeout:float -> ?capacity:int -> unit -> t
+(** [timeout] defaults to 60.0 time units.  [capacity] (default
+    unbounded) caps the entry count, as a hardware hash table would:
+    inserting into a full cache first drops expired entries, then
+    evicts the least-recently-used one (counted in
+    {!stats}.[evictions]). *)
+
+val lookup : t -> now:float -> Netpkt.Flow.t -> entry option
+(** Refreshes [last_used] on hit; an entry past its timeout is treated
+    as absent (and removed).  Updates {!stats}. *)
+
+val insert :
+  t -> now:float -> Netpkt.Flow.t -> rule_id:int -> actions:Action.t ->
+  ?label:int -> unit -> entry
+
+val insert_negative : t -> now:float -> Netpkt.Flow.t -> entry
+
+val mark_ls_ready : t -> Netpkt.Flow.t -> bool
+(** Flag the entry for label switching (on receipt of the control
+    packet).  [false] if the flow is unknown or negative. *)
+
+val purge : t -> now:float -> int
+(** Evict every expired entry; returns how many were dropped. *)
+
+val size : t -> int
+val stats : t -> stats
+val timeout : t -> float

@@ -1,0 +1,50 @@
+type t = { id : int; descriptor : Descriptor.t; actions : Action.t }
+
+let make ~id ~descriptor ~actions =
+  if id < 0 then invalid_arg "Rule.make: negative id";
+  { id; descriptor; actions }
+
+let index descriptors actions =
+  if List.length descriptors <> List.length actions then
+    invalid_arg "Rule.index: length mismatch";
+  List.mapi
+    (fun id (descriptor, actions) -> make ~id ~descriptor ~actions)
+    (List.combine descriptors actions)
+
+let first_match rules flow =
+  let matching = List.filter (fun r -> Descriptor.matches r.descriptor flow) rules in
+  match matching with
+  | [] -> None
+  | _ -> Some (List.fold_left (fun best r -> if r.id < best.id then r else best)
+                 (List.hd matching) matching)
+
+let relevant_to_subnet rules subnet =
+  List.filter (fun r -> Descriptor.src_overlaps r.descriptor subnet) rules
+
+let relevant_to_function rules nf =
+  List.filter (fun r -> List.exists (Action.equal_nf nf) r.actions) rules
+
+let table_one subnet_a =
+  let open Descriptor in
+  let d ?src ?dst ?sport ?dport () = make ?src ?dst ?sport ?dport () in
+  index
+    [
+      d ~src:subnet_a ~dst:subnet_a ~dport:(Port 80) ();
+      d ~src:subnet_a ~dst:subnet_a ~sport:(Port 80) ();
+      d ~dst:subnet_a ~dport:(Port 80) ();
+      d ~src:subnet_a ~sport:(Port 80) ();
+      d ~src:subnet_a ~dport:(Port 80) ();
+      d ~dst:subnet_a ~sport:(Port 80) ();
+    ]
+    Action.[
+      permit;
+      permit;
+      [ FW; IDS ];
+      [ IDS; FW ];
+      [ FW; IDS; WP ];
+      [ WP; IDS; FW ];
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %a => %a" t.id Descriptor.pp t.descriptor Action.pp
+    t.actions

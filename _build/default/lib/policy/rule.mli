@@ -1,0 +1,36 @@
+(** Policies ("rules") and ordered policy lists.
+
+    A rule pairs a traffic descriptor with an action list.  Policy
+    lists are ordered: "when there are multiple policy matches, we
+    apply the first matching policy."  Rules carry a priority index
+    equal to their position in the network-wide list so that subsets
+    distributed to proxies/middleboxes preserve the global order. *)
+
+type t = {
+  id : int;            (** position in the network-wide list; lower wins *)
+  descriptor : Descriptor.t;
+  actions : Action.t;
+}
+
+val make : id:int -> descriptor:Descriptor.t -> actions:Action.t -> t
+
+val index : Descriptor.t list -> Action.t list -> t list
+(** Zip descriptors and action lists into an ordered rule list.
+    Raises [Invalid_argument] on length mismatch. *)
+
+val first_match : t list -> Netpkt.Flow.t -> t option
+(** Linear first-match scan — the reference matcher. *)
+
+val relevant_to_subnet : t list -> Netpkt.Addr.Prefix.t -> t list
+(** The controller's [P_x] for a policy proxy: rules whose descriptor
+    can match traffic sourced in the proxy's subnet. *)
+
+val relevant_to_function : t list -> Action.nf -> t list
+(** The controller's [P_x] for a middlebox: rules whose action list
+    contains a function the middlebox implements. *)
+
+val table_one : Netpkt.Addr.Prefix.t -> t list
+(** The six example policies of Table I, instantiated for an
+    enterprise prefix ("subnet a"). *)
+
+val pp : Format.formatter -> t -> unit

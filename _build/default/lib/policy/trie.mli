@@ -1,0 +1,27 @@
+(** Hierarchical-trie multi-field policy matcher.
+
+    The software classifier standing in for TCAM (Sec. III.D cites
+    trie-based structures for large policy tables).  Structure: a
+    binary trie over source-prefix bits; every node where at least one
+    rule's source prefix ends holds a second binary trie over
+    destination-prefix bits; rules hang off the destination node where
+    their destination prefix ends and are filtered by port/protocol at
+    match time.
+
+    Matching walks at most 32 source-trie nodes, and for each visited
+    node with rules, at most 32 destination-trie nodes — O(w^2) node
+    visits independent of the rule count, versus O(n) for the linear
+    scan.  First-match (lowest id) semantics are identical to
+    {!Rule.first_match}; a property test enforces the equivalence. *)
+
+type t
+
+val build : Rule.t list -> t
+
+val rule_count : t -> int
+
+val node_count : t -> int
+(** Total trie nodes (source and destination levels) — a memory
+    proxy reported by benchmarks. *)
+
+val first_match : t -> Netpkt.Flow.t -> Rule.t option

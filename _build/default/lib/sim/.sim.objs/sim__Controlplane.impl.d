@@ -1,0 +1,1 @@
+lib/sim/controlplane.ml: Array Format List Mbox Netgraph Policy Sdm

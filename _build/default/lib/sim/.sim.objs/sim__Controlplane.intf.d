@@ -1,0 +1,1 @@
+lib/sim/controlplane.mli: Format Sdm

@@ -1,0 +1,1 @@
+lib/sim/epochsim.ml: Array Flowsim List Sdm Workload

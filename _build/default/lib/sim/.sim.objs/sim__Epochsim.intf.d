@@ -1,0 +1,1 @@
+lib/sim/epochsim.mli: Sdm

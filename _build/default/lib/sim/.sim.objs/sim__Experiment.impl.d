@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Array Flowsim List Mbox Netgraph Option Pktsim Policy Sdm Stdx Workload

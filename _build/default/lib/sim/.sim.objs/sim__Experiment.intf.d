@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Flowsim Policy Sdm Workload

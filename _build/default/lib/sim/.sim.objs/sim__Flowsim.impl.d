@@ -1,0 +1,1 @@
+lib/sim/flowsim.ml: Array List Mbox Netpkt Policy Sdm Workload

@@ -1,0 +1,1 @@
+lib/sim/flowsim.mli: Mbox Netpkt Policy Sdm Workload

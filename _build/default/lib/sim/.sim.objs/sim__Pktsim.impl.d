@@ -1,0 +1,1 @@
+lib/sim/pktsim.ml: Array Dess Dvr Hashtbl List Mbox Netgraph Netpkt Option Ospf Policy Sdm Stdlib Stdx Workload

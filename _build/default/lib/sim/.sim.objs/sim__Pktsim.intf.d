@@ -1,0 +1,1 @@
+lib/sim/pktsim.mli: Sdm Workload

@@ -1,0 +1,1 @@
+lib/sim/report.ml: Buffer Epochsim Experiment Format List Policy Printf

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array List Netpkt Option Policy Sdm Stdx

@@ -1,0 +1,37 @@
+(** Control-plane cost model.
+
+    The paper's architectural argument is that the SDM controller is
+    cheap to operate: it talks only to proxies and middleboxes (not to
+    every switch), only at configuration time (never per flow), and —
+    with Eq. (2)'s aggregated variables — ships small weight tables.
+    This module prices that traffic over the real topology: each
+    entity's configuration travels hop-by-hop from the controller's
+    attachment router, and each proxy's measurement report travels
+    back.
+
+    Sizes are modelled with fixed per-item byte costs (policy row
+    16 B, candidate entry 4 B, weight cell 12 B, measurement cell
+    12 B) — crude, but uniform across the formulations being
+    compared. *)
+
+type report = {
+  controller_router : int;
+  devices_managed : int;     (** proxies + middleboxes *)
+  routers_total : int;       (** what an SDN controller would manage *)
+  config_messages : int;     (** one per managed device *)
+  config_bytes : int;
+  config_byte_hops : int;    (** Σ bytes x hop count — network cost *)
+  time_to_configure : float; (** max hops x link delay *)
+  report_bytes_per_epoch : int; (** proxies' measurement reports *)
+}
+
+val price :
+  ?controller_router:int ->
+  ?link_delay:float ->
+  Sdm.Controller.t ->
+  traffic:Sdm.Measurement.t ->
+  report
+(** [controller_router] defaults to the first gateway, falling back to
+    the first core router. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,483 @@
+type scenario = Campus | Waxman
+
+let scenario_name = function Campus -> "campus" | Waxman -> "waxman"
+
+let mbox_counts =
+  Policy.Action.[ (WP, 4); (FW, 7); (IDS, 7); (TM, 4) ]
+
+let build_deployment scenario ~seed =
+  let topo =
+    match scenario with
+    | Campus -> Netgraph.Campus.generate ~seed ()
+    | Waxman -> Netgraph.Waxman.generate ~seed ()
+  in
+  Sdm.Deployment.standard ~topo ~mbox_counts ~seed:(seed + 1)
+
+let strategies = [ "HP"; "Rand"; "LB" ]
+
+type strategy_run = {
+  strategy : string;
+  controller : Sdm.Controller.t;
+  result : Flowsim.result;
+  lambda : float option;
+}
+
+let configure_exn deployment ~rules kind =
+  match Sdm.Controller.configure deployment ~rules kind with
+  | Ok c -> c
+  | Error e -> failwith ("controller configuration failed: " ^ e)
+
+let run_strategies ~deployment ~flows ?(per_class = 5) ?(seed = 17) ?rule_seed () =
+  let workload = Workload.generate ~deployment ~per_class ~seed ?rule_seed ~flows () in
+  let rules = workload.Workload.rules in
+  let traffic = Workload.measure workload in
+  let run kind name =
+    let controller = configure_exn deployment ~rules kind in
+    let result = Flowsim.run ~controller ~workload () in
+    let lambda =
+      Option.map (fun lp -> lp.Sdm.Lp_formulation.lambda) controller.Sdm.Controller.lp
+    in
+    { strategy = name; controller; result; lambda }
+  in
+  ( workload,
+    [
+      run Sdm.Controller.Hot_potato "HP";
+      run Sdm.Controller.Random_uniform "Rand";
+      run (Sdm.Controller.Load_balanced traffic) "LB";
+    ] )
+
+(* ---- Figures 4 and 5 -------------------------------------------- *)
+
+type point = {
+  flows : int;
+  total_packets : int;
+  max_loads : (Policy.Action.nf * (float * float * float)) list;
+}
+
+type figure = { scenario : scenario; points : point list }
+
+let default_flow_counts = List.init 10 (fun i -> 30_000 * (i + 1))
+
+let nf_list = List.map fst mbox_counts
+
+let point_of_runs ~flows ~total_packets runs =
+  let find name = List.find (fun r -> r.strategy = name) runs in
+  let hp = find "HP" and rand = find "Rand" and lb = find "LB" in
+  let max_loads =
+    List.map
+      (fun nf ->
+        ( nf,
+          ( Flowsim.max_load_of_nf hp.controller hp.result nf,
+            Flowsim.max_load_of_nf rand.controller rand.result nf,
+            Flowsim.max_load_of_nf lb.controller lb.result nf ) ))
+      nf_list
+  in
+  { flows; total_packets; max_loads }
+
+let run_figure scenario ?(flow_counts = default_flow_counts) ?(per_class = 5)
+    ?(seed = 17) () =
+  let deployment = build_deployment scenario ~seed in
+  let points =
+    List.map
+      (fun flows ->
+        (* Fixed policy set across the sweep; fresh flow population per
+           volume point — the paper scales traffic, not policies. *)
+        let workload, runs =
+          run_strategies ~deployment ~flows ~per_class ~seed:(seed + flows)
+            ~rule_seed:seed ()
+        in
+        point_of_runs ~flows ~total_packets:workload.Workload.total_packets runs)
+      flow_counts
+  in
+  { scenario; points }
+
+(* ---- Table III --------------------------------------------------- *)
+
+type table3_row = {
+  nf : Policy.Action.nf;
+  hp_max : float;
+  hp_min : float;
+  rand_max : float;
+  rand_min : float;
+  lb_max : float;
+  lb_min : float;
+}
+
+let run_table3 ?(scenario = Campus) ?(flows = 300_000) ?(per_class = 5)
+    ?(seed = 17) () =
+  let deployment = build_deployment scenario ~seed in
+  let _, runs = run_strategies ~deployment ~flows ~per_class ~seed () in
+  let find name = List.find (fun r -> r.strategy = name) runs in
+  let hp = find "HP" and rand = find "Rand" and lb = find "LB" in
+  let min_max run nf =
+    let loads = Flowsim.loads_of_nf run.controller run.result nf in
+    let s = Stdx.Stats.summarize loads in
+    (s.Stdx.Stats.max, s.Stdx.Stats.min)
+  in
+  List.map
+    (fun nf ->
+      let hp_max, hp_min = min_max hp nf in
+      let rand_max, rand_min = min_max rand nf in
+      let lb_max, lb_min = min_max lb nf in
+      { nf; hp_max; hp_min; rand_max; rand_min; lb_max; lb_min })
+    nf_list
+
+(* ---- Ablations ---------------------------------------------------- *)
+
+type k_point = {
+  k_fw_ids : int;
+  k_wp_tm : int;
+  lb_max_by_nf : (Policy.Action.nf * float) list;
+}
+
+let ablation_k ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) () =
+  let deployment = build_deployment scenario ~seed in
+  let workload = Workload.generate ~deployment ~seed ~flows () in
+  let rules = workload.Workload.rules in
+  let traffic = Workload.measure workload in
+  List.map
+    (fun (k_fw_ids, k_wp_tm) ->
+      let k = function
+        | Policy.Action.FW | Policy.Action.IDS -> k_fw_ids
+        | Policy.Action.WP | Policy.Action.TM | Policy.Action.Custom _ -> k_wp_tm
+      in
+      let controller =
+        match
+          Sdm.Controller.configure deployment ~rules ~k
+            (Sdm.Controller.Load_balanced traffic)
+        with
+        | Ok c -> c
+        | Error e -> failwith ("ablation_k: " ^ e)
+      in
+      let result = Flowsim.run ~controller ~workload () in
+      {
+        k_fw_ids;
+        k_wp_tm;
+        lb_max_by_nf =
+          List.map
+            (fun nf -> (nf, Flowsim.max_load_of_nf controller result nf))
+            nf_list;
+      })
+    [ (1, 1); (2, 1); (2, 2); (4, 2); (6, 3) ]
+
+type cache_stats = {
+  packets : int;
+  lookups : int;
+  hits : int;
+  negative_hits : int;
+  lookup_fraction : float;
+}
+
+(* Packet-level runs use a smaller flow population: they simulate every
+   single packet. *)
+let pkt_level_controller ?(seed = 17) ~flows () =
+  let deployment = build_deployment Campus ~seed in
+  let workload = Workload.generate ~deployment ~seed ~flows () in
+  let traffic = Workload.measure workload in
+  let controller =
+    configure_exn deployment ~rules:workload.Workload.rules
+      (Sdm.Controller.Load_balanced traffic)
+  in
+  (controller, workload)
+
+let ablation_cache ?(flows = 2_000) ?(seed = 17) () =
+  let controller, workload = pkt_level_controller ~seed ~flows () in
+  let stats = Pktsim.run ~controller ~workload () in
+  (* Lookup events happen per packet *arrival* at proxies and
+     middleboxes; normalise by the proxy-side injections. *)
+  let packets = stats.Pktsim.injected_packets in
+  {
+    packets;
+    lookups = stats.Pktsim.multi_field_lookups;
+    hits = stats.Pktsim.cache_hits;
+    negative_hits = stats.Pktsim.cache_negative_hits;
+    lookup_fraction =
+      float_of_int stats.Pktsim.multi_field_lookups
+      /. float_of_int (max 1 packets);
+  }
+
+type cache_size_point = {
+  capacity : int option;
+  size_lookup_fraction : float;
+  size_evictions : int;
+}
+
+let ablation_cache_size ?(flows = 1_000) ?(seed = 17) () =
+  let controller, workload = pkt_level_controller ~seed ~flows () in
+  List.map
+    (fun capacity ->
+      let stats =
+        Pktsim.run
+          ~config:{ Pktsim.default_config with cache_capacity = capacity }
+          ~controller ~workload ()
+      in
+      {
+        capacity;
+        size_lookup_fraction =
+          float_of_int stats.Pktsim.multi_field_lookups
+          /. float_of_int (max 1 stats.Pktsim.injected_packets);
+        size_evictions = stats.Pktsim.cache_evictions;
+      })
+    [ Some 16; Some 64; Some 256; None ]
+
+type frag_stats = {
+  fragments_ip_over_ip : int;
+  fragments_label_switched : int;
+  tunneled_legs : int;
+  label_switched_legs : int;
+}
+
+let ablation_fragmentation ?(flows = 2_000) ?(seed = 17) () =
+  let controller, workload = pkt_level_controller ~seed ~flows () in
+  let with_ls =
+    Pktsim.run
+      ~config:{ Pktsim.default_config with label_switching = true }
+      ~controller ~workload ()
+  in
+  let without_ls =
+    Pktsim.run
+      ~config:{ Pktsim.default_config with label_switching = false }
+      ~controller ~workload ()
+  in
+  {
+    fragments_ip_over_ip = without_ls.Pktsim.fragments_created;
+    fragments_label_switched = with_ls.Pktsim.fragments_created;
+    tunneled_legs = with_ls.Pktsim.tunneled_packets;
+    label_switched_legs = with_ls.Pktsim.label_switched_packets;
+  }
+
+type failure_report = {
+  failed_mbox : int;
+  failed_nf : Policy.Action.nf;
+  before_max : float;
+  failover_max : float;
+  reoptimized_max : float;
+  reoptimized_lambda : float;
+  hp_failover_max : float;
+  survivors : int;
+}
+
+let ablation_failure ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) () =
+  let deployment = build_deployment scenario ~seed in
+  let workload = Workload.generate ~deployment ~seed ~flows () in
+  let rules = workload.Workload.rules in
+  let traffic = Workload.measure workload in
+  let lb = configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic) in
+  let before = Flowsim.run ~controller:lb ~workload () in
+  (* Kill the most-loaded IDS middlebox. *)
+  let nf = Policy.Action.IDS in
+  let victims = Sdm.Deployment.middleboxes_of deployment nf in
+  let failed =
+    List.fold_left
+      (fun best (m : Mbox.Middlebox.t) ->
+        if before.Flowsim.loads.(m.id) > before.Flowsim.loads.(best) then m.id
+        else best)
+      (List.hd victims).Mbox.Middlebox.id victims
+  in
+  let alive id = id <> failed in
+  let max_ids result =
+    List.fold_left
+      (fun acc (m : Mbox.Middlebox.t) ->
+        if m.id = failed then acc else max acc result.Flowsim.loads.(m.id))
+      0.0 victims
+  in
+  (* Phase 1: local fast failover with the stale LP weights. *)
+  let failover = Flowsim.run ~alive ~controller:lb ~workload () in
+  (* Phase 2: the controller re-optimizes without the failed box. *)
+  let reopt_controller =
+    match
+      Sdm.Controller.configure deployment ~rules ~failed:[ failed ]
+        (Sdm.Controller.Load_balanced traffic)
+    with
+    | Ok c -> c
+    | Error e -> failwith ("ablation_failure reoptimize: " ^ e)
+  in
+  let reopt = Flowsim.run ~controller:reopt_controller ~workload () in
+  (* Baseline: hot-potato under the same failure. *)
+  let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
+  let hp_failover = Flowsim.run ~alive ~controller:hp ~workload () in
+  {
+    failed_mbox = failed;
+    failed_nf = nf;
+    before_max = Flowsim.max_load_of_nf lb before nf;
+    failover_max = max_ids failover;
+    reoptimized_max = max_ids reopt;
+    reoptimized_lambda =
+      (match reopt_controller.Sdm.Controller.lp with
+      | Some lp -> lp.Sdm.Lp_formulation.lambda
+      | None -> 0.0);
+    hp_failover_max = max_ids hp_failover;
+    survivors = List.length victims - 1;
+  }
+
+type sketch_point = {
+  epsilon : float;
+  sketch_cells : int;
+  exact_cells : int;
+  exact_lambda : float;
+  sketched_lambda : float;
+  exact_realized_max : float;
+  sketched_realized_max : float;
+}
+
+let ablation_sketch ?(flows = 120_000) ?(seed = 17) () =
+  let deployment = build_deployment Campus ~seed in
+  let workload = Workload.generate ~deployment ~seed ~flows () in
+  let rules = workload.Workload.rules in
+  let exact = Workload.measure workload in
+  let n_proxies = Array.length deployment.Sdm.Deployment.proxies in
+  let exact_cells =
+    List.fold_left
+      (fun acc rule -> acc + List.length (Sdm.Measurement.pairs_for exact ~rule))
+      0
+      (Sdm.Measurement.rules_with_traffic exact)
+  in
+  let realized traffic =
+    let controller =
+      configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic)
+    in
+    let result = Flowsim.run ~controller ~workload () in
+    ( (match controller.Sdm.Controller.lp with
+      | Some lp -> lp.Sdm.Lp_formulation.lambda
+      | None -> 0.0),
+      Array.fold_left max 0.0 result.Flowsim.loads )
+  in
+  let exact_lambda, exact_realized_max = realized exact in
+  List.map
+    (fun epsilon ->
+      let sketch =
+        Sdm.Sketch.of_workload_measurement ~exact ~n_proxies ~rules ~epsilon ()
+      in
+      let approx = Sdm.Sketch.to_measurement sketch ~rules in
+      let sketched_lambda, sketched_realized_max = realized approx in
+      {
+        epsilon;
+        sketch_cells = Sdm.Sketch.memory_cells sketch;
+        exact_cells;
+        exact_lambda;
+        sketched_lambda;
+        exact_realized_max;
+        sketched_realized_max;
+      })
+    [ 0.5; 0.2; 0.05; 0.01 ]
+
+type latency_report = {
+  enforced_mean : float;
+  enforced_p50 : float;
+  enforced_p99 : float;
+  plain_mean : float;
+  plain_p50 : float;
+  plain_p99 : float;
+  mean_overhead : float;
+}
+
+let ablation_latency ?(flows = 1_000) ?(seed = 17) () =
+  let controller, workload = pkt_level_controller ~seed ~flows () in
+  let enforced = Pktsim.run ~controller ~workload () in
+  let plain_controller =
+    match
+      Sdm.Controller.configure controller.Sdm.Controller.deployment ~rules:[]
+        Sdm.Controller.Hot_potato
+    with
+    | Ok c -> c
+    | Error e -> failwith ("ablation_latency: " ^ e)
+  in
+  let plain =
+    Pktsim.run ~controller:plain_controller
+      ~workload:{ workload with Workload.rules = [] }
+      ()
+  in
+  {
+    enforced_mean = enforced.Pktsim.latency_mean;
+    enforced_p50 = enforced.Pktsim.latency_p50;
+    enforced_p99 = enforced.Pktsim.latency_p99;
+    plain_mean = plain.Pktsim.latency_mean;
+    plain_p50 = plain.Pktsim.latency_p50;
+    plain_p99 = plain.Pktsim.latency_p99;
+    mean_overhead =
+      (if plain.Pktsim.latency_mean > 0.0 then
+         enforced.Pktsim.latency_mean /. plain.Pktsim.latency_mean
+       else 1.0);
+  }
+
+type queue_report = {
+  service_rate : float;
+  hp_util_max : float;
+  lb_util_max : float;
+  hp_latency_mean : float;
+  hp_latency_p99 : float;
+  lb_latency_mean : float;
+  lb_latency_p99 : float;
+}
+
+let ablation_queue ?(flows = 800) ?(seed = 17) () =
+  let deployment = build_deployment Campus ~seed in
+  let workload = Workload.generate ~deployment ~seed ~flows () in
+  let rules = workload.Workload.rules in
+  let traffic = Workload.measure workload in
+  let lb = configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic) in
+  let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
+  (* Calibrate: infinite-rate LB run gives the busiest box's arrival
+     rate; provision every box at 2x that, i.e. ~50% utilisation under
+     the balanced plan. *)
+  let probe = Pktsim.run ~controller:lb ~workload () in
+  let max_load = Array.fold_left max 1.0 probe.Pktsim.loads in
+  let service_rate = 2.0 *. max_load /. probe.Pktsim.sim_time in
+  let config = { Pktsim.default_config with service_rate } in
+  let run controller = Pktsim.run ~config ~controller ~workload () in
+  let hp_run = run hp and lb_run = run lb in
+  let util stats =
+    (* Busiest box's work time over the span it was receiving. *)
+    Array.fold_left max 0.0 stats.Pktsim.loads
+    /. service_rate /. probe.Pktsim.sim_time
+  in
+  {
+    service_rate;
+    hp_util_max = util hp_run;
+    lb_util_max = util lb_run;
+    hp_latency_mean = hp_run.Pktsim.latency_mean;
+    hp_latency_p99 = hp_run.Pktsim.latency_p99;
+    lb_latency_mean = lb_run.Pktsim.latency_mean;
+    lb_latency_p99 = lb_run.Pktsim.latency_p99;
+  }
+
+type lp_compare = {
+  exact_lambda : float;
+  exact_vars : int;
+  exact_constraints : int;
+  exact_realized : float;       (** realised max load enforcing Eq. (1) weights *)
+  exact_weight_rows : int;      (** per-(s,d) rows + fallback — config volume *)
+  simplified_lambda : float;
+  simplified_vars : int;
+  simplified_constraints : int;
+  simplified_realized : float;
+  simplified_weight_rows : int;
+}
+
+let ablation_lp ?(flows = 5_000) ?(seed = 17) () =
+  let deployment = build_deployment Campus ~seed in
+  let workload = Workload.generate ~deployment ~per_class:2 ~seed ~flows () in
+  let rules = workload.Workload.rules in
+  let traffic = Workload.measure workload in
+  (* Full enforcement comparison: configure a controller per
+     formulation and realise both plans on the same workload. *)
+  let exact_c = configure_exn deployment ~rules (Sdm.Controller.Load_balanced_exact traffic) in
+  let simpl_c = configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic) in
+  let realized controller =
+    Array.fold_left max 0.0 (Flowsim.run ~controller ~workload ()).Flowsim.loads
+  in
+  let exact = Option.get exact_c.Sdm.Controller.lp in
+  let simplified = Option.get simpl_c.Sdm.Controller.lp in
+  let weight_rows c = (Sdm.Controller.config_summary c).Sdm.Controller.weight_rows in
+  {
+    exact_lambda = exact.Sdm.Lp_formulation.lambda;
+    exact_vars = exact.Sdm.Lp_formulation.lp_vars;
+    exact_constraints = exact.Sdm.Lp_formulation.lp_constraints;
+    exact_realized = realized exact_c;
+    exact_weight_rows = weight_rows exact_c;
+    simplified_lambda = simplified.Sdm.Lp_formulation.lambda;
+    simplified_vars = simplified.Sdm.Lp_formulation.lp_vars;
+    simplified_constraints = simplified.Sdm.Lp_formulation.lp_constraints;
+    simplified_realized = realized simpl_c;
+    simplified_weight_rows = weight_rows simpl_c;
+  }

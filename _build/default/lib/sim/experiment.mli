@@ -1,0 +1,203 @@
+(** The paper's evaluation experiments (Sec. IV), plus ablations.
+
+    Deployment recipe for both topologies: middleboxes WP x4, FW x7,
+    IDS x7, TM x4 attached to random core routers; one policy proxy
+    per edge router; candidate-set sizes FW/IDS 4, WP/TM 2.  Flows
+    30k-300k with power-law sizes on [1,5000] calibrated to the
+    paper's 1M-10M total packets.
+
+    For the load-balanced strategy, the controller consumes the
+    traffic matrix measured on the same workload (the paper's proxies
+    measure a previous epoch; with stationary traffic the two
+    coincide). *)
+
+type scenario = Campus | Waxman
+
+val scenario_name : scenario -> string
+
+val mbox_counts : (Policy.Action.nf * int) list
+(** WP 4, FW 7, IDS 7, TM 4 — Sec. IV.A. *)
+
+val build_deployment : scenario -> seed:int -> Sdm.Deployment.t
+
+val strategies : string list
+(** ["HP"; "Rand"; "LB"] in plot order. *)
+
+type strategy_run = {
+  strategy : string;
+  controller : Sdm.Controller.t;
+  result : Flowsim.result;
+  lambda : float option; (** LP optimum, LB only *)
+}
+
+val run_strategies :
+  deployment:Sdm.Deployment.t ->
+  flows:int ->
+  ?per_class:int ->
+  ?seed:int ->
+  ?rule_seed:int ->
+  unit ->
+  Workload.t * strategy_run list
+(** One workload, all three strategies on it.  [rule_seed] (default
+    [seed]) pins the policy set independently of the flow population,
+    which the figure sweeps use to scale volume under fixed policies. *)
+
+(* {2 Figures 4 and 5} *)
+
+type point = {
+  flows : int;
+  total_packets : int;
+  (* max_loads.(nf) in HP, Rand, LB order *)
+  max_loads : (Policy.Action.nf * (float * float * float)) list;
+}
+
+type figure = { scenario : scenario; points : point list }
+
+val default_flow_counts : int list
+(** 30k .. 300k in steps of 30k. *)
+
+val run_figure :
+  scenario -> ?flow_counts:int list -> ?per_class:int -> ?seed:int -> unit ->
+  figure
+
+(* {2 Table III} *)
+
+type table3_row = {
+  nf : Policy.Action.nf;
+  hp_max : float;
+  hp_min : float;
+  rand_max : float;
+  rand_min : float;
+  lb_max : float;
+  lb_min : float;
+}
+
+val run_table3 :
+  ?scenario:scenario -> ?flows:int -> ?per_class:int -> ?seed:int -> unit ->
+  table3_row list
+
+(* {2 Ablations} *)
+
+type k_point = { k_fw_ids : int; k_wp_tm : int; lb_max_by_nf : (Policy.Action.nf * float) list }
+
+val ablation_k :
+  ?scenario:scenario -> ?flows:int -> ?seed:int -> unit -> k_point list
+(** LB max loads as the candidate-set sizes grow; k=1 reproduces HP. *)
+
+type cache_stats = {
+  packets : int;
+  lookups : int;            (** multi-field policy lookups actually performed *)
+  hits : int;
+  negative_hits : int;
+  lookup_fraction : float;  (** lookups / packet-events; the flow cache drives this toward #flows/#packets *)
+}
+
+val ablation_cache : ?flows:int -> ?seed:int -> unit -> cache_stats
+(** Packet-level run on the campus topology quantifying Sec. III.D. *)
+
+type cache_size_point = {
+  capacity : int option;     (** [None] = unbounded *)
+  size_lookup_fraction : float;
+  size_evictions : int;
+}
+
+val ablation_cache_size :
+  ?flows:int -> ?seed:int -> unit -> cache_size_point list
+(** Sec. III.D under finite table sizes: shrink every proxy/middlebox
+    flow cache and watch evictions force repeated multi-field lookups
+    for long-lived flows. *)
+
+type frag_stats = {
+  fragments_ip_over_ip : int;   (** label switching disabled *)
+  fragments_label_switched : int; (** label switching enabled *)
+  tunneled_legs : int;
+  label_switched_legs : int;
+}
+
+val ablation_fragmentation : ?flows:int -> ?seed:int -> unit -> frag_stats
+(** Packet-level run quantifying Sec. III.E. *)
+
+type failure_report = {
+  failed_mbox : int;                  (** the killed middlebox (most-loaded IDS) *)
+  failed_nf : Policy.Action.nf;
+  before_max : float;                 (** max load of that type before failure *)
+  failover_max : float;               (** local fast failover, stale weights *)
+  reoptimized_max : float;            (** controller re-ran candidates + LP *)
+  reoptimized_lambda : float;
+  hp_failover_max : float;            (** hot-potato under the same failure *)
+  survivors : int;                    (** remaining boxes of that type *)
+}
+
+val ablation_failure :
+  ?scenario:scenario -> ?flows:int -> ?seed:int -> unit -> failure_report
+(** Dependability experiment: kill the most-loaded IDS middlebox and
+    compare local fast failover (stale LP weights renormalised over
+    the survivors) against full controller re-optimization, with
+    hot-potato as the baseline.  Every packet keeps being enforced —
+    the chain is never skipped. *)
+
+type sketch_point = {
+  epsilon : float;
+  sketch_cells : int;       (** counters across all proxy sketches *)
+  exact_cells : int;        (** non-zero (s,d,p) cells in the exact matrix *)
+  exact_lambda : float;
+  sketched_lambda : float;  (** LP optimum planned on sketched volumes *)
+  exact_realized_max : float;   (** realised max load, exact-planned weights *)
+  sketched_realized_max : float;
+}
+
+val ablation_sketch :
+  ?flows:int -> ?seed:int -> unit -> sketch_point list
+(** Count-Min measurement ablation: plan the LB weights on sketched
+    traffic matrices of decreasing resolution and compare both the LP
+    optimum and the realised maximum load against exact measurement. *)
+
+type latency_report = {
+  enforced_mean : float;
+  enforced_p50 : float;
+  enforced_p99 : float;
+  plain_mean : float;      (** same traffic, empty policy table *)
+  plain_p50 : float;
+  plain_p99 : float;
+  mean_overhead : float;   (** enforced_mean / plain_mean *)
+}
+
+val ablation_latency : ?flows:int -> ?seed:int -> unit -> latency_report
+(** Packet-level end-to-end latency with and without enforcement —
+    the time cost of the middlebox detours (campus, LB strategy). *)
+
+type queue_report = {
+  service_rate : float;       (** packets per time unit per middlebox *)
+  hp_util_max : float;        (** busiest-middlebox utilisation under HP *)
+  lb_util_max : float;
+  hp_latency_mean : float;
+  hp_latency_p99 : float;
+  lb_latency_mean : float;
+  lb_latency_p99 : float;
+}
+
+val ablation_queue : ?flows:int -> ?seed:int -> unit -> queue_report
+(** Queueing ablation: give every middlebox a finite service rate
+    (auto-calibrated so the load-balanced plan keeps the busiest box
+    at ~50% utilisation) and measure end-to-end latency under HP vs
+    LB.  Hot-potato's overloaded boxes show up as a latency tail —
+    the user-visible cost of load imbalance. *)
+
+type lp_compare = {
+  exact_lambda : float;
+  exact_vars : int;
+  exact_constraints : int;
+  exact_realized : float;
+  exact_weight_rows : int;
+  simplified_lambda : float;
+  simplified_vars : int;
+  simplified_constraints : int;
+  simplified_realized : float;
+  simplified_weight_rows : int;
+}
+
+val ablation_lp : ?flows:int -> ?seed:int -> unit -> lp_compare
+(** Eq. (1) vs Eq. (2) on a small campus instance, compared end to end:
+    LP size, optimum, *realised* max load enforcing each formulation's
+    weights (Eq. (1) uses the per-(s,d) rows), and the configuration
+    rows each must disseminate. *)

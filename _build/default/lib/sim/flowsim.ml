@@ -1,0 +1,88 @@
+type result = {
+  loads : float array;
+  packet_hops : float;
+  direct_packet_hops : float;
+  enforced_flows : int;
+  enforced_packets : int;
+}
+
+let run ?alive ~controller ~workload () =
+  let dep = controller.Sdm.Controller.deployment in
+  let dist = dep.Sdm.Deployment.dist in
+  let loads = Array.make (Array.length dep.Sdm.Deployment.middleboxes) 0.0 in
+  let packet_hops = ref 0.0 in
+  let direct_packet_hops = ref 0.0 in
+  let enforced_flows = ref 0 in
+  let enforced_packets = ref 0 in
+  let router_of_proxy i = dep.Sdm.Deployment.proxies.(i).Mbox.Proxy.router in
+  Array.iter
+    (fun (fs : Workload.flow_spec) ->
+      let pkts = float_of_int fs.Workload.packets in
+      let src_router = router_of_proxy fs.Workload.src_proxy in
+      let dst_router = router_of_proxy fs.Workload.dst_proxy in
+      direct_packet_hops := !direct_packet_hops +. (dist.(src_router).(dst_router) *. pkts);
+      match Workload.rule_of workload fs with
+      | None ->
+        packet_hops := !packet_hops +. (dist.(src_router).(dst_router) *. pkts)
+      | Some rule when Policy.Action.is_permit rule.Policy.Rule.actions ->
+        packet_hops := !packet_hops +. (dist.(src_router).(dst_router) *. pkts)
+      | Some rule ->
+        incr enforced_flows;
+        enforced_packets := !enforced_packets + fs.Workload.packets;
+        let entity = ref (Mbox.Entity.Proxy fs.Workload.src_proxy) in
+        let here = ref src_router in
+        List.iter
+          (fun nf ->
+            let mb =
+              Sdm.Controller.next_hop ?alive controller !entity ~rule ~nf
+                fs.Workload.flow
+            in
+            loads.(mb.Mbox.Middlebox.id) <- loads.(mb.Mbox.Middlebox.id) +. pkts;
+            packet_hops :=
+              !packet_hops +. (dist.(!here).(mb.Mbox.Middlebox.router) *. pkts);
+            here := mb.Mbox.Middlebox.router;
+            entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id)
+          rule.Policy.Rule.actions;
+        packet_hops := !packet_hops +. (dist.(!here).(dst_router) *. pkts))
+    workload.Workload.flows;
+  {
+    loads;
+    packet_hops = !packet_hops;
+    direct_packet_hops = !direct_packet_hops;
+    enforced_flows = !enforced_flows;
+    enforced_packets = !enforced_packets;
+  }
+
+let loads_of_nf controller result nf =
+  let dep = controller.Sdm.Controller.deployment in
+  Sdm.Deployment.middleboxes_of dep nf
+  |> List.map (fun (m : Mbox.Middlebox.t) -> result.loads.(m.id))
+  |> Array.of_list
+
+let max_load_of_nf controller result nf =
+  Array.fold_left max 0.0 (loads_of_nf controller result nf)
+
+let stretch result =
+  if result.direct_packet_hops = 0.0 then 1.0
+  else result.packet_hops /. result.direct_packet_hops
+
+let trace ~controller flow =
+  let dep = controller.Sdm.Controller.deployment in
+  let proxy =
+    match Sdm.Deployment.proxy_of_addr dep flow.Netpkt.Flow.src with
+    | Some p -> p
+    | None -> invalid_arg "Flowsim.trace: source address is in no proxy subnet"
+  in
+  match Policy.Rule.first_match controller.Sdm.Controller.rules flow with
+  | None -> (None, [])
+  | Some rule ->
+    let entity = ref (Mbox.Entity.Proxy proxy.Mbox.Proxy.id) in
+    let chain =
+      List.map
+        (fun nf ->
+          let mb = Sdm.Controller.next_hop controller !entity ~rule ~nf flow in
+          entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id;
+          mb)
+        rule.Policy.Rule.actions
+    in
+    (Some rule, chain)

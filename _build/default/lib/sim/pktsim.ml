@@ -1,0 +1,591 @@
+type table_source = Oracle | Distributed_ospf | Distributed_dvr
+
+type config = {
+  label_switching : bool;
+  mtu : int;
+  link_delay : float;
+  packet_interval : float;
+  start_window : float;
+  cache_timeout : float;
+  seed : int;
+  table_source : table_source;
+  service_rate : float;
+  label_timeout : float;
+  wp_cache_hit_ratio : float;
+  cache_capacity : int option;
+  ecmp : bool;
+}
+
+let default_config =
+  {
+    label_switching = true;
+    mtu = 1500;
+    link_delay = 0.1;
+    packet_interval = 1.0;
+    start_window = 50.0;
+    cache_timeout = 1e9;
+    seed = 99;
+    table_source = Oracle;
+    service_rate = infinity;
+    label_timeout = infinity;
+    wp_cache_hit_ratio = 0.0;
+    cache_capacity = None;
+    ecmp = false;
+  }
+
+type stats = {
+  loads : float array;
+  injected_packets : int;
+  delivered_packets : int;
+  dropped_packets : int;
+  control_packets : int;
+  multi_field_lookups : int;
+  cache_hits : int;
+  cache_negative_hits : int;
+  tunneled_packets : int;
+  label_switched_packets : int;
+  fragments_created : int;
+  router_hops : int;
+  sim_time : float;
+  latency_mean : float;  (* 0.0 when nothing was delivered *)
+  latency_p50 : float;
+  latency_p99 : float;
+  label_misses : int;    (* label-switched packets hitting an expired entry *)
+  teardowns : int;       (* teardown notifications back to proxies *)
+  wp_cache_served : int; (* requests answered from the web proxy's cache *)
+  cache_evictions : int; (* capacity-forced LRU evictions across all caches *)
+}
+
+type counters = {
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable control : int;
+  mutable lookups : int;
+  mutable cache_hits : int;
+  mutable cache_negative_hits : int;
+  mutable tunneled : int;
+  mutable label_switched : int;
+  mutable fragments : int;
+  mutable hops : int;
+  mutable label_misses : int;
+  mutable teardowns : int;
+  mutable wp_served : int;
+}
+
+(* Messages on the wire: ordinary data packets, or the control packet
+   the chain's last middlebox sends back to the proxy (Sec. III.E). *)
+type msg =
+  | Data of Netpkt.Packet.t * float (* packet, injection time *)
+  | Control of { dst : Netpkt.Addr.t; flow : Netpkt.Flow.t }
+  | Teardown of { dst : Netpkt.Addr.t; label : int }
+      (* an expired label-switched path: the proxy must fall back to
+         IP-over-IP and re-establish *)
+
+(* Where a destination address lives: the attachment router plus the
+   endpoint to hand the message to on arrival. *)
+type endpoint = To_subnet of int | To_mbox of int
+
+type world = {
+  cfg : config;
+  controller : Sdm.Controller.t;
+  dep : Sdm.Deployment.t;
+  engine : Dess.Engine.t;
+  tables : Netgraph.Routing.table array;
+  ecmp_tables : Netgraph.Routing.ecmp_table array option;
+  counters : counters;
+  mutable latencies : float list; (* delivered-packet end-to-end times *)
+  busy_until : float array; (* per-middlebox FIFO server horizon *)
+  loads : float array;
+  (* Per-proxy and per-middlebox soft state. *)
+  proxy_caches : Policy.Flow_cache.t array;
+  proxy_tries : Policy.Trie.t array;
+  mutable_label : int array; (* next label per proxy *)
+  (* reverse index: label -> flow, so a teardown (which carries only
+     src|label) can find the proxy's flow-cache entry *)
+  proxy_label_index : (int, Netpkt.Flow.t) Hashtbl.t array;
+  mbox_caches : Policy.Flow_cache.t array;
+  mbox_tries : Policy.Trie.t array;
+  mbox_labels : Mbox.Label_table.t array;
+  (* Address resolution (middleboxes by exact address; stub subnets
+     via the deployment's prefix index). *)
+  mbox_index : (Netpkt.Addr.t, int) Hashtbl.t;
+  rule_by_id : (int, Policy.Rule.t) Hashtbl.t;
+}
+
+let resolve w addr =
+  match Hashtbl.find_opt w.mbox_index addr with
+  | Some id ->
+    Some (w.dep.Sdm.Deployment.middleboxes.(id).Mbox.Middlebox.router, To_mbox id)
+  | None -> (
+    match Sdm.Deployment.proxy_of_addr w.dep addr with
+    | Some p -> Some (p.Mbox.Proxy.router, To_subnet p.Mbox.Proxy.id)
+    | None -> None)
+
+let msg_dst = function
+  | Data (pkt, _) -> pkt.Netpkt.Packet.header.Netpkt.Header.dst
+  | Control { dst; _ } -> dst
+  | Teardown { dst; _ } -> dst
+
+(* Count the fragments a data packet would shatter into when it first
+   hits a link; the logical packet keeps travelling whole (tunnel
+   endpoints would reassemble anyway), only the statistic records the
+   overhead label switching exists to avoid. *)
+let note_fragments w = function
+  | Data (pkt, _) ->
+    w.counters.fragments <-
+      w.counters.fragments
+      + (Netpkt.Fragment.count ~mtu:w.cfg.mtu (Netpkt.Packet.size pkt) - 1)
+  | Control _ | Teardown _ -> ()
+
+(* Figure 3: a web proxy holding the requested page "honors" the
+   request — the packet stops here and a response goes back, skipping
+   the rest of the chain and the origin server.  The decision must be
+   per-flow sticky across tunnelled and label-switched packets, so it
+   hashes the fields both forms share: source address and label when
+   present, the full 5-tuple otherwise. *)
+let wp_serves_from_cache w (mb : Mbox.Middlebox.t) ~src ~label ~flow_hash =
+  w.cfg.wp_cache_hit_ratio > 0.0
+  && Policy.Action.equal_nf mb.Mbox.Middlebox.nf Policy.Action.WP
+  &&
+  let h =
+    match label with
+    | Some l -> Stdx.Xhash.ints [ src; l; 0x77AC ]
+    | None -> Stdx.Xhash.fold_int flow_hash 0x77AC
+  in
+  Stdx.Xhash.to_unit_interval h < w.cfg.wp_cache_hit_ratio
+
+(* The cached response: modelled as immediate delivery back to the
+   client (the reverse path carries no policy work in our classes). *)
+let serve_from_cache w ~born =
+  w.counters.wp_served <- w.counters.wp_served + 1;
+  w.counters.delivered <- w.counters.delivered + 1;
+  w.latencies <- (Dess.Engine.now w.engine -. born) :: w.latencies
+
+let rec send w ~from_router msg =
+  note_fragments w msg;
+  forward w ~router:from_router msg
+
+(* Hop-by-hop forwarding using only the routers' policy-oblivious
+   OSPF tables. *)
+and forward w ~router msg =
+  match resolve w (msg_dst msg) with
+  | None -> w.counters.dropped <- w.counters.dropped + 1
+  | Some (target_router, endpoint) ->
+    if router = target_router then
+      ignore
+        (Dess.Engine.schedule w.engine ~delay:w.cfg.link_delay (fun _ ->
+             deliver w endpoint msg))
+    else begin
+      match next_hop_for w ~router ~target_router msg with
+      | None -> w.counters.dropped <- w.counters.dropped + 1
+      | Some hop ->
+        w.counters.hops <- w.counters.hops + 1;
+        ignore
+          (Dess.Engine.schedule w.engine ~delay:w.cfg.link_delay (fun _ ->
+               forward w ~router:hop msg))
+    end
+
+(* With ECMP enabled, routers spread flows over every shortest-path
+   next hop by hashing stable header fields (plus the router id, so
+   consecutive routers choose independently). *)
+and next_hop_for w ~router ~target_router msg =
+  match w.ecmp_tables with
+  | None -> Netgraph.Routing.next_hop w.tables.(router) target_router
+  | Some ecmp -> (
+    match ecmp.(router).(target_router) with
+    | [] -> None
+    | [ hop ] -> Some hop
+    | hops ->
+      let h =
+        match msg with
+        | Data (pkt, _) ->
+          let hd = pkt.Netpkt.Packet.header in
+          Stdx.Xhash.ints
+            [ router; hd.Netpkt.Header.src; hd.Netpkt.Header.dst;
+              hd.Netpkt.Header.sport; hd.Netpkt.Header.dport ]
+        | Control { dst; _ } | Teardown { dst; _ } ->
+          Stdx.Xhash.ints [ router; dst ]
+      in
+      Some (List.nth hops (Stdx.Xhash.to_range h (List.length hops))))
+
+and deliver w endpoint msg =
+  match (endpoint, msg) with
+  | To_subnet proxy_id, Data (pkt, born) ->
+    (* Arrived in its stub network.  Encapsulated packets must not
+       reach subnets; plain ones are final deliveries. *)
+    if Netpkt.Packet.is_encapsulated pkt then
+      w.counters.dropped <- w.counters.dropped + 1
+    else begin
+      ignore proxy_id;
+      w.counters.delivered <- w.counters.delivered + 1;
+      w.latencies <- (Dess.Engine.now w.engine -. born) :: w.latencies
+    end
+  | To_subnet proxy_id, Control { flow; _ } ->
+    w.counters.control <- w.counters.control + 1;
+    ignore (Policy.Flow_cache.mark_ls_ready w.proxy_caches.(proxy_id) flow)
+  | To_subnet proxy_id, Teardown { label; _ } -> (
+    (* A downstream label entry expired: drop back to IP-over-IP until
+       a fresh first packet re-establishes the path. *)
+    w.counters.teardowns <- w.counters.teardowns + 1;
+    match Hashtbl.find_opt w.proxy_label_index.(proxy_id) label with
+    | None -> ()
+    | Some flow -> (
+      let now = Dess.Engine.now w.engine in
+      match Policy.Flow_cache.lookup w.proxy_caches.(proxy_id) ~now flow with
+      | Some entry -> entry.Policy.Flow_cache.ls_ready <- false
+      | None -> ()))
+  | To_mbox id, Data (pkt, born) ->
+    (* FIFO service: a busy middlebox queues the packet; the wait is
+       end-to-end latency, which is how overload becomes visible. *)
+    if w.cfg.service_rate = infinity then mbox_receive w id pkt ~born
+    else begin
+      let now = Dess.Engine.now w.engine in
+      let start = Stdlib.max now w.busy_until.(id) in
+      let depart = start +. (1.0 /. w.cfg.service_rate) in
+      w.busy_until.(id) <- depart;
+      ignore
+        (Dess.Engine.schedule_at w.engine ~time:depart (fun _ ->
+             mbox_receive w id pkt ~born))
+    end
+  | To_mbox _, (Control _ | Teardown _) ->
+    w.counters.dropped <- w.counters.dropped + 1
+
+(* ---- Middlebox data path ---------------------------------------- *)
+
+and mbox_actions w id flow =
+  (* Action list for a flow at a middlebox: flow cache first, then the
+     local policy table (Sec. III.D applies to middleboxes too). *)
+  let now = Dess.Engine.now w.engine in
+  let cache = w.mbox_caches.(id) in
+  match Policy.Flow_cache.lookup cache ~now flow with
+  | Some { actions = Some a; rule_id; _ } ->
+    w.counters.cache_hits <- w.counters.cache_hits + 1;
+    Some (a, rule_id)
+  | Some { actions = None; _ } ->
+    w.counters.cache_negative_hits <- w.counters.cache_negative_hits + 1;
+    None
+  | None -> (
+    w.counters.lookups <- w.counters.lookups + 1;
+    match Policy.Trie.first_match w.mbox_tries.(id) flow with
+    | None ->
+      ignore (Policy.Flow_cache.insert_negative cache ~now flow);
+      None
+    | Some rule ->
+      ignore
+        (Policy.Flow_cache.insert cache ~now flow ~rule_id:rule.Policy.Rule.id
+           ~actions:rule.Policy.Rule.actions ());
+      Some (rule.Policy.Rule.actions, rule.Policy.Rule.id))
+
+and mbox_receive w id pkt ~born =
+  let mb = w.dep.Sdm.Deployment.middleboxes.(id) in
+  match Netpkt.Packet.decapsulate pkt with
+  | Some inner -> (
+    (* Tunnelled leg: strip the outer header, apply the function. *)
+    w.counters.tunneled <- w.counters.tunneled + 1;
+    w.loads.(id) <- w.loads.(id) +. 1.0;
+    let flow = Netpkt.Packet.inner_flow pkt in
+    let proxy_addr = pkt.Netpkt.Packet.header.Netpkt.Header.src in
+    match mbox_actions w id flow with
+    | None ->
+      (* A tunnelled packet the middlebox cannot classify: forward the
+         inner packet onward unprocessed. *)
+      send w ~from_router:mb.Mbox.Middlebox.router (Data (inner, born))
+    | Some (actions, rule_id) -> (
+      let rule = Hashtbl.find w.rule_by_id rule_id in
+      let label = inner.Netpkt.Packet.header.Netpkt.Header.label in
+      if
+        wp_serves_from_cache w mb ~src:flow.Netpkt.Flow.src ~label
+          ~flow_hash:(Netpkt.Flow.hash flow)
+      then serve_from_cache w ~born
+      else
+      match Policy.Action.next_after actions mb.Mbox.Middlebox.nf with
+      | Some nf' ->
+        let y =
+          Sdm.Controller.next_hop w.controller (Mbox.Entity.Middlebox id) ~rule
+            ~nf:nf' flow
+        in
+        (match (label, w.cfg.label_switching) with
+        | Some l, true ->
+          Mbox.Label_table.insert w.mbox_labels.(id)
+            ~now:(Dess.Engine.now w.engine)
+            { Mbox.Label_table.src = flow.Netpkt.Flow.src; label = l }
+            ~actions ~next:(Some y.Mbox.Middlebox.addr) ~final_dst:None
+        | _ -> ());
+        let outer =
+          Netpkt.Packet.encapsulate ~src:proxy_addr ~dst:y.Mbox.Middlebox.addr
+            inner
+        in
+        send w ~from_router:mb.Mbox.Middlebox.router (Data (outer, born))
+      | None ->
+        (* Last function of the chain: restore normal routing and
+           confirm the label-switched path to the proxy. *)
+        (match (label, w.cfg.label_switching) with
+        | Some l, true ->
+          Mbox.Label_table.insert w.mbox_labels.(id)
+            ~now:(Dess.Engine.now w.engine)
+            { Mbox.Label_table.src = flow.Netpkt.Flow.src; label = l }
+            ~actions ~next:None ~final_dst:(Some flow.Netpkt.Flow.dst);
+          send w ~from_router:mb.Mbox.Middlebox.router
+            (Control { dst = proxy_addr; flow })
+        | _ -> ());
+        send w ~from_router:mb.Mbox.Middlebox.router (Data (inner, born))))
+  | None -> (
+    (* No outer header: a label-switched packet addressed to us. *)
+    match pkt.Netpkt.Packet.header.Netpkt.Header.label with
+    | None -> w.counters.dropped <- w.counters.dropped + 1
+    | Some l -> (
+      let key =
+        { Mbox.Label_table.src = pkt.Netpkt.Packet.header.Netpkt.Header.src;
+          label = l }
+      in
+      match
+        Mbox.Label_table.lookup w.mbox_labels.(id)
+          ~now:(Dess.Engine.now w.engine) key
+      with
+      | None ->
+        (* Expired (or never-installed) path: the packet cannot be
+           forwarded — its original destination is unknown here — but
+           the proxy is told to re-establish. *)
+        w.counters.dropped <- w.counters.dropped + 1;
+        w.counters.label_misses <- w.counters.label_misses + 1;
+        (match
+           Sdm.Deployment.proxy_of_addr w.dep
+             pkt.Netpkt.Packet.header.Netpkt.Header.src
+         with
+        | Some p ->
+          send w ~from_router:mb.Mbox.Middlebox.router
+            (Teardown { dst = p.Mbox.Proxy.addr; label = l })
+        | None -> () (* orphaned source: nothing to notify *))
+      | Some entry ->
+        w.counters.label_switched <- w.counters.label_switched + 1;
+        w.loads.(id) <- w.loads.(id) +. 1.0;
+        if
+          wp_serves_from_cache w mb
+            ~src:pkt.Netpkt.Packet.header.Netpkt.Header.src ~label:(Some l)
+            ~flow_hash:0L
+        then serve_from_cache w ~born
+        else
+        let header = pkt.Netpkt.Packet.header in
+        let forward_to, strip =
+          match (entry.Mbox.Label_table.next, entry.Mbox.Label_table.final_dst) with
+          | Some next, None -> (next, false)
+          | None, Some dst -> (dst, true)
+          | _ -> assert false (* Label_table.insert forbids *)
+        in
+        let header = Netpkt.Header.with_dst header forward_to in
+        let header = if strip then Netpkt.Header.clear_label header else header in
+        send w ~from_router:mb.Mbox.Middlebox.router
+          (Data ({ pkt with Netpkt.Packet.header }, born))))
+
+(* ---- Proxy data path -------------------------------------------- *)
+
+(* The proxy's decision for one outbound packet of [fs]. *)
+let proxy_emit w (fs : Workload.flow_spec) =
+  let proxy_id = fs.Workload.src_proxy in
+  let proxy = w.dep.Sdm.Deployment.proxies.(proxy_id) in
+  let now = Dess.Engine.now w.engine in
+  let cache = w.proxy_caches.(proxy_id) in
+  let flow = fs.Workload.flow in
+  let header =
+    Netpkt.Header.of_flow flow
+  in
+  let payload_bytes = max 0 (fs.Workload.packet_bytes - Netpkt.Header.size) in
+  let plain = Netpkt.Packet.plain header ~payload_bytes in
+  let entity = Mbox.Entity.Proxy proxy_id in
+  let tunnel_first ~rule ~label =
+    let nf = List.hd rule.Policy.Rule.actions in
+    let mb = Sdm.Controller.next_hop w.controller entity ~rule ~nf flow in
+    let inner =
+      match label with
+      | Some l ->
+        { plain with Netpkt.Packet.header = Netpkt.Header.with_label header l }
+      | None -> plain
+    in
+    let outer =
+      Netpkt.Packet.encapsulate ~src:proxy.Mbox.Proxy.addr
+        ~dst:mb.Mbox.Middlebox.addr inner
+    in
+    send w ~from_router:proxy.Mbox.Proxy.router (Data (outer, now))
+  in
+  match Policy.Flow_cache.lookup cache ~now flow with
+  | Some { actions = Some a; _ } when Policy.Action.is_permit a ->
+    w.counters.cache_hits <- w.counters.cache_hits + 1;
+    send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now))
+  | Some ({ actions = Some _; rule_id; label; _ } as entry) ->
+    w.counters.cache_hits <- w.counters.cache_hits + 1;
+    let rule = Hashtbl.find w.rule_by_id rule_id in
+    if entry.Policy.Flow_cache.ls_ready && w.cfg.label_switching then begin
+      (* Established label-switched path: embed the label, address the
+         packet straight to the first middlebox, no outer header. *)
+      let nf = List.hd rule.Policy.Rule.actions in
+      let mb = Sdm.Controller.next_hop w.controller entity ~rule ~nf flow in
+      let header =
+        Netpkt.Header.with_dst
+          (Netpkt.Header.with_label header (Option.get label))
+          mb.Mbox.Middlebox.addr
+      in
+      send w ~from_router:proxy.Mbox.Proxy.router
+        (Data ({ plain with Netpkt.Packet.header }, now))
+    end
+    else tunnel_first ~rule ~label
+  | Some { actions = None; _ } ->
+    w.counters.cache_negative_hits <- w.counters.cache_negative_hits + 1;
+    send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now))
+  | None -> (
+    w.counters.lookups <- w.counters.lookups + 1;
+    match Policy.Trie.first_match w.proxy_tries.(proxy_id) flow with
+    | None ->
+      ignore (Policy.Flow_cache.insert_negative cache ~now flow);
+      send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now))
+    | Some rule when Policy.Action.is_permit rule.Policy.Rule.actions ->
+      ignore
+        (Policy.Flow_cache.insert cache ~now flow ~rule_id:rule.Policy.Rule.id
+           ~actions:Policy.Action.permit ());
+      send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now))
+    | Some rule ->
+      let label =
+        if w.cfg.label_switching then begin
+          let l = w.mutable_label.(proxy_id) land Netpkt.Header.max_label in
+          w.mutable_label.(proxy_id) <- l + 1;
+          Hashtbl.replace w.proxy_label_index.(proxy_id) l flow;
+          Some l
+        end
+        else None
+      in
+      ignore
+        (Policy.Flow_cache.insert cache ~now flow ~rule_id:rule.Policy.Rule.id
+           ~actions:rule.Policy.Rule.actions ?label ());
+      tunnel_first ~rule ~label)
+
+let run ?(config = default_config) ~controller ~workload () =
+  let dep = controller.Sdm.Controller.deployment in
+  let n_proxies = Array.length dep.Sdm.Deployment.proxies in
+  let n_mboxes = Array.length dep.Sdm.Deployment.middleboxes in
+  let engine = Dess.Engine.create () in
+  let mbox_index = Hashtbl.create 64 in
+  Array.iter
+    (fun (m : Mbox.Middlebox.t) -> Hashtbl.replace mbox_index m.addr m.id)
+    dep.Sdm.Deployment.middleboxes;
+  let rule_by_id = Hashtbl.create 64 in
+  List.iter
+    (fun r -> Hashtbl.replace rule_by_id r.Policy.Rule.id r)
+    controller.Sdm.Controller.rules;
+  let entity_table entity =
+    Policy.Trie.build (Sdm.Controller.policy_table_for controller entity)
+  in
+  let w =
+    {
+      cfg = config;
+      controller;
+      dep;
+      engine;
+      tables =
+        (let topo = dep.Sdm.Deployment.topo in
+         match config.table_source with
+         | Oracle -> Netgraph.Routing.build_all topo.Netgraph.Topology.graph
+         | Distributed_ospf -> (Ospf.Protocol.converge topo).Ospf.Protocol.tables
+         | Distributed_dvr -> (Dvr.Protocol.converge topo).Dvr.Protocol.tables);
+      ecmp_tables =
+        (if config.ecmp then
+           Some
+             (Netgraph.Routing.build_all_ecmp
+                dep.Sdm.Deployment.topo.Netgraph.Topology.graph)
+         else None);
+      counters =
+        {
+          injected = 0;
+          delivered = 0;
+          dropped = 0;
+          control = 0;
+          lookups = 0;
+          cache_hits = 0;
+          cache_negative_hits = 0;
+          tunneled = 0;
+          label_switched = 0;
+          fragments = 0;
+          hops = 0;
+          label_misses = 0;
+          teardowns = 0;
+          wp_served = 0;
+        };
+      latencies = [];
+      busy_until = Array.make n_mboxes 0.0;
+      loads = Array.make n_mboxes 0.0;
+      proxy_caches =
+        Array.init n_proxies (fun _ ->
+            Policy.Flow_cache.create ~timeout:config.cache_timeout
+              ?capacity:config.cache_capacity ());
+      proxy_tries =
+        Array.init n_proxies (fun i -> entity_table (Mbox.Entity.Proxy i));
+      mutable_label = Array.make n_proxies 0;
+      mbox_caches =
+        Array.init n_mboxes (fun _ ->
+            Policy.Flow_cache.create ~timeout:config.cache_timeout
+              ?capacity:config.cache_capacity ());
+      mbox_tries =
+        Array.init n_mboxes (fun i -> entity_table (Mbox.Entity.Middlebox i));
+      mbox_labels =
+        Array.init n_mboxes (fun _ ->
+            Mbox.Label_table.create ~timeout:config.label_timeout ());
+      proxy_label_index = Array.init n_proxies (fun _ -> Hashtbl.create 64);
+      mbox_index;
+      rule_by_id;
+    }
+  in
+  (* Inject flows: first packet at a jittered start, each subsequent
+     packet scheduled by its predecessor (keeps the heap small). *)
+  let rng = Stdx.Rng.create config.seed in
+  Array.iter
+    (fun (fs : Workload.flow_spec) ->
+      let start = Stdx.Rng.float rng config.start_window in
+      let rec packet_at i =
+        if i < fs.Workload.packets then
+          ignore
+            (Dess.Engine.schedule_at w.engine
+               ~time:(start +. (float_of_int i *. config.packet_interval))
+               (fun _ ->
+                 w.counters.injected <- w.counters.injected + 1;
+                 proxy_emit w fs;
+                 packet_at (i + 1)))
+      in
+      packet_at 0)
+    workload.Workload.flows;
+  Dess.Engine.run engine;
+  {
+    loads = w.loads;
+    injected_packets = w.counters.injected;
+    delivered_packets = w.counters.delivered;
+    dropped_packets = w.counters.dropped;
+    control_packets = w.counters.control;
+    multi_field_lookups = w.counters.lookups;
+    cache_hits = w.counters.cache_hits;
+    cache_negative_hits = w.counters.cache_negative_hits;
+    tunneled_packets = w.counters.tunneled;
+    label_switched_packets = w.counters.label_switched;
+    fragments_created = w.counters.fragments;
+    router_hops = w.counters.hops;
+    sim_time = Dess.Engine.now engine;
+    latency_mean =
+      (match w.latencies with
+      | [] -> 0.0
+      | l -> (Stdx.Stats.summarize (Array.of_list l)).Stdx.Stats.mean);
+    latency_p50 =
+      (match w.latencies with
+      | [] -> 0.0
+      | l -> Stdx.Stats.percentile (Array.of_list l) 0.5);
+    latency_p99 =
+      (match w.latencies with
+      | [] -> 0.0
+      | l -> Stdx.Stats.percentile (Array.of_list l) 0.99);
+    label_misses = w.counters.label_misses;
+    teardowns = w.counters.teardowns;
+    wp_cache_served = w.counters.wp_served;
+    cache_evictions =
+      (let sum caches =
+         Array.fold_left
+           (fun acc c -> acc + (Policy.Flow_cache.stats c).Policy.Flow_cache.evictions)
+           0 caches
+       in
+       sum w.proxy_caches + sum w.mbox_caches);
+  }

@@ -1,0 +1,93 @@
+(** Packet-level network simulator on the discrete-event engine.
+
+    The faithful (and slower) counterpart of {!Flowsim}: every packet
+    of every flow is injected at its source proxy, classified against
+    the proxy's policy table (flow cache first, Sec. III.D), tunnelled
+    IP-over-IP middlebox to middlebox, optionally upgraded to label
+    switching after the chain's last middlebox confirms (Sec. III.E),
+    and routed hop by hop through the routers' OSPF tables, which know
+    nothing about policies.
+
+    Used by integration tests (per-middlebox loads must equal
+    {!Flowsim.run}'s), by the cache and fragmentation ablations, and
+    by the label-switching example.  Keep workloads at packet-level
+    scale (≤ ~100k packets); the figure-scale experiments use
+    {!Flowsim}. *)
+
+type table_source =
+  | Oracle           (** global Dijkstra (default) *)
+  | Distributed_ospf (** tables from link-state flooding ([Ospf.Protocol]) *)
+  | Distributed_dvr  (** tables from distance-vector exchange ([Dvr.Protocol]) *)
+
+type config = {
+  label_switching : bool; (** default true *)
+  mtu : int;              (** default 1500 *)
+  link_delay : float;     (** per hop, default 0.1 *)
+  packet_interval : float;(** spacing within a flow, default 1.0 *)
+  start_window : float;   (** flow start times uniform in [0, w), default 50. *)
+  cache_timeout : float;  (** flow-cache soft-state timeout, default 1e9 *)
+  seed : int;             (** start-time jitter seed, default 99 *)
+  table_source : table_source;
+      (** where the routers' forwarding tables come from.  Middlebox
+          loads are invariant to this (enforcement decisions do not
+          depend on routes); only paths/latencies can differ on
+          equal-cost ties. *)
+  service_rate : float;
+      (** middlebox processing capacity in packets per time unit;
+          packets queue FIFO and wait when a box is busy, so an
+          overloaded middlebox shows up as latency.  Default
+          [infinity] = processing is instantaneous (the load-counting
+          semantics of the figures). *)
+  label_timeout : float;
+      (** soft-state timeout of middlebox label tables.  When an entry
+          expires mid-flow, the packet that hits the stale path is
+          lost (its original destination is unknown downstream), a
+          teardown notification travels back to the proxy, and the
+          flow falls back to IP-over-IP until re-established.  Default
+          [infinity]. *)
+  wp_cache_hit_ratio : float;
+      (** Figure 3's web-proxy semantics: this fraction of flows (a
+          per-flow sticky draw) find their page cached at the WP, which
+          answers directly — the packet skips the rest of the chain and
+          the origin server.  Default 0.0 (WP is a pure pass-through,
+          the evaluation's setting). *)
+  cache_capacity : int option;
+      (** bound on every proxy/middlebox flow cache (hardware hash
+          tables are finite); LRU eviction past the bound.  Default
+          unbounded. *)
+  ecmp : bool;
+      (** equal-cost multipath: routers hash flows over every
+          shortest-path next hop instead of the single deterministic
+          one.  Overrides [table_source] (ECMP sets come from the
+          global oracle).  Middlebox loads are invariant; only paths
+          vary.  Default false. *)
+}
+
+val default_config : config
+
+type stats = {
+  loads : float array;            (** packets processed per middlebox id *)
+  injected_packets : int;
+  delivered_packets : int;
+  dropped_packets : int;          (** TTL expiry / lookup failure; expect 0 *)
+  control_packets : int;          (** label-switching confirmations *)
+  multi_field_lookups : int;      (** policy-table lookups at proxies+middleboxes *)
+  cache_hits : int;
+  cache_negative_hits : int;
+  tunneled_packets : int;         (** tunnel legs traversed IP-over-IP *)
+  label_switched_packets : int;   (** legs traversed by label switching *)
+  fragments_created : int;        (** extra fragments beyond original packets *)
+  router_hops : int;
+  sim_time : float;
+  latency_mean : float;           (** end-to-end delivery latency; 0.0 if none *)
+  latency_p50 : float;
+  latency_p99 : float;
+  label_misses : int;    (** label-switched packets that hit an expired entry *)
+  teardowns : int;       (** teardown notifications delivered to proxies *)
+  wp_cache_served : int; (** packets answered from a web proxy's cache *)
+  cache_evictions : int; (** capacity-forced flow-cache evictions, all nodes *)
+}
+
+val run :
+  ?config:config -> controller:Sdm.Controller.t -> workload:Workload.t ->
+  unit -> stats

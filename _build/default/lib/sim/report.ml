@@ -1,0 +1,214 @@
+let millions v =
+  if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+let pp_figure ppf (fig : Experiment.figure) =
+  Format.fprintf ppf "=== Max middlebox load vs traffic volume (%s topology) ===@."
+    (Experiment.scenario_name fig.Experiment.scenario);
+  let nfs =
+    match fig.Experiment.points with
+    | [] -> []
+    | p :: _ -> List.map fst p.Experiment.max_loads
+  in
+  List.iter
+    (fun nf ->
+      Format.fprintf ppf "@.-- %s --@." (Policy.Action.nf_to_string nf);
+      Format.fprintf ppf "%12s %10s %10s %10s %10s@." "flows" "packets" "HP"
+        "Rand" "LB";
+      List.iter
+        (fun (p : Experiment.point) ->
+          let hp, rand, lb = List.assoc nf p.Experiment.max_loads in
+          Format.fprintf ppf "%12d %10s %10s %10s %10s@." p.Experiment.flows
+            (millions (float_of_int p.Experiment.total_packets))
+            (millions hp) (millions rand) (millions lb))
+        fig.Experiment.points)
+    nfs
+
+let figure_csv (fig : Experiment.figure) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "nf,flows,packets,hp,rand,lb\n";
+  List.iter
+    (fun (p : Experiment.point) ->
+      List.iter
+        (fun (nf, (hp, rand, lb)) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%d,%.0f,%.0f,%.0f\n"
+               (Policy.Action.nf_to_string nf)
+               p.Experiment.flows p.Experiment.total_packets hp rand lb))
+        p.Experiment.max_loads)
+    fig.Experiment.points;
+  Buffer.contents buf
+
+let table3_csv rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "nf,hp_max,hp_min,rand_max,rand_min,lb_max,lb_min\n";
+  List.iter
+    (fun (r : Experiment.table3_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n"
+           (Policy.Action.nf_to_string r.Experiment.nf)
+           r.Experiment.hp_max r.Experiment.hp_min r.Experiment.rand_max
+           r.Experiment.rand_min r.Experiment.lb_max r.Experiment.lb_min))
+    rows;
+  Buffer.contents buf
+
+let pp_table3 ppf rows =
+  Format.fprintf ppf
+    "=== Load distribution: max/min load per middlebox type (Table III) ===@.";
+  Format.fprintf ppf "%-10s %12s %12s %12s@." "Middlebox" "Hot-potato"
+    "Random" "Load-balance";
+  List.iter
+    (fun (r : Experiment.table3_row) ->
+      let name = Policy.Action.nf_to_string r.Experiment.nf in
+      Format.fprintf ppf "%-10s %12.0f %12.0f %12.0f@." (name ^ " max.")
+        r.Experiment.hp_max r.Experiment.rand_max r.Experiment.lb_max;
+      Format.fprintf ppf "%-10s %12.0f %12.0f %12.0f@." (name ^ " min.")
+        r.Experiment.hp_min r.Experiment.rand_min r.Experiment.lb_min)
+    rows
+
+let pp_k_ablation ppf points =
+  Format.fprintf ppf
+    "=== Ablation: candidate-set size k vs LB max load (campus) ===@.";
+  Format.fprintf ppf "%14s" "k (FW/IDS, WP/TM)";
+  (match points with
+  | [] -> ()
+  | p :: _ ->
+    List.iter
+      (fun (nf, _) -> Format.fprintf ppf " %10s" (Policy.Action.nf_to_string nf))
+      p.Experiment.lb_max_by_nf);
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (p : Experiment.k_point) ->
+      Format.fprintf ppf "%9d, %5d" p.Experiment.k_fw_ids p.Experiment.k_wp_tm;
+      List.iter
+        (fun (_, v) -> Format.fprintf ppf " %10s" (millions v))
+        p.Experiment.lb_max_by_nf;
+      Format.fprintf ppf "@.")
+    points
+
+let pp_cache_ablation ppf (c : Experiment.cache_stats) =
+  Format.fprintf ppf
+    "=== Ablation: flow cache vs multi-field lookups (Sec. III.D) ===@.";
+  Format.fprintf ppf
+    "packets injected: %d@.multi-field lookups: %d@.cache hits: %d@.negative \
+     hits: %d@.lookup fraction: %.4f@."
+    c.Experiment.packets c.Experiment.lookups c.Experiment.hits
+    c.Experiment.negative_hits c.Experiment.lookup_fraction
+
+let pp_cache_size_ablation ppf points =
+  Format.fprintf ppf
+    "=== Ablation: flow-cache capacity vs multi-field lookups ===@.";
+  Format.fprintf ppf "%10s %18s %12s@." "capacity" "lookup fraction" "evictions";
+  List.iter
+    (fun (p : Experiment.cache_size_point) ->
+      Format.fprintf ppf "%10s %18.4f %12d@."
+        (match p.Experiment.capacity with
+        | Some c -> string_of_int c
+        | None -> "unbounded")
+        p.Experiment.size_lookup_fraction p.Experiment.size_evictions)
+    points
+
+let pp_frag_ablation ppf (f : Experiment.frag_stats) =
+  Format.fprintf ppf
+    "=== Ablation: fragmentation, IP-over-IP vs label switching (Sec. III.E) \
+     ===@.";
+  Format.fprintf ppf
+    "extra fragments, IP-over-IP only: %d@.extra fragments, with label \
+     switching: %d@.tunneled legs: %d@.label-switched legs: %d@."
+    f.Experiment.fragments_ip_over_ip f.Experiment.fragments_label_switched
+    f.Experiment.tunneled_legs f.Experiment.label_switched_legs
+
+let pp_failure_ablation ppf (f : Experiment.failure_report) =
+  Format.fprintf ppf
+    "=== Ablation: middlebox failure, fast failover vs re-optimization ===@.";
+  Format.fprintf ppf "failed middlebox: mbox%d (%s), %d survivors of its type@."
+    f.Experiment.failed_mbox
+    (Policy.Action.nf_to_string f.Experiment.failed_nf)
+    f.Experiment.survivors;
+  Format.fprintf ppf "max %s load before failure (LB):      %s@."
+    (Policy.Action.nf_to_string f.Experiment.failed_nf)
+    (millions f.Experiment.before_max);
+  Format.fprintf ppf "after failure, local fast failover:    %s@."
+    (millions f.Experiment.failover_max);
+  Format.fprintf ppf "after controller re-optimization:      %s (lambda %s)@."
+    (millions f.Experiment.reoptimized_max)
+    (millions f.Experiment.reoptimized_lambda);
+  Format.fprintf ppf "hot-potato under the same failure:     %s@."
+    (millions f.Experiment.hp_failover_max)
+
+let pp_sketch_ablation ppf points =
+  Format.fprintf ppf
+    "=== Ablation: Count-Min sketched measurement vs exact (campus) ===@.";
+  (match points with
+  | [] -> ()
+  | p :: _ ->
+    Format.fprintf ppf "exact matrix: %d cells; exact lambda %s; realized max %s@."
+      p.Experiment.exact_cells
+      (millions p.Experiment.exact_lambda)
+      (millions p.Experiment.exact_realized_max));
+  Format.fprintf ppf "%10s %14s %12s %14s@." "epsilon" "sketch cells" "lambda"
+    "realized max";
+  List.iter
+    (fun (p : Experiment.sketch_point) ->
+      Format.fprintf ppf "%10.4f %14d %12s %14s@." p.Experiment.epsilon
+        p.Experiment.sketch_cells
+        (millions p.Experiment.sketched_lambda)
+        (millions p.Experiment.sketched_realized_max))
+    points
+
+let pp_epochs ppf metrics =
+  Format.fprintf ppf
+    "=== Ablation: epoch adaptation under drifting traffic (campus) ===@.";
+  Format.fprintf ppf "%6s %9s %9s %12s %14s %10s %8s@." "epoch" "flows"
+    "packets" "stale LB" "clairvoyant" "HP" "gap";
+  List.iter
+    (fun (m : Epochsim.epoch_metrics) ->
+      Format.fprintf ppf "%6d %9d %9s %12s %14s %10s %8.2f@." m.Epochsim.epoch
+        m.Epochsim.flows
+        (millions (float_of_int m.Epochsim.packets))
+        (millions m.Epochsim.stale_lb_max)
+        (millions m.Epochsim.clairvoyant_lb_max)
+        (millions m.Epochsim.hp_max)
+        m.Epochsim.staleness_gap)
+    metrics
+
+let pp_latency_ablation ppf (l : Experiment.latency_report) =
+  Format.fprintf ppf
+    "=== Ablation: end-to-end latency with/without enforcement (campus, LB) \
+     ===@.";
+  Format.fprintf ppf "%12s %10s %10s %10s@." "" "mean" "p50" "p99";
+  Format.fprintf ppf "%12s %10.2f %10.2f %10.2f@." "enforced"
+    l.Experiment.enforced_mean l.Experiment.enforced_p50 l.Experiment.enforced_p99;
+  Format.fprintf ppf "%12s %10.2f %10.2f %10.2f@." "plain"
+    l.Experiment.plain_mean l.Experiment.plain_p50 l.Experiment.plain_p99;
+  Format.fprintf ppf "mean enforcement overhead: %.2fx@."
+    l.Experiment.mean_overhead
+
+let pp_queue_ablation ppf (q : Experiment.queue_report) =
+  Format.fprintf ppf
+    "=== Ablation: middlebox queueing, HP vs LB latency (campus) ===@.";
+  Format.fprintf ppf "service rate: %.1f pkt/unit per middlebox@."
+    q.Experiment.service_rate;
+  Format.fprintf ppf "%6s %12s %14s %14s@." "" "util(max)" "latency mean"
+    "latency p99";
+  Format.fprintf ppf "%6s %12.2f %14.2f %14.2f@." "HP" q.Experiment.hp_util_max
+    q.Experiment.hp_latency_mean q.Experiment.hp_latency_p99;
+  Format.fprintf ppf "%6s %12.2f %14.2f %14.2f@." "LB" q.Experiment.lb_util_max
+    q.Experiment.lb_latency_mean q.Experiment.lb_latency_p99
+
+let pp_lp_ablation ppf (l : Experiment.lp_compare) =
+  Format.fprintf ppf
+    "=== Ablation: LP formulation Eq.(1) exact vs Eq.(2) simplified ===@.";
+  Format.fprintf ppf
+    "exact:      lambda=%.0f realized=%.0f vars=%d constraints=%d weight \
+     rows=%d@."
+    l.Experiment.exact_lambda l.Experiment.exact_realized
+    l.Experiment.exact_vars l.Experiment.exact_constraints
+    l.Experiment.exact_weight_rows;
+  Format.fprintf ppf
+    "simplified: lambda=%.0f realized=%.0f vars=%d constraints=%d weight \
+     rows=%d@."
+    l.Experiment.simplified_lambda l.Experiment.simplified_realized
+    l.Experiment.simplified_vars l.Experiment.simplified_constraints
+    l.Experiment.simplified_weight_rows

@@ -1,0 +1,39 @@
+(** Plain-text rendering of experiment outputs in the shape the paper
+    reports them: one series block per middlebox type for the figures
+    (x = total traffic, y = max load, three strategy columns), and the
+    max/min table for Table III. *)
+
+val pp_figure : Format.formatter -> Experiment.figure -> unit
+
+val pp_table3 : Format.formatter -> Experiment.table3_row list -> unit
+
+val pp_k_ablation : Format.formatter -> Experiment.k_point list -> unit
+
+val pp_cache_ablation : Format.formatter -> Experiment.cache_stats -> unit
+
+val pp_cache_size_ablation :
+  Format.formatter -> Experiment.cache_size_point list -> unit
+
+val pp_frag_ablation : Format.formatter -> Experiment.frag_stats -> unit
+
+val pp_lp_ablation : Format.formatter -> Experiment.lp_compare -> unit
+
+val pp_failure_ablation : Format.formatter -> Experiment.failure_report -> unit
+
+val pp_sketch_ablation : Format.formatter -> Experiment.sketch_point list -> unit
+
+val pp_epochs : Format.formatter -> Epochsim.epoch_metrics list -> unit
+
+val pp_latency_ablation : Format.formatter -> Experiment.latency_report -> unit
+
+val pp_queue_ablation : Format.formatter -> Experiment.queue_report -> unit
+
+val millions : float -> string
+(** "1.66M"-style rendering used across reports. *)
+
+val figure_csv : Experiment.figure -> string
+(** Machine-readable form for plotting: header
+    [nf,flows,packets,hp,rand,lb], one row per (type, volume point). *)
+
+val table3_csv : Experiment.table3_row list -> string
+(** Header [nf,hp_max,hp_min,rand_max,rand_min,lb_max,lb_min]. *)

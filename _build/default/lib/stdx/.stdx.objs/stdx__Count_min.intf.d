@@ -1,0 +1,1 @@
+lib/stdx/count_min.mli:

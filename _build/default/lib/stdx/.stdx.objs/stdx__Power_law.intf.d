@@ -1,0 +1,1 @@
+lib/stdx/power_law.mli: Rng

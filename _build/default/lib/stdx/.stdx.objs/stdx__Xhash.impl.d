@@ -1,0 +1,1 @@
+lib/stdx/xhash.ml: Char Int64 List String

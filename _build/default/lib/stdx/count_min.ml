@@ -1,0 +1,48 @@
+type t = {
+  width : int;
+  depth : int;
+  rows : float array array;
+  seeds : int array;
+  mutable total : float;
+}
+
+let create ?(epsilon = 0.001) ?(delta = 0.01) () =
+  if epsilon <= 0.0 || epsilon >= 1.0 then
+    invalid_arg "Count_min.create: epsilon out of (0,1)";
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Count_min.create: delta out of (0,1)";
+  let width = int_of_float (ceil (exp 1.0 /. epsilon)) in
+  let depth = max 1 (int_of_float (ceil (log (1.0 /. delta)))) in
+  {
+    width;
+    depth;
+    rows = Array.make_matrix depth width 0.0;
+    (* Fixed per-row salts keep the sketch deterministic. *)
+    seeds = Array.init depth (fun i -> 0x9E3779B9 + (i * 0x85EBCA6B));
+    total = 0.0;
+  }
+
+let width t = t.width
+let depth t = t.depth
+
+let cell t row key =
+  let h = Xhash.fold_int key t.seeds.(row) in
+  Xhash.to_range h t.width
+
+let add t key v =
+  if v < 0.0 then invalid_arg "Count_min.add: negative value";
+  t.total <- t.total +. v;
+  for row = 0 to t.depth - 1 do
+    let c = cell t row key in
+    t.rows.(row).(c) <- t.rows.(row).(c) +. v
+  done
+
+let estimate t key =
+  let best = ref infinity in
+  for row = 0 to t.depth - 1 do
+    let v = t.rows.(row).(cell t row key) in
+    if v < !best then best := v
+  done;
+  if !best = infinity then 0.0 else !best
+
+let total t = t.total

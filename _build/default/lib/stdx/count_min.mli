@@ -1,0 +1,25 @@
+(** Count-Min sketch over 64-bit-hashed keys.
+
+    Sub-linear-memory frequency estimation with one-sided error:
+    estimates never undercount, and with width [ceil (e / epsilon)]
+    and depth [ceil (ln (1 / delta))] the overcount is at most
+    [epsilon * total] with probability [1 - delta].  Policy proxies
+    use it to measure per-(source, destination, policy) traffic
+    volumes without keeping an exact cell per combination. *)
+
+type t
+
+val create : ?epsilon:float -> ?delta:float -> unit -> t
+(** Defaults: epsilon 0.001, delta 0.01. *)
+
+val width : t -> int
+val depth : t -> int
+
+val add : t -> int64 -> float -> unit
+(** [add t key v] — raises [Invalid_argument] on negative [v]. *)
+
+val estimate : t -> int64 -> float
+(** Never less than the true total added for the key. *)
+
+val total : t -> float
+(** Exact sum of everything added. *)

@@ -1,0 +1,29 @@
+(** Imperative binary min-heap.
+
+    The backbone of the discrete-event simulator's event queue and of
+    Dijkstra's algorithm.  Ordering is supplied at creation time; ties
+    are broken by insertion order only if the comparison says so (the
+    callers embed sequence numbers when FIFO stability matters). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: elements in ascending order.  O(n log n). *)

@@ -1,0 +1,43 @@
+type t = { alpha : float; lo : float; hi : float }
+
+let make ~alpha ~lo ~hi =
+  if alpha <= 1.0 then invalid_arg "Power_law.make: alpha must be > 1";
+  if lo < 1 || hi <= lo then invalid_arg "Power_law.make: need 1 <= lo < hi";
+  { alpha; lo = float_of_int lo; hi = float_of_int hi }
+
+let alpha t = t.alpha
+
+(* Inverse-CDF sampling of a Pareto truncated to [lo, hi]:
+   F(x) = (lo^(1-a) - x^(1-a)) / (lo^(1-a) - hi^(1-a)). *)
+let sample t rng =
+  let a = t.alpha in
+  let u = Rng.float rng 1.0 in
+  let pl = t.lo ** (1.0 -. a) and ph = t.hi ** (1.0 -. a) in
+  let x = (pl -. (u *. (pl -. ph))) ** (1.0 /. (1.0 -. a)) in
+  let n = int_of_float x in
+  let lo = int_of_float t.lo and hi = int_of_float t.hi in
+  if n < lo then lo else if n > hi then hi else n
+
+let mean t =
+  let a = t.alpha in
+  if abs_float (a -. 2.0) < 1e-12 then
+    (* Degenerate integral: mean = ln(hi/lo) / (1/lo - 1/hi). *)
+    log (t.hi /. t.lo) /. ((1.0 /. t.lo) -. (1.0 /. t.hi))
+  else
+    let num = (t.hi ** (2.0 -. a)) -. (t.lo ** (2.0 -. a)) in
+    let den = (t.hi ** (1.0 -. a)) -. (t.lo ** (1.0 -. a)) in
+    (1.0 -. a) /. (2.0 -. a) *. (num /. den)
+
+let calibrate ~lo ~hi ~mean:target =
+  let lo_f = float_of_int lo and hi_f = float_of_int hi in
+  if target <= lo_f || target >= (lo_f +. hi_f) /. 2.0 then
+    invalid_arg "Power_law.calibrate: target mean not achievable";
+  (* Mean is decreasing in alpha on (1, inf); bisect. *)
+  let eval a = mean (make ~alpha:a ~lo ~hi) in
+  let rec bisect a_lo a_hi n =
+    if n = 0 then make ~alpha:((a_lo +. a_hi) /. 2.0) ~lo ~hi
+    else
+      let mid = (a_lo +. a_hi) /. 2.0 in
+      if eval mid > target then bisect mid a_hi (n - 1) else bisect a_lo mid (n - 1)
+  in
+  bisect 1.000001 30.0 80

@@ -1,0 +1,27 @@
+(** Bounded power-law (truncated Pareto) sampling of integer sizes.
+
+    The paper's workloads draw flow sizes "following a power law
+    distribution in the range from 1 to 5000 packets" such that 30k
+    flows total roughly 1M packets.  This module provides the sampler
+    and a calibration routine that finds the Pareto exponent matching a
+    target mean on a bounded support. *)
+
+type t
+
+val make : alpha:float -> lo:int -> hi:int -> t
+(** Truncated continuous Pareto with density proportional to
+    [x^-alpha] on [\[lo, hi\]], discretised by truncation.  Requires
+    [alpha > 1.], [1 <= lo < hi]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw one size in [\[lo, hi\]]. *)
+
+val mean : t -> float
+(** Analytical mean of the (continuous) truncated distribution. *)
+
+val alpha : t -> float
+
+val calibrate : lo:int -> hi:int -> mean:float -> t
+(** [calibrate ~lo ~hi ~mean] finds by bisection the exponent whose
+    truncated-Pareto mean equals [mean].  Raises [Invalid_argument] if
+    the target mean is outside the achievable range. *)

@@ -1,0 +1,40 @@
+type summary = {
+  count : int;
+  total : float;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+}
+
+let summarize samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.summarize: empty input";
+  let total = Array.fold_left ( +. ) 0.0 samples in
+  let mean = total /. float_of_int n in
+  let mn = Array.fold_left min samples.(0) samples in
+  let mx = Array.fold_left max samples.(0) samples in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples
+    /. float_of_int n
+  in
+  { count = n; total; mean; min = mn; max = mx; stddev = sqrt var }
+
+let percentile samples q =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.percentile: empty input";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+  let rank = if rank < 0 then 0 else if rank >= n then n - 1 else rank in
+  sorted.(rank)
+
+let imbalance samples =
+  let s = summarize samples in
+  if s.mean = 0.0 then invalid_arg "Stats.imbalance: zero mean";
+  s.max /. s.mean
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d total=%.3g mean=%.3g min=%.3g max=%.3g sd=%.3g"
+    s.count s.total s.mean s.min s.max s.stddev

@@ -1,0 +1,27 @@
+(** Summary statistics over float samples.
+
+    Used by the experiment harness to report load distributions
+    (max/min/mean per middlebox type) and by tests to check sampler
+    calibration. *)
+
+type summary = {
+  count : int;
+  total : float;
+  mean : float;
+  min : float;
+  max : float;
+  stddev : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile samples q] with [q] in [\[0, 1\]]; nearest-rank on a
+    sorted copy.  Raises [Invalid_argument] on an empty array. *)
+
+val imbalance : float array -> float
+(** max / mean: 1.0 is perfectly balanced.  Raises on empty input or a
+    zero mean. *)
+
+val pp_summary : Format.formatter -> summary -> unit

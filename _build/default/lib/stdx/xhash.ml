@@ -1,0 +1,29 @@
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let byte acc b =
+  Int64.mul (Int64.logxor acc (Int64.of_int (b land 0xff))) fnv_prime
+
+let string s =
+  let acc = ref fnv_offset in
+  String.iter (fun c -> acc := byte !acc (Char.code c)) s;
+  !acc
+
+let fold_int acc n =
+  let acc = ref acc in
+  for shift = 0 to 7 do
+    acc := byte !acc ((n lsr (shift * 8)) land 0xff)
+  done;
+  !acc
+
+let ints l = List.fold_left fold_int fnv_offset l
+
+(* Use the top 53 bits so the float mantissa is filled uniformly. *)
+let to_unit_interval h =
+  let bits = Int64.shift_right_logical h 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let to_range h n =
+  if n <= 0 then invalid_arg "Xhash.to_range: n must be positive";
+  let v = Int64.to_int h land max_int in
+  v mod n

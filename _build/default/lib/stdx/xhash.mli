@@ -1,0 +1,26 @@
+(** FNV-1a hashing.
+
+    Used for flow-identifier hashing: the paper's probabilistic
+    middlebox selection hashes the 5-tuple of a packet to a value [r]
+    in [\[0, N)] and picks the candidate whose cumulative weight bucket
+    contains [r].  The hash must be deterministic across runs, which
+    rules out OCaml's seeded [Hashtbl.hash]. *)
+
+val fnv_offset : int64
+val fnv_prime : int64
+
+val string : string -> int64
+(** FNV-1a over the bytes of a string. *)
+
+val fold_int : int64 -> int -> int64
+(** [fold_int acc n] mixes the 8 bytes of [n] into the running hash
+    [acc].  Start from {!fnv_offset}. *)
+
+val ints : int list -> int64
+(** Hash a list of ints (e.g. the fields of a flow identifier). *)
+
+val to_unit_interval : int64 -> float
+(** Map a hash to a float in [\[0, 1)], uniformly. *)
+
+val to_range : int64 -> int -> int
+(** [to_range h n] maps a hash to [\[0, n)].  [n] must be > 0. *)

@@ -1,0 +1,1 @@
+test/test_dess.ml: Alcotest Dess List QCheck QCheck_alcotest

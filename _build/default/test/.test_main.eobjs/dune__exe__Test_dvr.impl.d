@@ -1,0 +1,1 @@
+test/test_dvr.ml: Alcotest Array Dvr Gen List Netgraph Option QCheck QCheck_alcotest Stdx

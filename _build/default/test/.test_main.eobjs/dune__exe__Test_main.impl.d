@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_dess Test_dvr Test_lp Test_mbox Test_netgraph Test_ospf Test_packet Test_policy Test_report Test_sdm Test_sim Test_stdx

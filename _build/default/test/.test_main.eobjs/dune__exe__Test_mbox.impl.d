@@ -1,0 +1,1 @@
+test/test_mbox.ml: Alcotest List Mbox Netpkt Policy

@@ -1,0 +1,1 @@
+test/test_netgraph.ml: Alcotest Array Buffer Format Gen List Netgraph Option Printf QCheck QCheck_alcotest Stdx String

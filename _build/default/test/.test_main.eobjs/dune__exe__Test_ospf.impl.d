@@ -1,0 +1,1 @@
+test/test_ospf.ml: Alcotest Array Gen List Netgraph Ospf Printf QCheck QCheck_alcotest Stdx

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Fmt Gen List Netpkt QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Array Gen List Netpkt Option Policy Printf QCheck QCheck_alcotest Stdx String

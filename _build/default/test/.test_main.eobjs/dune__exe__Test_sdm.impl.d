@@ -1,0 +1,1 @@
+test/test_sdm.ml: Alcotest Array Gen Hashtbl List Mbox Netgraph Netpkt Option Policy Printf QCheck QCheck_alcotest Sdm Sim Stdx String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Gen List Mbox Netpkt Option Policy Printf QCheck QCheck_alcotest Sdm Sim Stdx

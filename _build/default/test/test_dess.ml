@@ -1,0 +1,128 @@
+(* Tests for the discrete-event engine: ordering, FIFO stability,
+   cancellation, horizons. *)
+
+let test_empty_run () =
+  let e = Dess.Engine.create () in
+  Dess.Engine.run e;
+  Alcotest.(check (float 1e-9)) "time stays 0" 0.0 (Dess.Engine.now e);
+  Alcotest.(check int) "no events" 0 (Dess.Engine.events_processed e)
+
+let test_time_ordering () =
+  let e = Dess.Engine.create () in
+  let log = ref [] in
+  ignore (Dess.Engine.schedule e ~delay:3.0 (fun _ -> log := 3 :: !log));
+  ignore (Dess.Engine.schedule e ~delay:1.0 (fun _ -> log := 1 :: !log));
+  ignore (Dess.Engine.schedule e ~delay:2.0 (fun _ -> log := 2 :: !log));
+  Dess.Engine.run e;
+  Alcotest.(check (list int)) "fire order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "final clock" 3.0 (Dess.Engine.now e)
+
+let test_fifo_same_time () =
+  let e = Dess.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Dess.Engine.schedule e ~delay:1.0 (fun _ -> log := i :: !log))
+  done;
+  Dess.Engine.run e;
+  Alcotest.(check (list int)) "insertion order at same instant"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_nested_scheduling () =
+  let e = Dess.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Dess.Engine.schedule e ~delay:1.0 (fun e ->
+         log := `A :: !log;
+         ignore
+           (Dess.Engine.schedule e ~delay:0.5 (fun _ -> log := `B :: !log))));
+  ignore (Dess.Engine.schedule e ~delay:2.0 (fun _ -> log := `C :: !log));
+  Dess.Engine.run e;
+  Alcotest.(check int) "three events" 3 (Dess.Engine.events_processed e);
+  match List.rev !log with
+  | [ `A; `B; `C ] -> ()
+  | _ -> Alcotest.fail "nested event misordered"
+
+let test_cancel () =
+  let e = Dess.Engine.create () in
+  let fired = ref false in
+  let h = Dess.Engine.schedule e ~delay:1.0 (fun _ -> fired := true) in
+  Dess.Engine.cancel e h;
+  Dess.Engine.run e;
+  Alcotest.(check bool) "cancelled event silent" false !fired
+
+let test_cancel_after_fire_is_noop () =
+  let e = Dess.Engine.create () in
+  let h = Dess.Engine.schedule e ~delay:1.0 (fun _ -> ()) in
+  Dess.Engine.run e;
+  Dess.Engine.cancel e h;
+  ignore (Dess.Engine.schedule e ~delay:1.0 (fun _ -> ()));
+  Dess.Engine.run e;
+  Alcotest.(check int) "second event still fires" 2 (Dess.Engine.events_processed e)
+
+let test_run_until () =
+  let e = Dess.Engine.create () in
+  let log = ref [] in
+  ignore (Dess.Engine.schedule e ~delay:1.0 (fun _ -> log := 1 :: !log));
+  ignore (Dess.Engine.schedule e ~delay:5.0 (fun _ -> log := 5 :: !log));
+  Dess.Engine.run ~until:2.0 e;
+  Alcotest.(check (list int)) "only early events" [ 1 ] (List.rev !log);
+  Alcotest.(check int) "late event still pending" 1 (Dess.Engine.pending e);
+  Dess.Engine.run e;
+  Alcotest.(check (list int)) "late event eventually fires" [ 1; 5 ] (List.rev !log)
+
+let test_negative_delay () =
+  let e = Dess.Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      ignore (Dess.Engine.schedule e ~delay:(-1.0) (fun _ -> ())))
+
+let test_schedule_at_past () =
+  let e = Dess.Engine.create () in
+  ignore (Dess.Engine.schedule e ~delay:2.0 (fun _ -> ()));
+  Dess.Engine.run e;
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      ignore (Dess.Engine.schedule_at e ~time:1.0 (fun _ -> ())))
+
+let test_step () =
+  let e = Dess.Engine.create () in
+  let n = ref 0 in
+  ignore (Dess.Engine.schedule e ~delay:1.0 (fun _ -> incr n));
+  ignore (Dess.Engine.schedule e ~delay:2.0 (fun _ -> incr n));
+  Alcotest.(check bool) "first step" true (Dess.Engine.step e);
+  Alcotest.(check int) "one fired" 1 !n;
+  Alcotest.(check bool) "second step" true (Dess.Engine.step e);
+  Alcotest.(check bool) "exhausted" false (Dess.Engine.step e)
+
+let qcheck_ordering =
+  QCheck.Test.make ~count:100 ~name:"events always fire in time order"
+    QCheck.(list (float_range 0.0 100.0))
+    (fun delays ->
+      let e = Dess.Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun d ->
+          ignore (Dess.Engine.schedule e ~delay:d (fun e -> fired := Dess.Engine.now e :: !fired)))
+        delays;
+      Dess.Engine.run e;
+      let fired = List.rev !fired in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | [ _ ] | [] -> true
+      in
+      sorted fired && List.length fired = List.length delays)
+
+let suite =
+  [
+    Alcotest.test_case "empty run" `Quick test_empty_run;
+    Alcotest.test_case "time ordering" `Quick test_time_ordering;
+    Alcotest.test_case "FIFO at same instant" `Quick test_fifo_same_time;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "cancel after fire" `Quick test_cancel_after_fire_is_noop;
+    Alcotest.test_case "run ~until" `Quick test_run_until;
+    Alcotest.test_case "negative delay" `Quick test_negative_delay;
+    Alcotest.test_case "schedule_at past" `Quick test_schedule_at_past;
+    Alcotest.test_case "step" `Quick test_step;
+    QCheck_alcotest.to_alcotest qcheck_ordering;
+  ]

@@ -1,0 +1,118 @@
+(* Tests for the distance-vector (EIGRP-style) routing substrate. *)
+
+let test_router_self_route () =
+  let r = Dvr.Router.create ~id:3 ~neighbors:[ (1, 1.0) ] in
+  let d = Dvr.Router.distances r ~node_count:5 in
+  Alcotest.(check (float 1e-9)) "self" 0.0 d.(3);
+  Alcotest.(check bool) "others unknown" true (d.(0) = infinity)
+
+let test_router_adopts_better () =
+  let r = Dvr.Router.create ~id:0 ~neighbors:[ (1, 1.0); (2, 5.0) ] in
+  Alcotest.(check bool) "first news" true
+    (Dvr.Router.receive r { Dvr.Router.from = 2; entries = [ (9, 1.0) ] });
+  Alcotest.(check bool) "better path" true
+    (Dvr.Router.receive r { Dvr.Router.from = 1; entries = [ (9, 2.0) ] });
+  let d = Dvr.Router.distances r ~node_count:10 in
+  Alcotest.(check (float 1e-9)) "via 1" 3.0 d.(9);
+  Alcotest.(check bool) "worse news from other neighbor ignored" false
+    (Dvr.Router.receive r { Dvr.Router.from = 2; entries = [ (9, 1.0) ] })
+
+let test_router_poisoned_reverse () =
+  let r = Dvr.Router.create ~id:0 ~neighbors:[ (1, 1.0) ] in
+  ignore (Dvr.Router.receive r { Dvr.Router.from = 1; entries = [ (9, 1.0) ] });
+  let adv = Dvr.Router.advertisement_for r ~neighbor:1 in
+  (* The route to 9 goes via 1, so it must be poisoned back to 1. *)
+  Alcotest.(check bool) "poisoned" true (List.assoc 9 adv.Dvr.Router.entries = infinity);
+  (* But advertised normally to another neighbour... which we model by
+     asking for the vector as seen from a hypothetical neighbour 2. *)
+  let adv2 = Dvr.Router.advertisement_for r ~neighbor:2 in
+  Alcotest.(check (float 1e-9)) "unpoisoned" 2.0 (List.assoc 9 adv2.Dvr.Router.entries)
+
+let test_router_rejects_stranger () =
+  let r = Dvr.Router.create ~id:0 ~neighbors:[ (1, 1.0) ] in
+  Alcotest.check_raises "stranger"
+    (Invalid_argument "Dvr.Router.receive: advertisement from a non-neighbor")
+    (fun () ->
+      ignore (Dvr.Router.receive r { Dvr.Router.from = 7; entries = [] }))
+
+let check_distances topo =
+  let g = topo.Netgraph.Topology.graph in
+  let n = Netgraph.Graph.node_count g in
+  let result = Dvr.Protocol.converge topo in
+  for src = 0 to n - 1 do
+    let oracle = (Netgraph.Dijkstra.run g src).Netgraph.Dijkstra.dist in
+    for dst = 0 to n - 1 do
+      if abs_float (result.Dvr.Protocol.distances.(src).(dst) -. oracle.(dst)) > 1e-6
+      then
+        Alcotest.failf "distance %d->%d: dv %f oracle %f" src dst
+          result.Dvr.Protocol.distances.(src).(dst) oracle.(dst)
+    done
+  done;
+  (* Every hop-by-hop walk must realise an optimal path. *)
+  for src = 0 to n - 1 do
+    let oracle = (Netgraph.Dijkstra.run g src).Netgraph.Dijkstra.dist in
+    for dst = 0 to n - 1 do
+      let path = Netgraph.Routing.walk result.Dvr.Protocol.tables ~src ~dst in
+      let rec cost = function
+        | a :: (b :: _ as rest) -> Option.get (Netgraph.Graph.cost g a b) +. cost rest
+        | [ _ ] | [] -> 0.0
+      in
+      if abs_float (cost path -. oracle.(dst)) > 1e-6 then
+        Alcotest.failf "walk %d->%d costs %f, optimal %f" src dst (cost path)
+          oracle.(dst)
+    done
+  done
+
+let test_converge_campus () =
+  check_distances (Netgraph.Campus.generate ~seed:3 ())
+
+let test_converge_line () =
+  let g = Netgraph.Graph.create 20 in
+  for i = 0 to 18 do
+    Netgraph.Graph.add_edge g i (i + 1) 1.0
+  done;
+  let topo =
+    Netgraph.Topology.make ~name:"line" ~graph:g
+      ~roles:(Array.make 20 Netgraph.Topology.Core)
+  in
+  check_distances topo
+
+let qcheck_converge_random =
+  QCheck.Test.make ~count:15 ~name:"dv distances = dijkstra on random graphs"
+    QCheck.(make Gen.(pair (int_range 3 15) (int_range 0 1000000)))
+    (fun (n, seed) ->
+      let rng = Stdx.Rng.create seed in
+      let topo =
+        Netgraph.Random_graph.topology ~rng ~nodes:n ~extra_edges:0 ()
+      in
+      let g = topo.Netgraph.Topology.graph in
+      let result = Dvr.Protocol.converge ~jitter_seed:seed topo in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        let oracle = (Netgraph.Dijkstra.run g src).Netgraph.Dijkstra.dist in
+        for dst = 0 to n - 1 do
+          if abs_float (result.Dvr.Protocol.distances.(src).(dst) -. oracle.(dst)) > 1e-6
+          then ok := false
+        done
+      done;
+      !ok)
+
+let test_messages_bounded () =
+  let topo = Netgraph.Campus.generate ~seed:5 () in
+  let result = Dvr.Protocol.converge topo in
+  let g = topo.Netgraph.Topology.graph in
+  let budget = 40 * Netgraph.Graph.edge_count g * 4 in
+  Alcotest.(check bool) "triggered updates stay polynomial" true
+    (result.Dvr.Protocol.stats.Dvr.Protocol.messages < budget)
+
+let suite =
+  [
+    Alcotest.test_case "self route" `Quick test_router_self_route;
+    Alcotest.test_case "adopts better routes" `Quick test_router_adopts_better;
+    Alcotest.test_case "poisoned reverse" `Quick test_router_poisoned_reverse;
+    Alcotest.test_case "rejects stranger" `Quick test_router_rejects_stranger;
+    Alcotest.test_case "converge campus" `Quick test_converge_campus;
+    Alcotest.test_case "converge 20-node line" `Quick test_converge_line;
+    QCheck_alcotest.to_alcotest qcheck_converge_random;
+    Alcotest.test_case "message budget" `Quick test_messages_bounded;
+  ]

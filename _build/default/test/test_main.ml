@@ -1,0 +1,17 @@
+(* Aggregated test runner: one alcotest binary covering every library. *)
+let () =
+  Alcotest.run "sdm-repro"
+    [
+      ("stdx", Test_stdx.suite);
+      ("dess", Test_dess.suite);
+      ("dvr", Test_dvr.suite);
+      ("netgraph", Test_netgraph.suite);
+      ("ospf", Test_ospf.suite);
+      ("packet", Test_packet.suite);
+      ("policy", Test_policy.suite);
+      ("lp", Test_lp.suite);
+      ("mbox", Test_mbox.suite);
+      ("sdm", Test_sdm.suite);
+      ("sim", Test_sim.suite);
+      ("report", Test_report.suite);
+    ]

@@ -1,0 +1,112 @@
+(* Tests for enforcement entities, middlebox/proxy descriptors and the
+   label table. *)
+
+let test_entity_keys () =
+  let entities =
+    [ Mbox.Entity.Proxy 0; Mbox.Entity.Proxy 1; Mbox.Entity.Middlebox 0;
+      Mbox.Entity.Middlebox 1 ]
+  in
+  let keys = List.map Mbox.Entity.hash_key entities in
+  Alcotest.(check int) "keys distinct" 4 (List.length (List.sort_uniq compare keys));
+  Alcotest.(check bool) "equal" true
+    (Mbox.Entity.equal (Mbox.Entity.Proxy 3) (Mbox.Entity.Proxy 3));
+  Alcotest.(check bool) "kind matters" false
+    (Mbox.Entity.equal (Mbox.Entity.Proxy 3) (Mbox.Entity.Middlebox 3));
+  Alcotest.(check string) "to_string" "mbox7"
+    (Mbox.Entity.to_string (Mbox.Entity.Middlebox 7))
+
+let test_middlebox_make () =
+  let m =
+    Mbox.Middlebox.make ~id:2 ~nf:Policy.Action.FW ~router:5
+      ~addr:(Netpkt.Addr.of_string "192.168.0.2") ()
+  in
+  Alcotest.(check (float 1e-9)) "default capacity" 1.0 m.Mbox.Middlebox.capacity;
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Middlebox.make: capacity must be positive") (fun () ->
+      ignore
+        (Mbox.Middlebox.make ~id:0 ~nf:Policy.Action.FW ~capacity:0.0 ~router:0
+           ~addr:0 ()))
+
+let key src label = { Mbox.Label_table.src = Netpkt.Addr.of_string src; label }
+
+let test_label_table_roundtrip () =
+  let t = Mbox.Label_table.create () in
+  Mbox.Label_table.insert t ~now:0.0 (key "10.0.0.1" 7)
+    ~actions:Policy.Action.[ FW; IDS ]
+    ~next:(Some (Netpkt.Addr.of_string "192.168.0.3"))
+    ~final_dst:None;
+  (match Mbox.Label_table.lookup t ~now:1.0 (key "10.0.0.1" 7) with
+  | Some e ->
+    Alcotest.(check bool) "next present" true (e.Mbox.Label_table.next <> None)
+  | None -> Alcotest.fail "expected entry");
+  Alcotest.(check bool) "other label absent" true
+    (Mbox.Label_table.lookup t ~now:1.0 (key "10.0.0.1" 8) = None);
+  (* Same label from a different source is a different key — the
+     paper's src|l concatenation. *)
+  Alcotest.(check bool) "other source absent" true
+    (Mbox.Label_table.lookup t ~now:1.0 (key "10.0.0.2" 7) = None);
+  Alcotest.(check int) "size" 1 (Mbox.Label_table.size t);
+  Mbox.Label_table.remove t (key "10.0.0.1" 7);
+  Alcotest.(check int) "removed" 0 (Mbox.Label_table.size t)
+
+let test_label_table_invariants () =
+  let t = Mbox.Label_table.create () in
+  Alcotest.check_raises "both next and dst"
+    (Invalid_argument "Label_table.insert: both next and final_dst") (fun () ->
+      Mbox.Label_table.insert t ~now:0.0 (key "10.0.0.1" 1) ~actions:[]
+        ~next:(Some 1) ~final_dst:(Some 2));
+  Alcotest.check_raises "neither next nor dst"
+    (Invalid_argument "Label_table.insert: neither next nor final_dst")
+    (fun () ->
+      Mbox.Label_table.insert t ~now:0.0 (key "10.0.0.1" 1) ~actions:[]
+        ~next:None ~final_dst:None)
+
+let test_label_table_last_hop () =
+  let t = Mbox.Label_table.create () in
+  Mbox.Label_table.insert t ~now:0.0 (key "10.0.0.1" 3)
+    ~actions:Policy.Action.[ IDS ]
+    ~next:None
+    ~final_dst:(Some (Netpkt.Addr.of_string "10.5.0.9"));
+  match Mbox.Label_table.lookup t ~now:0.0 (key "10.0.0.1" 3) with
+  | Some { Mbox.Label_table.final_dst = Some d; next = None; _ } ->
+    Alcotest.(check string) "restores destination" "10.5.0.9"
+      (Netpkt.Addr.to_string d)
+  | _ -> Alcotest.fail "expected last-hop entry"
+
+let test_label_table_soft_state () =
+  let t = Mbox.Label_table.create ~timeout:10.0 () in
+  Mbox.Label_table.insert t ~now:0.0 (key "10.0.0.1" 5)
+    ~actions:Policy.Action.[ FW ]
+    ~next:None
+    ~final_dst:(Some (Netpkt.Addr.of_string "10.5.0.9"));
+  Alcotest.(check bool) "alive before timeout" true
+    (Mbox.Label_table.lookup t ~now:9.0 (key "10.0.0.1" 5) <> None);
+  (* The lookup refreshed last_used; still alive at 18. *)
+  Alcotest.(check bool) "refreshed" true
+    (Mbox.Label_table.lookup t ~now:18.0 (key "10.0.0.1" 5) <> None);
+  Alcotest.(check bool) "expired" true
+    (Mbox.Label_table.lookup t ~now:40.0 (key "10.0.0.1" 5) = None);
+  Alcotest.(check int) "gone from table" 0 (Mbox.Label_table.size t)
+
+let test_label_table_purge () =
+  let t = Mbox.Label_table.create ~timeout:5.0 () in
+  for i = 0 to 9 do
+    Mbox.Label_table.insert t ~now:(float_of_int i)
+      (key "10.0.0.1" i)
+      ~actions:Policy.Action.[ FW ]
+      ~next:(Some 1) ~final_dst:None
+  done;
+  let dropped = Mbox.Label_table.purge t ~now:11.0 in
+  Alcotest.(check int) "entries older than 5 dropped" 6 dropped;
+  Alcotest.(check int) "survivors" 4 (Mbox.Label_table.size t)
+
+let suite =
+  [
+    Alcotest.test_case "entity keys" `Quick test_entity_keys;
+    Alcotest.test_case "middlebox make" `Quick test_middlebox_make;
+    Alcotest.test_case "label table roundtrip" `Quick test_label_table_roundtrip;
+    Alcotest.test_case "label table invariants" `Quick test_label_table_invariants;
+    Alcotest.test_case "label table last hop" `Quick test_label_table_last_hop;
+    Alcotest.test_case "label table soft state" `Quick test_label_table_soft_state;
+    Alcotest.test_case "label table purge" `Quick test_label_table_purge;
+  ]

@@ -1,0 +1,185 @@
+(* Tests for addresses, prefixes, flows, headers, encapsulation and
+   fragmentation. *)
+
+let addr = Alcotest.testable (Fmt.of_to_string Netpkt.Addr.to_string) ( = )
+
+let test_addr_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) "roundtrip" s
+        (Netpkt.Addr.to_string (Netpkt.Addr.of_string s)))
+    [ "0.0.0.0"; "10.1.2.3"; "128.40.255.1"; "255.255.255.255" ]
+
+let test_addr_invalid () =
+  List.iter
+    (fun s ->
+      match Netpkt.Addr.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %s" s)
+    [ "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "a.b.c.d"; "" ]
+
+let test_prefix_contains () =
+  let p = Netpkt.Addr.Prefix.of_string "10.1.0.0/16" in
+  Alcotest.(check bool) "inside" true
+    (Netpkt.Addr.Prefix.contains p (Netpkt.Addr.of_string "10.1.200.3"));
+  Alcotest.(check bool) "outside" false
+    (Netpkt.Addr.Prefix.contains p (Netpkt.Addr.of_string "10.2.0.1"));
+  Alcotest.(check bool) "wildcard contains all" true
+    (Netpkt.Addr.Prefix.contains Netpkt.Addr.Prefix.any
+       (Netpkt.Addr.of_string "200.200.200.200"))
+
+let test_prefix_normalises () =
+  let p = Netpkt.Addr.Prefix.make (Netpkt.Addr.of_string "10.1.2.3") 16 in
+  Alcotest.(check string) "host bits cleared" "10.1.0.0/16"
+    (Netpkt.Addr.Prefix.to_string p)
+
+let test_prefix_subsumes_overlaps () =
+  let outer = Netpkt.Addr.Prefix.of_string "10.0.0.0/8" in
+  let inner = Netpkt.Addr.Prefix.of_string "10.1.0.0/16" in
+  let other = Netpkt.Addr.Prefix.of_string "11.0.0.0/8" in
+  Alcotest.(check bool) "subsumes" true (Netpkt.Addr.Prefix.subsumes outer inner);
+  Alcotest.(check bool) "not reverse" false (Netpkt.Addr.Prefix.subsumes inner outer);
+  Alcotest.(check bool) "overlaps" true (Netpkt.Addr.Prefix.overlaps outer inner);
+  Alcotest.(check bool) "disjoint" false (Netpkt.Addr.Prefix.overlaps inner other)
+
+let test_prefix_nth () =
+  let p = Netpkt.Addr.Prefix.of_string "10.1.2.0/24" in
+  Alcotest.check addr "nth 5" (Netpkt.Addr.of_string "10.1.2.5")
+    (Netpkt.Addr.Prefix.nth_addr p 5);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Prefix.nth_addr: out of range") (fun () ->
+      ignore (Netpkt.Addr.Prefix.nth_addr p 256))
+
+let sample_flow =
+  Netpkt.Flow.make
+    ~src:(Netpkt.Addr.of_string "10.0.0.2")
+    ~dst:(Netpkt.Addr.of_string "10.1.0.7")
+    ~proto:6 ~sport:12345 ~dport:80
+
+let test_flow_hash_deterministic () =
+  Alcotest.(check int64) "stable" (Netpkt.Flow.hash sample_flow)
+    (Netpkt.Flow.hash sample_flow);
+  let f2 = { sample_flow with Netpkt.Flow.sport = 12346 } in
+  Alcotest.(check bool) "sensitive to fields" true
+    (Netpkt.Flow.hash sample_flow <> Netpkt.Flow.hash f2)
+
+let test_flow_reverse () =
+  let r = Netpkt.Flow.reverse sample_flow in
+  Alcotest.check addr "src<->dst" sample_flow.Netpkt.Flow.dst r.Netpkt.Flow.src;
+  Alcotest.(check int) "sport<->dport" 80 r.Netpkt.Flow.sport;
+  Alcotest.(check bool) "involution" true
+    (Netpkt.Flow.equal sample_flow (Netpkt.Flow.reverse r))
+
+let test_header_label () =
+  let h = Netpkt.Header.of_flow sample_flow in
+  Alcotest.(check (option int)) "no label" None h.Netpkt.Header.label;
+  let h' = Netpkt.Header.with_label h 77 in
+  Alcotest.(check (option int)) "label set" (Some 77) h'.Netpkt.Header.label;
+  Alcotest.(check (option int)) "cleared" None
+    (Netpkt.Header.clear_label h').Netpkt.Header.label;
+  Alcotest.check_raises "label too large"
+    (Invalid_argument "Header.with_label: label out of range") (fun () ->
+      ignore (Netpkt.Header.with_label h (Netpkt.Header.max_label + 1)))
+
+let test_header_ttl () =
+  let h = Netpkt.Header.of_flow ~ttl:2 sample_flow in
+  match Netpkt.Header.decrement_ttl h with
+  | None -> Alcotest.fail "ttl 2 should survive one hop"
+  | Some h' ->
+    Alcotest.(check int) "ttl decremented" 1 h'.Netpkt.Header.ttl;
+    Alcotest.(check bool) "ttl exhausted" true
+      (Netpkt.Header.decrement_ttl h' = None)
+
+let test_encapsulation () =
+  let inner =
+    Netpkt.Packet.plain (Netpkt.Header.of_flow sample_flow) ~payload_bytes:100
+  in
+  Alcotest.(check int) "plain size" 120 (Netpkt.Packet.size inner);
+  let outer =
+    Netpkt.Packet.encapsulate
+      ~src:(Netpkt.Addr.of_string "10.0.0.1")
+      ~dst:(Netpkt.Addr.of_string "192.168.0.1")
+      inner
+  in
+  Alcotest.(check int) "encap adds 20B" 140 (Netpkt.Packet.size outer);
+  Alcotest.(check bool) "is encapsulated" true (Netpkt.Packet.is_encapsulated outer);
+  Alcotest.(check bool) "inner flow preserved" true
+    (Netpkt.Flow.equal sample_flow (Netpkt.Packet.inner_flow outer));
+  match Netpkt.Packet.decapsulate outer with
+  | None -> Alcotest.fail "decapsulate failed"
+  | Some p ->
+    Alcotest.(check int) "inner restored" 120 (Netpkt.Packet.size p);
+    Alcotest.(check bool) "plain has no inner" true
+      (Netpkt.Packet.decapsulate p = None)
+
+let test_double_encapsulation () =
+  let inner =
+    Netpkt.Packet.plain (Netpkt.Header.of_flow sample_flow) ~payload_bytes:10
+  in
+  let a = Netpkt.Addr.of_string "1.1.1.1" and b = Netpkt.Addr.of_string "2.2.2.2" in
+  let twice = Netpkt.Packet.encapsulate ~src:a ~dst:b (Netpkt.Packet.encapsulate ~src:a ~dst:b inner) in
+  Alcotest.(check int) "two outer headers" 70 (Netpkt.Packet.size twice);
+  Alcotest.(check bool) "innermost flow" true
+    (Netpkt.Flow.equal sample_flow (Netpkt.Packet.inner_flow twice))
+
+let test_fragment_count () =
+  Alcotest.(check int) "fits" 1 (Netpkt.Fragment.count ~mtu:1500 1500);
+  Alcotest.(check int) "one over" 2 (Netpkt.Fragment.count ~mtu:1500 1520);
+  Alcotest.(check int) "tunnel pushes over" 2
+    (Netpkt.Fragment.count ~mtu:1500 (1500 + Netpkt.Header.size));
+  Alcotest.(check int) "extra bytes" Netpkt.Header.size
+    (Netpkt.Fragment.extra_bytes ~mtu:1500 1520)
+
+let test_fragments_conserve_payload () =
+  let header = Netpkt.Header.of_flow sample_flow in
+  let pkt = Netpkt.Packet.plain header ~payload_bytes:4000 in
+  let frags = Netpkt.Fragment.fragments ~mtu:1500 pkt in
+  Alcotest.(check int) "fragment count" (Netpkt.Fragment.count ~mtu:1500 4020)
+    (List.length frags);
+  let payload =
+    List.fold_left
+      (fun acc f -> acc + Netpkt.Packet.size f - Netpkt.Header.size)
+      0 frags
+  in
+  Alcotest.(check int) "payload conserved" 4000 payload;
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "each fits MTU" true (Netpkt.Packet.size f <= 1500))
+    frags
+
+let qcheck_fragment_conservation =
+  QCheck.Test.make ~count:300 ~name:"fragmentation conserves payload bytes"
+    QCheck.(make Gen.(pair (int_range 0 20000) (int_range 68 9000)))
+    (fun (payload, mtu) ->
+      let pkt =
+        Netpkt.Packet.plain (Netpkt.Header.of_flow sample_flow)
+          ~payload_bytes:payload
+      in
+      let frags = Netpkt.Fragment.fragments ~mtu pkt in
+      let total =
+        List.fold_left
+          (fun acc f -> acc + Netpkt.Packet.size f - Netpkt.Header.size)
+          0 frags
+      in
+      total = payload
+      && List.for_all (fun f -> Netpkt.Packet.size f <= mtu) frags
+      && List.length frags = Netpkt.Fragment.count ~mtu (Netpkt.Packet.size pkt))
+
+let suite =
+  [
+    Alcotest.test_case "addr roundtrip" `Quick test_addr_roundtrip;
+    Alcotest.test_case "addr invalid" `Quick test_addr_invalid;
+    Alcotest.test_case "prefix contains" `Quick test_prefix_contains;
+    Alcotest.test_case "prefix normalises" `Quick test_prefix_normalises;
+    Alcotest.test_case "prefix subsume/overlap" `Quick test_prefix_subsumes_overlaps;
+    Alcotest.test_case "prefix nth" `Quick test_prefix_nth;
+    Alcotest.test_case "flow hash deterministic" `Quick test_flow_hash_deterministic;
+    Alcotest.test_case "flow reverse" `Quick test_flow_reverse;
+    Alcotest.test_case "header label" `Quick test_header_label;
+    Alcotest.test_case "header ttl" `Quick test_header_ttl;
+    Alcotest.test_case "encapsulation" `Quick test_encapsulation;
+    Alcotest.test_case "double encapsulation" `Quick test_double_encapsulation;
+    Alcotest.test_case "fragment count" `Quick test_fragment_count;
+    Alcotest.test_case "fragments conserve payload" `Quick test_fragments_conserve_payload;
+    QCheck_alcotest.to_alcotest qcheck_fragment_conservation;
+  ]

@@ -1,0 +1,76 @@
+(* Smoke tests for the report renderers: every printer must produce
+   non-empty, well-formed output for real experiment results, and the
+   CSV exports must be structurally valid. *)
+
+let render pp v =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  pp ppf v;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let small_figure () =
+  Sim.Experiment.run_figure Sim.Experiment.Campus ~flow_counts:[ 2_000 ] ()
+
+let test_figure_rendering () =
+  let fig = small_figure () in
+  let out = render Sim.Report.pp_figure fig in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains out needle))
+    [ "campus"; "-- FW --"; "-- IDS --"; "-- WP --"; "-- TM --"; "HP"; "Rand"; "LB" ]
+
+let test_figure_csv () =
+  let fig = small_figure () in
+  let csv = Sim.Report.figure_csv fig in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  (* Header plus one row per (4 types x 1 volume point). *)
+  Alcotest.(check int) "row count" 5 (List.length lines);
+  Alcotest.(check string) "header" "nf,flows,packets,hp,rand,lb" (List.hd lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "six columns" 6
+        (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_table3_rendering_and_csv () =
+  let rows = Sim.Experiment.run_table3 ~flows:2_000 () in
+  let out = render Sim.Report.pp_table3 rows in
+  Alcotest.(check bool) "mentions max" true (contains out "max.");
+  Alcotest.(check bool) "mentions min" true (contains out "min.");
+  let csv = Sim.Report.table3_csv rows in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
+  Alcotest.(check int) "header + 4 types" 5 (List.length lines)
+
+let test_millions () =
+  Alcotest.(check string) "millions" "1.66M" (Sim.Report.millions 1_660_000.0);
+  Alcotest.(check string) "thousands" "12.7k" (Sim.Report.millions 12_737.0);
+  Alcotest.(check string) "units" "42" (Sim.Report.millions 42.0)
+
+let test_ablation_printers () =
+  (* Tiny runs through every remaining printer. *)
+  let cache = Sim.Experiment.ablation_cache ~flows:100 () in
+  Alcotest.(check bool) "cache report" true
+    (contains (render Sim.Report.pp_cache_ablation cache) "lookup fraction");
+  let frag = Sim.Experiment.ablation_fragmentation ~flows:100 () in
+  Alcotest.(check bool) "frag report" true
+    (contains (render Sim.Report.pp_frag_ablation frag) "label switching");
+  let lat = Sim.Experiment.ablation_latency ~flows:100 () in
+  Alcotest.(check bool) "latency report" true
+    (contains (render Sim.Report.pp_latency_ablation lat) "overhead")
+
+let suite =
+  [
+    Alcotest.test_case "figure rendering" `Slow test_figure_rendering;
+    Alcotest.test_case "figure CSV" `Slow test_figure_csv;
+    Alcotest.test_case "table3 rendering and CSV" `Slow test_table3_rendering_and_csv;
+    Alcotest.test_case "millions formatting" `Quick test_millions;
+    Alcotest.test_case "ablation printers" `Slow test_ablation_printers;
+  ]

@@ -1,0 +1,770 @@
+(* Tests for the workload generator, the flow-level simulator, the
+   packet-level simulator, and the cross-simulator integration
+   invariants. *)
+
+let campus ?(seed = 42) () = Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed
+
+(* --- Workload ---------------------------------------------------------- *)
+
+let test_workload_shape () =
+  let dep = campus () in
+  let w = Sim.Workload.generate ~deployment:dep ~seed:1 ~flows:9_000 () in
+  Alcotest.(check int) "flow count" 9_000 (Array.length w.Sim.Workload.flows);
+  (* 5 per class: 5 m2o + 5 o2m + 5 companions + 5 o2o = 20 rules. *)
+  Alcotest.(check int) "rule count" 20 (List.length w.Sim.Workload.rules);
+  (* Flow classes split evenly. *)
+  let count cls =
+    Array.fold_left
+      (fun acc (f : Sim.Workload.flow_spec) ->
+        if f.Sim.Workload.intended_class = cls then acc + 1 else acc)
+      0 w.Sim.Workload.flows
+  in
+  Alcotest.(check int) "one third m2o" 3_000 (count Sim.Workload.Many_to_one);
+  Alcotest.(check int) "one third o2m" 3_000 (count Sim.Workload.One_to_many);
+  Alcotest.(check int) "one third o2o" 3_000 (count Sim.Workload.One_to_one)
+
+let test_workload_calibration () =
+  (* 30k flows should give on the order of 1M packets (paper: 30k-300k
+     flows <-> 1M-10M packets).  Allow a generous band for power-law
+     variance. *)
+  let dep = campus () in
+  let w = Sim.Workload.generate ~deployment:dep ~seed:2 ~flows:30_000 () in
+  let total = w.Sim.Workload.total_packets in
+  if total < 700_000 || total > 1_400_000 then
+    Alcotest.failf "30k flows gave %d packets, expected ~1M" total
+
+let test_workload_sizes_bounded () =
+  let dep = campus () in
+  let w = Sim.Workload.generate ~deployment:dep ~seed:3 ~flows:5_000 () in
+  Array.iter
+    (fun (f : Sim.Workload.flow_spec) ->
+      if f.Sim.Workload.packets < 1 || f.Sim.Workload.packets > 5000 then
+        Alcotest.failf "flow size %d outside [1,5000]" f.Sim.Workload.packets;
+      Alcotest.(check bool) "distinct endpoints" true
+        (f.Sim.Workload.src_proxy <> f.Sim.Workload.dst_proxy))
+    w.Sim.Workload.flows
+
+let test_workload_flows_match_their_rule () =
+  (* The stored rule_id must be the true first match of the flow's
+     5-tuple against the ordered rule list. *)
+  let dep = campus () in
+  let w = Sim.Workload.generate ~deployment:dep ~seed:4 ~flows:2_000 () in
+  Array.iter
+    (fun (f : Sim.Workload.flow_spec) ->
+      let expected =
+        Option.map
+          (fun r -> r.Policy.Rule.id)
+          (Policy.Rule.first_match w.Sim.Workload.rules f.Sim.Workload.flow)
+      in
+      Alcotest.(check (option int)) "first match recorded" expected
+        f.Sim.Workload.rule_id)
+    w.Sim.Workload.flows
+
+let test_workload_endpoints_consistent () =
+  (* src/dst addresses really lie in the stated proxies' subnets. *)
+  let dep = campus () in
+  let w = Sim.Workload.generate ~deployment:dep ~seed:5 ~flows:1_000 () in
+  Array.iter
+    (fun (f : Sim.Workload.flow_spec) ->
+      Alcotest.(check bool) "src in subnet" true
+        (Netpkt.Addr.Prefix.contains
+           (Sdm.Deployment.subnet_of dep f.Sim.Workload.src_proxy)
+           f.Sim.Workload.flow.Netpkt.Flow.src);
+      Alcotest.(check bool) "dst in subnet" true
+        (Netpkt.Addr.Prefix.contains
+           (Sdm.Deployment.subnet_of dep f.Sim.Workload.dst_proxy)
+           f.Sim.Workload.flow.Netpkt.Flow.dst))
+    w.Sim.Workload.flows
+
+let test_workload_deterministic () =
+  let dep = campus () in
+  let a = Sim.Workload.generate ~deployment:dep ~seed:6 ~flows:500 () in
+  let b = Sim.Workload.generate ~deployment:dep ~seed:6 ~flows:500 () in
+  Alcotest.(check int) "same totals" a.Sim.Workload.total_packets
+    b.Sim.Workload.total_packets;
+  Array.iteri
+    (fun i (fa : Sim.Workload.flow_spec) ->
+      let fb = b.Sim.Workload.flows.(i) in
+      Alcotest.(check bool) "same flow" true
+        (Netpkt.Flow.equal fa.Sim.Workload.flow fb.Sim.Workload.flow))
+    a.Sim.Workload.flows
+
+let test_measure_totals () =
+  let dep = campus () in
+  let w = Sim.Workload.generate ~deployment:dep ~seed:7 ~flows:2_000 () in
+  let m = Sim.Workload.measure w in
+  let expected =
+    Array.fold_left
+      (fun acc (f : Sim.Workload.flow_spec) ->
+        match f.Sim.Workload.rule_id with
+        | Some _ -> acc +. float_of_int f.Sim.Workload.packets
+        | None -> acc)
+      0.0 w.Sim.Workload.flows
+  in
+  Alcotest.(check (float 1e-6)) "measured total = policy packets" expected
+    (Sdm.Measurement.total m)
+
+(* --- Flowsim ------------------------------------------------------------ *)
+
+let run_campus_strategies flows =
+  let dep = campus () in
+  Sim.Experiment.run_strategies ~deployment:dep ~flows ()
+
+let test_flowsim_load_conservation () =
+  (* Total middlebox load = sum over enforced flows of
+     packets * chain length, for every strategy. *)
+  let workload, runs = run_campus_strategies 5_000 in
+  let expected =
+    Array.fold_left
+      (fun acc (f : Sim.Workload.flow_spec) ->
+        match Sim.Workload.rule_of workload f with
+        | Some r when not (Policy.Action.is_permit r.Policy.Rule.actions) ->
+          acc
+          + (f.Sim.Workload.packets * List.length r.Policy.Rule.actions)
+        | _ -> acc)
+      0 workload.Sim.Workload.flows
+  in
+  List.iter
+    (fun (r : Sim.Experiment.strategy_run) ->
+      let total =
+        Array.fold_left ( +. ) 0.0 r.Sim.Experiment.result.Sim.Flowsim.loads
+      in
+      Alcotest.(check (float 0.5))
+        (r.Sim.Experiment.strategy ^ " load conservation")
+        (float_of_int expected) total)
+    runs
+
+let test_flowsim_hot_potato_uses_closest () =
+  (* Under HP every enforced flow's first middlebox is the closest one
+     to its proxy: all load of a function e from proxy s lands on
+     m_s^e.  Spot-check by re-deriving loads for a tiny workload. *)
+  let dep = campus () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:8 ~flows:300 () in
+  match
+    Sdm.Controller.configure dep ~rules:workload.Sim.Workload.rules
+      Sdm.Controller.Hot_potato
+  with
+  | Error e -> Alcotest.fail e
+  | Ok controller ->
+    let result = Sim.Flowsim.run ~controller ~workload () in
+    let expected = Array.make (Array.length dep.Sdm.Deployment.middleboxes) 0.0 in
+    Array.iter
+      (fun (f : Sim.Workload.flow_spec) ->
+        match Sim.Workload.rule_of workload f with
+        | Some rule when rule.Policy.Rule.actions <> [] ->
+          let entity = ref (Mbox.Entity.Proxy f.Sim.Workload.src_proxy) in
+          List.iter
+            (fun nf ->
+              let mb = Sdm.Controller.closest controller !entity nf in
+              expected.(mb.Mbox.Middlebox.id) <-
+                expected.(mb.Mbox.Middlebox.id)
+                +. float_of_int f.Sim.Workload.packets;
+              entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id)
+            rule.Policy.Rule.actions
+        | _ -> ())
+      workload.Sim.Workload.flows;
+    Array.iteri
+      (fun i load ->
+        Alcotest.(check (float 1e-6)) (Printf.sprintf "mbox %d" i) expected.(i) load)
+      result.Sim.Flowsim.loads
+
+let test_flowsim_lb_beats_others () =
+  let _, runs = run_campus_strategies 60_000 in
+  let max_of name =
+    let r = List.find (fun r -> r.Sim.Experiment.strategy = name) runs in
+    List.fold_left
+      (fun acc nf ->
+        max acc
+          (Sim.Flowsim.max_load_of_nf r.Sim.Experiment.controller
+             r.Sim.Experiment.result nf))
+      0.0
+      [ Policy.Action.FW; Policy.Action.IDS; Policy.Action.WP; Policy.Action.TM ]
+  in
+  let hp = max_of "HP" and rand = max_of "Rand" and lb = max_of "LB" in
+  Alcotest.(check bool) "LB <= Rand" true (lb <= rand);
+  Alcotest.(check bool) "LB <= HP" true (lb <= hp)
+
+let test_flowsim_lb_close_to_lambda () =
+  (* Realized LB max load must be near the LP optimum: hashing
+     quantises flows, so allow 15%. *)
+  let _, runs = run_campus_strategies 60_000 in
+  let lb = List.find (fun r -> r.Sim.Experiment.strategy = "LB") runs in
+  match lb.Sim.Experiment.lambda with
+  | None -> Alcotest.fail "LB must carry lambda"
+  | Some lambda ->
+    let realized =
+      Array.fold_left max 0.0 lb.Sim.Experiment.result.Sim.Flowsim.loads
+    in
+    if realized > lambda *. 1.15 +. 1000.0 then
+      Alcotest.failf "realized %f far above lambda %f" realized lambda
+
+let test_flowsim_stretch () =
+  let _, runs = run_campus_strategies 3_000 in
+  List.iter
+    (fun (r : Sim.Experiment.strategy_run) ->
+      let s = Sim.Flowsim.stretch r.Sim.Experiment.result in
+      (* Enforcement detours can only lengthen paths. *)
+      Alcotest.(check bool) "stretch >= 1" true (s >= 1.0);
+      Alcotest.(check bool) "stretch sane" true (s < 10.0))
+    runs
+
+(* --- Pktsim ------------------------------------------------------------- *)
+
+let pkt_config =
+  { Sim.Pktsim.default_config with packet_interval = 0.5; start_window = 20.0 }
+
+let small_pkt_setup ?(strategy = `Lb) ?(flows = 300) ?(seed = 21) () =
+  let dep = campus ~seed () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed ~flows () in
+  let kind =
+    match strategy with
+    | `Hp -> Sdm.Controller.Hot_potato
+    | `Lb -> Sdm.Controller.Load_balanced (Sim.Workload.measure workload)
+  in
+  match Sdm.Controller.configure dep ~rules:workload.Sim.Workload.rules kind with
+  | Error e -> Alcotest.fail e
+  | Ok controller -> (controller, workload)
+
+let test_pktsim_delivers_everything () =
+  let controller, workload = small_pkt_setup () in
+  let stats = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  Alcotest.(check int) "all injected" workload.Sim.Workload.total_packets
+    stats.Sim.Pktsim.injected_packets;
+  Alcotest.(check int) "all delivered" stats.Sim.Pktsim.injected_packets
+    stats.Sim.Pktsim.delivered_packets;
+  Alcotest.(check int) "no drops" 0 stats.Sim.Pktsim.dropped_packets
+
+let test_pktsim_loads_equal_flowsim () =
+  (* The headline integration invariant: per-middlebox packet loads
+     from the packet-level simulation equal the flow-level ones, for
+     both HP and LB, with and without label switching. *)
+  List.iter
+    (fun strategy ->
+      let controller, workload = small_pkt_setup ~strategy () in
+      let flow_result = Sim.Flowsim.run ~controller ~workload () in
+      List.iter
+        (fun label_switching ->
+          let stats =
+            Sim.Pktsim.run
+              ~config:{ pkt_config with label_switching }
+              ~controller ~workload ()
+          in
+          Array.iteri
+            (fun i expected ->
+              Alcotest.(check (float 1e-6))
+                (Printf.sprintf "mbox %d (ls=%b)" i label_switching)
+                expected stats.Sim.Pktsim.loads.(i))
+            flow_result.Sim.Flowsim.loads)
+        [ true; false ])
+    [ `Hp; `Lb ]
+
+let test_pktsim_flowsim_agree_on_waxman () =
+  (* Cross-topology sanity for the headline invariant. *)
+  let dep = Sim.Experiment.build_deployment Sim.Experiment.Waxman ~seed:17 in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:17 ~flows:120 () in
+  let traffic = Sim.Workload.measure workload in
+  match
+    Sdm.Controller.configure dep ~rules:workload.Sim.Workload.rules
+      (Sdm.Controller.Load_balanced traffic)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok controller ->
+    let flow_result = Sim.Flowsim.run ~controller ~workload () in
+    let stats = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+    Alcotest.(check int) "no drops" 0 stats.Sim.Pktsim.dropped_packets;
+    Array.iteri
+      (fun i expected ->
+        Alcotest.(check (float 1e-6)) (Printf.sprintf "mbox %d" i) expected
+          stats.Sim.Pktsim.loads.(i))
+      flow_result.Sim.Flowsim.loads
+
+let test_pktsim_label_switching_kicks_in () =
+  let controller, workload = small_pkt_setup ~flows:200 () in
+  let stats = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  Alcotest.(check bool) "control packets flowed" true
+    (stats.Sim.Pktsim.control_packets > 0);
+  Alcotest.(check bool) "label-switched majority" true
+    (stats.Sim.Pktsim.label_switched_packets > stats.Sim.Pktsim.tunneled_packets);
+  let off =
+    Sim.Pktsim.run
+      ~config:{ pkt_config with label_switching = false }
+      ~controller ~workload ()
+  in
+  Alcotest.(check int) "no label switching when disabled" 0
+    off.Sim.Pktsim.label_switched_packets;
+  Alcotest.(check int) "no control packets when disabled" 0
+    off.Sim.Pktsim.control_packets
+
+let test_pktsim_label_switching_avoids_fragments () =
+  let controller, workload = small_pkt_setup ~flows:200 () in
+  let with_ls = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let without_ls =
+    Sim.Pktsim.run
+      ~config:{ pkt_config with label_switching = false }
+      ~controller ~workload ()
+  in
+  Alcotest.(check bool) "IP-over-IP fragments" true
+    (without_ls.Sim.Pktsim.fragments_created > 0);
+  Alcotest.(check bool) "label switching reduces fragmentation" true
+    (with_ls.Sim.Pktsim.fragments_created
+    < without_ls.Sim.Pktsim.fragments_created / 2)
+
+let test_pktsim_routing_substrate_invariance () =
+  (* Middlebox loads do not depend on which routing protocol built the
+     routers' tables — enforcement decisions hash flows, not routes. *)
+  let controller, workload = small_pkt_setup ~flows:150 () in
+  let run source =
+    (Sim.Pktsim.run
+       ~config:{ pkt_config with table_source = source }
+       ~controller ~workload ())
+      .Sim.Pktsim.loads
+  in
+  let oracle = run Sim.Pktsim.Oracle in
+  let ospf = run Sim.Pktsim.Distributed_ospf in
+  let dvr = run Sim.Pktsim.Distributed_dvr in
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "ospf mbox %d" i) expected
+        ospf.(i);
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "dvr mbox %d" i) expected
+        dvr.(i))
+    oracle
+
+let test_pktsim_cache_suppresses_lookups () =
+  let controller, workload = small_pkt_setup ~flows:200 () in
+  let stats = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  (* Only the first packet of a flow pays a lookup, at the proxy and at
+     each chain middlebox — far fewer lookups than packet events. *)
+  let flows = Array.length workload.Sim.Workload.flows in
+  Alcotest.(check bool) "lookups bounded by flows x (1+chain)" true
+    (stats.Sim.Pktsim.multi_field_lookups <= flows * 4);
+  Alcotest.(check bool) "cache hits dominate" true
+    (stats.Sim.Pktsim.cache_hits > stats.Sim.Pktsim.multi_field_lookups)
+
+let test_pktsim_label_expiry_recovery () =
+  let controller, workload = small_pkt_setup ~flows:60 () in
+  (* Packets spaced wider than the label timeout: label-switched paths
+     keep expiring mid-flow, packets that hit stale paths are lost, a
+     teardown flows back, and the proxy re-establishes via IP-over-IP. *)
+  let config =
+    { pkt_config with packet_interval = 10.0; label_timeout = 3.0 }
+  in
+  let stats = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "misses happened" true (stats.Sim.Pktsim.label_misses > 0);
+  Alcotest.(check bool) "teardowns flowed" true (stats.Sim.Pktsim.teardowns > 0);
+  Alcotest.(check int) "every loss is a label miss"
+    stats.Sim.Pktsim.label_misses stats.Sim.Pktsim.dropped_packets;
+  Alcotest.(check int) "everything else delivered"
+    (stats.Sim.Pktsim.injected_packets - stats.Sim.Pktsim.label_misses)
+    stats.Sim.Pktsim.delivered_packets;
+  (* Recovery really happens: the flow keeps re-establishing, so
+     tunnelled legs outnumber flows (one initial establishment each). *)
+  Alcotest.(check bool) "re-establishments" true
+    (stats.Sim.Pktsim.control_packets > Array.length workload.Sim.Workload.flows);
+  (* With a comfortable timeout the same setup loses nothing. *)
+  let healthy =
+    Sim.Pktsim.run
+      ~config:{ config with label_timeout = 1e6 }
+      ~controller ~workload ()
+  in
+  Alcotest.(check int) "no misses with long timeout" 0
+    healthy.Sim.Pktsim.label_misses;
+  Alcotest.(check int) "all delivered" healthy.Sim.Pktsim.injected_packets
+    healthy.Sim.Pktsim.delivered_packets
+
+let test_pktsim_wp_cache_short_circuit () =
+  (* Figure 3's chain: WP first; cached flows stop at the web proxy and
+     never load the downstream FW/IDS. *)
+  let dep = campus () in
+  let rules =
+    Policy.Rule.index
+      [
+        Policy.Descriptor.make
+          ~src:(Sdm.Deployment.subnet_of dep 0)
+          ~dport:(Policy.Descriptor.Port 80) ();
+      ]
+      [ Policy.Action.[ WP; FW; IDS ] ]
+  in
+  let flows =
+    Array.init 60 (fun i ->
+        {
+          Sim.Workload.id = i;
+          flow =
+            Netpkt.Flow.make
+              ~src:(Netpkt.Addr.Prefix.nth_addr (Sdm.Deployment.subnet_of dep 0) (2 + i))
+              ~dst:(Netpkt.Addr.Prefix.nth_addr (Sdm.Deployment.subnet_of dep 3) (2 + i))
+              ~proto:6 ~sport:(30000 + i) ~dport:80;
+          src_proxy = 0;
+          dst_proxy = 3;
+          rule_id = Some 0;
+          intended_class = Sim.Workload.One_to_many;
+          packets = 10;
+          packet_bytes = 576;
+        })
+  in
+  let workload = { Sim.Workload.rules; flows; total_packets = 600 } in
+  let controller =
+    match Sdm.Controller.configure dep ~rules Sdm.Controller.Hot_potato with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let load_of stats nf =
+    List.fold_left
+      (fun acc (m : Mbox.Middlebox.t) -> acc +. stats.Sim.Pktsim.loads.(m.id))
+      0.0
+      (Sdm.Deployment.middleboxes_of dep nf)
+  in
+  let cached =
+    Sim.Pktsim.run
+      ~config:{ pkt_config with wp_cache_hit_ratio = 0.5 }
+      ~controller ~workload ()
+  in
+  Alcotest.(check bool) "some flows served from cache" true
+    (cached.Sim.Pktsim.wp_cache_served > 0);
+  Alcotest.(check int) "responses count as deliveries"
+    cached.Sim.Pktsim.injected_packets cached.Sim.Pktsim.delivered_packets;
+  Alcotest.(check bool) "cached flows skip the downstream chain" true
+    (load_of cached Policy.Action.FW < load_of cached Policy.Action.WP);
+  Alcotest.(check (float 1e-9)) "FW and IDS see the same survivors"
+    (load_of cached Policy.Action.FW)
+    (load_of cached Policy.Action.IDS);
+  let uncached = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  Alcotest.(check int) "ratio 0: nothing cached" 0
+    uncached.Sim.Pktsim.wp_cache_served;
+  Alcotest.(check (float 1e-9)) "ratio 0: full chain everywhere"
+    (load_of uncached Policy.Action.WP)
+    (load_of uncached Policy.Action.FW)
+
+let test_pktsim_ecmp_invariance () =
+  (* ECMP spreading changes paths, never middlebox loads or delivery. *)
+  let controller, workload = small_pkt_setup ~flows:150 () in
+  let plain = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let ecmp =
+    Sim.Pktsim.run ~config:{ pkt_config with ecmp = true } ~controller ~workload ()
+  in
+  Alcotest.(check int) "all delivered" ecmp.Sim.Pktsim.injected_packets
+    ecmp.Sim.Pktsim.delivered_packets;
+  Alcotest.(check int) "no drops" 0 ecmp.Sim.Pktsim.dropped_packets;
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "mbox %d" i) expected
+        ecmp.Sim.Pktsim.loads.(i))
+    plain.Sim.Pktsim.loads
+
+let test_pktsim_latency_overhead () =
+  (* Enforcement detours must show up as end-to-end latency: the same
+     traffic with the policy tables emptied is strictly faster. *)
+  let controller, workload = small_pkt_setup ~flows:150 () in
+  let enforced = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let no_rules = { workload with Sim.Workload.rules = [] } in
+  let bare_controller =
+    match
+      Sdm.Controller.configure controller.Sdm.Controller.deployment ~rules:[]
+        Sdm.Controller.Hot_potato
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let plain =
+    Sim.Pktsim.run ~config:pkt_config ~controller:bare_controller
+      ~workload:no_rules ()
+  in
+  Alcotest.(check bool) "latency measured" true
+    (enforced.Sim.Pktsim.latency_mean > 0.0 && plain.Sim.Pktsim.latency_mean > 0.0);
+  Alcotest.(check bool) "p50 <= p99" true
+    (enforced.Sim.Pktsim.latency_p50 <= enforced.Sim.Pktsim.latency_p99);
+  Alcotest.(check bool) "enforcement adds latency" true
+    (enforced.Sim.Pktsim.latency_mean > plain.Sim.Pktsim.latency_mean);
+  Alcotest.(check (float 1e-9)) "plain run touches no middlebox" 0.0
+    (Array.fold_left ( +. ) 0.0 plain.Sim.Pktsim.loads)
+
+let qcheck_pktsim_chaos =
+  (* Robustness sweep: random knob combinations must preserve the
+     global invariants — everything injected is accounted for, and
+     with reliable label state the middlebox loads match the
+     flow-level semantics exactly. *)
+  QCheck.Test.make ~count:12 ~name:"pktsim invariants under random configs"
+    QCheck.(make Gen.(int_range 0 1000000))
+    (fun seed ->
+      let rng = Stdx.Rng.create seed in
+      let label_switching = Stdx.Rng.bool rng in
+      let ecmp = Stdx.Rng.bool rng in
+      let service_rate =
+        if Stdx.Rng.bool rng then infinity else 2.0 +. Stdx.Rng.float rng 20.0
+      in
+      let cache_capacity =
+        if Stdx.Rng.bool rng then None else Some (8 + Stdx.Rng.int rng 64)
+      in
+      let table_source =
+        Stdx.Rng.choose rng
+          [| Sim.Pktsim.Oracle; Sim.Pktsim.Distributed_ospf;
+             Sim.Pktsim.Distributed_dvr |]
+      in
+      let config =
+        {
+          Sim.Pktsim.default_config with
+          label_switching;
+          ecmp;
+          service_rate;
+          cache_capacity;
+          table_source;
+          packet_interval = 0.5;
+          start_window = 10.0;
+        }
+      in
+      let controller, workload = small_pkt_setup ~flows:60 ~seed:(seed mod 97) () in
+      let stats = Sim.Pktsim.run ~config ~controller ~workload () in
+      let flow_result = Sim.Flowsim.run ~controller ~workload () in
+      stats.Sim.Pktsim.dropped_packets = 0
+      && stats.Sim.Pktsim.delivered_packets = stats.Sim.Pktsim.injected_packets
+      && stats.Sim.Pktsim.injected_packets = workload.Sim.Workload.total_packets
+      && Array.for_all2
+           (fun a b -> abs_float (a -. b) < 1e-6)
+           flow_result.Sim.Flowsim.loads stats.Sim.Pktsim.loads)
+
+(* --- Experiments --------------------------------------------------------- *)
+
+let test_experiment_figure_small () =
+  let fig =
+    Sim.Experiment.run_figure Sim.Experiment.Campus
+      ~flow_counts:[ 3_000; 6_000 ] ()
+  in
+  Alcotest.(check int) "two points" 2 (List.length fig.Sim.Experiment.points);
+  List.iter
+    (fun (p : Sim.Experiment.point) ->
+      Alcotest.(check int) "four middlebox types" 4
+        (List.length p.Sim.Experiment.max_loads);
+      List.iter
+        (fun (_, (hp, rand, lb)) ->
+          Alcotest.(check bool) "loads positive" true
+            (hp > 0.0 && rand > 0.0 && lb > 0.0))
+        p.Sim.Experiment.max_loads)
+    fig.Sim.Experiment.points
+
+let test_experiment_linear_growth () =
+  (* Max loads grow roughly linearly with volume (paper: "the maximum
+     loads increase linearly with traffic volume"). *)
+  let fig =
+    Sim.Experiment.run_figure Sim.Experiment.Campus
+      ~flow_counts:[ 10_000; 40_000 ] ()
+  in
+  match fig.Sim.Experiment.points with
+  | [ p1; p4 ] ->
+    List.iter
+      (fun nf ->
+        let _, _, lb1 = List.assoc nf p1.Sim.Experiment.max_loads in
+        let _, _, lb4 = List.assoc nf p4.Sim.Experiment.max_loads in
+        let ratio = lb4 /. lb1 in
+        if ratio < 2.0 || ratio > 8.0 then
+          Alcotest.failf "%s: 4x flows gave %.2fx load"
+            (Policy.Action.nf_to_string nf) ratio)
+      [ Policy.Action.FW; Policy.Action.IDS ]
+  | _ -> Alcotest.fail "expected two points"
+
+let test_experiment_table3_shape () =
+  let rows = Sim.Experiment.run_table3 ~flows:30_000 () in
+  Alcotest.(check int) "four rows" 4 (List.length rows);
+  List.iter
+    (fun (r : Sim.Experiment.table3_row) ->
+      (* LB spread is the tightest of the three strategies. *)
+      let spread max_ min_ = max_ -. min_ in
+      Alcotest.(check bool) "lb spread < hp spread" true
+        (spread r.Sim.Experiment.lb_max r.Sim.Experiment.lb_min
+        <= spread r.Sim.Experiment.hp_max r.Sim.Experiment.hp_min);
+      Alcotest.(check bool) "max >= min" true
+        (r.Sim.Experiment.lb_max >= r.Sim.Experiment.lb_min))
+    rows
+
+let test_queue_ablation () =
+  let q = Sim.Experiment.ablation_queue ~flows:200 () in
+  Alcotest.(check bool) "finite rate" true (q.Sim.Experiment.service_rate > 0.0);
+  (* Calibration targets ~50% utilisation for LB; HP concentrates and
+     must run hotter and slower. *)
+  Alcotest.(check bool) "HP hotter than LB" true
+    (q.Sim.Experiment.hp_util_max > q.Sim.Experiment.lb_util_max);
+  Alcotest.(check bool) "HP slower (mean)" true
+    (q.Sim.Experiment.hp_latency_mean > q.Sim.Experiment.lb_latency_mean);
+  Alcotest.(check bool) "HP slower (p99)" true
+    (q.Sim.Experiment.hp_latency_p99 > q.Sim.Experiment.lb_latency_p99)
+
+let test_queueing_preserves_loads () =
+  (* Finite service delays packets but never changes which middlebox
+     processes them. *)
+  let controller, workload = small_pkt_setup ~flows:100 () in
+  let infinite = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let finite =
+    Sim.Pktsim.run
+      ~config:{ pkt_config with service_rate = 5.0 }
+      ~controller ~workload ()
+  in
+  Alcotest.(check int) "all delivered" finite.Sim.Pktsim.injected_packets
+    finite.Sim.Pktsim.delivered_packets;
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "mbox %d" i) expected
+        finite.Sim.Pktsim.loads.(i))
+    infinite.Sim.Pktsim.loads;
+  Alcotest.(check bool) "queueing adds latency" true
+    (finite.Sim.Pktsim.latency_mean > infinite.Sim.Pktsim.latency_mean)
+
+let test_epoch_adaptation () =
+  let dep = campus () in
+  let metrics = Sim.Epochsim.run ~deployment:dep ~epochs:4 ~base_flows:10_000 () in
+  Alcotest.(check int) "four epochs" 4 (List.length metrics);
+  (match metrics with
+  | first :: _ ->
+    (* Epoch 0 has no prior measurement: stale LB *is* hot-potato. *)
+    Alcotest.(check (float 1e-6)) "epoch 0 falls back to HP"
+      first.Sim.Epochsim.hp_max first.Sim.Epochsim.stale_lb_max
+  | [] -> Alcotest.fail "no metrics");
+  List.iter
+    (fun (m : Sim.Epochsim.epoch_metrics) ->
+      (* Clairvoyant planning can only help. *)
+      Alcotest.(check bool) "clairvoyant <= stale" true
+        (m.Sim.Epochsim.clairvoyant_lb_max <= m.Sim.Epochsim.stale_lb_max +. 1.0);
+      Alcotest.(check bool) "clairvoyant <= HP" true
+        (m.Sim.Epochsim.clairvoyant_lb_max <= m.Sim.Epochsim.hp_max +. 1.0);
+      Alcotest.(check bool) "gap >= 1" true (m.Sim.Epochsim.staleness_gap >= 0.99))
+    metrics;
+  (* After the first measurement arrives, stale LB beats hot-potato. *)
+  List.iteri
+    (fun i (m : Sim.Epochsim.epoch_metrics) ->
+      if i > 0 then
+        Alcotest.(check bool) "stale LB < HP after warm-up" true
+          (m.Sim.Epochsim.stale_lb_max < m.Sim.Epochsim.hp_max))
+    metrics
+
+let test_flowsim_trace () =
+  let dep = campus () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:5 ~flows:500 () in
+  let traffic = Sim.Workload.measure workload in
+  match
+    Sdm.Controller.configure dep ~rules:workload.Sim.Workload.rules
+      (Sdm.Controller.Load_balanced traffic)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok controller ->
+    (* Every enforced flow's trace follows its rule's action list in
+       order, with matching middlebox functions. *)
+    Array.iter
+      (fun (fs : Sim.Workload.flow_spec) ->
+        let rule, chain = Sim.Flowsim.trace ~controller fs.Sim.Workload.flow in
+        Alcotest.(check (option int)) "same rule as workload"
+          fs.Sim.Workload.rule_id
+          (Option.map (fun r -> r.Policy.Rule.id) rule);
+        match rule with
+        | None -> Alcotest.(check int) "no chain" 0 (List.length chain)
+        | Some r ->
+          Alcotest.(check (list string)) "chain order = action list"
+            (List.map Policy.Action.nf_to_string r.Policy.Rule.actions)
+            (List.map
+               (fun (m : Mbox.Middlebox.t) -> Policy.Action.nf_to_string m.nf)
+               chain))
+      workload.Sim.Workload.flows;
+    (* Source outside every stub: rejected. *)
+    let alien =
+      Netpkt.Flow.make ~src:(Netpkt.Addr.of_string "99.0.0.1")
+        ~dst:(Netpkt.Addr.of_string "10.0.0.5") ~proto:6 ~sport:1 ~dport:2
+    in
+    match Sim.Flowsim.trace ~controller alien with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected rejection of a foreign source"
+
+let test_controlplane_pricing () =
+  let dep = campus () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:5 ~flows:3_000 () in
+  let rules = workload.Sim.Workload.rules in
+  let traffic = Sim.Workload.measure workload in
+  let price kind =
+    match Sdm.Controller.configure dep ~rules kind with
+    | Ok c -> Sim.Controlplane.price c ~traffic
+    | Error e -> Alcotest.fail e
+  in
+  let hp = price Sdm.Controller.Hot_potato in
+  let lb = price (Sdm.Controller.Load_balanced traffic) in
+  Alcotest.(check int) "manages proxies + middleboxes" 32 lb.Sim.Controlplane.devices_managed;
+  Alcotest.(check bool) "LB ships more config (weights)" true
+    (lb.Sim.Controlplane.config_bytes > hp.Sim.Controlplane.config_bytes);
+  Alcotest.(check bool) "byte-hops >= bytes" true
+    (lb.Sim.Controlplane.config_byte_hops >= lb.Sim.Controlplane.config_bytes);
+  Alcotest.(check bool) "configuration time positive" true
+    (lb.Sim.Controlplane.time_to_configure > 0.0);
+  Alcotest.(check bool) "reports non-empty" true
+    (lb.Sim.Controlplane.report_bytes_per_epoch > 0)
+
+let test_experiment_k1_equals_hp () =
+  (* k = 1 degenerates the LB candidate sets to the closest middlebox:
+     identical loads to hot-potato. *)
+  let dep = campus () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:5 ~flows:2_000 () in
+  let rules = workload.Sim.Workload.rules in
+  let traffic = Sim.Workload.measure workload in
+  let hp =
+    match Sdm.Controller.configure dep ~rules Sdm.Controller.Hot_potato with
+    | Ok c -> Sim.Flowsim.run ~controller:c ~workload ()
+    | Error e -> Alcotest.fail e
+  in
+  let lb1 =
+    match
+      Sdm.Controller.configure dep ~rules ~k:(fun _ -> 1)
+        (Sdm.Controller.Load_balanced traffic)
+    with
+    | Ok c -> Sim.Flowsim.run ~controller:c ~workload ()
+    | Error e -> Alcotest.fail e
+  in
+  Array.iteri
+    (fun i hp_load ->
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "mbox %d" i) hp_load
+        lb1.Sim.Flowsim.loads.(i))
+    hp.Sim.Flowsim.loads
+
+let suite =
+  [
+    Alcotest.test_case "workload shape" `Quick test_workload_shape;
+    Alcotest.test_case "workload calibration" `Quick test_workload_calibration;
+    Alcotest.test_case "workload sizes bounded" `Quick test_workload_sizes_bounded;
+    Alcotest.test_case "workload rule ids honest" `Quick
+      test_workload_flows_match_their_rule;
+    Alcotest.test_case "workload endpoints consistent" `Quick
+      test_workload_endpoints_consistent;
+    Alcotest.test_case "workload deterministic" `Quick test_workload_deterministic;
+    Alcotest.test_case "measurement totals" `Quick test_measure_totals;
+    Alcotest.test_case "flowsim load conservation" `Quick
+      test_flowsim_load_conservation;
+    Alcotest.test_case "flowsim HP uses closest" `Quick
+      test_flowsim_hot_potato_uses_closest;
+    Alcotest.test_case "flowsim LB beats baselines" `Quick test_flowsim_lb_beats_others;
+    Alcotest.test_case "flowsim LB close to lambda" `Quick
+      test_flowsim_lb_close_to_lambda;
+    Alcotest.test_case "flowsim stretch sane" `Quick test_flowsim_stretch;
+    Alcotest.test_case "pktsim delivers everything" `Quick
+      test_pktsim_delivers_everything;
+    Alcotest.test_case "pktsim loads = flowsim loads" `Slow
+      test_pktsim_loads_equal_flowsim;
+    Alcotest.test_case "pktsim = flowsim on Waxman" `Slow
+      test_pktsim_flowsim_agree_on_waxman;
+    Alcotest.test_case "pktsim label switching engages" `Quick
+      test_pktsim_label_switching_kicks_in;
+    Alcotest.test_case "pktsim label switching avoids fragments" `Quick
+      test_pktsim_label_switching_avoids_fragments;
+    Alcotest.test_case "pktsim cache suppresses lookups" `Quick
+      test_pktsim_cache_suppresses_lookups;
+    Alcotest.test_case "pktsim routing-substrate invariance" `Slow
+      test_pktsim_routing_substrate_invariance;
+    Alcotest.test_case "pktsim latency overhead" `Quick test_pktsim_latency_overhead;
+    Alcotest.test_case "pktsim label expiry recovery" `Quick
+      test_pktsim_label_expiry_recovery;
+    Alcotest.test_case "pktsim WP cache short-circuit" `Quick
+      test_pktsim_wp_cache_short_circuit;
+    Alcotest.test_case "pktsim ECMP invariance" `Quick test_pktsim_ecmp_invariance;
+    QCheck_alcotest.to_alcotest qcheck_pktsim_chaos;
+    Alcotest.test_case "experiment figure (small)" `Slow test_experiment_figure_small;
+    Alcotest.test_case "experiment linear growth" `Slow test_experiment_linear_growth;
+    Alcotest.test_case "experiment table3 shape" `Slow test_experiment_table3_shape;
+    Alcotest.test_case "experiment k=1 equals HP" `Quick test_experiment_k1_equals_hp;
+    Alcotest.test_case "epoch adaptation" `Slow test_epoch_adaptation;
+    Alcotest.test_case "queue ablation" `Slow test_queue_ablation;
+    Alcotest.test_case "control-plane pricing" `Quick test_controlplane_pricing;
+    Alcotest.test_case "flowsim trace" `Quick test_flowsim_trace;
+    Alcotest.test_case "queueing preserves loads" `Quick test_queueing_preserves_loads;
+  ]

@@ -1,0 +1,262 @@
+(* Tests for the stdx utility layer: RNG determinism and uniformity,
+   power-law calibration, heap ordering, hashing, statistics. *)
+
+let test_rng_determinism () =
+  let a = Stdx.Rng.create 42 and b = Stdx.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Stdx.Rng.int64 a) (Stdx.Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Stdx.Rng.create 1 and b = Stdx.Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Stdx.Rng.int64 a = Stdx.Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let rng = Stdx.Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Stdx.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_rng_float_bounds () =
+  let rng = Stdx.Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Stdx.Rng.float rng 3.5 in
+    if v < 0.0 || v >= 3.5 then Alcotest.failf "out of bounds: %f" v
+  done
+
+let test_rng_uniformity () =
+  (* Chi-squared-ish sanity: 10 buckets, 100k draws, each bucket
+     within 5% of the expectation. *)
+  let rng = Stdx.Rng.create 2024 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Stdx.Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 20 then
+        Alcotest.failf "bucket count %d too far from %d" c expected)
+    buckets
+
+let test_rng_split_independent () =
+  let parent = Stdx.Rng.create 5 in
+  let child = Stdx.Rng.split parent in
+  let c1 = Stdx.Rng.int64 child in
+  let p1 = Stdx.Rng.int64 parent in
+  Alcotest.(check bool) "values differ" true (c1 <> p1)
+
+let test_shuffle_permutation () =
+  let rng = Stdx.Rng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Stdx.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Stdx.Rng.create 11 in
+  let arr = Array.init 20 Fun.id in
+  let s = Stdx.Rng.sample_without_replacement rng 8 arr in
+  Alcotest.(check int) "size" 8 (Array.length s);
+  let distinct = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 8 (List.length distinct)
+
+let test_sample_too_many () =
+  let rng = Stdx.Rng.create 11 in
+  Alcotest.check_raises "k > n" (Invalid_argument "Rng.sample_without_replacement: k > length")
+    (fun () -> ignore (Stdx.Rng.sample_without_replacement rng 3 [| 1; 2 |]))
+
+let test_power_law_bounds () =
+  let pl = Stdx.Power_law.make ~alpha:2.0 ~lo:1 ~hi:5000 in
+  let rng = Stdx.Rng.create 17 in
+  for _ = 1 to 10_000 do
+    let v = Stdx.Power_law.sample pl rng in
+    if v < 1 || v > 5000 then Alcotest.failf "sample out of range: %d" v
+  done
+
+let test_power_law_calibration () =
+  (* The paper's workload: sizes in [1,5000], mean ~33.3 packets. *)
+  let target = 1_000_000.0 /. 30_000.0 in
+  let pl = Stdx.Power_law.calibrate ~lo:1 ~hi:5000 ~mean:target in
+  Alcotest.(check (float 0.01)) "analytic mean" target (Stdx.Power_law.mean pl);
+  let rng = Stdx.Rng.create 23 in
+  let n = 200_000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Stdx.Power_law.sample pl rng
+  done;
+  let empirical = float_of_int !total /. float_of_int n in
+  (* Heavy tail: generous 15% tolerance on the empirical mean. *)
+  if abs_float (empirical -. target) > 0.15 *. target then
+    Alcotest.failf "empirical mean %.2f too far from %.2f" empirical target
+
+let test_power_law_skew () =
+  (* Power-law: the median must sit far below the mean. *)
+  let pl = Stdx.Power_law.calibrate ~lo:1 ~hi:5000 ~mean:33.3 in
+  let rng = Stdx.Rng.create 29 in
+  let samples = Array.init 50_000 (fun _ -> float_of_int (Stdx.Power_law.sample pl rng)) in
+  let median = Stdx.Stats.percentile samples 0.5 in
+  Alcotest.(check bool) "median << mean" true (median < 10.0)
+
+let test_heap_sorts () =
+  let h = Stdx.Heap.create ~cmp:compare in
+  let rng = Stdx.Rng.create 31 in
+  let values = List.init 500 (fun _ -> Stdx.Rng.int rng 1000) in
+  List.iter (Stdx.Heap.push h) values;
+  Alcotest.(check int) "length" 500 (Stdx.Heap.length h);
+  let drained = List.init 500 (fun _ -> Stdx.Heap.pop_exn h) in
+  Alcotest.(check (list int)) "sorted drain" (List.sort compare values) drained;
+  Alcotest.(check bool) "empty" true (Stdx.Heap.is_empty h)
+
+let test_heap_peek_pop () =
+  let h = Stdx.Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "peek empty" None (Stdx.Heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Stdx.Heap.pop h);
+  Stdx.Heap.push h 5;
+  Stdx.Heap.push h 2;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Stdx.Heap.peek h);
+  Alcotest.(check int) "peek does not remove" 2 (Stdx.Heap.length h)
+
+let test_heap_to_sorted_list () =
+  let h = Stdx.Heap.create ~cmp:compare in
+  List.iter (Stdx.Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Stdx.Heap.to_sorted_list h);
+  Alcotest.(check int) "non destructive" 3 (Stdx.Heap.length h)
+
+let qcheck_heap_property =
+  QCheck.Test.make ~count:200 ~name:"heap drains any int list sorted"
+    QCheck.(list int)
+    (fun l ->
+      let h = Stdx.Heap.create ~cmp:compare in
+      List.iter (Stdx.Heap.push h) l;
+      let drained = List.filter_map (fun _ -> Stdx.Heap.pop h) l in
+      drained = List.sort compare l)
+
+let test_xhash_deterministic () =
+  Alcotest.(check int64) "stable string hash" (Stdx.Xhash.string "hello")
+    (Stdx.Xhash.string "hello");
+  Alcotest.(check bool) "different inputs differ" true
+    (Stdx.Xhash.string "hello" <> Stdx.Xhash.string "hellp")
+
+let test_xhash_unit_interval () =
+  for i = 0 to 1000 do
+    let u = Stdx.Xhash.to_unit_interval (Stdx.Xhash.ints [ i; i * 7 ]) in
+    if u < 0.0 || u >= 1.0 then Alcotest.failf "out of unit interval: %f" u
+  done
+
+let test_xhash_spread () =
+  (* Hash values of consecutive ints should spread over buckets. *)
+  let buckets = Array.make 16 0 in
+  for i = 0 to 15_999 do
+    let b = Stdx.Xhash.to_range (Stdx.Xhash.ints [ i ]) 16 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c -> if c < 700 || c > 1300 then Alcotest.failf "skewed bucket: %d" c)
+    buckets
+
+let test_count_min_never_undercounts () =
+  let cm = Stdx.Count_min.create ~epsilon:0.01 ~delta:0.01 () in
+  let rng = Stdx.Rng.create 3 in
+  let truth = Hashtbl.create 64 in
+  for _ = 1 to 5_000 do
+    let key = Int64.of_int (Stdx.Rng.int rng 500) in
+    let v = float_of_int (1 + Stdx.Rng.int rng 10) in
+    Stdx.Count_min.add cm key v;
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt truth key) in
+    Hashtbl.replace truth key (prev +. v)
+  done;
+  Hashtbl.iter
+    (fun key exact ->
+      let est = Stdx.Count_min.estimate cm key in
+      if est < exact -. 1e-9 then
+        Alcotest.failf "undercount: key %Ld est %f exact %f" key est exact)
+    truth
+
+let test_count_min_error_bound () =
+  let epsilon = 0.01 in
+  let cm = Stdx.Count_min.create ~epsilon ~delta:0.01 () in
+  let rng = Stdx.Rng.create 5 in
+  let truth = Hashtbl.create 64 in
+  for _ = 1 to 20_000 do
+    let key = Int64.of_int (Stdx.Rng.int rng 2000) in
+    Stdx.Count_min.add cm key 1.0;
+    let prev = Option.value ~default:0.0 (Hashtbl.find_opt truth key) in
+    Hashtbl.replace truth key (prev +. 1.0)
+  done;
+  let budget = epsilon *. Stdx.Count_min.total cm in
+  let violations = ref 0 and n = ref 0 in
+  Hashtbl.iter
+    (fun key exact ->
+      incr n;
+      if Stdx.Count_min.estimate cm key -. exact > budget then incr violations)
+    truth;
+  (* The bound holds per key with probability 1 - delta = 0.99. *)
+  if float_of_int !violations > 0.05 *. float_of_int !n then
+    Alcotest.failf "%d/%d estimates exceeded the CMS error bound" !violations !n
+
+let test_count_min_unknown_key () =
+  let cm = Stdx.Count_min.create () in
+  Alcotest.(check (float 1e-9)) "empty sketch" 0.0
+    (Stdx.Count_min.estimate cm 42L)
+
+let test_count_min_rejects_negative () =
+  let cm = Stdx.Count_min.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Count_min.add: negative value")
+    (fun () -> Stdx.Count_min.add cm 1L (-1.0))
+
+let test_stats_summary () =
+  let s = Stdx.Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check int) "count" 4 s.Stdx.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stdx.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stdx.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stdx.Stats.max
+
+let test_stats_percentile () =
+  let samples = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stdx.Stats.percentile samples 0.5);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stdx.Stats.percentile samples 1.0)
+
+let test_stats_imbalance () =
+  Alcotest.(check (float 1e-9)) "balanced" 1.0 (Stdx.Stats.imbalance [| 2.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "skewed" 1.5 (Stdx.Stats.imbalance [| 1.0; 3.0 |])
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "sample too many raises" `Quick test_sample_too_many;
+    Alcotest.test_case "power-law bounds" `Quick test_power_law_bounds;
+    Alcotest.test_case "power-law calibration" `Quick test_power_law_calibration;
+    Alcotest.test_case "power-law skew" `Quick test_power_law_skew;
+    Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
+    Alcotest.test_case "heap peek/pop" `Quick test_heap_peek_pop;
+    Alcotest.test_case "heap to_sorted_list" `Quick test_heap_to_sorted_list;
+    QCheck_alcotest.to_alcotest qcheck_heap_property;
+    Alcotest.test_case "xhash deterministic" `Quick test_xhash_deterministic;
+    Alcotest.test_case "xhash unit interval" `Quick test_xhash_unit_interval;
+    Alcotest.test_case "xhash spread" `Quick test_xhash_spread;
+    Alcotest.test_case "count-min never undercounts" `Quick
+      test_count_min_never_undercounts;
+    Alcotest.test_case "count-min error bound" `Quick test_count_min_error_bound;
+    Alcotest.test_case "count-min unknown key" `Quick test_count_min_unknown_key;
+    Alcotest.test_case "count-min rejects negative" `Quick
+      test_count_min_rejects_negative;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats imbalance" `Quick test_stats_imbalance;
+  ]
