@@ -23,6 +23,39 @@
 let fast = Array.exists (( = ) "--fast") Sys.argv
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
 let csv_dir = if Array.exists (( = ) "--csv") Sys.argv then Some "bench_csv" else None
+let json_out = Array.exists (( = ) "--json") Sys.argv
+
+(* Perf trajectory for --json: wall seconds per experiment, plus engine
+   event counts for the packet-level ones (events/sec is the packet
+   simulator's real throughput metric — hop fast-forwarding lowers the
+   event count itself, so both numbers are recorded). *)
+let timings : (string * float) list ref = ref []
+let event_counts : (string, int * int) Hashtbl.t = Hashtbl.create 8
+let note_events name ~events ~hops = Hashtbl.replace event_counts name (events, hops)
+
+let write_json () =
+  let path = "BENCH_pktsim.json" in
+  let oc = open_out path in
+  let entries =
+    List.rev_map
+      (fun (name, seconds) ->
+        let events, hops =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt event_counts name)
+        in
+        let events_per_sec =
+          if events > 0 && seconds > 0.0 then float_of_int events /. seconds
+          else 0.0
+        in
+        Printf.sprintf
+          "    {\"name\": %S, \"seconds\": %.3f, \"events_processed\": %d, \
+           \"router_hops\": %d, \"events_per_sec\": %.0f}"
+          name seconds events hops events_per_sec)
+      !timings
+  in
+  Printf.fprintf oc "{\n  \"experiments\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" entries);
+  close_out oc;
+  Format.printf "[wrote %s]@." path
 
 let write_csv name content =
   match csv_dir with
@@ -40,7 +73,9 @@ let section name = Format.printf "@.##### %s #####@.@." name
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Format.printf "[%s took %.1fs]@." name (Unix.gettimeofday () -. t0);
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "[%s took %.1fs]@." name dt;
+  timings := (name, dt) :: !timings;
   r
 
 let flow_counts =
@@ -142,6 +177,8 @@ let () =
     timed "ABL-LAT" (fun () ->
         Sim.Experiment.ablation_latency ~flows:(if fast then 300 else 1_000) ())
   in
+  note_events "ABL-LAT" ~events:ablat.Sim.Experiment.events_processed
+    ~hops:ablat.Sim.Experiment.router_hops;
   Format.printf "%a@." Sim.Report.pp_latency_ablation ablat;
 
   section "ABL-QUEUE: middlebox queueing, HP vs LB latency";
@@ -149,6 +186,8 @@ let () =
     timed "ABL-QUEUE" (fun () ->
         Sim.Experiment.ablation_queue ~flows:(if fast then 300 else 800) ())
   in
+  note_events "ABL-QUEUE" ~events:abq.Sim.Experiment.events_processed
+    ~hops:abq.Sim.Experiment.router_hops;
   Format.printf "%a@." Sim.Report.pp_queue_ablation abq;
 
   section "ABL-LP: Eq.(1) exact vs Eq.(2) simplified";
@@ -342,3 +381,4 @@ let run_micro () =
     (micro_tests ())
 
 let () = if not skip_micro then run_micro ()
+let () = if json_out then write_json ()

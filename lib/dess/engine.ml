@@ -86,3 +86,7 @@ let run ?until t =
     done
 
 let events_processed t = t.processed
+
+(* Every schedule consumes one sequence number, so [next_seq] is the
+   lifetime schedule count. *)
+let events_scheduled t = t.next_seq

@@ -44,3 +44,10 @@ val run : ?until:float -> t -> unit
     then rests at the last fired event. *)
 
 val events_processed : t -> int
+(** Events fired so far (cancelled events are not counted). *)
+
+val events_scheduled : t -> int
+(** Events ever scheduled, fired or not.  Together with
+    {!events_processed} this is the cost model of a simulation: the
+    packet simulator's fast-forwarding exists to shrink these numbers
+    without changing any statistic. *)

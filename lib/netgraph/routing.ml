@@ -23,15 +23,15 @@ let next_hop table dst =
   let hop = table.(dst) in
   if hop = -1 then None else Some hop
 
-type ecmp_table = int list array
+type ecmp_table = int array array
 
 let build_all_ecmp g =
   let n = Graph.node_count g in
   let dist = Dijkstra.all_pairs g in
   Array.init n (fun u ->
       Array.init n (fun dst ->
-          if u = dst then [ dst ]
-          else if dist.(u).(dst) = infinity then []
+          if u = dst then [| dst |]
+          else if dist.(u).(dst) = infinity then [||]
           else
             List.filter_map
               (fun { Graph.dst = h; cost } ->
@@ -39,7 +39,7 @@ let build_all_ecmp g =
                 then Some h
                 else None)
               (Graph.neighbors g u)
-            |> List.sort compare))
+            |> List.sort compare |> Array.of_list))
 
 let walk tables ~src ~dst =
   let n = Array.length tables in

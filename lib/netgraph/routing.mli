@@ -24,10 +24,12 @@ val walk : table array -> src:int -> dst:int -> int list
     is encountered (cannot happen on tables produced by
     {!build_all}). *)
 
-type ecmp_table = int list array
+type ecmp_table = int array array
 (** [ecmp.(dst)] is every next hop lying on some shortest path
-    (ascending node id); [[dst]] at the destination itself; [[]] when
-    unreachable. *)
+    (ascending node id); [[|dst|]] at the destination itself; [[||]]
+    when unreachable.  An array, not a list: hash-based ECMP spreading
+    picks hop [i] of the set on every packet of every transit router,
+    so the choice must be O(1) indexing. *)
 
 val build_all_ecmp : Graph.t -> ecmp_table array
 (** Equal-cost multipath: the full next-hop sets real OSPF/EIGRP

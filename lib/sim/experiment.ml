@@ -369,6 +369,8 @@ type latency_report = {
   plain_p50 : float;
   plain_p99 : float;
   mean_overhead : float;
+  events_processed : int;
+  router_hops : int;
 }
 
 let ablation_latency ?(flows = 1_000) ?(seed = 17) () =
@@ -398,6 +400,9 @@ let ablation_latency ?(flows = 1_000) ?(seed = 17) () =
       (if plain.Pktsim.latency_mean > 0.0 then
          enforced.Pktsim.latency_mean /. plain.Pktsim.latency_mean
        else 1.0);
+    events_processed =
+      enforced.Pktsim.events_processed + plain.Pktsim.events_processed;
+    router_hops = enforced.Pktsim.router_hops + plain.Pktsim.router_hops;
   }
 
 type queue_report = {
@@ -408,6 +413,8 @@ type queue_report = {
   hp_latency_p99 : float;
   lb_latency_mean : float;
   lb_latency_p99 : float;
+  events_processed : int;
+  router_hops : int;
 }
 
 let ablation_queue ?(flows = 800) ?(seed = 17) () =
@@ -439,6 +446,12 @@ let ablation_queue ?(flows = 800) ?(seed = 17) () =
     hp_latency_p99 = hp_run.Pktsim.latency_p99;
     lb_latency_mean = lb_run.Pktsim.latency_mean;
     lb_latency_p99 = lb_run.Pktsim.latency_p99;
+    events_processed =
+      probe.Pktsim.events_processed + hp_run.Pktsim.events_processed
+      + lb_run.Pktsim.events_processed;
+    router_hops =
+      probe.Pktsim.router_hops + hp_run.Pktsim.router_hops
+      + lb_run.Pktsim.router_hops;
   }
 
 type lp_compare = {

@@ -160,6 +160,8 @@ type latency_report = {
   plain_p50 : float;
   plain_p99 : float;
   mean_overhead : float;   (** enforced_mean / plain_mean *)
+  events_processed : int;  (** engine events fired, both runs together *)
+  router_hops : int;       (** hops fast-forwarded, both runs together *)
 }
 
 val ablation_latency : ?flows:int -> ?seed:int -> unit -> latency_report
@@ -174,6 +176,8 @@ type queue_report = {
   hp_latency_p99 : float;
   lb_latency_mean : float;
   lb_latency_p99 : float;
+  events_processed : int;  (** engine events fired, all three runs together *)
+  router_hops : int;       (** hops fast-forwarded, all three runs together *)
 }
 
 val ablation_queue : ?flows:int -> ?seed:int -> unit -> queue_report

@@ -54,6 +54,8 @@ type stats = {
   teardowns : int;       (* teardown notifications back to proxies *)
   wp_cache_served : int; (* requests answered from the web proxy's cache *)
   cache_evictions : int; (* capacity-forced LRU evictions across all caches *)
+  events_scheduled : int; (* engine events created over the whole run *)
+  events_processed : int; (* engine events fired over the whole run *)
 }
 
 type counters = {
@@ -94,7 +96,7 @@ type world = {
   tables : Netgraph.Routing.table array;
   ecmp_tables : Netgraph.Routing.ecmp_table array option;
   counters : counters;
-  mutable latencies : float list; (* delivered-packet end-to-end times *)
+  latencies : Stdx.Fvec.t; (* delivered-packet end-to-end times *)
   busy_until : float array; (* per-middlebox FIFO server horizon *)
   loads : float array;
   (* Per-proxy and per-middlebox soft state. *)
@@ -160,31 +162,35 @@ let wp_serves_from_cache w (mb : Mbox.Middlebox.t) ~src ~label ~flow_hash =
 let serve_from_cache w ~born =
   w.counters.wp_served <- w.counters.wp_served + 1;
   w.counters.delivered <- w.counters.delivered + 1;
-  w.latencies <- (Dess.Engine.now w.engine -. born) :: w.latencies
+  Stdx.Fvec.push w.latencies (Dess.Engine.now w.engine -. born)
 
+(* Hop fast-forwarding: the routers between two policy decision points
+   are policy-oblivious and their tables (and ECMP hash choices) are
+   fixed for the whole run, so transit is fully deterministic.  Instead
+   of paying one event-queue cycle per router hop, walk the tables
+   inline here and schedule a single arrival event at the segment's
+   endpoint.  The arrival time accumulates [link_delay] by repeated
+   addition — the same float operations the per-hop event cascade
+   performed — so every timestamp, and hence every statistic, is
+   bit-identical to per-hop execution. *)
 let rec send w ~from_router msg =
   note_fragments w msg;
-  forward w ~router:from_router msg
-
-(* Hop-by-hop forwarding using only the routers' policy-oblivious
-   OSPF tables. *)
-and forward w ~router msg =
   match resolve w (msg_dst msg) with
   | None -> w.counters.dropped <- w.counters.dropped + 1
   | Some (target_router, endpoint) ->
-    if router = target_router then
-      ignore
-        (Dess.Engine.schedule w.engine ~delay:w.cfg.link_delay (fun _ ->
-             deliver w endpoint msg))
-    else begin
-      match next_hop_for w ~router ~target_router msg with
-      | None -> w.counters.dropped <- w.counters.dropped + 1
-      | Some hop ->
-        w.counters.hops <- w.counters.hops + 1;
+    let rec walk router time =
+      if router = target_router then
         ignore
-          (Dess.Engine.schedule w.engine ~delay:w.cfg.link_delay (fun _ ->
-               forward w ~router:hop msg))
-    end
+          (Dess.Engine.schedule_at w.engine ~time:(time +. w.cfg.link_delay)
+             (fun _ -> deliver w endpoint msg))
+      else
+        match next_hop_for w ~router ~target_router msg with
+        | None -> w.counters.dropped <- w.counters.dropped + 1
+        | Some hop ->
+          w.counters.hops <- w.counters.hops + 1;
+          walk hop (time +. w.cfg.link_delay)
+    in
+    walk from_router (Dess.Engine.now w.engine)
 
 (* With ECMP enabled, routers spread flows over every shortest-path
    next hop by hashing stable header fields (plus the router id, so
@@ -194,8 +200,8 @@ and next_hop_for w ~router ~target_router msg =
   | None -> Netgraph.Routing.next_hop w.tables.(router) target_router
   | Some ecmp -> (
     match ecmp.(router).(target_router) with
-    | [] -> None
-    | [ hop ] -> Some hop
+    | [||] -> None
+    | [| hop |] -> Some hop
     | hops ->
       let h =
         match msg with
@@ -207,7 +213,7 @@ and next_hop_for w ~router ~target_router msg =
         | Control { dst; _ } | Teardown { dst; _ } ->
           Stdx.Xhash.ints [ router; dst ]
       in
-      Some (List.nth hops (Stdx.Xhash.to_range h (List.length hops))))
+      Some hops.(Stdx.Xhash.to_range h (Array.length hops)))
 
 and deliver w endpoint msg =
   match (endpoint, msg) with
@@ -219,7 +225,7 @@ and deliver w endpoint msg =
     else begin
       ignore proxy_id;
       w.counters.delivered <- w.counters.delivered + 1;
-      w.latencies <- (Dess.Engine.now w.engine -. born) :: w.latencies
+      Stdx.Fvec.push w.latencies (Dess.Engine.now w.engine -. born)
     end
   | To_subnet proxy_id, Control { flow; _ } ->
     w.counters.control <- w.counters.control + 1;
@@ -509,7 +515,7 @@ let run ?(config = default_config) ~controller ~workload () =
           teardowns = 0;
           wp_served = 0;
         };
-      latencies = [];
+      latencies = Stdx.Fvec.create ();
       busy_until = Array.make n_mboxes 0.0;
       loads = Array.make n_mboxes 0.0;
       proxy_caches =
@@ -552,6 +558,24 @@ let run ?(config = default_config) ~controller ~workload () =
       packet_at 0)
     workload.Workload.flows;
   Dess.Engine.run engine;
+  let latency_mean, latency_p50, latency_p99 =
+    let n = Stdx.Fvec.length w.latencies in
+    if n = 0 then (0.0, 0.0, 0.0)
+    else begin
+      (* Sum newest delivery first: float addition is order-sensitive
+         in the last ulp, and the regression oracles pin the mean this
+         historical cons-list accumulation produced. *)
+      let total = ref 0.0 in
+      for i = n - 1 downto 0 do
+        total := !total +. Stdx.Fvec.get w.latencies i
+      done;
+      match
+        Stdx.Stats.percentiles (Stdx.Fvec.to_array w.latencies) [ 0.5; 0.99 ]
+      with
+      | [ p50; p99 ] -> (!total /. float_of_int n, p50, p99)
+      | _ -> assert false
+    end
+  in
   {
     loads = w.loads;
     injected_packets = w.counters.injected;
@@ -566,18 +590,9 @@ let run ?(config = default_config) ~controller ~workload () =
     fragments_created = w.counters.fragments;
     router_hops = w.counters.hops;
     sim_time = Dess.Engine.now engine;
-    latency_mean =
-      (match w.latencies with
-      | [] -> 0.0
-      | l -> (Stdx.Stats.summarize (Array.of_list l)).Stdx.Stats.mean);
-    latency_p50 =
-      (match w.latencies with
-      | [] -> 0.0
-      | l -> Stdx.Stats.percentile (Array.of_list l) 0.5);
-    latency_p99 =
-      (match w.latencies with
-      | [] -> 0.0
-      | l -> Stdx.Stats.percentile (Array.of_list l) 0.99);
+    latency_mean;
+    latency_p50;
+    latency_p99;
     label_misses = w.counters.label_misses;
     teardowns = w.counters.teardowns;
     wp_cache_served = w.counters.wp_served;
@@ -588,4 +603,6 @@ let run ?(config = default_config) ~controller ~workload () =
            0 caches
        in
        sum w.proxy_caches + sum w.mbox_caches);
+    events_scheduled = Dess.Engine.events_scheduled engine;
+    events_processed = Dess.Engine.events_processed engine;
   }

@@ -5,8 +5,18 @@
     the proxy's policy table (flow cache first, Sec. III.D), tunnelled
     IP-over-IP middlebox to middlebox, optionally upgraded to label
     switching after the chain's last middlebox confirms (Sec. III.E),
-    and routed hop by hop through the routers' OSPF tables, which know
-    nothing about policies.
+    and routed through the routers' OSPF tables, which know nothing
+    about policies.
+
+    Router transit is {e hop fast-forwarded}: between two policy
+    decision points (proxy, middlebox, destination subnet) forwarding
+    is deterministic under fixed tables, so the simulator walks the
+    per-hop tables inline and schedules a single event per path
+    segment instead of one per router hop.  Hop and fragment counters,
+    ECMP hash choices, and every timestamp are identical to per-hop
+    execution; only {!stats.events_processed} shrinks.  Per-event
+    fidelity is kept exactly where state evolves over time — middlebox
+    FIFO queueing, label/cache soft-state expiry.
 
     Used by integration tests (per-middlebox loads must equal
     {!Flowsim.run}'s), by the cache and fragmentation ablations, and
@@ -86,6 +96,10 @@ type stats = {
   teardowns : int;       (** teardown notifications delivered to proxies *)
   wp_cache_served : int; (** packets answered from a web proxy's cache *)
   cache_evictions : int; (** capacity-forced flow-cache evictions, all nodes *)
+  events_scheduled : int;
+      (** engine events created over the run — with hop fast-forwarding
+          this stays well below one per router hop *)
+  events_processed : int; (** engine events fired over the run *)
 }
 
 val run :

@@ -183,7 +183,9 @@ let pp_latency_ablation ppf (l : Experiment.latency_report) =
   Format.fprintf ppf "%12s %10.2f %10.2f %10.2f@." "plain"
     l.Experiment.plain_mean l.Experiment.plain_p50 l.Experiment.plain_p99;
   Format.fprintf ppf "mean enforcement overhead: %.2fx@."
-    l.Experiment.mean_overhead
+    l.Experiment.mean_overhead;
+  Format.fprintf ppf "engine events: %d processed, %d router hops fast-forwarded@."
+    l.Experiment.events_processed l.Experiment.router_hops
 
 let pp_queue_ablation ppf (q : Experiment.queue_report) =
   Format.fprintf ppf
@@ -195,7 +197,9 @@ let pp_queue_ablation ppf (q : Experiment.queue_report) =
   Format.fprintf ppf "%6s %12.2f %14.2f %14.2f@." "HP" q.Experiment.hp_util_max
     q.Experiment.hp_latency_mean q.Experiment.hp_latency_p99;
   Format.fprintf ppf "%6s %12.2f %14.2f %14.2f@." "LB" q.Experiment.lb_util_max
-    q.Experiment.lb_latency_mean q.Experiment.lb_latency_p99
+    q.Experiment.lb_latency_mean q.Experiment.lb_latency_p99;
+  Format.fprintf ppf "engine events: %d processed, %d router hops fast-forwarded@."
+    q.Experiment.events_processed q.Experiment.router_hops
 
 let pp_lp_ablation ppf (l : Experiment.lp_compare) =
   Format.fprintf ppf

@@ -1,0 +1,25 @@
+type t = { mutable data : float array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length t = t.size
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ndata = Array.make (if cap = 0 then 16 else cap * 2) 0.0 in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Fvec.get: index out of bounds";
+  t.data.(i)
+
+let to_array t = Array.sub t.data 0 t.size
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0

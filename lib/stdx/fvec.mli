@@ -1,0 +1,23 @@
+(** Growable vector of unboxed floats.
+
+    Replaces [float list] accumulators on simulator hot paths: a cons
+    cell per sample costs three words and a pointer chase, while this
+    stores samples flat in a [float array] with amortised O(1) append.
+    Indices follow insertion order. *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+
+val push : t -> float -> unit
+
+val get : t -> int -> float
+(** @raise Invalid_argument when the index is out of bounds. *)
+
+val to_array : t -> float array
+(** Fresh array of the [length t] stored samples, insertion order. *)
+
+val clear : t -> unit
+(** Drops the samples and releases the backing storage. *)

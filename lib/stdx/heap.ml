@@ -4,16 +4,25 @@ type 'a t = {
   mutable size : int;
 }
 
+(* Slots at indices >= size must not retain popped elements: in the
+   event queue an element is a closure capturing the whole simulation
+   world, so a stale reference pins arbitrarily much memory.  Vacated
+   slots are overwritten with [dummy], the Dynarray technique: because
+   every backing array is created from this immediate value, the array
+   representation is always generic (never a flat float array), so
+   storing the dummy into an ['a] slot is representation-safe. *)
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic ()
+
 let create ~cmp = { cmp; data = [||]; size = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-let grow t x =
+let grow t =
   let cap = Array.length t.data in
   if t.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let ndata = Array.make ncap x in
+    let ndata = Array.make ncap (dummy ()) in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata
   end
@@ -42,7 +51,7 @@ let rec sift_down t i =
   end
 
 let push t x =
-  grow t x;
+  grow t;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
@@ -56,8 +65,10 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- dummy ();
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- dummy ();
     Some top
   end
 

@@ -20,15 +20,28 @@ let summarize samples =
   in
   { count = n; total; mean; min = mn; max = mx; stddev = sqrt var }
 
-let percentile samples q =
-  let n = Array.length samples in
-  if n = 0 then invalid_arg "Stats.percentile: empty input";
+(* Nearest-rank lookup in an already-sorted array. *)
+let rank_in sorted q =
+  let n = Array.length sorted in
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of range";
-  let sorted = Array.copy samples in
-  Array.sort compare sorted;
   let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
   let rank = if rank < 0 then 0 else if rank >= n then n - 1 else rank in
   sorted.(rank)
+
+(* [Float.compare], not polymorphic [compare]: the latter goes through
+   the generic structural-comparison runtime path and is several times
+   slower on float arrays. *)
+let percentile samples q =
+  if Array.length samples = 0 then invalid_arg "Stats.percentile: empty input";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  rank_in sorted q
+
+let percentiles samples qs =
+  if Array.length samples = 0 then invalid_arg "Stats.percentiles: empty input";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  List.map (rank_in sorted) qs
 
 let imbalance samples =
   let s = summarize samples in

@@ -20,6 +20,12 @@ val percentile : float array -> float -> float
 (** [percentile samples q] with [q] in [\[0, 1\]]; nearest-rank on a
     sorted copy.  Raises [Invalid_argument] on an empty array. *)
 
+val percentiles : float array -> float list -> float list
+(** [percentiles samples qs] is [List.map (percentile samples) qs] but
+    sorts the samples once for all requested quantiles — use this when
+    reporting several quantiles of one large sample set.  Raises
+    [Invalid_argument] on an empty array or an out-of-range [q]. *)
+
 val imbalance : float array -> float
 (** max / mean: 1.0 is perfectly balanced.  Raises on empty input or a
     zero mean. *)

@@ -94,6 +94,20 @@ let test_step () =
   Alcotest.(check bool) "second step" true (Dess.Engine.step e);
   Alcotest.(check bool) "exhausted" false (Dess.Engine.step e)
 
+let test_event_counters () =
+  let e = Dess.Engine.create () in
+  Alcotest.(check int) "nothing scheduled" 0 (Dess.Engine.events_scheduled e);
+  let h = Dess.Engine.schedule e ~delay:1.0 (fun _ -> ()) in
+  ignore
+    (Dess.Engine.schedule e ~delay:2.0 (fun e ->
+         ignore (Dess.Engine.schedule e ~delay:1.0 (fun _ -> ()))));
+  Dess.Engine.cancel e h;
+  Dess.Engine.run e;
+  (* events_scheduled counts every schedule call, including the nested
+     one and the cancelled one; events_processed skips the cancelled. *)
+  Alcotest.(check int) "scheduled" 3 (Dess.Engine.events_scheduled e);
+  Alcotest.(check int) "processed" 2 (Dess.Engine.events_processed e)
+
 let qcheck_ordering =
   QCheck.Test.make ~count:100 ~name:"events always fire in time order"
     QCheck.(list (float_range 0.0 100.0))
@@ -124,5 +138,6 @@ let suite =
     Alcotest.test_case "negative delay" `Quick test_negative_delay;
     Alcotest.test_case "schedule_at past" `Quick test_schedule_at_past;
     Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "event counters" `Quick test_event_counters;
     QCheck_alcotest.to_alcotest qcheck_ordering;
   ]

@@ -136,8 +136,8 @@ let qcheck_ecmp_hops_on_shortest_paths =
         for dst = 0 to n - 1 do
           if u <> dst then begin
             (* Non-empty on connected graphs, and each hop advances. *)
-            if ecmp.(u).(dst) = [] then ok := false;
-            List.iter
+            if ecmp.(u).(dst) = [||] then ok := false;
+            Array.iter
               (fun h ->
                 let c = Option.get (Netgraph.Graph.cost g u h) in
                 if abs_float ((c +. dist.(h).(dst)) -. dist.(u).(dst)) > 1e-9 then
@@ -160,7 +160,7 @@ let test_ecmp_superset_of_deterministic () =
           Alcotest.(check bool)
             (Printf.sprintf "%d->%d deterministic hop in ECMP set" u dst)
             true
-            (List.mem hop ecmp.(u).(dst))
+            (Array.mem hop ecmp.(u).(dst))
         | None -> Alcotest.fail "connected graph"
     done
   done

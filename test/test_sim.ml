@@ -478,6 +478,146 @@ let test_pktsim_latency_overhead () =
   Alcotest.(check (float 1e-9)) "plain run touches no middlebox" 0.0
     (Array.fold_left ( +. ) 0.0 plain.Sim.Pktsim.loads)
 
+let test_pktsim_same_seed_deterministic () =
+  (* Two runs of the same scenario must agree on every stats field,
+     including the engine counters and per-middlebox loads. *)
+  let controller, workload = small_pkt_setup ~flows:150 () in
+  let a = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let b = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  Alcotest.(check bool) "identical stats" true
+    (a.Sim.Pktsim.loads = b.Sim.Pktsim.loads
+    && { a with Sim.Pktsim.loads = [||] } = { b with Sim.Pktsim.loads = [||] })
+
+(* Every stats field of a seed scenario, captured from the pre-rewrite
+   per-hop event cascade.  The hop fast-forwarding rewrite must
+   reproduce these bit-exactly: hex float literals pin the exact
+   double, not a rounding of it. *)
+type pinned = {
+  e_injected : int;
+  e_control : int;
+  e_lookups : int;
+  e_hits : int;
+  e_tunneled : int;
+  e_ls : int;
+  e_frags : int;
+  e_hops : int;
+  e_events : int;
+  e_sim_time : float;
+  e_mean : float;
+  e_p50 : float;
+  e_p99 : float;
+  e_loads_sum : float;
+  e_loads_max : float;
+}
+
+let check_pinned name (p : pinned) (s : Sim.Pktsim.stats) =
+  let chk field = Alcotest.(check int) (name ^ " " ^ field) in
+  let chkf field = Alcotest.(check (float 0.0)) (name ^ " " ^ field) in
+  chk "injected" p.e_injected s.Sim.Pktsim.injected_packets;
+  chk "delivered" p.e_injected s.Sim.Pktsim.delivered_packets;
+  chk "dropped" 0 s.Sim.Pktsim.dropped_packets;
+  chk "control" p.e_control s.Sim.Pktsim.control_packets;
+  chk "lookups" p.e_lookups s.Sim.Pktsim.multi_field_lookups;
+  chk "hits" p.e_hits s.Sim.Pktsim.cache_hits;
+  chk "negative hits" 0 s.Sim.Pktsim.cache_negative_hits;
+  chk "tunneled" p.e_tunneled s.Sim.Pktsim.tunneled_packets;
+  chk "label switched" p.e_ls s.Sim.Pktsim.label_switched_packets;
+  chk "fragments" p.e_frags s.Sim.Pktsim.fragments_created;
+  chk "hops" p.e_hops s.Sim.Pktsim.router_hops;
+  chk "label misses" 0 s.Sim.Pktsim.label_misses;
+  chk "teardowns" 0 s.Sim.Pktsim.teardowns;
+  chk "wp served" 0 s.Sim.Pktsim.wp_cache_served;
+  chk "evictions" 0 s.Sim.Pktsim.cache_evictions;
+  chk "events scheduled" p.e_events s.Sim.Pktsim.events_scheduled;
+  chk "events processed" p.e_events s.Sim.Pktsim.events_processed;
+  chkf "sim_time" p.e_sim_time s.Sim.Pktsim.sim_time;
+  chkf "latency mean" p.e_mean s.Sim.Pktsim.latency_mean;
+  chkf "latency p50" p.e_p50 s.Sim.Pktsim.latency_p50;
+  chkf "latency p99" p.e_p99 s.Sim.Pktsim.latency_p99;
+  chkf "loads sum" p.e_loads_sum
+    (Array.fold_left ( +. ) 0.0 s.Sim.Pktsim.loads);
+  chkf "loads max" p.e_loads_max (Array.fold_left max 0.0 s.Sim.Pktsim.loads)
+
+let test_pktsim_pinned_equivalence () =
+  (* The built-in correctness oracle for the fast-forward rewrite: the
+     seed scenarios with label switching and ECMP toggled, pinned to
+     the per-hop cascade's exact output.  ECMP must change nothing —
+     the hash walk visits the same arrays in the same order. *)
+  let campus_ls =
+    {
+      e_injected = 5212; e_control = 523; e_lookups = 1000; e_hits = 5455;
+      e_tunneled = 1243; e_ls = 12363; e_frags = 689; e_hops = 29570;
+      e_events = 24553;
+      e_sim_time = 0x1.68ab6f6a54e73p+9; e_mean = 0x1.cea595abacde8p-1;
+      e_p50 = 0x1.ccccccccccd4p-1; e_p99 = 0x1.333333333338p+0;
+      e_loads_sum = 0x1.a93p+13; e_loads_max = 0x1.e7p+10;
+    }
+  in
+  let campus_tun =
+    { campus_ls with
+      e_control = 0; e_hits = 17818; e_tunneled = 13606; e_ls = 0;
+      e_frags = 6265; e_hops = 28278; e_events = 24030 }
+  in
+  let waxman_ls =
+    {
+      e_injected = 5335; e_control = 245; e_lookups = 400; e_hits = 5510;
+      e_tunneled = 575; e_ls = 10942; e_frags = 262; e_hops = 37564;
+      e_events = 22432;
+      e_sim_time = 0x1.2a5424c38f6cp+10; e_mean = 0x1.01c8f88620aa3p+0;
+      e_p50 = 0x1.cccccccccd4p-1; e_p99 = 0x1.4cccccccccd2p+0;
+      e_loads_sum = 0x1.67e8p+13; e_loads_max = 0x1.632p+11;
+    }
+  in
+  let waxman_tun =
+    { waxman_ls with
+      e_control = 0; e_hits = 16452; e_tunneled = 11517; e_ls = 0;
+      e_frags = 3705; e_hops = 36870; e_events = 22187 }
+  in
+  let scenario name scen ~seed ~flows expect_ls expect_tun =
+    let dep = Sim.Experiment.build_deployment scen ~seed in
+    let workload = Sim.Workload.generate ~deployment:dep ~seed ~flows () in
+    let traffic = Sim.Workload.measure workload in
+    match
+      Sdm.Controller.configure dep ~rules:workload.Sim.Workload.rules
+        (Sdm.Controller.Load_balanced traffic)
+    with
+    | Error e -> Alcotest.fail e
+    | Ok controller ->
+      List.iter
+        (fun (label_switching, ecmp) ->
+          let stats =
+            Sim.Pktsim.run
+              ~config:{ pkt_config with label_switching; ecmp }
+              ~controller ~workload ()
+          in
+          let expect = if label_switching then expect_ls else expect_tun in
+          check_pinned
+            (Printf.sprintf "%s ls=%b ecmp=%b" name label_switching ecmp)
+            expect stats)
+        [ (true, false); (false, false); (true, true); (false, true) ]
+  in
+  scenario "campus" Sim.Experiment.Campus ~seed:21 ~flows:300 campus_ls
+    campus_tun;
+  scenario "waxman" Sim.Experiment.Waxman ~seed:17 ~flows:120 waxman_ls
+    waxman_tun
+
+let test_pktsim_event_count_regression () =
+  (* Fast-forwarding schedules one event per path segment, not per
+     hop: the engine fires far fewer events than the hops it
+     simulates, and (with no losses) exactly one event per packet
+     leg plus deliveries. *)
+  let controller, workload = small_pkt_setup () in
+  let stats = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  Alcotest.(check bool) "well below one event per hop" true
+    (stats.Sim.Pktsim.events_processed < stats.Sim.Pktsim.router_hops);
+  Alcotest.(check int) "one event per leg"
+    (stats.Sim.Pktsim.injected_packets + stats.Sim.Pktsim.tunneled_packets
+    + stats.Sim.Pktsim.label_switched_packets
+    + stats.Sim.Pktsim.control_packets + stats.Sim.Pktsim.delivered_packets)
+    stats.Sim.Pktsim.events_processed;
+  Alcotest.(check int) "queue fully drained"
+    stats.Sim.Pktsim.events_scheduled stats.Sim.Pktsim.events_processed
+
 let qcheck_pktsim_chaos =
   (* Robustness sweep: random knob combinations must preserve the
      global invariants — everything injected is accounted for, and
@@ -757,6 +897,12 @@ let suite =
     Alcotest.test_case "pktsim WP cache short-circuit" `Quick
       test_pktsim_wp_cache_short_circuit;
     Alcotest.test_case "pktsim ECMP invariance" `Quick test_pktsim_ecmp_invariance;
+    Alcotest.test_case "pktsim same-seed determinism" `Quick
+      test_pktsim_same_seed_deterministic;
+    Alcotest.test_case "pktsim pinned equivalence oracle" `Slow
+      test_pktsim_pinned_equivalence;
+    Alcotest.test_case "pktsim event-count regression" `Quick
+      test_pktsim_event_count_regression;
     QCheck_alcotest.to_alcotest qcheck_pktsim_chaos;
     Alcotest.test_case "experiment figure (small)" `Slow test_experiment_figure_small;
     Alcotest.test_case "experiment linear growth" `Slow test_experiment_linear_growth;

@@ -131,6 +131,28 @@ let test_heap_to_sorted_list () =
   Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Stdx.Heap.to_sorted_list h);
   Alcotest.(check int) "non destructive" 3 (Stdx.Heap.length h)
 
+let test_heap_pop_releases_slot () =
+  (* The backing array must not retain popped elements: pop a boxed
+     value, drop our own reference, and check a weak pointer to it is
+     cleared by a full GC while the heap itself stays alive. *)
+  let h = Stdx.Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  let weak = Weak.create 3 in
+  for i = 0 to 2 do
+    let v = (i, ref i) in
+    Weak.set weak i (Some v);
+    Stdx.Heap.push h v
+  done;
+  (* Two pops leave one live element; a naive "overwrite with the old
+     root" fix would still pin element 1 in the vacated slot. *)
+  ignore (Stdx.Heap.pop_exn h);
+  ignore (Stdx.Heap.pop_exn h);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped element 0 collected" false (Weak.check weak 0);
+  Alcotest.(check bool) "popped element 1 collected" false (Weak.check weak 1);
+  Alcotest.(check bool) "live element 2 retained" true (Weak.check weak 2);
+  Alcotest.(check int) "heap still holds the survivor" 1 (Stdx.Heap.length h)
+
 let qcheck_heap_property =
   QCheck.Test.make ~count:200 ~name:"heap drains any int list sorted"
     QCheck.(list int)
@@ -225,6 +247,44 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p50" 50.0 (Stdx.Stats.percentile samples 0.5);
   Alcotest.(check (float 1e-9)) "p100" 100.0 (Stdx.Stats.percentile samples 1.0)
 
+let test_stats_percentiles_batch () =
+  (* The sort-once batch must agree exactly with individual calls. *)
+  let rng = Stdx.Rng.create 41 in
+  let samples = Array.init 317 (fun _ -> Stdx.Rng.float rng 100.0) in
+  let qs = [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ] in
+  let batch = Stdx.Stats.percentiles samples qs in
+  List.iter2
+    (fun q v ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q=%.2f" q)
+        (Stdx.Stats.percentile samples q)
+        v)
+    qs batch;
+  Alcotest.(check (list (float 0.0))) "empty query list" []
+    (Stdx.Stats.percentiles samples [])
+
+let test_fvec_basic () =
+  let v = Stdx.Fvec.create () in
+  Alcotest.(check int) "empty" 0 (Stdx.Fvec.length v);
+  Alcotest.(check (array (float 0.0))) "empty array" [||] (Stdx.Fvec.to_array v);
+  (* Push past the initial capacity to exercise growth. *)
+  for i = 0 to 99 do
+    Stdx.Fvec.push v (float_of_int i)
+  done;
+  Alcotest.(check int) "length" 100 (Stdx.Fvec.length v);
+  Alcotest.(check (float 0.0)) "get first" 0.0 (Stdx.Fvec.get v 0);
+  Alcotest.(check (float 0.0)) "get last" 99.0 (Stdx.Fvec.get v 99);
+  Alcotest.(check (array (float 0.0))) "insertion order"
+    (Array.init 100 float_of_int)
+    (Stdx.Fvec.to_array v);
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Fvec.get: index out of bounds") (fun () ->
+      ignore (Stdx.Fvec.get v 100));
+  Stdx.Fvec.clear v;
+  Alcotest.(check int) "cleared" 0 (Stdx.Fvec.length v);
+  Stdx.Fvec.push v 7.0;
+  Alcotest.(check (float 0.0)) "reusable after clear" 7.0 (Stdx.Fvec.get v 0)
+
 let test_stats_imbalance () =
   Alcotest.(check (float 1e-9)) "balanced" 1.0 (Stdx.Stats.imbalance [| 2.0; 2.0 |]);
   Alcotest.(check (float 1e-9)) "skewed" 1.5 (Stdx.Stats.imbalance [| 1.0; 3.0 |])
@@ -246,6 +306,7 @@ let suite =
     Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
     Alcotest.test_case "heap peek/pop" `Quick test_heap_peek_pop;
     Alcotest.test_case "heap to_sorted_list" `Quick test_heap_to_sorted_list;
+    Alcotest.test_case "heap pop releases slot" `Quick test_heap_pop_releases_slot;
     QCheck_alcotest.to_alcotest qcheck_heap_property;
     Alcotest.test_case "xhash deterministic" `Quick test_xhash_deterministic;
     Alcotest.test_case "xhash unit interval" `Quick test_xhash_unit_interval;
@@ -258,5 +319,7 @@ let suite =
       test_count_min_rejects_negative;
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats percentiles batch" `Quick test_stats_percentiles_batch;
+    Alcotest.test_case "fvec basic" `Quick test_fvec_basic;
     Alcotest.test_case "stats imbalance" `Quick test_stats_imbalance;
   ]
