@@ -152,6 +152,20 @@ let () =
   in
   Format.printf "%a@." Sim.Report.pp_failure_ablation abfail;
 
+  section "ABL-CHAOS: in-run faults, detection-delay sweep";
+  let abchaos =
+    timed "ABL-CHAOS" (fun () ->
+        Sim.Experiment.ablation_chaos ~flows:(if fast then 300 else 800) ())
+  in
+  note_events "ABL-CHAOS"
+    ~events:
+      (List.fold_left
+         (fun acc (r : Sim.Experiment.chaos_row) ->
+           acc + r.Sim.Experiment.chaos_events_processed)
+         0 abchaos.Sim.Experiment.chaos_rows)
+    ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_chaos_ablation abchaos;
+
   section "ABL-EPOCH: adaptation across measurement epochs";
   let abe =
     timed "ABL-EPOCH" (fun () ->

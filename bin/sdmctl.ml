@@ -128,7 +128,9 @@ let exp_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"fig4, fig5, table3, k, cache, frag, fail, epoch, sketch, queue or lp")
+          ~doc:
+            "fig4, fig5, table3, k, cache, frag, fail, chaos, epoch, sketch, \
+             queue or lp")
   in
   let run which seed flows =
     match which with
@@ -162,6 +164,9 @@ let exp_cmd =
     | "fail" ->
       Format.printf "%a@." Sim.Report.pp_failure_ablation
         (Sim.Experiment.ablation_failure ~flows:(min flows 120_000) ~seed ())
+    | "chaos" ->
+      Format.printf "%a@." Sim.Report.pp_chaos_ablation
+        (Sim.Experiment.ablation_chaos ~flows:(min flows 800) ~seed ())
     | "queue" ->
       Format.printf "%a@." Sim.Report.pp_queue_ablation
         (Sim.Experiment.ablation_queue ~seed ())

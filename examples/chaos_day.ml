@@ -1,0 +1,118 @@
+(* Chaos day: in-run faults at packet level, survived.
+
+   A narrative for the fault-injection subsystem: build the campus
+   deployment, pick the busiest IDS middlebox, and replay the same
+   deterministic fault schedule — a mid-run crash of that box, a
+   gateway-core link flap with live OSPF reconvergence, and lossy
+   control packets — under three regimes: failover with a fast
+   detector, failover with a slow detector, and no failover at all.
+   The run never aborts; the damage shows up as counted policy
+   violations whose tail ends once the failure detector flips.
+
+     dune exec examples/chaos_day.exe *)
+
+let () =
+  let deployment = Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed:17 in
+  let workload = Sim.Workload.generate ~deployment ~seed:17 ~flows:400 () in
+  let rules = workload.Sim.Workload.rules in
+  let traffic = Sim.Workload.measure workload in
+  let controller =
+    match
+      Sdm.Controller.configure deployment ~rules
+        (Sdm.Controller.Load_balanced traffic)
+    with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  Format.printf "network: %a@.@." Netgraph.Topology.pp
+    deployment.Sdm.Deployment.topo;
+
+  (* A fault-free run fixes the horizon and the victim. *)
+  let calm = Sim.Pktsim.run ~controller ~workload () in
+  let victim =
+    let victims = Sdm.Deployment.middleboxes_of deployment Policy.Action.IDS in
+    List.fold_left
+      (fun best (m : Mbox.Middlebox.t) ->
+        if calm.Sim.Pktsim.loads.(m.id) > calm.Sim.Pktsim.loads.(best) then m.id
+        else best)
+      (List.hd victims).Mbox.Middlebox.id victims
+  in
+  let crash_at = 0.3 *. calm.Sim.Pktsim.sim_time in
+  let topo = deployment.Sdm.Deployment.topo in
+  let gw = List.hd (Netgraph.Topology.gateways topo) in
+  let core =
+    List.find_map
+      (fun { Netgraph.Graph.dst; _ } ->
+        match Netgraph.Topology.role topo dst with
+        | Netgraph.Topology.Core -> Some dst
+        | _ -> None)
+      (Netgraph.Graph.neighbors topo.Netgraph.Topology.graph gw)
+    |> Option.get
+  in
+  let schedule =
+    Fault.Schedule.make ~control_loss:0.05 ~loss_seed:23
+      Fault.Schedule.
+        [
+          { at = crash_at; what = Mbox_crash victim };
+          { at = 0.5 *. calm.Sim.Pktsim.sim_time; what = Link_fail (gw, core) };
+          { at = 0.7 *. calm.Sim.Pktsim.sim_time; what = Link_restore (gw, core) };
+        ]
+  in
+  Format.printf
+    "fault schedule: mbox%d (IDS) crashes at t=%.0f; link %d-%d flaps; 5%% \
+     control-packet loss@.@."
+    victim crash_at gw core;
+
+  let run ~failover ~detection_delay =
+    Sim.Pktsim.run
+      ~config:
+        {
+          Sim.Pktsim.default_config with
+          faults = Some schedule;
+          detection_delay;
+          failover;
+        }
+      ~controller ~workload ()
+  in
+  let show label (s : Sim.Pktsim.stats) =
+    Format.printf
+      "%-28s delivered %d/%d, violations %4d, control retries %d, last \
+       violation t=%.1f@."
+      label s.Sim.Pktsim.delivered_packets s.Sim.Pktsim.injected_packets
+      s.Sim.Pktsim.policy_violations s.Sim.Pktsim.control_retries
+      s.Sim.Pktsim.last_violation_time;
+    s
+  in
+
+  let fast = show "failover, detector delay 2" (run ~failover:true ~detection_delay:2.0) in
+  let slow = show "failover, detector delay 30" (run ~failover:true ~detection_delay:30.0) in
+  let none = show "no failover" (run ~failover:false ~detection_delay:2.0) in
+
+  (* The dependability story, asserted. *)
+  (* 1. Every injected packet is accounted for: delivered or counted
+     dropped — faults never lose packets silently, and never abort. *)
+  List.iter
+    (fun (s : Sim.Pktsim.stats) ->
+      assert (
+        s.Sim.Pktsim.delivered_packets + s.Sim.Pktsim.dropped_packets
+        = s.Sim.Pktsim.injected_packets))
+    [ fast; slow; none ];
+  (* 2. With failover, the violation tail ends shortly after the
+     detector flips: crash + delay, plus packets already in flight. *)
+  let slack = 5.0 in
+  assert (fast.Sim.Pktsim.last_violation_time < crash_at +. 2.0 +. slack);
+  assert (slow.Sim.Pktsim.last_violation_time < crash_at +. 30.0 +. slack);
+  (* 3. A slower detector bleeds more; no failover never stops. *)
+  assert (fast.Sim.Pktsim.policy_violations <= slow.Sim.Pktsim.policy_violations);
+  assert (slow.Sim.Pktsim.policy_violations < none.Sim.Pktsim.policy_violations);
+  (* 4. Lost control packets were masked by retransmission. *)
+  assert (fast.Sim.Pktsim.control_retries > 0);
+  (* 5. Determinism: replaying the same schedule is bit-identical. *)
+  let again = run ~failover:true ~detection_delay:2.0 in
+  assert (
+    { again with Sim.Pktsim.loads = [||] } = { fast with Sim.Pktsim.loads = [||] }
+    && again.Sim.Pktsim.loads = fast.Sim.Pktsim.loads);
+
+  Format.printf
+    "@.all invariants hold: graceful degradation, bounded recovery, \
+     deterministic replay@."

@@ -87,6 +87,9 @@ let policy_table_for t = function
     Policy.Rule.relevant_to_function t.rules
       t.deployment.Deployment.middleboxes.(i).Mbox.Middlebox.nf
 
+let next_hop_result ?alive t entity ~rule ~nf flow =
+  Strategy.next_hop_result ?alive t.strategy t.candidates entity ~rule ~nf flow
+
 let next_hop ?alive t entity ~rule ~nf flow =
   Strategy.next_hop ?alive t.strategy t.candidates entity ~rule ~nf flow
 

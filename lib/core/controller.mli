@@ -51,12 +51,19 @@ val policy_table_for : t -> Mbox.Entity.t -> Policy.Rule.t list
     rules whose descriptor can match traffic sourced in its subnet;
     for a middlebox, rules whose action list contains its function. *)
 
+val next_hop_result :
+  ?alive:(int -> bool) ->
+  t -> Mbox.Entity.t -> rule:Policy.Rule.t -> nf:Policy.Action.nf ->
+  Netpkt.Flow.t -> (Mbox.Middlebox.t, [ `No_live_candidate ]) Stdlib.result
+(** [alive] enables local fast failover before the controller has
+    re-configured; [Error `No_live_candidate] when the whole candidate
+    set is dead.  See {!Strategy.next_hop_result}. *)
+
 val next_hop :
   ?alive:(int -> bool) ->
   t -> Mbox.Entity.t -> rule:Policy.Rule.t -> nf:Policy.Action.nf ->
   Netpkt.Flow.t -> Mbox.Middlebox.t
-(** [alive] enables local fast failover before the controller has
-    re-configured; see {!Strategy.next_hop}. *)
+(** Raising variant of {!next_hop_result}; see {!Strategy.next_hop}. *)
 
 val closest : t -> Mbox.Entity.t -> Policy.Action.nf -> Mbox.Middlebox.t
 (** The hot-potato target [m_x^e], whatever the active strategy. *)

@@ -13,58 +13,68 @@ let name = function
 let middlebox_by_id cand id =
   (Candidate.deployment cand).Deployment.middleboxes.(id)
 
-let live_candidates ~alive cand entity nf =
-  let live =
-    List.filter
-      (fun (m : Mbox.Middlebox.t) -> alive m.id)
-      (Candidate.get cand entity nf)
-  in
-  if live = [] then
-    failwith
-      (Printf.sprintf "Strategy.next_hop: no live %s candidate at %s"
-         (Policy.Action.nf_to_string nf)
-         (Mbox.Entity.to_string entity));
-  live
+(* With no [alive] predicate the candidate list is returned as-is:
+   [Candidate.compute] guarantees it is non-empty, and skipping the
+   filter keeps the healthy fast path allocation-free. *)
+let live_candidates ?alive cand entity nf =
+  let all = Candidate.get cand entity nf in
+  match alive with
+  | None -> all
+  | Some alive -> List.filter (fun (m : Mbox.Middlebox.t) -> alive m.id) all
 
-let pick_row ~alive cand entity ~nf flow ~closest_live = function
+let pick_row ?alive cand entity ~nf flow ~closest_live = function
   | None -> closest_live
   | Some row -> (
     let row =
-      Array.of_seq (Seq.filter (fun (id, _) -> alive id) (Array.to_seq row))
+      match alive with
+      | None -> row (* all-alive fast path: no re-filter, no allocation *)
+      | Some alive ->
+        Array.of_seq (Seq.filter (fun (id, _) -> alive id) (Array.to_seq row))
     in
     let u = Selector.flow_point flow ~entity ~nf in
     match Selector.pick row ~u with
     | Some id -> middlebox_by_id cand id
     | None -> closest_live)
 
-let next_hop ?(alive = fun _ -> true) t cand entity ~rule ~nf flow =
-  let live = live_candidates ~alive cand entity nf in
-  let closest_live = List.hd live in
-  match t with
-  | Hot_potato -> closest_live
-  | Random_uniform ->
-    let u = Selector.flow_point flow ~entity ~nf in
-    Selector.pick_uniform live ~u
-  | Load_balanced weights ->
-    pick_row ~alive cand entity ~nf flow ~closest_live
-      (Weights.find weights entity ~rule:rule.Policy.Rule.id ~nf)
-  | Load_balanced_exact (sd, fallback) ->
-    let dep = Candidate.deployment cand in
-    let row =
-      (* Recover the (source, destination) pair from the packet; pairs
-         outside the measured matrix fall back to the aggregate rows. *)
-      match
-        ( Deployment.proxy_of_addr dep flow.Netpkt.Flow.src,
-          Deployment.proxy_of_addr dep flow.Netpkt.Flow.dst )
-      with
-      | Some s, Some d ->
-        Weights_sd.find sd entity ~rule:rule.Policy.Rule.id ~nf
-          ~src:s.Mbox.Proxy.id ~dst:d.Mbox.Proxy.id
-      | _ -> None
-    in
-    let row =
-      match row with
-      | Some _ as r -> r
-      | None -> Weights.find fallback entity ~rule:rule.Policy.Rule.id ~nf
-    in
-    pick_row ~alive cand entity ~nf flow ~closest_live row
+let next_hop_result ?alive t cand entity ~rule ~nf flow =
+  match live_candidates ?alive cand entity nf with
+  | [] -> Error `No_live_candidate
+  | closest_live :: _ as live ->
+    Ok
+      (match t with
+      | Hot_potato -> closest_live
+      | Random_uniform ->
+        let u = Selector.flow_point flow ~entity ~nf in
+        Selector.pick_uniform live ~u
+      | Load_balanced weights ->
+        pick_row ?alive cand entity ~nf flow ~closest_live
+          (Weights.find weights entity ~rule:rule.Policy.Rule.id ~nf)
+      | Load_balanced_exact (sd, fallback) ->
+        let dep = Candidate.deployment cand in
+        let row =
+          (* Recover the (source, destination) pair from the packet; pairs
+             outside the measured matrix fall back to the aggregate rows. *)
+          match
+            ( Deployment.proxy_of_addr dep flow.Netpkt.Flow.src,
+              Deployment.proxy_of_addr dep flow.Netpkt.Flow.dst )
+          with
+          | Some s, Some d ->
+            Weights_sd.find sd entity ~rule:rule.Policy.Rule.id ~nf
+              ~src:s.Mbox.Proxy.id ~dst:d.Mbox.Proxy.id
+          | _ -> None
+        in
+        let row =
+          match row with
+          | Some _ as r -> r
+          | None -> Weights.find fallback entity ~rule:rule.Policy.Rule.id ~nf
+        in
+        pick_row ?alive cand entity ~nf flow ~closest_live row)
+
+let next_hop ?alive t cand entity ~rule ~nf flow =
+  match next_hop_result ?alive t cand entity ~rule ~nf flow with
+  | Ok m -> m
+  | Error `No_live_candidate ->
+    failwith
+      (Printf.sprintf "Strategy.next_hop: no live %s candidate at %s"
+         (Policy.Action.nf_to_string nf)
+         (Mbox.Entity.to_string entity))

@@ -22,6 +22,34 @@ type t =
 val name : t -> string
 (** "HP", "Rand", "LB" or "LBx". *)
 
+val next_hop_result :
+  ?alive:(int -> bool) ->
+  t ->
+  Candidate.t ->
+  Mbox.Entity.t ->
+  rule:Policy.Rule.t ->
+  nf:Policy.Action.nf ->
+  Netpkt.Flow.t ->
+  (Mbox.Middlebox.t, [ `No_live_candidate ]) result
+(** The middlebox that should apply [nf] to [flow], decided at the
+    given entity.  Load-balanced falls back to the closest middlebox
+    when the LP assigned no volume to this (entity, rule, function)
+    row — e.g. traffic that did not appear in the measured epoch.
+
+    [alive] is the local fast-failover filter: candidates for which it
+    returns [false] are skipped — HP moves to the next-closest live
+    candidate, Rand re-draws uniformly among live candidates, LB
+    renormalises the LP weights over the live ones.  This models the
+    interval between a middlebox failure and the controller's
+    re-configuration.  When every candidate is dead the outcome is
+    [Error `No_live_candidate] — a policy violation for the caller to
+    count, not a reason to kill the run.
+
+    When [alive] is omitted, no filtering happens at all (candidate
+    sets are non-empty by construction, so the result is always [Ok]);
+    this is the allocation-free fast path the per-packet simulator
+    relies on. *)
+
 val next_hop :
   ?alive:(int -> bool) ->
   t ->
@@ -31,15 +59,6 @@ val next_hop :
   nf:Policy.Action.nf ->
   Netpkt.Flow.t ->
   Mbox.Middlebox.t
-(** The middlebox that should apply [nf] to [flow], decided at the
-    given entity.  Load-balanced falls back to the closest middlebox
-    when the LP assigned no volume to this (entity, rule, function)
-    row — e.g. traffic that did not appear in the measured epoch.
-
-    [alive] (default: everything) is the local fast-failover filter:
-    candidates for which it returns [false] are skipped — HP moves to
-    the next-closest live candidate, Rand re-draws uniformly among
-    live candidates, LB renormalises the LP weights over the live
-    ones.  This models the interval between a middlebox failure and
-    the controller's re-configuration; it raises [Failure] if no live
-    candidate remains. *)
+(** Like {!next_hop_result}, but raises [Failure] if no live candidate
+    remains — for callers that treat an emptied candidate set as a
+    programming error. *)

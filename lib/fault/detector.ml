@@ -1,0 +1,45 @@
+type view = {
+  mutable up : bool;  (* ground truth *)
+  mutable prev : bool;  (* state before the last transition *)
+  mutable changed_at : float;  (* time of the last transition *)
+}
+
+type t = { views : view array; delay : float }
+
+let create ~n ~delay =
+  if n < 0 then invalid_arg "Detector.create: negative population";
+  if not (delay >= 0.0) then invalid_arg "Detector.create: negative delay";
+  {
+    views =
+      Array.init n (fun _ -> { up = true; prev = true; changed_at = neg_infinity });
+    delay;
+  }
+
+let check t id =
+  if id < 0 || id >= Array.length t.views then
+    invalid_arg "Detector: middlebox id out of range"
+
+let crash t ~now id =
+  check t id;
+  let v = t.views.(id) in
+  if not v.up then invalid_arg "Detector.crash: middlebox is already down";
+  v.prev <- v.up;
+  v.up <- false;
+  v.changed_at <- now
+
+let recover t ~now id =
+  check t id;
+  let v = t.views.(id) in
+  if v.up then invalid_arg "Detector.recover: middlebox is already up";
+  v.prev <- v.up;
+  v.up <- true;
+  v.changed_at <- now
+
+let actually_up t id =
+  check t id;
+  t.views.(id).up
+
+let believed_alive t ~now id =
+  check t id;
+  let v = t.views.(id) in
+  if now -. v.changed_at >= t.delay then v.up else v.prev

@@ -1,0 +1,35 @@
+(** Heartbeat-style failure detector with a fixed detection delay.
+
+    The detector tracks the ground-truth up/down state of a population
+    of middleboxes.  Observers (the proxies and middleboxes doing local
+    fast failover, Sec. III.D) see each transition only [delay] time
+    units after it happened — the time heartbeats take to be missed —
+    so for [delay] after a crash the dead box is still believed alive
+    (packets steered to it are lost), and for [delay] after a recovery
+    the live box is still avoided (safe, merely suboptimal).
+
+    The model is eventually-perfect: no false suspicions, and every
+    transition is detected exactly [delay] later.  Queries must come
+    with the current simulated time; state changes are made by the
+    fault-schedule executor. *)
+
+type t
+
+val create : n:int -> delay:float -> t
+(** [n] middleboxes, all initially up and believed up.  Raises
+    [Invalid_argument] on a negative [n] or [delay]. *)
+
+val crash : t -> now:float -> int -> unit
+(** Ground truth: the box goes down at [now].  Raises
+    [Invalid_argument] if it is already down. *)
+
+val recover : t -> now:float -> int -> unit
+(** Ground truth: the box comes back at [now].  Raises
+    [Invalid_argument] if it is already up. *)
+
+val actually_up : t -> int -> bool
+(** Ground truth, regardless of detection delay. *)
+
+val believed_alive : t -> now:float -> int -> bool
+(** The observers' view at time [now]: the current state if the last
+    transition is at least [delay] old, the previous state otherwise. *)

@@ -1,0 +1,57 @@
+type event =
+  | Mbox_crash of int
+  | Mbox_recover of int
+  | Link_fail of int * int
+  | Link_restore of int * int
+
+type timed = { at : float; what : event }
+
+type t = {
+  events : timed list;
+  link_loss : float;
+  control_loss : float;
+  loss_seed : int;
+}
+
+let event_to_string = function
+  | Mbox_crash id -> Printf.sprintf "mbox%d crash" id
+  | Mbox_recover id -> Printf.sprintf "mbox%d recover" id
+  | Link_fail (u, v) -> Printf.sprintf "link %d-%d fail" u v
+  | Link_restore (u, v) -> Printf.sprintf "link %d-%d restore" u v
+
+let check_probability name p =
+  if not (p >= 0.0 && p < 1.0) then
+    invalid_arg (Printf.sprintf "Schedule.make: %s must be in [0, 1)" name)
+
+let make ?(link_loss = 0.0) ?(control_loss = 0.0) ?(loss_seed = 1) events =
+  check_probability "link_loss" link_loss;
+  check_probability "control_loss" control_loss;
+  List.iter
+    (fun { at; what } ->
+      if not (at >= 0.0) then
+        invalid_arg
+          (Printf.sprintf "Schedule.make: %s scheduled at negative time"
+             (event_to_string what)))
+    events;
+  (* Stable sort: events at equal times keep the caller's order. *)
+  let events = List.stable_sort (fun a b -> compare a.at b.at) events in
+  { events; link_loss; control_loss; loss_seed }
+
+let empty = make []
+
+let is_empty t =
+  t.events = [] && t.link_loss = 0.0 && t.control_loss = 0.0
+
+let has_link_events t =
+  List.exists
+    (fun { what; _ } ->
+      match what with
+      | Link_fail _ | Link_restore _ -> true
+      | Mbox_crash _ | Mbox_recover _ -> false)
+    t.events
+
+let crash_times t =
+  List.filter_map
+    (fun { at; what } ->
+      match what with Mbox_crash id -> Some (id, at) | _ -> None)
+    t.events

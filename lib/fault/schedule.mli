@@ -1,0 +1,45 @@
+(** Deterministic fault schedules for the packet-level simulator.
+
+    A schedule is a time-sorted list of discrete fault events (middlebox
+    crash/recovery, link fail/restore) plus two stationary loss
+    processes: a per-link data-packet loss probability and a
+    per-transmission control-packet loss probability.  Loss draws come
+    from a dedicated RNG seeded with [loss_seed], independent of the
+    workload seed, so the same schedule applied to the same run is
+    bit-reproducible. *)
+
+type event =
+  | Mbox_crash of int  (** middlebox [id] goes down and loses all soft state *)
+  | Mbox_recover of int  (** middlebox [id] comes back, empty-handed *)
+  | Link_fail of int * int  (** link (u, v) goes down; OSPF reconverges *)
+  | Link_restore of int * int  (** link (u, v) comes back; OSPF reconverges *)
+
+type timed = { at : float; what : event }
+
+type t = private {
+  events : timed list;  (** sorted by [at], stable for equal times *)
+  link_loss : float;  (** per-link data-packet loss probability, in [0, 1) *)
+  control_loss : float;
+      (** per-transmission control-packet loss probability, in [0, 1) *)
+  loss_seed : int;  (** seed of the RNG driving the loss draws *)
+}
+
+val make :
+  ?link_loss:float -> ?control_loss:float -> ?loss_seed:int -> timed list -> t
+(** Build a schedule.  Events are stable-sorted by time.  Raises
+    [Invalid_argument] on a negative event time or a loss probability
+    outside [0, 1).  Defaults: no losses, [loss_seed] = 1. *)
+
+val empty : t
+(** No events, no losses. *)
+
+val is_empty : t -> bool
+
+val has_link_events : t -> bool
+(** True when the schedule contains a link fail or restore — the
+    simulator then drives its routing tables through an OSPF session. *)
+
+val crash_times : t -> (int * float) list
+(** The (middlebox id, time) pairs of the crash events, in time order. *)
+
+val event_to_string : event -> string

@@ -3,11 +3,13 @@ type t = {
   routers : Router.t array;
   engine : Dess.Engine.t;
   link_delay : float;
-  mutable failed : (int * int) list;
-  mutable recosted : ((int * int) * float) list; (* (u<v), current cost *)
+  failed : (int * int, unit) Hashtbl.t; (* key (u<v) *)
+  recosted : (int * int, float) Hashtbl.t; (* key (u<v), current cost *)
   mutable message_count : int;
   original : Netgraph.Graph.t;
 }
+
+let key u v = (min u v, max u v)
 
 (* Flood [lsa] outward from [node] over the CURRENT adjacencies. *)
 let rec flood t node ~except lsa =
@@ -43,8 +45,8 @@ let start ?(link_delay = 1.0) ?(jitter_seed = 7) topo =
       routers;
       engine = Dess.Engine.create ();
       link_delay;
-      failed = [];
-      recosted = [];
+      failed = Hashtbl.create 16;
+      recosted = Hashtbl.create 16;
       message_count = 0;
       original = g;
     }
@@ -59,19 +61,11 @@ let start ?(link_delay = 1.0) ?(jitter_seed = 7) topo =
   Dess.Engine.run t.engine;
   t
 
-let link_is_failed t u v =
-  List.mem (min u v, max u v) t.failed
+let link_is_failed t u v = Hashtbl.mem t.failed (key u v)
 
-let fail_link t u v =
-  if u < 0 || u >= t.n || v < 0 || v >= t.n then
-    invalid_arg "Session.fail_link: node out of range";
-  if link_is_failed t u v then invalid_arg "Session.fail_link: already failed";
-  if not (List.mem_assoc v (Router.neighbors t.routers.(u))) then
-    invalid_arg "Session.fail_link: no such link";
-  t.failed <- (min u v, max u v) :: t.failed;
-  Router.remove_neighbor t.routers.(u) v;
-  Router.remove_neighbor t.routers.(v) u;
-  (* Both ends detect the loss and advertise their shrunken adjacency. *)
+(* Both ends re-originate their changed adjacency and flood; the
+   session then runs to quiescence. *)
+let reconverge t u v =
   List.iter
     (fun endpoint ->
       let lsa = Router.originate t.routers.(endpoint) in
@@ -79,23 +73,51 @@ let fail_link t u v =
     [ u; v ];
   Dess.Engine.run t.engine
 
+let fail_link t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Session.fail_link: node out of range";
+  if link_is_failed t u v then invalid_arg "Session.fail_link: already failed";
+  if not (List.mem_assoc v (Router.neighbors t.routers.(u))) then
+    invalid_arg "Session.fail_link: no such link";
+  Hashtbl.replace t.failed (key u v) ();
+  Router.remove_neighbor t.routers.(u) v;
+  Router.remove_neighbor t.routers.(v) u;
+  (* Both ends detect the loss and advertise their shrunken adjacency. *)
+  reconverge t u v
+
+let recover_link t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Session.recover_link: node out of range";
+  if not (link_is_failed t u v) then
+    invalid_arg "Session.recover_link: link is not failed";
+  Hashtbl.remove t.failed (key u v);
+  (* The link comes back at its last advertised cost: a recost made
+     before the failure survives it. *)
+  let cost =
+    match Hashtbl.find_opt t.recosted (key u v) with
+    | Some c -> c
+    | None -> (
+      match Netgraph.Graph.cost t.original u v with
+      | Some c -> c
+      | None -> assert false (* only ever failed via fail_link *))
+  in
+  Router.add_neighbor t.routers.(u) v cost;
+  Router.add_neighbor t.routers.(v) u cost;
+  reconverge t u v
+
 let change_cost t u v cost =
   if u < 0 || u >= t.n || v < 0 || v >= t.n then
     invalid_arg "Session.change_cost: node out of range";
   if cost <= 0.0 then invalid_arg "Session.change_cost: non-positive cost";
   if not (List.mem_assoc v (Router.neighbors t.routers.(u))) then
     invalid_arg "Session.change_cost: no such link";
-  t.recosted <-
-    ((min u v, max u v), cost)
-    :: List.remove_assoc (min u v, max u v) t.recosted;
+  Hashtbl.replace t.recosted (key u v) cost;
   List.iter
     (fun (endpoint, nbr) ->
       Router.remove_neighbor t.routers.(endpoint) nbr;
-      Router.add_neighbor t.routers.(endpoint) nbr cost;
-      let lsa = Router.originate t.routers.(endpoint) in
-      flood t endpoint ~except:endpoint lsa)
+      Router.add_neighbor t.routers.(endpoint) nbr cost)
     [ (u, v); (v, u) ];
-  Dess.Engine.run t.engine
+  reconverge t u v
 
 let tables t = Array.map (fun r -> Router.spf r ~node_count:t.n) t.routers
 
@@ -105,8 +127,7 @@ let surviving_graph t =
     (fun (u, v, cost) ->
       if not (link_is_failed t u v) then begin
         let cost =
-          Option.value ~default:cost
-            (List.assoc_opt (min u v, max u v) t.recosted)
+          Option.value ~default:cost (Hashtbl.find_opt t.recosted (key u v))
         in
         Netgraph.Graph.add_edge g u v cost
       end)

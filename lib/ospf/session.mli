@@ -12,7 +12,7 @@
     modelled, so a failure that partitions the network leaves stale
     routes toward the lost partition (real OSPF ages them out in
     MaxAge seconds); tests therefore only fail links that keep the
-    graph connected.  Link recovery is out of scope. *)
+    graph connected. *)
 
 type t
 
@@ -23,6 +23,13 @@ val fail_link : t -> int -> int -> unit
 (** [fail_link t u v] — both ends notice, re-originate, re-flood to
     quiescence.  Raises [Invalid_argument] if the link does not exist
     (or has already failed). *)
+
+val recover_link : t -> int -> int -> unit
+(** [recover_link t u v] — the link comes back at its last advertised
+    cost (the original topology cost, or the [change_cost] value if it
+    was recosted before failing); both ends re-originate and the
+    network reconverges.  Raises [Invalid_argument] if the link is not
+    currently failed. *)
 
 val change_cost : t -> int -> int -> float -> unit
 (** [change_cost t u v cost] — a metric update (traffic engineering,

@@ -310,6 +310,134 @@ let ablation_failure ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) () =
     survivors = List.length victims - 1;
   }
 
+(* ---- ABL-CHAOS: in-run faults, detection delay sweep ------------- *)
+
+type chaos_row = {
+  chaos_mode : string;
+  chaos_delay : float; (* infinity on the no-failover row *)
+  chaos_injected : int;
+  chaos_delivered : int;
+  chaos_dropped : int;
+  chaos_violations : int;
+  chaos_retries : int;
+  chaos_recovery : float;
+  chaos_max_surviving : float;
+  chaos_events_processed : int;
+}
+
+type chaos_report = {
+  chaos_victim : int;
+  chaos_victim_nf : Policy.Action.nf;
+  chaos_crash_at : float;
+  chaos_link : (int * int) option;
+  chaos_link_fail_at : float;
+  chaos_link_restore_at : float;
+  chaos_control_loss : float;
+  chaos_rows : chaos_row list;
+}
+
+let ablation_chaos ?(flows = 500) ?(seed = 17)
+    ?(detection_delays = [ 2.0; 10.0; 40.0 ]) () =
+  let deployment = build_deployment Campus ~seed in
+  let workload = Workload.generate ~deployment ~seed ~flows () in
+  let rules = workload.Workload.rules in
+  let traffic = Workload.measure workload in
+  let lb = configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic) in
+  let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
+  (* A fault-free probe run fixes the victim (the busiest IDS box under
+     LB) and the horizon the fault schedule is placed within. *)
+  let probe = Pktsim.run ~controller:lb ~workload () in
+  let nf = Policy.Action.IDS in
+  let victims = Sdm.Deployment.middleboxes_of deployment nf in
+  let victim =
+    List.fold_left
+      (fun best (m : Mbox.Middlebox.t) ->
+        if probe.Pktsim.loads.(m.id) > probe.Pktsim.loads.(best) then m.id
+        else best)
+      (List.hd victims).Mbox.Middlebox.id victims
+  in
+  let crash_at = 0.25 *. probe.Pktsim.sim_time in
+  let link_fail_at = 0.45 *. probe.Pktsim.sim_time in
+  let link_restore_at = 0.65 *. probe.Pktsim.sim_time in
+  (* A gateway-core link to fail and restore mid-run: campus cores are
+     dual-homed to both gateways, so the graph stays connected and
+     OSPF reroutes around the outage. *)
+  let topo = deployment.Sdm.Deployment.topo in
+  let link =
+    match Netgraph.Topology.gateways topo with
+    | [] -> None
+    | gw :: _ ->
+      List.find_map
+        (fun { Netgraph.Graph.dst; _ } ->
+          match Netgraph.Topology.role topo dst with
+          | Netgraph.Topology.Core -> Some (gw, dst)
+          | _ -> None)
+        (Netgraph.Graph.neighbors topo.Netgraph.Topology.graph gw)
+  in
+  let control_loss = 0.02 in
+  let schedule =
+    Fault.Schedule.make ~control_loss ~loss_seed:(seed + 3)
+      (Fault.Schedule.[ { at = crash_at; what = Mbox_crash victim } ]
+      @
+      match link with
+      | None -> []
+      | Some (u, v) ->
+        Fault.Schedule.
+          [
+            { at = link_fail_at; what = Link_fail (u, v) };
+            { at = link_restore_at; what = Link_restore (u, v) };
+          ])
+  in
+  let max_surviving stats =
+    List.fold_left
+      (fun acc (m : Mbox.Middlebox.t) ->
+        if m.id = victim then acc else Stdlib.max acc stats.Pktsim.loads.(m.id))
+      0.0 victims
+  in
+  let row ~mode ~controller ~failover ~delay =
+    let config =
+      {
+        Pktsim.default_config with
+        faults = Some schedule;
+        detection_delay = delay;
+        failover;
+      }
+    in
+    let stats = Pktsim.run ~config ~controller ~workload () in
+    {
+      chaos_mode = mode;
+      chaos_delay = (if failover then delay else infinity);
+      chaos_injected = stats.Pktsim.injected_packets;
+      chaos_delivered = stats.Pktsim.delivered_packets;
+      chaos_dropped = stats.Pktsim.dropped_packets;
+      chaos_violations = stats.Pktsim.policy_violations;
+      chaos_retries = stats.Pktsim.control_retries;
+      chaos_recovery =
+        (if stats.Pktsim.policy_violations = 0 then 0.0
+         else Stdlib.max 0.0 (stats.Pktsim.last_violation_time -. crash_at));
+      chaos_max_surviving = max_surviving stats;
+      chaos_events_processed = stats.Pktsim.events_processed;
+    }
+  in
+  {
+    chaos_victim = victim;
+    chaos_victim_nf = nf;
+    chaos_crash_at = crash_at;
+    chaos_link = link;
+    chaos_link_fail_at = link_fail_at;
+    chaos_link_restore_at = link_restore_at;
+    chaos_control_loss = control_loss;
+    chaos_rows =
+      List.concat_map
+        (fun d ->
+          [
+            row ~mode:"HP+failover" ~controller:hp ~failover:true ~delay:d;
+            row ~mode:"LB+failover" ~controller:lb ~failover:true ~delay:d;
+          ])
+        detection_delays
+      @ [ row ~mode:"LB, no failover" ~controller:lb ~failover:false ~delay:0.0 ];
+  }
+
 type sketch_point = {
   epsilon : float;
   sketch_cells : int;

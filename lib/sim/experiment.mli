@@ -136,6 +136,51 @@ val ablation_failure :
     hot-potato as the baseline.  Every packet keeps being enforced —
     the chain is never skipped. *)
 
+type chaos_row = {
+  chaos_mode : string;       (** "HP+failover", "LB+failover", "LB, no failover" *)
+  chaos_delay : float;       (** detection delay; infinity on the no-failover row *)
+  chaos_injected : int;
+  chaos_delivered : int;
+  chaos_dropped : int;
+  chaos_violations : int;    (** packets that escaped their enforcement chain *)
+  chaos_retries : int;       (** control-packet retransmissions *)
+  chaos_recovery : float;
+      (** time from the crash to the last policy violation — how long
+          the system bled before failover absorbed the fault *)
+  chaos_max_surviving : float;
+      (** max per-box load among the victim's surviving peers *)
+  chaos_events_processed : int;
+}
+
+type chaos_report = {
+  chaos_victim : int;            (** the crashed middlebox (busiest IDS) *)
+  chaos_victim_nf : Policy.Action.nf;
+  chaos_crash_at : float;        (** crash time (the victim never recovers) *)
+  chaos_link : (int * int) option; (** gateway-core link failed mid-run *)
+  chaos_link_fail_at : float;
+  chaos_link_restore_at : float;
+  chaos_control_loss : float;    (** control-packet loss probability applied *)
+  chaos_rows : chaos_row list;
+}
+
+val ablation_chaos :
+  ?flows:int ->
+  ?seed:int ->
+  ?detection_delays:float list ->
+  unit ->
+  chaos_report
+(** ABL-CHAOS, the packet-level dependability experiment: one fault
+    schedule — the busiest IDS box crashes at 25% of the horizon and
+    never recovers, a gateway-core link fails at 45% and is restored at
+    65% (OSPF reconverging live both times), and 2% of control packets
+    are lost (masked by retransmission) — replayed under HP+failover
+    and LB+failover for each detection delay, plus an LB row with
+    failover disabled.  Violations stop once the detector flips
+    (recovery time tracks the detection delay), and LB spreads the
+    orphaned load across survivors where HP dumps it on the next
+    closest box.  Same seed + same schedule ⇒ bit-identical report.
+    Defaults: 500 flows, delays [2; 10; 40]. *)
+
 type sketch_point = {
   epsilon : float;
   sketch_cells : int;       (** counters across all proxy sketches *)

@@ -4,6 +4,8 @@ type result = {
   direct_packet_hops : float;
   enforced_flows : int;
   enforced_packets : int;
+  policy_violations : int;
+  violating_flows : int;
 }
 
 let run ?alive ~controller ~workload () =
@@ -14,6 +16,8 @@ let run ?alive ~controller ~workload () =
   let direct_packet_hops = ref 0.0 in
   let enforced_flows = ref 0 in
   let enforced_packets = ref 0 in
+  let policy_violations = ref 0 in
+  let violating_flows = ref 0 in
   let router_of_proxy i = dep.Sdm.Deployment.proxies.(i).Mbox.Proxy.router in
   Array.iter
     (fun (fs : Workload.flow_spec) ->
@@ -31,17 +35,28 @@ let run ?alive ~controller ~workload () =
         enforced_packets := !enforced_packets + fs.Workload.packets;
         let entity = ref (Mbox.Entity.Proxy fs.Workload.src_proxy) in
         let here = ref src_router in
+        let violated = ref false in
         List.iter
           (fun nf ->
-            let mb =
-              Sdm.Controller.next_hop ?alive controller !entity ~rule ~nf
-                fs.Workload.flow
-            in
-            loads.(mb.Mbox.Middlebox.id) <- loads.(mb.Mbox.Middlebox.id) +. pkts;
-            packet_hops :=
-              !packet_hops +. (dist.(!here).(mb.Mbox.Middlebox.router) *. pkts);
-            here := mb.Mbox.Middlebox.router;
-            entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id)
+            if not !violated then
+              match
+                Sdm.Controller.next_hop_result ?alive controller !entity ~rule
+                  ~nf fs.Workload.flow
+              with
+              | Error `No_live_candidate ->
+                (* Graceful degradation: the rest of the chain cannot be
+                   enforced, so the flow hot-potatoes straight to its
+                   destination and every packet counts as a violation. *)
+                violated := true;
+                incr violating_flows;
+                policy_violations := !policy_violations + fs.Workload.packets
+              | Ok mb ->
+                loads.(mb.Mbox.Middlebox.id) <-
+                  loads.(mb.Mbox.Middlebox.id) +. pkts;
+                packet_hops :=
+                  !packet_hops +. (dist.(!here).(mb.Mbox.Middlebox.router) *. pkts);
+                here := mb.Mbox.Middlebox.router;
+                entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id)
           rule.Policy.Rule.actions;
         packet_hops := !packet_hops +. (dist.(!here).(dst_router) *. pkts))
     workload.Workload.flows;
@@ -51,6 +66,8 @@ let run ?alive ~controller ~workload () =
     direct_packet_hops = !direct_packet_hops;
     enforced_flows = !enforced_flows;
     enforced_packets = !enforced_packets;
+    policy_violations = !policy_violations;
+    violating_flows = !violating_flows;
   }
 
 let loads_of_nf controller result nf =

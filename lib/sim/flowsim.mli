@@ -17,13 +17,20 @@ type result = {
   direct_packet_hops : float;   (** same traffic, shortest paths, no enforcement *)
   enforced_flows : int;         (** flows that traversed >= 1 middlebox *)
   enforced_packets : int;
+  policy_violations : int;
+      (** packets whose chain hit an emptied candidate set and were
+          hot-potatoed to the destination unenforced (0 without faults) *)
+  violating_flows : int;        (** flows contributing to [policy_violations] *)
 }
 
 val run :
   ?alive:(int -> bool) ->
   controller:Sdm.Controller.t -> workload:Workload.t -> unit -> result
 (** [alive] enables local fast failover around failed middleboxes; see
-    [Sdm.Strategy.next_hop]. *)
+    [Sdm.Strategy.next_hop_result].  A flow whose candidate set for
+    some function is entirely dead is not an error: the remainder of
+    its chain is skipped, it is forwarded to its destination, and its
+    packets are counted in [policy_violations]. *)
 
 val loads_of_nf :
   Sdm.Controller.t -> result -> Policy.Action.nf -> float array

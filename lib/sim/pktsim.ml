@@ -14,6 +14,11 @@ type config = {
   wp_cache_hit_ratio : float;
   cache_capacity : int option;
   ecmp : bool;
+  faults : Fault.Schedule.t option;
+  detection_delay : float;
+  failover : bool;
+  ctrl_retry_timeout : float;
+  ctrl_max_retries : int;
 }
 
 let default_config =
@@ -31,6 +36,11 @@ let default_config =
     wp_cache_hit_ratio = 0.0;
     cache_capacity = None;
     ecmp = false;
+    faults = None;
+    detection_delay = 10.0;
+    failover = true;
+    ctrl_retry_timeout = 5.0;
+    ctrl_max_retries = 3;
   }
 
 type stats = {
@@ -56,6 +66,11 @@ type stats = {
   cache_evictions : int; (* capacity-forced LRU evictions across all caches *)
   events_scheduled : int; (* engine events created over the whole run *)
   events_processed : int; (* engine events fired over the whole run *)
+  policy_violations : int; (* enforced packets that escaped their chain *)
+  fault_dropped : int;   (* packets lost to injected faults *)
+  control_retries : int; (* control-packet retransmissions *)
+  control_lost : int;    (* control-packet transmissions lost to faults *)
+  last_violation_time : float; (* time of the last policy violation, 0 if none *)
 }
 
 type counters = {
@@ -73,6 +88,11 @@ type counters = {
   mutable label_misses : int;
   mutable teardowns : int;
   mutable wp_served : int;
+  mutable violations : int;
+  mutable fault_dropped : int;
+  mutable retries : int;
+  mutable ctrl_lost : int;
+  mutable last_violation : float;
 }
 
 (* Messages on the wire: ordinary data packets, or the control packet
@@ -88,13 +108,25 @@ type msg =
    endpoint to hand the message to on arrival. *)
 type endpoint = To_subnet of int | To_mbox of int
 
+(* Live fault machinery for a run with a schedule: the ground-truth /
+   believed-state failure detector, the RNG behind the loss draws, and
+   (only when links fail mid-run) the OSPF session whose reconverged
+   tables replace the world's on every topology change. *)
+type fault_state = {
+  detector : Fault.Detector.t;
+  schedule : Fault.Schedule.t;
+  loss_rng : Stdx.Rng.t;
+  session : Ospf.Session.t option;
+}
+
 type world = {
   cfg : config;
   controller : Sdm.Controller.t;
   dep : Sdm.Deployment.t;
   engine : Dess.Engine.t;
-  tables : Netgraph.Routing.table array;
-  ecmp_tables : Netgraph.Routing.ecmp_table array option;
+  mutable tables : Netgraph.Routing.table array;
+  mutable ecmp_tables : Netgraph.Routing.ecmp_table array option;
+  fault : fault_state option;
   counters : counters;
   latencies : Stdx.Fvec.t; (* delivered-packet end-to-end times *)
   busy_until : float array; (* per-middlebox FIFO server horizon *)
@@ -114,6 +146,47 @@ type world = {
   mbox_index : (Netpkt.Addr.t, int) Hashtbl.t;
   rule_by_id : (int, Policy.Rule.t) Hashtbl.t;
 }
+
+(* ---- Fault plumbing --------------------------------------------- *)
+
+(* A packet of an enforced flow escaped its middlebox chain — the
+   dependability metric ABL-CHAOS sweeps. *)
+let policy_violation w =
+  w.counters.violations <- w.counters.violations + 1;
+  w.counters.last_violation <- Dess.Engine.now w.engine
+
+let mbox_is_down w id =
+  match w.fault with
+  | Some f -> not (Fault.Detector.actually_up f.detector id)
+  | None -> false
+
+(* Steering decision under faults: with failover on, entities consult
+   the failure detector's (delayed) view; with it off they keep using
+   the static configuration.  The no-fault path calls the raising
+   variant directly — candidate sets are non-empty by construction, so
+   it cannot raise, and it skips all liveness filtering. *)
+let controller_next_hop w entity ~rule ~nf flow =
+  match w.fault with
+  | None -> Ok (Sdm.Controller.next_hop w.controller entity ~rule ~nf flow)
+  | Some f ->
+    if w.cfg.failover then
+      let now = Dess.Engine.now w.engine in
+      Sdm.Controller.next_hop_result
+        ~alive:(fun id -> Fault.Detector.believed_alive f.detector ~now id)
+        w.controller entity ~rule ~nf flow
+    else Sdm.Controller.next_hop_result w.controller entity ~rule ~nf flow
+
+(* One Bernoulli draw per data packet per link crossed; control-packet
+   loss is modelled at transmission granularity in [send_control]. *)
+let link_lost w msg =
+  match (w.fault, msg) with
+  | Some f, Data _ when f.schedule.Fault.Schedule.link_loss > 0.0 ->
+    Stdx.Rng.float f.loss_rng 1.0 < f.schedule.Fault.Schedule.link_loss
+  | _ -> false
+
+let drop_to_fault w =
+  w.counters.dropped <- w.counters.dropped + 1;
+  w.counters.fault_dropped <- w.counters.fault_dropped + 1
 
 let resolve w addr =
   match Hashtbl.find_opt w.mbox_index addr with
@@ -179,16 +252,22 @@ let rec send w ~from_router msg =
   | None -> w.counters.dropped <- w.counters.dropped + 1
   | Some (target_router, endpoint) ->
     let rec walk router time =
-      if router = target_router then
-        ignore
-          (Dess.Engine.schedule_at w.engine ~time:(time +. w.cfg.link_delay)
-             (fun _ -> deliver w endpoint msg))
+      if router = target_router then begin
+        if link_lost w msg then drop_to_fault w
+        else
+          ignore
+            (Dess.Engine.schedule_at w.engine ~time:(time +. w.cfg.link_delay)
+               (fun _ -> deliver w endpoint msg))
+      end
       else
         match next_hop_for w ~router ~target_router msg with
         | None -> w.counters.dropped <- w.counters.dropped + 1
         | Some hop ->
-          w.counters.hops <- w.counters.hops + 1;
-          walk hop (time +. w.cfg.link_delay)
+          if link_lost w msg then drop_to_fault w
+          else begin
+            w.counters.hops <- w.counters.hops + 1;
+            walk hop (time +. w.cfg.link_delay)
+          end
     in
     walk from_router (Dess.Engine.now w.engine)
 
@@ -214,6 +293,33 @@ and next_hop_for w ~router ~target_router msg =
           Stdx.Xhash.ints [ router; dst ]
       in
       Some hops.(Stdx.Xhash.to_range h (Array.length hops)))
+
+(* Control-plane reliability (Sec. III.E under faults): label
+   establishment and teardown notifications are retransmitted on a
+   timer until acknowledged or out of retries.  The retransmission is
+   modelled as firing only when the transmission was actually lost —
+   receivers are idempotent, so suppressing the redundant duplicates a
+   real timer would generate is observationally equivalent. *)
+and send_control w ~from_router msg =
+  control_attempt w ~from_router ~retries_left:w.cfg.ctrl_max_retries msg
+
+and control_attempt w ~from_router ~retries_left msg =
+  let lost =
+    match w.fault with
+    | Some f when f.schedule.Fault.Schedule.control_loss > 0.0 ->
+      Stdx.Rng.float f.loss_rng 1.0 < f.schedule.Fault.Schedule.control_loss
+    | _ -> false
+  in
+  if not lost then send w ~from_router msg
+  else begin
+    w.counters.ctrl_lost <- w.counters.ctrl_lost + 1;
+    if retries_left > 0 then begin
+      w.counters.retries <- w.counters.retries + 1;
+      ignore
+        (Dess.Engine.schedule w.engine ~delay:w.cfg.ctrl_retry_timeout (fun _ ->
+             control_attempt w ~from_router ~retries_left:(retries_left - 1) msg))
+    end
+  end
 
 and deliver w endpoint msg =
   match (endpoint, msg) with
@@ -284,6 +390,15 @@ and mbox_actions w id flow =
       Some (rule.Policy.Rule.actions, rule.Policy.Rule.id))
 
 and mbox_receive w id pkt ~born =
+  if mbox_is_down w id then begin
+    (* Steered into a crashed middlebox (the detection window, or
+       failover disabled): the packet is lost unenforced. *)
+    drop_to_fault w;
+    policy_violation w
+  end
+  else mbox_process w id pkt ~born
+
+and mbox_process w id pkt ~born =
   let mb = w.dep.Sdm.Deployment.middleboxes.(id) in
   match Netpkt.Packet.decapsulate pkt with
   | Some inner -> (
@@ -306,23 +421,28 @@ and mbox_receive w id pkt ~born =
       then serve_from_cache w ~born
       else
       match Policy.Action.next_after actions mb.Mbox.Middlebox.nf with
-      | Some nf' ->
-        let y =
-          Sdm.Controller.next_hop w.controller (Mbox.Entity.Middlebox id) ~rule
-            ~nf:nf' flow
-        in
-        (match (label, w.cfg.label_switching) with
-        | Some l, true ->
-          Mbox.Label_table.insert w.mbox_labels.(id)
-            ~now:(Dess.Engine.now w.engine)
-            { Mbox.Label_table.src = flow.Netpkt.Flow.src; label = l }
-            ~actions ~next:(Some y.Mbox.Middlebox.addr) ~final_dst:None
-        | _ -> ());
-        let outer =
-          Netpkt.Packet.encapsulate ~src:proxy_addr ~dst:y.Mbox.Middlebox.addr
-            inner
-        in
-        send w ~from_router:mb.Mbox.Middlebox.router (Data (outer, born))
+      | Some nf' -> (
+        match
+          controller_next_hop w (Mbox.Entity.Middlebox id) ~rule ~nf:nf' flow
+        with
+        | Error `No_live_candidate ->
+          (* Every candidate for the rest of the chain is believed
+             dead: degrade gracefully by dropping just this packet. *)
+          w.counters.dropped <- w.counters.dropped + 1;
+          policy_violation w
+        | Ok y ->
+          (match (label, w.cfg.label_switching) with
+          | Some l, true ->
+            Mbox.Label_table.insert w.mbox_labels.(id)
+              ~now:(Dess.Engine.now w.engine)
+              { Mbox.Label_table.src = flow.Netpkt.Flow.src; label = l }
+              ~actions ~next:(Some y.Mbox.Middlebox.addr) ~final_dst:None
+          | _ -> ());
+          let outer =
+            Netpkt.Packet.encapsulate ~src:proxy_addr ~dst:y.Mbox.Middlebox.addr
+              inner
+          in
+          send w ~from_router:mb.Mbox.Middlebox.router (Data (outer, born)))
       | None ->
         (* Last function of the chain: restore normal routing and
            confirm the label-switched path to the proxy. *)
@@ -332,7 +452,7 @@ and mbox_receive w id pkt ~born =
             ~now:(Dess.Engine.now w.engine)
             { Mbox.Label_table.src = flow.Netpkt.Flow.src; label = l }
             ~actions ~next:None ~final_dst:(Some flow.Netpkt.Flow.dst);
-          send w ~from_router:mb.Mbox.Middlebox.router
+          send_control w ~from_router:mb.Mbox.Middlebox.router
             (Control { dst = proxy_addr; flow })
         | _ -> ());
         send w ~from_router:mb.Mbox.Middlebox.router (Data (inner, born))))
@@ -360,7 +480,7 @@ and mbox_receive w id pkt ~born =
              pkt.Netpkt.Packet.header.Netpkt.Header.src
          with
         | Some p ->
-          send w ~from_router:mb.Mbox.Middlebox.router
+          send_control w ~from_router:mb.Mbox.Middlebox.router
             (Teardown { dst = p.Mbox.Proxy.addr; label = l })
         | None -> () (* orphaned source: nothing to notify *))
       | Some entry ->
@@ -401,18 +521,24 @@ let proxy_emit w (fs : Workload.flow_spec) =
   let entity = Mbox.Entity.Proxy proxy_id in
   let tunnel_first ~rule ~label =
     let nf = List.hd rule.Policy.Rule.actions in
-    let mb = Sdm.Controller.next_hop w.controller entity ~rule ~nf flow in
-    let inner =
-      match label with
-      | Some l ->
-        { plain with Netpkt.Packet.header = Netpkt.Header.with_label header l }
-      | None -> plain
-    in
-    let outer =
-      Netpkt.Packet.encapsulate ~src:proxy.Mbox.Proxy.addr
-        ~dst:mb.Mbox.Middlebox.addr inner
-    in
-    send w ~from_router:proxy.Mbox.Proxy.router (Data (outer, now))
+    match controller_next_hop w entity ~rule ~nf flow with
+    | Error `No_live_candidate ->
+      (* Nowhere alive to start the chain: degrade gracefully by
+         dropping the packet instead of aborting the run. *)
+      w.counters.dropped <- w.counters.dropped + 1;
+      policy_violation w
+    | Ok mb ->
+      let inner =
+        match label with
+        | Some l ->
+          { plain with Netpkt.Packet.header = Netpkt.Header.with_label header l }
+        | None -> plain
+      in
+      let outer =
+        Netpkt.Packet.encapsulate ~src:proxy.Mbox.Proxy.addr
+          ~dst:mb.Mbox.Middlebox.addr inner
+      in
+      send w ~from_router:proxy.Mbox.Proxy.router (Data (outer, now))
   in
   match Policy.Flow_cache.lookup cache ~now flow with
   | Some { actions = Some a; _ } when Policy.Action.is_permit a ->
@@ -425,14 +551,18 @@ let proxy_emit w (fs : Workload.flow_spec) =
       (* Established label-switched path: embed the label, address the
          packet straight to the first middlebox, no outer header. *)
       let nf = List.hd rule.Policy.Rule.actions in
-      let mb = Sdm.Controller.next_hop w.controller entity ~rule ~nf flow in
-      let header =
-        Netpkt.Header.with_dst
-          (Netpkt.Header.with_label header (Option.get label))
-          mb.Mbox.Middlebox.addr
-      in
-      send w ~from_router:proxy.Mbox.Proxy.router
-        (Data ({ plain with Netpkt.Packet.header }, now))
+      match controller_next_hop w entity ~rule ~nf flow with
+      | Error `No_live_candidate ->
+        w.counters.dropped <- w.counters.dropped + 1;
+        policy_violation w
+      | Ok mb ->
+        let header =
+          Netpkt.Header.with_dst
+            (Netpkt.Header.with_label header (Option.get label))
+            mb.Mbox.Middlebox.addr
+        in
+        send w ~from_router:proxy.Mbox.Proxy.router
+          (Data ({ plain with Netpkt.Packet.header }, now))
     end
     else tunnel_first ~rule ~label
   | Some { actions = None; _ } ->
@@ -464,6 +594,47 @@ let proxy_emit w (fs : Workload.flow_spec) =
            ~actions:rule.Policy.Rule.actions ?label ());
       tunnel_first ~rule ~label)
 
+(* ---- Fault-schedule execution ----------------------------------- *)
+
+(* A mid-run topology change: swap in the OSPF session's reconverged
+   tables (and, under ECMP, equal-cost tables recomputed on the
+   surviving graph).  In-flight segments already scheduled keep their
+   old paths — they were committed to the wire before the change. *)
+let refresh_tables w session =
+  w.tables <- Ospf.Session.tables session;
+  match w.ecmp_tables with
+  | None -> ()
+  | Some _ ->
+    w.ecmp_tables <-
+      Some (Netgraph.Routing.build_all_ecmp (Ospf.Session.surviving_graph session))
+
+let apply_fault w f what =
+  let now = Dess.Engine.now w.engine in
+  match what with
+  | Fault.Schedule.Mbox_crash id ->
+    Fault.Detector.crash f.detector ~now id;
+    (* A crash loses the box's soft state: its flow cache and label
+       table come back empty if the box ever recovers. *)
+    w.mbox_caches.(id) <-
+      Policy.Flow_cache.create ~timeout:w.cfg.cache_timeout
+        ?capacity:w.cfg.cache_capacity ();
+    w.mbox_labels.(id) <-
+      Mbox.Label_table.create ~timeout:w.cfg.label_timeout ();
+    w.busy_until.(id) <- now
+  | Fault.Schedule.Mbox_recover id -> Fault.Detector.recover f.detector ~now id
+  | Fault.Schedule.Link_fail (u, v) -> (
+    match f.session with
+    | Some s ->
+      Ospf.Session.fail_link s u v;
+      refresh_tables w s
+    | None -> assert false (* session exists iff the schedule has link events *))
+  | Fault.Schedule.Link_restore (u, v) -> (
+    match f.session with
+    | Some s ->
+      Ospf.Session.recover_link s u v;
+      refresh_tables w s
+    | None -> assert false)
+
 let run ?(config = default_config) ~controller ~workload () =
   let dep = controller.Sdm.Controller.deployment in
   let n_proxies = Array.length dep.Sdm.Deployment.proxies in
@@ -479,6 +650,26 @@ let run ?(config = default_config) ~controller ~workload () =
     controller.Sdm.Controller.rules;
   let entity_table entity =
     Policy.Trie.build (Sdm.Controller.policy_table_for controller entity)
+  in
+  let fault =
+    match config.faults with
+    | None -> None
+    | Some schedule ->
+      let session =
+        (* Only pay for a live OSPF session when links actually change
+           mid-run; pure middlebox faults leave routing alone. *)
+        if Fault.Schedule.has_link_events schedule then
+          Some (Ospf.Session.start dep.Sdm.Deployment.topo)
+        else None
+      in
+      Some
+        {
+          detector =
+            Fault.Detector.create ~n:n_mboxes ~delay:config.detection_delay;
+          schedule;
+          loss_rng = Stdx.Rng.create schedule.Fault.Schedule.loss_seed;
+          session;
+        }
   in
   let w =
     {
@@ -514,6 +705,11 @@ let run ?(config = default_config) ~controller ~workload () =
           label_misses = 0;
           teardowns = 0;
           wp_served = 0;
+          violations = 0;
+          fault_dropped = 0;
+          retries = 0;
+          ctrl_lost = 0;
+          last_violation = 0.0;
         };
       latencies = Stdx.Fvec.create ();
       busy_until = Array.make n_mboxes 0.0;
@@ -537,8 +733,21 @@ let run ?(config = default_config) ~controller ~workload () =
       proxy_label_index = Array.init n_proxies (fun _ -> Hashtbl.create 64);
       mbox_index;
       rule_by_id;
+      fault;
     }
   in
+  (* Schedule the fault events before the traffic so that a fault tied
+     with a packet injection applies first (the engine breaks time ties
+     in FIFO order). *)
+  (match w.fault with
+  | None -> ()
+  | Some f ->
+    List.iter
+      (fun { Fault.Schedule.at; what } ->
+        ignore
+          (Dess.Engine.schedule_at w.engine ~time:at (fun _ ->
+               apply_fault w f what)))
+      f.schedule.Fault.Schedule.events);
   (* Inject flows: first packet at a jittered start, each subsequent
      packet scheduled by its predecessor (keeps the heap small). *)
   let rng = Stdx.Rng.create config.seed in
@@ -605,4 +814,9 @@ let run ?(config = default_config) ~controller ~workload () =
        sum w.proxy_caches + sum w.mbox_caches);
     events_scheduled = Dess.Engine.events_scheduled engine;
     events_processed = Dess.Engine.events_processed engine;
+    policy_violations = w.counters.violations;
+    fault_dropped = w.counters.fault_dropped;
+    control_retries = w.counters.retries;
+    control_lost = w.counters.ctrl_lost;
+    last_violation_time = w.counters.last_violation;
   }

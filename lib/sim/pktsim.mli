@@ -71,6 +71,30 @@ type config = {
           one.  Overrides [table_source] (ECMP sets come from the
           global oracle).  Middlebox loads are invariant; only paths
           vary.  Default false. *)
+  faults : Fault.Schedule.t option;
+      (** in-run fault injection: middlebox crash/recovery, link
+          fail/restore (routing then reconverges through a live
+          {!Ospf.Session} mid-run), per-link data-packet loss, and
+          control-packet loss.  [None] (the default) leaves every
+          fault path disabled — no detector, no loss RNG — so a
+          fault-free run is bit-identical to one on a build without
+          this machinery. *)
+  detection_delay : float;
+      (** how long after a crash/recovery the failure detector's view
+          flips — the heartbeat timeout.  During the window after a
+          crash, traffic is still steered into the dead box and lost;
+          after it, local fast failover (Sec. III.D) routes around.
+          Default 10.0. *)
+  failover : bool;
+      (** when false, entities ignore the failure detector and keep
+          using the static configuration — the "no failover" baseline
+          of ABL-CHAOS.  Default true. *)
+  ctrl_retry_timeout : float;
+      (** retransmission timer for label-establishment / teardown
+          control packets lost to [control_loss].  Default 5.0. *)
+  ctrl_max_retries : int;
+      (** retransmissions after the initial attempt before the sender
+          gives up (receivers are idempotent).  Default 3. *)
 }
 
 val default_config : config
@@ -100,6 +124,20 @@ type stats = {
       (** engine events created over the run — with hop fast-forwarding
           this stays well below one per router hop *)
   events_processed : int; (** engine events fired over the run *)
+  policy_violations : int;
+      (** packets of enforced flows that escaped their chain: steered
+          into a crashed middlebox, or dropped because every candidate
+          for some function was believed dead.  0 without faults. *)
+  fault_dropped : int;
+      (** packets lost to injected faults (dead-box arrivals plus
+          per-link loss); a subset of [dropped_packets] *)
+  control_retries : int;
+      (** control-packet retransmissions triggered by [control_loss] *)
+  control_lost : int; (** control-packet transmissions lost to faults *)
+  last_violation_time : float;
+      (** simulated time of the last policy violation (0.0 if none) —
+          [last_violation_time - crash time] is ABL-CHAOS's recovery
+          time *)
 }
 
 val run :

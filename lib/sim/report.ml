@@ -137,6 +137,36 @@ let pp_failure_ablation ppf (f : Experiment.failure_report) =
   Format.fprintf ppf "hot-potato under the same failure:     %s@."
     (millions f.Experiment.hp_failover_max)
 
+let pp_chaos_ablation ppf (c : Experiment.chaos_report) =
+  Format.fprintf ppf
+    "=== ABL-CHAOS: in-run faults, detection-delay sweep (campus) ===@.";
+  Format.fprintf ppf "crash: mbox%d (%s) at t=%.1f, never restored@."
+    c.Experiment.chaos_victim
+    (Policy.Action.nf_to_string c.Experiment.chaos_victim_nf)
+    c.Experiment.chaos_crash_at;
+  (match c.Experiment.chaos_link with
+  | Some (u, v) ->
+    Format.fprintf ppf "link: %d-%d fails at t=%.1f, restored at t=%.1f@." u v
+      c.Experiment.chaos_link_fail_at c.Experiment.chaos_link_restore_at
+  | None -> ());
+  Format.fprintf ppf "control-packet loss: %.0f%% (masked by retransmission)@."
+    (100.0 *. c.Experiment.chaos_control_loss);
+  Format.fprintf ppf "%-16s %7s %9s %10s %8s %10s %8s %9s %14s@." "mode"
+    "detect" "injected" "delivered" "dropped" "violating" "retries" "recovery"
+    "max surviving";
+  List.iter
+    (fun (r : Experiment.chaos_row) ->
+      Format.fprintf ppf "%-16s %7s %9d %10d %8d %10d %8d %9.1f %14s@."
+        r.Experiment.chaos_mode
+        (if Float.is_integer r.Experiment.chaos_delay then
+           Printf.sprintf "%.0f" r.Experiment.chaos_delay
+         else "never")
+        r.Experiment.chaos_injected r.Experiment.chaos_delivered
+        r.Experiment.chaos_dropped r.Experiment.chaos_violations
+        r.Experiment.chaos_retries r.Experiment.chaos_recovery
+        (millions r.Experiment.chaos_max_surviving))
+    c.Experiment.chaos_rows
+
 let pp_sketch_ablation ppf points =
   Format.fprintf ppf
     "=== Ablation: Count-Min sketched measurement vs exact (campus) ===@.";

@@ -20,6 +20,8 @@ val pp_lp_ablation : Format.formatter -> Experiment.lp_compare -> unit
 
 val pp_failure_ablation : Format.formatter -> Experiment.failure_report -> unit
 
+val pp_chaos_ablation : Format.formatter -> Experiment.chaos_report -> unit
+
 val pp_sketch_ablation : Format.formatter -> Experiment.sketch_point list -> unit
 
 val pp_epochs : Format.formatter -> Epochsim.epoch_metrics list -> unit

@@ -1,0 +1,114 @@
+(* Tests for the fault-injection primitives: the deterministic fault
+   schedule and the fixed-delay heartbeat failure detector. *)
+
+(* --- Schedule ----------------------------------------------------------- *)
+
+let test_schedule_sorts_events () =
+  let s =
+    Fault.Schedule.make
+      Fault.Schedule.
+        [
+          { at = 30.0; what = Mbox_recover 2 };
+          { at = 10.0; what = Mbox_crash 2 };
+          { at = 20.0; what = Link_fail (0, 1) };
+          { at = 20.0; what = Link_restore (0, 1) };
+        ]
+  in
+  Alcotest.(check (list (pair int (float 0.0))))
+    "crash times in order" [ (2, 10.0) ]
+    (Fault.Schedule.crash_times s);
+  (match s.Fault.Schedule.events with
+  | [ a; b; c; d ] ->
+    Alcotest.(check (float 0.0)) "first" 10.0 a.Fault.Schedule.at;
+    Alcotest.(check (float 0.0)) "second" 20.0 b.Fault.Schedule.at;
+    (* Stable sort: the fail stays before the restore at equal times. *)
+    Alcotest.(check bool) "equal times keep order" true
+      (b.Fault.Schedule.what = Fault.Schedule.Link_fail (0, 1)
+      && c.Fault.Schedule.what = Fault.Schedule.Link_restore (0, 1));
+    Alcotest.(check (float 0.0)) "last" 30.0 d.Fault.Schedule.at
+  | _ -> Alcotest.fail "expected 4 events");
+  Alcotest.(check bool) "has link events" true (Fault.Schedule.has_link_events s);
+  Alcotest.(check bool) "not empty" false (Fault.Schedule.is_empty s)
+
+let test_schedule_validation () =
+  let crash = Fault.Schedule.{ at = 1.0; what = Mbox_crash 0 } in
+  (match Fault.Schedule.make [ { crash with Fault.Schedule.at = -1.0 } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative time accepted");
+  (match Fault.Schedule.make ~link_loss:1.0 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "link_loss = 1.0 accepted");
+  (match Fault.Schedule.make ~control_loss:(-0.1) [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative control_loss accepted");
+  (* Loss-only schedules are legal and carry no link events. *)
+  let loss_only = Fault.Schedule.make ~control_loss:0.5 [] in
+  Alcotest.(check bool) "loss-only: no link events" false
+    (Fault.Schedule.has_link_events loss_only);
+  Alcotest.(check bool) "loss-only not empty" false
+    (Fault.Schedule.is_empty loss_only);
+  Alcotest.(check bool) "empty is empty" true
+    (Fault.Schedule.is_empty Fault.Schedule.empty);
+  Alcotest.(check bool) "crash is not a link event" false
+    (Fault.Schedule.has_link_events (Fault.Schedule.make [ crash ]))
+
+(* --- Detector ----------------------------------------------------------- *)
+
+let test_detector_delay_window () =
+  let d = Fault.Detector.create ~n:3 ~delay:5.0 in
+  Alcotest.(check bool) "initially up" true (Fault.Detector.actually_up d 1);
+  Alcotest.(check bool) "initially believed" true
+    (Fault.Detector.believed_alive d ~now:0.0 1);
+  Fault.Detector.crash d ~now:10.0 1;
+  Alcotest.(check bool) "ground truth flips at once" false
+    (Fault.Detector.actually_up d 1);
+  Alcotest.(check bool) "still believed just after crash" true
+    (Fault.Detector.believed_alive d ~now:10.0 1);
+  Alcotest.(check bool) "still believed within the window" true
+    (Fault.Detector.believed_alive d ~now:14.9 1);
+  Alcotest.(check bool) "detected at exactly crash+delay" false
+    (Fault.Detector.believed_alive d ~now:15.0 1);
+  (* Other boxes are unaffected. *)
+  Alcotest.(check bool) "neighbour untouched" true
+    (Fault.Detector.believed_alive d ~now:20.0 0);
+  Fault.Detector.recover d ~now:30.0 1;
+  Alcotest.(check bool) "ground truth back up" true
+    (Fault.Detector.actually_up d 1);
+  Alcotest.(check bool) "recovery also takes delay to notice" false
+    (Fault.Detector.believed_alive d ~now:34.9 1);
+  Alcotest.(check bool) "believed again after the window" true
+    (Fault.Detector.believed_alive d ~now:35.0 1)
+
+let test_detector_zero_delay () =
+  let d = Fault.Detector.create ~n:1 ~delay:0.0 in
+  Fault.Detector.crash d ~now:3.0 0;
+  Alcotest.(check bool) "perfect detector sees the crash at once" false
+    (Fault.Detector.believed_alive d ~now:3.0 0)
+
+let test_detector_misuse () =
+  (match Fault.Detector.create ~n:(-1) ~delay:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative n accepted");
+  (match Fault.Detector.create ~n:1 ~delay:(-1.0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative delay accepted");
+  let d = Fault.Detector.create ~n:2 ~delay:1.0 in
+  (match Fault.Detector.recover d ~now:0.0 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "recovering an up box accepted");
+  Fault.Detector.crash d ~now:1.0 0;
+  (match Fault.Detector.crash d ~now:2.0 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double crash accepted");
+  match Fault.Detector.believed_alive d ~now:0.0 7 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range id accepted"
+
+let suite =
+  [
+    Alcotest.test_case "schedule sorts events" `Quick test_schedule_sorts_events;
+    Alcotest.test_case "schedule validation" `Quick test_schedule_validation;
+    Alcotest.test_case "detector delay window" `Quick test_detector_delay_window;
+    Alcotest.test_case "detector zero delay" `Quick test_detector_zero_delay;
+    Alcotest.test_case "detector misuse" `Quick test_detector_misuse;
+  ]

@@ -7,6 +7,7 @@ let () =
       ("dvr", Test_dvr.suite);
       ("netgraph", Test_netgraph.suite);
       ("ospf", Test_ospf.suite);
+      ("fault", Test_fault.suite);
       ("packet", Test_packet.suite);
       ("policy", Test_policy.suite);
       ("lp", Test_lp.suite);

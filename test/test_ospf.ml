@@ -179,6 +179,60 @@ let test_session_cost_change () =
     | exception Invalid_argument _ -> true
     | () -> false)
 
+let test_session_recover_link () =
+  let topo = Netgraph.Campus.generate ~seed:3 () in
+  let session = Ospf.Session.start topo in
+  let oracle = Netgraph.Routing.build_all topo.Netgraph.Topology.graph in
+  (* Fail a non-bridge link, then bring it back: tables and the
+     surviving graph must match the pristine network again. *)
+  let u, v, c =
+    List.find
+      (fun e -> not (List.mem e (bridges topo.Netgraph.Topology.graph)))
+      (Netgraph.Graph.edges topo.Netgraph.Topology.graph)
+  in
+  Ospf.Session.fail_link session u v;
+  let messages_while_down = Ospf.Session.messages session in
+  Ospf.Session.recover_link session u v;
+  Alcotest.(check bool) "tables back to pristine" true
+    (tables_equal (Ospf.Session.tables session) oracle);
+  Alcotest.(check (option (float 1e-9))) "original cost restored" (Some c)
+    (Netgraph.Graph.cost (Ospf.Session.surviving_graph session) u v);
+  Alcotest.(check bool) "recovery flooded LSAs" true
+    (Ospf.Session.messages session > messages_while_down)
+
+let test_session_recover_rejects_never_failed () =
+  let topo = Netgraph.Campus.generate ~seed:3 () in
+  let session = Ospf.Session.start topo in
+  let u, v, _ = List.hd (Netgraph.Graph.edges topo.Netgraph.Topology.graph) in
+  (match Ospf.Session.recover_link session u v with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "recovered a link that never failed");
+  (* Recovery is symmetric in its endpoints, and one-shot. *)
+  Ospf.Session.fail_link session u v;
+  Ospf.Session.recover_link session v u;
+  match Ospf.Session.recover_link session u v with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double recovery accepted"
+
+let test_session_recover_preserves_recost () =
+  (* A link whose metric was changed, then failed, comes back at the
+     changed metric — the session remembers the operator's re-costing. *)
+  let topo = Netgraph.Campus.generate ~seed:3 () in
+  let session = Ospf.Session.start topo in
+  let u, v, _ =
+    List.find
+      (fun e -> not (List.mem e (bridges topo.Netgraph.Topology.graph)))
+      (Netgraph.Graph.edges topo.Netgraph.Topology.graph)
+  in
+  Ospf.Session.change_cost session u v 10.0;
+  Ospf.Session.fail_link session u v;
+  Ospf.Session.recover_link session u v;
+  Alcotest.(check (option (float 1e-9))) "re-costed metric survives" (Some 10.0)
+    (Netgraph.Graph.cost (Ospf.Session.surviving_graph session) u v);
+  let oracle = Netgraph.Routing.build_all (Ospf.Session.surviving_graph session) in
+  Alcotest.(check bool) "tables match oracle" true
+    (tables_equal (Ospf.Session.tables session) oracle)
+
 let qcheck_session_random_failures =
   QCheck.Test.make ~count:15 ~name:"session reconverges on random graphs"
     QCheck.(make Gen.(pair (int_range 4 14) (int_range 0 1000000)))
@@ -211,6 +265,11 @@ let suite =
     Alcotest.test_case "session rejects bad failures" `Quick
       test_session_rejects_bad_failures;
     Alcotest.test_case "session link cost change" `Quick test_session_cost_change;
+    Alcotest.test_case "session link recovery" `Quick test_session_recover_link;
+    Alcotest.test_case "session recovery rejects never-failed" `Quick
+      test_session_recover_rejects_never_failed;
+    Alcotest.test_case "session recovery preserves recost" `Quick
+      test_session_recover_preserves_recost;
     QCheck_alcotest.to_alcotest qcheck_session_random_failures;
     Alcotest.test_case "router install" `Quick test_router_install;
     Alcotest.test_case "originate bumps seq" `Quick test_router_originate_bumps_seq;

@@ -601,6 +601,79 @@ let test_failover_skips_dead () =
     | exception Failure _ -> ()
     | _ -> Alcotest.fail "expected failure with no live candidates"
 
+let test_next_hop_result_typed () =
+  (* The non-raising face of failover: [Error `No_live_candidate]
+     instead of an exception, and agreement with [next_hop] when a
+     live candidate exists. *)
+  let dep = small_deployment () in
+  match Sdm.Controller.configure dep ~rules:line_rules Sdm.Controller.Hot_potato with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+    let rule = List.hd line_rules in
+    let flow =
+      Netpkt.Flow.make
+        ~src:(Netpkt.Addr.Prefix.nth_addr (Sdm.Deployment.proxy_subnet 0) 2)
+        ~dst:(Netpkt.Addr.Prefix.nth_addr (Sdm.Deployment.proxy_subnet 1) 2)
+        ~proto:6 ~sport:1 ~dport:80
+    in
+    (match
+       Sdm.Controller.next_hop_result ~alive:(fun id -> id <> 0 && id <> 1) c
+         (Mbox.Entity.Proxy 0) ~rule ~nf:Policy.Action.FW flow
+     with
+    | Error `No_live_candidate -> ()
+    | Ok _ -> Alcotest.fail "expected No_live_candidate with all FWs dead");
+    (match
+       Sdm.Controller.next_hop_result ~alive:(fun id -> id <> 0) c
+         (Mbox.Entity.Proxy 0) ~rule ~nf:Policy.Action.FW flow
+     with
+    | Ok mb -> Alcotest.(check int) "fails over like next_hop" 1 mb.Mbox.Middlebox.id
+    | Error `No_live_candidate -> Alcotest.fail "FW1 is alive");
+    match
+      Sdm.Controller.next_hop_result c (Mbox.Entity.Proxy 0) ~rule
+        ~nf:Policy.Action.FW flow
+    with
+    | Ok mb ->
+      let raising =
+        Sdm.Controller.next_hop c (Mbox.Entity.Proxy 0) ~rule
+          ~nf:Policy.Action.FW flow
+      in
+      Alcotest.(check int) "no alive: agrees with next_hop"
+        raising.Mbox.Middlebox.id mb.Mbox.Middlebox.id
+    | Error `No_live_candidate -> Alcotest.fail "unexpected error without faults"
+
+let test_flowsim_graceful_degradation () =
+  (* Every FW dead: flows whose chain needs one are not an error — the
+     rest of the chain is skipped and the damage is counted. *)
+  let dep = campus_deployment () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:9 ~flows:2_000 () in
+  let fw_ids =
+    List.map
+      (fun (m : Mbox.Middlebox.t) -> m.Mbox.Middlebox.id)
+      (Sdm.Deployment.middleboxes_of dep Policy.Action.FW)
+  in
+  let alive id = not (List.mem id fw_ids) in
+  match Sdm.Controller.configure dep ~rules:workload.Sim.Workload.rules
+          Sdm.Controller.Hot_potato with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+    let r = Sim.Flowsim.run ~alive ~controller:c ~workload () in
+    Alcotest.(check bool) "violations counted" true
+      (r.Sim.Flowsim.policy_violations > 0);
+    Alcotest.(check bool) "violating flows counted" true
+      (r.Sim.Flowsim.violating_flows > 0
+      && r.Sim.Flowsim.violating_flows <= Array.length workload.Sim.Workload.flows);
+    List.iter
+      (fun id ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "dead FW %d unloaded" id)
+          0.0 r.Sim.Flowsim.loads.(id))
+      fw_ids;
+    let healthy = Sim.Flowsim.run ~controller:c ~workload () in
+    Alcotest.(check int) "no violations without faults" 0
+      healthy.Sim.Flowsim.policy_violations;
+    Alcotest.(check int) "no violating flows without faults" 0
+      healthy.Sim.Flowsim.violating_flows
+
 let test_failover_all_strategies_avoid_dead () =
   let dep = campus_deployment () in
   let workload = Sim.Workload.generate ~deployment:dep ~seed:9 ~flows:2_000 () in
@@ -953,6 +1026,10 @@ let suite =
     Alcotest.test_case "candidates exclude-all fails" `Quick
       test_candidates_exclude_all_fails;
     Alcotest.test_case "failover skips dead" `Quick test_failover_skips_dead;
+    Alcotest.test_case "next_hop_result typed failover" `Quick
+      test_next_hop_result_typed;
+    Alcotest.test_case "flowsim graceful degradation" `Quick
+      test_flowsim_graceful_degradation;
     Alcotest.test_case "failover avoids dead (all strategies)" `Quick
       test_failover_all_strategies_avoid_dead;
     Alcotest.test_case "re-optimize after failure" `Quick test_reoptimize_after_failure;

@@ -858,6 +858,237 @@ let test_experiment_k1_equals_hp () =
         lb1.Sim.Flowsim.loads.(i))
     hp.Sim.Flowsim.loads
 
+(* --- Pktsim under injected faults --------------------------------------- *)
+
+let single_fw_flow ~packets =
+  (* One hand-built flow through a [FW]-only chain, for exact-count
+     fault and soft-state tests. *)
+  let dep = campus () in
+  let rules =
+    Policy.Rule.index
+      [
+        Policy.Descriptor.make
+          ~src:(Sdm.Deployment.subnet_of dep 0)
+          ~dport:(Policy.Descriptor.Port 443) ();
+      ]
+      [ Policy.Action.[ FW ] ]
+  in
+  let flow =
+    Netpkt.Flow.make
+      ~src:(Netpkt.Addr.Prefix.nth_addr (Sdm.Deployment.subnet_of dep 0) 2)
+      ~dst:(Netpkt.Addr.Prefix.nth_addr (Sdm.Deployment.subnet_of dep 3) 2)
+      ~proto:6 ~sport:40000 ~dport:443
+  in
+  let flows =
+    [|
+      {
+        Sim.Workload.id = 0;
+        flow;
+        src_proxy = 0;
+        dst_proxy = 3;
+        rule_id = Some 0;
+        intended_class = Sim.Workload.One_to_one;
+        packets;
+        packet_bytes = 576;
+      };
+    |]
+  in
+  let workload = { Sim.Workload.rules; flows; total_packets = packets } in
+  let controller =
+    match Sdm.Controller.configure dep ~rules Sdm.Controller.Hot_potato with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  (controller, rules, flow, workload)
+
+let test_pktsim_teardown_exact_counters () =
+  (* One flow, packets spaced wider than the label timeout: label
+     switching and IP-over-IP re-establishment alternate packet by
+     packet, so every soft-state counter is exact.  p1 tunnels and
+     establishes; p2's label has expired (miss, drop, teardown back to
+     the proxy); p3 re-establishes; and so on. *)
+  let controller, _, _, workload = single_fw_flow ~packets:6 in
+  let config =
+    {
+      pkt_config with
+      packet_interval = 10.0;
+      label_timeout = 3.0;
+      start_window = 1.0;
+    }
+  in
+  let s = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check int) "injected" 6 s.Sim.Pktsim.injected_packets;
+  Alcotest.(check int) "tunneled legs" 3 s.Sim.Pktsim.tunneled_packets;
+  Alcotest.(check int) "label misses" 3 s.Sim.Pktsim.label_misses;
+  Alcotest.(check int) "dropped" 3 s.Sim.Pktsim.dropped_packets;
+  Alcotest.(check int) "teardowns" 3 s.Sim.Pktsim.teardowns;
+  Alcotest.(check int) "control packets" 3 s.Sim.Pktsim.control_packets;
+  Alcotest.(check int) "delivered" 3 s.Sim.Pktsim.delivered_packets;
+  Alcotest.(check int) "no leg completes label-switched" 0
+    s.Sim.Pktsim.label_switched_packets;
+  Alcotest.(check int) "expiry is not a policy violation" 0
+    s.Sim.Pktsim.policy_violations
+
+let test_pktsim_crash_failover_relabels () =
+  (* Mid-run crash of the one middlebox serving a label-switched flow.
+     During the detection window the proxy keeps steering into the dead
+     box (counted violations); once the detector flips, it fails over
+     to the backup, whose label table has no entry — exactly one miss
+     and teardown — then re-establishes, and label switching resumes on
+     the backup. *)
+  let controller, rules, flow, workload = single_fw_flow ~packets:40 in
+  let rule = List.hd rules in
+  let victim =
+    (Sdm.Controller.next_hop controller (Mbox.Entity.Proxy 0) ~rule
+       ~nf:Policy.Action.FW flow)
+      .Mbox.Middlebox.id
+  in
+  let backup =
+    (Sdm.Controller.next_hop
+       ~alive:(fun id -> id <> victim)
+       controller (Mbox.Entity.Proxy 0) ~rule ~nf:Policy.Action.FW flow)
+      .Mbox.Middlebox.id
+  in
+  let schedule =
+    Fault.Schedule.make Fault.Schedule.[ { at = 15.0; what = Mbox_crash victim } ]
+  in
+  let config =
+    {
+      pkt_config with
+      packet_interval = 1.0;
+      start_window = 1.0;
+      faults = Some schedule;
+      detection_delay = 3.0;
+    }
+  in
+  let s = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "violations in the blind window" true
+    (s.Sim.Pktsim.policy_violations >= 2 && s.Sim.Pktsim.policy_violations <= 6);
+  Alcotest.(check int) "all fault drops are dead-box hits"
+    s.Sim.Pktsim.policy_violations s.Sim.Pktsim.fault_dropped;
+  Alcotest.(check int) "one label miss at the backup" 1 s.Sim.Pktsim.label_misses;
+  Alcotest.(check int) "one teardown" 1 s.Sim.Pktsim.teardowns;
+  Alcotest.(check int) "establish + re-establish" 2 s.Sim.Pktsim.control_packets;
+  Alcotest.(check int) "drops fully explained"
+    (s.Sim.Pktsim.policy_violations + s.Sim.Pktsim.label_misses)
+    s.Sim.Pktsim.dropped_packets;
+  Alcotest.(check int) "rest delivered"
+    (s.Sim.Pktsim.injected_packets - s.Sim.Pktsim.dropped_packets)
+    s.Sim.Pktsim.delivered_packets;
+  Alcotest.(check bool) "backup label-switches the tail" true
+    (s.Sim.Pktsim.loads.(backup) >= 2.0);
+  Alcotest.(check bool) "victim stopped absorbing" true
+    (s.Sim.Pktsim.loads.(victim) < 40.0);
+  Alcotest.(check bool) "violation tail bounded by detection" true
+    (s.Sim.Pktsim.last_violation_time < 15.0 +. 3.0 +. 1.0);
+  (* Same schedule, same seed: bit-identical stats. *)
+  let again = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "deterministic replay" true
+    ({ again with Sim.Pktsim.loads = [||] } = { s with Sim.Pktsim.loads = [||] }
+    && again.Sim.Pktsim.loads = s.Sim.Pktsim.loads);
+  (* No failover: every post-crash packet dies in the dead box and the
+     bleeding never stops. *)
+  let nf =
+    Sim.Pktsim.run
+      ~config:{ config with failover = false }
+      ~controller ~workload ()
+  in
+  Alcotest.(check bool) "no failover bleeds to the end" true
+    (nf.Sim.Pktsim.policy_violations > 20);
+  Alcotest.(check int) "no failover: no re-establishment" 1
+    nf.Sim.Pktsim.control_packets;
+  Alcotest.(check bool) "failover strictly better" true
+    (s.Sim.Pktsim.policy_violations < nf.Sim.Pktsim.policy_violations)
+
+let test_pktsim_link_flap_load_invariance () =
+  (* A mid-run link failure with live OSPF reconvergence, then
+     restoration: paths change, enforcement decisions do not — loads
+     are bit-identical to the calm run and nothing is lost. *)
+  let controller, workload = small_pkt_setup ~flows:100 () in
+  let calm = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let topo = (campus ~seed:21 ()).Sdm.Deployment.topo in
+  let gw = List.hd (Netgraph.Topology.gateways topo) in
+  let core =
+    List.find_map
+      (fun { Netgraph.Graph.dst; _ } ->
+        match Netgraph.Topology.role topo dst with
+        | Netgraph.Topology.Core -> Some dst
+        | _ -> None)
+      (Netgraph.Graph.neighbors topo.Netgraph.Topology.graph gw)
+    |> Option.get
+  in
+  let schedule =
+    Fault.Schedule.make
+      Fault.Schedule.
+        [
+          { at = 0.3 *. calm.Sim.Pktsim.sim_time; what = Link_fail (gw, core) };
+          { at = 0.6 *. calm.Sim.Pktsim.sim_time; what = Link_restore (gw, core) };
+        ]
+  in
+  let s =
+    Sim.Pktsim.run
+      ~config:{ pkt_config with faults = Some schedule }
+      ~controller ~workload ()
+  in
+  Alcotest.(check int) "all delivered" s.Sim.Pktsim.injected_packets
+    s.Sim.Pktsim.delivered_packets;
+  Alcotest.(check int) "no drops" 0 s.Sim.Pktsim.dropped_packets;
+  Alcotest.(check int) "no violations" 0 s.Sim.Pktsim.policy_violations;
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check (float 0.0)) (Printf.sprintf "mbox %d load" i) expected
+        s.Sim.Pktsim.loads.(i))
+    calm.Sim.Pktsim.loads
+
+let test_pktsim_control_loss_retries () =
+  (* A lossy control plane delays label establishment but never loses
+     it for good: retransmission masks every loss, and data packets
+     just keep tunnelling until the confirmation lands. *)
+  let controller, workload = small_pkt_setup ~flows:150 () in
+  let schedule = Fault.Schedule.make ~control_loss:0.3 ~loss_seed:7 [] in
+  let s =
+    Sim.Pktsim.run
+      ~config:{ pkt_config with faults = Some schedule }
+      ~controller ~workload ()
+  in
+  Alcotest.(check bool) "control packets were lost" true
+    (s.Sim.Pktsim.control_lost > 0);
+  Alcotest.(check bool) "retries fired" true (s.Sim.Pktsim.control_retries > 0);
+  Alcotest.(check int) "all delivered" s.Sim.Pktsim.injected_packets
+    s.Sim.Pktsim.delivered_packets;
+  Alcotest.(check int) "no drops" 0 s.Sim.Pktsim.dropped_packets;
+  Alcotest.(check bool) "label switching still engages" true
+    (s.Sim.Pktsim.label_switched_packets > 0)
+
+let test_pktsim_link_loss_accounted () =
+  (* Per-link data loss: packets disappear mid-path but never silently
+     — every one is counted dropped at the lossy link. *)
+  let controller, workload = small_pkt_setup ~flows:100 () in
+  let schedule = Fault.Schedule.make ~link_loss:0.02 ~loss_seed:11 [] in
+  let s =
+    Sim.Pktsim.run
+      ~config:{ pkt_config with faults = Some schedule }
+      ~controller ~workload ()
+  in
+  Alcotest.(check bool) "some packets lost" true (s.Sim.Pktsim.fault_dropped > 0);
+  Alcotest.(check int) "every loss accounted" s.Sim.Pktsim.injected_packets
+    (s.Sim.Pktsim.delivered_packets + s.Sim.Pktsim.dropped_packets)
+
+let test_pktsim_empty_schedule_inert () =
+  (* Arming the fault machinery with an empty schedule changes nothing:
+     no events, zero loss probabilities, all boxes alive — the run is
+     bit-identical to one with [faults = None]. *)
+  let controller, workload = small_pkt_setup ~flows:100 () in
+  let calm = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let s =
+    Sim.Pktsim.run
+      ~config:{ pkt_config with faults = Some Fault.Schedule.empty }
+      ~controller ~workload ()
+  in
+  Alcotest.(check bool) "bit-identical to fault-free" true
+    ({ s with Sim.Pktsim.loads = [||] } = { calm with Sim.Pktsim.loads = [||] }
+    && s.Sim.Pktsim.loads = calm.Sim.Pktsim.loads)
+
 let suite =
   [
     Alcotest.test_case "workload shape" `Quick test_workload_shape;
@@ -903,6 +1134,18 @@ let suite =
       test_pktsim_pinned_equivalence;
     Alcotest.test_case "pktsim event-count regression" `Quick
       test_pktsim_event_count_regression;
+    Alcotest.test_case "pktsim teardown exact counters" `Quick
+      test_pktsim_teardown_exact_counters;
+    Alcotest.test_case "pktsim crash failover relabels" `Quick
+      test_pktsim_crash_failover_relabels;
+    Alcotest.test_case "pktsim link flap load invariance" `Quick
+      test_pktsim_link_flap_load_invariance;
+    Alcotest.test_case "pktsim control-loss retries" `Quick
+      test_pktsim_control_loss_retries;
+    Alcotest.test_case "pktsim link loss accounted" `Quick
+      test_pktsim_link_loss_accounted;
+    Alcotest.test_case "pktsim empty fault schedule inert" `Quick
+      test_pktsim_empty_schedule_inert;
     QCheck_alcotest.to_alcotest qcheck_pktsim_chaos;
     Alcotest.test_case "experiment figure (small)" `Slow test_experiment_figure_small;
     Alcotest.test_case "experiment linear growth" `Slow test_experiment_linear_growth;
