@@ -16,6 +16,7 @@
      ABL-CACHE - flow-cache lookup suppression (Sec. III.D)
      ABL-FRAG  - fragmentation vs label switching (Sec. III.E)
      ABL-FAIL  - middlebox failure: fast failover vs re-optimization
+     ABL-LIVE  - live reconfiguration: versioned config pushes vs control loss
      ABL-EPOCH - adaptation across measurement epochs (stale weights)
      ABL-SKETCH- Count-Min sketched measurement vs exact
      ABL-LP    - LP formulation Eq.(1) vs Eq.(2) *)
@@ -165,6 +166,22 @@ let () =
          0 abchaos.Sim.Experiment.chaos_rows)
     ~hops:0;
   Format.printf "%a@." Sim.Report.pp_chaos_ablation abchaos;
+
+  section "ABL-LIVE: live reconfiguration, control-loss sweep";
+  let ablive =
+    timed "ABL-LIVE" (fun () ->
+        Sim.Experiment.ablation_live ~flows:(if fast then 300 else 500) ())
+  in
+  note_events "ABL-LIVE"
+    ~events:
+      (List.fold_left
+         (fun acc (r : Sim.Experiment.live_row) ->
+           acc + r.Sim.Experiment.live_events_processed)
+         0 ablive.Sim.Experiment.live_rows)
+    ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_live_ablation ablive;
+  write_csv "abl_live.csv" (Sim.Report.live_csv ablive);
+  write_csv "abl_live_devices.csv" (Sim.Report.live_devices_csv ablive);
 
   section "ABL-EPOCH: adaptation across measurement epochs";
   let abe =

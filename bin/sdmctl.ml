@@ -129,8 +129,8 @@ let exp_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
           ~doc:
-            "fig4, fig5, table3, k, cache, frag, fail, chaos, epoch, sketch, \
-             queue or lp")
+            "fig4, fig5, table3, k, cache, frag, fail, chaos, live, epoch, \
+             sketch, queue or lp")
   in
   let run which seed flows =
     match which with
@@ -167,6 +167,9 @@ let exp_cmd =
     | "chaos" ->
       Format.printf "%a@." Sim.Report.pp_chaos_ablation
         (Sim.Experiment.ablation_chaos ~flows:(min flows 800) ~seed ())
+    | "live" ->
+      Format.printf "%a@." Sim.Report.pp_live_ablation
+        (Sim.Experiment.ablation_live ~flows:(min flows 500) ~seed ())
     | "queue" ->
       Format.printf "%a@." Sim.Report.pp_queue_ablation
         (Sim.Experiment.ablation_queue ~seed ())

@@ -1,0 +1,116 @@
+(* Live reconfiguration: the controller inside the simulation.
+
+   A narrative for the live control plane: start the campus deployment
+   on a deliberately bad plan (hot-potato), enable in-run
+   re-optimization, and let the simulated controller measure traffic,
+   re-solve the placement at epoch boundaries, and push versioned
+   configurations to every proxy and middlebox over a 10%-lossy
+   control channel.  Pushes are acked and retried with exponential
+   backoff, a reconciliation loop re-pushes to stale devices, and
+   every published version is certified mixed-version-safe against its
+   predecessor before any device sees it — so in-flight flows crossing
+   an update boundary never strand mid-chain.
+
+     dune exec examples/live_reconfiguration.exe *)
+
+let () =
+  let deployment = Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed:17 in
+  let workload = Sim.Workload.generate ~deployment ~seed:17 ~flows:400 () in
+  let rules = workload.Sim.Workload.rules in
+  let traffic = Sim.Workload.measure workload in
+  let configure kind =
+    match Sdm.Controller.configure deployment ~rules kind with
+    | Ok c -> c
+    | Error e -> failwith e
+  in
+  let hp = configure Sdm.Controller.Hot_potato in
+  let lb = configure (Sdm.Controller.Load_balanced traffic) in
+  let max_load (s : Sim.Pktsim.stats) =
+    Array.fold_left Stdlib.max 0.0 s.Sim.Pktsim.loads
+  in
+
+  (* Two static baselines bracket what the live loop can achieve. *)
+  let stale = Sim.Pktsim.run ~controller:hp ~workload () in
+  let clairvoyant = Sim.Pktsim.run ~controller:lb ~workload () in
+  Format.printf
+    "static hot-potato (stale plan):  busiest middlebox %.0f packets@."
+    (max_load stale);
+  Format.printf
+    "static load-balanced (oracle):   busiest middlebox %.0f packets@.@."
+    (max_load clairvoyant);
+
+  (* Same workload, same stale starting plan — but now the controller
+     lives inside the run, re-optimizing from what the proxies have
+     measured so far, over a control channel that drops 10% of
+     everything. *)
+  let live =
+    {
+      Sim.Pktsim.default_live with
+      epoch_interval = stale.Sim.Pktsim.sim_time /. 5.0;
+      reconcile_interval = stale.Sim.Pktsim.sim_time /. 20.0;
+    }
+  in
+  let faults = Fault.Schedule.make ~control_loss:0.10 ~loss_seed:23 [] in
+  let stats =
+    Sim.Pktsim.run
+      ~config:
+        {
+          Sim.Pktsim.default_config with
+          faults = Some faults;
+          live = Some live;
+        }
+      ~controller:hp ~workload ()
+  in
+  Format.printf
+    "live (epoch %.0f, 10%% control loss): busiest middlebox %.0f packets@.@."
+    live.Sim.Pktsim.epoch_interval (max_load stats);
+  Format.printf
+    "versions published %d; pushes %d (acks %d, lost %d, %d bytes); \
+     degradations %d@."
+    stats.Sim.Pktsim.final_config_version stats.Sim.Pktsim.config_pushes
+    stats.Sim.Pktsim.config_acks stats.Sim.Pktsim.config_lost
+    stats.Sim.Pktsim.config_bytes stats.Sim.Pktsim.config_degraded;
+  let n = Array.length stats.Sim.Pktsim.entity_config_version in
+  let converged =
+    Array.for_all
+      (fun v -> v = stats.Sim.Pktsim.final_config_version)
+      stats.Sim.Pktsim.entity_config_version
+  in
+  Format.printf "devices at final version: %s (%d managed, %d stale)@.@."
+    (if converged then "all" else "NOT all")
+    n stats.Sim.Pktsim.stale_devices;
+
+  (* The robustness story, asserted. *)
+  (* 1. The loop actually reconfigured, and the retried, reconciled
+     pushes beat 10% loss: every device ends on the final version. *)
+  assert (stats.Sim.Pktsim.final_config_version > 0);
+  assert (converged && stats.Sim.Pktsim.stale_devices = 0);
+  (* 2. Mixed-version safety: no packet of an enforced flow escaped
+     its chain while configurations changed underneath it. *)
+  assert (stats.Sim.Pktsim.policy_violations = 0);
+  (* 3. Packet conservation across the update churn. *)
+  assert (
+    stats.Sim.Pktsim.delivered_packets + stats.Sim.Pktsim.dropped_packets
+    = stats.Sim.Pktsim.injected_packets);
+  (* 4. Measurement-driven re-optimization moved the busiest box off
+     the hot-potato pile-up, toward (not past) the clairvoyant plan. *)
+  assert (max_load stats < max_load stale);
+  assert (max_load stats >= max_load clairvoyant -. 1e-9);
+  (* 5. Determinism: same seed, same loss draws, bit-identical stats. *)
+  let again =
+    Sim.Pktsim.run
+      ~config:
+        {
+          Sim.Pktsim.default_config with
+          faults = Some faults;
+          live = Some live;
+        }
+      ~controller:hp ~workload ()
+  in
+  assert (
+    { again with Sim.Pktsim.loads = [||] } = { stats with Sim.Pktsim.loads = [||] }
+    && again.Sim.Pktsim.loads = stats.Sim.Pktsim.loads);
+
+  Format.printf
+    "all invariants hold: convergence under loss, zero mixed-version \
+     violations, deterministic replay@."

@@ -80,6 +80,22 @@ let configure deployment ~rules ?(k = default_k) ?(failed = []) kind =
           }))
   end
 
+let reoptimize t ?(failed = []) ~traffic () =
+  (* The live controller's reaction to measurements and detected
+     failures (Sec. III.C): rebuild candidate sets around the failed
+     boxes and re-solve the placement from the traffic observed so
+     far.  Whatever the initial strategy, re-optimization produces a
+     load-balanced plan — that is the whole point of measuring — with
+     the exact formulation preserved when it was chosen initially. *)
+  let kind =
+    match t.strategy with
+    | Strategy.Load_balanced_exact _ -> Load_balanced_exact traffic
+    | Strategy.Hot_potato | Strategy.Random_uniform | Strategy.Load_balanced _
+      ->
+      Load_balanced traffic
+  in
+  configure t.deployment ~rules:t.rules ~k:t.k ~failed kind
+
 let policy_table_for t = function
   | Mbox.Entity.Proxy i ->
     Policy.Rule.relevant_to_subnet t.rules (Deployment.subnet_of t.deployment i)

@@ -46,6 +46,18 @@ val configure :
     list is the controller's re-optimization step after failures are
     reported. *)
 
+val reoptimize :
+  t -> ?failed:int list -> traffic:Measurement.t -> unit ->
+  (t, string) Stdlib.result
+(** In-run re-optimization: rebuild the configuration over the same
+    deployment, rules, and candidate sizing, excluding the [failed]
+    middleboxes and re-solving the LP against [traffic] (the volumes
+    measured since the run began).  A [Load_balanced_exact] controller
+    re-solves the exact formulation; every other strategy re-optimizes
+    to the aggregated [Load_balanced] plan — measurements exist to be
+    used.  An empty measurement is legal and yields weight-less rows
+    (closest-live behavior) until traffic accrues. *)
+
 val policy_table_for : t -> Mbox.Entity.t -> Policy.Rule.t list
 (** The subset [P_x] the controller sends to entity [x]: for a proxy,
     rules whose descriptor can match traffic sourced in its subnet;

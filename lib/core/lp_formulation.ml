@@ -222,7 +222,14 @@ let finish b cand ?lambda_cap () =
           |> List.sort (fun (a, _) (b, _) -> compare a b)
           |> Array.of_list
         in
-        Weights.set weights entity ~rule ~nf row)
+        (* An all-zero row asserts nothing: the selector would fall
+           back to closest-live exactly as if the row were absent, so
+           absence is the honest representation — and it lets Verify
+           require every row actually present to normalize.  Per-(s,d)
+           rows are NOT filtered: their absence falls through to the
+           aggregate row, which would change picks. *)
+        let total = Array.fold_left (fun acc (_, v) -> acc +. v) 0.0 row in
+        if total > 0.0 then Weights.set weights entity ~rule ~nf row)
       acc;
     let loads =
       Array.map

@@ -3,6 +3,7 @@ type violation =
   | Wrong_function of Mbox.Entity.t * int * Policy.Action.nf * int
   | Foreign_weight of Mbox.Entity.t * int * Policy.Action.nf * int
   | Negative_weight of Mbox.Entity.t * int * Policy.Action.nf * int
+  | Unnormalized_row of Mbox.Entity.t * int * Policy.Action.nf * float
   | Table_mismatch of Mbox.Entity.t * int
   | Duplicate_function of int
 
@@ -28,28 +29,35 @@ let pp_violation ppf = function
       Mbox.Entity.pp e
       (Policy.Action.nf_to_string nf)
       rule mb
+  | Unnormalized_row (e, rule, nf, total) ->
+    Format.fprintf ppf
+      "weight row of %a for %s (rule %d) does not normalize (sum %g)"
+      Mbox.Entity.pp e
+      (Policy.Action.nf_to_string nf)
+      rule total
   | Table_mismatch (e, rule) ->
     Format.fprintf ppf "policy table of %a inconsistent for rule %d"
       Mbox.Entity.pp e rule
   | Duplicate_function rule ->
     Format.fprintf ppf "rule %d repeats a function in its action list" rule
 
-let check (c : Controller.t) =
-  let dep = c.Controller.deployment in
-  let violations = ref [] in
-  let add v = violations := v :: !violations in
-  let weights =
-    match c.Controller.strategy with
-    | Strategy.Load_balanced w -> Some w
-    | Strategy.Load_balanced_exact (_, fallback) ->
-      (* The per-(s,d) rows are sums of the fallback's; checking the
-         aggregate covers candidate membership and sign for both. *)
-      Some fallback
-    | Strategy.Hot_potato | Strategy.Random_uniform -> None
-  in
-  (* Per-entity step check: candidates exist, implement the function,
-     and any weight row stays within the candidate set. *)
-  let check_step entity rule_id nf =
+let normalization_eps = 1e-6
+
+let weights_of (c : Controller.t) =
+  match c.Controller.strategy with
+  | Strategy.Load_balanced w -> Some w
+  | Strategy.Load_balanced_exact (_, fallback) ->
+    (* The per-(s,d) rows are sums of the fallback's; checking the
+       aggregate covers candidate membership and sign for both. *)
+    Some fallback
+  | Strategy.Hot_potato | Strategy.Random_uniform -> None
+
+(* Per-entity step check for one configuration: candidates exist,
+   implement the function, and any weight row stays within the
+   candidate set and normalizes to a proper distribution. *)
+let step_checker (c : Controller.t) add =
+  let weights = weights_of c in
+  fun entity rule_id nf ->
     match Candidate.get c.Controller.candidates entity nf with
     | exception Not_found ->
       add (Empty_candidates (entity, rule_id, nf));
@@ -80,11 +88,35 @@ let check (c : Controller.t) =
                 not
                   (List.exists (fun (m : Mbox.Middlebox.t) -> m.id = id) members)
               then add (Foreign_weight (entity, rule_id, nf, id)))
-            row));
+            row;
+          (* Rows hold LP volumes, not probabilities: the selector
+             divides by the row total.  A non-positive or non-finite
+             total makes the selector return no pick and silently
+             degrades the row to closest-live fallback, so it must be
+             flagged here, at verification time. *)
+          if Array.length row > 0 then begin
+            let total =
+              Array.fold_left (fun acc (_, v) -> acc +. v) 0.0 row
+            in
+            let normalized =
+              if Float.is_finite total && total > 0.0 then
+                Array.fold_left (fun acc (_, v) -> acc +. (v /. total)) 0.0 row
+              else Float.nan
+            in
+            if
+              (not (Float.is_finite total))
+              || total <= 0.0
+              || Float.abs (normalized -. 1.0) > normalization_eps
+            then add (Unnormalized_row (entity, rule_id, nf, total))
+          end));
       members
+
+(* Walk every rule's chain from every proxy, following every candidate
+   [step] yields (all run-time choices are a subset of this). *)
+let walk_chains (dep : Deployment.t) rules add step =
+  let uniq ms =
+    List.sort_uniq (fun (a : Mbox.Middlebox.t) b -> compare a.id b.id) ms
   in
-  (* Walk every rule's chain from every proxy, following every
-     candidate (all run-time choices are a subset of this). *)
   List.iter
     (fun rule ->
       let rule_id = rule.Policy.Rule.id in
@@ -103,22 +135,27 @@ let check (c : Controller.t) =
         in
         (* Frontier of middleboxes reachable at each chain position. *)
         let frontier =
-          List.concat_map
-            (fun i -> check_step (Mbox.Entity.Proxy i) rule_id first)
-            starters
-          |> List.sort_uniq (fun (a : Mbox.Middlebox.t) b -> compare a.id b.id)
+          uniq
+            (List.concat_map
+               (fun i -> step (Mbox.Entity.Proxy i) rule_id first)
+               starters)
         in
         ignore
           (List.fold_left
              (fun frontier nf ->
-               List.concat_map
-                 (fun (m : Mbox.Middlebox.t) ->
-                   check_step (Mbox.Entity.Middlebox m.id) rule_id nf)
-                 frontier
-               |> List.sort_uniq (fun (a : Mbox.Middlebox.t) b ->
-                      compare a.id b.id))
+               uniq
+                 (List.concat_map
+                    (fun (m : Mbox.Middlebox.t) ->
+                      step (Mbox.Entity.Middlebox m.id) rule_id nf)
+                    frontier))
              frontier rest))
-    c.Controller.rules;
+    rules
+
+let check (c : Controller.t) =
+  let dep = c.Controller.deployment in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  walk_chains dep c.Controller.rules add (step_checker c add);
   (* Policy-table consistency. *)
   Array.iter
     (fun (m : Mbox.Middlebox.t) ->
@@ -150,3 +187,34 @@ let check (c : Controller.t) =
         c.Controller.rules)
     dep.Deployment.proxies;
   match List.rev !violations with [] -> Ok () | vs -> Error vs
+
+let check_mixed (old_c : Controller.t) (new_c : Controller.t) =
+  let rule_ids c = List.map (fun r -> r.Policy.Rule.id) c.Controller.rules in
+  if rule_ids old_c <> rule_ids new_c then
+    invalid_arg "Verify.check_mixed: configurations carry different rule sets";
+  let dep = new_c.Controller.deployment in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let step_old = step_checker old_c add in
+  let step_new = step_checker new_c add in
+  (* While an update is in flight each deciding entity independently
+     runs the old or the new configuration, so the reachable frontier
+     is the union of both candidate sets, and every frontier member
+     must take a safe step under either version. *)
+  let step entity rule_id nf =
+    step_old entity rule_id nf @ step_new entity rule_id nf
+  in
+  walk_chains dep new_c.Controller.rules add step;
+  (* The same defect can surface through both versions: report once. *)
+  let seen = Hashtbl.create 16 in
+  let vs =
+    List.filter
+      (fun v ->
+        if Hashtbl.mem seen v then false
+        else begin
+          Hashtbl.add seen v ();
+          true
+        end)
+      (List.rev !violations)
+  in
+  match vs with [] -> Ok () | vs -> Error vs

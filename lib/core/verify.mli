@@ -15,7 +15,9 @@
       function it is consulted for;
     - {b weight sanity} (LB only): every weight row references only
       members of the corresponding candidate set, with non-negative
-      weights;
+      weights, and the row normalizes to a proper distribution (the
+      selector divides by the row total, so an all-zero row would
+      silently degrade to closest-live fallback at run time);
     - {b table consistency}: each middlebox's policy table holds only
       rules that mention its function, and each proxy's table holds
       every rule its subnet's traffic can match;
@@ -32,6 +34,10 @@ type violation =
   | Foreign_weight of Mbox.Entity.t * int * Policy.Action.nf * int
       (** LB weight row references a non-candidate middlebox *)
   | Negative_weight of Mbox.Entity.t * int * Policy.Action.nf * int
+  | Unnormalized_row of Mbox.Entity.t * int * Policy.Action.nf * float
+      (** LB weight row whose total (last field) is non-positive, non-
+          finite, or whose normalized entries miss 1.0 by more than ε —
+          such a row yields no selector pick at run time *)
   | Table_mismatch of Mbox.Entity.t * int
       (** entity's policy table holds an irrelevant rule, or misses a
           relevant one (rule id given) *)
@@ -41,3 +47,17 @@ val pp_violation : Format.formatter -> violation -> unit
 
 val check : Controller.t -> (unit, violation list) result
 (** Empty violation list = certified. *)
+
+val check_mixed :
+  Controller.t -> Controller.t -> (unit, violation list) result
+(** [check_mixed old new_] certifies every {e reachable mix} of two
+    adjacent configuration versions: while a live update is in flight,
+    each deciding entity independently runs [old] or [new_], so the
+    walk takes the union of both candidate sets at every chain
+    position and requires a safe step under either version from every
+    frontier member.  A pass means no packet can strand mid-chain
+    across the update boundary, whichever subset of devices has
+    installed the new version.  Duplicate findings (a defect shared by
+    both versions) are reported once.  Both configurations must be
+    built over the same deployment and rule set; raises
+    [Invalid_argument] when the rule ids differ. *)

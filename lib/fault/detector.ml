@@ -43,3 +43,10 @@ let believed_alive t ~now id =
   check t id;
   let v = t.views.(id) in
   if now -. v.changed_at >= t.delay then v.up else v.prev
+
+let believed_failed t ~now =
+  let acc = ref [] in
+  for id = Array.length t.views - 1 downto 0 do
+    if not (believed_alive t ~now id) then acc := id :: !acc
+  done;
+  !acc

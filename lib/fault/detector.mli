@@ -33,3 +33,8 @@ val actually_up : t -> int -> bool
 val believed_alive : t -> now:float -> int -> bool
 (** The observers' view at time [now]: the current state if the last
     transition is at least [delay] old, the previous state otherwise. *)
+
+val believed_failed : t -> now:float -> int list
+(** The ids believed down at [now], ascending — the [failed] list a
+    live controller hands to {!Sdm.Controller.configure} when it
+    re-optimizes on a detected failure. *)

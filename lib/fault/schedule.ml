@@ -50,6 +50,59 @@ let has_link_events t =
       | Mbox_crash _ | Mbox_recover _ -> false)
     t.events
 
+let validate ~n_mboxes ~link_exists t =
+  (* Replay the event list in time order against the deployment,
+     tracking which boxes are down and which links are cut, so that
+     recoveries without a preceding failure are caught here instead of
+     blowing up (or silently no-opping) deep inside a run. *)
+  let down = Hashtbl.create 8 in
+  let cut = Hashtbl.create 8 in
+  let link_key u v = if u <= v then (u, v) else (v, u) in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec go = function
+    | [] -> Ok ()
+    | { at; what } :: rest -> (
+        match what with
+        | Mbox_crash id ->
+            if id < 0 || id >= n_mboxes then
+              err "t=%g: %s: unknown middlebox (deployment has %d)" at
+                (event_to_string what) n_mboxes
+            else if Hashtbl.mem down id then
+              err "t=%g: %s: middlebox is already down" at
+                (event_to_string what)
+            else (
+              Hashtbl.replace down id ();
+              go rest)
+        | Mbox_recover id ->
+            if id < 0 || id >= n_mboxes then
+              err "t=%g: %s: unknown middlebox (deployment has %d)" at
+                (event_to_string what) n_mboxes
+            else if not (Hashtbl.mem down id) then
+              err "t=%g: %s: no preceding crash" at (event_to_string what)
+            else (
+              Hashtbl.remove down id;
+              go rest)
+        | Link_fail (u, v) ->
+            if not (link_exists u v) then
+              err "t=%g: %s: no such link in the topology" at
+                (event_to_string what)
+            else if Hashtbl.mem cut (link_key u v) then
+              err "t=%g: %s: link is already down" at (event_to_string what)
+            else (
+              Hashtbl.replace cut (link_key u v) ();
+              go rest)
+        | Link_restore (u, v) ->
+            if not (link_exists u v) then
+              err "t=%g: %s: no such link in the topology" at
+                (event_to_string what)
+            else if not (Hashtbl.mem cut (link_key u v)) then
+              err "t=%g: %s: no preceding failure" at (event_to_string what)
+            else (
+              Hashtbl.remove cut (link_key u v);
+              go rest))
+  in
+  go t.events
+
 let crash_times t =
   List.filter_map
     (fun { at; what } ->

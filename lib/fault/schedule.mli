@@ -39,6 +39,16 @@ val has_link_events : t -> bool
 (** True when the schedule contains a link fail or restore — the
     simulator then drives its routing tables through an OSPF session. *)
 
+val validate :
+  n_mboxes:int -> link_exists:(int -> int -> bool) -> t -> (unit, string) result
+(** Check the schedule against a concrete deployment: every middlebox
+    id must be in [0, n_mboxes), every link must satisfy [link_exists],
+    and, replaying the events in time order, a [Mbox_recover] must be
+    preceded by a crash of the same box, a [Link_restore] by a failure
+    of the same link, and no box/link may fail twice without recovering
+    in between.  Returns a human-readable description of the first
+    offending event. *)
+
 val crash_times : t -> (int * float) list
 (** The (middlebox id, time) pairs of the crash events, in time order. *)
 

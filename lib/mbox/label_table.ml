@@ -4,6 +4,7 @@ type entry = {
   actions : Policy.Action.t;
   next : Netpkt.Addr.t option;
   final_dst : Netpkt.Addr.t option;
+  version : int;
   mutable last_used : float;
 }
 
@@ -13,12 +14,13 @@ let create ?(timeout = infinity) () =
   if timeout <= 0.0 then invalid_arg "Label_table.create: timeout must be positive";
   { table = Hashtbl.create 256; timeout }
 
-let insert t ~now key ~actions ~next ~final_dst =
+let insert t ~now ?(version = 0) key ~actions ~next ~final_dst =
   (match (next, final_dst) with
   | Some _, Some _ -> invalid_arg "Label_table.insert: both next and final_dst"
   | None, None -> invalid_arg "Label_table.insert: neither next nor final_dst"
   | Some _, None | None, Some _ -> ());
-  Hashtbl.replace t.table key { actions; next; final_dst; last_used = now }
+  Hashtbl.replace t.table key
+    { actions; next; final_dst; version; last_used = now }
 
 let lookup t ~now key =
   match Hashtbl.find_opt t.table key with
@@ -46,3 +48,12 @@ let purge t ~now =
   in
   List.iter (Hashtbl.remove t.table) expired;
   List.length expired
+
+let purge_versions_below t ~version =
+  let stale =
+    Hashtbl.fold
+      (fun key entry acc -> if entry.version < version then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale;
+  List.length stale

@@ -22,6 +22,10 @@ type entry = {
   next : Netpkt.Addr.t option;  (** next middlebox; [None] = this is the last *)
   final_dst : Netpkt.Addr.t option;
       (** original destination, present iff [next = None] *)
+  version : int;
+      (** configuration version whose weights installed this entry —
+          live reconfiguration expires entries more than one version
+          behind the installed configuration *)
   mutable last_used : float;
 }
 
@@ -31,13 +35,13 @@ val create : ?timeout:float -> unit -> t
 (** [timeout] defaults to infinity (no expiry). *)
 
 val insert :
-  t -> now:float -> key ->
+  t -> now:float -> ?version:int -> key ->
   actions:Policy.Action.t ->
   next:Netpkt.Addr.t option ->
   final_dst:Netpkt.Addr.t option ->
   unit
 (** Raises [Invalid_argument] if [next]/[final_dst] are both set or
-    both absent. *)
+    both absent.  [version] defaults to 0 (static configuration). *)
 
 val lookup : t -> now:float -> key -> entry option
 (** Refreshes [last_used] on hit; an entry idle past the timeout is
@@ -49,3 +53,11 @@ val remove : t -> key -> unit
 
 val purge : t -> now:float -> int
 (** Evict every expired entry; returns how many were dropped. *)
+
+val purge_versions_below : t -> version:int -> int
+(** Evict every entry whose [version] is below the given floor;
+    returns how many were dropped.  Called when a device installs a
+    new configuration version: only the adjacent (previous) version's
+    entries stay staged, so flows admitted two or more versions ago
+    fall back to path re-establishment instead of following weights
+    the verifier never certified against the installed mix. *)

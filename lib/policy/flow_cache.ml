@@ -2,6 +2,7 @@ type entry = {
   actions : Action.t option;
   rule_id : int;
   label : int option;
+  cfg_version : int;
   mutable ls_ready : bool;
   mutable last_used : float;
 }
@@ -87,15 +88,21 @@ let make_room t ~now flow =
       done
     end
 
-let insert t ~now flow ~rule_id ~actions ?label () =
+let insert t ~now flow ~rule_id ~actions ?label ?(cfg_version = 0) () =
   make_room t ~now flow;
-  let entry = { actions = Some actions; rule_id; label; ls_ready = false; last_used = now } in
+  let entry =
+    { actions = Some actions; rule_id; label; cfg_version; ls_ready = false;
+      last_used = now }
+  in
   Netpkt.Flow.Table.replace t.table flow entry;
   entry
 
 let insert_negative t ~now flow =
   make_room t ~now flow;
-  let entry = { actions = None; rule_id = -1; label = None; ls_ready = false; last_used = now } in
+  let entry =
+    { actions = None; rule_id = -1; label = None; cfg_version = 0;
+      ls_ready = false; last_used = now }
+  in
   Netpkt.Flow.Table.replace t.table flow entry;
   entry
 

@@ -17,6 +17,10 @@ type entry = {
   actions : Action.t option;  (** [None] = negative (no policy matched) *)
   rule_id : int;              (** matching rule id, -1 for negative entries *)
   label : int option;         (** proxy-assigned label, if any *)
+  cfg_version : int;
+      (** configuration version that admitted the flow; steering
+          decisions for the flow stay sticky to it across live
+          reconfigurations (0 for static configurations) *)
   mutable ls_ready : bool;    (** label-switched path established *)
   mutable last_used : float;
 }
@@ -44,7 +48,8 @@ val lookup : t -> now:float -> Netpkt.Flow.t -> entry option
 
 val insert :
   t -> now:float -> Netpkt.Flow.t -> rule_id:int -> actions:Action.t ->
-  ?label:int -> unit -> entry
+  ?label:int -> ?cfg_version:int -> unit -> entry
+(** [cfg_version] defaults to 0 (static configuration). *)
 
 val insert_negative : t -> now:float -> Netpkt.Flow.t -> entry
 

@@ -14,21 +14,59 @@ let bytes_per_candidate = 4
 let bytes_per_weight_cell = 12
 let bytes_per_measurement_cell = 12
 
+let default_router (dep : Sdm.Deployment.t) =
+  let topo = dep.Sdm.Deployment.topo in
+  match Netgraph.Topology.gateways topo with
+  | gw :: _ -> gw
+  | [] -> List.hd (Netgraph.Topology.cores topo)
+
+(* Per-entity configuration size — also what the live control plane
+   charges per config-push message. *)
+let entity_bytes (c : Sdm.Controller.t) entity =
+  let dep = c.Sdm.Controller.deployment in
+  let functions = Sdm.Deployment.functions dep in
+  let weights =
+    match c.Sdm.Controller.strategy with
+    | Sdm.Strategy.Load_balanced w -> Some w
+    | _ -> None
+  in
+  let policy_rows = List.length (Sdm.Controller.policy_table_for c entity) in
+  let candidates =
+    List.fold_left
+      (fun acc nf ->
+        match Sdm.Candidate.get c.Sdm.Controller.candidates entity nf with
+        | members -> acc + List.length members
+        | exception Invalid_argument _ -> acc
+        | exception Not_found -> acc)
+      0 functions
+  in
+  let weight_cells =
+    match weights with
+    | None -> 0
+    | Some w ->
+      List.fold_left
+        (fun acc rule ->
+          List.fold_left
+            (fun acc nf ->
+              match
+                Sdm.Weights.find w entity ~rule:rule.Policy.Rule.id ~nf
+              with
+              | Some row -> acc + Array.length row
+              | None -> acc)
+            acc functions)
+        0 c.Sdm.Controller.rules
+  in
+  (policy_rows * bytes_per_policy_row)
+  + (candidates * bytes_per_candidate)
+  + (weight_cells * bytes_per_weight_cell)
+
 let price ?controller_router ?(link_delay = 1.0) (c : Sdm.Controller.t) ~traffic =
   let dep = c.Sdm.Controller.deployment in
   let topo = dep.Sdm.Deployment.topo in
   let controller_router =
     match controller_router with
     | Some r -> r
-    | None -> (
-      match Netgraph.Topology.gateways topo with
-      | gw :: _ -> gw
-      | [] -> List.hd (Netgraph.Topology.cores topo))
-  in
-  let weights =
-    match c.Sdm.Controller.strategy with
-    | Sdm.Strategy.Load_balanced w -> Some w
-    | _ -> None
+    | None -> default_router dep
   in
   let entities =
     List.init (Array.length dep.Sdm.Deployment.proxies) (fun i ->
@@ -36,41 +74,7 @@ let price ?controller_router ?(link_delay = 1.0) (c : Sdm.Controller.t) ~traffic
     @ List.init (Array.length dep.Sdm.Deployment.middleboxes) (fun i ->
           Mbox.Entity.Middlebox i)
   in
-  let functions = Sdm.Deployment.functions dep in
-  (* Per-entity configuration size. *)
-  let entity_bytes entity =
-    let policy_rows =
-      List.length (Sdm.Controller.policy_table_for c entity)
-    in
-    let candidates =
-      List.fold_left
-        (fun acc nf ->
-          match Sdm.Candidate.get c.Sdm.Controller.candidates entity nf with
-          | members -> acc + List.length members
-          | exception Invalid_argument _ -> acc
-          | exception Not_found -> acc)
-        0 functions
-    in
-    let weight_cells =
-      match weights with
-      | None -> 0
-      | Some w ->
-        List.fold_left
-          (fun acc rule ->
-            List.fold_left
-              (fun acc nf ->
-                match
-                  Sdm.Weights.find w entity ~rule:rule.Policy.Rule.id ~nf
-                with
-                | Some row -> acc + Array.length row
-                | None -> acc)
-              acc functions)
-          0 c.Sdm.Controller.rules
-    in
-    (policy_rows * bytes_per_policy_row)
-    + (candidates * bytes_per_candidate)
-    + (weight_cells * bytes_per_weight_cell)
-  in
+  let entity_bytes entity = entity_bytes c entity in
   let hops entity =
     let r = Sdm.Deployment.entity_router dep entity in
     (* +1 for the last hop from the attachment router to the device. *)

@@ -25,6 +25,15 @@ type report = {
   report_bytes_per_epoch : int; (** proxies' measurement reports *)
 }
 
+val default_router : Sdm.Deployment.t -> int
+(** The controller's attachment router when none is given: the first
+    gateway, falling back to the first core router. *)
+
+val entity_bytes : Sdm.Controller.t -> Mbox.Entity.t -> int
+(** Size of one entity's configuration under the byte model above —
+    also what {!Pktsim}'s live control plane charges per config-push
+    message. *)
+
 val price :
   ?controller_router:int ->
   ?link_delay:float ->

@@ -438,6 +438,135 @@ let ablation_chaos ?(flows = 500) ?(seed = 17)
       @ [ row ~mode:"LB, no failover" ~controller:lb ~failover:false ~delay:0.0 ];
   }
 
+(* ---- ABL-LIVE: live reconfiguration, control-loss sweep ---------- *)
+
+type live_row = {
+  live_loss : float;
+  live_injected : int;
+  live_delivered : int;
+  live_violations : int;
+  live_versions : int;
+  live_pushes : int;
+  live_acks : int;
+  live_lost : int;
+  live_degraded : int;
+  live_stale : int;
+  live_bytes : int;
+  live_max_load : float;
+  live_events_processed : int;
+}
+
+type live_device = {
+  dev_name : string;
+  dev_version : int;
+  dev_lag : int;
+  dev_retries : int;
+  dev_lost : int;
+}
+
+type live_report = {
+  live_epoch : float;
+  live_reconcile : float;
+  live_stale_max : float;
+  live_clairvoyant_max : float;
+  live_rows : live_row list;
+  live_devices : live_device list;
+}
+
+let ablation_live ?(flows = 500) ?(seed = 17)
+    ?(control_losses = [ 0.0; 0.02; 0.10 ]) () =
+  let deployment = build_deployment Campus ~seed in
+  let workload = Workload.generate ~deployment ~seed ~flows () in
+  let rules = workload.Workload.rules in
+  let traffic = Workload.measure workload in
+  let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
+  let lb = configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic) in
+  let max_load (stats : Pktsim.stats) =
+    Array.fold_left Stdlib.max 0.0 stats.Pktsim.loads
+  in
+  (* A probe run under the stale hot-potato plan fixes the horizon the
+     re-optimization epochs are spread across, and is itself the
+     stale-weight baseline the live rows should beat. *)
+  let stale = Pktsim.run ~controller:hp ~workload () in
+  let epoch = stale.Pktsim.sim_time /. 5.0 in
+  let reconcile = epoch /. 4.0 in
+  let live =
+    {
+      Pktsim.default_live with
+      epoch_interval = epoch;
+      reconcile_interval = reconcile;
+    }
+  in
+  (* Clairvoyant: the controller knew the whole traffic matrix up
+     front — the best any measurement-driven loop can converge to. *)
+  let clairvoyant = Pktsim.run ~controller:lb ~workload () in
+  let run_loss loss =
+    let faults =
+      (* loss = 0 still goes through the fault plumbing so the control
+         channel is exercised end-to-end; only the Bernoulli parameter
+         differs across the sweep. *)
+      Some (Fault.Schedule.make ~control_loss:loss ~loss_seed:(seed + 3) [])
+    in
+    let config = { Pktsim.default_config with faults; live = Some live } in
+    let stats = Pktsim.run ~config ~controller:hp ~workload () in
+    let row =
+      {
+        live_loss = loss;
+        live_injected = stats.Pktsim.injected_packets;
+        live_delivered = stats.Pktsim.delivered_packets;
+        live_violations = stats.Pktsim.policy_violations;
+        live_versions = stats.Pktsim.final_config_version;
+        live_pushes = stats.Pktsim.config_pushes;
+        live_acks = stats.Pktsim.config_acks;
+        live_lost = stats.Pktsim.config_lost;
+        live_degraded = stats.Pktsim.config_degraded;
+        live_stale = stats.Pktsim.stale_devices;
+        live_bytes = stats.Pktsim.config_bytes;
+        live_max_load = max_load stats;
+        live_events_processed = stats.Pktsim.events_processed;
+      }
+    in
+    (row, stats)
+  in
+  let runs = List.map run_loss control_losses in
+  (* Per-device attribution comes from the lossiest run — the one
+     where retries and version lag actually have something to show. *)
+  let devices =
+    match
+      List.fold_left
+        (fun best (row, stats) ->
+          match best with
+          | Some (brow, _) when brow.live_loss >= row.live_loss -> best
+          | _ -> Some (row, stats))
+        None runs
+    with
+    | None -> []
+    | Some (_, stats) ->
+      let n_proxies = Array.length deployment.Sdm.Deployment.proxies in
+      List.init
+        (Array.length stats.Pktsim.entity_config_version)
+        (fun i ->
+          {
+            dev_name =
+              (if i < n_proxies then Printf.sprintf "proxy%d" i
+               else Printf.sprintf "mbox%d" (i - n_proxies));
+            dev_version = stats.Pktsim.entity_config_version.(i);
+            dev_lag =
+              stats.Pktsim.final_config_version
+              - stats.Pktsim.entity_config_version.(i);
+            dev_retries = stats.Pktsim.entity_control_retries.(i);
+            dev_lost = stats.Pktsim.entity_control_lost.(i);
+          })
+  in
+  {
+    live_epoch = epoch;
+    live_reconcile = reconcile;
+    live_stale_max = max_load stale;
+    live_clairvoyant_max = max_load clairvoyant;
+    live_rows = List.map fst runs;
+    live_devices = devices;
+  }
+
 type sketch_point = {
   epsilon : float;
   sketch_cells : int;

@@ -181,6 +181,56 @@ val ablation_chaos :
     closest box.  Same seed + same schedule ⇒ bit-identical report.
     Defaults: 500 flows, delays [2; 10; 40]. *)
 
+type live_row = {
+  live_loss : float;       (** control-packet loss probability of this row *)
+  live_injected : int;
+  live_delivered : int;
+  live_violations : int;   (** mixed-version or fault-induced escapes; expect 0 *)
+  live_versions : int;     (** configuration versions published *)
+  live_pushes : int;       (** config-push transmissions, retries included *)
+  live_acks : int;
+  live_lost : int;         (** config/ack transmissions lost *)
+  live_degraded : int;     (** degradations to last-known-good *)
+  live_stale : int;        (** devices below the final version at run end *)
+  live_bytes : int;        (** config bytes on the wire *)
+  live_max_load : float;   (** busiest-middlebox load under live updates *)
+  live_events_processed : int;
+}
+
+type live_device = {
+  dev_name : string;   (** "proxyN" / "mboxN" *)
+  dev_version : int;   (** installed config version at run end *)
+  dev_lag : int;       (** final version minus installed *)
+  dev_retries : int;   (** control retransmissions attributed to it *)
+  dev_lost : int;      (** control transmissions to/from it lost *)
+}
+
+type live_report = {
+  live_epoch : float;           (** epoch interval used (horizon / 5) *)
+  live_reconcile : float;       (** reconcile interval used (epoch / 4) *)
+  live_stale_max : float;       (** hot-potato, no live loop — the floor *)
+  live_clairvoyant_max : float; (** LB on the full matrix — the target *)
+  live_rows : live_row list;
+  live_devices : live_device list; (** per-device view of the lossiest row *)
+}
+
+val ablation_live :
+  ?flows:int ->
+  ?seed:int ->
+  ?control_losses:float list ->
+  unit ->
+  live_report
+(** ABL-LIVE, the live-reconfiguration experiment: start every run on
+    the stale hot-potato plan, enable the in-run control plane
+    ({!Pktsim.config.live}) with epochs spread across the traffic
+    window, and sweep the control-channel loss probability.  At every
+    loss rate the measurement-driven re-optimizations walk the busiest
+    middlebox's load from the hot-potato floor toward the clairvoyant
+    load-balanced target; acked, retried, reconciled pushes get every
+    device to the final version even under 10% loss, and version-mixing
+    never produces a policy violation.  Same seed ⇒ bit-identical
+    report.  Defaults: 500 flows, losses [0; 0.02; 0.10]. *)
+
 type sketch_point = {
   epsilon : float;
   sketch_cells : int;       (** counters across all proxy sketches *)

@@ -1,5 +1,27 @@
 type table_source = Oracle | Distributed_ospf | Distributed_dvr
 
+(* Live control plane (Sec. III.A-III.C run in-line): the controller
+   sits at an attachment router, re-optimizes at epoch boundaries and
+   on detected failures, and pushes versioned configuration updates to
+   every proxy and middlebox over the same lossy control channel the
+   data plane uses. *)
+type live_config = {
+  epoch_interval : float;
+  reconcile_interval : float;
+  push_backoff : float;
+  push_max_retries : int;
+  controller_router : int option;
+}
+
+let default_live =
+  {
+    epoch_interval = 25.0;
+    reconcile_interval = 5.0;
+    push_backoff = 2.0;
+    push_max_retries = 6;
+    controller_router = None;
+  }
+
 type config = {
   label_switching : bool;
   mtu : int;
@@ -19,6 +41,7 @@ type config = {
   failover : bool;
   ctrl_retry_timeout : float;
   ctrl_max_retries : int;
+  live : live_config option;
 }
 
 let default_config =
@@ -41,6 +64,7 @@ let default_config =
     failover = true;
     ctrl_retry_timeout = 5.0;
     ctrl_max_retries = 3;
+    live = None;
   }
 
 type stats = {
@@ -71,6 +95,19 @@ type stats = {
   control_retries : int; (* control-packet retransmissions *)
   control_lost : int;    (* control-packet transmissions lost to faults *)
   last_violation_time : float; (* time of the last policy violation, 0 if none *)
+  (* Live control plane (all 0 / all-zero arrays when [live = None]). *)
+  config_pushes : int;   (* config-push transmissions, retries included *)
+  config_acks : int;     (* install acknowledgements the controller got *)
+  config_lost : int;     (* config/ack transmissions lost to faults *)
+  config_bytes : int;    (* bytes of configuration put on the wire *)
+  reoptimizations : int; (* configuration versions published *)
+  config_degraded : int; (* re-optimizations or pushes abandoned: partition,
+                            LP failure, or mixed-version verification veto *)
+  final_config_version : int;
+  stale_devices : int;   (* devices below the final version at run end *)
+  entity_control_retries : int array; (* per device: proxies, then mboxes *)
+  entity_control_lost : int array;
+  entity_config_version : int array;
 }
 
 type counters = {
@@ -93,6 +130,12 @@ type counters = {
   mutable retries : int;
   mutable ctrl_lost : int;
   mutable last_violation : float;
+  mutable cfg_pushes : int;
+  mutable cfg_acks : int;
+  mutable cfg_lost : int;
+  mutable cfg_bytes : int;
+  mutable reopts : int;
+  mutable cfg_degraded : int;
 }
 
 (* Messages on the wire: ordinary data packets, or the control packet
@@ -119,6 +162,23 @@ type fault_state = {
   session : Ospf.Session.t option;
 }
 
+(* Live control-plane state.  Devices (proxies first, then middleboxes)
+   are indexed flat; [configs.(v)] is the controller published as
+   version [v], with version 0 the configuration the run started on.
+   Devices stage at most the two adjacent versions {installed-1,
+   installed}: that is the invariant Verify.check_mixed certifies. *)
+type live_state = {
+  lcfg : live_config;
+  ctrl_router : int;
+  mutable configs : Sdm.Controller.t array;
+  mutable latest : int;
+  device_version : int array; (* installed at the device *)
+  device_acked : int array;   (* highest version the controller saw acked *)
+  meas : Sdm.Measurement.t;   (* per-(src, dst, rule) volumes observed so far *)
+  mutable horizon : float;    (* time of the last scheduled injection *)
+  mutable reconcile_rounds : int;
+}
+
 type world = {
   cfg : config;
   controller : Sdm.Controller.t;
@@ -127,7 +187,14 @@ type world = {
   mutable tables : Netgraph.Routing.table array;
   mutable ecmp_tables : Netgraph.Routing.ecmp_table array option;
   fault : fault_state option;
+  live : live_state option;
   counters : counters;
+  (* Per-device control-channel accounting (satellite of the live
+     control plane, but maintained for static runs too): label
+     establishment/teardown retransmissions are attributed to the
+     sending middlebox, config pushes to the target device. *)
+  entity_ctrl_retries : int array;
+  entity_ctrl_lost : int array;
   latencies : Stdx.Fvec.t; (* delivered-packet end-to-end times *)
   busy_until : float array; (* per-middlebox FIFO server horizon *)
   loads : float array;
@@ -160,21 +227,73 @@ let mbox_is_down w id =
   | Some f -> not (Fault.Detector.actually_up f.detector id)
   | None -> false
 
+(* ---- Live-control-plane device indexing -------------------------- *)
+
+let n_devices w =
+  Array.length w.dep.Sdm.Deployment.proxies
+  + Array.length w.dep.Sdm.Deployment.middleboxes
+
+let dev_of_entity w = function
+  | Mbox.Entity.Proxy i -> i
+  | Mbox.Entity.Middlebox i -> Array.length w.dep.Sdm.Deployment.proxies + i
+
+let dev_of_mbox w id = Array.length w.dep.Sdm.Deployment.proxies + id
+
+let dev_entity w dev =
+  let n_proxies = Array.length w.dep.Sdm.Deployment.proxies in
+  if dev < n_proxies then Mbox.Entity.Proxy dev
+  else Mbox.Entity.Middlebox (dev - n_proxies)
+
+let installed_version w entity =
+  match w.live with
+  | None -> 0
+  | Some ls -> ls.device_version.(dev_of_entity w entity)
+
+(* The configuration an entity decides with: its installed version —
+   or, when the decision belongs to a flow admitted under an older
+   version, the admitting version clamped into the staged adjacent
+   window {installed-1, installed}.  Clamping keeps in-flight flows
+   sticky to the weights that admitted them for exactly one update
+   boundary; beyond that the flow is re-steered under newer weights
+   (its stale label entries have been purged by then). *)
+let decision_controller w ?admitted entity =
+  match w.live with
+  | None -> w.controller
+  | Some ls ->
+    let inst = ls.device_version.(dev_of_entity w entity) in
+    let v =
+      match admitted with
+      | Some a when a < inst -> Stdlib.max a (inst - 1)
+      | _ -> inst
+    in
+    ls.configs.(v)
+
 (* Steering decision under faults: with failover on, entities consult
    the failure detector's (delayed) view; with it off they keep using
    the static configuration.  The no-fault path calls the raising
    variant directly — candidate sets are non-empty by construction, so
    it cannot raise, and it skips all liveness filtering. *)
-let controller_next_hop w entity ~rule ~nf flow =
+let controller_next_hop w ?admitted entity ~rule ~nf flow =
+  let c = decision_controller w ?admitted entity in
   match w.fault with
-  | None -> Ok (Sdm.Controller.next_hop w.controller entity ~rule ~nf flow)
+  | None -> Ok (Sdm.Controller.next_hop c entity ~rule ~nf flow)
   | Some f ->
     if w.cfg.failover then
       let now = Dess.Engine.now w.engine in
       Sdm.Controller.next_hop_result
         ~alive:(fun id -> Fault.Detector.believed_alive f.detector ~now id)
-        w.controller entity ~rule ~nf flow
-    else Sdm.Controller.next_hop_result w.controller entity ~rule ~nf flow
+        c entity ~rule ~nf flow
+    else Sdm.Controller.next_hop_result c entity ~rule ~nf flow
+
+(* Traffic measurement feeding re-optimization: each enforced packet a
+   proxy admits adds one unit at its (source, destination, rule) cell,
+   the granularity the Eq. (2) LP consumes. *)
+let note_traffic w (fs : Workload.flow_spec) ~rule_id =
+  match w.live with
+  | None -> ()
+  | Some ls ->
+    Sdm.Measurement.add ls.meas ~src:fs.Workload.src_proxy
+      ~dst:fs.Workload.dst_proxy ~rule:rule_id 1.0
 
 (* One Bernoulli draw per data packet per link crossed; control-packet
    loss is modelled at transmission granularity in [send_control]. *)
@@ -182,6 +301,14 @@ let link_lost w msg =
   match (w.fault, msg) with
   | Some f, Data _ when f.schedule.Fault.Schedule.link_loss > 0.0 ->
     Stdx.Rng.float f.loss_rng 1.0 < f.schedule.Fault.Schedule.link_loss
+  | _ -> false
+
+(* One Bernoulli draw per control-plane transmission (label control and
+   config pushes alike share the channel and the loss process). *)
+let control_loss_draw w =
+  match w.fault with
+  | Some f when f.schedule.Fault.Schedule.control_loss > 0.0 ->
+    Stdx.Rng.float f.loss_rng 1.0 < f.schedule.Fault.Schedule.control_loss
   | _ -> false
 
 let drop_to_fault w =
@@ -300,24 +427,23 @@ and next_hop_for w ~router ~target_router msg =
    modelled as firing only when the transmission was actually lost —
    receivers are idempotent, so suppressing the redundant duplicates a
    real timer would generate is observationally equivalent. *)
-and send_control w ~from_router msg =
-  control_attempt w ~from_router ~retries_left:w.cfg.ctrl_max_retries msg
+and send_control w ~from_router ~sender msg =
+  control_attempt w ~from_router ~sender ~retries_left:w.cfg.ctrl_max_retries
+    msg
 
-and control_attempt w ~from_router ~retries_left msg =
-  let lost =
-    match w.fault with
-    | Some f when f.schedule.Fault.Schedule.control_loss > 0.0 ->
-      Stdx.Rng.float f.loss_rng 1.0 < f.schedule.Fault.Schedule.control_loss
-    | _ -> false
-  in
+and control_attempt w ~from_router ~sender ~retries_left msg =
+  let lost = control_loss_draw w in
   if not lost then send w ~from_router msg
   else begin
     w.counters.ctrl_lost <- w.counters.ctrl_lost + 1;
+    w.entity_ctrl_lost.(sender) <- w.entity_ctrl_lost.(sender) + 1;
     if retries_left > 0 then begin
       w.counters.retries <- w.counters.retries + 1;
+      w.entity_ctrl_retries.(sender) <- w.entity_ctrl_retries.(sender) + 1;
       ignore
         (Dess.Engine.schedule w.engine ~delay:w.cfg.ctrl_retry_timeout (fun _ ->
-             control_attempt w ~from_router ~retries_left:(retries_left - 1) msg))
+             control_attempt w ~from_router ~sender
+               ~retries_left:(retries_left - 1) msg))
     end
   end
 
@@ -435,6 +561,7 @@ and mbox_process w id pkt ~born =
           | Some l, true ->
             Mbox.Label_table.insert w.mbox_labels.(id)
               ~now:(Dess.Engine.now w.engine)
+              ~version:(installed_version w (Mbox.Entity.Middlebox id))
               { Mbox.Label_table.src = flow.Netpkt.Flow.src; label = l }
               ~actions ~next:(Some y.Mbox.Middlebox.addr) ~final_dst:None
           | _ -> ());
@@ -450,9 +577,11 @@ and mbox_process w id pkt ~born =
         | Some l, true ->
           Mbox.Label_table.insert w.mbox_labels.(id)
             ~now:(Dess.Engine.now w.engine)
+            ~version:(installed_version w (Mbox.Entity.Middlebox id))
             { Mbox.Label_table.src = flow.Netpkt.Flow.src; label = l }
             ~actions ~next:None ~final_dst:(Some flow.Netpkt.Flow.dst);
           send_control w ~from_router:mb.Mbox.Middlebox.router
+            ~sender:(dev_of_mbox w id)
             (Control { dst = proxy_addr; flow })
         | _ -> ());
         send w ~from_router:mb.Mbox.Middlebox.router (Data (inner, born))))
@@ -481,6 +610,7 @@ and mbox_process w id pkt ~born =
          with
         | Some p ->
           send_control w ~from_router:mb.Mbox.Middlebox.router
+            ~sender:(dev_of_mbox w id)
             (Teardown { dst = p.Mbox.Proxy.addr; label = l })
         | None -> () (* orphaned source: nothing to notify *))
       | Some entry ->
@@ -519,9 +649,9 @@ let proxy_emit w (fs : Workload.flow_spec) =
   let payload_bytes = max 0 (fs.Workload.packet_bytes - Netpkt.Header.size) in
   let plain = Netpkt.Packet.plain header ~payload_bytes in
   let entity = Mbox.Entity.Proxy proxy_id in
-  let tunnel_first ~rule ~label =
+  let tunnel_first ~rule ~label ~admitted =
     let nf = List.hd rule.Policy.Rule.actions in
-    match controller_next_hop w entity ~rule ~nf flow with
+    match controller_next_hop w ~admitted entity ~rule ~nf flow with
     | Error `No_live_candidate ->
       (* Nowhere alive to start the chain: degrade gracefully by
          dropping the packet instead of aborting the run. *)
@@ -544,14 +674,15 @@ let proxy_emit w (fs : Workload.flow_spec) =
   | Some { actions = Some a; _ } when Policy.Action.is_permit a ->
     w.counters.cache_hits <- w.counters.cache_hits + 1;
     send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now))
-  | Some ({ actions = Some _; rule_id; label; _ } as entry) ->
+  | Some ({ actions = Some _; rule_id; label; cfg_version; _ } as entry) ->
     w.counters.cache_hits <- w.counters.cache_hits + 1;
+    note_traffic w fs ~rule_id;
     let rule = Hashtbl.find w.rule_by_id rule_id in
     if entry.Policy.Flow_cache.ls_ready && w.cfg.label_switching then begin
       (* Established label-switched path: embed the label, address the
          packet straight to the first middlebox, no outer header. *)
       let nf = List.hd rule.Policy.Rule.actions in
-      match controller_next_hop w entity ~rule ~nf flow with
+      match controller_next_hop w ~admitted:cfg_version entity ~rule ~nf flow with
       | Error `No_live_candidate ->
         w.counters.dropped <- w.counters.dropped + 1;
         policy_violation w
@@ -564,7 +695,7 @@ let proxy_emit w (fs : Workload.flow_spec) =
         send w ~from_router:proxy.Mbox.Proxy.router
           (Data ({ plain with Netpkt.Packet.header }, now))
     end
-    else tunnel_first ~rule ~label
+    else tunnel_first ~rule ~label ~admitted:cfg_version
   | Some { actions = None; _ } ->
     w.counters.cache_negative_hits <- w.counters.cache_negative_hits + 1;
     send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now))
@@ -589,10 +720,12 @@ let proxy_emit w (fs : Workload.flow_spec) =
         end
         else None
       in
+      note_traffic w fs ~rule_id:rule.Policy.Rule.id;
+      let admitted = installed_version w entity in
       ignore
         (Policy.Flow_cache.insert cache ~now flow ~rule_id:rule.Policy.Rule.id
-           ~actions:rule.Policy.Rule.actions ?label ());
-      tunnel_first ~rule ~label)
+           ~actions:rule.Policy.Rule.actions ?label ~cfg_version:admitted ());
+      tunnel_first ~rule ~label ~admitted)
 
 (* ---- Fault-schedule execution ----------------------------------- *)
 
@@ -635,10 +768,189 @@ let apply_fault w f what =
       refresh_tables w s
     | None -> assert false)
 
+(* ---- Live control plane ----------------------------------------- *)
+
+(* Hop count from the controller's attachment router to a device,
+   walking the *current* routing tables (so a partition shows up as
+   None, and a reconverged detour is priced at its real length).
+   Control traffic rides shortest paths even under ECMP — per-packet
+   spraying buys nothing for a unicast config push. *)
+let route_hops w ~from ~target =
+  if from = target then Some 0
+  else begin
+    let n = Array.length w.tables in
+    let rec go r acc =
+      if r = target then Some acc
+      else if acc > n then None (* routing loop guard *)
+      else
+        match Netgraph.Routing.next_hop w.tables.(r) target with
+        | None -> None
+        | Some h -> go h (acc + 1)
+    in
+    go from 0
+  end
+
+(* A device installs a configuration version: monotone, idempotent
+   (duplicate deliveries from retried pushes are harmless).  The
+   config store survives crashes — unlike the soft flow state — so a
+   recovering box resumes from whatever version it last installed.
+   On install, a middlebox purges label entries more than one version
+   old: only the adjacent version stays staged, which is exactly the
+   mix Verify.check_mixed certified before the push went out. *)
+let install_config w ls ~dev ~version =
+  if version > ls.device_version.(dev) then begin
+    ls.device_version.(dev) <- version;
+    match dev_entity w dev with
+    | Mbox.Entity.Middlebox id ->
+      ignore
+        (Mbox.Label_table.purge_versions_below w.mbox_labels.(id)
+           ~version:(version - 1))
+    | Mbox.Entity.Proxy _ -> ()
+  end
+
+(* Push one version to one device: per-device ack/retry with
+   exponential backoff over the lossy control channel.  Like the label
+   control machinery, the retransmission timer is modelled as firing
+   only when a transmission (config or ack leg) was actually lost —
+   receivers are idempotent, so suppressing the redundant duplicates a
+   real timer would also generate is observationally equivalent.  A
+   chain whose version has been superseded, or whose device has
+   meanwhile acked, dies silently; the reconciliation loop is the
+   backstop once retries are exhausted. *)
+let rec push_config w ls ~dev ~version ~attempt =
+  if version = ls.latest && ls.device_acked.(dev) < version then begin
+    let entity = dev_entity w dev in
+    let target = Sdm.Deployment.entity_router w.dep entity in
+    match route_hops w ~from:ls.ctrl_router ~target with
+    | None ->
+      (* The controller is partitioned from the device: no retry timer
+         helps until routing heals.  The device keeps its last-known-
+         good configuration; reconciliation re-pushes later. *)
+      w.counters.cfg_degraded <- w.counters.cfg_degraded + 1
+    | Some h ->
+      w.counters.cfg_pushes <- w.counters.cfg_pushes + 1;
+      w.counters.cfg_bytes <-
+        w.counters.cfg_bytes
+        + Controlplane.entity_bytes ls.configs.(version) entity;
+      let one_way = float_of_int (h + 1) *. w.cfg.link_delay in
+      let retry () =
+        if attempt < ls.lcfg.push_max_retries then begin
+          w.entity_ctrl_retries.(dev) <- w.entity_ctrl_retries.(dev) + 1;
+          let delay = ls.lcfg.push_backoff *. (2.0 ** float_of_int attempt) in
+          ignore
+            (Dess.Engine.schedule w.engine ~delay (fun _ ->
+                 push_config w ls ~dev ~version ~attempt:(attempt + 1)))
+        end
+      in
+      let fwd_lost = control_loss_draw w in
+      let target_down =
+        match entity with
+        | Mbox.Entity.Middlebox id -> mbox_is_down w id
+        | Mbox.Entity.Proxy _ -> false
+      in
+      if fwd_lost || target_down then begin
+        w.counters.cfg_lost <- w.counters.cfg_lost + 1;
+        w.entity_ctrl_lost.(dev) <- w.entity_ctrl_lost.(dev) + 1;
+        retry ()
+      end
+      else begin
+        ignore
+          (Dess.Engine.schedule w.engine ~delay:one_way (fun _ ->
+               install_config w ls ~dev ~version));
+        let ack_lost = control_loss_draw w in
+        if ack_lost then begin
+          w.counters.cfg_lost <- w.counters.cfg_lost + 1;
+          w.entity_ctrl_lost.(dev) <- w.entity_ctrl_lost.(dev) + 1;
+          retry ()
+        end
+        else
+          ignore
+            (Dess.Engine.schedule w.engine ~delay:(2.0 *. one_way) (fun _ ->
+                 if version > ls.device_acked.(dev) then begin
+                   ls.device_acked.(dev) <- version;
+                   w.counters.cfg_acks <- w.counters.cfg_acks + 1
+                 end))
+      end
+  end
+
+(* Re-optimize from what the run has measured: rebuild candidate sets
+   around the believed-failed boxes, re-solve the LP over the in-run
+   traffic matrix, and publish the result as a new version — but only
+   after Verify certifies both the new configuration alone and every
+   reachable mix with the still-installed previous version.  A failed
+   solve or a verification veto keeps the last-known-good
+   configuration (graceful degradation, counted). *)
+let reoptimize w ls =
+  let now = Dess.Engine.now w.engine in
+  let failed =
+    match w.fault with
+    | Some f -> Fault.Detector.believed_failed f.detector ~now
+    | None -> []
+  in
+  let current = ls.configs.(ls.latest) in
+  match Sdm.Controller.reoptimize current ~failed ~traffic:ls.meas () with
+  | Error _ -> w.counters.cfg_degraded <- w.counters.cfg_degraded + 1
+  | Ok next -> (
+    match
+      match Sdm.Verify.check next with
+      | Error _ as e -> e
+      | Ok () -> Sdm.Verify.check_mixed current next
+    with
+    | Error _ -> w.counters.cfg_degraded <- w.counters.cfg_degraded + 1
+    | Ok () ->
+      ls.configs <- Array.append ls.configs [| next |];
+      ls.latest <- ls.latest + 1;
+      w.counters.reopts <- w.counters.reopts + 1;
+      for dev = 0 to n_devices w - 1 do
+        push_config w ls ~dev ~version:ls.latest ~attempt:0
+      done)
+
+(* The reconciliation loop: periodically re-push the latest version to
+   every device whose ack is missing, however its retry chain died
+   (loss burst, crash window, partition).  Keeps ticking through the
+   traffic window and until every device has acked, with a generous
+   round cap as the safety valve against a permanently partitioned
+   device. *)
+let rec reconcile w ls =
+  ls.reconcile_rounds <- ls.reconcile_rounds + 1;
+  let stale = ref false in
+  Array.iteri
+    (fun dev acked ->
+      if acked < ls.latest then begin
+        stale := true;
+        push_config w ls ~dev ~version:ls.latest ~attempt:0
+      end)
+    ls.device_acked;
+  let now = Dess.Engine.now w.engine in
+  if (!stale || now < ls.horizon) && ls.reconcile_rounds < 10_000 then
+    ignore
+      (Dess.Engine.schedule w.engine ~delay:ls.lcfg.reconcile_interval
+         (fun _ -> reconcile w ls))
+
 let run ?(config = default_config) ~controller ~workload () =
   let dep = controller.Sdm.Controller.deployment in
   let n_proxies = Array.length dep.Sdm.Deployment.proxies in
   let n_mboxes = Array.length dep.Sdm.Deployment.middleboxes in
+  (* Reject a schedule that does not fit this deployment up front,
+     instead of letting it silently no-op or blow up mid-run. *)
+  (match config.faults with
+  | None -> ()
+  | Some schedule -> (
+    let g = dep.Sdm.Deployment.topo.Netgraph.Topology.graph in
+    match
+      Fault.Schedule.validate ~n_mboxes
+        ~link_exists:(fun u v -> Netgraph.Graph.has_edge g u v)
+        schedule
+    with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Pktsim.run: invalid fault schedule: " ^ e)));
+  (match config.live with
+  | None -> ()
+  | Some l ->
+    if
+      l.epoch_interval <= 0.0 || l.reconcile_interval <= 0.0
+      || l.push_backoff <= 0.0 || l.push_max_retries < 0
+    then invalid_arg "Pktsim.run: invalid live-control-plane config");
   let engine = Dess.Engine.create () in
   let mbox_index = Hashtbl.create 64 in
   Array.iter
@@ -710,7 +1022,15 @@ let run ?(config = default_config) ~controller ~workload () =
           retries = 0;
           ctrl_lost = 0;
           last_violation = 0.0;
+          cfg_pushes = 0;
+          cfg_acks = 0;
+          cfg_lost = 0;
+          cfg_bytes = 0;
+          reopts = 0;
+          cfg_degraded = 0;
         };
+      entity_ctrl_retries = Array.make (n_proxies + n_mboxes) 0;
+      entity_ctrl_lost = Array.make (n_proxies + n_mboxes) 0;
       latencies = Stdx.Fvec.create ();
       busy_until = Array.make n_mboxes 0.0;
       loads = Array.make n_mboxes 0.0;
@@ -734,6 +1054,25 @@ let run ?(config = default_config) ~controller ~workload () =
       mbox_index;
       rule_by_id;
       fault;
+      live =
+        (match config.live with
+        | None -> None
+        | Some lcfg ->
+          Some
+            {
+              lcfg;
+              ctrl_router =
+                (match lcfg.controller_router with
+                | Some r -> r
+                | None -> Controlplane.default_router dep);
+              configs = [| controller |];
+              latest = 0;
+              device_version = Array.make (n_proxies + n_mboxes) 0;
+              device_acked = Array.make (n_proxies + n_mboxes) 0;
+              meas = Sdm.Measurement.create ();
+              horizon = 0.0;
+              reconcile_rounds = 0;
+            });
     }
   in
   (* Schedule the fault events before the traffic so that a fault tied
@@ -746,14 +1085,32 @@ let run ?(config = default_config) ~controller ~workload () =
       (fun { Fault.Schedule.at; what } ->
         ignore
           (Dess.Engine.schedule_at w.engine ~time:at (fun _ ->
-               apply_fault w f what)))
+               apply_fault w f what));
+        (* The live controller reacts to middlebox transitions as soon
+           as its detector reports them — one detection delay after
+           the ground-truth event. *)
+        match (what, w.live) with
+        | (Fault.Schedule.Mbox_crash _ | Fault.Schedule.Mbox_recover _), Some ls
+          ->
+          ignore
+            (Dess.Engine.schedule_at w.engine
+               ~time:(at +. config.detection_delay) (fun _ ->
+                 reoptimize w ls))
+        | _, _ -> ())
       f.schedule.Fault.Schedule.events);
   (* Inject flows: first packet at a jittered start, each subsequent
      packet scheduled by its predecessor (keeps the heap small). *)
   let rng = Stdx.Rng.create config.seed in
+  let horizon = ref 0.0 in
   Array.iter
     (fun (fs : Workload.flow_spec) ->
       let start = Stdx.Rng.float rng config.start_window in
+      let last =
+        start
+        +. (float_of_int (Stdlib.max 0 (fs.Workload.packets - 1))
+            *. config.packet_interval)
+      in
+      if last > !horizon then horizon := last;
       let rec packet_at i =
         if i < fs.Workload.packets then
           ignore
@@ -766,6 +1123,27 @@ let run ?(config = default_config) ~controller ~workload () =
       in
       packet_at 0)
     workload.Workload.flows;
+  (* Arm the live control plane: epoch re-optimizations across the
+     traffic window, and the reconciliation heartbeat. *)
+  (match w.live with
+  | None -> ()
+  | Some ls ->
+    ls.horizon <- !horizon;
+    let rec epochs k =
+      let t = float_of_int k *. ls.lcfg.epoch_interval in
+      if t <= ls.horizon then begin
+        ignore
+          (Dess.Engine.schedule_at w.engine ~time:t (fun _ ->
+               (* Nothing measured yet means nothing to re-optimize
+                  from; failure reactions have their own trigger. *)
+               if Sdm.Measurement.total ls.meas > 0.0 then reoptimize w ls));
+        epochs (k + 1)
+      end
+    in
+    epochs 1;
+    ignore
+      (Dess.Engine.schedule_at w.engine ~time:ls.lcfg.reconcile_interval
+         (fun _ -> reconcile w ls)));
   Dess.Engine.run engine;
   let latency_mean, latency_p50, latency_p99 =
     let n = Stdx.Fvec.length w.latencies in
@@ -819,4 +1197,25 @@ let run ?(config = default_config) ~controller ~workload () =
     control_retries = w.counters.retries;
     control_lost = w.counters.ctrl_lost;
     last_violation_time = w.counters.last_violation;
+    config_pushes = w.counters.cfg_pushes;
+    config_acks = w.counters.cfg_acks;
+    config_lost = w.counters.cfg_lost;
+    config_bytes = w.counters.cfg_bytes;
+    reoptimizations = w.counters.reopts;
+    config_degraded = w.counters.cfg_degraded;
+    final_config_version =
+      (match w.live with None -> 0 | Some ls -> ls.latest);
+    stale_devices =
+      (match w.live with
+      | None -> 0
+      | Some ls ->
+        Array.fold_left
+          (fun acc v -> if v < ls.latest then acc + 1 else acc)
+          0 ls.device_version);
+    entity_control_retries = w.entity_ctrl_retries;
+    entity_control_lost = w.entity_ctrl_lost;
+    entity_config_version =
+      (match w.live with
+      | None -> Array.make (n_proxies + n_mboxes) 0
+      | Some ls -> Array.copy ls.device_version);
   }

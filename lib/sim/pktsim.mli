@@ -29,6 +29,48 @@ type table_source =
   | Distributed_ospf (** tables from link-state flooding ([Ospf.Protocol]) *)
   | Distributed_dvr  (** tables from distance-vector exchange ([Dvr.Protocol]) *)
 
+(** Live control plane (Sec. III.A-III.C run in-line).
+
+    When {!config.live} is set, the controller becomes a simulated
+    entity at an attachment router: at epoch boundaries it re-solves
+    the placement from the traffic volumes measured since the run
+    began, and one detection delay after every middlebox transition it
+    re-optimizes around the believed-failed set.  Each published
+    configuration carries a monotonically increasing {e version} and
+    is pushed hop-by-hop to every proxy and middlebox over the lossy
+    control channel, with per-device acknowledgement and
+    exponential-backoff retries, a periodic reconciliation loop that
+    re-pushes to devices stuck on stale versions, and graceful
+    degradation to the last-known-good configuration when the
+    controller is partitioned from a device or the new configuration
+    fails verification.
+
+    Mixed-version safety: a new version is published only after
+    {!Sdm.Verify.check_mixed} certifies every reachable mix of the two
+    adjacent versions.  Devices stage at most {installed-1, installed};
+    flows stay sticky to the version that admitted them (clamped into
+    the staged window), and label-table entries more than one version
+    old are purged on install, so an in-flight flow crossing an update
+    boundary re-establishes its path instead of stranding. *)
+type live_config = {
+  epoch_interval : float;
+      (** period of measurement-driven re-optimizations (default 25.0);
+          epochs are scheduled across the traffic window *)
+  reconcile_interval : float;
+      (** period of the re-push loop for stale devices (default 5.0) *)
+  push_backoff : float;
+      (** initial retry delay of a config push; doubles per attempt
+          (default 2.0) *)
+  push_max_retries : int;
+      (** retries per push chain before the reconciliation loop
+          becomes the backstop (default 6) *)
+  controller_router : int option;
+      (** attachment router; default first gateway, else first core
+          (same convention as {!Controlplane.price}) *)
+}
+
+val default_live : live_config
+
 type config = {
   label_switching : bool; (** default true *)
   mtu : int;              (** default 1500 *)
@@ -95,6 +137,10 @@ type config = {
   ctrl_max_retries : int;
       (** retransmissions after the initial attempt before the sender
           gives up (receivers are idempotent).  Default 3. *)
+  live : live_config option;
+      (** in-run reconfiguration.  [None] (the default) keeps the
+          configuration static for the whole run — bit-identical to a
+          build without the live control plane. *)
 }
 
 val default_config : config
@@ -138,6 +184,32 @@ type stats = {
       (** simulated time of the last policy violation (0.0 if none) —
           [last_violation_time - crash time] is ABL-CHAOS's recovery
           time *)
+  (* Live control plane — all zero (and all-zero arrays) when
+     [config.live = None]. *)
+  config_pushes : int;
+      (** config-push transmissions sent, retries included *)
+  config_acks : int;  (** install acknowledgements the controller received *)
+  config_lost : int;  (** config/ack transmissions lost to [control_loss] *)
+  config_bytes : int;
+      (** configuration bytes put on the wire ({!Controlplane}'s byte
+          model, priced per transmission) *)
+  reoptimizations : int; (** configuration versions published *)
+  config_degraded : int;
+      (** degradations to last-known-good: re-optimizations vetoed by
+          the verifier or the LP, and pushes skipped because the
+          controller was partitioned from the device *)
+  final_config_version : int; (** highest version published *)
+  stale_devices : int;
+      (** devices still below the final version when the run ended *)
+  entity_control_retries : int array;
+      (** per-device control retransmissions (proxies first, then
+          middleboxes): label control attributed to the sending
+          middlebox, config pushes to the target device *)
+  entity_control_lost : int array;
+      (** per-device control transmissions lost, same attribution *)
+  entity_config_version : int array;
+      (** per-device installed version at run end — the lag behind
+          [final_config_version] attributes update stalls *)
 }
 
 val run :

@@ -167,6 +167,66 @@ let pp_chaos_ablation ppf (c : Experiment.chaos_report) =
         (millions r.Experiment.chaos_max_surviving))
     c.Experiment.chaos_rows
 
+let pp_live_ablation ppf (l : Experiment.live_report) =
+  Format.fprintf ppf
+    "=== ABL-LIVE: live reconfiguration, control-loss sweep (campus) ===@.";
+  Format.fprintf ppf
+    "epoch %.1f, reconcile %.1f; stale HP max %s, clairvoyant LB max %s@."
+    l.Experiment.live_epoch l.Experiment.live_reconcile
+    (millions l.Experiment.live_stale_max)
+    (millions l.Experiment.live_clairvoyant_max);
+  Format.fprintf ppf "%8s %9s %10s %10s %9s %7s %6s %5s %9s %6s %10s@." "loss"
+    "injected" "delivered" "violating" "versions" "pushes" "acks" "lost"
+    "degraded" "stale" "max load";
+  List.iter
+    (fun (r : Experiment.live_row) ->
+      Format.fprintf ppf "%7.0f%% %9d %10d %10d %9d %7d %6d %5d %9d %6d %10s@."
+        (100.0 *. r.Experiment.live_loss)
+        r.Experiment.live_injected r.Experiment.live_delivered
+        r.Experiment.live_violations r.Experiment.live_versions
+        r.Experiment.live_pushes r.Experiment.live_acks r.Experiment.live_lost
+        r.Experiment.live_degraded r.Experiment.live_stale
+        (millions r.Experiment.live_max_load))
+    l.Experiment.live_rows;
+  Format.fprintf ppf "@.per device (lossiest row):@.";
+  Format.fprintf ppf "%-10s %8s %5s %8s %5s@." "device" "version" "lag"
+    "retries" "lost";
+  List.iter
+    (fun (d : Experiment.live_device) ->
+      Format.fprintf ppf "%-10s %8d %5d %8d %5d@." d.Experiment.dev_name
+        d.Experiment.dev_version d.Experiment.dev_lag d.Experiment.dev_retries
+        d.Experiment.dev_lost)
+    l.Experiment.live_devices
+
+let live_csv (l : Experiment.live_report) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "loss,injected,delivered,violating,versions,pushes,acks,lost,degraded,stale,bytes,max_load\n";
+  List.iter
+    (fun (r : Experiment.live_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n"
+           r.Experiment.live_loss r.Experiment.live_injected
+           r.Experiment.live_delivered r.Experiment.live_violations
+           r.Experiment.live_versions r.Experiment.live_pushes
+           r.Experiment.live_acks r.Experiment.live_lost
+           r.Experiment.live_degraded r.Experiment.live_stale
+           r.Experiment.live_bytes r.Experiment.live_max_load))
+    l.Experiment.live_rows;
+  Buffer.contents buf
+
+let live_devices_csv (l : Experiment.live_report) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "device,version,lag,retries,lost\n";
+  List.iter
+    (fun (d : Experiment.live_device) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%d,%d\n" d.Experiment.dev_name
+           d.Experiment.dev_version d.Experiment.dev_lag d.Experiment.dev_retries
+           d.Experiment.dev_lost))
+    l.Experiment.live_devices;
+  Buffer.contents buf
+
 let pp_sketch_ablation ppf points =
   Format.fprintf ppf
     "=== Ablation: Count-Min sketched measurement vs exact (campus) ===@.";

@@ -22,6 +22,8 @@ val pp_failure_ablation : Format.formatter -> Experiment.failure_report -> unit
 
 val pp_chaos_ablation : Format.formatter -> Experiment.chaos_report -> unit
 
+val pp_live_ablation : Format.formatter -> Experiment.live_report -> unit
+
 val pp_sketch_ablation : Format.formatter -> Experiment.sketch_point list -> unit
 
 val pp_epochs : Format.formatter -> Epochsim.epoch_metrics list -> unit
@@ -39,3 +41,11 @@ val figure_csv : Experiment.figure -> string
 
 val table3_csv : Experiment.table3_row list -> string
 (** Header [nf,hp_max,hp_min,rand_max,rand_min,lb_max,lb_min]. *)
+
+val live_csv : Experiment.live_report -> string
+(** One row per control-loss point of ABL-LIVE; header
+    [loss,injected,delivered,violating,versions,pushes,acks,lost,degraded,stale,bytes,max_load]. *)
+
+val live_devices_csv : Experiment.live_report -> string
+(** Per-device view of ABL-LIVE's lossiest row; header
+    [device,version,lag,retries,lost]. *)

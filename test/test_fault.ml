@@ -52,6 +52,74 @@ let test_schedule_validation () =
   Alcotest.(check bool) "crash is not a link event" false
     (Fault.Schedule.has_link_events (Fault.Schedule.make [ crash ]))
 
+let test_schedule_deployment_validation () =
+  (* A toy deployment: 3 middleboxes, links 0-1 and 1-2 only. *)
+  let link_exists u v =
+    match if u <= v then (u, v) else (v, u) with
+    | 0, 1 | 1, 2 -> true
+    | _ -> false
+  in
+  let validate events =
+    Fault.Schedule.validate ~n_mboxes:3 ~link_exists
+      (Fault.Schedule.make events)
+  in
+  let expect_ok label events =
+    match validate events with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s rejected: %s" label e
+  in
+  let expect_err label events =
+    match validate events with
+    | Ok () -> Alcotest.failf "%s accepted" label
+    | Error _ -> ()
+  in
+  expect_ok "empty schedule" [];
+  expect_ok "crash, recover, crash again"
+    Fault.Schedule.
+      [
+        { at = 1.0; what = Mbox_crash 2 };
+        { at = 2.0; what = Mbox_recover 2 };
+        { at = 3.0; what = Mbox_crash 2 };
+      ];
+  expect_ok "link flap, either endpoint order"
+    Fault.Schedule.
+      [
+        { at = 1.0; what = Link_fail (0, 1) };
+        { at = 2.0; what = Link_restore (1, 0) };
+      ];
+  expect_err "unknown middlebox id"
+    Fault.Schedule.[ { at = 1.0; what = Mbox_crash 3 } ];
+  expect_err "negative middlebox id"
+    Fault.Schedule.[ { at = 1.0; what = Mbox_recover (-1) } ];
+  expect_err "unknown link" Fault.Schedule.[ { at = 1.0; what = Link_fail (0, 2) } ];
+  expect_err "recover without crash"
+    Fault.Schedule.[ { at = 1.0; what = Mbox_recover 1 } ];
+  expect_err "restore without failure"
+    Fault.Schedule.[ { at = 1.0; what = Link_restore (0, 1) } ];
+  expect_err "double crash"
+    Fault.Schedule.
+      [
+        { at = 1.0; what = Mbox_crash 0 };
+        { at = 2.0; what = Mbox_crash 0 };
+      ];
+  expect_err "double link failure"
+    Fault.Schedule.
+      [
+        { at = 1.0; what = Link_fail (0, 1) };
+        { at = 2.0; what = Link_fail (1, 0) };
+      ];
+  (* The error message names the offending event and its time. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  match validate Fault.Schedule.[ { at = 4.0; what = Mbox_recover 1 } ] with
+  | Error e ->
+    Alcotest.(check bool) "message mentions the event" true
+      (contains e "t=4" && contains e "no preceding crash")
+  | Ok () -> Alcotest.fail "recover without crash accepted"
+
 (* --- Detector ----------------------------------------------------------- *)
 
 let test_detector_delay_window () =
@@ -78,6 +146,22 @@ let test_detector_delay_window () =
     (Fault.Detector.believed_alive d ~now:34.9 1);
   Alcotest.(check bool) "believed again after the window" true
     (Fault.Detector.believed_alive d ~now:35.0 1)
+
+let test_detector_believed_failed () =
+  let d = Fault.Detector.create ~n:4 ~delay:5.0 in
+  Alcotest.(check (list int)) "all believed alive" []
+    (Fault.Detector.believed_failed d ~now:0.0);
+  Fault.Detector.crash d ~now:10.0 2;
+  Fault.Detector.crash d ~now:10.0 0;
+  Alcotest.(check (list int)) "within the window: still none" []
+    (Fault.Detector.believed_failed d ~now:12.0);
+  Alcotest.(check (list int)) "after the window: ascending ids" [ 0; 2 ]
+    (Fault.Detector.believed_failed d ~now:15.0);
+  Fault.Detector.recover d ~now:20.0 0;
+  Alcotest.(check (list int)) "recovery also takes delay to notice" [ 0; 2 ]
+    (Fault.Detector.believed_failed d ~now:24.0);
+  Alcotest.(check (list int)) "recovered box drops off" [ 2 ]
+    (Fault.Detector.believed_failed d ~now:25.0)
 
 let test_detector_zero_delay () =
   let d = Fault.Detector.create ~n:1 ~delay:0.0 in
@@ -108,7 +192,11 @@ let suite =
   [
     Alcotest.test_case "schedule sorts events" `Quick test_schedule_sorts_events;
     Alcotest.test_case "schedule validation" `Quick test_schedule_validation;
+    Alcotest.test_case "schedule deployment validation" `Quick
+      test_schedule_deployment_validation;
     Alcotest.test_case "detector delay window" `Quick test_detector_delay_window;
+    Alcotest.test_case "detector believed failed" `Quick
+      test_detector_believed_failed;
     Alcotest.test_case "detector zero delay" `Quick test_detector_zero_delay;
     Alcotest.test_case "detector misuse" `Quick test_detector_misuse;
   ]

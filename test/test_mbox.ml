@@ -100,6 +100,41 @@ let test_label_table_purge () =
   Alcotest.(check int) "entries older than 5 dropped" 6 dropped;
   Alcotest.(check int) "survivors" 4 (Mbox.Label_table.size t)
 
+let test_label_table_versions () =
+  let t = Mbox.Label_table.create () in
+  (* Entries carry the configuration version that installed them;
+     the default is 0 (static configuration). *)
+  Mbox.Label_table.insert t ~now:0.0 (key "10.0.0.1" 1)
+    ~actions:Policy.Action.[ FW ]
+    ~next:(Some 1) ~final_dst:None;
+  Mbox.Label_table.insert t ~now:0.0 ~version:1 (key "10.0.0.1" 2)
+    ~actions:Policy.Action.[ FW ]
+    ~next:(Some 1) ~final_dst:None;
+  Mbox.Label_table.insert t ~now:0.0 ~version:2 (key "10.0.0.1" 3)
+    ~actions:Policy.Action.[ FW ]
+    ~next:(Some 1) ~final_dst:None;
+  (match Mbox.Label_table.lookup t ~now:0.0 (key "10.0.0.1" 1) with
+  | Some e -> Alcotest.(check int) "default version" 0 e.Mbox.Label_table.version
+  | None -> Alcotest.fail "expected entry");
+  (* Installing version 2 keeps the adjacent version 1 staged and
+     expires everything older — the update-boundary semantics. *)
+  let dropped = Mbox.Label_table.purge_versions_below t ~version:1 in
+  Alcotest.(check int) "one entry below the floor" 1 dropped;
+  Alcotest.(check int) "survivors" 2 (Mbox.Label_table.size t);
+  Alcotest.(check bool) "v0 entry expired across the boundary" true
+    (Mbox.Label_table.lookup t ~now:0.0 (key "10.0.0.1" 1) = None);
+  Alcotest.(check bool) "adjacent version survives" true
+    (Mbox.Label_table.lookup t ~now:0.0 (key "10.0.0.1" 2) <> None);
+  Alcotest.(check bool) "current version survives" true
+    (Mbox.Label_table.lookup t ~now:0.0 (key "10.0.0.1" 3) <> None);
+  (* Purging below a floor no entry reaches empties the table. *)
+  Alcotest.(check int) "purge everything" 2
+    (Mbox.Label_table.purge_versions_below t ~version:10);
+  Alcotest.(check int) "empty" 0 (Mbox.Label_table.size t);
+  (* Idempotent on an empty table. *)
+  Alcotest.(check int) "nothing left to purge" 0
+    (Mbox.Label_table.purge_versions_below t ~version:10)
+
 let suite =
   [
     Alcotest.test_case "entity keys" `Quick test_entity_keys;
@@ -109,4 +144,5 @@ let suite =
     Alcotest.test_case "label table last hop" `Quick test_label_table_last_hop;
     Alcotest.test_case "label table soft state" `Quick test_label_table_soft_state;
     Alcotest.test_case "label table purge" `Quick test_label_table_purge;
+    Alcotest.test_case "label table versions" `Quick test_label_table_versions;
   ]

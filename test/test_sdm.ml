@@ -824,6 +824,138 @@ let test_verify_catches_foreign_weight () =
            (function Sdm.Verify.Foreign_weight _ -> true | _ -> false)
            vs))
 
+let test_verify_catches_unnormalized_row () =
+  let dep = campus_deployment () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:31 ~flows:3_000 () in
+  let rules = workload.Sim.Workload.rules in
+  let traffic = Sim.Workload.measure workload in
+  match Sdm.Controller.configure dep ~rules (Sdm.Controller.Load_balanced traffic) with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+    let weights =
+      match c.Sdm.Controller.strategy with
+      | Sdm.Strategy.Load_balanced w -> w
+      | _ -> Alcotest.fail "expected LB"
+    in
+    (* A rule whose chain starts with FW, so the proxy-side step of the
+       walk consults the row we poke. *)
+    let rule =
+      List.find
+        (fun r ->
+          match r.Policy.Rule.actions with
+          | f :: _ -> Policy.Action.equal_nf f Policy.Action.FW
+          | [] -> false)
+        rules
+    in
+    let entity = Mbox.Entity.Proxy 0 in
+    let members = Sdm.Candidate.get c.Sdm.Controller.candidates entity Policy.Action.FW in
+    let row vals =
+      Array.of_list
+        (List.map2 (fun (m : Mbox.Middlebox.t) v -> (m.id, v)) members vals)
+    in
+    let zeros = List.map (fun _ -> 0.0) members in
+    (* All-zero row: legal candidates, but the selector would silently
+       degrade it to closest-live fallback — the verifier must veto. *)
+    Sdm.Weights.set weights entity ~rule:rule.Policy.Rule.id ~nf:Policy.Action.FW
+      (row zeros);
+    (match Sdm.Verify.check c with
+    | Ok () -> Alcotest.fail "verifier passed an all-zero weight row"
+    | Error vs ->
+      Alcotest.(check bool) "reports unnormalized row" true
+        (List.exists
+           (function
+             | Sdm.Verify.Unnormalized_row (_, _, Policy.Action.FW, total) ->
+               total = 0.0
+             | _ -> false)
+           vs));
+    (* A non-finite weight is just as unusable. *)
+    Sdm.Weights.set weights entity ~rule:rule.Policy.Rule.id ~nf:Policy.Action.FW
+      (row (Float.nan :: List.tl zeros));
+    (match Sdm.Verify.check c with
+    | Ok () -> Alcotest.fail "verifier passed a NaN weight row"
+    | Error vs ->
+      Alcotest.(check bool) "reports non-finite row" true
+        (List.exists
+           (function Sdm.Verify.Unnormalized_row _ -> true | _ -> false)
+           vs));
+    (* Fixed: any positive volumes over the candidate set certify again
+       (rows are volumes, not probabilities — the selector normalizes). *)
+    Sdm.Weights.set weights entity ~rule:rule.Policy.Rule.id ~nf:Policy.Action.FW
+      (row (List.map (fun _ -> 2.5) members));
+    (match Sdm.Verify.check c with
+    | Ok () -> ()
+    | Error vs ->
+      Alcotest.failf "fixed row still rejected: %a" Sdm.Verify.pp_violation
+        (List.hd vs))
+
+let test_verify_check_mixed () =
+  let dep = campus_deployment () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:31 ~flows:3_000 () in
+  let rules = workload.Sim.Workload.rules in
+  let traffic = Sim.Workload.measure workload in
+  let configure kind =
+    match Sdm.Controller.configure dep ~rules kind with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let hp = configure Sdm.Controller.Hot_potato in
+  let lb = configure (Sdm.Controller.Load_balanced traffic) in
+  (* Two independently valid adjacent versions: every reachable mix of
+     their steps must certify, in either update direction. *)
+  (match Sdm.Verify.check_mixed hp lb with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "valid HP->LB mix rejected: %a" Sdm.Verify.pp_violation
+      (List.hd vs));
+  (match Sdm.Verify.check_mixed lb hp with
+  | Ok () -> ()
+  | Error vs ->
+    Alcotest.failf "valid LB->HP mix rejected: %a" Sdm.Verify.pp_violation
+      (List.hd vs));
+  (* A defect in the incoming version is caught while the outgoing one
+     is still live — the publish gate of the live control plane. *)
+  let bad = configure (Sdm.Controller.Load_balanced traffic) in
+  let weights =
+    match bad.Sdm.Controller.strategy with
+    | Sdm.Strategy.Load_balanced w -> w
+    | _ -> Alcotest.fail "expected LB"
+  in
+  let rule =
+    List.find
+      (fun r ->
+        match r.Policy.Rule.actions with
+        | f :: _ -> Policy.Action.equal_nf f Policy.Action.FW
+        | [] -> false)
+      rules
+  in
+  let members =
+    Sdm.Candidate.get bad.Sdm.Controller.candidates (Mbox.Entity.Proxy 0)
+      Policy.Action.FW
+  in
+  Sdm.Weights.set weights (Mbox.Entity.Proxy 0) ~rule:rule.Policy.Rule.id
+    ~nf:Policy.Action.FW
+    (Array.of_list (List.map (fun (m : Mbox.Middlebox.t) -> (m.id, 0.0)) members));
+  (match Sdm.Verify.check_mixed hp bad with
+  | Ok () -> Alcotest.fail "mixed check passed a defective incoming version"
+  | Error vs ->
+    Alcotest.(check bool) "reports the defect exactly once" true
+      (List.length
+         (List.filter
+            (function Sdm.Verify.Unnormalized_row _ -> true | _ -> false)
+            vs)
+      = 1));
+  (* Configurations over different rule sets are never adjacent. *)
+  let fewer =
+    match
+      Sdm.Controller.configure dep ~rules:(List.tl rules) Sdm.Controller.Hot_potato
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  match Sdm.Verify.check_mixed hp fewer with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched rule sets accepted"
+
 let test_verify_catches_duplicate_function () =
   let dep = campus_deployment () in
   let rules =
@@ -1040,6 +1172,10 @@ let suite =
       test_verify_catches_foreign_weight;
     Alcotest.test_case "verify catches duplicate functions" `Quick
       test_verify_catches_duplicate_function;
+    Alcotest.test_case "verify catches unnormalized rows" `Quick
+      test_verify_catches_unnormalized_row;
+    Alcotest.test_case "verify mixed adjacent versions" `Quick
+      test_verify_check_mixed;
     Alcotest.test_case "sketch roundtrip accuracy" `Quick test_sketch_roundtrip_accuracy;
     Alcotest.test_case "sketch one-sided error" `Quick
       test_sketch_never_underestimates_present_cells;

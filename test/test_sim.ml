@@ -1074,6 +1074,184 @@ let test_pktsim_link_loss_accounted () =
   Alcotest.(check int) "every loss accounted" s.Sim.Pktsim.injected_packets
     (s.Sim.Pktsim.delivered_packets + s.Sim.Pktsim.dropped_packets)
 
+let qcheck_pktsim_random_fault_schedules =
+  (* Chaos property: any *valid* random fault schedule — crashes,
+     recoveries, link flaps, data and control loss — preserves packet
+     conservation and never aborts the run.  Schedules are generated
+     stateful-valid (a recover needs a preceding crash, etc.), so
+     [Pktsim.run]'s validation gate accepts them; the invariants then
+     hold whatever the faults did. *)
+  QCheck.Test.make ~count:24 ~name:"pktsim conservation under random faults"
+    QCheck.(make Gen.(int_range 0 1000000))
+    (fun seed ->
+      let rng = Stdx.Rng.create (seed + 1) in
+      let dep = campus ~seed:21 () in
+      let n_mboxes = Array.length dep.Sdm.Deployment.middleboxes in
+      let topo = dep.Sdm.Deployment.topo in
+      (* Fault candidate links: gateway-core only.  Campus cores are
+         dual-homed, so one such link down keeps the graph connected. *)
+      let links =
+        List.concat_map
+          (fun gw ->
+            List.filter_map
+              (fun { Netgraph.Graph.dst; _ } ->
+                match Netgraph.Topology.role topo dst with
+                | Netgraph.Topology.Core -> Some (gw, dst)
+                | _ -> None)
+              (Netgraph.Graph.neighbors topo.Netgraph.Topology.graph gw))
+          (Netgraph.Topology.gateways topo)
+        |> Array.of_list
+      in
+      let mbox_down = Array.make n_mboxes false in
+      let link_down = ref None in
+      let events = ref [] in
+      let t = ref 0.0 in
+      for _ = 1 to 1 + Stdx.Rng.int rng 6 do
+        t := !t +. 1.0 +. Stdx.Rng.float rng 25.0;
+        let up_boxes =
+          List.filter (fun i -> not mbox_down.(i)) (List.init n_mboxes Fun.id)
+        in
+        let down_boxes =
+          List.filter (fun i -> mbox_down.(i)) (List.init n_mboxes Fun.id)
+        in
+        let choices =
+          (if up_boxes <> [] then [ `Crash ] else [])
+          @ (if down_boxes <> [] then [ `Recover ] else [])
+          @ (match !link_down with
+            | None when Array.length links > 0 -> [ `Link_fail ]
+            | Some _ -> [ `Link_restore ]
+            | None -> [])
+        in
+        let what =
+          match Stdx.Rng.choose rng (Array.of_list choices) with
+          | `Crash ->
+            let id = List.nth up_boxes (Stdx.Rng.int rng (List.length up_boxes)) in
+            mbox_down.(id) <- true;
+            Fault.Schedule.Mbox_crash id
+          | `Recover ->
+            let id =
+              List.nth down_boxes (Stdx.Rng.int rng (List.length down_boxes))
+            in
+            mbox_down.(id) <- false;
+            Fault.Schedule.Mbox_recover id
+          | `Link_fail ->
+            let u, v = links.(Stdx.Rng.int rng (Array.length links)) in
+            link_down := Some (u, v);
+            Fault.Schedule.Link_fail (u, v)
+          | `Link_restore ->
+            let u, v = Option.get !link_down in
+            link_down := None;
+            Fault.Schedule.Link_restore (u, v)
+        in
+        events := { Fault.Schedule.at = !t; what } :: !events
+      done;
+      let schedule =
+        Fault.Schedule.make
+          ~link_loss:(Stdx.Rng.float rng 0.05)
+          ~control_loss:(Stdx.Rng.float rng 0.3)
+          ~loss_seed:(seed + 7) (List.rev !events)
+      in
+      let controller, workload = small_pkt_setup ~flows:60 ~seed:21 () in
+      let config =
+        {
+          pkt_config with
+          faults = Some schedule;
+          detection_delay = 1.0 +. Stdx.Rng.float rng 20.0;
+        }
+      in
+      let s = Sim.Pktsim.run ~config ~controller ~workload () in
+      let again = Sim.Pktsim.run ~config ~controller ~workload () in
+      (* Conservation: everything injected is delivered or counted
+         dropped; violations and fault losses are within the drops. *)
+      s.Sim.Pktsim.injected_packets
+      = s.Sim.Pktsim.delivered_packets + s.Sim.Pktsim.dropped_packets
+      && s.Sim.Pktsim.injected_packets = workload.Sim.Workload.total_packets
+      && s.Sim.Pktsim.fault_dropped <= s.Sim.Pktsim.dropped_packets
+      && s.Sim.Pktsim.policy_violations <= s.Sim.Pktsim.dropped_packets
+      (* Replaying the same schedule is bit-identical. *)
+      && { again with Sim.Pktsim.loads = [||] } = { s with Sim.Pktsim.loads = [||] }
+      && again.Sim.Pktsim.loads = s.Sim.Pktsim.loads)
+
+let test_pktsim_live_convergence () =
+  (* The live control plane under a 10%-lossy control channel: start
+     from hot-potato, let epoch re-optimizations publish versions, and
+     require full convergence — every device on the final version, no
+     stale stragglers — with zero mixed-version policy violations. *)
+  let controller, workload = small_pkt_setup ~strategy:`Hp ~flows:120 () in
+  let probe = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let live =
+    {
+      Sim.Pktsim.default_live with
+      epoch_interval = probe.Sim.Pktsim.sim_time /. 4.0;
+      reconcile_interval = probe.Sim.Pktsim.sim_time /. 16.0;
+    }
+  in
+  let schedule = Fault.Schedule.make ~control_loss:0.10 ~loss_seed:5 [] in
+  let config = { pkt_config with faults = Some schedule; live = Some live } in
+  let s = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "versions were published" true
+    (s.Sim.Pktsim.final_config_version > 0);
+  Alcotest.(check int) "reoptimizations = versions"
+    s.Sim.Pktsim.final_config_version s.Sim.Pktsim.reoptimizations;
+  Alcotest.(check bool) "loss actually hit the config channel" true
+    (s.Sim.Pktsim.config_lost > 0);
+  Alcotest.(check bool) "retries carried the pushes through" true
+    (s.Sim.Pktsim.config_pushes > s.Sim.Pktsim.config_acks);
+  Alcotest.(check int) "no stale devices" 0 s.Sim.Pktsim.stale_devices;
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int)
+        (Printf.sprintf "device %d at final version" i)
+        s.Sim.Pktsim.final_config_version v)
+    s.Sim.Pktsim.entity_config_version;
+  Alcotest.(check int) "zero version-mixing violations" 0
+    s.Sim.Pktsim.policy_violations;
+  Alcotest.(check int) "conservation across update churn"
+    s.Sim.Pktsim.injected_packets
+    (s.Sim.Pktsim.delivered_packets + s.Sim.Pktsim.dropped_packets);
+  (* Per-entity attribution arrays cover every managed device and stay
+     consistent with the run-level counter. *)
+  let n =
+    Array.length (campus ~seed:21 ()).Sdm.Deployment.proxies
+    + Array.length (campus ~seed:21 ()).Sdm.Deployment.middleboxes
+  in
+  Alcotest.(check int) "entity array size" n
+    (Array.length s.Sim.Pktsim.entity_config_version);
+  Alcotest.(check int) "per-entity losses sum to the run total"
+    (s.Sim.Pktsim.config_lost + s.Sim.Pktsim.control_lost)
+    (Array.fold_left ( + ) 0 s.Sim.Pktsim.entity_control_lost);
+  (* Same seed, same loss draws: the live loop replays bit-identically. *)
+  let again = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "deterministic replay" true
+    ({ again with Sim.Pktsim.loads = [||] } = { s with Sim.Pktsim.loads = [||] }
+    && again.Sim.Pktsim.loads = s.Sim.Pktsim.loads)
+
+let test_pktsim_rejects_invalid_schedule () =
+  (* The validation gate at configuration time: schedules referencing
+     unknown middleboxes or links, or replaying impossible sequences,
+     are rejected before the run starts. *)
+  let controller, workload = small_pkt_setup ~flows:10 () in
+  let expect_invalid label events =
+    let config =
+      { pkt_config with faults = Some (Fault.Schedule.make events) }
+    in
+    match Sim.Pktsim.run ~config ~controller ~workload () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  expect_invalid "unknown middlebox"
+    Fault.Schedule.[ { at = 1.0; what = Mbox_crash 999 } ];
+  expect_invalid "unknown link"
+    Fault.Schedule.[ { at = 1.0; what = Link_fail (0, 0) } ];
+  expect_invalid "recover without crash"
+    Fault.Schedule.[ { at = 1.0; what = Mbox_recover 0 } ];
+  expect_invalid "double crash"
+    Fault.Schedule.
+      [
+        { at = 1.0; what = Mbox_crash 0 };
+        { at = 2.0; what = Mbox_crash 0 };
+      ]
+
 let test_pktsim_empty_schedule_inert () =
   (* Arming the fault machinery with an empty schedule changes nothing:
      no events, zero loss probabilities, all boxes alive — the run is
@@ -1146,7 +1324,12 @@ let suite =
       test_pktsim_link_loss_accounted;
     Alcotest.test_case "pktsim empty fault schedule inert" `Quick
       test_pktsim_empty_schedule_inert;
+    Alcotest.test_case "pktsim rejects invalid schedules" `Quick
+      test_pktsim_rejects_invalid_schedule;
+    Alcotest.test_case "pktsim live convergence under loss" `Quick
+      test_pktsim_live_convergence;
     QCheck_alcotest.to_alcotest qcheck_pktsim_chaos;
+    QCheck_alcotest.to_alcotest qcheck_pktsim_random_fault_schedules;
     Alcotest.test_case "experiment figure (small)" `Slow test_experiment_figure_small;
     Alcotest.test_case "experiment linear growth" `Slow test_experiment_linear_growth;
     Alcotest.test_case "experiment table3 shape" `Slow test_experiment_table3_shape;
