@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --fast  # reduced scale (CI-friendly)
      dune exec bench/main.exe -- --skip-micro
      dune exec bench/main.exe -- --csv   # also write fig4/fig5/table3 CSVs
+     dune exec bench/main.exe -- --audit # chaos/live under the invariant audit
 
    Experiment index (see DESIGN.md section 4):
      FIG4   - Figure 4: max load per middlebox type vs volume, campus
@@ -23,6 +24,7 @@
 
 let fast = Array.exists (( = ) "--fast") Sys.argv
 let skip_micro = Array.exists (( = ) "--skip-micro") Sys.argv
+let audit = Array.exists (( = ) "--audit") Sys.argv
 let csv_dir = if Array.exists (( = ) "--csv") Sys.argv then Some "bench_csv" else None
 let json_out = Array.exists (( = ) "--json") Sys.argv
 
@@ -156,7 +158,8 @@ let () =
   section "ABL-CHAOS: in-run faults, detection-delay sweep";
   let abchaos =
     timed "ABL-CHAOS" (fun () ->
-        Sim.Experiment.ablation_chaos ~flows:(if fast then 300 else 800) ())
+        Sim.Experiment.ablation_chaos ~flows:(if fast then 300 else 800) ~audit
+          ())
   in
   note_events "ABL-CHAOS"
     ~events:
@@ -170,7 +173,8 @@ let () =
   section "ABL-LIVE: live reconfiguration, control-loss sweep";
   let ablive =
     timed "ABL-LIVE" (fun () ->
-        Sim.Experiment.ablation_live ~flows:(if fast then 300 else 500) ())
+        Sim.Experiment.ablation_live ~flows:(if fast then 300 else 500) ~audit
+          ())
   in
   note_events "ABL-LIVE"
     ~events:

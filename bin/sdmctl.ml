@@ -132,7 +132,27 @@ let exp_cmd =
             "fig4, fig5, table3, k, cache, frag, fail, chaos, live, epoch, \
              sketch, queue or lp")
   in
-  let run which seed flows =
+  let audit_flag =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Run the packet-level rows of chaos/live under the online \
+             invariant audit and exit non-zero on any violation")
+  in
+  (* Exit policy under --audit: any invariant violation fails the
+     invocation so CI can gate on it. *)
+  let audit_verdict counts =
+    let total = List.fold_left ( + ) 0 counts in
+    if total > 0 then begin
+      Format.eprintf "audit: %d invariant violation(s)@." total;
+      exit 1
+    end
+    else Format.printf "audit: clean (%d runs)@." (List.length counts)
+  in
+  let run which seed flows audit =
+    if audit && which <> "chaos" && which <> "live" then
+      Format.eprintf "note: --audit applies to chaos and live only@.";
     match which with
     | "fig4" ->
       Format.printf "%a@." Sim.Report.pp_figure
@@ -165,11 +185,21 @@ let exp_cmd =
       Format.printf "%a@." Sim.Report.pp_failure_ablation
         (Sim.Experiment.ablation_failure ~flows:(min flows 120_000) ~seed ())
     | "chaos" ->
-      Format.printf "%a@." Sim.Report.pp_chaos_ablation
-        (Sim.Experiment.ablation_chaos ~flows:(min flows 800) ~seed ())
+      let r = Sim.Experiment.ablation_chaos ~flows:(min flows 800) ~seed ~audit () in
+      Format.printf "%a@." Sim.Report.pp_chaos_ablation r;
+      if audit then
+        audit_verdict
+          (List.filter_map
+             (fun (row : Sim.Experiment.chaos_row) -> row.Sim.Experiment.chaos_audit)
+             r.Sim.Experiment.chaos_rows)
     | "live" ->
-      Format.printf "%a@." Sim.Report.pp_live_ablation
-        (Sim.Experiment.ablation_live ~flows:(min flows 500) ~seed ())
+      let r = Sim.Experiment.ablation_live ~flows:(min flows 500) ~seed ~audit () in
+      Format.printf "%a@." Sim.Report.pp_live_ablation r;
+      if audit then
+        audit_verdict
+          (List.filter_map
+             (fun (row : Sim.Experiment.live_row) -> row.Sim.Experiment.live_audit)
+             r.Sim.Experiment.live_rows)
     | "queue" ->
       Format.printf "%a@." Sim.Report.pp_queue_ablation
         (Sim.Experiment.ablation_queue ~seed ())
@@ -182,7 +212,7 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate a paper experiment or ablation")
-    Term.(const run $ which $ seed_arg $ flows_arg 300_000)
+    Term.(const run $ which $ seed_arg $ flows_arg 300_000 $ audit_flag)
 
 (* ---- demo --------------------------------------------------------- *)
 

@@ -1,0 +1,544 @@
+type invariant = Chain | Conservation | Stickiness | Hygiene | Feasibility
+
+let invariant_name = function
+  | Chain -> "chain-completeness"
+  | Conservation -> "conservation"
+  | Stickiness -> "stickiness"
+  | Hygiene -> "table-hygiene"
+  | Feasibility -> "lb-feasibility"
+
+type violation = {
+  invariant : invariant;
+  time : float;
+  detail : string;
+  trace : string list;
+}
+
+type totals = {
+  injected : int;
+  delivered : int;
+  dropped : int;
+  wp_served : int;
+  fragments : int;
+  loads : float array;
+}
+
+type report = {
+  events : int;
+  packets : int;
+  flows : int;
+  delivered : int;
+  dropped : int;
+  wp_served : int;
+  decisions : int;
+  versions : int;
+  feasibility_groups : int;
+  violations : int;
+  sample : violation list;
+}
+
+(* Per-packet state, kept from admission to the terminal event (and
+   beyond, so duplicate terminals are caught).  [chain] and [history]
+   are accumulated newest-first. *)
+type pkt = {
+  flow : Netpkt.Flow.t;
+  admission : Event.admission;
+  admit_time : float;
+  bytes : int;
+  mutable chain : (int * Policy.Action.nf) list;
+  mutable history : string list;
+  mutable flying : bool;
+}
+
+type t = {
+  z : float;
+  min_samples : int;
+  max_sample : int;
+  n_proxies : int;
+  n_mboxes : int;
+  rules : (int, Policy.Rule.t) Hashtbl.t;
+  configs : (int, Sdm.Controller.t) Hashtbl.t;
+  device_version : int array;
+  mutable latest : int;
+  pkts : (int, pkt) Hashtbl.t;
+  (* (flow, entity key, nf name, version, liveness view) -> mbox *)
+  sticky : (Netpkt.Flow.t * int * string * int * int64, int) Hashtbl.t;
+  (* full-alive steering tallies per (entity, rule, nf, version):
+     flow -> chosen mbox (stickiness makes the per-flow value unique) *)
+  groups :
+    ( Mbox.Entity.t * int * Policy.Action.nf * int,
+      (Netpkt.Flow.t, int) Hashtbl.t )
+    Hashtbl.t;
+  (* label-table mirror: (mbox, src, label) -> version *)
+  labels : (int * Netpkt.Addr.t * int, int) Hashtbl.t;
+  confirmed : (int * Netpkt.Flow.t, unit) Hashtbl.t;
+  label_flow : (int * int, Netpkt.Flow.t) Hashtbl.t;
+  flows : (Netpkt.Flow.t, unit) Hashtbl.t;
+  enforced_at : int array;
+  mutable events : int;
+  mutable admitted : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable wp : int;
+  mutable frag_extra : int;
+  mutable decisions : int;
+  mutable feas_groups : int;
+  mutable violations : int;
+  mutable stored : int;
+  mutable sample_rev : violation list;
+}
+
+let create ?(z = 4.0) ?(min_samples = 64) ?(max_sample = 32) ~controller () =
+  if z <= 0.0 then invalid_arg "Checker.create: z must be positive";
+  if min_samples < 1 then invalid_arg "Checker.create: min_samples < 1";
+  let dep = controller.Sdm.Controller.deployment in
+  let rules = Hashtbl.create 64 in
+  List.iter
+    (fun r -> Hashtbl.replace rules r.Policy.Rule.id r)
+    controller.Sdm.Controller.rules;
+  let configs = Hashtbl.create 8 in
+  Hashtbl.replace configs 0 controller;
+  let n_proxies = Array.length dep.Sdm.Deployment.proxies in
+  let n_mboxes = Array.length dep.Sdm.Deployment.middleboxes in
+  {
+    z;
+    min_samples;
+    max_sample;
+    n_proxies;
+    n_mboxes;
+    rules;
+    configs;
+    device_version = Array.make (n_proxies + n_mboxes) 0;
+    latest = 0;
+    pkts = Hashtbl.create 4096;
+    sticky = Hashtbl.create 4096;
+    groups = Hashtbl.create 256;
+    labels = Hashtbl.create 1024;
+    confirmed = Hashtbl.create 256;
+    label_flow = Hashtbl.create 256;
+    flows = Hashtbl.create 1024;
+    enforced_at = Array.make n_mboxes 0;
+    events = 0;
+    admitted = 0;
+    delivered = 0;
+    dropped = 0;
+    wp = 0;
+    frag_extra = 0;
+    decisions = 0;
+    feas_groups = 0;
+    violations = 0;
+    stored = 0;
+    sample_rev = [];
+  }
+
+let register_config t ~version controller =
+  Hashtbl.replace t.configs version controller
+
+let violate t ?pkt invariant ~time detail =
+  t.violations <- t.violations + 1;
+  if t.stored < t.max_sample then begin
+    t.stored <- t.stored + 1;
+    let trace = match pkt with None -> [] | Some p -> List.rev p.history in
+    t.sample_rev <- { invariant; time; detail; trace } :: t.sample_rev
+  end
+
+let find_pkt t ?(what = "event") invariant ~aid ~time =
+  match Hashtbl.find_opt t.pkts aid with
+  | Some p -> Some p
+  | None ->
+    violate t invariant ~time
+      (Printf.sprintf "%s for packet #%d that was never admitted" what aid);
+    None
+
+(* A packet may reach exactly one terminal event.  Returns true when
+   this terminal is the packet's first. *)
+let terminal t p ~time ~what =
+  if p.flying then begin
+    p.flying <- false;
+    true
+  end
+  else begin
+    violate t ~pkt:p Conservation ~time
+      (Printf.sprintf "duplicate terminal event (%s) for one packet" what);
+    false
+  end
+
+let rec is_prefix eq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' -> eq x y && is_prefix eq xs' ys'
+
+let chain_string nfs = Policy.Action.to_string nfs
+
+(* The invariant of Sec. III.D/III.E: a delivered packet of a chained
+   flow visited, in order, middleboxes implementing exactly its rule's
+   action list; a web-proxy cache response may cut the chain short at
+   the WP. *)
+let check_chain t p ~time ~served_by_wp =
+  let did = List.rev_map (fun (_, nf) -> nf) p.chain in
+  match p.admission with
+  | Event.Permit _ | Event.Unmatched ->
+    if did <> [] then
+      violate t ~pkt:p Chain ~time
+        (Printf.sprintf "non-chained packet was processed by middleboxes (%s)"
+           (chain_string did))
+  | Event.Chained { rule_id; _ } -> (
+    match Hashtbl.find_opt t.rules rule_id with
+    | None ->
+      violate t ~pkt:p Chain ~time
+        (Printf.sprintf "admitted under unknown rule %d" rule_id)
+    | Some rule ->
+      let expected = rule.Policy.Rule.actions in
+      if served_by_wp then begin
+        let ok =
+          did <> []
+          && is_prefix Policy.Action.equal_nf did expected
+          && match List.rev did with
+             | Policy.Action.WP :: _ -> true
+             | _ -> false
+        in
+        if not ok then
+          violate t ~pkt:p Chain ~time
+            (Printf.sprintf
+               "wp-served after chain prefix %s, policy requires %s"
+               (chain_string did) (chain_string expected))
+      end
+      else if
+        not
+          (List.length did = List.length expected
+          && is_prefix Policy.Action.equal_nf did expected)
+      then
+        violate t ~pkt:p Chain ~time
+          (Printf.sprintf "delivered after chain %s, policy requires %s"
+             (chain_string did) (chain_string expected)))
+
+let purge_labels t ~mbox ~below =
+  let stale =
+    Hashtbl.fold
+      (fun ((m, _, _) as key) v acc ->
+        if m = mbox && v < below then key :: acc else acc)
+      t.labels []
+  in
+  List.iter (Hashtbl.remove t.labels) stale
+
+let record t ev =
+  t.events <- t.events + 1;
+  match ev with
+  | Event.Admitted { aid; time; flow; proxy; admission; version = _; bytes; label }
+    ->
+    t.admitted <- t.admitted + 1;
+    if Hashtbl.mem t.pkts aid then
+      violate t Conservation ~time
+        (Printf.sprintf "packet #%d admitted twice" aid)
+    else begin
+      let p =
+        {
+          flow;
+          admission;
+          admit_time = time;
+          bytes;
+          chain = [];
+          history = [ Event.describe ev ];
+          flying = true;
+        }
+      in
+      Hashtbl.replace t.pkts aid p;
+      Hashtbl.replace t.flows flow ();
+      (match label with
+      | Some l -> Hashtbl.replace t.label_flow (proxy, l) flow
+      | None -> ());
+      match admission with
+      | Event.Chained { mode = Event.Label; _ } ->
+        if not (Hashtbl.mem t.confirmed (proxy, flow)) then
+          violate t ~pkt:p Hygiene ~time
+            "label-switched admission before the path was confirmed"
+      | _ -> ()
+    end
+  | Event.Steered { aid; time; entity; rule_id; nf; version; view; mbox } -> (
+    t.decisions <- t.decisions + 1;
+    match find_pkt t ~what:"steering decision" Conservation ~aid ~time with
+    | None -> ()
+    | Some p ->
+      p.history <- Event.describe ev :: p.history;
+      let key =
+        (p.flow, Mbox.Entity.hash_key entity, Policy.Action.nf_to_string nf,
+         version, view)
+      in
+      (match Hashtbl.find_opt t.sticky key with
+      | None -> Hashtbl.replace t.sticky key mbox
+      | Some m when m = mbox -> ()
+      | Some m ->
+        violate t ~pkt:p Stickiness ~time
+          (Printf.sprintf
+             "flow %s re-steered at %s for %s under v%d: mbox %d then %d"
+             (Netpkt.Flow.to_string p.flow)
+             (Mbox.Entity.to_string entity)
+             (Policy.Action.nf_to_string nf)
+             version m mbox));
+      if view = 0L then begin
+        let gkey = (entity, rule_id, nf, version) in
+        let g =
+          match Hashtbl.find_opt t.groups gkey with
+          | Some g -> g
+          | None ->
+            let g = Hashtbl.create 64 in
+            Hashtbl.replace t.groups gkey g;
+            g
+        in
+        Hashtbl.replace g p.flow mbox
+      end)
+  | Event.Enforced { aid; time; mbox; nf } -> (
+    if mbox >= 0 && mbox < t.n_mboxes then
+      t.enforced_at.(mbox) <- t.enforced_at.(mbox) + 1;
+    match find_pkt t ~what:"enforcement" Conservation ~aid ~time with
+    | None -> ()
+    | Some p ->
+      p.chain <- (mbox, nf) :: p.chain;
+      p.history <- Event.describe ev :: p.history)
+  | Event.Wp_served { aid; time; _ } -> (
+    t.wp <- t.wp + 1;
+    match find_pkt t ~what:"wp-serve" Conservation ~aid ~time with
+    | None -> ()
+    | Some p ->
+      p.history <- Event.describe ev :: p.history;
+      if terminal t p ~time ~what:"wp-served" then
+        check_chain t p ~time ~served_by_wp:true)
+  | Event.Delivered { aid; time; bytes } -> (
+    t.delivered <- t.delivered + 1;
+    match find_pkt t ~what:"delivery" Conservation ~aid ~time with
+    | None -> ()
+    | Some p ->
+      p.history <- Event.describe ev :: p.history;
+      if terminal t p ~time ~what:"delivered" then begin
+        if bytes <> p.bytes then
+          violate t ~pkt:p Conservation ~time
+            (Printf.sprintf "admitted %dB but delivered %dB" p.bytes bytes);
+        check_chain t p ~time ~served_by_wp:false
+      end)
+  | Event.Dropped { aid; time; _ } ->
+    t.dropped <- t.dropped + 1;
+    if aid >= 0 then (
+      match find_pkt t ~what:"drop" Conservation ~aid ~time with
+      | None -> ()
+      | Some p ->
+        p.history <- Event.describe ev :: p.history;
+        ignore (terminal t p ~time ~what:"dropped"))
+  | Event.Fragmented { aid; time; extra } -> (
+    t.frag_extra <- t.frag_extra + extra;
+    match Hashtbl.find_opt t.pkts aid with
+    | Some p -> p.history <- Event.describe ev :: p.history
+    | None ->
+      violate t Conservation ~time
+        (Printf.sprintf "fragmentation of packet #%d that was never admitted"
+           aid))
+  | Event.Label_insert { mbox; time; src; label; version } ->
+    let installed = t.device_version.(t.n_proxies + mbox) in
+    if version <> installed then
+      violate t Hygiene ~time
+        (Printf.sprintf
+           "mbox %d tagged label <%s|%d> with v%d while running v%d" mbox
+           (Netpkt.Addr.to_string src)
+           label version installed);
+    Hashtbl.replace t.labels (mbox, src, label) version
+  | Event.Label_hit { mbox; time; src; label; version } -> (
+    match Hashtbl.find_opt t.labels (mbox, src, label) with
+    | None ->
+      violate t Hygiene ~time
+        (Printf.sprintf
+           "mbox %d used label <%s|%d> that was never installed (or was \
+            purged)"
+           mbox
+           (Netpkt.Addr.to_string src)
+           label)
+    | Some v ->
+      if v <> version then
+        violate t Hygiene ~time
+          (Printf.sprintf
+             "mbox %d label <%s|%d> hit with v%d but installed as v%d" mbox
+             (Netpkt.Addr.to_string src)
+             label version v))
+  | Event.Cache_insert { proxy; time; version; _ } ->
+    let installed = t.device_version.(proxy) in
+    if version <> installed then
+      violate t Hygiene ~time
+        (Printf.sprintf
+           "proxy %d cached a flow under v%d while running v%d" proxy version
+           installed)
+  | Event.Ls_confirm { proxy; flow; _ } ->
+    Hashtbl.replace t.confirmed (proxy, flow) ()
+  | Event.Ls_teardown { proxy; label; _ } -> (
+    match Hashtbl.find_opt t.label_flow (proxy, label) with
+    | None -> ()
+    | Some flow -> Hashtbl.remove t.confirmed (proxy, flow))
+  | Event.Config_publish { version; _ } ->
+    if version > t.latest then t.latest <- version
+  | Event.Config_install { dev; time; version } ->
+    if version > t.latest then
+      violate t Hygiene ~time
+        (Printf.sprintf "device %d installed v%d, never published" dev version)
+    else if version < t.device_version.(dev) then
+      violate t Hygiene ~time
+        (Printf.sprintf "device %d regressed from v%d to v%d" dev
+           t.device_version.(dev) version)
+    else begin
+      t.device_version.(dev) <- version;
+      if dev >= t.n_proxies then
+        purge_labels t ~mbox:(dev - t.n_proxies) ~below:(version - 1)
+    end
+
+(* The LP plan's split probabilities for one (entity, rule, nf) row of
+   one configuration version, normalized.  None when the strategy's
+   choice there is deterministic (hot potato, a missing or degenerate
+   weight row) or per-(src,dst) (the exact formulation), in which case
+   the group is skipped rather than mis-tested. *)
+let expected_row config entity ~rule_id ~nf =
+  match config.Sdm.Controller.strategy with
+  | Sdm.Strategy.Hot_potato -> None
+  | Sdm.Strategy.Random_uniform -> (
+    match Sdm.Candidate.get config.Sdm.Controller.candidates entity nf with
+    | cands ->
+      let n = List.length cands in
+      if n = 0 then None
+      else
+        Some
+          (Array.of_list
+             (List.map
+                (fun (m : Mbox.Middlebox.t) -> (m.id, 1.0 /. float_of_int n))
+                cands))
+    | exception Invalid_argument _ -> None
+    | exception Not_found -> None)
+  | Sdm.Strategy.Load_balanced w -> (
+    match Sdm.Weights.find w entity ~rule:rule_id ~nf with
+    | None -> None
+    | Some row ->
+      let total = Array.fold_left (fun acc (_, v) -> acc +. v) 0.0 row in
+      if total <= 0.0 then None
+      else Some (Array.map (fun (id, v) -> (id, v /. total)) row))
+  | Sdm.Strategy.Load_balanced_exact _ -> None
+
+let check_feasibility t =
+  Hashtbl.iter
+    (fun (entity, rule_id, nf, version) g ->
+      let n = Hashtbl.length g in
+      if n >= t.min_samples then begin
+        match Hashtbl.find_opt t.configs version with
+        | None -> ()
+        | Some config -> (
+          match expected_row config entity ~rule_id ~nf with
+          | None -> ()
+          | Some row ->
+            t.feas_groups <- t.feas_groups + 1;
+            let counts = Hashtbl.create 8 in
+            Hashtbl.iter
+              (fun _ mbox ->
+                Hashtbl.replace counts mbox
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts mbox)))
+              g;
+            let fn = float_of_int n in
+            Array.iter
+              (fun (id, p) ->
+                let obs =
+                  float_of_int
+                    (Option.value ~default:0 (Hashtbl.find_opt counts id))
+                in
+                Hashtbl.remove counts id;
+                let expect = fn *. p in
+                let tol = (t.z *. sqrt (fn *. p *. (1.0 -. p))) +. 2.0 in
+                if Float.abs (obs -. expect) > tol then
+                  violate t Feasibility ~time:0.0
+                    (Printf.sprintf
+                       "%s rule %d %s v%d: mbox %d took %.0f of %d flows, \
+                        plan says %.1f (tolerance %.1f)"
+                       (Mbox.Entity.to_string entity)
+                       rule_id
+                       (Policy.Action.nf_to_string nf)
+                       version id obs n expect tol))
+              row;
+            Hashtbl.iter
+              (fun id c ->
+                violate t Feasibility ~time:0.0
+                  (Printf.sprintf
+                     "%s rule %d %s v%d: %d flows steered to mbox %d, \
+                      outside the plan's candidate row"
+                     (Mbox.Entity.to_string entity)
+                     rule_id
+                     (Policy.Action.nf_to_string nf)
+                     version c id))
+              counts)
+      end)
+    t.groups
+
+let finalize ?expect t =
+  Hashtbl.iter
+    (fun aid p ->
+      if p.flying then
+        violate t ~pkt:p Conservation ~time:p.admit_time
+          (Printf.sprintf
+             "packet #%d was admitted but never delivered, served or dropped"
+             aid))
+    t.pkts;
+  (match expect with
+  | None -> ()
+  | Some e ->
+    let mismatch what ~audit ~sim =
+      if audit <> sim then
+        violate t Conservation ~time:0.0
+          (Printf.sprintf "%s: audit saw %d, simulator counted %d" what audit
+             sim)
+    in
+    mismatch "injected packets" ~audit:t.admitted ~sim:e.injected;
+    mismatch "deliveries (incl. wp-served)" ~audit:(t.delivered + t.wp)
+      ~sim:e.delivered;
+    mismatch "drops" ~audit:t.dropped ~sim:e.dropped;
+    mismatch "wp-served" ~audit:t.wp ~sim:e.wp_served;
+    mismatch "fragments created" ~audit:t.frag_extra ~sim:e.fragments;
+    if Array.length e.loads = t.n_mboxes then
+      Array.iteri
+        (fun i load ->
+          if float_of_int t.enforced_at.(i) <> load then
+            violate t Conservation ~time:0.0
+              (Printf.sprintf
+                 "mbox %d node balance: audit saw %d packets, load counter \
+                  says %g"
+                 i t.enforced_at.(i) load))
+        e.loads
+    else
+      violate t Conservation ~time:0.0
+        (Printf.sprintf "load vector has %d entries, deployment has %d mboxes"
+           (Array.length e.loads) t.n_mboxes));
+  check_feasibility t;
+  {
+    events = t.events;
+    packets = t.admitted;
+    flows = Hashtbl.length t.flows;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    wp_served = t.wp;
+    decisions = t.decisions;
+    versions = t.latest;
+    feasibility_groups = t.feas_groups;
+    violations = t.violations;
+    sample = List.rev t.sample_rev;
+  }
+
+let ok (r : report) = r.violations = 0
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<v 2>[%s] t=%.3f %s" (invariant_name v.invariant)
+    v.time v.detail;
+  List.iter (fun line -> Format.fprintf ppf "@,| %s" line) v.trace;
+  Format.fprintf ppf "@]"
+
+let pp_report ppf (r : report) =
+  Format.fprintf ppf
+    "audit: %d events, %d packets in %d flows (%d delivered, %d dropped, %d \
+     wp-served), %d steering decisions, %d config versions, %d feasibility \
+     groups checked: %d violation%s@."
+    r.events r.packets r.flows r.delivered r.dropped r.wp_served r.decisions
+    r.versions r.feasibility_groups r.violations
+    (if r.violations = 1 then "" else "s");
+  List.iter (fun v -> Format.fprintf ppf "%a@." pp_violation v) r.sample;
+  if r.violations > List.length r.sample then
+    Format.fprintf ppf "... and %d more violations@."
+      (r.violations - List.length r.sample)

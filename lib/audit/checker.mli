@@ -1,0 +1,101 @@
+(** Online invariant auditor for packet-simulator runs.
+
+    Subscribes to the {!Event} stream [Sim.Pktsim] emits when audit
+    mode is on and checks, per flow and per configuration epoch, the
+    semantic invariants the paper's dependability claims rest on:
+
+    - {b chain completeness} (Sec. III.D-III.E): every delivered
+      packet of a policy-matching flow traversed middleboxes
+      implementing its rule's action list, in order, under the
+      configuration version that admitted it; a web-proxy cache
+      response may cut the chain short only at the WP.
+    - {b conservation}: every admitted packet reaches exactly one
+      terminal fate (delivered, wp-served, dropped); bytes admitted
+      equal bytes delivered; event-derived totals and per-middlebox
+      packet counts agree with the simulator's own counters.
+    - {b stickiness} (Sec. III.C): a flow's 5-tuple hash maps to one
+      candidate per [M_x^e], per configuration version and per
+      believed-liveness view.
+    - {b table hygiene} (Sec. III.E + live reconfiguration): label
+      entries are installed before use, version-tagged with the
+      installing device's running version, and purged below
+      [installed - 1] on a config install; label-switched admissions
+      happen only on confirmed paths; installs never precede their
+      publish or regress a device.
+    - {b LB feasibility} (Sec. III.B): observed per-candidate splits
+      of sufficiently large flow populations stay within the LP
+      plan's probabilities, up to a [z]-sigma binomial tolerance.
+
+    Recording is pure bookkeeping: it never raises on a violation
+    (violations are collected and reported), and it performs no
+    randomness or simulation work, so audited runs stay bit-identical
+    to unaudited ones in every other statistic. *)
+
+type invariant = Chain | Conservation | Stickiness | Hygiene | Feasibility
+
+val invariant_name : invariant -> string
+
+type violation = {
+  invariant : invariant;
+  time : float;  (** simulated time; 0 for end-of-run checks *)
+  detail : string;
+  trace : string list;
+      (** the offending packet's hop history, oldest first; empty when
+          the violation is not packet-scoped *)
+}
+
+type totals = {
+  injected : int;
+  delivered : int;  (** simulator counter: final deliveries + wp-served *)
+  dropped : int;
+  wp_served : int;
+  fragments : int;
+  loads : float array;
+}
+
+type report = {
+  events : int;
+  packets : int;
+  flows : int;
+  delivered : int;
+  dropped : int;
+  wp_served : int;
+  decisions : int;
+  versions : int;  (** highest configuration version published *)
+  feasibility_groups : int;
+  violations : int;
+  sample : violation list;  (** first [max_sample] violations *)
+}
+
+type t
+
+val create :
+  ?z:float ->
+  ?min_samples:int ->
+  ?max_sample:int ->
+  controller:Sdm.Controller.t ->
+  unit ->
+  t
+(** [z] (default 4.0) is the binomial tolerance width for feasibility;
+    [min_samples] (default 64) the flow-population floor below which a
+    steering group is too small to test; [max_sample] (default 32) how
+    many violations keep their full detail in the report.  The
+    controller is the version-0 configuration: its rules define the
+    expected chains and its deployment sizes the device tables. *)
+
+val register_config : t -> version:int -> Sdm.Controller.t -> unit
+(** Give the auditor the configuration published as [version], so
+    feasibility can be checked against the right plan.  Version 0 is
+    registered by {!create}. *)
+
+val record : t -> Event.t -> unit
+
+val finalize : ?expect:totals -> t -> report
+(** Run the end-of-run checks (packets still in flight, counter
+    cross-validation against [expect], LB feasibility) and build the
+    report. *)
+
+val ok : report -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,49 @@
+type verdict = {
+  ok : bool;
+  max_abs : float;
+  max_rel : float;
+  worst : int;
+  detail : string;
+}
+
+let compare ?(abs_tol = 1e-9) ?(rel_tol = 1e-9) ~expected ~observed () =
+  if Array.length expected <> Array.length observed then
+    {
+      ok = false;
+      max_abs = infinity;
+      max_rel = infinity;
+      worst = -1;
+      detail =
+        Printf.sprintf "length mismatch: expected %d entries, observed %d"
+          (Array.length expected) (Array.length observed);
+    }
+  else begin
+    let max_abs = ref 0.0 and max_rel = ref 0.0 and worst = ref (-1) in
+    Array.iteri
+      (fun i e ->
+        let o = observed.(i) in
+        let d = Float.abs (o -. e) in
+        let scale = Float.max (Float.abs e) (Float.abs o) in
+        let r = if scale = 0.0 then 0.0 else d /. scale in
+        if d > !max_abs then begin
+          max_abs := d;
+          worst := i
+        end;
+        if r > !max_rel then max_rel := r)
+      expected;
+    let ok = !max_abs <= abs_tol || !max_rel <= rel_tol in
+    let detail =
+      if ok then
+        Printf.sprintf "agreement within tolerance (max |d|=%g, rel %g)"
+          !max_abs !max_rel
+      else
+        Printf.sprintf
+          "disagreement at entry %d: expected %g, observed %g (max |d|=%g, \
+           rel %g)"
+          !worst
+          (if !worst >= 0 then expected.(!worst) else nan)
+          (if !worst >= 0 then observed.(!worst) else nan)
+          !max_abs !max_rel
+    in
+    { ok; max_abs = !max_abs; max_rel = !max_rel; worst = !worst; detail }
+  end

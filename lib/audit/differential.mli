@@ -1,0 +1,30 @@
+(** Differential oracle between two load vectors.
+
+    The packet-level simulator ([Sim.Pktsim]) and the analytic
+    flow-level expectation ([Sim.Flowsim]) answer the same question —
+    how many packets each middlebox processes — by entirely different
+    mechanisms.  On a fault-free static configuration the per-flow
+    steering is deterministic, so the two must agree exactly; the
+    oracle compares the vectors and reports the worst deviation, with
+    tolerances for configurations (faults, web-proxy cache serving)
+    where agreement is only statistical. *)
+
+type verdict = {
+  ok : bool;
+  max_abs : float;   (** worst absolute per-entry deviation *)
+  max_rel : float;   (** worst relative deviation (scaled by the larger) *)
+  worst : int;       (** index of the worst absolute deviation, -1 if none *)
+  detail : string;
+}
+
+val compare :
+  ?abs_tol:float ->
+  ?rel_tol:float ->
+  expected:float array ->
+  observed:float array ->
+  unit ->
+  verdict
+(** A vector pair passes when the worst absolute deviation is within
+    [abs_tol] {e or} the worst relative deviation is within [rel_tol]
+    (both default [1e-9], i.e. exact agreement up to rounding).
+    Length mismatch always fails. *)

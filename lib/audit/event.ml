@@ -1,0 +1,138 @@
+type mode = Tunnel | Label
+
+type admission =
+  | Permit of int option
+  | Unmatched
+  | Chained of { rule_id : int; mode : mode }
+
+type drop_reason =
+  | Unroutable
+  | Link_loss
+  | Encap_at_subnet
+  | Dead_mbox
+  | No_candidate
+  | Label_miss
+  | No_label
+
+let drop_reason_to_string = function
+  | Unroutable -> "unroutable"
+  | Link_loss -> "link loss"
+  | Encap_at_subnet -> "encapsulated packet reached a subnet"
+  | Dead_mbox -> "middlebox down"
+  | No_candidate -> "no live candidate"
+  | Label_miss -> "label-table miss"
+  | No_label -> "plain packet at middlebox without label"
+
+type t =
+  | Admitted of {
+      aid : int;
+      time : float;
+      flow : Netpkt.Flow.t;
+      proxy : int;
+      admission : admission;
+      version : int;
+      bytes : int;
+      label : int option;
+    }
+  | Steered of {
+      aid : int;
+      time : float;
+      entity : Mbox.Entity.t;
+      rule_id : int;
+      nf : Policy.Action.nf;
+      version : int;
+      view : int64;
+      mbox : int;
+    }
+  | Enforced of { aid : int; time : float; mbox : int; nf : Policy.Action.nf }
+  | Wp_served of { aid : int; time : float; mbox : int }
+  | Delivered of { aid : int; time : float; bytes : int }
+  | Dropped of { aid : int; time : float; reason : drop_reason }
+  | Fragmented of { aid : int; time : float; extra : int }
+  | Label_insert of {
+      mbox : int;
+      time : float;
+      src : Netpkt.Addr.t;
+      label : int;
+      version : int;
+    }
+  | Label_hit of {
+      mbox : int;
+      time : float;
+      src : Netpkt.Addr.t;
+      label : int;
+      version : int;
+    }
+  | Cache_insert of {
+      proxy : int;
+      time : float;
+      flow : Netpkt.Flow.t;
+      version : int;
+    }
+  | Ls_confirm of { proxy : int; time : float; flow : Netpkt.Flow.t }
+  | Ls_teardown of { proxy : int; time : float; label : int }
+  | Config_publish of { time : float; version : int }
+  | Config_install of { dev : int; time : float; version : int }
+
+let admission_to_string = function
+  | Permit None -> "permit (cached)"
+  | Permit (Some id) -> Printf.sprintf "permit (rule %d)" id
+  | Unmatched -> "unmatched"
+  | Chained { rule_id; mode = Tunnel } ->
+    Printf.sprintf "chained rule %d, tunnelled" rule_id
+  | Chained { rule_id; mode = Label } ->
+    Printf.sprintf "chained rule %d, label-switched" rule_id
+
+let describe = function
+  | Admitted { aid; time; flow; proxy; admission; version; bytes; label } ->
+    Printf.sprintf "t=%.3f pkt#%d admitted at proxy %d: %s, %s, v%d, %dB%s"
+      time aid proxy
+      (Netpkt.Flow.to_string flow)
+      (admission_to_string admission)
+      version bytes
+      (match label with None -> "" | Some l -> Printf.sprintf ", label %d" l)
+  | Steered { aid; time; entity; rule_id; nf; version; view; mbox } ->
+    Printf.sprintf
+      "t=%.3f pkt#%d steered at %s: rule %d next %s -> mbox %d (v%d%s)" time
+      aid
+      (Mbox.Entity.to_string entity)
+      rule_id
+      (Policy.Action.nf_to_string nf)
+      mbox version
+      (if view = 0L then "" else Printf.sprintf ", view %Lx" view)
+  | Enforced { aid; time; mbox; nf } ->
+    Printf.sprintf "t=%.3f pkt#%d enforced at mbox %d (%s)" time aid mbox
+      (Policy.Action.nf_to_string nf)
+  | Wp_served { aid; time; mbox } ->
+    Printf.sprintf "t=%.3f pkt#%d served from web-proxy cache at mbox %d" time
+      aid mbox
+  | Delivered { aid; time; bytes } ->
+    Printf.sprintf "t=%.3f pkt#%d delivered (%dB)" time aid bytes
+  | Dropped { aid; time; reason } ->
+    Printf.sprintf "t=%.3f pkt#%d dropped: %s" time aid
+      (drop_reason_to_string reason)
+  | Fragmented { aid; time; extra } ->
+    Printf.sprintf "t=%.3f pkt#%d fragmented (+%d fragments)" time aid extra
+  | Label_insert { mbox; time; src; label; version } ->
+    Printf.sprintf "t=%.3f mbox %d installed label <%s|%d> (v%d)" time mbox
+      (Netpkt.Addr.to_string src)
+      label version
+  | Label_hit { mbox; time; src; label; version } ->
+    Printf.sprintf "t=%.3f mbox %d hit label <%s|%d> (v%d)" time mbox
+      (Netpkt.Addr.to_string src)
+      label version
+  | Cache_insert { proxy; time; flow; version } ->
+    Printf.sprintf "t=%.3f proxy %d cached %s (v%d)" time proxy
+      (Netpkt.Flow.to_string flow)
+      version
+  | Ls_confirm { proxy; time; flow } ->
+    Printf.sprintf "t=%.3f proxy %d confirmed label path for %s" time proxy
+      (Netpkt.Flow.to_string flow)
+  | Ls_teardown { proxy; time; label } ->
+    Printf.sprintf "t=%.3f proxy %d tore down label %d" time proxy label
+  | Config_publish { time; version } ->
+    Printf.sprintf "t=%.3f controller published config v%d" time version
+  | Config_install { dev; time; version } ->
+    Printf.sprintf "t=%.3f device %d installed config v%d" time dev version
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,100 @@
+(** Structured observations of one packet-simulator run.
+
+    [Sim.Pktsim] emits one event per semantically meaningful step of a
+    packet's life — admission at its policy proxy, every steering
+    decision, every middlebox that processed it, its terminal fate —
+    plus the control-plane mutations (label-table installs, flow-cache
+    installs, configuration publishes and per-device installs) the
+    dependability invariants are stated over.  Emission is a pure
+    side-channel: producing events draws no randomness and schedules
+    no simulator work, so an audited run is bit-identical to an
+    unaudited one in every other statistic.
+
+    [aid] is the packet's audit identity: the value of the simulator's
+    injected-packet counter when the packet entered, carried with the
+    packet across tunnel legs, label-switched legs and header
+    rewrites. *)
+
+type mode =
+  | Tunnel  (** IP-over-IP leg by leg (Sec. III.D) *)
+  | Label   (** established label-switched path (Sec. III.E) *)
+
+type admission =
+  | Permit of int option  (** permit rule id when known *)
+  | Unmatched             (** no rule matched: default-allow *)
+  | Chained of { rule_id : int; mode : mode }
+
+type drop_reason =
+  | Unroutable
+  | Link_loss
+  | Encap_at_subnet
+  | Dead_mbox
+  | No_candidate
+  | Label_miss
+  | No_label
+
+val drop_reason_to_string : drop_reason -> string
+
+type t =
+  | Admitted of {
+      aid : int;
+      time : float;
+      flow : Netpkt.Flow.t;
+      proxy : int;
+      admission : admission;
+      version : int;  (** configuration version that admitted the flow *)
+      bytes : int;    (** size of the (inner) packet *)
+      label : int option;
+    }
+  | Steered of {
+      aid : int;
+      time : float;
+      entity : Mbox.Entity.t;
+      rule_id : int;
+      nf : Policy.Action.nf;
+      version : int;  (** configuration version the decision used *)
+      view : int64;
+          (** signature of the believed-failed set the decision's
+              liveness filter saw; 0 when no filtering applied *)
+      mbox : int;
+    }
+  | Enforced of { aid : int; time : float; mbox : int; nf : Policy.Action.nf }
+  | Wp_served of { aid : int; time : float; mbox : int }
+  | Delivered of { aid : int; time : float; bytes : int }
+  | Dropped of { aid : int; time : float; reason : drop_reason }
+  | Fragmented of { aid : int; time : float; extra : int }
+      (** [extra] fragments beyond the first on one link crossing *)
+  | Label_insert of {
+      mbox : int;
+      time : float;
+      src : Netpkt.Addr.t;
+      label : int;
+      version : int;
+    }
+  | Label_hit of {
+      mbox : int;
+      time : float;
+      src : Netpkt.Addr.t;
+      label : int;
+      version : int;  (** version tag of the entry that was hit *)
+    }
+  | Cache_insert of {
+      proxy : int;
+      time : float;
+      flow : Netpkt.Flow.t;
+      version : int;
+    }
+  | Ls_confirm of { proxy : int; time : float; flow : Netpkt.Flow.t }
+  | Ls_teardown of { proxy : int; time : float; label : int }
+  | Config_publish of { time : float; version : int }
+  | Config_install of { dev : int; time : float; version : int }
+      (** [dev] indexes devices flat: proxies first, then middleboxes
+          (see {!Sim.Controlplane.device_of_entity}) *)
+
+val admission_to_string : admission -> string
+
+val describe : t -> string
+(** One human-readable line — the unit the per-packet hop-history
+    traces attached to violations are built from. *)
+
+val pp : Format.formatter -> t -> unit

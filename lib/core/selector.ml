@@ -39,6 +39,44 @@ let pick row ~u =
       last_positive (Array.length row - 1)
   end
 
+let flow_key flow ~entity ~nf =
+  let h = Netpkt.Flow.hash flow in
+  let h = Stdx.Xhash.fold_int h (Mbox.Entity.hash_key entity) in
+  Stdx.Xhash.fold_int h (Int64.to_int (nf_salt nf))
+
+(* 64-bit avalanche finalizer (murmur3's fmix64).  FNV-1a alone leaves
+   per-candidate hashes correlated when only the trailing id byte
+   differs, which skews the rendezvous scores measurably; the
+   finalizer restores independence. *)
+let fmix64 h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xFF51AFD7ED558CCDL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xC4CEB9FE1A85EC53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let pick_hrw row ~key =
+  let best = ref None in
+  Array.iter
+    (fun (id, w) ->
+      if w < 0.0 then invalid_arg "Selector.pick_hrw: negative weight";
+      if w > 0.0 then begin
+        (* Weighted rendezvous hashing: candidate score -w / ln(u) with
+           u = hash(key, id) in (0, 1).  The max over the row is what
+           makes the choice independent of row order and of which
+           losing candidates are present. *)
+        let u =
+          Stdx.Xhash.to_unit_interval (fmix64 (Stdx.Xhash.fold_int key id))
+        in
+        let u = if u <= 0.0 then epsilon_float else u in
+        let score = -.w /. log u in
+        match !best with
+        | Some (bid, s) when s > score || (s = score && bid < id) -> ()
+        | _ -> best := Some (id, score)
+      end)
+    row;
+  Option.map fst !best
+
 let pick_uniform candidates ~u =
   let n = List.length candidates in
   if n = 0 then invalid_arg "Selector.pick_uniform: empty candidates";

@@ -50,3 +50,8 @@ let believed_failed t ~now =
     if not (believed_alive t ~now id) then acc := id :: !acc
   done;
   !acc
+
+let belief_signature t ~now =
+  match believed_failed t ~now with
+  | [] -> 0L
+  | failed -> Stdx.Xhash.ints failed

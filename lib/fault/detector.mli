@@ -38,3 +38,10 @@ val believed_failed : t -> now:float -> int list
 (** The ids believed down at [now], ascending — the [failed] list a
     live controller hands to {!Sdm.Controller.configure} when it
     re-optimizes on a detected failure. *)
+
+val belief_signature : t -> now:float -> int64
+(** Deterministic FNV-1a signature of {!believed_failed} at [now];
+    [0L] when every middlebox is believed up.  Two times with the same
+    believed-failed set share a signature, so steering decisions keyed
+    by it (the audit's stickiness check) distinguish liveness views
+    without storing the sets. *)

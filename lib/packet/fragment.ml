@@ -35,3 +35,19 @@ let fragments ~mtu pkt =
   end
 
 let extra_bytes ~mtu size = (count ~mtu size - 1) * Header.size
+
+let reassemble = function
+  | [] -> None
+  | [ p ] -> Some p
+  | first :: _ as frags ->
+    if
+      List.exists (fun (f : Packet.t) -> f.Packet.header <> first.Packet.header)
+        frags
+    then None
+    else
+      let payload =
+        List.fold_left
+          (fun acc f -> acc + (Packet.size f - Header.size))
+          0 frags
+      in
+      Some (Packet.plain first.Packet.header ~payload_bytes:payload)

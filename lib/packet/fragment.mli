@@ -26,3 +26,14 @@ val fragments : mtu:int -> Packet.t -> Packet.t list
 val extra_bytes : mtu:int -> int -> int
 (** Overhead bytes added by fragmentation of a packet of the given
     size: (count - 1) * header size. *)
+
+val reassemble : Packet.t list -> Packet.t option
+(** Tunnel-endpoint reassembly, the inverse of {!fragments} at the
+    byte level: a single fragment is returned as-is (structure
+    preserved, so [fragments |> reassemble] is the identity on packets
+    that fit the MTU); several fragments sharing a header merge into
+    one plain packet carrying their summed payload bytes — the inner
+    structure of an encapsulated original is opaque to fragmentation,
+    so only sizes round-trip, which is all the model tracks.  [None]
+    on an empty list or fragments with differing headers (they cannot
+    belong to the same original). *)

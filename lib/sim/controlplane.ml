@@ -14,6 +14,24 @@ let bytes_per_candidate = 4
 let bytes_per_weight_cell = 12
 let bytes_per_measurement_cell = 12
 
+(* Flat device indexing shared by the live control plane and the audit
+   layer: proxies first, then middleboxes.  A "device" is anything the
+   controller pushes configuration to. *)
+let device_count (dep : Sdm.Deployment.t) =
+  Array.length dep.Sdm.Deployment.proxies
+  + Array.length dep.Sdm.Deployment.middleboxes
+
+let device_of_entity (dep : Sdm.Deployment.t) = function
+  | Mbox.Entity.Proxy i -> i
+  | Mbox.Entity.Middlebox i -> Array.length dep.Sdm.Deployment.proxies + i
+
+let entity_of_device (dep : Sdm.Deployment.t) dev =
+  let n_proxies = Array.length dep.Sdm.Deployment.proxies in
+  if dev < 0 || dev >= device_count dep then
+    invalid_arg "Controlplane.entity_of_device: device out of range";
+  if dev < n_proxies then Mbox.Entity.Proxy dev
+  else Mbox.Entity.Middlebox (dev - n_proxies)
+
 let default_router (dep : Sdm.Deployment.t) =
   let topo = dep.Sdm.Deployment.topo in
   match Netgraph.Topology.gateways topo with

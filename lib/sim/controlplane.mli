@@ -25,6 +25,18 @@ type report = {
   report_bytes_per_epoch : int; (** proxies' measurement reports *)
 }
 
+val device_count : Sdm.Deployment.t -> int
+(** Proxies plus middleboxes — everything the controller configures. *)
+
+val device_of_entity : Sdm.Deployment.t -> Mbox.Entity.t -> int
+(** Flat device index: proxies first (by id), then middleboxes.  The
+    convention shared by {!Pktsim}'s per-device statistics and the
+    audit layer's [Config_install] events. *)
+
+val entity_of_device : Sdm.Deployment.t -> int -> Mbox.Entity.t
+(** Inverse of {!device_of_entity}.  Raises [Invalid_argument] out of
+    range. *)
+
 val default_router : Sdm.Deployment.t -> int
 (** The controller's attachment router when none is given: the first
     gateway, falling back to the first core router. *)

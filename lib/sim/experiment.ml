@@ -323,6 +323,7 @@ type chaos_row = {
   chaos_recovery : float;
   chaos_max_surviving : float;
   chaos_events_processed : int;
+  chaos_audit : int option;
 }
 
 type chaos_report = {
@@ -336,7 +337,12 @@ type chaos_report = {
   chaos_rows : chaos_row list;
 }
 
-let ablation_chaos ?(flows = 500) ?(seed = 17)
+let audit_violations (stats : Pktsim.stats) =
+  Option.map
+    (fun (r : Audit.Checker.report) -> r.Audit.Checker.violations)
+    stats.Pktsim.audit_report
+
+let ablation_chaos ?(flows = 500) ?(seed = 17) ?(audit = false)
     ?(detection_delays = [ 2.0; 10.0; 40.0 ]) () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
@@ -401,6 +407,7 @@ let ablation_chaos ?(flows = 500) ?(seed = 17)
         faults = Some schedule;
         detection_delay = delay;
         failover;
+        audit;
       }
     in
     let stats = Pktsim.run ~config ~controller ~workload () in
@@ -417,6 +424,7 @@ let ablation_chaos ?(flows = 500) ?(seed = 17)
          else Stdlib.max 0.0 (stats.Pktsim.last_violation_time -. crash_at));
       chaos_max_surviving = max_surviving stats;
       chaos_events_processed = stats.Pktsim.events_processed;
+      chaos_audit = audit_violations stats;
     }
   in
   {
@@ -454,6 +462,7 @@ type live_row = {
   live_bytes : int;
   live_max_load : float;
   live_events_processed : int;
+  live_audit : int option;
 }
 
 type live_device = {
@@ -473,7 +482,7 @@ type live_report = {
   live_devices : live_device list;
 }
 
-let ablation_live ?(flows = 500) ?(seed = 17)
+let ablation_live ?(flows = 500) ?(seed = 17) ?(audit = false)
     ?(control_losses = [ 0.0; 0.02; 0.10 ]) () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
@@ -507,7 +516,9 @@ let ablation_live ?(flows = 500) ?(seed = 17)
          differs across the sweep. *)
       Some (Fault.Schedule.make ~control_loss:loss ~loss_seed:(seed + 3) [])
     in
-    let config = { Pktsim.default_config with faults; live = Some live } in
+    let config =
+      { Pktsim.default_config with faults; live = Some live; audit }
+    in
     let stats = Pktsim.run ~config ~controller:hp ~workload () in
     let row =
       {
@@ -524,6 +535,7 @@ let ablation_live ?(flows = 500) ?(seed = 17)
         live_bytes = stats.Pktsim.config_bytes;
         live_max_load = max_load stats;
         live_events_processed = stats.Pktsim.events_processed;
+        live_audit = audit_violations stats;
       }
     in
     (row, stats)

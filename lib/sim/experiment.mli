@@ -150,6 +150,9 @@ type chaos_row = {
   chaos_max_surviving : float;
       (** max per-box load among the victim's surviving peers *)
   chaos_events_processed : int;
+  chaos_audit : int option;
+      (** invariant violations found by the online audit
+          ({!Pktsim.config.audit}); [None] when auditing was off *)
 }
 
 type chaos_report = {
@@ -166,6 +169,7 @@ type chaos_report = {
 val ablation_chaos :
   ?flows:int ->
   ?seed:int ->
+  ?audit:bool ->
   ?detection_delays:float list ->
   unit ->
   chaos_report
@@ -179,7 +183,8 @@ val ablation_chaos :
     (recovery time tracks the detection delay), and LB spreads the
     orphaned load across survivors where HP dumps it on the next
     closest box.  Same seed + same schedule ⇒ bit-identical report.
-    Defaults: 500 flows, delays [2; 10; 40]. *)
+    Defaults: 500 flows, delays [2; 10; 40].  [audit] runs every row
+    under the online invariant audit ({!Pktsim.config.audit}). *)
 
 type live_row = {
   live_loss : float;       (** control-packet loss probability of this row *)
@@ -195,6 +200,9 @@ type live_row = {
   live_bytes : int;        (** config bytes on the wire *)
   live_max_load : float;   (** busiest-middlebox load under live updates *)
   live_events_processed : int;
+  live_audit : int option;
+      (** invariant violations found by the online audit
+          ({!Pktsim.config.audit}); [None] when auditing was off *)
 }
 
 type live_device = {
@@ -217,6 +225,7 @@ type live_report = {
 val ablation_live :
   ?flows:int ->
   ?seed:int ->
+  ?audit:bool ->
   ?control_losses:float list ->
   unit ->
   live_report
@@ -229,7 +238,9 @@ val ablation_live :
     load-balanced target; acked, retried, reconciled pushes get every
     device to the final version even under 10% loss, and version-mixing
     never produces a policy violation.  Same seed ⇒ bit-identical
-    report.  Defaults: 500 flows, losses [0; 0.02; 0.10]. *)
+    report.  Defaults: 500 flows, losses [0; 0.02; 0.10].  [audit]
+    runs every row under the online invariant audit
+    ({!Pktsim.config.audit}). *)
 
 type sketch_point = {
   epsilon : float;

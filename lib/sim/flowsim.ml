@@ -103,3 +103,11 @@ let trace ~controller flow =
         rule.Policy.Rule.actions
     in
     (Some rule, chain)
+
+(* The Pktsim <-> Flowsim differential oracle: both compute per-mbox
+   packet loads by entirely different mechanisms, and on a fault-free
+   static configuration per-flow steering is deterministic, so they
+   must agree exactly. *)
+let differential ?abs_tol ?rel_tol t (stats : Pktsim.stats) =
+  Audit.Differential.compare ?abs_tol ?rel_tol ~expected:t.loads
+    ~observed:stats.Pktsim.loads ()

@@ -51,3 +51,10 @@ val trace :
     middlebox sequence the active strategy steers it through (empty
     for unmatched or permitted flows).  The flow's source address must
     belong to some proxy's subnet, else [Invalid_argument]. *)
+
+val differential :
+  ?abs_tol:float -> ?rel_tol:float -> result -> Pktsim.stats -> Audit.Differential.verdict
+(** Differential oracle against a packet-level run of the same
+    controller and workload: compares the two per-middlebox load
+    vectors ({!Audit.Differential.compare}).  On fault-free static
+    configurations the default (exact) tolerances must pass. *)

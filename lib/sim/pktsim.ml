@@ -42,6 +42,8 @@ type config = {
   ctrl_retry_timeout : float;
   ctrl_max_retries : int;
   live : live_config option;
+  audit : bool;
+  debug_bypass_chain : int option;
 }
 
 let default_config =
@@ -65,6 +67,8 @@ let default_config =
     ctrl_retry_timeout = 5.0;
     ctrl_max_retries = 3;
     live = None;
+    audit = false;
+    debug_bypass_chain = None;
   }
 
 type stats = {
@@ -108,6 +112,7 @@ type stats = {
   entity_control_retries : int array; (* per device: proxies, then mboxes *)
   entity_control_lost : int array;
   entity_config_version : int array;
+  audit_report : Audit.Checker.report option; (* None unless [config.audit] *)
 }
 
 type counters = {
@@ -139,9 +144,11 @@ type counters = {
 }
 
 (* Messages on the wire: ordinary data packets, or the control packet
-   the chain's last middlebox sends back to the proxy (Sec. III.E). *)
+   the chain's last middlebox sends back to the proxy (Sec. III.E).
+   Data packets carry their audit identity (the injected-packet counter
+   at admission) across tunnel legs and header rewrites. *)
 type msg =
-  | Data of Netpkt.Packet.t * float (* packet, injection time *)
+  | Data of Netpkt.Packet.t * float * int (* packet, injection time, aid *)
   | Control of { dst : Netpkt.Addr.t; flow : Netpkt.Flow.t }
   | Teardown of { dst : Netpkt.Addr.t; label : int }
       (* an expired label-switched path: the proxy must fall back to
@@ -212,6 +219,11 @@ type world = {
      via the deployment's prefix index). *)
   mbox_index : (Netpkt.Addr.t, int) Hashtbl.t;
   rule_by_id : (int, Policy.Rule.t) Hashtbl.t;
+  (* Online invariant auditor (None unless [config.audit]).  Emission
+     is a pure side-channel: no randomness, no engine work, no float
+     arithmetic the data path sees — an audited run is bit-identical
+     to an unaudited one in every other statistic. *)
+  audit : Audit.Checker.t option;
 }
 
 (* ---- Fault plumbing --------------------------------------------- *)
@@ -226,6 +238,27 @@ let mbox_is_down w id =
   match w.fault with
   | Some f -> not (Fault.Detector.actually_up f.detector id)
   | None -> false
+
+(* ---- Audit emission ---------------------------------------------- *)
+
+(* The event is built inside a thunk so an unaudited run pays one
+   [match] per site and allocates nothing. *)
+let audit_emit w f =
+  match w.audit with None -> () | Some a -> Audit.Checker.record a (f ())
+
+let msg_aid = function
+  | Data (_, _, aid) -> aid
+  | Control _ | Teardown _ -> -1 (* control traffic: counted, not traced *)
+
+(* The liveness view a steering decision saw: the signature of the
+   believed-failed set when failover consults the detector, 0 when no
+   liveness filtering applies (the stickiness invariant holds per
+   view). *)
+let steer_view w =
+  match w.fault with
+  | Some f when w.cfg.failover ->
+    Fault.Detector.belief_signature f.detector ~now:(Dess.Engine.now w.engine)
+  | _ -> 0L
 
 (* ---- Live-control-plane device indexing -------------------------- *)
 
@@ -256,17 +289,19 @@ let installed_version w entity =
    sticky to the weights that admitted them for exactly one update
    boundary; beyond that the flow is re-steered under newer weights
    (its stale label entries have been purged by then). *)
+let decision_version w ?admitted entity =
+  match w.live with
+  | None -> 0
+  | Some ls -> (
+    let inst = ls.device_version.(dev_of_entity w entity) in
+    match admitted with
+    | Some a when a < inst -> Stdlib.max a (inst - 1)
+    | _ -> inst)
+
 let decision_controller w ?admitted entity =
   match w.live with
   | None -> w.controller
-  | Some ls ->
-    let inst = ls.device_version.(dev_of_entity w entity) in
-    let v =
-      match admitted with
-      | Some a when a < inst -> Stdlib.max a (inst - 1)
-      | _ -> inst
-    in
-    ls.configs.(v)
+  | Some ls -> ls.configs.(decision_version w ?admitted entity)
 
 (* Steering decision under faults: with failover on, entities consult
    the failure detector's (delayed) view; with it off they keep using
@@ -325,7 +360,7 @@ let resolve w addr =
     | None -> None)
 
 let msg_dst = function
-  | Data (pkt, _) -> pkt.Netpkt.Packet.header.Netpkt.Header.dst
+  | Data (pkt, _, _) -> pkt.Netpkt.Packet.header.Netpkt.Header.dst
   | Control { dst; _ } -> dst
   | Teardown { dst; _ } -> dst
 
@@ -334,10 +369,15 @@ let msg_dst = function
    endpoints would reassemble anyway), only the statistic records the
    overhead label switching exists to avoid. *)
 let note_fragments w = function
-  | Data (pkt, _) ->
-    w.counters.fragments <-
-      w.counters.fragments
-      + (Netpkt.Fragment.count ~mtu:w.cfg.mtu (Netpkt.Packet.size pkt) - 1)
+  | Data (pkt, _, aid) ->
+    let extra =
+      Netpkt.Fragment.count ~mtu:w.cfg.mtu (Netpkt.Packet.size pkt) - 1
+    in
+    w.counters.fragments <- w.counters.fragments + extra;
+    if extra > 0 then
+      audit_emit w (fun () ->
+          Audit.Event.Fragmented
+            { aid; time = Dess.Engine.now w.engine; extra })
   | Control _ | Teardown _ -> ()
 
 (* Figure 3: a web proxy holding the requested page "honors" the
@@ -359,10 +399,12 @@ let wp_serves_from_cache w (mb : Mbox.Middlebox.t) ~src ~label ~flow_hash =
 
 (* The cached response: modelled as immediate delivery back to the
    client (the reverse path carries no policy work in our classes). *)
-let serve_from_cache w ~born =
+let serve_from_cache w ~born ~aid ~mbox =
   w.counters.wp_served <- w.counters.wp_served + 1;
   w.counters.delivered <- w.counters.delivered + 1;
-  Stdx.Fvec.push w.latencies (Dess.Engine.now w.engine -. born)
+  Stdx.Fvec.push w.latencies (Dess.Engine.now w.engine -. born);
+  audit_emit w (fun () ->
+      Audit.Event.Wp_served { aid; time = Dess.Engine.now w.engine; mbox })
 
 (* Hop fast-forwarding: the routers between two policy decision points
    are policy-oblivious and their tables (and ECMP hash choices) are
@@ -375,12 +417,22 @@ let serve_from_cache w ~born =
    bit-identical to per-hop execution. *)
 let rec send w ~from_router msg =
   note_fragments w msg;
+  let audit_drop reason =
+    audit_emit w (fun () ->
+        Audit.Event.Dropped
+          { aid = msg_aid msg; time = Dess.Engine.now w.engine; reason })
+  in
   match resolve w (msg_dst msg) with
-  | None -> w.counters.dropped <- w.counters.dropped + 1
+  | None ->
+    w.counters.dropped <- w.counters.dropped + 1;
+    audit_drop Audit.Event.Unroutable
   | Some (target_router, endpoint) ->
     let rec walk router time =
       if router = target_router then begin
-        if link_lost w msg then drop_to_fault w
+        if link_lost w msg then begin
+          drop_to_fault w;
+          audit_drop Audit.Event.Link_loss
+        end
         else
           ignore
             (Dess.Engine.schedule_at w.engine ~time:(time +. w.cfg.link_delay)
@@ -388,9 +440,14 @@ let rec send w ~from_router msg =
       end
       else
         match next_hop_for w ~router ~target_router msg with
-        | None -> w.counters.dropped <- w.counters.dropped + 1
+        | None ->
+          w.counters.dropped <- w.counters.dropped + 1;
+          audit_drop Audit.Event.Unroutable
         | Some hop ->
-          if link_lost w msg then drop_to_fault w
+          if link_lost w msg then begin
+            drop_to_fault w;
+            audit_drop Audit.Event.Link_loss
+          end
           else begin
             w.counters.hops <- w.counters.hops + 1;
             walk hop (time +. w.cfg.link_delay)
@@ -411,7 +468,7 @@ and next_hop_for w ~router ~target_router msg =
     | hops ->
       let h =
         match msg with
-        | Data (pkt, _) ->
+        | Data (pkt, _, _) ->
           let hd = pkt.Netpkt.Packet.header in
           Stdx.Xhash.ints
             [ router; hd.Netpkt.Header.src; hd.Netpkt.Header.dst;
@@ -449,23 +506,40 @@ and control_attempt w ~from_router ~sender ~retries_left msg =
 
 and deliver w endpoint msg =
   match (endpoint, msg) with
-  | To_subnet proxy_id, Data (pkt, born) ->
+  | To_subnet proxy_id, Data (pkt, born, aid) ->
     (* Arrived in its stub network.  Encapsulated packets must not
        reach subnets; plain ones are final deliveries. *)
-    if Netpkt.Packet.is_encapsulated pkt then
-      w.counters.dropped <- w.counters.dropped + 1
+    if Netpkt.Packet.is_encapsulated pkt then begin
+      w.counters.dropped <- w.counters.dropped + 1;
+      audit_emit w (fun () ->
+          Audit.Event.Dropped
+            { aid;
+              time = Dess.Engine.now w.engine;
+              reason = Audit.Event.Encap_at_subnet })
+    end
     else begin
       ignore proxy_id;
       w.counters.delivered <- w.counters.delivered + 1;
-      Stdx.Fvec.push w.latencies (Dess.Engine.now w.engine -. born)
+      Stdx.Fvec.push w.latencies (Dess.Engine.now w.engine -. born);
+      audit_emit w (fun () ->
+          Audit.Event.Delivered
+            { aid;
+              time = Dess.Engine.now w.engine;
+              bytes = Netpkt.Packet.size pkt })
     end
   | To_subnet proxy_id, Control { flow; _ } ->
     w.counters.control <- w.counters.control + 1;
-    ignore (Policy.Flow_cache.mark_ls_ready w.proxy_caches.(proxy_id) flow)
+    ignore (Policy.Flow_cache.mark_ls_ready w.proxy_caches.(proxy_id) flow);
+    audit_emit w (fun () ->
+        Audit.Event.Ls_confirm
+          { proxy = proxy_id; time = Dess.Engine.now w.engine; flow })
   | To_subnet proxy_id, Teardown { label; _ } -> (
     (* A downstream label entry expired: drop back to IP-over-IP until
        a fresh first packet re-establishes the path. *)
     w.counters.teardowns <- w.counters.teardowns + 1;
+    audit_emit w (fun () ->
+        Audit.Event.Ls_teardown
+          { proxy = proxy_id; time = Dess.Engine.now w.engine; label });
     match Hashtbl.find_opt w.proxy_label_index.(proxy_id) label with
     | None -> ()
     | Some flow -> (
@@ -473,10 +547,10 @@ and deliver w endpoint msg =
       match Policy.Flow_cache.lookup w.proxy_caches.(proxy_id) ~now flow with
       | Some entry -> entry.Policy.Flow_cache.ls_ready <- false
       | None -> ()))
-  | To_mbox id, Data (pkt, born) ->
+  | To_mbox id, Data (pkt, born, aid) ->
     (* FIFO service: a busy middlebox queues the packet; the wait is
        end-to-end latency, which is how overload becomes visible. *)
-    if w.cfg.service_rate = infinity then mbox_receive w id pkt ~born
+    if w.cfg.service_rate = infinity then mbox_receive w id pkt ~born ~aid
     else begin
       let now = Dess.Engine.now w.engine in
       let start = Stdlib.max now w.busy_until.(id) in
@@ -484,10 +558,15 @@ and deliver w endpoint msg =
       w.busy_until.(id) <- depart;
       ignore
         (Dess.Engine.schedule_at w.engine ~time:depart (fun _ ->
-             mbox_receive w id pkt ~born))
+             mbox_receive w id pkt ~born ~aid))
     end
   | To_mbox _, (Control _ | Teardown _) ->
-    w.counters.dropped <- w.counters.dropped + 1
+    w.counters.dropped <- w.counters.dropped + 1;
+    audit_emit w (fun () ->
+        Audit.Event.Dropped
+          { aid = -1;
+            time = Dess.Engine.now w.engine;
+            reason = Audit.Event.Unroutable })
 
 (* ---- Middlebox data path ---------------------------------------- *)
 
@@ -515,36 +594,47 @@ and mbox_actions w id flow =
            ~actions:rule.Policy.Rule.actions ());
       Some (rule.Policy.Rule.actions, rule.Policy.Rule.id))
 
-and mbox_receive w id pkt ~born =
+and mbox_receive w id pkt ~born ~aid =
   if mbox_is_down w id then begin
     (* Steered into a crashed middlebox (the detection window, or
        failover disabled): the packet is lost unenforced. *)
     drop_to_fault w;
+    audit_emit w (fun () ->
+        Audit.Event.Dropped
+          { aid;
+            time = Dess.Engine.now w.engine;
+            reason = Audit.Event.Dead_mbox });
     policy_violation w
   end
-  else mbox_process w id pkt ~born
+  else mbox_process w id pkt ~born ~aid
 
-and mbox_process w id pkt ~born =
+and mbox_process w id pkt ~born ~aid =
   let mb = w.dep.Sdm.Deployment.middleboxes.(id) in
   match Netpkt.Packet.decapsulate pkt with
   | Some inner -> (
     (* Tunnelled leg: strip the outer header, apply the function. *)
     w.counters.tunneled <- w.counters.tunneled + 1;
     w.loads.(id) <- w.loads.(id) +. 1.0;
+    audit_emit w (fun () ->
+        Audit.Event.Enforced
+          { aid;
+            time = Dess.Engine.now w.engine;
+            mbox = id;
+            nf = mb.Mbox.Middlebox.nf });
     let flow = Netpkt.Packet.inner_flow pkt in
     let proxy_addr = pkt.Netpkt.Packet.header.Netpkt.Header.src in
     match mbox_actions w id flow with
     | None ->
       (* A tunnelled packet the middlebox cannot classify: forward the
          inner packet onward unprocessed. *)
-      send w ~from_router:mb.Mbox.Middlebox.router (Data (inner, born))
+      send w ~from_router:mb.Mbox.Middlebox.router (Data (inner, born, aid))
     | Some (actions, rule_id) -> (
       let rule = Hashtbl.find w.rule_by_id rule_id in
       let label = inner.Netpkt.Packet.header.Netpkt.Header.label in
       if
         wp_serves_from_cache w mb ~src:flow.Netpkt.Flow.src ~label
           ~flow_hash:(Netpkt.Flow.hash flow)
-      then serve_from_cache w ~born
+      then serve_from_cache w ~born ~aid ~mbox:id
       else
       match Policy.Action.next_after actions mb.Mbox.Middlebox.nf with
       | Some nf' -> (
@@ -555,21 +645,43 @@ and mbox_process w id pkt ~born =
           (* Every candidate for the rest of the chain is believed
              dead: degrade gracefully by dropping just this packet. *)
           w.counters.dropped <- w.counters.dropped + 1;
+          audit_emit w (fun () ->
+              Audit.Event.Dropped
+                { aid;
+                  time = Dess.Engine.now w.engine;
+                  reason = Audit.Event.No_candidate });
           policy_violation w
         | Ok y ->
+          audit_emit w (fun () ->
+              Audit.Event.Steered
+                { aid;
+                  time = Dess.Engine.now w.engine;
+                  entity = Mbox.Entity.Middlebox id;
+                  rule_id;
+                  nf = nf';
+                  version = decision_version w (Mbox.Entity.Middlebox id);
+                  view = steer_view w;
+                  mbox = y.Mbox.Middlebox.id });
           (match (label, w.cfg.label_switching) with
           | Some l, true ->
             Mbox.Label_table.insert w.mbox_labels.(id)
               ~now:(Dess.Engine.now w.engine)
               ~version:(installed_version w (Mbox.Entity.Middlebox id))
               { Mbox.Label_table.src = flow.Netpkt.Flow.src; label = l }
-              ~actions ~next:(Some y.Mbox.Middlebox.addr) ~final_dst:None
+              ~actions ~next:(Some y.Mbox.Middlebox.addr) ~final_dst:None;
+            audit_emit w (fun () ->
+                Audit.Event.Label_insert
+                  { mbox = id;
+                    time = Dess.Engine.now w.engine;
+                    src = flow.Netpkt.Flow.src;
+                    label = l;
+                    version = installed_version w (Mbox.Entity.Middlebox id) })
           | _ -> ());
           let outer =
             Netpkt.Packet.encapsulate ~src:proxy_addr ~dst:y.Mbox.Middlebox.addr
               inner
           in
-          send w ~from_router:mb.Mbox.Middlebox.router (Data (outer, born)))
+          send w ~from_router:mb.Mbox.Middlebox.router (Data (outer, born, aid)))
       | None ->
         (* Last function of the chain: restore normal routing and
            confirm the label-switched path to the proxy. *)
@@ -580,15 +692,28 @@ and mbox_process w id pkt ~born =
             ~version:(installed_version w (Mbox.Entity.Middlebox id))
             { Mbox.Label_table.src = flow.Netpkt.Flow.src; label = l }
             ~actions ~next:None ~final_dst:(Some flow.Netpkt.Flow.dst);
+          audit_emit w (fun () ->
+              Audit.Event.Label_insert
+                { mbox = id;
+                  time = Dess.Engine.now w.engine;
+                  src = flow.Netpkt.Flow.src;
+                  label = l;
+                  version = installed_version w (Mbox.Entity.Middlebox id) });
           send_control w ~from_router:mb.Mbox.Middlebox.router
             ~sender:(dev_of_mbox w id)
             (Control { dst = proxy_addr; flow })
         | _ -> ());
-        send w ~from_router:mb.Mbox.Middlebox.router (Data (inner, born))))
+        send w ~from_router:mb.Mbox.Middlebox.router (Data (inner, born, aid))))
   | None -> (
     (* No outer header: a label-switched packet addressed to us. *)
     match pkt.Netpkt.Packet.header.Netpkt.Header.label with
-    | None -> w.counters.dropped <- w.counters.dropped + 1
+    | None ->
+      w.counters.dropped <- w.counters.dropped + 1;
+      audit_emit w (fun () ->
+          Audit.Event.Dropped
+            { aid;
+              time = Dess.Engine.now w.engine;
+              reason = Audit.Event.No_label })
     | Some l -> (
       let key =
         { Mbox.Label_table.src = pkt.Netpkt.Packet.header.Netpkt.Header.src;
@@ -604,6 +729,11 @@ and mbox_process w id pkt ~born =
            the proxy is told to re-establish. *)
         w.counters.dropped <- w.counters.dropped + 1;
         w.counters.label_misses <- w.counters.label_misses + 1;
+        audit_emit w (fun () ->
+            Audit.Event.Dropped
+              { aid;
+                time = Dess.Engine.now w.engine;
+                reason = Audit.Event.Label_miss });
         (match
            Sdm.Deployment.proxy_of_addr w.dep
              pkt.Netpkt.Packet.header.Netpkt.Header.src
@@ -616,11 +746,24 @@ and mbox_process w id pkt ~born =
       | Some entry ->
         w.counters.label_switched <- w.counters.label_switched + 1;
         w.loads.(id) <- w.loads.(id) +. 1.0;
+        audit_emit w (fun () ->
+            Audit.Event.Label_hit
+              { mbox = id;
+                time = Dess.Engine.now w.engine;
+                src = pkt.Netpkt.Packet.header.Netpkt.Header.src;
+                label = l;
+                version = entry.Mbox.Label_table.version });
+        audit_emit w (fun () ->
+            Audit.Event.Enforced
+              { aid;
+                time = Dess.Engine.now w.engine;
+                mbox = id;
+                nf = mb.Mbox.Middlebox.nf });
         if
           wp_serves_from_cache w mb
             ~src:pkt.Netpkt.Packet.header.Netpkt.Header.src ~label:(Some l)
             ~flow_hash:0L
-        then serve_from_cache w ~born
+        then serve_from_cache w ~born ~aid ~mbox:id
         else
         let header = pkt.Netpkt.Packet.header in
         let forward_to, strip =
@@ -632,12 +775,14 @@ and mbox_process w id pkt ~born =
         let header = Netpkt.Header.with_dst header forward_to in
         let header = if strip then Netpkt.Header.clear_label header else header in
         send w ~from_router:mb.Mbox.Middlebox.router
-          (Data ({ pkt with Netpkt.Packet.header }, born))))
+          (Data ({ pkt with Netpkt.Packet.header }, born, aid))))
 
 (* ---- Proxy data path -------------------------------------------- *)
 
-(* The proxy's decision for one outbound packet of [fs]. *)
-let proxy_emit w (fs : Workload.flow_spec) =
+(* The proxy's decision for one outbound packet of [fs].  [aid] is the
+   packet's audit identity — the injected-packet counter at admission,
+   carried on the wire for the auditor's benefit only. *)
+let proxy_emit w (fs : Workload.flow_spec) ~aid =
   let proxy_id = fs.Workload.src_proxy in
   let proxy = w.dep.Sdm.Deployment.proxies.(proxy_id) in
   let now = Dess.Engine.now w.engine in
@@ -649,67 +794,130 @@ let proxy_emit w (fs : Workload.flow_spec) =
   let payload_bytes = max 0 (fs.Workload.packet_bytes - Netpkt.Header.size) in
   let plain = Netpkt.Packet.plain header ~payload_bytes in
   let entity = Mbox.Entity.Proxy proxy_id in
+  let audit_admit ~admission ~version ~label =
+    audit_emit w (fun () ->
+        Audit.Event.Admitted
+          { aid;
+            time = now;
+            flow;
+            proxy = proxy_id;
+            admission;
+            version;
+            bytes = Netpkt.Packet.size plain;
+            label })
+  in
   let tunnel_first ~rule ~label ~admitted =
-    let nf = List.hd rule.Policy.Rule.actions in
-    match controller_next_hop w ~admitted entity ~rule ~nf flow with
-    | Error `No_live_candidate ->
-      (* Nowhere alive to start the chain: degrade gracefully by
-         dropping the packet instead of aborting the run. *)
-      w.counters.dropped <- w.counters.dropped + 1;
-      policy_violation w
-    | Ok mb ->
-      let inner =
-        match label with
-        | Some l ->
-          { plain with Netpkt.Packet.header = Netpkt.Header.with_label header l }
-        | None -> plain
-      in
-      let outer =
-        Netpkt.Packet.encapsulate ~src:proxy.Mbox.Proxy.addr
-          ~dst:mb.Mbox.Middlebox.addr inner
-      in
-      send w ~from_router:proxy.Mbox.Proxy.router (Data (outer, now))
+    match w.cfg.debug_bypass_chain with
+    | Some n when n > 0 && aid mod n = 0 ->
+      (* Test-only corruption hook: every n-th packet skips its chain
+         entirely and travels straight to the destination — exactly
+         the escape the audit's chain invariant must catch. *)
+      send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now, aid))
+    | _ -> (
+      let nf = List.hd rule.Policy.Rule.actions in
+      match controller_next_hop w ~admitted entity ~rule ~nf flow with
+      | Error `No_live_candidate ->
+        (* Nowhere alive to start the chain: degrade gracefully by
+           dropping the packet instead of aborting the run. *)
+        w.counters.dropped <- w.counters.dropped + 1;
+        audit_emit w (fun () ->
+            Audit.Event.Dropped
+              { aid; time = now; reason = Audit.Event.No_candidate });
+        policy_violation w
+      | Ok mb ->
+        audit_emit w (fun () ->
+            Audit.Event.Steered
+              { aid;
+                time = now;
+                entity;
+                rule_id = rule.Policy.Rule.id;
+                nf;
+                version = decision_version w ~admitted entity;
+                view = steer_view w;
+                mbox = mb.Mbox.Middlebox.id });
+        let inner =
+          match label with
+          | Some l ->
+            { plain with Netpkt.Packet.header = Netpkt.Header.with_label header l }
+          | None -> plain
+        in
+        let outer =
+          Netpkt.Packet.encapsulate ~src:proxy.Mbox.Proxy.addr
+            ~dst:mb.Mbox.Middlebox.addr inner
+        in
+        send w ~from_router:proxy.Mbox.Proxy.router (Data (outer, now, aid)))
   in
   match Policy.Flow_cache.lookup cache ~now flow with
-  | Some { actions = Some a; _ } when Policy.Action.is_permit a ->
+  | Some { actions = Some a; rule_id; _ } when Policy.Action.is_permit a ->
     w.counters.cache_hits <- w.counters.cache_hits + 1;
-    send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now))
+    audit_admit
+      ~admission:(Audit.Event.Permit (Some rule_id))
+      ~version:(installed_version w entity) ~label:None;
+    send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now, aid))
   | Some ({ actions = Some _; rule_id; label; cfg_version; _ } as entry) ->
     w.counters.cache_hits <- w.counters.cache_hits + 1;
     note_traffic w fs ~rule_id;
     let rule = Hashtbl.find w.rule_by_id rule_id in
-    if entry.Policy.Flow_cache.ls_ready && w.cfg.label_switching then begin
+    let ls_path = entry.Policy.Flow_cache.ls_ready && w.cfg.label_switching in
+    audit_admit
+      ~admission:
+        (Audit.Event.Chained
+           { rule_id;
+             mode = (if ls_path then Audit.Event.Label else Audit.Event.Tunnel) })
+      ~version:(decision_version w ~admitted:cfg_version entity)
+      ~label;
+    if ls_path then begin
       (* Established label-switched path: embed the label, address the
          packet straight to the first middlebox, no outer header. *)
       let nf = List.hd rule.Policy.Rule.actions in
       match controller_next_hop w ~admitted:cfg_version entity ~rule ~nf flow with
       | Error `No_live_candidate ->
         w.counters.dropped <- w.counters.dropped + 1;
+        audit_emit w (fun () ->
+            Audit.Event.Dropped
+              { aid; time = now; reason = Audit.Event.No_candidate });
         policy_violation w
       | Ok mb ->
+        audit_emit w (fun () ->
+            Audit.Event.Steered
+              { aid;
+                time = now;
+                entity;
+                rule_id;
+                nf;
+                version = decision_version w ~admitted:cfg_version entity;
+                view = steer_view w;
+                mbox = mb.Mbox.Middlebox.id });
         let header =
           Netpkt.Header.with_dst
             (Netpkt.Header.with_label header (Option.get label))
             mb.Mbox.Middlebox.addr
         in
         send w ~from_router:proxy.Mbox.Proxy.router
-          (Data ({ plain with Netpkt.Packet.header }, now))
+          (Data ({ plain with Netpkt.Packet.header }, now, aid))
     end
     else tunnel_first ~rule ~label ~admitted:cfg_version
   | Some { actions = None; _ } ->
     w.counters.cache_negative_hits <- w.counters.cache_negative_hits + 1;
-    send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now))
+    audit_admit ~admission:Audit.Event.Unmatched
+      ~version:(installed_version w entity) ~label:None;
+    send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now, aid))
   | None -> (
     w.counters.lookups <- w.counters.lookups + 1;
     match Policy.Trie.first_match w.proxy_tries.(proxy_id) flow with
     | None ->
       ignore (Policy.Flow_cache.insert_negative cache ~now flow);
-      send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now))
+      audit_admit ~admission:Audit.Event.Unmatched
+        ~version:(installed_version w entity) ~label:None;
+      send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now, aid))
     | Some rule when Policy.Action.is_permit rule.Policy.Rule.actions ->
       ignore
         (Policy.Flow_cache.insert cache ~now flow ~rule_id:rule.Policy.Rule.id
            ~actions:Policy.Action.permit ());
-      send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now))
+      audit_admit
+        ~admission:(Audit.Event.Permit (Some rule.Policy.Rule.id))
+        ~version:(installed_version w entity) ~label:None;
+      send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now, aid))
     | Some rule ->
       let label =
         if w.cfg.label_switching then begin
@@ -725,6 +933,14 @@ let proxy_emit w (fs : Workload.flow_spec) =
       ignore
         (Policy.Flow_cache.insert cache ~now flow ~rule_id:rule.Policy.Rule.id
            ~actions:rule.Policy.Rule.actions ?label ~cfg_version:admitted ());
+      audit_admit
+        ~admission:
+          (Audit.Event.Chained
+             { rule_id = rule.Policy.Rule.id; mode = Audit.Event.Tunnel })
+        ~version:admitted ~label;
+      audit_emit w (fun () ->
+          Audit.Event.Cache_insert
+            { proxy = proxy_id; time = now; flow; version = admitted });
       tunnel_first ~rule ~label ~admitted)
 
 (* ---- Fault-schedule execution ----------------------------------- *)
@@ -800,6 +1016,9 @@ let route_hops w ~from ~target =
 let install_config w ls ~dev ~version =
   if version > ls.device_version.(dev) then begin
     ls.device_version.(dev) <- version;
+    audit_emit w (fun () ->
+        Audit.Event.Config_install
+          { dev; time = Dess.Engine.now w.engine; version });
     match dev_entity w dev with
     | Mbox.Entity.Middlebox id ->
       ignore
@@ -901,6 +1120,12 @@ let reoptimize w ls =
       ls.configs <- Array.append ls.configs [| next |];
       ls.latest <- ls.latest + 1;
       w.counters.reopts <- w.counters.reopts + 1;
+      (match w.audit with
+      | None -> ()
+      | Some a ->
+        Audit.Checker.register_config a ~version:ls.latest next;
+        Audit.Checker.record a
+          (Audit.Event.Config_publish { time = now; version = ls.latest }));
       for dev = 0 to n_devices w - 1 do
         push_config w ls ~dev ~version:ls.latest ~attempt:0
       done)
@@ -1054,6 +1279,9 @@ let run ?(config = default_config) ~controller ~workload () =
       mbox_index;
       rule_by_id;
       fault;
+      audit =
+        (if config.audit then Some (Audit.Checker.create ~controller ())
+         else None);
       live =
         (match config.live with
         | None -> None
@@ -1117,8 +1345,9 @@ let run ?(config = default_config) ~controller ~workload () =
             (Dess.Engine.schedule_at w.engine
                ~time:(start +. (float_of_int i *. config.packet_interval))
                (fun _ ->
-                 w.counters.injected <- w.counters.injected + 1;
-                 proxy_emit w fs;
+                 let aid = w.counters.injected in
+                 w.counters.injected <- aid + 1;
+                 proxy_emit w fs ~aid;
                  packet_at (i + 1)))
       in
       packet_at 0)
@@ -1145,6 +1374,23 @@ let run ?(config = default_config) ~controller ~workload () =
       (Dess.Engine.schedule_at w.engine ~time:ls.lcfg.reconcile_interval
          (fun _ -> reconcile w ls)));
   Dess.Engine.run engine;
+  let audit_report =
+    match w.audit with
+    | None -> None
+    | Some a ->
+      Some
+        (Audit.Checker.finalize
+           ~expect:
+             {
+               Audit.Checker.injected = w.counters.injected;
+               delivered = w.counters.delivered;
+               dropped = w.counters.dropped;
+               wp_served = w.counters.wp_served;
+               fragments = w.counters.fragments;
+               loads = w.loads;
+             }
+           a)
+  in
   let latency_mean, latency_p50, latency_p99 =
     let n = Stdx.Fvec.length w.latencies in
     if n = 0 then (0.0, 0.0, 0.0)
@@ -1218,4 +1464,5 @@ let run ?(config = default_config) ~controller ~workload () =
       (match w.live with
       | None -> Array.make (n_proxies + n_mboxes) 0
       | Some ls -> Array.copy ls.device_version);
+    audit_report;
   }

@@ -141,6 +141,20 @@ type config = {
       (** in-run reconfiguration.  [None] (the default) keeps the
           configuration static for the whole run — bit-identical to a
           build without the live control plane. *)
+  audit : bool;
+      (** online invariant auditing ({!Audit.Checker}): the run emits
+          a structured event per admission, steering decision,
+          enforcement, terminal fate and table mutation, and
+          {!stats.audit_report} carries the checked result.  Emission
+          is a pure side-channel — no randomness, no scheduled work —
+          so every other statistic is bit-identical to an unaudited
+          run.  Default false. *)
+  debug_bypass_chain : int option;
+      (** test-only corruption hook: [Some n] makes every n-th
+          admitted packet of an enforced flow skip its middlebox chain
+          and travel straight to the destination — the escape the
+          audit's chain invariant exists to catch.  Default [None]
+          (never set this outside tests). *)
 }
 
 val default_config : config
@@ -210,6 +224,9 @@ type stats = {
   entity_config_version : int array;
       (** per-device installed version at run end — the lag behind
           [final_config_version] attributes update stalls *)
+  audit_report : Audit.Checker.report option;
+      (** the invariant auditor's verdict; [None] unless
+          {!config.audit} was set *)
 }
 
 val run :

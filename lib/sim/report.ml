@@ -1,3 +1,6 @@
+(* Audit columns: "-" when the online audit was off for the run. *)
+let audit_cell = function None -> "-" | Some n -> string_of_int n
+
 let millions v =
   if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
   else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
@@ -151,12 +154,12 @@ let pp_chaos_ablation ppf (c : Experiment.chaos_report) =
   | None -> ());
   Format.fprintf ppf "control-packet loss: %.0f%% (masked by retransmission)@."
     (100.0 *. c.Experiment.chaos_control_loss);
-  Format.fprintf ppf "%-16s %7s %9s %10s %8s %10s %8s %9s %14s@." "mode"
+  Format.fprintf ppf "%-16s %7s %9s %10s %8s %10s %8s %9s %14s %6s@." "mode"
     "detect" "injected" "delivered" "dropped" "violating" "retries" "recovery"
-    "max surviving";
+    "max surviving" "audit";
   List.iter
     (fun (r : Experiment.chaos_row) ->
-      Format.fprintf ppf "%-16s %7s %9d %10d %8d %10d %8d %9.1f %14s@."
+      Format.fprintf ppf "%-16s %7s %9d %10d %8d %10d %8d %9.1f %14s %6s@."
         r.Experiment.chaos_mode
         (if Float.is_integer r.Experiment.chaos_delay then
            Printf.sprintf "%.0f" r.Experiment.chaos_delay
@@ -164,7 +167,8 @@ let pp_chaos_ablation ppf (c : Experiment.chaos_report) =
         r.Experiment.chaos_injected r.Experiment.chaos_delivered
         r.Experiment.chaos_dropped r.Experiment.chaos_violations
         r.Experiment.chaos_retries r.Experiment.chaos_recovery
-        (millions r.Experiment.chaos_max_surviving))
+        (millions r.Experiment.chaos_max_surviving)
+        (audit_cell r.Experiment.chaos_audit))
     c.Experiment.chaos_rows
 
 let pp_live_ablation ppf (l : Experiment.live_report) =
@@ -175,18 +179,20 @@ let pp_live_ablation ppf (l : Experiment.live_report) =
     l.Experiment.live_epoch l.Experiment.live_reconcile
     (millions l.Experiment.live_stale_max)
     (millions l.Experiment.live_clairvoyant_max);
-  Format.fprintf ppf "%8s %9s %10s %10s %9s %7s %6s %5s %9s %6s %10s@." "loss"
-    "injected" "delivered" "violating" "versions" "pushes" "acks" "lost"
-    "degraded" "stale" "max load";
+  Format.fprintf ppf "%8s %9s %10s %10s %9s %7s %6s %5s %9s %6s %10s %6s@."
+    "loss" "injected" "delivered" "violating" "versions" "pushes" "acks" "lost"
+    "degraded" "stale" "max load" "audit";
   List.iter
     (fun (r : Experiment.live_row) ->
-      Format.fprintf ppf "%7.0f%% %9d %10d %10d %9d %7d %6d %5d %9d %6d %10s@."
+      Format.fprintf ppf
+        "%7.0f%% %9d %10d %10d %9d %7d %6d %5d %9d %6d %10s %6s@."
         (100.0 *. r.Experiment.live_loss)
         r.Experiment.live_injected r.Experiment.live_delivered
         r.Experiment.live_violations r.Experiment.live_versions
         r.Experiment.live_pushes r.Experiment.live_acks r.Experiment.live_lost
         r.Experiment.live_degraded r.Experiment.live_stale
-        (millions r.Experiment.live_max_load))
+        (millions r.Experiment.live_max_load)
+        (audit_cell r.Experiment.live_audit))
     l.Experiment.live_rows;
   Format.fprintf ppf "@.per device (lossiest row):@.";
   Format.fprintf ppf "%-10s %8s %5s %8s %5s@." "device" "version" "lag"
@@ -201,17 +207,20 @@ let pp_live_ablation ppf (l : Experiment.live_report) =
 let live_csv (l : Experiment.live_report) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    "loss,injected,delivered,violating,versions,pushes,acks,lost,degraded,stale,bytes,max_load\n";
+    "loss,injected,delivered,violating,versions,pushes,acks,lost,degraded,stale,bytes,max_load,audit\n";
   List.iter
     (fun (r : Experiment.live_row) ->
       Buffer.add_string buf
-        (Printf.sprintf "%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n"
+        (Printf.sprintf "%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%s\n"
            r.Experiment.live_loss r.Experiment.live_injected
            r.Experiment.live_delivered r.Experiment.live_violations
            r.Experiment.live_versions r.Experiment.live_pushes
            r.Experiment.live_acks r.Experiment.live_lost
            r.Experiment.live_degraded r.Experiment.live_stale
-           r.Experiment.live_bytes r.Experiment.live_max_load))
+           r.Experiment.live_bytes r.Experiment.live_max_load
+           (match r.Experiment.live_audit with
+           | None -> ""
+           | Some n -> string_of_int n)))
     l.Experiment.live_rows;
   Buffer.contents buf
 

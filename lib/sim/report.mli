@@ -44,7 +44,9 @@ val table3_csv : Experiment.table3_row list -> string
 
 val live_csv : Experiment.live_report -> string
 (** One row per control-loss point of ABL-LIVE; header
-    [loss,injected,delivered,violating,versions,pushes,acks,lost,degraded,stale,bytes,max_load]. *)
+    [loss,injected,delivered,violating,versions,pushes,acks,lost,degraded,stale,bytes,max_load,audit].
+    The [audit] column is the online audit's violation count, empty
+    when auditing was off. *)
 
 val live_devices_csv : Experiment.live_report -> string
 (** Per-device view of ABL-LIVE's lossiest row; header

@@ -30,7 +30,10 @@ let cell t row key =
   Xhash.to_range h t.width
 
 let add t key v =
-  if v < 0.0 then invalid_arg "Count_min.add: negative value";
+  (* [not (v >= 0.0)] also catches NaN, which would otherwise poison
+     every cell it touches and the running total. *)
+  if (not (v >= 0.0)) || v = infinity then
+    invalid_arg "Count_min.add: value must be finite and non-negative";
   t.total <- t.total +. v;
   for row = 0 to t.depth - 1 do
     let c = cell t row key in

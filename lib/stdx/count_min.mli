@@ -16,7 +16,9 @@ val width : t -> int
 val depth : t -> int
 
 val add : t -> int64 -> float -> unit
-(** [add t key v] — raises [Invalid_argument] on negative [v]. *)
+(** [add t key v] — raises [Invalid_argument] unless [v] is finite and
+    non-negative (a NaN or infinite increment would poison every cell
+    it touches and the running total). *)
 
 val estimate : t -> int64 -> float
 (** Never less than the true total added for the key. *)

@@ -7,9 +7,19 @@ type summary = {
   stddev : float;
 }
 
+(* NaN poisons every statistic silently (it even breaks the sort order
+   percentiles rely on), so it is rejected up front.  Infinities stay
+   allowed: they order correctly and an infinite load is a meaningful
+   extreme. *)
+let reject_nan name samples =
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg (name ^ ": NaN sample"))
+    samples
+
 let summarize samples =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Stats.summarize: empty input";
+  reject_nan "Stats.summarize" samples;
   let total = Array.fold_left ( +. ) 0.0 samples in
   let mean = total /. float_of_int n in
   let mn = Array.fold_left min samples.(0) samples in
@@ -33,12 +43,14 @@ let rank_in sorted q =
    slower on float arrays. *)
 let percentile samples q =
   if Array.length samples = 0 then invalid_arg "Stats.percentile: empty input";
+  reject_nan "Stats.percentile" samples;
   let sorted = Array.copy samples in
   Array.sort Float.compare sorted;
   rank_in sorted q
 
 let percentiles samples qs =
   if Array.length samples = 0 then invalid_arg "Stats.percentiles: empty input";
+  reject_nan "Stats.percentiles" samples;
   let sorted = Array.copy samples in
   Array.sort Float.compare sorted;
   List.map (rank_in sorted) qs

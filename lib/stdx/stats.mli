@@ -14,17 +14,20 @@ type summary = {
 }
 
 val summarize : float array -> summary
-(** Raises [Invalid_argument] on an empty array. *)
+(** Raises [Invalid_argument] on an empty array or a NaN sample
+    (infinities are allowed; NaN silently poisons every statistic). *)
 
 val percentile : float array -> float -> float
 (** [percentile samples q] with [q] in [\[0, 1\]]; nearest-rank on a
-    sorted copy.  Raises [Invalid_argument] on an empty array. *)
+    sorted copy.  Raises [Invalid_argument] on an empty array or a NaN
+    sample. *)
 
 val percentiles : float array -> float list -> float list
 (** [percentiles samples qs] is [List.map (percentile samples) qs] but
     sorts the samples once for all requested quantiles — use this when
     reporting several quantiles of one large sample set.  Raises
-    [Invalid_argument] on an empty array or an out-of-range [q]. *)
+    [Invalid_argument] on an empty array, a NaN sample, or an
+    out-of-range [q]. *)
 
 val imbalance : float array -> float
 (** max / mean: 1.0 is perfectly balanced.  Raises on empty input or a

@@ -188,6 +188,49 @@ let test_detector_misuse () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "out-of-range id accepted"
 
+let test_signature_zero_when_healthy () =
+  let d = Fault.Detector.create ~n:4 ~delay:2.0 in
+  Alcotest.(check int64) "all-up signature" 0L
+    (Fault.Detector.belief_signature d ~now:0.0);
+  Alcotest.(check int64) "still zero later" 0L
+    (Fault.Detector.belief_signature d ~now:100.0)
+
+let test_signature_tracks_believed_set () =
+  (* Same believed-failed set => same signature, across detectors and
+     across query times; different sets => different signatures. *)
+  let a = Fault.Detector.create ~n:4 ~delay:1.0 in
+  Fault.Detector.crash a ~now:0.0 1;
+  Fault.Detector.crash a ~now:0.0 3;
+  let b = Fault.Detector.create ~n:4 ~delay:1.0 in
+  Fault.Detector.crash b ~now:5.0 3;
+  Fault.Detector.crash b ~now:6.0 1;
+  let sig_a = Fault.Detector.belief_signature a ~now:2.0 in
+  Alcotest.(check bool) "nonzero once failures are believed" true
+    (sig_a <> 0L);
+  Alcotest.(check int64) "order of crashes is irrelevant" sig_a
+    (Fault.Detector.belief_signature b ~now:10.0);
+  Alcotest.(check int64) "stable across query times" sig_a
+    (Fault.Detector.belief_signature a ~now:50.0);
+  let c = Fault.Detector.create ~n:4 ~delay:1.0 in
+  Fault.Detector.crash c ~now:0.0 1;
+  Alcotest.(check bool) "subset has a different signature" true
+    (Fault.Detector.belief_signature c ~now:2.0 <> sig_a)
+
+let test_signature_delay_window () =
+  let d = Fault.Detector.create ~n:2 ~delay:5.0 in
+  Fault.Detector.crash d ~now:10.0 0;
+  Alcotest.(check int64) "undetected crash keeps the old view" 0L
+    (Fault.Detector.belief_signature d ~now:14.0);
+  let detected = Fault.Detector.belief_signature d ~now:15.0 in
+  Alcotest.(check bool) "detected crash changes the view" true
+    (detected <> 0L);
+  Fault.Detector.recover d ~now:20.0 0;
+  Alcotest.(check int64) "undetected recovery keeps the failed view"
+    detected
+    (Fault.Detector.belief_signature d ~now:24.0);
+  Alcotest.(check int64) "detected recovery restores the clean view" 0L
+    (Fault.Detector.belief_signature d ~now:25.0)
+
 let suite =
   [
     Alcotest.test_case "schedule sorts events" `Quick test_schedule_sorts_events;
@@ -199,4 +242,10 @@ let suite =
       test_detector_believed_failed;
     Alcotest.test_case "detector zero delay" `Quick test_detector_zero_delay;
     Alcotest.test_case "detector misuse" `Quick test_detector_misuse;
+    Alcotest.test_case "belief signature zero when healthy" `Quick
+      test_signature_zero_when_healthy;
+    Alcotest.test_case "belief signature tracks the set" `Quick
+      test_signature_tracks_believed_set;
+    Alcotest.test_case "belief signature delay window" `Quick
+      test_signature_delay_window;
   ]

@@ -14,5 +14,6 @@ let () =
       ("mbox", Test_mbox.suite);
       ("sdm", Test_sdm.suite);
       ("sim", Test_sim.suite);
+      ("audit", Test_audit.suite);
       ("report", Test_report.suite);
     ]

@@ -135,9 +135,38 @@ let test_label_table_versions () =
   Alcotest.(check int) "nothing left to purge" 0
     (Mbox.Label_table.purge_versions_below t ~version:10)
 
+let test_proxy_make () =
+  let subnet = Netpkt.Addr.Prefix.of_string "10.3.0.0/16" in
+  let p =
+    Mbox.Proxy.make ~id:3 ~subnet ~router:7
+      ~addr:(Netpkt.Addr.of_string "10.3.0.1") ()
+  in
+  Alcotest.(check int) "id" 3 p.Mbox.Proxy.id;
+  Alcotest.(check int) "router" 7 p.Mbox.Proxy.router;
+  Alcotest.(check bool) "in-path by default" true
+    (p.Mbox.Proxy.attachment = Mbox.Proxy.In_path);
+  let rendered = Format.asprintf "%a" Mbox.Proxy.pp p in
+  Alcotest.(check string) "pp" "proxy3(10.3.0.0/16@r7)" rendered;
+  match Mbox.Proxy.make ~id:(-1) ~subnet ~router:0 ~addr:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative id accepted"
+
+let test_proxy_off_path () =
+  let subnet = Netpkt.Addr.Prefix.of_string "10.4.0.0/16" in
+  let p =
+    Mbox.Proxy.make ~id:4 ~subnet ~router:2 ~attachment:Mbox.Proxy.Off_path
+      ~addr:(Netpkt.Addr.of_string "10.4.0.1") ()
+  in
+  Alcotest.(check bool) "off-path preserved" true
+    (p.Mbox.Proxy.attachment = Mbox.Proxy.Off_path);
+  Alcotest.(check bool) "subnet covers its own address" true
+    (Netpkt.Addr.Prefix.contains p.Mbox.Proxy.subnet p.Mbox.Proxy.addr)
+
 let suite =
   [
     Alcotest.test_case "entity keys" `Quick test_entity_keys;
+    Alcotest.test_case "proxy make" `Quick test_proxy_make;
+    Alcotest.test_case "proxy off-path" `Quick test_proxy_off_path;
     Alcotest.test_case "middlebox make" `Quick test_middlebox_make;
     Alcotest.test_case "label table roundtrip" `Quick test_label_table_roundtrip;
     Alcotest.test_case "label table invariants" `Quick test_label_table_invariants;

@@ -165,6 +165,52 @@ let qcheck_fragment_conservation =
       && List.for_all (fun f -> Netpkt.Packet.size f <= mtu) frags
       && List.length frags = Netpkt.Fragment.count ~mtu (Netpkt.Packet.size pkt))
 
+(* Random packets for the reassembly properties: plain or IP-over-IP
+   up to two tunnel layers deep (the hot-potato path never nests
+   further in practice, but the arithmetic must not care). *)
+let gen_packet =
+  QCheck.Gen.(
+    pair (int_range 0 20000) (int_range 0 2) >|= fun (payload, depth) ->
+    let inner =
+      Netpkt.Packet.plain (Netpkt.Header.of_flow sample_flow)
+        ~payload_bytes:payload
+    in
+    let a = Netpkt.Addr.of_string "1.1.1.1"
+    and b = Netpkt.Addr.of_string "2.2.2.2" in
+    let rec wrap n p =
+      if n = 0 then p else wrap (n - 1) (Netpkt.Packet.encapsulate ~src:a ~dst:b p)
+    in
+    wrap depth inner)
+
+let qcheck_fragment_reassemble =
+  QCheck.Test.make ~count:300 ~name:"fragment/reassemble round-trips sizes"
+    QCheck.(make Gen.(pair gen_packet (int_range 68 9000)))
+    (fun (pkt, mtu) ->
+      let frags = Netpkt.Fragment.fragments ~mtu pkt in
+      match Netpkt.Fragment.reassemble frags with
+      | None -> false
+      | Some whole ->
+        (* Bytes always round-trip; a packet that fit in one fragment
+           round-trips structurally (tunnel layers intact). *)
+        Netpkt.Packet.size whole = Netpkt.Packet.size pkt
+        && whole.Netpkt.Packet.header = pkt.Netpkt.Packet.header
+        && (List.length frags > 1 || whole = pkt)
+        && (List.length frags = 1 || not (Netpkt.Packet.is_encapsulated whole)))
+
+let test_reassemble_rejects () =
+  Alcotest.(check bool) "empty list" true (Netpkt.Fragment.reassemble [] = None);
+  let pkt = Netpkt.Packet.plain (Netpkt.Header.of_flow sample_flow) ~payload_bytes:4000 in
+  let other =
+    Netpkt.Packet.plain
+      (Netpkt.Header.of_flow (Netpkt.Flow.reverse sample_flow))
+      ~payload_bytes:100
+  in
+  (* Fragments of different originals never merge. *)
+  Alcotest.(check bool) "mixed headers" true
+    (Netpkt.Fragment.reassemble
+       (other :: Netpkt.Fragment.fragments ~mtu:1500 pkt)
+    = None)
+
 let suite =
   [
     Alcotest.test_case "addr roundtrip" `Quick test_addr_roundtrip;
@@ -182,4 +228,7 @@ let suite =
     Alcotest.test_case "fragment count" `Quick test_fragment_count;
     Alcotest.test_case "fragments conserve payload" `Quick test_fragments_conserve_payload;
     QCheck_alcotest.to_alcotest qcheck_fragment_conservation;
+    QCheck_alcotest.to_alcotest qcheck_fragment_reassemble;
+    Alcotest.test_case "reassemble rejects foreign fragments" `Quick
+      test_reassemble_rejects;
   ]

@@ -497,6 +497,39 @@ let test_cache_purge () =
   Alcotest.(check int) "entries older than 5 dropped" 6 dropped;
   Alcotest.(check int) "size after purge" 4 (Policy.Flow_cache.size c)
 
+let test_cache_cfg_version () =
+  (* The admitting configuration version rides in the entry: live
+     reconfigurations keep a flow's steering sticky to it. *)
+  let c = Policy.Flow_cache.create () in
+  let f0 = flow "10.0.0.1" "10.1.0.1" in
+  let f3 = flow "10.0.0.2" "10.1.0.1" in
+  let _ =
+    Policy.Flow_cache.insert c ~now:0.0 f0 ~rule_id:1 ~actions:Policy.Action.[ FW ] ()
+  in
+  let _ =
+    Policy.Flow_cache.insert c ~now:0.0 f3 ~rule_id:1 ~actions:Policy.Action.[ FW ]
+      ~cfg_version:3 ()
+  in
+  (match Policy.Flow_cache.lookup c ~now:1.0 f0 with
+  | Some e ->
+    Alcotest.(check int) "static default" 0 e.Policy.Flow_cache.cfg_version
+  | None -> Alcotest.fail "expected hit");
+  match Policy.Flow_cache.lookup c ~now:1.0 f3 with
+  | Some e ->
+    Alcotest.(check int) "explicit version kept" 3 e.Policy.Flow_cache.cfg_version
+  | None -> Alcotest.fail "expected hit"
+
+let test_cache_negative_entry_shape () =
+  let c = Policy.Flow_cache.create () in
+  let f = flow "10.0.0.9" "10.1.0.1" in
+  let e = Policy.Flow_cache.insert_negative c ~now:0.0 f in
+  Alcotest.(check bool) "no actions" true (e.Policy.Flow_cache.actions = None);
+  Alcotest.(check int) "sentinel rule id" (-1) e.Policy.Flow_cache.rule_id;
+  Alcotest.(check (option int)) "no label" None e.Policy.Flow_cache.label;
+  Alcotest.(check int) "static version" 0 e.Policy.Flow_cache.cfg_version;
+  Alcotest.(check (float 1e-9)) "default timeout" 60.0
+    (Policy.Flow_cache.timeout c)
+
 let suite =
   [
     Alcotest.test_case "action structure" `Quick test_action_structure;
@@ -525,6 +558,9 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_dsl_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_dsl_never_crashes;
     Alcotest.test_case "cache insert/lookup" `Quick test_cache_insert_lookup;
+    Alcotest.test_case "cache config version" `Quick test_cache_cfg_version;
+    Alcotest.test_case "cache negative entry shape" `Quick
+      test_cache_negative_entry_shape;
     Alcotest.test_case "cache negative entries" `Quick test_cache_negative;
     Alcotest.test_case "cache soft-state timeout" `Quick test_cache_timeout;
     Alcotest.test_case "cache label-switch flag" `Quick test_cache_ls_flag;

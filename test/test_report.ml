@@ -66,6 +66,128 @@ let test_ablation_printers () =
   Alcotest.(check bool) "latency report" true
     (contains (render Sim.Report.pp_latency_ablation lat) "overhead")
 
+(* Hand-built reports keep the CSV emitter tests fast and let them pin
+   exact cell values, including both states of the audit column. *)
+let synthetic_live_report =
+  let row ~loss ~audit =
+    {
+      Sim.Experiment.live_loss = loss;
+      live_injected = 100;
+      live_delivered = 99;
+      live_violations = 0;
+      live_versions = 4;
+      live_pushes = 20;
+      live_acks = 19;
+      live_lost = 1;
+      live_degraded = 0;
+      live_stale = 2;
+      live_bytes = 1234;
+      live_max_load = 55.0;
+      live_events_processed = 5000;
+      live_audit = audit;
+    }
+  in
+  {
+    Sim.Experiment.live_epoch = 10.0;
+    live_reconcile = 2.5;
+    live_stale_max = 1000.0;
+    live_clairvoyant_max = 400.0;
+    live_rows = [ row ~loss:0.0 ~audit:None; row ~loss:0.10 ~audit:(Some 3) ];
+    live_devices =
+      [
+        {
+          Sim.Experiment.dev_name = "proxy0";
+          dev_version = 4;
+          dev_lag = 0;
+          dev_retries = 1;
+          dev_lost = 2;
+        };
+        {
+          Sim.Experiment.dev_name = "mbox7";
+          dev_version = 3;
+          dev_lag = 1;
+          dev_retries = 5;
+          dev_lost = 4;
+        };
+      ];
+  }
+
+let test_live_csv () =
+  let csv = Sim.Report.live_csv synthetic_live_report in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header"
+    "loss,injected,delivered,violating,versions,pushes,acks,lost,degraded,stale,bytes,max_load,audit"
+    (List.hd lines);
+  let cells line = String.split_on_char ',' line in
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "column count" 13 (List.length (cells line)))
+    lines;
+  (match lines with
+  | [ _; unaudited; audited ] ->
+    let u = cells unaudited and a = cells audited in
+    Alcotest.(check string) "loss cell" "0.00" (List.hd u);
+    Alcotest.(check string) "audit empty when off" "" (List.nth u 12);
+    Alcotest.(check string) "loss cell audited" "0.10" (List.hd a);
+    Alcotest.(check string) "audit count when on" "3" (List.nth a 12);
+    Alcotest.(check string) "bytes round-trip" "1234" (List.nth a 10);
+    (* Every numeric cell parses back. *)
+    List.iteri
+      (fun i cell ->
+        if i <> 12 then
+          Alcotest.(check bool)
+            (Printf.sprintf "cell %d numeric" i)
+            true
+            (float_of_string_opt cell <> None))
+      u
+  | _ -> Alcotest.fail "unexpected line structure")
+
+let test_live_devices_csv () =
+  let csv = Sim.Report.live_devices_csv synthetic_live_report in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' csv) in
+  Alcotest.(check int) "header + 2 devices" 3 (List.length lines);
+  Alcotest.(check string) "header" "device,version,lag,retries,lost"
+    (List.hd lines);
+  Alcotest.(check string) "proxy row" "proxy0,4,0,1,2" (List.nth lines 1);
+  Alcotest.(check string) "mbox row" "mbox7,3,1,5,4" (List.nth lines 2)
+
+let test_live_and_chaos_printers_audit_column () =
+  let out = render Sim.Report.pp_live_ablation synthetic_live_report in
+  Alcotest.(check bool) "live header has audit" true (contains out "audit");
+  Alcotest.(check bool) "live shows dash when off" true (contains out " -");
+  let chaos_row ~audit =
+    {
+      Sim.Experiment.chaos_mode = "LB+failover";
+      chaos_delay = 2.0;
+      chaos_injected = 100;
+      chaos_delivered = 99;
+      chaos_dropped = 1;
+      chaos_violations = 1;
+      chaos_retries = 0;
+      chaos_recovery = 1.5;
+      chaos_max_surviving = 80.0;
+      chaos_events_processed = 4000;
+      chaos_audit = audit;
+    }
+  in
+  let report =
+    {
+      Sim.Experiment.chaos_victim = 11;
+      chaos_victim_nf = Policy.Action.IDS;
+      chaos_crash_at = 25.0;
+      chaos_link = Some (0, 2);
+      chaos_link_fail_at = 45.0;
+      chaos_link_restore_at = 65.0;
+      chaos_control_loss = 0.02;
+      chaos_rows = [ chaos_row ~audit:None; chaos_row ~audit:(Some 7) ];
+    }
+  in
+  let out = render Sim.Report.pp_chaos_ablation report in
+  Alcotest.(check bool) "chaos header has audit" true (contains out "audit");
+  Alcotest.(check bool) "chaos shows dash when off" true (contains out " -");
+  Alcotest.(check bool) "chaos shows the count when on" true (contains out "7")
+
 let suite =
   [
     Alcotest.test_case "figure rendering" `Slow test_figure_rendering;
@@ -73,4 +195,8 @@ let suite =
     Alcotest.test_case "table3 rendering and CSV" `Slow test_table3_rendering_and_csv;
     Alcotest.test_case "millions formatting" `Quick test_millions;
     Alcotest.test_case "ablation printers" `Slow test_ablation_printers;
+    Alcotest.test_case "live CSV cells" `Quick test_live_csv;
+    Alcotest.test_case "live devices CSV" `Quick test_live_devices_csv;
+    Alcotest.test_case "audit column in printers" `Quick
+      test_live_and_chaos_printers_audit_column;
   ]

@@ -832,6 +832,58 @@ let test_controlplane_pricing () =
   Alcotest.(check bool) "reports non-empty" true
     (lb.Sim.Controlplane.report_bytes_per_epoch > 0)
 
+let test_controlplane_device_indexing () =
+  (* The flat device index (proxies first, then middleboxes) is the
+     convention shared by per-device statistics and the audit layer's
+     Config_install events — it must be a bijection. *)
+  let dep = campus () in
+  let n_proxies = Array.length dep.Sdm.Deployment.proxies in
+  let n_mboxes = Array.length dep.Sdm.Deployment.middleboxes in
+  let count = Sim.Controlplane.device_count dep in
+  Alcotest.(check int) "count = proxies + middleboxes"
+    (n_proxies + n_mboxes) count;
+  for d = 0 to count - 1 do
+    let e = Sim.Controlplane.entity_of_device dep d in
+    Alcotest.(check int)
+      ("round-trip device " ^ string_of_int d)
+      d
+      (Sim.Controlplane.device_of_entity dep e)
+  done;
+  Alcotest.(check bool) "proxies come first" true
+    (Sim.Controlplane.entity_of_device dep 0 = Mbox.Entity.Proxy 0);
+  Alcotest.(check bool) "middleboxes follow" true
+    (Sim.Controlplane.entity_of_device dep n_proxies = Mbox.Entity.Middlebox 0);
+  (match Sim.Controlplane.entity_of_device dep count with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range device accepted");
+  match Sim.Controlplane.entity_of_device dep (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative device accepted"
+
+let test_controlplane_entity_bytes () =
+  let dep = campus () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:5 ~flows:1_000 () in
+  let rules = workload.Sim.Workload.rules in
+  let traffic = Sim.Workload.measure workload in
+  let configure kind =
+    match Sdm.Controller.configure dep ~rules kind with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let hp = configure Sdm.Controller.Hot_potato in
+  let lb = configure (Sdm.Controller.Load_balanced traffic) in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        ("positive config size for " ^ Mbox.Entity.to_string e)
+        true
+        (Sim.Controlplane.entity_bytes lb e > 0))
+    [ Mbox.Entity.Proxy 0; Mbox.Entity.Middlebox 0 ];
+  (* LB configurations carry the weight tables; hot-potato ones don't. *)
+  Alcotest.(check bool) "LB proxy config is no smaller" true
+    (Sim.Controlplane.entity_bytes lb (Mbox.Entity.Proxy 0)
+    >= Sim.Controlplane.entity_bytes hp (Mbox.Entity.Proxy 0))
+
 let test_experiment_k1_equals_hp () =
   (* k = 1 degenerates the LB candidate sets to the closest middlebox:
      identical loads to hot-potato. *)
@@ -1337,6 +1389,10 @@ let suite =
     Alcotest.test_case "epoch adaptation" `Slow test_epoch_adaptation;
     Alcotest.test_case "queue ablation" `Slow test_queue_ablation;
     Alcotest.test_case "control-plane pricing" `Quick test_controlplane_pricing;
+    Alcotest.test_case "control-plane device indexing" `Quick
+      test_controlplane_device_indexing;
+    Alcotest.test_case "control-plane entity bytes" `Quick
+      test_controlplane_entity_bytes;
     Alcotest.test_case "flowsim trace" `Quick test_flowsim_trace;
     Alcotest.test_case "queueing preserves loads" `Quick test_queueing_preserves_loads;
   ]

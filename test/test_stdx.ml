@@ -232,7 +232,8 @@ let test_count_min_unknown_key () =
 
 let test_count_min_rejects_negative () =
   let cm = Stdx.Count_min.create () in
-  Alcotest.check_raises "negative" (Invalid_argument "Count_min.add: negative value")
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Count_min.add: value must be finite and non-negative")
     (fun () -> Stdx.Count_min.add cm 1L (-1.0))
 
 let test_stats_summary () =
@@ -289,6 +290,64 @@ let test_stats_imbalance () =
   Alcotest.(check (float 1e-9)) "balanced" 1.0 (Stdx.Stats.imbalance [| 2.0; 2.0 |]);
   Alcotest.(check (float 1e-9)) "skewed" 1.5 (Stdx.Stats.imbalance [| 1.0; 3.0 |])
 
+let test_stats_single_sample () =
+  (* One sample is every quantile and its own whole summary. *)
+  let s = Stdx.Stats.summarize [| 42.0 |] in
+  Alcotest.(check int) "count" 1 s.Stdx.Stats.count;
+  Alcotest.(check (float 0.0)) "mean" 42.0 s.Stdx.Stats.mean;
+  Alcotest.(check (float 0.0)) "stddev" 0.0 s.Stdx.Stats.stddev;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%g" (100.0 *. q))
+        42.0
+        (Stdx.Stats.percentile [| 42.0 |] q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "summarize"
+    (Invalid_argument "Stats.summarize: empty input") (fun () ->
+      ignore (Stdx.Stats.summarize [||]));
+  Alcotest.check_raises "percentile"
+    (Invalid_argument "Stats.percentile: empty input") (fun () ->
+      ignore (Stdx.Stats.percentile [||] 0.5));
+  Alcotest.check_raises "percentiles"
+    (Invalid_argument "Stats.percentiles: empty input") (fun () ->
+      ignore (Stdx.Stats.percentiles [||] [ 0.5 ]))
+
+let test_stats_nan_guard () =
+  let poisoned = [| 1.0; Float.nan; 3.0 |] in
+  Alcotest.check_raises "summarize"
+    (Invalid_argument "Stats.summarize: NaN sample") (fun () ->
+      ignore (Stdx.Stats.summarize poisoned));
+  Alcotest.check_raises "percentile"
+    (Invalid_argument "Stats.percentile: NaN sample") (fun () ->
+      ignore (Stdx.Stats.percentile poisoned 0.5));
+  Alcotest.check_raises "percentiles"
+    (Invalid_argument "Stats.percentiles: NaN sample") (fun () ->
+      ignore (Stdx.Stats.percentiles poisoned [ 0.5 ]));
+  (* Infinities stay legal: they order and summarize meaningfully. *)
+  Alcotest.(check (float 0.0)) "infinite max" infinity
+    (Stdx.Stats.percentile [| 1.0; infinity |] 1.0);
+  Alcotest.(check (float 0.0)) "finite median" 1.0
+    (Stdx.Stats.percentile [| 1.0; infinity |] 0.5)
+
+let test_count_min_rejects_nonfinite () =
+  let cm = Stdx.Count_min.create ~epsilon:0.1 ~delta:0.1 () in
+  Stdx.Count_min.add cm 7L 3.0;
+  let reject v =
+    Alcotest.check_raises "non-finite"
+      (Invalid_argument "Count_min.add: value must be finite and non-negative")
+      (fun () -> Stdx.Count_min.add cm 7L v)
+  in
+  reject Float.nan;
+  reject infinity;
+  reject (-1.0);
+  (* A rejected add leaves the sketch untouched. *)
+  Alcotest.(check (float 0.0)) "total intact" 3.0 (Stdx.Count_min.total cm);
+  Alcotest.(check (float 0.0)) "estimate intact" 3.0
+    (Stdx.Count_min.estimate cm 7L)
+
 let suite =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
@@ -322,4 +381,9 @@ let suite =
     Alcotest.test_case "stats percentiles batch" `Quick test_stats_percentiles_batch;
     Alcotest.test_case "fvec basic" `Quick test_fvec_basic;
     Alcotest.test_case "stats imbalance" `Quick test_stats_imbalance;
+    Alcotest.test_case "stats single sample" `Quick test_stats_single_sample;
+    Alcotest.test_case "stats empty raises" `Quick test_stats_empty_raises;
+    Alcotest.test_case "stats NaN guard" `Quick test_stats_nan_guard;
+    Alcotest.test_case "count-min rejects non-finite" `Quick
+      test_count_min_rejects_nonfinite;
   ]
