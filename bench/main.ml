@@ -8,6 +8,10 @@
      dune exec bench/main.exe -- --skip-micro
      dune exec bench/main.exe -- --csv   # also write fig4/fig5/table3 CSVs
      dune exec bench/main.exe -- --audit # chaos/live under the invariant audit
+     dune exec bench/main.exe -- --jobs 4 # experiment-cell parallelism
+
+   Reports are bit-identical for every --jobs value (the fan-out in
+   Sim.Experiment is deterministic); only the wall times change.
 
    Experiment index (see DESIGN.md section 4):
      FIG4   - Figure 4: max load per middlebox type vs volume, campus
@@ -28,6 +32,17 @@ let audit = Array.exists (( = ) "--audit") Sys.argv
 let csv_dir = if Array.exists (( = ) "--csv") Sys.argv then Some "bench_csv" else None
 let json_out = Array.exists (( = ) "--json") Sys.argv
 
+let jobs =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then Stdx.Domain_pool.default_jobs ()
+    else if Sys.argv.(i) = "--jobs" then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some j when j >= 1 -> j
+      | _ -> failwith "bench: --jobs expects a positive integer"
+    else find (i + 1)
+  in
+  find 1
+
 (* Perf trajectory for --json: wall seconds per experiment, plus engine
    event counts for the packet-level ones (events/sec is the packet
    simulator's real throughput metric — hop fast-forwarding lowers the
@@ -36,9 +51,74 @@ let timings : (string * float) list ref = ref []
 let event_counts : (string, int * int) Hashtbl.t = Hashtbl.create 8
 let note_events name ~events ~hops = Hashtbl.replace event_counts name (events, hops)
 
+(* Sequential baselines from a previous BENCH_pktsim.json in the cwd:
+   entries recorded at jobs = 1 give speedup_vs_seq on parallel runs
+   (CI benches --jobs 1 first, then --jobs N over the same artifact).
+   The file is written one experiment per line, so a line-oriented
+   scan is all the parsing needed. *)
+let seq_baselines =
+  let find_sub line pat =
+    let n = String.length line and m = String.length pat in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub line i m = pat then Some (i + m)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let field line key =
+    Option.map
+      (fun start ->
+        let stop = ref start in
+        let n = String.length line in
+        while
+          !stop < n && (match line.[!stop] with ',' | '}' -> false | _ -> true)
+        do
+          incr stop
+        done;
+        String.trim (String.sub line start (!stop - start)))
+      (find_sub line (Printf.sprintf "\"%s\": " key))
+  in
+  match open_in "BENCH_pktsim.json" with
+  | exception Sys_error _ -> []
+  | ic ->
+    let acc = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match field line "name" with
+         | None -> ()
+         | Some quoted ->
+           let name = Scanf.sscanf quoted "%S" Fun.id in
+           let entry_jobs =
+             match Option.map int_of_string_opt (field line "jobs") with
+             | Some (Some j) -> j
+             | _ -> 1 (* older files predate the jobs field and ran sequentially *)
+           in
+           let seconds =
+             match
+               Option.map float_of_string_opt (field line "wall_seconds")
+             with
+             | Some (Some s) -> Some s
+             | _ -> (
+               match Option.map float_of_string_opt (field line "seconds") with
+               | Some (Some s) -> Some s
+               | _ -> None)
+           in
+           match seconds with
+           | Some s when entry_jobs = 1 -> acc := (name, s) :: !acc
+           | _ -> ()
+       done
+     with End_of_file | Scanf.Scan_failure _ | Failure _ -> ());
+    close_in ic;
+    !acc
+
 let write_json () =
   let path = "BENCH_pktsim.json" in
   let oc = open_out path in
+  let total_seconds =
+    List.fold_left (fun acc (_, s) -> acc +. s) 0.0 !timings
+  in
   let entries =
     List.rev_map
       (fun (name, seconds) ->
@@ -49,13 +129,23 @@ let write_json () =
           if events > 0 && seconds > 0.0 then float_of_int events /. seconds
           else 0.0
         in
+        let speedup_vs_seq =
+          if jobs = 1 then 1.0
+          else
+            match List.assoc_opt name seq_baselines with
+            | Some base when seconds > 0.0 -> base /. seconds
+            | _ -> 0.0 (* no sequential baseline on record *)
+        in
         Printf.sprintf
-          "    {\"name\": %S, \"seconds\": %.3f, \"events_processed\": %d, \
-           \"router_hops\": %d, \"events_per_sec\": %.0f}"
-          name seconds events hops events_per_sec)
+          "    {\"name\": %S, \"jobs\": %d, \"wall_seconds\": %.3f, \
+           \"seconds\": %.3f, \"events_processed\": %d, \"router_hops\": %d, \
+           \"events_per_sec\": %.0f, \"speedup_vs_seq\": %.2f}"
+          name jobs seconds seconds events hops events_per_sec speedup_vs_seq)
       !timings
   in
-  Printf.fprintf oc "{\n  \"experiments\": [\n%s\n  ]\n}\n"
+  Printf.fprintf oc
+    "{\n  \"jobs\": %d,\n  \"total_wall_seconds\": %.3f,\n  \"experiments\": [\n%s\n  ]\n}\n"
+    jobs total_seconds
     (String.concat ",\n" entries);
   close_out oc;
   Format.printf "[wrote %s]@." path
@@ -85,88 +175,103 @@ let flow_counts =
   if fast then [ 30_000; 90_000; 150_000 ] else Sim.Experiment.default_flow_counts
 
 let () =
+  Format.printf "[experiment-cell parallelism: %d jobs]@." jobs;
+
   section "FIG4: campus topology (Figure 4)";
   let fig4 =
     timed "FIG4" (fun () ->
-        Sim.Experiment.run_figure Sim.Experiment.Campus ~flow_counts ())
+        Sim.Experiment.run_figure Sim.Experiment.Campus ~flow_counts ~jobs ())
   in
+  note_events "FIG4" ~events:fig4.Sim.Experiment.fig_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_figure fig4;
   write_csv "fig4.csv" (Sim.Report.figure_csv fig4);
 
   section "FIG5: Waxman topology (Figure 5)";
   let fig5 =
     timed "FIG5" (fun () ->
-        Sim.Experiment.run_figure Sim.Experiment.Waxman ~flow_counts ())
+        Sim.Experiment.run_figure Sim.Experiment.Waxman ~flow_counts ~jobs ())
   in
+  note_events "FIG5" ~events:fig5.Sim.Experiment.fig_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_figure fig5;
   write_csv "fig5.csv" (Sim.Report.figure_csv fig5);
 
   section "TABLE3: load distribution, campus (Table III)";
   let table3 =
     timed "TABLE3" (fun () ->
-        Sim.Experiment.run_table3 ~flows:(if fast then 150_000 else 300_000) ())
+        Sim.Experiment.run_table3 ~flows:(if fast then 150_000 else 300_000)
+          ~jobs ())
   in
-  Format.printf "%a@." Sim.Report.pp_table3 table3;
-  write_csv "table3.csv" (Sim.Report.table3_csv table3);
+  note_events "TABLE3" ~events:table3.Sim.Experiment.t3_events ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_table3 table3.Sim.Experiment.t3_rows;
+  write_csv "table3.csv" (Sim.Report.table3_csv table3.Sim.Experiment.t3_rows);
 
   section "TABLE3-WAXMAN: load distribution, Waxman (supplementary)";
   let table3w =
     timed "TABLE3-WAXMAN" (fun () ->
         Sim.Experiment.run_table3 ~scenario:Sim.Experiment.Waxman
-          ~flows:(if fast then 150_000 else 300_000) ())
+          ~flows:(if fast then 150_000 else 300_000) ~jobs ())
   in
-  Format.printf "%a@." Sim.Report.pp_table3 table3w;
+  note_events "TABLE3-WAXMAN" ~events:table3w.Sim.Experiment.t3_events ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_table3 table3w.Sim.Experiment.t3_rows;
 
   section "ABL-K: candidate-set size sensitivity";
   let abk =
     timed "ABL-K" (fun () ->
-        Sim.Experiment.ablation_k ~flows:(if fast then 60_000 else 120_000) ())
+        Sim.Experiment.ablation_k ~flows:(if fast then 60_000 else 120_000)
+          ~jobs ())
   in
-  Format.printf "%a@." Sim.Report.pp_k_ablation abk;
+  note_events "ABL-K" ~events:abk.Sim.Experiment.k_events ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_k_ablation abk.Sim.Experiment.k_points;
 
   section "ABL-CACHE: flow cache vs multi-field lookups (Sec. III.D)";
   let abc =
     timed "ABL-CACHE" (fun () ->
         Sim.Experiment.ablation_cache ~flows:(if fast then 500 else 2_000) ())
   in
+  note_events "ABL-CACHE" ~events:abc.Sim.Experiment.cache_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_cache_ablation abc;
 
   section "ABL-CACHESIZE: flow-cache capacity vs lookups";
   let abcs =
     timed "ABL-CACHESIZE" (fun () ->
         Sim.Experiment.ablation_cache_size
-          ~flows:(if fast then 300 else 1_000) ())
+          ~flows:(if fast then 300 else 1_000) ~jobs ())
   in
-  Format.printf "%a@." Sim.Report.pp_cache_size_ablation abcs;
+  note_events "ABL-CACHESIZE" ~events:abcs.Sim.Experiment.cs_events ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_cache_size_ablation
+    abcs.Sim.Experiment.cs_points;
 
   section "ABL-FRAG: fragmentation vs label switching (Sec. III.E)";
   let abf =
     timed "ABL-FRAG" (fun () ->
         Sim.Experiment.ablation_fragmentation
-          ~flows:(if fast then 500 else 2_000) ())
+          ~flows:(if fast then 500 else 2_000) ~jobs ())
   in
+  note_events "ABL-FRAG" ~events:abf.Sim.Experiment.frag_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_frag_ablation abf;
 
   section "ABL-FAIL: middlebox failure, failover vs re-optimization";
   let abfail =
     timed "ABL-FAIL" (fun () ->
         Sim.Experiment.ablation_failure
-          ~flows:(if fast then 60_000 else 120_000) ())
+          ~flows:(if fast then 60_000 else 120_000) ~jobs ())
   in
+  note_events "ABL-FAIL" ~events:abfail.Sim.Experiment.fail_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_failure_ablation abfail;
 
   section "ABL-CHAOS: in-run faults, detection-delay sweep";
   let abchaos =
     timed "ABL-CHAOS" (fun () ->
         Sim.Experiment.ablation_chaos ~flows:(if fast then 300 else 800) ~audit
-          ())
+          ~jobs ())
   in
   note_events "ABL-CHAOS"
     ~events:
       (List.fold_left
          (fun acc (r : Sim.Experiment.chaos_row) ->
            acc + r.Sim.Experiment.chaos_events_processed)
-         0 abchaos.Sim.Experiment.chaos_rows)
+         abchaos.Sim.Experiment.chaos_probe_events
+         abchaos.Sim.Experiment.chaos_rows)
     ~hops:0;
   Format.printf "%a@." Sim.Report.pp_chaos_ablation abchaos;
 
@@ -174,14 +279,15 @@ let () =
   let ablive =
     timed "ABL-LIVE" (fun () ->
         Sim.Experiment.ablation_live ~flows:(if fast then 300 else 500) ~audit
-          ())
+          ~jobs ())
   in
   note_events "ABL-LIVE"
     ~events:
       (List.fold_left
          (fun acc (r : Sim.Experiment.live_row) ->
            acc + r.Sim.Experiment.live_events_processed)
-         0 ablive.Sim.Experiment.live_rows)
+         ablive.Sim.Experiment.live_probe_events
+         ablive.Sim.Experiment.live_rows)
     ~hops:0;
   Format.printf "%a@." Sim.Report.pp_live_ablation ablive;
   write_csv "abl_live.csv" (Sim.Report.live_csv ablive);
@@ -195,22 +301,26 @@ let () =
         in
         Sim.Epochsim.run ~deployment
           ~base_flows:(if fast then 30_000 else 60_000)
-          ())
+          ~jobs ())
   in
-  Format.printf "%a@." Sim.Report.pp_epochs abe;
+  note_events "ABL-EPOCH" ~events:abe.Sim.Epochsim.ep_events ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_epochs abe.Sim.Epochsim.ep_rows;
 
   section "ABL-SKETCH: Count-Min sketched measurement vs exact";
   let absk =
     timed "ABL-SKETCH" (fun () ->
         Sim.Experiment.ablation_sketch
-          ~flows:(if fast then 60_000 else 120_000) ())
+          ~flows:(if fast then 60_000 else 120_000) ~jobs ())
   in
-  Format.printf "%a@." Sim.Report.pp_sketch_ablation absk;
+  note_events "ABL-SKETCH" ~events:absk.Sim.Experiment.sk_events ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_sketch_ablation
+    absk.Sim.Experiment.sk_points;
 
   section "ABL-LAT: end-to-end latency overhead of enforcement";
   let ablat =
     timed "ABL-LAT" (fun () ->
-        Sim.Experiment.ablation_latency ~flows:(if fast then 300 else 1_000) ())
+        Sim.Experiment.ablation_latency ~flows:(if fast then 300 else 1_000)
+          ~jobs ())
   in
   note_events "ABL-LAT" ~events:ablat.Sim.Experiment.events_processed
     ~hops:ablat.Sim.Experiment.router_hops;
@@ -219,7 +329,7 @@ let () =
   section "ABL-QUEUE: middlebox queueing, HP vs LB latency";
   let abq =
     timed "ABL-QUEUE" (fun () ->
-        Sim.Experiment.ablation_queue ~flows:(if fast then 300 else 800) ())
+        Sim.Experiment.ablation_queue ~flows:(if fast then 300 else 800) ~jobs ())
   in
   note_events "ABL-QUEUE" ~events:abq.Sim.Experiment.events_processed
     ~hops:abq.Sim.Experiment.router_hops;
@@ -228,8 +338,9 @@ let () =
   section "ABL-LP: Eq.(1) exact vs Eq.(2) simplified";
   let abl =
     timed "ABL-LP" (fun () ->
-        Sim.Experiment.ablation_lp ~flows:(if fast then 2_000 else 5_000) ())
+        Sim.Experiment.ablation_lp ~flows:(if fast then 2_000 else 5_000) ~jobs ())
   in
+  note_events "ABL-LP" ~events:abl.Sim.Experiment.lp_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_lp_ablation abl;
 
   section "CONFIG: controller dissemination volume (campus, LB)";
@@ -329,7 +440,10 @@ let classifier_scaling () =
         (Policy.Dectree.depth tree))
     [ 16; 64; 256; 1024; 4096 ]
 
-let () = classifier_scaling ()
+(* Wall-clock per-lookup timings, so this table is as nondeterministic
+   as the bechamel section below: --skip-micro drops both, which also
+   keeps the CI determinism diff over the remaining report clean. *)
+let () = if not skip_micro then classifier_scaling ()
 
 (* ---- Bechamel microbenchmarks ------------------------------------- *)
 

@@ -140,6 +140,16 @@ let exp_cmd =
             "Run the packet-level rows of chaos/live under the online \
              invariant audit and exit non-zero on any violation")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Stdx.Domain_pool.default_jobs ())
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Evaluate independent experiment cells on up to $(docv) domains. \
+             Results are bit-identical for every value; only the wall time \
+             changes.")
+  in
   (* Exit policy under --audit: any invariant violation fails the
      invocation so CI can gate on it. *)
   let audit_verdict counts =
@@ -150,42 +160,50 @@ let exp_cmd =
     end
     else Format.printf "audit: clean (%d runs)@." (List.length counts)
   in
-  let run which seed flows audit =
+  let run which seed flows audit jobs =
     if audit && which <> "chaos" && which <> "live" then
       Format.eprintf "note: --audit applies to chaos and live only@.";
+    if jobs < 1 then begin
+      Format.eprintf "--jobs must be >= 1@.";
+      exit 2
+    end;
     match which with
     | "fig4" ->
       Format.printf "%a@." Sim.Report.pp_figure
-        (Sim.Experiment.run_figure Sim.Experiment.Campus ~seed ())
+        (Sim.Experiment.run_figure Sim.Experiment.Campus ~seed ~jobs ())
     | "fig5" ->
       Format.printf "%a@." Sim.Report.pp_figure
-        (Sim.Experiment.run_figure Sim.Experiment.Waxman ~seed ())
+        (Sim.Experiment.run_figure Sim.Experiment.Waxman ~seed ~jobs ())
     | "table3" ->
       Format.printf "%a@." Sim.Report.pp_table3
-        (Sim.Experiment.run_table3 ~flows ~seed ())
+        (Sim.Experiment.run_table3 ~flows ~seed ~jobs ()).Sim.Experiment.t3_rows
     | "k" ->
       Format.printf "%a@." Sim.Report.pp_k_ablation
-        (Sim.Experiment.ablation_k ~seed ())
+        (Sim.Experiment.ablation_k ~seed ~jobs ()).Sim.Experiment.k_points
     | "cache" ->
       Format.printf "%a@." Sim.Report.pp_cache_ablation
         (Sim.Experiment.ablation_cache ~flows:(min flows 5_000) ~seed ())
     | "frag" ->
       Format.printf "%a@." Sim.Report.pp_frag_ablation
-        (Sim.Experiment.ablation_fragmentation ~flows:(min flows 5_000) ~seed ())
+        (Sim.Experiment.ablation_fragmentation ~flows:(min flows 5_000) ~seed
+           ~jobs ())
     | "epoch" ->
       let deployment =
         Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed
       in
       Format.printf "%a@." Sim.Report.pp_epochs
-        (Sim.Epochsim.run ~deployment ~seed ())
+        (Sim.Epochsim.run ~deployment ~seed ~jobs ()).Sim.Epochsim.ep_rows
     | "sketch" ->
       Format.printf "%a@." Sim.Report.pp_sketch_ablation
-        (Sim.Experiment.ablation_sketch ~flows:(min flows 120_000) ~seed ())
+        (Sim.Experiment.ablation_sketch ~flows:(min flows 120_000) ~seed ~jobs ())
+          .Sim.Experiment.sk_points
     | "fail" ->
       Format.printf "%a@." Sim.Report.pp_failure_ablation
-        (Sim.Experiment.ablation_failure ~flows:(min flows 120_000) ~seed ())
+        (Sim.Experiment.ablation_failure ~flows:(min flows 120_000) ~seed ~jobs ())
     | "chaos" ->
-      let r = Sim.Experiment.ablation_chaos ~flows:(min flows 800) ~seed ~audit () in
+      let r =
+        Sim.Experiment.ablation_chaos ~flows:(min flows 800) ~seed ~audit ~jobs ()
+      in
       Format.printf "%a@." Sim.Report.pp_chaos_ablation r;
       if audit then
         audit_verdict
@@ -193,7 +211,9 @@ let exp_cmd =
              (fun (row : Sim.Experiment.chaos_row) -> row.Sim.Experiment.chaos_audit)
              r.Sim.Experiment.chaos_rows)
     | "live" ->
-      let r = Sim.Experiment.ablation_live ~flows:(min flows 500) ~seed ~audit () in
+      let r =
+        Sim.Experiment.ablation_live ~flows:(min flows 500) ~seed ~audit ~jobs ()
+      in
       Format.printf "%a@." Sim.Report.pp_live_ablation r;
       if audit then
         audit_verdict
@@ -202,17 +222,17 @@ let exp_cmd =
              r.Sim.Experiment.live_rows)
     | "queue" ->
       Format.printf "%a@." Sim.Report.pp_queue_ablation
-        (Sim.Experiment.ablation_queue ~seed ())
+        (Sim.Experiment.ablation_queue ~seed ~jobs ())
     | "lp" ->
       Format.printf "%a@." Sim.Report.pp_lp_ablation
-        (Sim.Experiment.ablation_lp ~flows:(min flows 10_000) ~seed ())
+        (Sim.Experiment.ablation_lp ~flows:(min flows 10_000) ~seed ~jobs ())
     | s ->
       Format.eprintf "unknown experiment %S@." s;
       exit 2
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate a paper experiment or ablation")
-    Term.(const run $ which $ seed_arg $ flows_arg 300_000 $ audit_flag)
+    Term.(const run $ which $ seed_arg $ flows_arg 300_000 $ audit_flag $ jobs_arg)
 
 (* ---- demo --------------------------------------------------------- *)
 

@@ -27,12 +27,21 @@ type epoch_metrics = {
   staleness_gap : float;       (** stale / clairvoyant (>= ~1) *)
 }
 
+type report = {
+  ep_rows : epoch_metrics list;
+  ep_events : int;  (** flow-level events across every epoch's three runs *)
+}
+
 val run :
   deployment:Sdm.Deployment.t ->
   ?epochs:int ->
   ?base_flows:int ->
   ?seed:int ->
+  ?jobs:int ->
   unit ->
-  epoch_metrics list
+  report
 (** Defaults: 6 epochs, 60k base flows (volume oscillates ±25% around
-    it), seed 17. *)
+    it), seed 17.  Epochs are inherently sequential (the stale plan
+    consumes the previous epoch's matrix); [?jobs] fans the three
+    enforcement runs within each epoch out across domains
+    ({!Stdx.Domain_pool.map}), which never changes the result. *)

@@ -27,11 +27,34 @@ let configure_exn deployment ~rules kind =
   | Ok c -> c
   | Error e -> failwith ("controller configuration failed: " ^ e)
 
-let run_strategies ~deployment ~flows ?(per_class = 5) ?(seed = 17) ?rule_seed () =
+(* ---- Parallel cell fan-out --------------------------------------- *)
+
+(* Every sweep below expresses its cells as a list of independent
+   thunks evaluated through [Stdx.Domain_pool.map].  Results come back
+   in input order and each thunk is a pure function of its captured
+   (immutable) inputs — the deployment, workload and controllers are
+   never mutated by a run — so the report is bit-identical whatever
+   [jobs] is.  [jobs] defaults to {!Stdx.Domain_pool.default_jobs}. *)
+let fan_out ?jobs thunks =
+  Array.to_list (Stdx.Domain_pool.map ?jobs (fun f -> f ()) (Array.of_list thunks))
+
+(* Per-cell integer seed: the [i]-th child stream of the sweep's root
+   seed ({!Stdx.Rng.derive}), order-independent so a cell's workload
+   is a function of (root seed, cell index) alone — not of which
+   domain ran it or how many cells preceded it. *)
+let cell_seed ~seed i =
+  Int64.to_int (Stdx.Rng.int64 (Stdx.Rng.derive (Stdx.Rng.create seed) i))
+  land max_int
+
+let flow_events runs =
+  List.fold_left (fun acc r -> acc + r.result.Flowsim.events) 0 runs
+
+let run_strategies ~deployment ~flows ?(per_class = 5) ?(seed = 17) ?rule_seed
+    ?jobs () =
   let workload = Workload.generate ~deployment ~per_class ~seed ?rule_seed ~flows () in
   let rules = workload.Workload.rules in
   let traffic = Workload.measure workload in
-  let run kind name =
+  let run kind name () =
     let controller = configure_exn deployment ~rules kind in
     let result = Flowsim.run ~controller ~workload () in
     let lambda =
@@ -40,11 +63,12 @@ let run_strategies ~deployment ~flows ?(per_class = 5) ?(seed = 17) ?rule_seed (
     { strategy = name; controller; result; lambda }
   in
   ( workload,
-    [
-      run Sdm.Controller.Hot_potato "HP";
-      run Sdm.Controller.Random_uniform "Rand";
-      run (Sdm.Controller.Load_balanced traffic) "LB";
-    ] )
+    fan_out ?jobs
+      [
+        run Sdm.Controller.Hot_potato "HP";
+        run Sdm.Controller.Random_uniform "Rand";
+        run (Sdm.Controller.Load_balanced traffic) "LB";
+      ] )
 
 (* ---- Figures 4 and 5 -------------------------------------------- *)
 
@@ -54,7 +78,7 @@ type point = {
   max_loads : (Policy.Action.nf * (float * float * float)) list;
 }
 
-type figure = { scenario : scenario; points : point list }
+type figure = { scenario : scenario; points : point list; fig_events : int }
 
 let default_flow_counts = List.init 10 (fun i -> 30_000 * (i + 1))
 
@@ -75,21 +99,29 @@ let point_of_runs ~flows ~total_packets runs =
   { flows; total_packets; max_loads }
 
 let run_figure scenario ?(flow_counts = default_flow_counts) ?(per_class = 5)
-    ?(seed = 17) () =
+    ?(seed = 17) ?jobs () =
   let deployment = build_deployment scenario ~seed in
-  let points =
-    List.map
-      (fun flows ->
+  let cells =
+    List.mapi
+      (fun i flows () ->
         (* Fixed policy set across the sweep; fresh flow population per
-           volume point — the paper scales traffic, not policies. *)
+           volume point — the paper scales traffic, not policies.  The
+           inner strategies stay sequential: the sweep itself is the
+           parallel axis. *)
         let workload, runs =
-          run_strategies ~deployment ~flows ~per_class ~seed:(seed + flows)
-            ~rule_seed:seed ()
+          run_strategies ~deployment ~flows ~per_class ~seed:(cell_seed ~seed i)
+            ~rule_seed:seed ~jobs:1 ()
         in
-        point_of_runs ~flows ~total_packets:workload.Workload.total_packets runs)
+        ( point_of_runs ~flows ~total_packets:workload.Workload.total_packets runs,
+          flow_events runs ))
       flow_counts
   in
-  { scenario; points }
+  let results = fan_out ?jobs cells in
+  {
+    scenario;
+    points = List.map fst results;
+    fig_events = List.fold_left (fun acc (_, e) -> acc + e) 0 results;
+  }
 
 (* ---- Table III --------------------------------------------------- *)
 
@@ -103,10 +135,12 @@ type table3_row = {
   lb_min : float;
 }
 
+type table3 = { t3_rows : table3_row list; t3_events : int }
+
 let run_table3 ?(scenario = Campus) ?(flows = 300_000) ?(per_class = 5)
-    ?(seed = 17) () =
+    ?(seed = 17) ?jobs () =
   let deployment = build_deployment scenario ~seed in
-  let _, runs = run_strategies ~deployment ~flows ~per_class ~seed () in
+  let _, runs = run_strategies ~deployment ~flows ~per_class ~seed ?jobs () in
   let find name = List.find (fun r -> r.strategy = name) runs in
   let hp = find "HP" and rand = find "Rand" and lb = find "LB" in
   let min_max run nf =
@@ -114,13 +148,16 @@ let run_table3 ?(scenario = Campus) ?(flows = 300_000) ?(per_class = 5)
     let s = Stdx.Stats.summarize loads in
     (s.Stdx.Stats.max, s.Stdx.Stats.min)
   in
-  List.map
-    (fun nf ->
-      let hp_max, hp_min = min_max hp nf in
-      let rand_max, rand_min = min_max rand nf in
-      let lb_max, lb_min = min_max lb nf in
-      { nf; hp_max; hp_min; rand_max; rand_min; lb_max; lb_min })
-    nf_list
+  let rows =
+    List.map
+      (fun nf ->
+        let hp_max, hp_min = min_max hp nf in
+        let rand_max, rand_min = min_max rand nf in
+        let lb_max, lb_min = min_max lb nf in
+        { nf; hp_max; hp_min; rand_max; rand_min; lb_max; lb_min })
+      nf_list
+  in
+  { t3_rows = rows; t3_events = flow_events runs }
 
 (* ---- Ablations ---------------------------------------------------- *)
 
@@ -130,35 +167,44 @@ type k_point = {
   lb_max_by_nf : (Policy.Action.nf * float) list;
 }
 
-let ablation_k ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) () =
+type k_sweep = { k_points : k_point list; k_events : int }
+
+let ablation_k ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) ?jobs () =
   let deployment = build_deployment scenario ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
   let traffic = Workload.measure workload in
-  List.map
-    (fun (k_fw_ids, k_wp_tm) ->
-      let k = function
-        | Policy.Action.FW | Policy.Action.IDS -> k_fw_ids
-        | Policy.Action.WP | Policy.Action.TM | Policy.Action.Custom _ -> k_wp_tm
-      in
-      let controller =
-        match
-          Sdm.Controller.configure deployment ~rules ~k
-            (Sdm.Controller.Load_balanced traffic)
-        with
-        | Ok c -> c
-        | Error e -> failwith ("ablation_k: " ^ e)
-      in
-      let result = Flowsim.run ~controller ~workload () in
-      {
+  let cell (k_fw_ids, k_wp_tm) () =
+    let k = function
+      | Policy.Action.FW | Policy.Action.IDS -> k_fw_ids
+      | Policy.Action.WP | Policy.Action.TM | Policy.Action.Custom _ -> k_wp_tm
+    in
+    let controller =
+      match
+        Sdm.Controller.configure deployment ~rules ~k
+          (Sdm.Controller.Load_balanced traffic)
+      with
+      | Ok c -> c
+      | Error e -> failwith ("ablation_k: " ^ e)
+    in
+    let result = Flowsim.run ~controller ~workload () in
+    ( {
         k_fw_ids;
         k_wp_tm;
         lb_max_by_nf =
           List.map
             (fun nf -> (nf, Flowsim.max_load_of_nf controller result nf))
             nf_list;
-      })
-    [ (1, 1); (2, 1); (2, 2); (4, 2); (6, 3) ]
+      },
+      result.Flowsim.events )
+  in
+  let results =
+    fan_out ?jobs (List.map cell [ (1, 1); (2, 1); (2, 2); (4, 2); (6, 3) ])
+  in
+  {
+    k_points = List.map fst results;
+    k_events = List.fold_left (fun acc (_, e) -> acc + e) 0 results;
+  }
 
 type cache_stats = {
   packets : int;
@@ -166,6 +212,7 @@ type cache_stats = {
   hits : int;
   negative_hits : int;
   lookup_fraction : float;
+  cache_events : int;
 }
 
 (* Packet-level runs use a smaller flow population: they simulate every
@@ -194,6 +241,7 @@ let ablation_cache ?(flows = 2_000) ?(seed = 17) () =
     lookup_fraction =
       float_of_int stats.Pktsim.multi_field_lookups
       /. float_of_int (max 1 packets);
+    cache_events = stats.Pktsim.events_processed;
   }
 
 type cache_size_point = {
@@ -202,49 +250,57 @@ type cache_size_point = {
   size_evictions : int;
 }
 
-let ablation_cache_size ?(flows = 1_000) ?(seed = 17) () =
+type cache_size_sweep = { cs_points : cache_size_point list; cs_events : int }
+
+let ablation_cache_size ?(flows = 1_000) ?(seed = 17) ?jobs () =
   let controller, workload = pkt_level_controller ~seed ~flows () in
-  List.map
-    (fun capacity ->
-      let stats =
-        Pktsim.run
-          ~config:{ Pktsim.default_config with cache_capacity = capacity }
-          ~controller ~workload ()
-      in
-      {
+  let cell capacity () =
+    let stats =
+      Pktsim.run
+        ~config:{ Pktsim.default_config with cache_capacity = capacity }
+        ~controller ~workload ()
+    in
+    ( {
         capacity;
         size_lookup_fraction =
           float_of_int stats.Pktsim.multi_field_lookups
           /. float_of_int (max 1 stats.Pktsim.injected_packets);
         size_evictions = stats.Pktsim.cache_evictions;
-      })
-    [ Some 16; Some 64; Some 256; None ]
+      },
+      stats.Pktsim.events_processed )
+  in
+  let results = fan_out ?jobs (List.map cell [ Some 16; Some 64; Some 256; None ]) in
+  {
+    cs_points = List.map fst results;
+    cs_events = List.fold_left (fun acc (_, e) -> acc + e) 0 results;
+  }
 
 type frag_stats = {
   fragments_ip_over_ip : int;
   fragments_label_switched : int;
   tunneled_legs : int;
   label_switched_legs : int;
+  frag_events : int;
 }
 
-let ablation_fragmentation ?(flows = 2_000) ?(seed = 17) () =
+let ablation_fragmentation ?(flows = 2_000) ?(seed = 17) ?jobs () =
   let controller, workload = pkt_level_controller ~seed ~flows () in
-  let with_ls =
+  let cell label_switching () =
     Pktsim.run
-      ~config:{ Pktsim.default_config with label_switching = true }
+      ~config:{ Pktsim.default_config with label_switching }
       ~controller ~workload ()
   in
-  let without_ls =
-    Pktsim.run
-      ~config:{ Pktsim.default_config with label_switching = false }
-      ~controller ~workload ()
-  in
-  {
-    fragments_ip_over_ip = without_ls.Pktsim.fragments_created;
-    fragments_label_switched = with_ls.Pktsim.fragments_created;
-    tunneled_legs = with_ls.Pktsim.tunneled_packets;
-    label_switched_legs = with_ls.Pktsim.label_switched_packets;
-  }
+  match fan_out ?jobs [ cell true; cell false ] with
+  | [ with_ls; without_ls ] ->
+    {
+      fragments_ip_over_ip = without_ls.Pktsim.fragments_created;
+      fragments_label_switched = with_ls.Pktsim.fragments_created;
+      tunneled_legs = with_ls.Pktsim.tunneled_packets;
+      label_switched_legs = with_ls.Pktsim.label_switched_packets;
+      frag_events =
+        with_ls.Pktsim.events_processed + without_ls.Pktsim.events_processed;
+    }
+  | _ -> assert false
 
 type failure_report = {
   failed_mbox : int;
@@ -255,9 +311,10 @@ type failure_report = {
   reoptimized_lambda : float;
   hp_failover_max : float;
   survivors : int;
+  fail_events : int;
 }
 
-let ablation_failure ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) () =
+let ablation_failure ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) ?jobs () =
   let deployment = build_deployment scenario ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -281,34 +338,50 @@ let ablation_failure ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) () =
         if m.id = failed then acc else max acc result.Flowsim.loads.(m.id))
       0.0 victims
   in
-  (* Phase 1: local fast failover with the stale LP weights. *)
-  let failover = Flowsim.run ~alive ~controller:lb ~workload () in
-  (* Phase 2: the controller re-optimizes without the failed box. *)
-  let reopt_controller =
-    match
-      Sdm.Controller.configure deployment ~rules ~failed:[ failed ]
-        (Sdm.Controller.Load_balanced traffic)
-    with
-    | Ok c -> c
-    | Error e -> failwith ("ablation_failure reoptimize: " ^ e)
+  (* The three post-probe runs are independent of each other (only of
+     the probe's victim choice), so they fan out as one batch. *)
+  let cells =
+    [
+      (* Phase 1: local fast failover with the stale LP weights. *)
+      (fun () -> (Flowsim.run ~alive ~controller:lb ~workload (), 0.0));
+      (* Phase 2: the controller re-optimizes without the failed box. *)
+      (fun () ->
+        let reopt_controller =
+          match
+            Sdm.Controller.configure deployment ~rules ~failed:[ failed ]
+              (Sdm.Controller.Load_balanced traffic)
+          with
+          | Ok c -> c
+          | Error e -> failwith ("ablation_failure reoptimize: " ^ e)
+        in
+        let lambda =
+          match reopt_controller.Sdm.Controller.lp with
+          | Some lp -> lp.Sdm.Lp_formulation.lambda
+          | None -> 0.0
+        in
+        (Flowsim.run ~controller:reopt_controller ~workload (), lambda));
+      (* Baseline: hot-potato under the same failure. *)
+      (fun () ->
+        let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
+        (Flowsim.run ~alive ~controller:hp ~workload (), 0.0));
+    ]
   in
-  let reopt = Flowsim.run ~controller:reopt_controller ~workload () in
-  (* Baseline: hot-potato under the same failure. *)
-  let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
-  let hp_failover = Flowsim.run ~alive ~controller:hp ~workload () in
-  {
-    failed_mbox = failed;
-    failed_nf = nf;
-    before_max = Flowsim.max_load_of_nf lb before nf;
-    failover_max = max_ids failover;
-    reoptimized_max = max_ids reopt;
-    reoptimized_lambda =
-      (match reopt_controller.Sdm.Controller.lp with
-      | Some lp -> lp.Sdm.Lp_formulation.lambda
-      | None -> 0.0);
-    hp_failover_max = max_ids hp_failover;
-    survivors = List.length victims - 1;
-  }
+  match fan_out ?jobs cells with
+  | [ (failover, _); (reopt, reopt_lambda); (hp_failover, _) ] ->
+    {
+      failed_mbox = failed;
+      failed_nf = nf;
+      before_max = Flowsim.max_load_of_nf lb before nf;
+      failover_max = max_ids failover;
+      reoptimized_max = max_ids reopt;
+      reoptimized_lambda = reopt_lambda;
+      hp_failover_max = max_ids hp_failover;
+      survivors = List.length victims - 1;
+      fail_events =
+        before.Flowsim.events + failover.Flowsim.events + reopt.Flowsim.events
+        + hp_failover.Flowsim.events;
+    }
+  | _ -> assert false
 
 (* ---- ABL-CHAOS: in-run faults, detection delay sweep ------------- *)
 
@@ -334,6 +407,7 @@ type chaos_report = {
   chaos_link_fail_at : float;
   chaos_link_restore_at : float;
   chaos_control_loss : float;
+  chaos_probe_events : int;
   chaos_rows : chaos_row list;
 }
 
@@ -343,7 +417,7 @@ let audit_violations (stats : Pktsim.stats) =
     stats.Pktsim.audit_report
 
 let ablation_chaos ?(flows = 500) ?(seed = 17) ?(audit = false)
-    ?(detection_delays = [ 2.0; 10.0; 40.0 ]) () =
+    ?(detection_delays = [ 2.0; 10.0; 40.0 ]) ?jobs () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -435,15 +509,23 @@ let ablation_chaos ?(flows = 500) ?(seed = 17) ?(audit = false)
     chaos_link_fail_at = link_fail_at;
     chaos_link_restore_at = link_restore_at;
     chaos_control_loss = control_loss;
+    chaos_probe_events = probe.Pktsim.events_processed;
     chaos_rows =
-      List.concat_map
-        (fun d ->
-          [
-            row ~mode:"HP+failover" ~controller:hp ~failover:true ~delay:d;
-            row ~mode:"LB+failover" ~controller:lb ~failover:true ~delay:d;
-          ])
-        detection_delays
-      @ [ row ~mode:"LB, no failover" ~controller:lb ~failover:false ~delay:0.0 ];
+      fan_out ?jobs
+        (List.concat_map
+           (fun d ->
+             [
+               (fun () ->
+                 row ~mode:"HP+failover" ~controller:hp ~failover:true ~delay:d);
+               (fun () ->
+                 row ~mode:"LB+failover" ~controller:lb ~failover:true ~delay:d);
+             ])
+           detection_delays
+        @ [
+            (fun () ->
+              row ~mode:"LB, no failover" ~controller:lb ~failover:false
+                ~delay:0.0);
+          ]);
   }
 
 (* ---- ABL-LIVE: live reconfiguration, control-loss sweep ---------- *)
@@ -478,12 +560,13 @@ type live_report = {
   live_reconcile : float;
   live_stale_max : float;
   live_clairvoyant_max : float;
+  live_probe_events : int;
   live_rows : live_row list;
   live_devices : live_device list;
 }
 
 let ablation_live ?(flows = 500) ?(seed = 17) ?(audit = false)
-    ?(control_losses = [ 0.0; 0.02; 0.10 ]) () =
+    ?(control_losses = [ 0.0; 0.02; 0.10 ]) ?jobs () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -495,8 +578,21 @@ let ablation_live ?(flows = 500) ?(seed = 17) ?(audit = false)
   in
   (* A probe run under the stale hot-potato plan fixes the horizon the
      re-optimization epochs are spread across, and is itself the
-     stale-weight baseline the live rows should beat. *)
-  let stale = Pktsim.run ~controller:hp ~workload () in
+     stale-weight baseline the live rows should beat.  The clairvoyant
+     run — the controller knew the whole traffic matrix up front, the
+     best any measurement-driven loop can converge to — is independent
+     of it, so the two probes fan out together. *)
+  let stale, clairvoyant =
+    match
+      fan_out ?jobs
+        [
+          (fun () -> Pktsim.run ~controller:hp ~workload ());
+          (fun () -> Pktsim.run ~controller:lb ~workload ());
+        ]
+    with
+    | [ s; c ] -> (s, c)
+    | _ -> assert false
+  in
   let epoch = stale.Pktsim.sim_time /. 5.0 in
   let reconcile = epoch /. 4.0 in
   let live =
@@ -506,9 +602,6 @@ let ablation_live ?(flows = 500) ?(seed = 17) ?(audit = false)
       reconcile_interval = reconcile;
     }
   in
-  (* Clairvoyant: the controller knew the whole traffic matrix up
-     front — the best any measurement-driven loop can converge to. *)
-  let clairvoyant = Pktsim.run ~controller:lb ~workload () in
   let run_loss loss =
     let faults =
       (* loss = 0 still goes through the fault plumbing so the control
@@ -540,7 +633,7 @@ let ablation_live ?(flows = 500) ?(seed = 17) ?(audit = false)
     in
     (row, stats)
   in
-  let runs = List.map run_loss control_losses in
+  let runs = fan_out ?jobs (List.map (fun loss () -> run_loss loss) control_losses) in
   (* Per-device attribution comes from the lossiest run — the one
      where retries and version lag actually have something to show. *)
   let devices =
@@ -575,6 +668,8 @@ let ablation_live ?(flows = 500) ?(seed = 17) ?(audit = false)
     live_reconcile = reconcile;
     live_stale_max = max_load stale;
     live_clairvoyant_max = max_load clairvoyant;
+    live_probe_events =
+      stale.Pktsim.events_processed + clairvoyant.Pktsim.events_processed;
     live_rows = List.map fst runs;
     live_devices = devices;
   }
@@ -589,7 +684,9 @@ type sketch_point = {
   sketched_realized_max : float;
 }
 
-let ablation_sketch ?(flows = 120_000) ?(seed = 17) () =
+type sketch_sweep = { sk_points : sketch_point list; sk_events : int }
+
+let ablation_sketch ?(flows = 120_000) ?(seed = 17) ?jobs () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -609,17 +706,17 @@ let ablation_sketch ?(flows = 120_000) ?(seed = 17) () =
     ( (match controller.Sdm.Controller.lp with
       | Some lp -> lp.Sdm.Lp_formulation.lambda
       | None -> 0.0),
-      Array.fold_left max 0.0 result.Flowsim.loads )
+      Array.fold_left max 0.0 result.Flowsim.loads,
+      result.Flowsim.events )
   in
-  let exact_lambda, exact_realized_max = realized exact in
-  List.map
-    (fun epsilon ->
-      let sketch =
-        Sdm.Sketch.of_workload_measurement ~exact ~n_proxies ~rules ~epsilon ()
-      in
-      let approx = Sdm.Sketch.to_measurement sketch ~rules in
-      let sketched_lambda, sketched_realized_max = realized approx in
-      {
+  let exact_lambda, exact_realized_max, exact_events = realized exact in
+  let cell epsilon () =
+    let sketch =
+      Sdm.Sketch.of_workload_measurement ~exact ~n_proxies ~rules ~epsilon ()
+    in
+    let approx = Sdm.Sketch.to_measurement sketch ~rules in
+    let sketched_lambda, sketched_realized_max, events = realized approx in
+    ( {
         epsilon;
         sketch_cells = Sdm.Sketch.memory_cells sketch;
         exact_cells;
@@ -627,8 +724,15 @@ let ablation_sketch ?(flows = 120_000) ?(seed = 17) () =
         sketched_lambda;
         exact_realized_max;
         sketched_realized_max;
-      })
-    [ 0.5; 0.2; 0.05; 0.01 ]
+      },
+      events )
+  in
+  let results = fan_out ?jobs (List.map cell [ 0.5; 0.2; 0.05; 0.01 ]) in
+  {
+    sk_points = List.map fst results;
+    sk_events =
+      exact_events + List.fold_left (fun acc (_, e) -> acc + e) 0 results;
+  }
 
 type latency_report = {
   enforced_mean : float;
@@ -642,21 +746,29 @@ type latency_report = {
   router_hops : int;
 }
 
-let ablation_latency ?(flows = 1_000) ?(seed = 17) () =
+let ablation_latency ?(flows = 1_000) ?(seed = 17) ?jobs () =
   let controller, workload = pkt_level_controller ~seed ~flows () in
-  let enforced = Pktsim.run ~controller ~workload () in
-  let plain_controller =
+  let enforced, plain =
     match
-      Sdm.Controller.configure controller.Sdm.Controller.deployment ~rules:[]
-        Sdm.Controller.Hot_potato
+      fan_out ?jobs
+        [
+          (fun () -> Pktsim.run ~controller ~workload ());
+          (fun () ->
+            let plain_controller =
+              match
+                Sdm.Controller.configure controller.Sdm.Controller.deployment
+                  ~rules:[] Sdm.Controller.Hot_potato
+              with
+              | Ok c -> c
+              | Error e -> failwith ("ablation_latency: " ^ e)
+            in
+            Pktsim.run ~controller:plain_controller
+              ~workload:{ workload with Workload.rules = [] }
+              ());
+        ]
     with
-    | Ok c -> c
-    | Error e -> failwith ("ablation_latency: " ^ e)
-  in
-  let plain =
-    Pktsim.run ~controller:plain_controller
-      ~workload:{ workload with Workload.rules = [] }
-      ()
+    | [ e; p ] -> (e, p)
+    | _ -> assert false
   in
   {
     enforced_mean = enforced.Pktsim.latency_mean;
@@ -686,7 +798,7 @@ type queue_report = {
   router_hops : int;
 }
 
-let ablation_queue ?(flows = 800) ?(seed = 17) () =
+let ablation_queue ?(flows = 800) ?(seed = 17) ?jobs () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -700,8 +812,12 @@ let ablation_queue ?(flows = 800) ?(seed = 17) () =
   let max_load = Array.fold_left max 1.0 probe.Pktsim.loads in
   let service_rate = 2.0 *. max_load /. probe.Pktsim.sim_time in
   let config = { Pktsim.default_config with service_rate } in
-  let run controller = Pktsim.run ~config ~controller ~workload () in
-  let hp_run = run hp and lb_run = run lb in
+  let run controller () = Pktsim.run ~config ~controller ~workload () in
+  let hp_run, lb_run =
+    match fan_out ?jobs [ run hp; run lb ] with
+    | [ h; l ] -> (h, l)
+    | _ -> assert false
+  in
   let util stats =
     (* Busiest box's work time over the span it was receiving. *)
     Array.fold_left max 0.0 stats.Pktsim.loads
@@ -734,32 +850,46 @@ type lp_compare = {
   simplified_constraints : int;
   simplified_realized : float;
   simplified_weight_rows : int;
+  lp_events : int;
 }
 
-let ablation_lp ?(flows = 5_000) ?(seed = 17) () =
+let ablation_lp ?(flows = 5_000) ?(seed = 17) ?jobs () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~per_class:2 ~seed ~flows () in
   let rules = workload.Workload.rules in
   let traffic = Workload.measure workload in
   (* Full enforcement comparison: configure a controller per
-     formulation and realise both plans on the same workload. *)
-  let exact_c = configure_exn deployment ~rules (Sdm.Controller.Load_balanced_exact traffic) in
-  let simpl_c = configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic) in
-  let realized controller =
-    Array.fold_left max 0.0 (Flowsim.run ~controller ~workload ()).Flowsim.loads
+     formulation and realise both plans on the same workload — one
+     fan-out cell per formulation, LP solve included. *)
+  let cell kind () =
+    let controller = configure_exn deployment ~rules kind in
+    let result = Flowsim.run ~controller ~workload () in
+    ( controller,
+      Array.fold_left max 0.0 result.Flowsim.loads,
+      result.Flowsim.events )
   in
-  let exact = Option.get exact_c.Sdm.Controller.lp in
-  let simplified = Option.get simpl_c.Sdm.Controller.lp in
-  let weight_rows c = (Sdm.Controller.config_summary c).Sdm.Controller.weight_rows in
-  {
-    exact_lambda = exact.Sdm.Lp_formulation.lambda;
-    exact_vars = exact.Sdm.Lp_formulation.lp_vars;
-    exact_constraints = exact.Sdm.Lp_formulation.lp_constraints;
-    exact_realized = realized exact_c;
-    exact_weight_rows = weight_rows exact_c;
-    simplified_lambda = simplified.Sdm.Lp_formulation.lambda;
-    simplified_vars = simplified.Sdm.Lp_formulation.lp_vars;
-    simplified_constraints = simplified.Sdm.Lp_formulation.lp_constraints;
-    simplified_realized = realized simpl_c;
-    simplified_weight_rows = weight_rows simpl_c;
-  }
+  match
+    fan_out ?jobs
+      [
+        cell (Sdm.Controller.Load_balanced_exact traffic);
+        cell (Sdm.Controller.Load_balanced traffic);
+      ]
+  with
+  | [ (exact_c, exact_realized, e1); (simpl_c, simplified_realized, e2) ] ->
+    let exact = Option.get exact_c.Sdm.Controller.lp in
+    let simplified = Option.get simpl_c.Sdm.Controller.lp in
+    let weight_rows c = (Sdm.Controller.config_summary c).Sdm.Controller.weight_rows in
+    {
+      exact_lambda = exact.Sdm.Lp_formulation.lambda;
+      exact_vars = exact.Sdm.Lp_formulation.lp_vars;
+      exact_constraints = exact.Sdm.Lp_formulation.lp_constraints;
+      exact_realized;
+      exact_weight_rows = weight_rows exact_c;
+      simplified_lambda = simplified.Sdm.Lp_formulation.lambda;
+      simplified_vars = simplified.Sdm.Lp_formulation.lp_vars;
+      simplified_constraints = simplified.Sdm.Lp_formulation.lp_constraints;
+      simplified_realized;
+      simplified_weight_rows = weight_rows simpl_c;
+      lp_events = e1 + e2;
+    }
+  | _ -> assert false

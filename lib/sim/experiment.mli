@@ -9,7 +9,17 @@
     For the load-balanced strategy, the controller consumes the
     traffic matrix measured on the same workload (the paper's proxies
     measure a previous epoch; with stationary traffic the two
-    coincide). *)
+    coincide).
+
+    {b Parallel evaluation.}  Every sweep expresses its cells —
+    independent (controller, workload) evaluations — as thunks fanned
+    out over {!Stdx.Domain_pool.map}.  The [?jobs] argument bounds the
+    domains used (default {!Stdx.Domain_pool.default_jobs}); because
+    results are positional, cells are pure, and per-cell seeds are
+    derived order-independently ({!Stdx.Rng.derive}), reports are
+    bit-identical for every [jobs] value.  Each report also carries
+    the total simulator events its runs processed, so harnesses can
+    state real throughput. *)
 
 type scenario = Campus | Waxman
 
@@ -36,11 +46,13 @@ val run_strategies :
   ?per_class:int ->
   ?seed:int ->
   ?rule_seed:int ->
+  ?jobs:int ->
   unit ->
   Workload.t * strategy_run list
-(** One workload, all three strategies on it.  [rule_seed] (default
-    [seed]) pins the policy set independently of the flow population,
-    which the figure sweeps use to scale volume under fixed policies. *)
+(** One workload, all three strategies on it ([?jobs] fans the three
+    out).  [rule_seed] (default [seed]) pins the policy set
+    independently of the flow population, which the figure sweeps use
+    to scale volume under fixed policies. *)
 
 (* {2 Figures 4 and 5} *)
 
@@ -51,14 +63,22 @@ type point = {
   max_loads : (Policy.Action.nf * (float * float * float)) list;
 }
 
-type figure = { scenario : scenario; points : point list }
+type figure = {
+  scenario : scenario;
+  points : point list;
+  fig_events : int;  (** flow-level events across every cell and strategy *)
+}
 
 val default_flow_counts : int list
 (** 30k .. 300k in steps of 30k. *)
 
 val run_figure :
-  scenario -> ?flow_counts:int list -> ?per_class:int -> ?seed:int -> unit ->
-  figure
+  scenario -> ?flow_counts:int list -> ?per_class:int -> ?seed:int ->
+  ?jobs:int -> unit -> figure
+(** One cell per flow-volume point, fanned out over [?jobs] domains.
+    Each cell's flow population is seeded from
+    [Stdx.Rng.derive root i], so the figure is a function of the root
+    seed alone, not of evaluation order. *)
 
 (* {2 Table III} *)
 
@@ -72,16 +92,23 @@ type table3_row = {
   lb_min : float;
 }
 
+type table3 = {
+  t3_rows : table3_row list;
+  t3_events : int;  (** flow-level events across the three strategy runs *)
+}
+
 val run_table3 :
-  ?scenario:scenario -> ?flows:int -> ?per_class:int -> ?seed:int -> unit ->
-  table3_row list
+  ?scenario:scenario -> ?flows:int -> ?per_class:int -> ?seed:int ->
+  ?jobs:int -> unit -> table3
 
 (* {2 Ablations} *)
 
 type k_point = { k_fw_ids : int; k_wp_tm : int; lb_max_by_nf : (Policy.Action.nf * float) list }
 
+type k_sweep = { k_points : k_point list; k_events : int }
+
 val ablation_k :
-  ?scenario:scenario -> ?flows:int -> ?seed:int -> unit -> k_point list
+  ?scenario:scenario -> ?flows:int -> ?seed:int -> ?jobs:int -> unit -> k_sweep
 (** LB max loads as the candidate-set sizes grow; k=1 reproduces HP. *)
 
 type cache_stats = {
@@ -90,6 +117,7 @@ type cache_stats = {
   hits : int;
   negative_hits : int;
   lookup_fraction : float;  (** lookups / packet-events; the flow cache drives this toward #flows/#packets *)
+  cache_events : int;       (** engine events fired by the run *)
 }
 
 val ablation_cache : ?flows:int -> ?seed:int -> unit -> cache_stats
@@ -101,8 +129,10 @@ type cache_size_point = {
   size_evictions : int;
 }
 
+type cache_size_sweep = { cs_points : cache_size_point list; cs_events : int }
+
 val ablation_cache_size :
-  ?flows:int -> ?seed:int -> unit -> cache_size_point list
+  ?flows:int -> ?seed:int -> ?jobs:int -> unit -> cache_size_sweep
 (** Sec. III.D under finite table sizes: shrink every proxy/middlebox
     flow cache and watch evictions force repeated multi-field lookups
     for long-lived flows. *)
@@ -112,9 +142,11 @@ type frag_stats = {
   fragments_label_switched : int; (** label switching enabled *)
   tunneled_legs : int;
   label_switched_legs : int;
+  frag_events : int;            (** engine events fired, both runs together *)
 }
 
-val ablation_fragmentation : ?flows:int -> ?seed:int -> unit -> frag_stats
+val ablation_fragmentation :
+  ?flows:int -> ?seed:int -> ?jobs:int -> unit -> frag_stats
 (** Packet-level run quantifying Sec. III.E. *)
 
 type failure_report = {
@@ -126,10 +158,12 @@ type failure_report = {
   reoptimized_lambda : float;
   hp_failover_max : float;            (** hot-potato under the same failure *)
   survivors : int;                    (** remaining boxes of that type *)
+  fail_events : int;                  (** flow-level events, all four runs *)
 }
 
 val ablation_failure :
-  ?scenario:scenario -> ?flows:int -> ?seed:int -> unit -> failure_report
+  ?scenario:scenario -> ?flows:int -> ?seed:int -> ?jobs:int -> unit ->
+  failure_report
 (** Dependability experiment: kill the most-loaded IDS middlebox and
     compare local fast failover (stale LP weights renormalised over
     the survivors) against full controller re-optimization, with
@@ -163,6 +197,7 @@ type chaos_report = {
   chaos_link_fail_at : float;
   chaos_link_restore_at : float;
   chaos_control_loss : float;    (** control-packet loss probability applied *)
+  chaos_probe_events : int;      (** engine events of the fault-free probe *)
   chaos_rows : chaos_row list;
 }
 
@@ -171,6 +206,7 @@ val ablation_chaos :
   ?seed:int ->
   ?audit:bool ->
   ?detection_delays:float list ->
+  ?jobs:int ->
   unit ->
   chaos_report
 (** ABL-CHAOS, the packet-level dependability experiment: one fault
@@ -218,6 +254,7 @@ type live_report = {
   live_reconcile : float;       (** reconcile interval used (epoch / 4) *)
   live_stale_max : float;       (** hot-potato, no live loop — the floor *)
   live_clairvoyant_max : float; (** LB on the full matrix — the target *)
+  live_probe_events : int;      (** engine events of the two probe runs *)
   live_rows : live_row list;
   live_devices : live_device list; (** per-device view of the lossiest row *)
 }
@@ -227,6 +264,7 @@ val ablation_live :
   ?seed:int ->
   ?audit:bool ->
   ?control_losses:float list ->
+  ?jobs:int ->
   unit ->
   live_report
 (** ABL-LIVE, the live-reconfiguration experiment: start every run on
@@ -252,8 +290,10 @@ type sketch_point = {
   sketched_realized_max : float;
 }
 
+type sketch_sweep = { sk_points : sketch_point list; sk_events : int }
+
 val ablation_sketch :
-  ?flows:int -> ?seed:int -> unit -> sketch_point list
+  ?flows:int -> ?seed:int -> ?jobs:int -> unit -> sketch_sweep
 (** Count-Min measurement ablation: plan the LB weights on sketched
     traffic matrices of decreasing resolution and compare both the LP
     optimum and the realised maximum load against exact measurement. *)
@@ -270,7 +310,8 @@ type latency_report = {
   router_hops : int;       (** hops fast-forwarded, both runs together *)
 }
 
-val ablation_latency : ?flows:int -> ?seed:int -> unit -> latency_report
+val ablation_latency :
+  ?flows:int -> ?seed:int -> ?jobs:int -> unit -> latency_report
 (** Packet-level end-to-end latency with and without enforcement —
     the time cost of the middlebox detours (campus, LB strategy). *)
 
@@ -286,7 +327,7 @@ type queue_report = {
   router_hops : int;       (** hops fast-forwarded, all three runs together *)
 }
 
-val ablation_queue : ?flows:int -> ?seed:int -> unit -> queue_report
+val ablation_queue : ?flows:int -> ?seed:int -> ?jobs:int -> unit -> queue_report
 (** Queueing ablation: give every middlebox a finite service rate
     (auto-calibrated so the load-balanced plan keeps the busiest box
     at ~50% utilisation) and measure end-to-end latency under HP vs
@@ -304,9 +345,10 @@ type lp_compare = {
   simplified_constraints : int;
   simplified_realized : float;
   simplified_weight_rows : int;
+  lp_events : int;  (** flow-level events, both realisation runs *)
 }
 
-val ablation_lp : ?flows:int -> ?seed:int -> unit -> lp_compare
+val ablation_lp : ?flows:int -> ?seed:int -> ?jobs:int -> unit -> lp_compare
 (** Eq. (1) vs Eq. (2) on a small campus instance, compared end to end:
     LP size, optimum, *realised* max load enforcing each formulation's
     weights (Eq. (1) uses the per-(s,d) rows), and the configuration

@@ -6,6 +6,7 @@ type result = {
   enforced_packets : int;
   policy_violations : int;
   violating_flows : int;
+  events : int;
 }
 
 let run ?alive ~controller ~workload () =
@@ -18,9 +19,13 @@ let run ?alive ~controller ~workload () =
   let enforced_packets = ref 0 in
   let policy_violations = ref 0 in
   let violating_flows = ref 0 in
+  let events = ref 0 in
   let router_of_proxy i = dep.Sdm.Deployment.proxies.(i).Mbox.Proxy.router in
   Array.iter
     (fun (fs : Workload.flow_spec) ->
+      (* One event per flow record (classification), one per steering
+         decision below. *)
+      incr events;
       let pkts = float_of_int fs.Workload.packets in
       let src_router = router_of_proxy fs.Workload.src_proxy in
       let dst_router = router_of_proxy fs.Workload.dst_proxy in
@@ -38,7 +43,8 @@ let run ?alive ~controller ~workload () =
         let violated = ref false in
         List.iter
           (fun nf ->
-            if not !violated then
+            if not !violated then begin
+              incr events;
               match
                 Sdm.Controller.next_hop_result ?alive controller !entity ~rule
                   ~nf fs.Workload.flow
@@ -56,7 +62,8 @@ let run ?alive ~controller ~workload () =
                 packet_hops :=
                   !packet_hops +. (dist.(!here).(mb.Mbox.Middlebox.router) *. pkts);
                 here := mb.Mbox.Middlebox.router;
-                entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id)
+                entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id
+            end)
           rule.Policy.Rule.actions;
         packet_hops := !packet_hops +. (dist.(!here).(dst_router) *. pkts))
     workload.Workload.flows;
@@ -68,6 +75,7 @@ let run ?alive ~controller ~workload () =
     enforced_packets = !enforced_packets;
     policy_violations = !policy_violations;
     violating_flows = !violating_flows;
+    events = !events;
   }
 
 let loads_of_nf controller result nf =

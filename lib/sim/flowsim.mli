@@ -21,6 +21,11 @@ type result = {
       (** packets whose chain hit an emptied candidate set and were
           hot-potatoed to the destination unenforced (0 without faults) *)
   violating_flows : int;        (** flows contributing to [policy_violations] *)
+  events : int;
+      (** flow records plus steering decisions processed — the
+          flow-level analogue of [Pktsim.stats.events_processed], used
+          by the bench harness to report real per-experiment
+          throughput *)
 }
 
 val run :

@@ -1,0 +1,138 @@
+(* A batch of work shared by every domain: items [0, hi) handed out in
+   [chunk]-sized runs of consecutive indices from one atomic cursor.
+   Chunking keeps contention on the cursor negligible while runs stay
+   small enough to balance uneven per-item cost. *)
+type batch = {
+  run : int -> unit; (* process item i; never raises (wrapped) *)
+  hi : int;
+  next : int Atomic.t;
+  chunk : int;
+}
+
+type t = {
+  total : int; (* parallelism, caller included *)
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work : Condition.t; (* workers: a new batch or shutdown *)
+  finished : Condition.t; (* caller: all workers left the batch *)
+  mutable batch : batch option;
+  mutable generation : int;
+  mutable active : int;
+  mutable stop : bool;
+}
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let drain batch =
+  let rec go () =
+    let i = Atomic.fetch_and_add batch.next batch.chunk in
+    if i < batch.hi then begin
+      let stop = min batch.hi (i + batch.chunk) in
+      for j = i to stop - 1 do
+        batch.run j
+      done;
+      go ()
+    end
+  in
+  go ()
+
+(* Each worker alternates: wait for a generation bump, drain the
+   batch, report done.  The batch pointer is only read after observing
+   the bump under the mutex, and the caller only clears it after
+   [active] returns to 0, so the Option.get cannot race. *)
+let rec worker t gen =
+  Mutex.lock t.m;
+  while t.generation = gen && not t.stop do
+    Condition.wait t.work t.m
+  done;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    let gen = t.generation in
+    let batch = Option.get t.batch in
+    Mutex.unlock t.m;
+    drain batch;
+    Mutex.lock t.m;
+    t.active <- t.active - 1;
+    if t.active = 0 then Condition.signal t.finished;
+    Mutex.unlock t.m;
+    worker t gen
+  end
+
+let create ?jobs () =
+  let total = match jobs with None -> default_jobs () | Some j -> j in
+  if total < 1 then invalid_arg "Domain_pool.create: jobs must be >= 1";
+  let t =
+    {
+      total;
+      workers = [||];
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      generation = 0;
+      active = 0;
+      stop = false;
+    }
+  in
+  t.workers <- Array.init (total - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let jobs t = t.total
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let map_pool t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if Array.length t.workers = 0 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    (* ~8 chunks per domain: coarse enough that the cursor is cold,
+       fine enough that one slow item cannot strand a whole stripe. *)
+    let chunk = max 1 (n / (8 * t.total)) in
+    let run i =
+      match f arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set error None (Some (e, bt)));
+        (* Abandon the remaining queue: nobody will read the results. *)
+        Atomic.set next n
+    in
+    let batch = { run; hi = n; next; chunk } in
+    Mutex.lock t.m;
+    t.batch <- Some batch;
+    t.active <- Array.length t.workers;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    drain batch;
+    Mutex.lock t.m;
+    while t.active > 0 do
+      Condition.wait t.finished t.m
+    done;
+    t.batch <- None;
+    Mutex.unlock t.m;
+    match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?jobs f arr =
+  let j = match jobs with None -> default_jobs () | Some j -> j in
+  if j < 1 then invalid_arg "Domain_pool.map: jobs must be >= 1";
+  let j = min j (max 1 (Array.length arr)) in
+  if j = 1 then Array.map f arr
+  else begin
+    let t = create ~jobs:j () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map_pool t f arr)
+  end

@@ -1,0 +1,53 @@
+(** Deterministic multicore fan-out of independent jobs.
+
+    A fixed-size pool of [Domain.t] workers draining a chunked work
+    queue.  The one entry point that matters is {!map}: it applies a
+    function to every element of an array using up to [jobs] domains
+    (the calling domain participates, so [jobs = 1] spawns nothing)
+    and returns the results {e positionally} — [result.(i) = f arr.(i)]
+    no matter how the items were scheduled across domains.  That
+    positional contract is what makes parallel evaluation
+    bit-identical to sequential evaluation whenever [f] itself is a
+    pure function of its argument, which is the determinism guarantee
+    the experiment sweeps in [Sim.Experiment] are built on.
+
+    Exceptions raised by [f] are captured in the worker, the queue is
+    drained of remaining work, and the first exception (in completion
+    order) is re-raised at the {!map} call site with its original
+    backtrace — a crashing job never hangs the join.
+
+    Jobs must not share mutable state with each other or with the
+    caller while a map is in flight; everything they read must be
+    immutable or owned exclusively by that job. *)
+
+type t
+(** A pool of worker domains.  A pool is owned by the domain that
+    created it: only that domain may call {!map_pool} or {!shutdown},
+    and only one map may be in flight at a time. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] capped to 8 (and at least 1)
+    — the default parallelism of {!map} and of the [--jobs] flags in
+    [bench] and [sdmctl]. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] starts a pool that runs up to [jobs] jobs
+    concurrently ([jobs - 1] worker domains plus the caller; default
+    {!default_jobs}).  Raises [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Total parallelism of the pool, caller included. *)
+
+val map_pool : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_pool t f arr] is [Array.map f arr] evaluated on the pool's
+    domains, results in input order. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker domain.  Idempotent. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f arr] is [Array.map f arr] evaluated on a transient
+    pool of up to [jobs] domains (default {!default_jobs}; capped to
+    [Array.length arr], so [jobs] larger than the number of items is
+    fine).  [jobs = 1] runs entirely in the caller with no domain
+    spawned.  Raises [Invalid_argument] if [jobs < 1]. *)

@@ -27,28 +27,43 @@ let grow t =
     t.data <- ndata
   end
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
+(* Hole insertion: save the moving element once, shift displaced
+   parents (or children) down into the hole, and write the saved
+   element only at its final position — one write per level instead of
+   a three-write swap.  The comparison sequence is identical to the
+   swap-based version, so the resulting arrangement (and therefore pop
+   order under any tie-breaking comparison) is bit-identical. *)
+let sift_up t i =
+  let x = t.data.(i) in
+  let rec climb i =
+    if i = 0 then i
+    else begin
+      let parent = (i - 1) / 2 in
+      if t.cmp x t.data.(parent) < 0 then begin
+        t.data.(i) <- t.data.(parent);
+        climb parent
+      end
+      else i
     end
-  end
+  in
+  t.data.(climb i) <- x
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+let sift_down t i =
+  let x = t.data.(i) in
+  let rec descend i =
+    let l = (2 * i) + 1 in
+    if l >= t.size then i
+    else begin
+      let r = l + 1 in
+      let c = if r < t.size && t.cmp t.data.(r) t.data.(l) < 0 then r else l in
+      if t.cmp t.data.(c) x < 0 then begin
+        t.data.(i) <- t.data.(c);
+        descend c
+      end
+      else i
+    end
+  in
+  t.data.(descend i) <- x
 
 let push t x =
   grow t;

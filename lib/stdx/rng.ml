@@ -6,19 +6,31 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
-(* splitmix64 core step: advance by the golden gamma and scramble. *)
-let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
+(* splitmix64 output scrambler. *)
+let scramble z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* splitmix64 core step: advance by the golden gamma and scramble. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  scramble t.state
 
 let int64 = next_int64
 
 let split t =
   let seed = next_int64 t in
   { state = seed }
+
+(* A gamma distinct from [golden_gamma] keeps derived streams off the
+   parent's own state trajectory. *)
+let derive_gamma = 0xD1B54A32D192ED03L
+
+let derive t idx =
+  if idx < 0 then invalid_arg "Rng.derive: negative index";
+  let salt = scramble (Int64.mul (Int64.of_int (idx + 1)) derive_gamma) in
+  { state = scramble (Int64.logxor t.state salt) }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

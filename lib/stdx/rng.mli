@@ -17,7 +17,22 @@ val copy : t -> t
 
 val split : t -> t
 (** [split t] derives a new independent generator from [t], advancing
-    [t].  Used to give sub-components their own streams. *)
+    [t].  Used to give sub-components their own streams.  Because it
+    advances the parent, the derived stream depends on how many draws
+    preceded the split — use {!derive} when the derivation must be
+    order-independent. *)
+
+val derive : t -> int -> t
+(** [derive t i] is the [i]-th child stream of [t]'s current state.
+    Unlike {!split} it does {e not} advance [t]: the same [(t, i)]
+    always yields the same stream no matter how many other children
+    were derived before or after, which is what lets a parallel sweep
+    hand every cell its own generator while remaining bit-identical to
+    a sequential one.  Distinct indices give statistically independent
+    streams (the index is scrambled through the splitmix64 finalizer
+    before being folded into the state), and every child is
+    independent of the parent's own output stream.  Raises
+    [Invalid_argument] on a negative index. *)
 
 val int64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -41,7 +41,7 @@ let test_figure_csv () =
     lines
 
 let test_table3_rendering_and_csv () =
-  let rows = Sim.Experiment.run_table3 ~flows:2_000 () in
+  let rows = (Sim.Experiment.run_table3 ~flows:2_000 ()).Sim.Experiment.t3_rows in
   let out = render Sim.Report.pp_table3 rows in
   Alcotest.(check bool) "mentions max" true (contains out "max.");
   Alcotest.(check bool) "mentions min" true (contains out "min.");
@@ -92,6 +92,7 @@ let synthetic_live_report =
     live_reconcile = 2.5;
     live_stale_max = 1000.0;
     live_clairvoyant_max = 400.0;
+    live_probe_events = 12_000;
     live_rows = [ row ~loss:0.0 ~audit:None; row ~loss:0.10 ~audit:(Some 3) ];
     live_devices =
       [
@@ -180,6 +181,7 @@ let test_live_and_chaos_printers_audit_column () =
       chaos_link_fail_at = 45.0;
       chaos_link_restore_at = 65.0;
       chaos_control_loss = 0.02;
+      chaos_probe_events = 9_000;
       chaos_rows = [ chaos_row ~audit:None; chaos_row ~audit:(Some 7) ];
     }
   in

@@ -702,8 +702,10 @@ let test_experiment_linear_growth () =
   | _ -> Alcotest.fail "expected two points"
 
 let test_experiment_table3_shape () =
-  let rows = Sim.Experiment.run_table3 ~flows:30_000 () in
+  let t3 = Sim.Experiment.run_table3 ~flows:30_000 () in
+  let rows = t3.Sim.Experiment.t3_rows in
   Alcotest.(check int) "four rows" 4 (List.length rows);
+  Alcotest.(check bool) "events counted" true (t3.Sim.Experiment.t3_events > 0);
   List.iter
     (fun (r : Sim.Experiment.table3_row) ->
       (* LB spread is the tightest of the three strategies. *)
@@ -749,8 +751,10 @@ let test_queueing_preserves_loads () =
 
 let test_epoch_adaptation () =
   let dep = campus () in
-  let metrics = Sim.Epochsim.run ~deployment:dep ~epochs:4 ~base_flows:10_000 () in
+  let report = Sim.Epochsim.run ~deployment:dep ~epochs:4 ~base_flows:10_000 () in
+  let metrics = report.Sim.Epochsim.ep_rows in
   Alcotest.(check int) "four epochs" 4 (List.length metrics);
+  Alcotest.(check bool) "events counted" true (report.Sim.Epochsim.ep_events > 0);
   (match metrics with
   | first :: _ ->
     (* Epoch 0 has no prior measurement: stale LB *is* hot-potato. *)
@@ -1319,6 +1323,26 @@ let test_pktsim_empty_schedule_inert () =
     ({ s with Sim.Pktsim.loads = [||] } = { calm with Sim.Pktsim.loads = [||] }
     && s.Sim.Pktsim.loads = calm.Sim.Pktsim.loads)
 
+(* ---- Parallel fan-out determinism --------------------------------- *)
+
+let test_experiment_jobs_invariant_flowsim () =
+  (* Headline guarantee of the domain-pool engine: a flow-level sweep
+     is bit-identical however many domains evaluate its cells. *)
+  let run jobs =
+    Sim.Experiment.run_figure Sim.Experiment.Campus
+      ~flow_counts:[ 1_000; 2_000; 3_000 ] ~jobs ()
+  in
+  Alcotest.(check bool) "figure jobs=1 = jobs=4" true (run 1 = run 4)
+
+let test_experiment_jobs_invariant_pktsim () =
+  (* Same guarantee for the packet-level chaos experiment, with the
+     online invariant audit armed in every row. *)
+  let run jobs =
+    Sim.Experiment.ablation_chaos ~flows:120 ~audit:true
+      ~detection_delays:[ 2.0; 10.0 ] ~jobs ()
+  in
+  Alcotest.(check bool) "chaos jobs=1 = jobs=4" true (run 1 = run 4)
+
 let suite =
   [
     Alcotest.test_case "workload shape" `Quick test_workload_shape;
@@ -1385,6 +1409,10 @@ let suite =
     Alcotest.test_case "experiment figure (small)" `Slow test_experiment_figure_small;
     Alcotest.test_case "experiment linear growth" `Slow test_experiment_linear_growth;
     Alcotest.test_case "experiment table3 shape" `Slow test_experiment_table3_shape;
+    Alcotest.test_case "experiment jobs-invariant (flowsim)" `Slow
+      test_experiment_jobs_invariant_flowsim;
+    Alcotest.test_case "experiment jobs-invariant (pktsim)" `Slow
+      test_experiment_jobs_invariant_pktsim;
     Alcotest.test_case "experiment k=1 equals HP" `Quick test_experiment_k1_equals_hp;
     Alcotest.test_case "epoch adaptation" `Slow test_epoch_adaptation;
     Alcotest.test_case "queue ablation" `Slow test_queue_ablation;

@@ -53,6 +53,70 @@ let test_rng_split_independent () =
   let p1 = Stdx.Rng.int64 parent in
   Alcotest.(check bool) "values differ" true (c1 <> p1)
 
+let test_rng_derive_stable () =
+  (* derive is a pure function of (parent state, index): repeated
+     derivations agree, and the parent's own stream is untouched. *)
+  let parent = Stdx.Rng.create 42 in
+  let witness = Stdx.Rng.copy parent in
+  let a = Stdx.Rng.derive parent 3 and b = Stdx.Rng.derive parent 3 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same child stream" (Stdx.Rng.int64 a)
+      (Stdx.Rng.int64 b)
+  done;
+  (* Interleave more derivations: still no effect on the parent. *)
+  ignore (Stdx.Rng.derive parent 0);
+  ignore (Stdx.Rng.derive parent 1000);
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "parent not advanced" (Stdx.Rng.int64 witness)
+      (Stdx.Rng.int64 parent)
+  done
+
+let test_rng_derive_order_independent () =
+  (* The whole point vs [split]: the i-th child does not depend on how
+     many other children were derived first. *)
+  let p1 = Stdx.Rng.create 7 and p2 = Stdx.Rng.create 7 in
+  ignore (Stdx.Rng.derive p2 0);
+  ignore (Stdx.Rng.derive p2 1);
+  ignore (Stdx.Rng.derive p2 2);
+  let a = Stdx.Rng.derive p1 5 and b = Stdx.Rng.derive p2 5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "index alone decides" (Stdx.Rng.int64 a)
+      (Stdx.Rng.int64 b)
+  done
+
+let test_rng_derive_independent_streams () =
+  (* Sibling children, and child vs parent, must look unrelated: over
+     10k paired draws, agreement and simple lag-0 sign correlation both
+     stay near chance. *)
+  let checks =
+    let parent = Stdx.Rng.create 2024 in
+    [
+      ("siblings 0/1", Stdx.Rng.derive parent 0, Stdx.Rng.derive parent 1);
+      ("siblings 1/2", Stdx.Rng.derive parent 1, Stdx.Rng.derive parent 2);
+      ("child vs parent", Stdx.Rng.derive parent 0, parent);
+    ]
+  in
+  List.iter
+    (fun (name, a, b) ->
+      let n = 10_000 in
+      let equal = ref 0 and same_sign = ref 0 in
+      for _ = 1 to n do
+        let x = Stdx.Rng.int64 a and y = Stdx.Rng.int64 b in
+        if x = y then incr equal;
+        if (x < 0L) = (y < 0L) then incr same_sign
+      done;
+      if !equal > 2 then Alcotest.failf "%s: %d equal draws" name !equal;
+      (* Sign agreement is Binomial(10k, 1/2): 5 sigma ~ 250. *)
+      if abs (!same_sign - (n / 2)) > 250 then
+        Alcotest.failf "%s: sign correlation (%d/%d)" name !same_sign n)
+    checks
+
+let test_rng_derive_negative_raises () =
+  let rng = Stdx.Rng.create 1 in
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.derive: negative index") (fun () ->
+      ignore (Stdx.Rng.derive rng (-1)))
+
 let test_shuffle_permutation () =
   let rng = Stdx.Rng.create 3 in
   let arr = Array.init 50 Fun.id in
@@ -161,6 +225,95 @@ let qcheck_heap_property =
       List.iter (Stdx.Heap.push h) l;
       let drained = List.filter_map (fun _ -> Stdx.Heap.pop h) l in
       drained = List.sort compare l)
+
+let qcheck_heap_interleaved =
+  (* Heap-sort equivalence under interleaved push/pop: any mix of
+     pushes and pops pops exactly the running minima a reference
+     sorted-list model would — exercises the hole-insertion sifts from
+     intermediate (not just freshly built) arrangements. *)
+  QCheck.Test.make ~count:200 ~name:"heap matches sorted-list model under mixed ops"
+    QCheck.(list (option int))
+    (fun ops ->
+      let h = Stdx.Heap.create ~cmp:compare in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+            Stdx.Heap.push h x;
+            model := List.sort compare (x :: !model);
+            true
+          | None -> (
+            let got = Stdx.Heap.pop h in
+            match (got, !model) with
+            | None, [] -> true
+            | Some v, m :: rest when v = m ->
+              model := rest;
+              true
+            | _ -> false))
+        ops
+      && Stdx.Heap.to_sorted_list h = !model)
+
+(* ---- Domain_pool -------------------------------------------------- *)
+
+let test_domain_pool_ordered () =
+  (* Positional results whatever the parallelism: result.(i) = f arr.(i). *)
+  let arr = Array.init 257 (fun i -> i) in
+  let expected = Array.map (fun i -> i * i) arr in
+  List.iter
+    (fun jobs ->
+      let got = Stdx.Domain_pool.map ~jobs (fun i -> i * i) arr in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d preserves order" jobs)
+        expected got)
+    [ 1; 2; 8 ]
+
+let test_domain_pool_empty_and_overprovisioned () =
+  Alcotest.(check (array int)) "empty input" [||]
+    (Stdx.Domain_pool.map ~jobs:8 (fun i -> i) [||]);
+  (* More jobs than cells must neither hang nor duplicate work. *)
+  Alcotest.(check (array int)) "jobs > cells" [| 10; 20 |]
+    (Stdx.Domain_pool.map ~jobs:8 (fun i -> i * 10) [| 1; 2 |])
+
+let test_domain_pool_exception_propagates () =
+  (* A crashing job re-raises at the map call site (no hang), for both
+     the sequential and the parallel path. *)
+  List.iter
+    (fun jobs ->
+      match
+        Stdx.Domain_pool.map ~jobs
+          (fun i -> if i = 13 then failwith "boom" else i)
+          (Array.init 64 Fun.id)
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Failure" jobs
+      | exception Failure msg ->
+        Alcotest.(check string)
+          (Printf.sprintf "jobs=%d re-raises" jobs)
+          "boom" msg)
+    [ 1; 4 ]
+
+let test_domain_pool_reuse () =
+  (* One pool, several batches: workers survive between maps. *)
+  let pool = Stdx.Domain_pool.create ~jobs:4 () in
+  Fun.protect
+    ~finally:(fun () -> Stdx.Domain_pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "jobs" 4 (Stdx.Domain_pool.jobs pool);
+      for round = 1 to 3 do
+        let arr = Array.init 50 (fun i -> i + round) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.map succ arr)
+          (Stdx.Domain_pool.map_pool pool succ arr)
+      done)
+
+let test_domain_pool_invalid_jobs () =
+  Alcotest.check_raises "map jobs < 1"
+    (Invalid_argument "Domain_pool.map: jobs must be >= 1") (fun () ->
+      ignore (Stdx.Domain_pool.map ~jobs:0 Fun.id [| 1 |]));
+  Alcotest.check_raises "create jobs < 1"
+    (Invalid_argument "Domain_pool.create: jobs must be >= 1") (fun () ->
+      ignore (Stdx.Domain_pool.create ~jobs:0 ()))
 
 let test_xhash_deterministic () =
   Alcotest.(check int64) "stable string hash" (Stdx.Xhash.string "hello")
@@ -356,6 +509,13 @@ let suite =
     Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
     Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
     Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng derive stable" `Quick test_rng_derive_stable;
+    Alcotest.test_case "rng derive order independent" `Quick
+      test_rng_derive_order_independent;
+    Alcotest.test_case "rng derive independent streams" `Quick
+      test_rng_derive_independent_streams;
+    Alcotest.test_case "rng derive negative raises" `Quick
+      test_rng_derive_negative_raises;
     Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
     Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
     Alcotest.test_case "sample too many raises" `Quick test_sample_too_many;
@@ -367,6 +527,15 @@ let suite =
     Alcotest.test_case "heap to_sorted_list" `Quick test_heap_to_sorted_list;
     Alcotest.test_case "heap pop releases slot" `Quick test_heap_pop_releases_slot;
     QCheck_alcotest.to_alcotest qcheck_heap_property;
+    QCheck_alcotest.to_alcotest qcheck_heap_interleaved;
+    Alcotest.test_case "domain pool ordered" `Quick test_domain_pool_ordered;
+    Alcotest.test_case "domain pool edge cases" `Quick
+      test_domain_pool_empty_and_overprovisioned;
+    Alcotest.test_case "domain pool exception" `Quick
+      test_domain_pool_exception_propagates;
+    Alcotest.test_case "domain pool reuse" `Quick test_domain_pool_reuse;
+    Alcotest.test_case "domain pool invalid jobs" `Quick
+      test_domain_pool_invalid_jobs;
     Alcotest.test_case "xhash deterministic" `Quick test_xhash_deterministic;
     Alcotest.test_case "xhash unit interval" `Quick test_xhash_unit_interval;
     Alcotest.test_case "xhash spread" `Quick test_xhash_spread;
