@@ -9,9 +9,12 @@
      dune exec bench/main.exe -- --csv   # also write fig4/fig5/table3 CSVs
      dune exec bench/main.exe -- --audit # chaos/live under the invariant audit
      dune exec bench/main.exe -- --jobs 4 # experiment-cell parallelism
+     dune exec bench/main.exe -- --shards 4 # intra-run flow-hash sharding
+     dune exec bench/main.exe -- --flows 2000000 # SCALE section volume
 
-   Reports are bit-identical for every --jobs value (the fan-out in
-   Sim.Experiment is deterministic); only the wall times change.
+   Reports are bit-identical for every --jobs and --shards value (the
+   fan-out in Sim.Experiment and the flow-hash sharding in Sim.Flowsim
+   are deterministic); only the wall times change.
 
    Experiment index (see DESIGN.md section 4):
      FIG4   - Figure 4: max load per middlebox type vs volume, campus
@@ -32,16 +35,26 @@ let audit = Array.exists (( = ) "--audit") Sys.argv
 let csv_dir = if Array.exists (( = ) "--csv") Sys.argv then Some "bench_csv" else None
 let json_out = Array.exists (( = ) "--json") Sys.argv
 
-let jobs =
+let int_flag name default =
   let rec find i =
-    if i + 1 >= Array.length Sys.argv then Stdx.Domain_pool.default_jobs ()
-    else if Sys.argv.(i) = "--jobs" then
+    if i + 1 >= Array.length Sys.argv then default
+    else if Sys.argv.(i) = name then
       match int_of_string_opt Sys.argv.(i + 1) with
       | Some j when j >= 1 -> j
-      | _ -> failwith "bench: --jobs expects a positive integer"
+      | _ -> failwith (Printf.sprintf "bench: %s expects a positive integer" name)
     else find (i + 1)
   in
   find 1
+
+let jobs = int_flag "--jobs" (Stdx.Domain_pool.default_jobs ())
+
+(* Intra-run parallelism: flow-hash sharding inside each Flowsim run,
+   parallel setup phases inside each Pktsim run.  Orthogonal to --jobs
+   and equally determinism-free. *)
+let shards = int_flag "--shards" (Stdx.Domain_pool.default_jobs ())
+
+(* Flow volume of the SCALE section's one big packed run. *)
+let scale_flows = int_flag "--flows" (if fast then 200_000 else 1_000_000)
 
 (* Perf trajectory for --json: wall seconds per experiment, plus engine
    event counts for the packet-level ones (events/sec is the packet
@@ -113,6 +126,11 @@ let seq_baselines =
     close_in ic;
     !acc
 
+(* The SCALE section's record: one big sharded+packed flowsim run with
+   its own in-process sequential baseline (so speedup never depends on
+   a previous artifact being present). *)
+let scale_record : string option ref = ref None
+
 let write_json () =
   let path = "BENCH_pktsim.json" in
   let oc = open_out path in
@@ -129,23 +147,28 @@ let write_json () =
           if events > 0 && seconds > 0.0 then float_of_int events /. seconds
           else 0.0
         in
+        (* JSON null when there is no sequential baseline on record —
+           an absent measurement, not a measured slowdown to 0x. *)
         let speedup_vs_seq =
-          if jobs = 1 then 1.0
+          if jobs = 1 then "1.00"
           else
             match List.assoc_opt name seq_baselines with
-            | Some base when seconds > 0.0 -> base /. seconds
-            | _ -> 0.0 (* no sequential baseline on record *)
+            | Some base when seconds > 0.0 ->
+              Printf.sprintf "%.2f" (base /. seconds)
+            | _ -> "null"
         in
         Printf.sprintf
           "    {\"name\": %S, \"jobs\": %d, \"wall_seconds\": %.3f, \
            \"seconds\": %.3f, \"events_processed\": %d, \"router_hops\": %d, \
-           \"events_per_sec\": %.0f, \"speedup_vs_seq\": %.2f}"
+           \"events_per_sec\": %.0f, \"speedup_vs_seq\": %s}"
           name jobs seconds seconds events hops events_per_sec speedup_vs_seq)
       !timings
   in
   Printf.fprintf oc
-    "{\n  \"jobs\": %d,\n  \"total_wall_seconds\": %.3f,\n  \"experiments\": [\n%s\n  ]\n}\n"
-    jobs total_seconds
+    "{\n  \"jobs\": %d,\n  \"shards\": %d,\n  \"total_wall_seconds\": %.3f,\n  \
+     \"scaling\": %s,\n  \"experiments\": [\n%s\n  ]\n}\n"
+    jobs shards total_seconds
+    (Option.value ~default:"null" !scale_record)
     (String.concat ",\n" entries);
   close_out oc;
   Format.printf "[wrote %s]@." path
@@ -176,11 +199,13 @@ let flow_counts =
 
 let () =
   Format.printf "[experiment-cell parallelism: %d jobs]@." jobs;
+  Format.printf "[intra-run sharding: %d shards]@." shards;
 
   section "FIG4: campus topology (Figure 4)";
   let fig4 =
     timed "FIG4" (fun () ->
-        Sim.Experiment.run_figure Sim.Experiment.Campus ~flow_counts ~jobs ())
+        Sim.Experiment.run_figure Sim.Experiment.Campus ~flow_counts ~jobs
+          ~shards ())
   in
   note_events "FIG4" ~events:fig4.Sim.Experiment.fig_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_figure fig4;
@@ -189,7 +214,8 @@ let () =
   section "FIG5: Waxman topology (Figure 5)";
   let fig5 =
     timed "FIG5" (fun () ->
-        Sim.Experiment.run_figure Sim.Experiment.Waxman ~flow_counts ~jobs ())
+        Sim.Experiment.run_figure Sim.Experiment.Waxman ~flow_counts ~jobs
+          ~shards ())
   in
   note_events "FIG5" ~events:fig5.Sim.Experiment.fig_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_figure fig5;
@@ -199,7 +225,7 @@ let () =
   let table3 =
     timed "TABLE3" (fun () ->
         Sim.Experiment.run_table3 ~flows:(if fast then 150_000 else 300_000)
-          ~jobs ())
+          ~jobs ~shards ())
   in
   note_events "TABLE3" ~events:table3.Sim.Experiment.t3_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_table3 table3.Sim.Experiment.t3_rows;
@@ -209,7 +235,7 @@ let () =
   let table3w =
     timed "TABLE3-WAXMAN" (fun () ->
         Sim.Experiment.run_table3 ~scenario:Sim.Experiment.Waxman
-          ~flows:(if fast then 150_000 else 300_000) ~jobs ())
+          ~flows:(if fast then 150_000 else 300_000) ~jobs ~shards ())
   in
   note_events "TABLE3-WAXMAN" ~events:table3w.Sim.Experiment.t3_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_table3 table3w.Sim.Experiment.t3_rows;
@@ -218,7 +244,7 @@ let () =
   let abk =
     timed "ABL-K" (fun () ->
         Sim.Experiment.ablation_k ~flows:(if fast then 60_000 else 120_000)
-          ~jobs ())
+          ~jobs ~shards ())
   in
   note_events "ABL-K" ~events:abk.Sim.Experiment.k_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_k_ablation abk.Sim.Experiment.k_points;
@@ -226,7 +252,8 @@ let () =
   section "ABL-CACHE: flow cache vs multi-field lookups (Sec. III.D)";
   let abc =
     timed "ABL-CACHE" (fun () ->
-        Sim.Experiment.ablation_cache ~flows:(if fast then 500 else 2_000) ())
+        Sim.Experiment.ablation_cache ~flows:(if fast then 500 else 2_000)
+          ~shards ())
   in
   note_events "ABL-CACHE" ~events:abc.Sim.Experiment.cache_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_cache_ablation abc;
@@ -235,7 +262,7 @@ let () =
   let abcs =
     timed "ABL-CACHESIZE" (fun () ->
         Sim.Experiment.ablation_cache_size
-          ~flows:(if fast then 300 else 1_000) ~jobs ())
+          ~flows:(if fast then 300 else 1_000) ~jobs ~shards ())
   in
   note_events "ABL-CACHESIZE" ~events:abcs.Sim.Experiment.cs_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_cache_size_ablation
@@ -245,7 +272,7 @@ let () =
   let abf =
     timed "ABL-FRAG" (fun () ->
         Sim.Experiment.ablation_fragmentation
-          ~flows:(if fast then 500 else 2_000) ~jobs ())
+          ~flows:(if fast then 500 else 2_000) ~jobs ~shards ())
   in
   note_events "ABL-FRAG" ~events:abf.Sim.Experiment.frag_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_frag_ablation abf;
@@ -254,7 +281,7 @@ let () =
   let abfail =
     timed "ABL-FAIL" (fun () ->
         Sim.Experiment.ablation_failure
-          ~flows:(if fast then 60_000 else 120_000) ~jobs ())
+          ~flows:(if fast then 60_000 else 120_000) ~jobs ~shards ())
   in
   note_events "ABL-FAIL" ~events:abfail.Sim.Experiment.fail_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_failure_ablation abfail;
@@ -263,7 +290,7 @@ let () =
   let abchaos =
     timed "ABL-CHAOS" (fun () ->
         Sim.Experiment.ablation_chaos ~flows:(if fast then 300 else 800) ~audit
-          ~jobs ())
+          ~jobs ~shards ())
   in
   note_events "ABL-CHAOS"
     ~events:
@@ -279,7 +306,7 @@ let () =
   let ablive =
     timed "ABL-LIVE" (fun () ->
         Sim.Experiment.ablation_live ~flows:(if fast then 300 else 500) ~audit
-          ~jobs ())
+          ~jobs ~shards ())
   in
   note_events "ABL-LIVE"
     ~events:
@@ -301,7 +328,7 @@ let () =
         in
         Sim.Epochsim.run ~deployment
           ~base_flows:(if fast then 30_000 else 60_000)
-          ~jobs ())
+          ~jobs ~shards ())
   in
   note_events "ABL-EPOCH" ~events:abe.Sim.Epochsim.ep_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_epochs abe.Sim.Epochsim.ep_rows;
@@ -310,7 +337,7 @@ let () =
   let absk =
     timed "ABL-SKETCH" (fun () ->
         Sim.Experiment.ablation_sketch
-          ~flows:(if fast then 60_000 else 120_000) ~jobs ())
+          ~flows:(if fast then 60_000 else 120_000) ~jobs ~shards ())
   in
   note_events "ABL-SKETCH" ~events:absk.Sim.Experiment.sk_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_sketch_ablation
@@ -320,7 +347,7 @@ let () =
   let ablat =
     timed "ABL-LAT" (fun () ->
         Sim.Experiment.ablation_latency ~flows:(if fast then 300 else 1_000)
-          ~jobs ())
+          ~jobs ~shards ())
   in
   note_events "ABL-LAT" ~events:ablat.Sim.Experiment.events_processed
     ~hops:ablat.Sim.Experiment.router_hops;
@@ -329,7 +356,8 @@ let () =
   section "ABL-QUEUE: middlebox queueing, HP vs LB latency";
   let abq =
     timed "ABL-QUEUE" (fun () ->
-        Sim.Experiment.ablation_queue ~flows:(if fast then 300 else 800) ~jobs ())
+        Sim.Experiment.ablation_queue ~flows:(if fast then 300 else 800) ~jobs
+          ~shards ())
   in
   note_events "ABL-QUEUE" ~events:abq.Sim.Experiment.events_processed
     ~hops:abq.Sim.Experiment.router_hops;
@@ -338,7 +366,8 @@ let () =
   section "ABL-LP: Eq.(1) exact vs Eq.(2) simplified";
   let abl =
     timed "ABL-LP" (fun () ->
-        Sim.Experiment.ablation_lp ~flows:(if fast then 2_000 else 5_000) ~jobs ())
+        Sim.Experiment.ablation_lp ~flows:(if fast then 2_000 else 5_000) ~jobs
+          ~shards ())
   in
   note_events "ABL-LP" ~events:abl.Sim.Experiment.lp_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_lp_ablation abl;
@@ -367,6 +396,74 @@ let () =
     | Error e -> Format.printf "configuration failed: %s@." e
   in
   ()
+
+(* ---- SCALE: one big run, flow-hash sharded + packed state ---------- *)
+
+(* The sequential baseline is the same packed run at shards = 1, timed
+   in this very process, so the speedup recorded here never depends on
+   a previous artifact being present (unlike the per-experiment
+   speedup_vs_seq, which compares across --jobs invocations).  The
+   packed store is off-heap (Bigarray), so top_heap_words reflects the
+   simulator's working set, not the flow population. *)
+let run_scale () =
+  Format.printf "@.##### SCALE: intra-run sharding, one big flowsim run #####@.@.";
+  let deployment =
+    Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed:17
+  in
+  let packed =
+    Sim.Workload.generate_packed ~deployment ~seed:17 ~flows:scale_flows ()
+  in
+  let store_mb =
+    float_of_int (scale_flows * Sim.Workload.Packed.bytes_per_flow) /. 1048576.0
+  in
+  let controller =
+    match
+      Sdm.Controller.configure deployment
+        ~rules:packed.Sim.Workload.Packed.rules Sdm.Controller.Hot_potato
+    with
+    | Ok c -> c
+    | Error e -> failwith ("SCALE: " ^ e)
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, t_seq =
+    time (fun () ->
+        Sim.Flowsim.run_packed ~shards:1 ~controller ~workload:packed ())
+  in
+  let sharded, t_par =
+    time (fun () ->
+        Sim.Flowsim.run_packed ~shards ~controller ~workload:packed ())
+  in
+  if sharded <> seq then failwith "SCALE: sharded run diverged from sequential";
+  let peak_heap_mb =
+    float_of_int (Gc.quick_stat ()).Gc.top_heap_words
+    *. float_of_int (Sys.word_size / 8)
+    /. 1048576.0
+  in
+  let speedup = if t_par > 0.0 then t_seq /. t_par else 1.0 in
+  (* Wall times and the heap high-water mark are nondeterministic, so
+     they stay on bracketed lines (CI's determinism diff filters those
+     out); the deterministic summary carries only exact quantities. *)
+  Format.printf "flows %d, packed store %.1f MB (%d B/flow), events %d@."
+    scale_flows store_mb Sim.Workload.Packed.bytes_per_flow
+    seq.Sim.Flowsim.events;
+  Format.printf "sharded run identical to sequential: %b@." (sharded = seq);
+  Format.printf
+    "[SCALE seq %.2fs, %d shard(s) %.2fs, speedup %.2fx, peak heap %.1f MB]@."
+    t_seq shards t_par speedup peak_heap_mb;
+  scale_record :=
+    Some
+      (Printf.sprintf
+         "{\"flows\": %d, \"shards\": %d, \"seq_wall_seconds\": %.3f, \
+          \"sharded_wall_seconds\": %.3f, \"speedup_vs_seq\": %.2f, \
+          \"events\": %d, \"peak_heap_mb\": %.1f, \"store_mb\": %.1f}"
+         scale_flows shards t_seq t_par speedup seq.Sim.Flowsim.events
+         peak_heap_mb store_mb)
+
+let () = run_scale ()
 
 (* ---- Classifier scaling ------------------------------------------- *)
 

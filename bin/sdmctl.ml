@@ -150,6 +150,16 @@ let exp_cmd =
              Results are bit-identical for every value; only the wall time \
              changes.")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Split each individual run's per-flow work across up to $(docv) \
+             domains (flow-hash sharding for flow-level runs, parallel setup \
+             phases for packet-level runs).  Orthogonal to $(b,--jobs); \
+             results are bit-identical for every value.")
+  in
   (* Exit policy under --audit: any invariant violation fails the
      invocation so CI can gate on it. *)
   let audit_verdict counts =
@@ -160,49 +170,57 @@ let exp_cmd =
     end
     else Format.printf "audit: clean (%d runs)@." (List.length counts)
   in
-  let run which seed flows audit jobs =
+  let run which seed flows audit jobs shards =
     if audit && which <> "chaos" && which <> "live" then
       Format.eprintf "note: --audit applies to chaos and live only@.";
     if jobs < 1 then begin
       Format.eprintf "--jobs must be >= 1@.";
       exit 2
     end;
+    if shards < 1 then begin
+      Format.eprintf "--shards must be >= 1@.";
+      exit 2
+    end;
     match which with
     | "fig4" ->
       Format.printf "%a@." Sim.Report.pp_figure
-        (Sim.Experiment.run_figure Sim.Experiment.Campus ~seed ~jobs ())
+        (Sim.Experiment.run_figure Sim.Experiment.Campus ~seed ~jobs ~shards ())
     | "fig5" ->
       Format.printf "%a@." Sim.Report.pp_figure
-        (Sim.Experiment.run_figure Sim.Experiment.Waxman ~seed ~jobs ())
+        (Sim.Experiment.run_figure Sim.Experiment.Waxman ~seed ~jobs ~shards ())
     | "table3" ->
       Format.printf "%a@." Sim.Report.pp_table3
-        (Sim.Experiment.run_table3 ~flows ~seed ~jobs ()).Sim.Experiment.t3_rows
+        (Sim.Experiment.run_table3 ~flows ~seed ~jobs ~shards ())
+          .Sim.Experiment.t3_rows
     | "k" ->
       Format.printf "%a@." Sim.Report.pp_k_ablation
-        (Sim.Experiment.ablation_k ~seed ~jobs ()).Sim.Experiment.k_points
+        (Sim.Experiment.ablation_k ~seed ~jobs ~shards ()).Sim.Experiment.k_points
     | "cache" ->
       Format.printf "%a@." Sim.Report.pp_cache_ablation
-        (Sim.Experiment.ablation_cache ~flows:(min flows 5_000) ~seed ())
+        (Sim.Experiment.ablation_cache ~flows:(min flows 5_000) ~seed ~shards ())
     | "frag" ->
       Format.printf "%a@." Sim.Report.pp_frag_ablation
         (Sim.Experiment.ablation_fragmentation ~flows:(min flows 5_000) ~seed
-           ~jobs ())
+           ~jobs ~shards ())
     | "epoch" ->
       let deployment =
         Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed
       in
       Format.printf "%a@." Sim.Report.pp_epochs
-        (Sim.Epochsim.run ~deployment ~seed ~jobs ()).Sim.Epochsim.ep_rows
+        (Sim.Epochsim.run ~deployment ~seed ~jobs ~shards ()).Sim.Epochsim.ep_rows
     | "sketch" ->
       Format.printf "%a@." Sim.Report.pp_sketch_ablation
-        (Sim.Experiment.ablation_sketch ~flows:(min flows 120_000) ~seed ~jobs ())
+        (Sim.Experiment.ablation_sketch ~flows:(min flows 120_000) ~seed ~jobs
+           ~shards ())
           .Sim.Experiment.sk_points
     | "fail" ->
       Format.printf "%a@." Sim.Report.pp_failure_ablation
-        (Sim.Experiment.ablation_failure ~flows:(min flows 120_000) ~seed ~jobs ())
+        (Sim.Experiment.ablation_failure ~flows:(min flows 120_000) ~seed ~jobs
+           ~shards ())
     | "chaos" ->
       let r =
-        Sim.Experiment.ablation_chaos ~flows:(min flows 800) ~seed ~audit ~jobs ()
+        Sim.Experiment.ablation_chaos ~flows:(min flows 800) ~seed ~audit ~jobs
+          ~shards ()
       in
       Format.printf "%a@." Sim.Report.pp_chaos_ablation r;
       if audit then
@@ -212,7 +230,8 @@ let exp_cmd =
              r.Sim.Experiment.chaos_rows)
     | "live" ->
       let r =
-        Sim.Experiment.ablation_live ~flows:(min flows 500) ~seed ~audit ~jobs ()
+        Sim.Experiment.ablation_live ~flows:(min flows 500) ~seed ~audit ~jobs
+          ~shards ()
       in
       Format.printf "%a@." Sim.Report.pp_live_ablation r;
       if audit then
@@ -222,17 +241,19 @@ let exp_cmd =
              r.Sim.Experiment.live_rows)
     | "queue" ->
       Format.printf "%a@." Sim.Report.pp_queue_ablation
-        (Sim.Experiment.ablation_queue ~seed ~jobs ())
+        (Sim.Experiment.ablation_queue ~seed ~jobs ~shards ())
     | "lp" ->
       Format.printf "%a@." Sim.Report.pp_lp_ablation
-        (Sim.Experiment.ablation_lp ~flows:(min flows 10_000) ~seed ~jobs ())
+        (Sim.Experiment.ablation_lp ~flows:(min flows 10_000) ~seed ~jobs ~shards ())
     | s ->
       Format.eprintf "unknown experiment %S@." s;
       exit 2
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate a paper experiment or ablation")
-    Term.(const run $ which $ seed_arg $ flows_arg 300_000 $ audit_flag $ jobs_arg)
+    Term.(
+      const run $ which $ seed_arg $ flows_arg 300_000 $ audit_flag $ jobs_arg
+      $ shards_arg)
 
 (* ---- demo --------------------------------------------------------- *)
 

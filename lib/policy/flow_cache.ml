@@ -22,13 +22,23 @@ type t = {
   stats : stats;
 }
 
-let create ?(timeout = 60.0) ?capacity () =
+let create ?(timeout = 60.0) ?capacity ?expected () =
   if timeout <= 0.0 then invalid_arg "Flow_cache.create: timeout must be positive";
   (match capacity with
   | Some c when c < 1 -> invalid_arg "Flow_cache.create: capacity must be >= 1"
   | _ -> ());
+  (match expected with
+  | Some e when e < 0 -> invalid_arg "Flow_cache.create: expected must be >= 0"
+  | _ -> ());
+  (* Initial bucket count: the caller's expected population, clamped
+     by the capacity bound when there is one (a bounded cache can
+     never hold more than [capacity] live entries). *)
+  let hint =
+    let e = match expected with None -> 256 | Some e -> max 16 e in
+    match capacity with None -> e | Some c -> min e (max 16 c)
+  in
   {
-    table = Netpkt.Flow.Table.create 256;
+    table = Netpkt.Flow.Table.create hint;
     timeout;
     capacity;
     stats = { hits = 0; negative_hits = 0; misses = 0; expirations = 0; evictions = 0 };

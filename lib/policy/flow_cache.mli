@@ -35,12 +35,15 @@ type stats = {
 
 type t
 
-val create : ?timeout:float -> ?capacity:int -> unit -> t
+val create : ?timeout:float -> ?capacity:int -> ?expected:int -> unit -> t
 (** [timeout] defaults to 60.0 time units.  [capacity] (default
     unbounded) caps the entry count, as a hardware hash table would:
     inserting into a full cache first drops expired entries, then
     evicts the least-recently-used one (counted in
-    {!stats}.[evictions]). *)
+    {!stats}.[evictions]).  [expected] (default 256) is a sizing hint
+    — the anticipated live population, e.g. flows per device on a
+    large run — that pre-sizes the underlying table (clamped by
+    [capacity]) to avoid rehash churn; it never changes behaviour. *)
 
 val lookup : t -> now:float -> Netpkt.Flow.t -> entry option
 (** Refreshes [last_used] on hit; an entry past its timeout is treated

@@ -50,13 +50,13 @@ let flow_events runs =
   List.fold_left (fun acc r -> acc + r.result.Flowsim.events) 0 runs
 
 let run_strategies ~deployment ~flows ?(per_class = 5) ?(seed = 17) ?rule_seed
-    ?jobs () =
+    ?jobs ?shards () =
   let workload = Workload.generate ~deployment ~per_class ~seed ?rule_seed ~flows () in
   let rules = workload.Workload.rules in
   let traffic = Workload.measure workload in
   let run kind name () =
     let controller = configure_exn deployment ~rules kind in
-    let result = Flowsim.run ~controller ~workload () in
+    let result = Flowsim.run ?shards ~controller ~workload () in
     let lambda =
       Option.map (fun lp -> lp.Sdm.Lp_formulation.lambda) controller.Sdm.Controller.lp
     in
@@ -99,7 +99,7 @@ let point_of_runs ~flows ~total_packets runs =
   { flows; total_packets; max_loads }
 
 let run_figure scenario ?(flow_counts = default_flow_counts) ?(per_class = 5)
-    ?(seed = 17) ?jobs () =
+    ?(seed = 17) ?jobs ?shards () =
   let deployment = build_deployment scenario ~seed in
   let cells =
     List.mapi
@@ -107,10 +107,11 @@ let run_figure scenario ?(flow_counts = default_flow_counts) ?(per_class = 5)
         (* Fixed policy set across the sweep; fresh flow population per
            volume point — the paper scales traffic, not policies.  The
            inner strategies stay sequential: the sweep itself is the
-           parallel axis. *)
+           parallel axis.  [shards] parallelism nests inside the cell
+           (the domain pool is per-map, so the two axes compose). *)
         let workload, runs =
           run_strategies ~deployment ~flows ~per_class ~seed:(cell_seed ~seed i)
-            ~rule_seed:seed ~jobs:1 ()
+            ~rule_seed:seed ~jobs:1 ?shards ()
         in
         ( point_of_runs ~flows ~total_packets:workload.Workload.total_packets runs,
           flow_events runs ))
@@ -138,9 +139,9 @@ type table3_row = {
 type table3 = { t3_rows : table3_row list; t3_events : int }
 
 let run_table3 ?(scenario = Campus) ?(flows = 300_000) ?(per_class = 5)
-    ?(seed = 17) ?jobs () =
+    ?(seed = 17) ?jobs ?shards () =
   let deployment = build_deployment scenario ~seed in
-  let _, runs = run_strategies ~deployment ~flows ~per_class ~seed ?jobs () in
+  let _, runs = run_strategies ~deployment ~flows ~per_class ~seed ?jobs ?shards () in
   let find name = List.find (fun r -> r.strategy = name) runs in
   let hp = find "HP" and rand = find "Rand" and lb = find "LB" in
   let min_max run nf =
@@ -169,7 +170,8 @@ type k_point = {
 
 type k_sweep = { k_points : k_point list; k_events : int }
 
-let ablation_k ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) ?jobs () =
+let ablation_k ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) ?jobs
+    ?shards () =
   let deployment = build_deployment scenario ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -187,7 +189,7 @@ let ablation_k ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) ?jobs () =
       | Ok c -> c
       | Error e -> failwith ("ablation_k: " ^ e)
     in
-    let result = Flowsim.run ~controller ~workload () in
+    let result = Flowsim.run ?shards ~controller ~workload () in
     ( {
         k_fw_ids;
         k_wp_tm;
@@ -227,9 +229,13 @@ let pkt_level_controller ?(seed = 17) ~flows () =
   in
   (controller, workload)
 
-let ablation_cache ?(flows = 2_000) ?(seed = 17) () =
+let ablation_cache ?(flows = 2_000) ?(seed = 17) ?(shards = 1) () =
   let controller, workload = pkt_level_controller ~seed ~flows () in
-  let stats = Pktsim.run ~controller ~workload () in
+  let stats =
+    Pktsim.run
+      ~config:{ Pktsim.default_config with shards }
+      ~controller ~workload ()
+  in
   (* Lookup events happen per packet *arrival* at proxies and
      middleboxes; normalise by the proxy-side injections. *)
   let packets = stats.Pktsim.injected_packets in
@@ -252,12 +258,12 @@ type cache_size_point = {
 
 type cache_size_sweep = { cs_points : cache_size_point list; cs_events : int }
 
-let ablation_cache_size ?(flows = 1_000) ?(seed = 17) ?jobs () =
+let ablation_cache_size ?(flows = 1_000) ?(seed = 17) ?jobs ?(shards = 1) () =
   let controller, workload = pkt_level_controller ~seed ~flows () in
   let cell capacity () =
     let stats =
       Pktsim.run
-        ~config:{ Pktsim.default_config with cache_capacity = capacity }
+        ~config:{ Pktsim.default_config with cache_capacity = capacity; shards }
         ~controller ~workload ()
     in
     ( {
@@ -283,11 +289,11 @@ type frag_stats = {
   frag_events : int;
 }
 
-let ablation_fragmentation ?(flows = 2_000) ?(seed = 17) ?jobs () =
+let ablation_fragmentation ?(flows = 2_000) ?(seed = 17) ?jobs ?(shards = 1) () =
   let controller, workload = pkt_level_controller ~seed ~flows () in
   let cell label_switching () =
     Pktsim.run
-      ~config:{ Pktsim.default_config with label_switching }
+      ~config:{ Pktsim.default_config with label_switching; shards }
       ~controller ~workload ()
   in
   match fan_out ?jobs [ cell true; cell false ] with
@@ -314,13 +320,14 @@ type failure_report = {
   fail_events : int;
 }
 
-let ablation_failure ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) ?jobs () =
+let ablation_failure ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) ?jobs
+    ?shards () =
   let deployment = build_deployment scenario ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
   let traffic = Workload.measure workload in
   let lb = configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic) in
-  let before = Flowsim.run ~controller:lb ~workload () in
+  let before = Flowsim.run ?shards ~controller:lb ~workload () in
   (* Kill the most-loaded IDS middlebox. *)
   let nf = Policy.Action.IDS in
   let victims = Sdm.Deployment.middleboxes_of deployment nf in
@@ -343,7 +350,7 @@ let ablation_failure ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) ?jobs 
   let cells =
     [
       (* Phase 1: local fast failover with the stale LP weights. *)
-      (fun () -> (Flowsim.run ~alive ~controller:lb ~workload (), 0.0));
+      (fun () -> (Flowsim.run ~alive ?shards ~controller:lb ~workload (), 0.0));
       (* Phase 2: the controller re-optimizes without the failed box. *)
       (fun () ->
         let reopt_controller =
@@ -359,11 +366,11 @@ let ablation_failure ?(scenario = Campus) ?(flows = 120_000) ?(seed = 17) ?jobs 
           | Some lp -> lp.Sdm.Lp_formulation.lambda
           | None -> 0.0
         in
-        (Flowsim.run ~controller:reopt_controller ~workload (), lambda));
+        (Flowsim.run ?shards ~controller:reopt_controller ~workload (), lambda));
       (* Baseline: hot-potato under the same failure. *)
       (fun () ->
         let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
-        (Flowsim.run ~alive ~controller:hp ~workload (), 0.0));
+        (Flowsim.run ~alive ?shards ~controller:hp ~workload (), 0.0));
     ]
   in
   match fan_out ?jobs cells with
@@ -417,7 +424,7 @@ let audit_violations (stats : Pktsim.stats) =
     stats.Pktsim.audit_report
 
 let ablation_chaos ?(flows = 500) ?(seed = 17) ?(audit = false)
-    ?(detection_delays = [ 2.0; 10.0; 40.0 ]) ?jobs () =
+    ?(detection_delays = [ 2.0; 10.0; 40.0 ]) ?jobs ?(shards = 1) () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -426,7 +433,11 @@ let ablation_chaos ?(flows = 500) ?(seed = 17) ?(audit = false)
   let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
   (* A fault-free probe run fixes the victim (the busiest IDS box under
      LB) and the horizon the fault schedule is placed within. *)
-  let probe = Pktsim.run ~controller:lb ~workload () in
+  let probe =
+    Pktsim.run
+      ~config:{ Pktsim.default_config with shards }
+      ~controller:lb ~workload ()
+  in
   let nf = Policy.Action.IDS in
   let victims = Sdm.Deployment.middleboxes_of deployment nf in
   let victim =
@@ -482,6 +493,7 @@ let ablation_chaos ?(flows = 500) ?(seed = 17) ?(audit = false)
         detection_delay = delay;
         failover;
         audit;
+        shards;
       }
     in
     let stats = Pktsim.run ~config ~controller ~workload () in
@@ -566,7 +578,7 @@ type live_report = {
 }
 
 let ablation_live ?(flows = 500) ?(seed = 17) ?(audit = false)
-    ?(control_losses = [ 0.0; 0.02; 0.10 ]) ?jobs () =
+    ?(control_losses = [ 0.0; 0.02; 0.10 ]) ?jobs ?(shards = 1) () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -586,8 +598,14 @@ let ablation_live ?(flows = 500) ?(seed = 17) ?(audit = false)
     match
       fan_out ?jobs
         [
-          (fun () -> Pktsim.run ~controller:hp ~workload ());
-          (fun () -> Pktsim.run ~controller:lb ~workload ());
+          (fun () ->
+            Pktsim.run
+              ~config:{ Pktsim.default_config with shards }
+              ~controller:hp ~workload ());
+          (fun () ->
+            Pktsim.run
+              ~config:{ Pktsim.default_config with shards }
+              ~controller:lb ~workload ());
         ]
     with
     | [ s; c ] -> (s, c)
@@ -610,7 +628,7 @@ let ablation_live ?(flows = 500) ?(seed = 17) ?(audit = false)
       Some (Fault.Schedule.make ~control_loss:loss ~loss_seed:(seed + 3) [])
     in
     let config =
-      { Pktsim.default_config with faults; live = Some live; audit }
+      { Pktsim.default_config with faults; live = Some live; audit; shards }
     in
     let stats = Pktsim.run ~config ~controller:hp ~workload () in
     let row =
@@ -686,7 +704,7 @@ type sketch_point = {
 
 type sketch_sweep = { sk_points : sketch_point list; sk_events : int }
 
-let ablation_sketch ?(flows = 120_000) ?(seed = 17) ?jobs () =
+let ablation_sketch ?(flows = 120_000) ?(seed = 17) ?jobs ?shards () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -702,7 +720,7 @@ let ablation_sketch ?(flows = 120_000) ?(seed = 17) ?jobs () =
     let controller =
       configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic)
     in
-    let result = Flowsim.run ~controller ~workload () in
+    let result = Flowsim.run ?shards ~controller ~workload () in
     ( (match controller.Sdm.Controller.lp with
       | Some lp -> lp.Sdm.Lp_formulation.lambda
       | None -> 0.0),
@@ -746,13 +764,14 @@ type latency_report = {
   router_hops : int;
 }
 
-let ablation_latency ?(flows = 1_000) ?(seed = 17) ?jobs () =
+let ablation_latency ?(flows = 1_000) ?(seed = 17) ?jobs ?(shards = 1) () =
   let controller, workload = pkt_level_controller ~seed ~flows () in
+  let config = { Pktsim.default_config with shards } in
   let enforced, plain =
     match
       fan_out ?jobs
         [
-          (fun () -> Pktsim.run ~controller ~workload ());
+          (fun () -> Pktsim.run ~config ~controller ~workload ());
           (fun () ->
             let plain_controller =
               match
@@ -762,7 +781,7 @@ let ablation_latency ?(flows = 1_000) ?(seed = 17) ?jobs () =
               | Ok c -> c
               | Error e -> failwith ("ablation_latency: " ^ e)
             in
-            Pktsim.run ~controller:plain_controller
+            Pktsim.run ~config ~controller:plain_controller
               ~workload:{ workload with Workload.rules = [] }
               ());
         ]
@@ -798,7 +817,7 @@ type queue_report = {
   router_hops : int;
 }
 
-let ablation_queue ?(flows = 800) ?(seed = 17) ?jobs () =
+let ablation_queue ?(flows = 800) ?(seed = 17) ?jobs ?(shards = 1) () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -808,10 +827,14 @@ let ablation_queue ?(flows = 800) ?(seed = 17) ?jobs () =
   (* Calibrate: infinite-rate LB run gives the busiest box's arrival
      rate; provision every box at 2x that, i.e. ~50% utilisation under
      the balanced plan. *)
-  let probe = Pktsim.run ~controller:lb ~workload () in
+  let probe =
+    Pktsim.run
+      ~config:{ Pktsim.default_config with shards }
+      ~controller:lb ~workload ()
+  in
   let max_load = Array.fold_left max 1.0 probe.Pktsim.loads in
   let service_rate = 2.0 *. max_load /. probe.Pktsim.sim_time in
-  let config = { Pktsim.default_config with service_rate } in
+  let config = { Pktsim.default_config with service_rate; shards } in
   let run controller () = Pktsim.run ~config ~controller ~workload () in
   let hp_run, lb_run =
     match fan_out ?jobs [ run hp; run lb ] with
@@ -853,7 +876,7 @@ type lp_compare = {
   lp_events : int;
 }
 
-let ablation_lp ?(flows = 5_000) ?(seed = 17) ?jobs () =
+let ablation_lp ?(flows = 5_000) ?(seed = 17) ?jobs ?shards () =
   let deployment = build_deployment Campus ~seed in
   let workload = Workload.generate ~deployment ~per_class:2 ~seed ~flows () in
   let rules = workload.Workload.rules in
@@ -863,7 +886,7 @@ let ablation_lp ?(flows = 5_000) ?(seed = 17) ?jobs () =
      fan-out cell per formulation, LP solve included. *)
   let cell kind () =
     let controller = configure_exn deployment ~rules kind in
-    let result = Flowsim.run ~controller ~workload () in
+    let result = Flowsim.run ?shards ~controller ~workload () in
     ( controller,
       Array.fold_left max 0.0 result.Flowsim.loads,
       result.Flowsim.events )

@@ -19,7 +19,17 @@
     derived order-independently ({!Stdx.Rng.derive}), reports are
     bit-identical for every [jobs] value.  Each report also carries
     the total simulator events its runs processed, so harnesses can
-    state real throughput. *)
+    state real throughput.
+
+    {b Intra-run sharding.}  Orthogonally to [?jobs] (the across-cells
+    axis), the [?shards] argument splits each {e individual} run's
+    per-flow work across the domain pool: flow-level runs partition
+    their flows by the seeded flow hash ({!Stdx.Shard}) and merge
+    per-shard partial sums in fixed shard order, packet-level runs
+    parallelise their pure setup phases ({!Pktsim.config.shards}).
+    Reports are bit-identical for every [shards] value — see
+    {!Flowsim.run} for the exactness argument.  Default 1 (the
+    historical sequential path). *)
 
 type scenario = Campus | Waxman
 
@@ -47,6 +57,7 @@ val run_strategies :
   ?seed:int ->
   ?rule_seed:int ->
   ?jobs:int ->
+  ?shards:int ->
   unit ->
   Workload.t * strategy_run list
 (** One workload, all three strategies on it ([?jobs] fans the three
@@ -74,7 +85,7 @@ val default_flow_counts : int list
 
 val run_figure :
   scenario -> ?flow_counts:int list -> ?per_class:int -> ?seed:int ->
-  ?jobs:int -> unit -> figure
+  ?jobs:int -> ?shards:int -> unit -> figure
 (** One cell per flow-volume point, fanned out over [?jobs] domains.
     Each cell's flow population is seeded from
     [Stdx.Rng.derive root i], so the figure is a function of the root
@@ -99,7 +110,7 @@ type table3 = {
 
 val run_table3 :
   ?scenario:scenario -> ?flows:int -> ?per_class:int -> ?seed:int ->
-  ?jobs:int -> unit -> table3
+  ?jobs:int -> ?shards:int -> unit -> table3
 
 (* {2 Ablations} *)
 
@@ -108,7 +119,8 @@ type k_point = { k_fw_ids : int; k_wp_tm : int; lb_max_by_nf : (Policy.Action.nf
 type k_sweep = { k_points : k_point list; k_events : int }
 
 val ablation_k :
-  ?scenario:scenario -> ?flows:int -> ?seed:int -> ?jobs:int -> unit -> k_sweep
+  ?scenario:scenario -> ?flows:int -> ?seed:int -> ?jobs:int -> ?shards:int ->
+  unit -> k_sweep
 (** LB max loads as the candidate-set sizes grow; k=1 reproduces HP. *)
 
 type cache_stats = {
@@ -120,7 +132,7 @@ type cache_stats = {
   cache_events : int;       (** engine events fired by the run *)
 }
 
-val ablation_cache : ?flows:int -> ?seed:int -> unit -> cache_stats
+val ablation_cache : ?flows:int -> ?seed:int -> ?shards:int -> unit -> cache_stats
 (** Packet-level run on the campus topology quantifying Sec. III.D. *)
 
 type cache_size_point = {
@@ -132,7 +144,7 @@ type cache_size_point = {
 type cache_size_sweep = { cs_points : cache_size_point list; cs_events : int }
 
 val ablation_cache_size :
-  ?flows:int -> ?seed:int -> ?jobs:int -> unit -> cache_size_sweep
+  ?flows:int -> ?seed:int -> ?jobs:int -> ?shards:int -> unit -> cache_size_sweep
 (** Sec. III.D under finite table sizes: shrink every proxy/middlebox
     flow cache and watch evictions force repeated multi-field lookups
     for long-lived flows. *)
@@ -146,7 +158,7 @@ type frag_stats = {
 }
 
 val ablation_fragmentation :
-  ?flows:int -> ?seed:int -> ?jobs:int -> unit -> frag_stats
+  ?flows:int -> ?seed:int -> ?jobs:int -> ?shards:int -> unit -> frag_stats
 (** Packet-level run quantifying Sec. III.E. *)
 
 type failure_report = {
@@ -162,8 +174,8 @@ type failure_report = {
 }
 
 val ablation_failure :
-  ?scenario:scenario -> ?flows:int -> ?seed:int -> ?jobs:int -> unit ->
-  failure_report
+  ?scenario:scenario -> ?flows:int -> ?seed:int -> ?jobs:int -> ?shards:int ->
+  unit -> failure_report
 (** Dependability experiment: kill the most-loaded IDS middlebox and
     compare local fast failover (stale LP weights renormalised over
     the survivors) against full controller re-optimization, with
@@ -207,6 +219,7 @@ val ablation_chaos :
   ?audit:bool ->
   ?detection_delays:float list ->
   ?jobs:int ->
+  ?shards:int ->
   unit ->
   chaos_report
 (** ABL-CHAOS, the packet-level dependability experiment: one fault
@@ -265,6 +278,7 @@ val ablation_live :
   ?audit:bool ->
   ?control_losses:float list ->
   ?jobs:int ->
+  ?shards:int ->
   unit ->
   live_report
 (** ABL-LIVE, the live-reconfiguration experiment: start every run on
@@ -293,7 +307,7 @@ type sketch_point = {
 type sketch_sweep = { sk_points : sketch_point list; sk_events : int }
 
 val ablation_sketch :
-  ?flows:int -> ?seed:int -> ?jobs:int -> unit -> sketch_sweep
+  ?flows:int -> ?seed:int -> ?jobs:int -> ?shards:int -> unit -> sketch_sweep
 (** Count-Min measurement ablation: plan the LB weights on sketched
     traffic matrices of decreasing resolution and compare both the LP
     optimum and the realised maximum load against exact measurement. *)
@@ -311,7 +325,7 @@ type latency_report = {
 }
 
 val ablation_latency :
-  ?flows:int -> ?seed:int -> ?jobs:int -> unit -> latency_report
+  ?flows:int -> ?seed:int -> ?jobs:int -> ?shards:int -> unit -> latency_report
 (** Packet-level end-to-end latency with and without enforcement —
     the time cost of the middlebox detours (campus, LB strategy). *)
 
@@ -327,7 +341,8 @@ type queue_report = {
   router_hops : int;       (** hops fast-forwarded, all three runs together *)
 }
 
-val ablation_queue : ?flows:int -> ?seed:int -> ?jobs:int -> unit -> queue_report
+val ablation_queue :
+  ?flows:int -> ?seed:int -> ?jobs:int -> ?shards:int -> unit -> queue_report
 (** Queueing ablation: give every middlebox a finite service rate
     (auto-calibrated so the load-balanced plan keeps the busiest box
     at ~50% utilisation) and measure end-to-end latency under HP vs
@@ -348,7 +363,8 @@ type lp_compare = {
   lp_events : int;  (** flow-level events, both realisation runs *)
 }
 
-val ablation_lp : ?flows:int -> ?seed:int -> ?jobs:int -> unit -> lp_compare
+val ablation_lp :
+  ?flows:int -> ?seed:int -> ?jobs:int -> ?shards:int -> unit -> lp_compare
 (** Eq. (1) vs Eq. (2) on a small campus instance, compared end to end:
     LP size, optimum, *realised* max load enforcing each formulation's
     weights (Eq. (1) uses the per-(s,d) rows), and the configuration

@@ -9,74 +9,164 @@ type result = {
   events : int;
 }
 
-let run ?alive ~controller ~workload () =
+(* Per-shard accumulator.  Every float accumulated here is an exact
+   integer (link costs are integer-valued, so Dijkstra distances are;
+   packet counts are bounded integers; the products and run-level sums
+   stay far below 2^53), so addition is associative and a fixed
+   shard-index merge of per-shard partial sums is bit-identical to the
+   sequential accumulation whatever the partition. *)
+type acc = {
+  a_loads : float array;
+  mutable a_packet_hops : float;
+  mutable a_direct_packet_hops : float;
+  mutable a_enforced_flows : int;
+  mutable a_enforced_packets : int;
+  mutable a_policy_violations : int;
+  mutable a_violating_flows : int;
+  mutable a_events : int;
+}
+
+let fresh_acc n_mboxes =
+  {
+    a_loads = Array.make n_mboxes 0.0;
+    a_packet_hops = 0.0;
+    a_direct_packet_hops = 0.0;
+    a_enforced_flows = 0;
+    a_enforced_packets = 0;
+    a_policy_violations = 0;
+    a_violating_flows = 0;
+    a_events = 0;
+  }
+
+let merge_into dst src =
+  Array.iteri
+    (fun i v -> dst.a_loads.(i) <- dst.a_loads.(i) +. v)
+    src.a_loads;
+  dst.a_packet_hops <- dst.a_packet_hops +. src.a_packet_hops;
+  dst.a_direct_packet_hops <- dst.a_direct_packet_hops +. src.a_direct_packet_hops;
+  dst.a_enforced_flows <- dst.a_enforced_flows + src.a_enforced_flows;
+  dst.a_enforced_packets <- dst.a_enforced_packets + src.a_enforced_packets;
+  dst.a_policy_violations <- dst.a_policy_violations + src.a_policy_violations;
+  dst.a_violating_flows <- dst.a_violating_flows + src.a_violating_flows;
+  dst.a_events <- dst.a_events + src.a_events
+
+let result_of acc =
+  {
+    loads = acc.a_loads;
+    packet_hops = acc.a_packet_hops;
+    direct_packet_hops = acc.a_direct_packet_hops;
+    enforced_flows = acc.a_enforced_flows;
+    enforced_packets = acc.a_enforced_packets;
+    policy_violations = acc.a_policy_violations;
+    violating_flows = acc.a_violating_flows;
+    events = acc.a_events;
+  }
+
+let process_flow ?alive ~controller ~rule_of acc (fs : Workload.flow_spec) =
   let dep = controller.Sdm.Controller.deployment in
   let dist = dep.Sdm.Deployment.dist in
-  let loads = Array.make (Array.length dep.Sdm.Deployment.middleboxes) 0.0 in
-  let packet_hops = ref 0.0 in
-  let direct_packet_hops = ref 0.0 in
-  let enforced_flows = ref 0 in
-  let enforced_packets = ref 0 in
-  let policy_violations = ref 0 in
-  let violating_flows = ref 0 in
-  let events = ref 0 in
   let router_of_proxy i = dep.Sdm.Deployment.proxies.(i).Mbox.Proxy.router in
-  Array.iter
-    (fun (fs : Workload.flow_spec) ->
-      (* One event per flow record (classification), one per steering
-         decision below. *)
-      incr events;
-      let pkts = float_of_int fs.Workload.packets in
-      let src_router = router_of_proxy fs.Workload.src_proxy in
-      let dst_router = router_of_proxy fs.Workload.dst_proxy in
-      direct_packet_hops := !direct_packet_hops +. (dist.(src_router).(dst_router) *. pkts);
-      match Workload.rule_of workload fs with
-      | None ->
-        packet_hops := !packet_hops +. (dist.(src_router).(dst_router) *. pkts)
-      | Some rule when Policy.Action.is_permit rule.Policy.Rule.actions ->
-        packet_hops := !packet_hops +. (dist.(src_router).(dst_router) *. pkts)
-      | Some rule ->
-        incr enforced_flows;
-        enforced_packets := !enforced_packets + fs.Workload.packets;
-        let entity = ref (Mbox.Entity.Proxy fs.Workload.src_proxy) in
-        let here = ref src_router in
-        let violated = ref false in
-        List.iter
-          (fun nf ->
-            if not !violated then begin
-              incr events;
-              match
-                Sdm.Controller.next_hop_result ?alive controller !entity ~rule
-                  ~nf fs.Workload.flow
-              with
-              | Error `No_live_candidate ->
-                (* Graceful degradation: the rest of the chain cannot be
-                   enforced, so the flow hot-potatoes straight to its
-                   destination and every packet counts as a violation. *)
-                violated := true;
-                incr violating_flows;
-                policy_violations := !policy_violations + fs.Workload.packets
-              | Ok mb ->
-                loads.(mb.Mbox.Middlebox.id) <-
-                  loads.(mb.Mbox.Middlebox.id) +. pkts;
-                packet_hops :=
-                  !packet_hops +. (dist.(!here).(mb.Mbox.Middlebox.router) *. pkts);
-                here := mb.Mbox.Middlebox.router;
-                entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id
-            end)
-          rule.Policy.Rule.actions;
-        packet_hops := !packet_hops +. (dist.(!here).(dst_router) *. pkts))
-    workload.Workload.flows;
-  {
-    loads;
-    packet_hops = !packet_hops;
-    direct_packet_hops = !direct_packet_hops;
-    enforced_flows = !enforced_flows;
-    enforced_packets = !enforced_packets;
-    policy_violations = !policy_violations;
-    violating_flows = !violating_flows;
-    events = !events;
-  }
+  (* One event per flow record (classification), one per steering
+     decision below. *)
+  acc.a_events <- acc.a_events + 1;
+  let pkts = float_of_int fs.Workload.packets in
+  let src_router = router_of_proxy fs.Workload.src_proxy in
+  let dst_router = router_of_proxy fs.Workload.dst_proxy in
+  acc.a_direct_packet_hops <-
+    acc.a_direct_packet_hops +. (dist.(src_router).(dst_router) *. pkts);
+  match rule_of fs with
+  | None ->
+    acc.a_packet_hops <-
+      acc.a_packet_hops +. (dist.(src_router).(dst_router) *. pkts)
+  | Some rule when Policy.Action.is_permit rule.Policy.Rule.actions ->
+    acc.a_packet_hops <-
+      acc.a_packet_hops +. (dist.(src_router).(dst_router) *. pkts)
+  | Some rule ->
+    acc.a_enforced_flows <- acc.a_enforced_flows + 1;
+    acc.a_enforced_packets <- acc.a_enforced_packets + fs.Workload.packets;
+    let entity = ref (Mbox.Entity.Proxy fs.Workload.src_proxy) in
+    let here = ref src_router in
+    let violated = ref false in
+    List.iter
+      (fun nf ->
+        if not !violated then begin
+          acc.a_events <- acc.a_events + 1;
+          match
+            Sdm.Controller.next_hop_result ?alive controller !entity ~rule ~nf
+              fs.Workload.flow
+          with
+          | Error `No_live_candidate ->
+            (* Graceful degradation: the rest of the chain cannot be
+               enforced, so the flow hot-potatoes straight to its
+               destination and every packet counts as a violation. *)
+            violated := true;
+            acc.a_violating_flows <- acc.a_violating_flows + 1;
+            acc.a_policy_violations <-
+              acc.a_policy_violations + fs.Workload.packets
+          | Ok mb ->
+            acc.a_loads.(mb.Mbox.Middlebox.id) <-
+              acc.a_loads.(mb.Mbox.Middlebox.id) +. pkts;
+            acc.a_packet_hops <-
+              acc.a_packet_hops
+              +. (dist.(!here).(mb.Mbox.Middlebox.router) *. pkts);
+            here := mb.Mbox.Middlebox.router;
+            entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id
+        end)
+      rule.Policy.Rule.actions;
+    acc.a_packet_hops <-
+      acc.a_packet_hops +. (dist.(!here).(dst_router) *. pkts)
+
+(* The sharded driver.  [shards = 1] walks every flow in id order on
+   the calling domain — exactly the historical sequential path, pinned
+   by the hex-float oracles.  [shards > 1] partitions flow ids with
+   the seeded hash ({!Stdx.Shard.owner}: a function of (shard_seed,
+   flow id) alone), hands each shard exclusive ownership of its flows'
+   accumulator, evaluates shards on the domain pool, and merges the
+   partials in fixed shard-index order after the join.  The controller
+   and deployment are only read; nothing the shards touch is shared
+   mutable state. *)
+let run_over ?alive ?(shards = 1) ?(shard_seed = 0) ~controller ~rule_of ~n
+    ~get () =
+  if shards < 1 then invalid_arg "Flowsim.run: shards must be >= 1";
+  let dep = controller.Sdm.Controller.deployment in
+  let n_mboxes = Array.length dep.Sdm.Deployment.middleboxes in
+  if shards = 1 then begin
+    let acc = fresh_acc n_mboxes in
+    for i = 0 to n - 1 do
+      process_flow ?alive ~controller ~rule_of acc (get i)
+    done;
+    result_of acc
+  end
+  else begin
+    let shard_indices = Stdx.Shard.indices ~seed:shard_seed ~shards ~n in
+    let partials =
+      Stdx.Domain_pool.map
+        ~jobs:(min shards (Stdx.Domain_pool.default_jobs ()))
+        (fun owned ->
+          let acc = fresh_acc n_mboxes in
+          Array.iter
+            (fun i -> process_flow ?alive ~controller ~rule_of acc (get i))
+            owned;
+          acc)
+        shard_indices
+    in
+    let total = fresh_acc n_mboxes in
+    Array.iter (fun p -> merge_into total p) partials;
+    result_of total
+  end
+
+let run ?alive ?shards ?shard_seed ~controller ~workload () =
+  run_over ?alive ?shards ?shard_seed ~controller
+    ~rule_of:(Workload.rule_of workload)
+    ~n:(Array.length workload.Workload.flows)
+    ~get:(fun i -> workload.Workload.flows.(i))
+    ()
+
+let run_packed ?alive ?shards ?shard_seed ~controller ~workload () =
+  run_over ?alive ?shards ?shard_seed ~controller
+    ~rule_of:(Workload.Packed.rule_of workload)
+    ~n:workload.Workload.Packed.n_flows
+    ~get:(Workload.Packed.get workload) ()
 
 let loads_of_nf controller result nf =
   let dep = controller.Sdm.Controller.deployment in

@@ -44,6 +44,7 @@ type config = {
   live : live_config option;
   audit : bool;
   debug_bypass_chain : int option;
+  shards : int;
 }
 
 let default_config =
@@ -69,6 +70,7 @@ let default_config =
     live = None;
     audit = false;
     debug_bypass_chain = None;
+    shards = 1;
   }
 
 type stats = {
@@ -1176,17 +1178,45 @@ let run ?(config = default_config) ~controller ~workload () =
       l.epoch_interval <= 0.0 || l.reconcile_interval <= 0.0
       || l.push_backoff <= 0.0 || l.push_max_retries < 0
     then invalid_arg "Pktsim.run: invalid live-control-plane config");
+  if config.shards < 1 then invalid_arg "Pktsim.run: shards must be >= 1";
   let engine = Dess.Engine.create () in
-  let mbox_index = Hashtbl.create 64 in
+  let n_flows = Array.length workload.Workload.flows in
+  (* Capacity hints from the deployment and flow counts instead of a
+     blanket 64: the tables reach these sizes on every large run, so
+     sizing them up front removes the rehash churn on the hot path.
+     A hint never changes behaviour, only when Hashtbl grows. *)
+  let mbox_index = Hashtbl.create (max 16 n_mboxes) in
   Array.iter
     (fun (m : Mbox.Middlebox.t) -> Hashtbl.replace mbox_index m.addr m.id)
     dep.Sdm.Deployment.middleboxes;
-  let rule_by_id = Hashtbl.create 64 in
+  let rule_by_id =
+    Hashtbl.create (max 16 (List.length controller.Sdm.Controller.rules))
+  in
   List.iter
     (fun r -> Hashtbl.replace rule_by_id r.Policy.Rule.id r)
     controller.Sdm.Controller.rules;
+  (* Expected live entries per flow table: flows spread across the
+     proxies (plus chain fan-in on middleboxes, where each flow visits
+     two or three boxes). *)
+  let proxy_flow_hint = max 64 (n_flows / max 1 n_proxies) in
+  let mbox_flow_hint = max 64 (3 * n_flows / max 1 n_mboxes) in
   let entity_table entity =
     Policy.Trie.build (Sdm.Controller.policy_table_for controller entity)
+  in
+  (* The shardable setup phases: per-entity policy-trie builds and the
+     per-source routing tables are pure functions of the immutable
+     controller/topology, so [config.shards > 1] evaluates them on the
+     domain pool.  Results are positional ({!Stdx.Domain_pool.map}),
+     so the constructed state — and therefore the whole run, whose
+     event loop is inherently sequential — is bit-identical for every
+     shard count. *)
+  let setup_init n f =
+    if config.shards = 1 then Array.init n f
+    else
+      Stdx.Domain_pool.map
+        ~jobs:(min config.shards (Stdx.Domain_pool.default_jobs ()))
+        f
+        (Array.init n Fun.id)
   in
   let fault =
     match config.faults with
@@ -1217,7 +1247,13 @@ let run ?(config = default_config) ~controller ~workload () =
       tables =
         (let topo = dep.Sdm.Deployment.topo in
          match config.table_source with
-         | Oracle -> Netgraph.Routing.build_all topo.Netgraph.Topology.graph
+         | Oracle ->
+           (* One Dijkstra per source router — sharded like the trie
+              builds.  The distributed substrates converge by global
+              message exchange and stay sequential. *)
+           let g = topo.Netgraph.Topology.graph in
+           setup_init (Netgraph.Graph.node_count g) (fun u ->
+               Netgraph.Routing.table_for g u)
          | Distributed_ospf -> (Ospf.Protocol.converge topo).Ospf.Protocol.tables
          | Distributed_dvr -> (Dvr.Protocol.converge topo).Dvr.Protocol.tables);
       ecmp_tables =
@@ -1262,20 +1298,20 @@ let run ?(config = default_config) ~controller ~workload () =
       proxy_caches =
         Array.init n_proxies (fun _ ->
             Policy.Flow_cache.create ~timeout:config.cache_timeout
-              ?capacity:config.cache_capacity ());
-      proxy_tries =
-        Array.init n_proxies (fun i -> entity_table (Mbox.Entity.Proxy i));
+              ?capacity:config.cache_capacity ~expected:proxy_flow_hint ());
+      proxy_tries = setup_init n_proxies (fun i -> entity_table (Mbox.Entity.Proxy i));
       mutable_label = Array.make n_proxies 0;
       mbox_caches =
         Array.init n_mboxes (fun _ ->
             Policy.Flow_cache.create ~timeout:config.cache_timeout
-              ?capacity:config.cache_capacity ());
+              ?capacity:config.cache_capacity ~expected:mbox_flow_hint ());
       mbox_tries =
-        Array.init n_mboxes (fun i -> entity_table (Mbox.Entity.Middlebox i));
+        setup_init n_mboxes (fun i -> entity_table (Mbox.Entity.Middlebox i));
       mbox_labels =
         Array.init n_mboxes (fun _ ->
             Mbox.Label_table.create ~timeout:config.label_timeout ());
-      proxy_label_index = Array.init n_proxies (fun _ -> Hashtbl.create 64);
+      proxy_label_index =
+        Array.init n_proxies (fun _ -> Hashtbl.create proxy_flow_hint);
       mbox_index;
       rule_by_id;
       fault;

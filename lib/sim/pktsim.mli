@@ -155,6 +155,15 @@ type config = {
           and travel straight to the destination — the escape the
           audit's chain invariant exists to catch.  Default [None]
           (never set this outside tests). *)
+  shards : int;
+      (** parallelism for the shardable setup phases — the per-entity
+          policy-trie builds and (under the [Oracle] substrate) the
+          per-source routing tables, all pure functions of the
+          immutable controller and topology, evaluated on the domain
+          pool when [shards > 1].  The event loop itself is a
+          sequential discrete-event simulation and is not sharded, so
+          every statistic is bit-identical for every value (positional
+          {!Stdx.Domain_pool.map} results).  Default 1. *)
 }
 
 val default_config : config

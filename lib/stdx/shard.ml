@@ -1,0 +1,32 @@
+let owner ~seed ~shards id =
+  if shards < 1 then invalid_arg "Shard.owner: shards must be >= 1";
+  if id < 0 then invalid_arg "Shard.owner: negative identity";
+  if shards = 1 then 0
+  else
+    (* The id-th derived stream of the root seed, sampled once: a
+       function of (seed, id) alone — the parent stream never
+       advances, so ownership cannot depend on assignment order. *)
+    Int64.to_int (Rng.int64 (Rng.derive (Rng.create seed) id))
+    land max_int mod shards
+
+let partition ~seed ~shards ~key arr =
+  if shards < 1 then invalid_arg "Shard.partition: shards must be >= 1";
+  let n = Array.length arr in
+  if n = 0 then Array.make shards [||]
+  else begin
+    let owners = Array.map (fun x -> owner ~seed ~shards (key x)) arr in
+    let counts = Array.make shards 0 in
+    Array.iter (fun s -> counts.(s) <- counts.(s) + 1) owners;
+    let out = Array.init shards (fun s -> Array.make counts.(s) arr.(0)) in
+    let fill = Array.make shards 0 in
+    Array.iteri
+      (fun i x ->
+        let s = owners.(i) in
+        out.(s).(fill.(s)) <- x;
+        fill.(s) <- fill.(s) + 1)
+      arr;
+    out
+  end
+
+let indices ~seed ~shards ~n =
+  partition ~seed ~shards ~key:Fun.id (Array.init n Fun.id)

@@ -1,0 +1,30 @@
+(** Deterministic flow-hash sharding.
+
+    Assigns integer identities (flow ids, entity ids, work items) to
+    one of [shards] owners by a seeded hash.  The assignment is a pure
+    function of (seed, identity, shards) — built on {!Rng.derive}, so
+    it inherits its order independence: it does not depend on how many
+    identities were assigned before, on the order they are presented
+    in, or on which domain evaluates it.  This is the partitioning
+    contract intra-run sharding rests on: every shard can recompute
+    ownership locally and exclusively own its identities' state, and a
+    fixed shard-index merge of per-shard results is independent of
+    scheduling. *)
+
+val owner : seed:int -> shards:int -> int -> int
+(** [owner ~seed ~shards id] is the owning shard of identity [id], in
+    [\[0, shards)].  [shards = 1] always yields 0 (the unsharded
+    path).  Raises [Invalid_argument] if [shards < 1] or [id < 0]. *)
+
+val partition :
+  seed:int -> shards:int -> key:('a -> int) -> 'a array -> 'a array array
+(** Stable partition by {!owner} of each element's [key]: result
+    [(s)] holds shard [s]'s elements in their input order.  Because
+    ownership is a function of the key alone, permuting the input
+    permutes each shard's contents identically — no element ever
+    changes shard (a qcheck property pins this). *)
+
+val indices : seed:int -> shards:int -> n:int -> int array array
+(** [partition] specialised to the identity space [0..n-1] with
+    [key = Fun.id]: shard [s]'s owned indices in ascending order.
+    The common case for sharding an array by position. *)
