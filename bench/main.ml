@@ -320,6 +320,22 @@ let () =
   write_csv "abl_live.csv" (Sim.Report.live_csv ablive);
   write_csv "abl_live_devices.csv" (Sim.Report.live_devices_csv ablive);
 
+  section "ABL-QUORUM: replicated controller under chaos";
+  let abq =
+    timed "ABL-QUORUM" (fun () ->
+        Sim.Experiment.ablation_quorum ~flows:(if fast then 200 else 400)
+          ~audit ~jobs ~shards ())
+  in
+  note_events "ABL-QUORUM"
+    ~events:
+      (List.fold_left
+         (fun acc (r : Sim.Experiment.quorum_row) ->
+           acc + r.Sim.Experiment.qr_events_processed)
+         abq.Sim.Experiment.q_probe_events abq.Sim.Experiment.q_rows)
+    ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_quorum_ablation abq;
+  write_csv "abl_quorum.csv" (Sim.Report.quorum_csv abq);
+
   section "ABL-EPOCH: adaptation across measurement epochs";
   let abe =
     timed "ABL-EPOCH" (fun () ->

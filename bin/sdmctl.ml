@@ -129,8 +129,8 @@ let exp_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
           ~doc:
-            "fig4, fig5, table3, k, cache, frag, fail, chaos, live, epoch, \
-             sketch, queue or lp")
+            "fig4, fig5, table3, k, cache, frag, fail, chaos, live, quorum, \
+             epoch, sketch, queue or lp")
   in
   let audit_flag =
     Arg.(
@@ -170,9 +170,15 @@ let exp_cmd =
     end
     else Format.printf "audit: clean (%d runs)@." (List.length counts)
   in
+  let known_experiments =
+    [
+      "fig4"; "fig5"; "table3"; "k"; "cache"; "frag"; "fail"; "chaos"; "live";
+      "quorum"; "epoch"; "sketch"; "queue"; "lp";
+    ]
+  in
   let run which seed flows audit jobs shards =
-    if audit && which <> "chaos" && which <> "live" then
-      Format.eprintf "note: --audit applies to chaos and live only@.";
+    if audit && which <> "chaos" && which <> "live" && which <> "quorum" then
+      Format.eprintf "note: --audit applies to chaos, live and quorum only@.";
     if jobs < 1 then begin
       Format.eprintf "--jobs must be >= 1@.";
       exit 2
@@ -239,6 +245,18 @@ let exp_cmd =
           (List.filter_map
              (fun (row : Sim.Experiment.live_row) -> row.Sim.Experiment.live_audit)
              r.Sim.Experiment.live_rows)
+    | "quorum" ->
+      let r =
+        Sim.Experiment.ablation_quorum ~flows:(min flows 400) ~seed ~audit
+          ~jobs ~shards ()
+      in
+      Format.printf "%a@." Sim.Report.pp_quorum_ablation r;
+      if audit then
+        audit_verdict
+          (List.filter_map
+             (fun (row : Sim.Experiment.quorum_row) ->
+               row.Sim.Experiment.qr_audit)
+             r.Sim.Experiment.q_rows)
     | "queue" ->
       Format.printf "%a@." Sim.Report.pp_queue_ablation
         (Sim.Experiment.ablation_queue ~seed ~jobs ~shards ())
@@ -246,8 +264,11 @@ let exp_cmd =
       Format.printf "%a@." Sim.Report.pp_lp_ablation
         (Sim.Experiment.ablation_lp ~flows:(min flows 10_000) ~seed ~jobs ~shards ())
     | s ->
-      Format.eprintf "unknown experiment %S@." s;
-      exit 2
+      (* A distinct exit code (3) so scripts can tell "no such
+         experiment" from flag misuse (2). *)
+      Format.eprintf "unknown experiment %S; known experiments: %s@." s
+        (String.concat ", " known_experiments);
+      exit 3
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate a paper experiment or ablation")

@@ -1,4 +1,4 @@
-type invariant = Chain | Conservation | Stickiness | Hygiene | Feasibility
+type invariant = Chain | Conservation | Stickiness | Hygiene | Feasibility | Quorum
 
 let invariant_name = function
   | Chain -> "chain-completeness"
@@ -6,6 +6,7 @@ let invariant_name = function
   | Stickiness -> "stickiness"
   | Hygiene -> "table-hygiene"
   | Feasibility -> "lb-feasibility"
+  | Quorum -> "quorum-agreement"
 
 type violation = {
   invariant : invariant;
@@ -74,6 +75,13 @@ type t = {
   confirmed : (int * Netpkt.Flow.t, unit) Hashtbl.t;
   label_flow : (int * int, Netpkt.Flow.t) Hashtbl.t;
   flows : (Netpkt.Flow.t, unit) Hashtbl.t;
+  (* Replicated-control-plane mirror.  [quorum_active] flips on the
+     first quorum event: a single-controller stream (no quorum round at
+     all) stays exempt from the publish-requires-commit rule. *)
+  mutable quorum_active : bool;
+  q_proposed : (int * int64, unit) Hashtbl.t;
+  q_committed : (int, int64) Hashtbl.t;
+  q_replica : (int, int) Hashtbl.t;
   enforced_at : int array;
   mutable events : int;
   mutable admitted : int;
@@ -117,6 +125,10 @@ let create ?(z = 4.0) ?(min_samples = 64) ?(max_sample = 32) ~controller () =
     confirmed = Hashtbl.create 256;
     label_flow = Hashtbl.create 256;
     flows = Hashtbl.create 1024;
+    quorum_active = false;
+    q_proposed = Hashtbl.create 16;
+    q_committed = Hashtbl.create 16;
+    q_replica = Hashtbl.create 8;
     enforced_at = Array.make n_mboxes 0;
     events = 0;
     admitted = 0;
@@ -371,8 +383,46 @@ let record t ev =
     match Hashtbl.find_opt t.label_flow (proxy, label) with
     | None -> ()
     | Some flow -> Hashtbl.remove t.confirmed (proxy, flow))
-  | Event.Config_publish { version; _ } ->
+  | Event.Config_publish { time; version } ->
+    (* Under a replicated control plane no version may reach the push
+       stage without its quorum round having committed it first. *)
+    if t.quorum_active && not (Hashtbl.mem t.q_committed version) then
+      violate t Quorum ~time
+        (Printf.sprintf "config v%d published without a quorum commit" version);
     if version > t.latest then t.latest <- version
+  | Event.Quorum_propose { version; digest; _ } ->
+    t.quorum_active <- true;
+    Hashtbl.replace t.q_proposed (version, digest) ()
+  | Event.Quorum_accept { time; version; replica; digest } ->
+    t.quorum_active <- true;
+    if not (Hashtbl.mem t.q_proposed (version, digest)) then
+      violate t Quorum ~time
+        (Printf.sprintf
+           "replica %d accepted config v%d (%Lx) that was never proposed"
+           replica version digest)
+  | Event.Quorum_commit { time; version; replica; digest } ->
+    t.quorum_active <- true;
+    if not (Hashtbl.mem t.q_proposed (version, digest)) then
+      violate t Quorum ~time
+        (Printf.sprintf
+           "replica %d committed config v%d (%Lx) that was never proposed"
+           replica version digest);
+    (match Hashtbl.find_opt t.q_committed version with
+    | None -> Hashtbl.replace t.q_committed version digest
+    | Some d when Int64.equal d digest -> ()
+    | Some d ->
+      violate t Quorum ~time
+        (Printf.sprintf
+           "divergent commit: replica %d committed v%d as %Lx, first commit \
+            was %Lx"
+           replica version digest d));
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.q_replica replica) in
+    if version < prev then
+      violate t Quorum ~time
+        (Printf.sprintf "replica %d commit regressed from v%d to v%d" replica
+           prev version)
+    else Hashtbl.replace t.q_replica replica version
+  | Event.Leader_elect _ -> ()
   | Event.Config_install { dev; time; version } ->
     if version > t.latest then
       violate t Hygiene ~time

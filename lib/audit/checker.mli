@@ -25,13 +25,21 @@
     - {b LB feasibility} (Sec. III.B): observed per-candidate splits
       of sufficiently large flow populations stay within the LP
       plan's probabilities, up to a [z]-sigma binomial tolerance.
+    - {b quorum agreement} (replicated control plane): once any quorum
+      event has been seen, no config version may be published without
+      a preceding quorum commit; accepts and commits must reference a
+      proposed (version, digest); no two replicas may commit different
+      digests for the same version; and no replica's committed version
+      may regress.  Streams without quorum events (single-controller
+      runs) are exempt, so the pre-replication event protocol still
+      audits clean.
 
     Recording is pure bookkeeping: it never raises on a violation
     (violations are collected and reported), and it performs no
     randomness or simulation work, so audited runs stay bit-identical
     to unaudited ones in every other statistic. *)
 
-type invariant = Chain | Conservation | Stickiness | Hygiene | Feasibility
+type invariant = Chain | Conservation | Stickiness | Hygiene | Feasibility | Quorum
 
 val invariant_name : invariant -> string
 

@@ -73,6 +73,25 @@ type t =
   | Ls_teardown of { proxy : int; time : float; label : int }
   | Config_publish of { time : float; version : int }
   | Config_install of { dev : int; time : float; version : int }
+  | Quorum_propose of {
+      time : float;
+      version : int;
+      replica : int;
+      digest : int64;
+    }
+  | Quorum_accept of {
+      time : float;
+      version : int;
+      replica : int;
+      digest : int64;
+    }
+  | Quorum_commit of {
+      time : float;
+      version : int;
+      replica : int;
+      digest : int64;
+    }
+  | Leader_elect of { time : float; replica : int; previous : int }
 
 let admission_to_string = function
   | Permit None -> "permit (cached)"
@@ -134,5 +153,17 @@ let describe = function
     Printf.sprintf "t=%.3f controller published config v%d" time version
   | Config_install { dev; time; version } ->
     Printf.sprintf "t=%.3f device %d installed config v%d" time dev version
+  | Quorum_propose { time; version; replica; digest } ->
+    Printf.sprintf "t=%.3f replica %d proposed config v%d (%Lx)" time replica
+      version digest
+  | Quorum_accept { time; version; replica; digest } ->
+    Printf.sprintf "t=%.3f replica %d accepted config v%d (%Lx)" time replica
+      version digest
+  | Quorum_commit { time; version; replica; digest } ->
+    Printf.sprintf "t=%.3f replica %d committed config v%d (%Lx)" time replica
+      version digest
+  | Leader_elect { time; replica; previous } ->
+    Printf.sprintf "t=%.3f replica %d elected leader (was %d)" time replica
+      previous
 
 let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -90,6 +90,28 @@ type t =
   | Config_install of { dev : int; time : float; version : int }
       (** [dev] indexes devices flat: proxies first, then middleboxes
           (see {!Sim.Controlplane.device_of_entity}) *)
+  | Quorum_propose of {
+      time : float;
+      version : int;
+      replica : int;  (** proposing leader *)
+      digest : int64;  (** {!Sdm.Controller.fingerprint} of the candidate *)
+    }
+  | Quorum_accept of {
+      time : float;
+      version : int;
+      replica : int;  (** voting acceptor *)
+      digest : int64;
+    }
+  | Quorum_commit of {
+      time : float;
+      version : int;
+      replica : int;  (** replica learning the commit *)
+      digest : int64;
+    }
+      (** Emitted once per replica per committed version: by the leader
+          at quorum, by every other replica when the commit notice
+          reaches it over the lossy control channel. *)
+  | Leader_elect of { time : float; replica : int; previous : int }
 
 val admission_to_string : admission -> string
 

@@ -164,6 +164,38 @@ let pp_config_summary ppf s =
      values)"
     s.entities s.policy_rows s.candidate_entries s.weight_rows s.weight_cells
 
+let fingerprint t =
+  (* FNV-1a over the configuration's content-bearing parts: strategy
+     kind, dissemination summary, rule ids, and — for load-balanced
+     plans — the LP's objective and predicted per-middlebox loads.
+     Purely structural (no closures, no addresses), so equal
+     configurations hash equally in any run, domain, or process. *)
+  let h = ref 0xcbf29ce484222325L in
+  let mix64 v =
+    h := Int64.mul (Int64.logxor !h v) 0x100000001b3L
+  in
+  let mix i = mix64 (Int64.of_int i) in
+  let mixf x = mix64 (Int64.bits_of_float x) in
+  mix
+    (match t.strategy with
+    | Strategy.Hot_potato -> 1
+    | Strategy.Random_uniform -> 2
+    | Strategy.Load_balanced _ -> 3
+    | Strategy.Load_balanced_exact _ -> 4);
+  let s = config_summary t in
+  mix s.entities;
+  mix s.policy_rows;
+  mix s.candidate_entries;
+  mix s.weight_rows;
+  mix s.weight_cells;
+  List.iter (fun r -> mix r.Policy.Rule.id) t.rules;
+  (match t.lp with
+  | None -> mix 0
+  | Some lp ->
+    mixf lp.Lp_formulation.lambda;
+    Array.iter mixf lp.Lp_formulation.loads);
+  !h
+
 let closest t entity nf = Candidate.closest t.candidates entity nf
 
 type update_delta = {

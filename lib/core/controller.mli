@@ -95,6 +95,14 @@ val config_summary : t -> config_summary
 
 val pp_config_summary : Format.formatter -> config_summary -> unit
 
+val fingerprint : t -> int64
+(** Deterministic structural digest of the configuration: strategy
+    kind, dissemination summary, rule ids, and (for load-balanced
+    plans) the LP objective and predicted loads, FNV-1a folded.  Equal
+    configurations hash equally in any process or domain — this is the
+    digest the replicated control plane proposes, accepts, and commits
+    under, and the value the audit uses to flag divergent commits. *)
+
 type update_delta = {
   controller : t;            (** the reconfigured controller *)
   entities_touched : int;    (** entities whose policy table changed *)

@@ -6,6 +6,7 @@ type violation =
   | Unnormalized_row of Mbox.Entity.t * int * Policy.Action.nf * float
   | Table_mismatch of Mbox.Entity.t * int
   | Duplicate_function of int
+  | Window_too_deep of int
 
 let pp_violation ppf = function
   | Empty_candidates (e, rule, nf) ->
@@ -40,6 +41,9 @@ let pp_violation ppf = function
       Mbox.Entity.pp e rule
   | Duplicate_function rule ->
     Format.fprintf ppf "rule %d repeats a function in its action list" rule
+  | Window_too_deep n ->
+    Format.fprintf ppf
+      "staged window holds %d versions; only an adjacent pair may coexist" n
 
 let normalization_eps = 1e-6
 
@@ -218,3 +222,14 @@ let check_mixed (old_c : Controller.t) (new_c : Controller.t) =
       (List.rev !violations)
   in
   match vs with [] -> Ok () | vs -> Error vs
+
+let check_window = function
+  | [] -> Ok ()
+  | [ only ] -> check only
+  | [ old_c; new_c ] -> check_mixed old_c new_c
+  | versions ->
+    (* The enforcement plane's stickiness clamp keeps every flow inside
+       the {installed-1, installed} pair, so any deeper window — e.g. a
+       proposed-but-uncommitted config staged next to two live ones —
+       is unsafe by construction and refused without walking it. *)
+    Error [ Window_too_deep (List.length versions) ]

@@ -42,6 +42,10 @@ type violation =
       (** entity's policy table holds an irrelevant rule, or misses a
           relevant one (rule id given) *)
   | Duplicate_function of int  (** rule id with a repeated function *)
+  | Window_too_deep of int
+      (** a staged update window holding more than two coexisting
+          versions (count given) — unsafe whatever its contents, since
+          run-time stickiness only clamps flows into an adjacent pair *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -61,3 +65,13 @@ val check_mixed :
     both versions) are reported once.  Both configurations must be
     built over the same deployment and rule set; raises
     [Invalid_argument] when the rule ids differ. *)
+
+val check_window : Controller.t list -> (unit, violation list) result
+(** Certify a whole staged window, oldest first: the empty window is
+    vacuously safe, a singleton is {!check}, an adjacent pair is
+    {!check_mixed}, and anything deeper — such as a three-version
+    window of (installed-1, installed, proposed-but-uncommitted) — is
+    vetoed outright with {!Window_too_deep}.  The replicated control
+    plane's quorum commit is therefore the only path by which a
+    proposed version may join the window: until commit, the candidate
+    is held outside and never enters this check as a third member. *)

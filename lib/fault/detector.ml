@@ -8,7 +8,11 @@ type t = { views : view array; delay : float }
 
 let create ~n ~delay =
   if n < 0 then invalid_arg "Detector.create: negative population";
-  if not (delay >= 0.0) then invalid_arg "Detector.create: negative delay";
+  (* [not (delay >= 0.0)] alone catches NaN along with negatives, but
+     +infinity slips through the comparison and would make the detector
+     report the pre-transition view forever; demand a finite delay. *)
+  if not (Float.is_finite delay && delay >= 0.0) then
+    invalid_arg "Detector.create: delay must be finite and non-negative";
   {
     views =
       Array.init n (fun _ -> { up = true; prev = true; changed_at = neg_infinity });

@@ -17,7 +17,9 @@ type t
 
 val create : n:int -> delay:float -> t
 (** [n] middleboxes, all initially up and believed up.  Raises
-    [Invalid_argument] on a negative [n] or [delay]. *)
+    [Invalid_argument] on a negative [n], or on a [delay] that is
+    negative or non-finite (NaN and +infinity would freeze the
+    believed view at the pre-transition state forever). *)
 
 val crash : t -> now:float -> int -> unit
 (** Ground truth: the box goes down at [now].  Raises

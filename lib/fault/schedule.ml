@@ -3,6 +3,8 @@ type event =
   | Mbox_recover of int
   | Link_fail of int * int
   | Link_restore of int * int
+  | Ctrl_crash of int
+  | Ctrl_recover of int
 
 type timed = { at : float; what : event }
 
@@ -18,6 +20,8 @@ let event_to_string = function
   | Mbox_recover id -> Printf.sprintf "mbox%d recover" id
   | Link_fail (u, v) -> Printf.sprintf "link %d-%d fail" u v
   | Link_restore (u, v) -> Printf.sprintf "link %d-%d restore" u v
+  | Ctrl_crash id -> Printf.sprintf "controller replica %d crash" id
+  | Ctrl_recover id -> Printf.sprintf "controller replica %d recover" id
 
 let check_probability name p =
   if not (p >= 0.0 && p < 1.0) then
@@ -28,9 +32,12 @@ let make ?(link_loss = 0.0) ?(control_loss = 0.0) ?(loss_seed = 1) events =
   check_probability "control_loss" control_loss;
   List.iter
     (fun { at; what } ->
-      if not (at >= 0.0) then
+      (* [not (at >= 0.0)] catches NaN along with negatives; the finite
+         check additionally rejects +infinity, which would otherwise
+         park an event past every horizon and silently never fire. *)
+      if not (Float.is_finite at && at >= 0.0) then
         invalid_arg
-          (Printf.sprintf "Schedule.make: %s scheduled at negative time"
+          (Printf.sprintf "Schedule.make: %s scheduled at non-finite or negative time"
              (event_to_string what)))
     events;
   (* Stable sort: events at equal times keep the caller's order. *)
@@ -47,22 +54,44 @@ let has_link_events t =
     (fun { what; _ } ->
       match what with
       | Link_fail _ | Link_restore _ -> true
-      | Mbox_crash _ | Mbox_recover _ -> false)
+      | Mbox_crash _ | Mbox_recover _ | Ctrl_crash _ | Ctrl_recover _ -> false)
     t.events
 
-let validate ~n_mboxes ~link_exists t =
+let validate ?(n_controllers = 0) ~n_mboxes ~link_exists t =
   (* Replay the event list in time order against the deployment,
      tracking which boxes are down and which links are cut, so that
      recoveries without a preceding failure are caught here instead of
      blowing up (or silently no-opping) deep inside a run. *)
   let down = Hashtbl.create 8 in
   let cut = Hashtbl.create 8 in
+  let ctrl_down = Hashtbl.create 4 in
   let link_key u v = if u <= v then (u, v) else (v, u) in
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let rec go = function
     | [] -> Ok ()
     | { at; what } :: rest -> (
+        if not (Float.is_finite at) then
+          err "t=%g: %s: non-finite event time" at (event_to_string what)
+        else
         match what with
+        | Ctrl_crash id ->
+            if id < 0 || id >= n_controllers then
+              err "t=%g: %s: unknown controller replica (run has %d)" at
+                (event_to_string what) n_controllers
+            else if Hashtbl.mem ctrl_down id then
+              err "t=%g: %s: replica is already down" at (event_to_string what)
+            else (
+              Hashtbl.replace ctrl_down id ();
+              go rest)
+        | Ctrl_recover id ->
+            if id < 0 || id >= n_controllers then
+              err "t=%g: %s: unknown controller replica (run has %d)" at
+                (event_to_string what) n_controllers
+            else if not (Hashtbl.mem ctrl_down id) then
+              err "t=%g: %s: no preceding crash" at (event_to_string what)
+            else (
+              Hashtbl.remove ctrl_down id;
+              go rest)
         | Mbox_crash id ->
             if id < 0 || id >= n_mboxes then
               err "t=%g: %s: unknown middlebox (deployment has %d)" at

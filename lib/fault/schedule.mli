@@ -13,6 +13,13 @@ type event =
   | Mbox_recover of int  (** middlebox [id] comes back, empty-handed *)
   | Link_fail of int * int  (** link (u, v) goes down; OSPF reconverges *)
   | Link_restore of int * int  (** link (u, v) comes back; OSPF reconverges *)
+  | Ctrl_crash of int
+      (** controller replica [id] goes down: its in-flight pushes and
+          proposals die; if it led, a deterministic re-election follows
+          one detection delay later *)
+  | Ctrl_recover of int
+      (** controller replica [id] comes back with its durable acceptor
+          state (accepted/committed versions) intact *)
 
 type timed = { at : float; what : event }
 
@@ -27,8 +34,9 @@ type t = private {
 val make :
   ?link_loss:float -> ?control_loss:float -> ?loss_seed:int -> timed list -> t
 (** Build a schedule.  Events are stable-sorted by time.  Raises
-    [Invalid_argument] on a negative event time or a loss probability
-    outside [0, 1).  Defaults: no losses, [loss_seed] = 1. *)
+    [Invalid_argument] on a non-finite or negative event time or a
+    loss probability outside [0, 1) (NaN included).  Defaults: no
+    losses, [loss_seed] = 1. *)
 
 val empty : t
 (** No events, no losses. *)
@@ -40,14 +48,21 @@ val has_link_events : t -> bool
     simulator then drives its routing tables through an OSPF session. *)
 
 val validate :
-  n_mboxes:int -> link_exists:(int -> int -> bool) -> t -> (unit, string) result
+  ?n_controllers:int ->
+  n_mboxes:int ->
+  link_exists:(int -> int -> bool) ->
+  t ->
+  (unit, string) result
 (** Check the schedule against a concrete deployment: every middlebox
-    id must be in [0, n_mboxes), every link must satisfy [link_exists],
-    and, replaying the events in time order, a [Mbox_recover] must be
-    preceded by a crash of the same box, a [Link_restore] by a failure
-    of the same link, and no box/link may fail twice without recovering
-    in between.  Returns a human-readable description of the first
-    offending event. *)
+    id must be in [0, n_mboxes), every controller replica id in
+    [0, n_controllers) (default 0 — controller events are only legal
+    when the run declares replicas), every link must satisfy
+    [link_exists], every event time must be finite, and, replaying the
+    events in time order, a [Mbox_recover]/[Ctrl_recover] must be
+    preceded by a crash of the same box/replica, a [Link_restore] by a
+    failure of the same link, and nothing may fail twice without
+    recovering in between.  Returns a human-readable description of
+    the first offending event. *)
 
 val crash_times : t -> (int * float) list
 (** The (middlebox id, time) pairs of the crash events, in time order. *)

@@ -38,6 +38,31 @@ let default_router (dep : Sdm.Deployment.t) =
   | gw :: _ -> gw
   | [] -> List.hd (Netgraph.Topology.cores topo)
 
+let replica_routers (dep : Sdm.Deployment.t) ~primary ~n =
+  if n < 1 then invalid_arg "Controlplane.replica_routers: n must be positive";
+  let topo = dep.Sdm.Deployment.topo in
+  (* Deterministic placement: the primary keeps its router; standbys
+     take the remaining gateways in order, then the cores — transit
+     routers with the best reach, and a stable order whatever the
+     seed did to the access layer. *)
+  let pool =
+    List.filter
+      (fun r -> r <> primary)
+      (Netgraph.Topology.gateways topo @ Netgraph.Topology.cores topo)
+  in
+  let rec take k = function
+    | _ when k = 0 -> []
+    | [] ->
+      invalid_arg
+        (Printf.sprintf
+           "Controlplane.replica_routers: %d replicas but only %d distinct \
+            transit routers"
+           n
+           (n - k))
+    | r :: rest -> r :: take (k - 1) rest
+  in
+  primary :: take (n - 1) pool
+
 (* Per-entity configuration size — also what the live control plane
    charges per config-push message. *)
 let entity_bytes (c : Sdm.Controller.t) entity =

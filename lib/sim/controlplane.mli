@@ -41,6 +41,12 @@ val default_router : Sdm.Deployment.t -> int
 (** The controller's attachment router when none is given: the first
     gateway, falling back to the first core router. *)
 
+val replica_routers : Sdm.Deployment.t -> primary:int -> n:int -> int list
+(** Deterministic attachment routers for [n] controller replicas:
+    [primary] first, then the remaining gateways in topology order,
+    then the cores.  Raises [Invalid_argument] when [n < 1] or the
+    topology lacks [n] distinct transit routers. *)
+
 val entity_bytes : Sdm.Controller.t -> Mbox.Entity.t -> int
 (** Size of one entity's configuration under the byte model above —
     also what {!Pktsim}'s live control plane charges per config-push

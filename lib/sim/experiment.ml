@@ -692,6 +692,152 @@ let ablation_live ?(flows = 500) ?(seed = 17) ?(audit = false)
     live_devices = devices;
   }
 
+(* ---- ABL-QUORUM: replicated controller under chaos --------------- *)
+
+type quorum_row = {
+  qr_scenario : string;
+  qr_loss : float;
+  qr_injected : int;
+  qr_delivered : int;
+  qr_violations : int;
+  qr_versions : int;
+  qr_rounds : int;
+  qr_commits : int;
+  qr_aborts : int;
+  qr_msgs : int;
+  qr_lost : int;
+  qr_elections : int;
+  qr_degraded : int;
+  qr_stale : int;
+  qr_uncommitted : int;
+  qr_replicas : int list;
+  qr_events_processed : int;
+  qr_audit : int option;
+}
+
+type quorum_report = {
+  q_replicas : int;
+  q_epoch : float;
+  q_reconcile : float;
+  q_crash_at : float;
+  q_partition_at : float;
+  q_heal_at : float;
+  q_leader_router : int;
+  q_probe_events : int;
+  q_rows : quorum_row list;
+}
+
+let ablation_quorum ?(flows = 500) ?(seed = 17) ?(audit = false) ?jobs
+    ?(shards = 1) () =
+  let deployment = build_deployment Campus ~seed in
+  let workload = Workload.generate ~deployment ~seed ~flows () in
+  let rules = workload.Workload.rules in
+  let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
+  (* A fault-free probe under the stale plan fixes the horizon the
+     epochs and the fault schedule are placed within. *)
+  let probe =
+    Pktsim.run
+      ~config:{ Pktsim.default_config with shards }
+      ~controller:hp ~workload ()
+  in
+  let horizon = probe.Pktsim.sim_time in
+  let epoch = horizon /. 5.0 in
+  let reconcile = epoch /. 4.0 in
+  let replicas = 3 in
+  let live =
+    {
+      Pktsim.default_live with
+      epoch_interval = epoch;
+      reconcile_interval = reconcile;
+      replicas;
+    }
+  in
+  let leader_router = Controlplane.default_router deployment in
+  let crash_at = 0.3 *. horizon in
+  let partition_at = 0.35 *. horizon in
+  let heal_at = 0.7 *. horizon in
+  (* Split brain: cut every link of the lead replica's attachment
+     router, leaving the leader alone on the minority side of the
+     partition while the two standbys (and most devices) stay
+     connected on the other. *)
+  let leader_links =
+    List.map
+      (fun { Netgraph.Graph.dst; _ } -> (leader_router, dst))
+      (Netgraph.Graph.neighbors
+         deployment.Sdm.Deployment.topo.Netgraph.Topology.graph leader_router)
+  in
+  let schedule_of = function
+    | "leader crash" ->
+      ( 0.02,
+        Fault.Schedule.make ~control_loss:0.02 ~loss_seed:(seed + 3)
+          Fault.Schedule.[ { at = crash_at; what = Ctrl_crash 0 } ] )
+    | "split brain" ->
+      ( 0.02,
+        Fault.Schedule.make ~control_loss:0.02 ~loss_seed:(seed + 3)
+          (List.map
+             (fun (u, v) ->
+               Fault.Schedule.{ at = partition_at; what = Link_fail (u, v) })
+             leader_links
+          @ List.map
+              (fun (u, v) ->
+                Fault.Schedule.{ at = heal_at; what = Link_restore (u, v) })
+              leader_links) )
+    | "quorum loss" ->
+      (0.45, Fault.Schedule.make ~control_loss:0.45 ~loss_seed:(seed + 3) [])
+    | s -> invalid_arg ("ablation_quorum: unknown scenario " ^ s)
+  in
+  let row scenario =
+    let loss, schedule = schedule_of scenario in
+    let config =
+      {
+        Pktsim.default_config with
+        faults = Some schedule;
+        live = Some live;
+        audit;
+        shards;
+      }
+    in
+    let stats = Pktsim.run ~config ~controller:hp ~workload () in
+    {
+      qr_scenario = scenario;
+      qr_loss = loss;
+      qr_injected = stats.Pktsim.injected_packets;
+      qr_delivered = stats.Pktsim.delivered_packets;
+      qr_violations = stats.Pktsim.policy_violations;
+      qr_versions = stats.Pktsim.final_config_version;
+      qr_rounds = stats.Pktsim.quorum_rounds;
+      qr_commits = stats.Pktsim.quorum_commits;
+      qr_aborts = stats.Pktsim.quorum_aborts;
+      qr_msgs = stats.Pktsim.quorum_msgs;
+      qr_lost = stats.Pktsim.quorum_lost;
+      qr_elections = stats.Pktsim.leader_changes;
+      qr_degraded = stats.Pktsim.config_degraded;
+      qr_stale = stats.Pktsim.stale_devices;
+      (* Versions that reached the staged window without a quorum
+         commit — the headline safety number; always 0. *)
+      qr_uncommitted =
+        stats.Pktsim.reoptimizations - stats.Pktsim.quorum_commits;
+      qr_replicas = Array.to_list stats.Pktsim.replica_versions;
+      qr_events_processed = stats.Pktsim.events_processed;
+      qr_audit = audit_violations stats;
+    }
+  in
+  {
+    q_replicas = replicas;
+    q_epoch = epoch;
+    q_reconcile = reconcile;
+    q_crash_at = crash_at;
+    q_partition_at = partition_at;
+    q_heal_at = heal_at;
+    q_leader_router = leader_router;
+    q_probe_events = probe.Pktsim.events_processed;
+    q_rows =
+      fan_out ?jobs
+        (List.map
+           (fun s () -> row s)
+           [ "leader crash"; "split brain"; "quorum loss" ]);
+  }
+
 type sketch_point = {
   epsilon : float;
   sketch_cells : int;

@@ -294,6 +294,65 @@ val ablation_live :
     runs every row under the online invariant audit
     ({!Pktsim.config.audit}). *)
 
+type quorum_row = {
+  qr_scenario : string; (** "leader crash" / "split brain" / "quorum loss" *)
+  qr_loss : float;      (** control-channel loss probability of the row *)
+  qr_injected : int;
+  qr_delivered : int;
+  qr_violations : int;  (** policy violations on the data plane *)
+  qr_versions : int;    (** configuration versions committed and published *)
+  qr_rounds : int;      (** quorum rounds started *)
+  qr_commits : int;     (** rounds that reached quorum *)
+  qr_aborts : int;      (** rounds abandoned (minority side, loss, superseded) *)
+  qr_msgs : int;        (** proposal/vote/commit-notice transmissions *)
+  qr_lost : int;        (** of those, lost to the control channel *)
+  qr_elections : int;   (** leader re-elections *)
+  qr_degraded : int;    (** degradations to last-known-good *)
+  qr_stale : int;       (** devices below the final version at run end *)
+  qr_uncommitted : int;
+      (** versions published without a quorum commit — the headline
+          safety number; always 0 *)
+  qr_replicas : int list; (** per-replica committed version at run end *)
+  qr_events_processed : int;
+  qr_audit : int option;
+      (** invariant violations found by the online audit; [None] when
+          auditing was off *)
+}
+
+type quorum_report = {
+  q_replicas : int;      (** replica count (3, majority quorum) *)
+  q_epoch : float;       (** epoch interval used (horizon / 5) *)
+  q_reconcile : float;   (** reconcile interval used (epoch / 4) *)
+  q_crash_at : float;    (** leader-crash time (30% of the horizon) *)
+  q_partition_at : float; (** split-brain partition time (35%) *)
+  q_heal_at : float;     (** partition heal time (70%) *)
+  q_leader_router : int; (** the lead replica's attachment router *)
+  q_probe_events : int;  (** engine events of the fault-free probe *)
+  q_rows : quorum_row list;
+}
+
+val ablation_quorum :
+  ?flows:int ->
+  ?seed:int ->
+  ?audit:bool ->
+  ?jobs:int ->
+  ?shards:int ->
+  unit ->
+  quorum_report
+(** ABL-QUORUM, the replicated-controller experiment: three replicas
+    with a majority quorum run the live control plane from a stale
+    hot-potato start, under three chaos scenarios — (1) the lead
+    replica crashes mid-run and a standby is deterministically
+    re-elected one detection delay later; (2) a split-brain partition
+    isolates the leader on the minority side, whose rounds abort
+    without ever publishing, until the partition heals; (3) 45%
+    control-packet loss stresses the propose/vote/commit retry
+    ladders.  Every published version must have passed a quorum round
+    ([qr_uncommitted] = 0 on every row), and no two replicas ever
+    commit different configs for one version (the audit's
+    quorum-agreement invariant).  [audit] runs every row under the
+    online invariant audit.  Default 500 flows. *)
+
 type sketch_point = {
   epsilon : float;
   sketch_cells : int;       (** counters across all proxy sketches *)

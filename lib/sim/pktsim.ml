@@ -9,8 +9,12 @@ type live_config = {
   epoch_interval : float;
   reconcile_interval : float;
   push_backoff : float;
+  push_backoff_cap : float;
   push_max_retries : int;
   controller_router : int option;
+  replicas : int;
+  quorum : Quorum.family;
+  replica_routers : int list option;
 }
 
 let default_live =
@@ -18,9 +22,22 @@ let default_live =
     epoch_interval = 25.0;
     reconcile_interval = 5.0;
     push_backoff = 2.0;
+    (* High enough that the default six-retry ladder (2,4,...,64) is
+       never clipped: the cap only bites configs that raise the retry
+       budget or the base. *)
+    push_backoff_cap = 120.0;
     push_max_retries = 6;
     controller_router = None;
+    replicas = 1;
+    quorum = Quorum.Majority;
+    replica_routers = None;
   }
+
+(* The retry ladder every control-plane chain (config push, proposal,
+   commit notice) climbs: exponential from [push_backoff], clipped at
+   [push_backoff_cap]. *)
+let push_backoff_delay (l : live_config) ~attempt =
+  Float.min (l.push_backoff *. (2.0 ** float_of_int attempt)) l.push_backoff_cap
 
 type config = {
   label_switching : bool;
@@ -114,6 +131,16 @@ type stats = {
   entity_control_retries : int array; (* per device: proxies, then mboxes *)
   entity_control_lost : int array;
   entity_config_version : int array;
+  (* Replicated control plane (all 0 / empty when [replicas = 1] the
+     counters still run — the single replica plays a one-acceptor
+     quorum — but no quorum traffic ever hits the wire). *)
+  quorum_rounds : int;     (* propose/accept/commit rounds started *)
+  quorum_commits : int;    (* rounds that reached quorum and committed *)
+  quorum_aborts : int;     (* rounds abandoned: no quorum, or superseded *)
+  quorum_msgs : int;       (* proposal/vote/commit-notice transmissions *)
+  quorum_lost : int;       (* of those, lost to the control channel *)
+  leader_changes : int;    (* re-elections after a leader crash *)
+  replica_versions : int array; (* per replica: highest committed version *)
   audit_report : Audit.Checker.report option; (* None unless [config.audit] *)
 }
 
@@ -143,6 +170,12 @@ type counters = {
   mutable cfg_bytes : int;
   mutable reopts : int;
   mutable cfg_degraded : int;
+  mutable q_rounds : int;
+  mutable q_commits : int;
+  mutable q_aborts : int;
+  mutable q_msgs : int;
+  mutable q_lost : int;
+  mutable elections : int;
 }
 
 (* Messages on the wire: ordinary data packets, or the control packet
@@ -186,6 +219,18 @@ type live_state = {
   meas : Sdm.Measurement.t;   (* per-(src, dst, rule) volumes observed so far *)
   mutable horizon : float;    (* time of the last scheduled injection *)
   mutable reconcile_rounds : int;
+  (* Controller replication.  Replica [i] sits at [replica_router.(i)]
+     (replica 0 at [ctrl_router]); the leader is the lowest-id live
+     replica and the only one that proposes, commits, and pushes.  A
+     candidate configuration parks in [pending] while its quorum round
+     is in flight and reaches [configs] only through a commit — the
+     single gate into the staged window. *)
+  mutable leader : int;
+  replica_router : int array;
+  replica_up : bool array;
+  acceptors : Quorum.Acceptor.t array; (* durable across crashes *)
+  mutable round : Quorum.Round.t option;
+  mutable pending : Sdm.Controller.t option;
 }
 
 type world = {
@@ -985,6 +1030,23 @@ let apply_fault w f what =
       Ospf.Session.recover_link s u v;
       refresh_tables w s
     | None -> assert false)
+  | Fault.Schedule.Ctrl_crash id -> (
+    (* The replica's in-flight chains die via their [replica_up] and
+       leadership guards; its acceptor state is durable.  Re-election
+       happens one detection delay later (scheduled alongside the
+       fault), not here. *)
+    match w.live with
+    | Some ls when id < Array.length ls.replica_up ->
+      ls.replica_up.(id) <- false
+    | _ -> ())
+  | Fault.Schedule.Ctrl_recover id -> (
+    (* Recovery is quiet: the replica rejoins as a standby (stable
+       leadership — no failback) and resumes voting from its durable
+       acceptor state. *)
+    match w.live with
+    | Some ls when id < Array.length ls.replica_up ->
+      ls.replica_up.(id) <- true
+    | _ -> ())
 
 (* ---- Live control plane ----------------------------------------- *)
 
@@ -1039,10 +1101,14 @@ let install_config w ls ~dev ~version =
    meanwhile acked, dies silently; the reconciliation loop is the
    backstop once retries are exhausted. *)
 let rec push_config w ls ~dev ~version ~attempt =
-  if version = ls.latest && ls.device_acked.(dev) < version then begin
+  if
+    version = ls.latest
+    && ls.device_acked.(dev) < version
+    && ls.replica_up.(ls.leader)
+  then begin
     let entity = dev_entity w dev in
     let target = Sdm.Deployment.entity_router w.dep entity in
-    match route_hops w ~from:ls.ctrl_router ~target with
+    match route_hops w ~from:ls.replica_router.(ls.leader) ~target with
     | None ->
       (* The controller is partitioned from the device: no retry timer
          helps until routing heals.  The device keeps its last-known-
@@ -1057,7 +1123,7 @@ let rec push_config w ls ~dev ~version ~attempt =
       let retry () =
         if attempt < ls.lcfg.push_max_retries then begin
           w.entity_ctrl_retries.(dev) <- w.entity_ctrl_retries.(dev) + 1;
-          let delay = ls.lcfg.push_backoff *. (2.0 ** float_of_int attempt) in
+          let delay = push_backoff_delay ls.lcfg ~attempt in
           ignore
             (Dess.Engine.schedule w.engine ~delay (fun _ ->
                  push_config w ls ~dev ~version ~attempt:(attempt + 1)))
@@ -1094,43 +1160,307 @@ let rec push_config w ls ~dev ~version ~attempt =
       end
   end
 
+(* ---- Quorum rounds (replicated controller) ----------------------- *)
+
+let quorum_n ls = Array.length ls.replica_up
+
+(* Publish a committed configuration: append it to the staged window,
+   bump the shared version, emit the audit events, and push to every
+   device from the leader's router.  Only [maybe_commit] calls this —
+   the quorum commit is the single gate into the staged window. *)
+let publish_committed w ls next =
+  ls.configs <- Array.append ls.configs [| next |];
+  ls.latest <- ls.latest + 1;
+  w.counters.reopts <- w.counters.reopts + 1;
+  (match w.audit with
+  | None -> ()
+  | Some a ->
+    Audit.Checker.register_config a ~version:ls.latest next;
+    Audit.Checker.record a
+      (Audit.Event.Config_publish
+         { time = Dess.Engine.now w.engine; version = ls.latest }));
+  for dev = 0 to n_devices w - 1 do
+    push_config w ls ~dev ~version:ls.latest ~attempt:0
+  done
+
+(* Spread a commit to one standby replica over the same lossy control
+   channel the config pushes ride, with the same capped-backoff retry
+   ladder.  [Acceptor.commit] is idempotent, so duplicates from retries
+   are harmless; a partitioned or crashed standby simply stays at its
+   last-known-good commit until the reconciliation of a later round
+   reaches it. *)
+let rec commit_notice w ls ~replica ~version ~digest ~attempt =
+  if
+    ls.replica_up.(ls.leader)
+    && Quorum.Acceptor.committed ls.acceptors.(replica) < version
+  then begin
+    match
+      route_hops w ~from:ls.replica_router.(ls.leader)
+        ~target:ls.replica_router.(replica)
+    with
+    | None -> () (* partitioned: no retry timer helps until routing heals *)
+    | Some h ->
+      w.counters.q_msgs <- w.counters.q_msgs + 1;
+      let one_way = float_of_int (h + 1) *. w.cfg.link_delay in
+      let retry () =
+        if attempt < ls.lcfg.push_max_retries then
+          ignore
+            (Dess.Engine.schedule w.engine
+               ~delay:(push_backoff_delay ls.lcfg ~attempt) (fun _ ->
+                 commit_notice w ls ~replica ~version ~digest
+                   ~attempt:(attempt + 1)))
+      in
+      if control_loss_draw w || not ls.replica_up.(replica) then begin
+        w.counters.q_lost <- w.counters.q_lost + 1;
+        retry ()
+      end
+      else
+        ignore
+          (Dess.Engine.schedule w.engine ~delay:one_way (fun _ ->
+               if
+                 ls.replica_up.(replica)
+                 && Quorum.Acceptor.committed ls.acceptors.(replica) < version
+               then
+                 match
+                   Quorum.Acceptor.commit ls.acceptors.(replica) ~version
+                     ~digest
+                 with
+                 | Ok () ->
+                   audit_emit w (fun () ->
+                       Audit.Event.Quorum_commit
+                         {
+                           time = Dess.Engine.now w.engine;
+                           version;
+                           replica;
+                           digest;
+                         })
+                 | Error _ -> ()))
+  end
+
+(* Commit as soon as the votes form a quorum: the leader commits its
+   own acceptor, publishes the pending candidate, and spreads the
+   commit to the standbys.  With one replica this runs synchronously
+   inside the proposal — no quorum traffic ever hits the wire. *)
+let maybe_commit w ls r =
+  if Quorum.Round.outcome r = Quorum.Round.Pending && Quorum.Round.has_quorum r
+  then begin
+    Quorum.Round.mark_committed r;
+    let version = Quorum.Round.version r in
+    let digest = Quorum.Round.digest r in
+    w.counters.q_commits <- w.counters.q_commits + 1;
+    ignore (Quorum.Acceptor.commit ls.acceptors.(ls.leader) ~version ~digest);
+    audit_emit w (fun () ->
+        Audit.Event.Quorum_commit
+          { time = Dess.Engine.now w.engine; version; replica = ls.leader; digest });
+    (match ls.pending with
+    | Some next ->
+      ls.pending <- None;
+      publish_committed w ls next
+    | None -> ());
+    for i = 0 to quorum_n ls - 1 do
+      if i <> ls.leader then
+        commit_notice w ls ~replica:i ~version ~digest ~attempt:0
+    done
+  end
+
+(* The minority-side rule: once the reachable votes can no longer form
+   a quorum, the round is dead and the candidate is discarded — the
+   control plane refuses to publish and degrades to last-known-good. *)
+let abandon_if_dead w ls r =
+  if
+    Quorum.Round.outcome r = Quorum.Round.Pending
+    && not (Quorum.Round.can_reach_quorum r)
+  then begin
+    Quorum.Round.mark_abandoned r;
+    w.counters.q_aborts <- w.counters.q_aborts + 1;
+    w.counters.cfg_degraded <- w.counters.cfg_degraded + 1;
+    ls.pending <- None
+  end
+
+(* Propose the round's candidate to one standby acceptor: proposal out,
+   vote back, both legs over the lossy control channel with the capped
+   retry ladder (mirrors [push_config]'s fwd/ack structure).  A refusal
+   or exhausted retries loses this acceptor's vote for the round; a
+   partition loses it immediately. *)
+let rec propose_to w ls r ~replica ~attempt =
+  if Quorum.Round.outcome r = Quorum.Round.Pending && ls.replica_up.(ls.leader)
+  then begin
+    let version = Quorum.Round.version r in
+    let digest = Quorum.Round.digest r in
+    let retry () =
+      if attempt < ls.lcfg.push_max_retries then
+        ignore
+          (Dess.Engine.schedule w.engine
+             ~delay:(push_backoff_delay ls.lcfg ~attempt) (fun _ ->
+               propose_to w ls r ~replica ~attempt:(attempt + 1)))
+      else begin
+        Quorum.Round.fail r ~acceptor:replica;
+        abandon_if_dead w ls r
+      end
+    in
+    match
+      route_hops w ~from:ls.replica_router.(ls.leader)
+        ~target:ls.replica_router.(replica)
+    with
+    | None ->
+      (* Partitioned from this acceptor: its vote is lost to the round
+         (no retry timer helps until routing heals, and the round will
+         long be superseded by then). *)
+      Quorum.Round.fail r ~acceptor:replica;
+      abandon_if_dead w ls r
+    | Some h ->
+      w.counters.q_msgs <- w.counters.q_msgs + 1;
+      let one_way = float_of_int (h + 1) *. w.cfg.link_delay in
+      let fwd_lost = control_loss_draw w in
+      if fwd_lost || not ls.replica_up.(replica) then begin
+        w.counters.q_lost <- w.counters.q_lost + 1;
+        retry ()
+      end
+      else begin
+        (* The proposal arrives after one_way; the acceptor's verdict
+           rides back over the same lossy channel. *)
+        let verdict = ref None in
+        ignore
+          (Dess.Engine.schedule w.engine ~delay:one_way (fun _ ->
+               if ls.replica_up.(replica) then begin
+                 let v =
+                   Quorum.Acceptor.receive ls.acceptors.(replica) ~version
+                     ~digest
+                 in
+                 (match v with
+                 | Quorum.Acceptor.Accept ->
+                   audit_emit w (fun () ->
+                       Audit.Event.Quorum_accept
+                         {
+                           time = Dess.Engine.now w.engine;
+                           version;
+                           replica;
+                           digest;
+                         })
+                 | Repeat | Stale | Conflict -> ());
+                 verdict := Some v
+               end));
+        w.counters.q_msgs <- w.counters.q_msgs + 1;
+        let vote_lost = control_loss_draw w in
+        if vote_lost then begin
+          w.counters.q_lost <- w.counters.q_lost + 1;
+          (* The leader re-sends the whole proposal; acceptance is
+             idempotent, so the duplicate is harmless. *)
+          retry ()
+        end
+        else
+          ignore
+            (Dess.Engine.schedule w.engine ~delay:(2.0 *. one_way) (fun _ ->
+                 match !verdict with
+                 | Some (Quorum.Acceptor.Accept | Quorum.Acceptor.Repeat)
+                   when Quorum.Round.outcome r = Quorum.Round.Pending ->
+                   Quorum.Round.accept r ~acceptor:replica;
+                   maybe_commit w ls r
+                 | Some (Quorum.Acceptor.Stale | Quorum.Acceptor.Conflict) ->
+                   Quorum.Round.fail r ~acceptor:replica;
+                   abandon_if_dead w ls r
+                 | None ->
+                   (* the replica crashed while the proposal was in
+                      flight — no vote will come; keep retrying *)
+                   retry ()
+                 | Some _ -> ()))
+      end
+  end
+
 (* Re-optimize from what the run has measured: rebuild candidate sets
    around the believed-failed boxes, re-solve the LP over the in-run
-   traffic matrix, and publish the result as a new version — but only
-   after Verify certifies both the new configuration alone and every
-   reachable mix with the still-installed previous version.  A failed
-   solve or a verification veto keeps the last-known-good
-   configuration (graceful degradation, counted). *)
+   traffic matrix, and submit the result to a quorum round — the
+   candidate is published as a new version only once a quorum of
+   replicas accepted it, and only after Verify certified both the new
+   configuration alone and every reachable version mix with the
+   still-installed previous one.  A failed solve, a verification veto,
+   or a dead round keeps the last-known-good configuration (graceful
+   degradation, counted). *)
 let reoptimize w ls =
   let now = Dess.Engine.now w.engine in
-  let failed =
-    match w.fault with
-    | Some f -> Fault.Detector.believed_failed f.detector ~now
-    | None -> []
-  in
-  let current = ls.configs.(ls.latest) in
-  match Sdm.Controller.reoptimize current ~failed ~traffic:ls.meas () with
-  | Error _ -> w.counters.cfg_degraded <- w.counters.cfg_degraded + 1
-  | Ok next -> (
-    match
-      match Sdm.Verify.check next with
-      | Error _ as e -> e
-      | Ok () -> Sdm.Verify.check_mixed current next
-    with
+  if ls.replica_up.(ls.leader) then begin
+    let failed =
+      match w.fault with
+      | Some f -> Fault.Detector.believed_failed f.detector ~now
+      | None -> []
+    in
+    let current = ls.configs.(ls.latest) in
+    match Sdm.Controller.reoptimize current ~failed ~traffic:ls.meas () with
     | Error _ -> w.counters.cfg_degraded <- w.counters.cfg_degraded + 1
-    | Ok () ->
-      ls.configs <- Array.append ls.configs [| next |];
-      ls.latest <- ls.latest + 1;
-      w.counters.reopts <- w.counters.reopts + 1;
-      (match w.audit with
-      | None -> ()
-      | Some a ->
-        Audit.Checker.register_config a ~version:ls.latest next;
-        Audit.Checker.record a
-          (Audit.Event.Config_publish { time = now; version = ls.latest }));
-      for dev = 0 to n_devices w - 1 do
-        push_config w ls ~dev ~version:ls.latest ~attempt:0
-      done)
+    | Ok next -> (
+      match
+        match Sdm.Verify.check next with
+        | Error _ as e -> e
+        | Ok () -> Sdm.Verify.check_window [ current; next ]
+      with
+      | Error _ -> w.counters.cfg_degraded <- w.counters.cfg_degraded + 1
+      | Ok () ->
+        (* A fresher candidate supersedes any round still in flight. *)
+        (match ls.round with
+        | Some r when Quorum.Round.outcome r = Quorum.Round.Pending ->
+          Quorum.Round.mark_abandoned r;
+          w.counters.q_aborts <- w.counters.q_aborts + 1
+        | _ -> ());
+        let version = ls.latest + 1 in
+        (* Structural digest of the candidate, salted with the version
+           so re-proposals of distinct candidates under one version
+           number stay distinguishable to the auditor. *)
+        let digest =
+          Int64.logxor
+            (Sdm.Controller.fingerprint next)
+            (Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int version))
+        in
+        let r =
+          Quorum.Round.start ls.lcfg.quorum ~n:(quorum_n ls) ~version ~digest
+        in
+        ls.round <- Some r;
+        ls.pending <- Some next;
+        w.counters.q_rounds <- w.counters.q_rounds + 1;
+        audit_emit w (fun () ->
+            Audit.Event.Quorum_propose
+              { time = now; version; replica = ls.leader; digest });
+        (* The leader votes for its own proposal locally — no message,
+           no loss draw. *)
+        (match
+           Quorum.Acceptor.receive ls.acceptors.(ls.leader) ~version ~digest
+         with
+        | Quorum.Acceptor.Accept ->
+          Quorum.Round.accept r ~acceptor:ls.leader;
+          audit_emit w (fun () ->
+              Audit.Event.Quorum_accept
+                { time = now; version; replica = ls.leader; digest })
+        | Repeat -> Quorum.Round.accept r ~acceptor:ls.leader
+        | Stale | Conflict -> Quorum.Round.fail r ~acceptor:ls.leader);
+        maybe_commit w ls r;
+        if Quorum.Round.outcome r = Quorum.Round.Pending then
+          for i = 0 to quorum_n ls - 1 do
+            if i <> ls.leader then propose_to w ls r ~replica:i ~attempt:0
+          done)
+  end
+
+(* A detection delay after a controller crash: if the dead replica led,
+   the lowest-id live replica takes over — deterministic re-election —
+   and immediately re-optimizes, re-doing whatever in-flight work died
+   with the old leader. *)
+let handle_ctrl_crash w ls crashed =
+  if ls.leader = crashed && not ls.replica_up.(crashed) then begin
+    let n = quorum_n ls in
+    let rec first i =
+      if i >= n then None
+      else if ls.replica_up.(i) then Some i
+      else first (i + 1)
+    in
+    match first 0 with
+    | None -> () (* total control-plane outage: devices keep running *)
+    | Some nl ->
+      let prev = ls.leader in
+      ls.leader <- nl;
+      w.counters.elections <- w.counters.elections + 1;
+      audit_emit w (fun () ->
+          Audit.Event.Leader_elect
+            { time = Dess.Engine.now w.engine; replica = nl; previous = prev });
+      if Sdm.Measurement.total ls.meas > 0.0 then reoptimize w ls
+  end
 
 (* The reconciliation loop: periodically re-push the latest version to
    every device whose ack is missing, however its retry chain died
@@ -1165,7 +1495,10 @@ let run ?(config = default_config) ~controller ~workload () =
   | Some schedule -> (
     let g = dep.Sdm.Deployment.topo.Netgraph.Topology.graph in
     match
-      Fault.Schedule.validate ~n_mboxes
+      Fault.Schedule.validate
+        ~n_controllers:
+          (match config.live with Some l -> l.replicas | None -> 0)
+        ~n_mboxes
         ~link_exists:(fun u v -> Netgraph.Graph.has_edge g u v)
         schedule
     with
@@ -1174,10 +1507,35 @@ let run ?(config = default_config) ~controller ~workload () =
   (match config.live with
   | None -> ()
   | Some l ->
+    (* NaN-safe: [finite_pos] rejects non-finite intervals outright
+       ([<= 0.0] would let a NaN through).  The cap may be [infinity]
+       (an uncapped ladder) but never NaN or below the base. *)
+    let finite_pos x = Float.is_finite x && x > 0.0 in
     if
-      l.epoch_interval <= 0.0 || l.reconcile_interval <= 0.0
-      || l.push_backoff <= 0.0 || l.push_max_retries < 0
-    then invalid_arg "Pktsim.run: invalid live-control-plane config");
+      (not (finite_pos l.epoch_interval))
+      || (not (finite_pos l.reconcile_interval))
+      || (not (finite_pos l.push_backoff))
+      || Float.is_nan l.push_backoff_cap
+      || l.push_backoff_cap < l.push_backoff
+      || l.push_max_retries < 0
+    then invalid_arg "Pktsim.run: invalid live-control-plane config";
+    if l.replicas < 1 then
+      invalid_arg "Pktsim.run: replicas must be >= 1";
+    (match Quorum.validate l.quorum ~n:l.replicas with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Pktsim.run: invalid quorum family: " ^ e));
+    match l.replica_routers with
+    | None -> ()
+    | Some rs ->
+      let n_routers =
+        Netgraph.Graph.node_count
+          dep.Sdm.Deployment.topo.Netgraph.Topology.graph
+      in
+      if
+        List.length rs <> l.replicas
+        || List.exists (fun r -> r < 0 || r >= n_routers) rs
+        || List.length (List.sort_uniq compare rs) <> l.replicas
+      then invalid_arg "Pktsim.run: invalid replica routers");
   if config.shards < 1 then invalid_arg "Pktsim.run: shards must be >= 1";
   let engine = Dess.Engine.create () in
   let n_flows = Array.length workload.Workload.flows in
@@ -1289,6 +1647,12 @@ let run ?(config = default_config) ~controller ~workload () =
           cfg_bytes = 0;
           reopts = 0;
           cfg_degraded = 0;
+          q_rounds = 0;
+          q_commits = 0;
+          q_aborts = 0;
+          q_msgs = 0;
+          q_lost = 0;
+          elections = 0;
         };
       entity_ctrl_retries = Array.make (n_proxies + n_mboxes) 0;
       entity_ctrl_lost = Array.make (n_proxies + n_mboxes) 0;
@@ -1322,13 +1686,15 @@ let run ?(config = default_config) ~controller ~workload () =
         (match config.live with
         | None -> None
         | Some lcfg ->
+          let primary =
+            match lcfg.controller_router with
+            | Some r -> r
+            | None -> Controlplane.default_router dep
+          in
           Some
             {
               lcfg;
-              ctrl_router =
-                (match lcfg.controller_router with
-                | Some r -> r
-                | None -> Controlplane.default_router dep);
+              ctrl_router = primary;
               configs = [| controller |];
               latest = 0;
               device_version = Array.make (n_proxies + n_mboxes) 0;
@@ -1336,6 +1702,21 @@ let run ?(config = default_config) ~controller ~workload () =
               meas = Sdm.Measurement.create ();
               horizon = 0.0;
               reconcile_rounds = 0;
+              leader = 0;
+              replica_router =
+                (match lcfg.replica_routers with
+                | Some rs -> Array.of_list rs
+                | None ->
+                  if lcfg.replicas = 1 then [| primary |]
+                  else
+                    Array.of_list
+                      (Controlplane.replica_routers dep ~primary
+                         ~n:lcfg.replicas));
+              replica_up = Array.make lcfg.replicas true;
+              acceptors =
+                Array.init lcfg.replicas (fun _ -> Quorum.Acceptor.create ());
+              round = None;
+              pending = None;
             });
     }
   in
@@ -1360,6 +1741,14 @@ let run ?(config = default_config) ~controller ~workload () =
             (Dess.Engine.schedule_at w.engine
                ~time:(at +. config.detection_delay) (fun _ ->
                  reoptimize w ls))
+        (* A controller crash is detected by the surviving replicas one
+           detection delay after the fact; re-election (if the dead
+           replica led) happens then. *)
+        | Fault.Schedule.Ctrl_crash id, Some ls ->
+          ignore
+            (Dess.Engine.schedule_at w.engine
+               ~time:(at +. config.detection_delay) (fun _ ->
+                 handle_ctrl_crash w ls id))
         | _, _ -> ())
       f.schedule.Fault.Schedule.events);
   (* Inject flows: first packet at a jittered start, each subsequent
@@ -1500,5 +1889,15 @@ let run ?(config = default_config) ~controller ~workload () =
       (match w.live with
       | None -> Array.make (n_proxies + n_mboxes) 0
       | Some ls -> Array.copy ls.device_version);
+    quorum_rounds = w.counters.q_rounds;
+    quorum_commits = w.counters.q_commits;
+    quorum_aborts = w.counters.q_aborts;
+    quorum_msgs = w.counters.q_msgs;
+    quorum_lost = w.counters.q_lost;
+    leader_changes = w.counters.elections;
+    replica_versions =
+      (match w.live with
+      | None -> [||]
+      | Some ls -> Array.map Quorum.Acceptor.committed ls.acceptors);
     audit_report;
   }

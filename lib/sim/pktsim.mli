@@ -46,12 +46,26 @@ type table_source =
     fails verification.
 
     Mixed-version safety: a new version is published only after
-    {!Sdm.Verify.check_mixed} certifies every reachable mix of the two
-    adjacent versions.  Devices stage at most {installed-1, installed};
-    flows stay sticky to the version that admitted them (clamped into
-    the staged window), and label-table entries more than one version
-    old are purged on install, so an in-flight flow crossing an update
-    boundary re-establishes its path instead of stranding. *)
+    {!Sdm.Verify.check_window} certifies every reachable mix of the
+    two adjacent versions.  Devices stage at most {installed-1,
+    installed}; flows stay sticky to the version that admitted them
+    (clamped into the staged window), and label-table entries more
+    than one version old are purged on install, so an in-flight flow
+    crossing an update boundary re-establishes its path instead of
+    stranding.
+
+    Replication ([replicas > 1]): the controller becomes [replicas]
+    replicas at distinct attachment routers (replica 0 at
+    [controller_router]); the lowest-id live replica leads.  Every
+    candidate configuration runs a two-phase {!Quorum} round over the
+    same lossy control channel — propose out, votes back, each leg
+    with the capped-backoff retry ladder — and is published only once
+    a quorum accepted it.  A leader crash triggers a deterministic
+    re-election one detection delay later; a minority-side partition
+    abandons its round and degrades to last-known-good without ever
+    publishing.  [replicas = 1] (the default) commits synchronously
+    with zero quorum traffic and is bit-identical to the
+    pre-replication control plane. *)
 type live_config = {
   epoch_interval : float;
       (** period of measurement-driven re-optimizations (default 25.0);
@@ -61,15 +75,36 @@ type live_config = {
   push_backoff : float;
       (** initial retry delay of a config push; doubles per attempt
           (default 2.0) *)
+  push_backoff_cap : float;
+      (** ceiling on the exponential retry delay, shared by every
+          control-plane chain (pushes, proposals, commit notices).
+          Must be at least [push_backoff]; [infinity] leaves the
+          ladder uncapped.  Default 120.0 — above the last rung of the
+          default ladder, so defaults never clip. *)
   push_max_retries : int;
       (** retries per push chain before the reconciliation loop
           becomes the backstop (default 6) *)
   controller_router : int option;
       (** attachment router; default first gateway, else first core
           (same convention as {!Controlplane.price}) *)
+  replicas : int;
+      (** controller replicas (default 1 = the unreplicated control
+          plane) *)
+  quorum : Quorum.family;
+      (** what counts as a quorum of the replicas (default
+          {!Quorum.Majority}) *)
+  replica_routers : int list option;
+      (** attachment router per replica; default
+          {!Controlplane.replica_routers} placement from the
+          controller's router.  Must list [replicas] distinct
+          routers. *)
 }
 
 val default_live : live_config
+
+val push_backoff_delay : live_config -> attempt:int -> float
+(** The retry ladder every control-plane chain climbs:
+    [min (push_backoff * 2^attempt) push_backoff_cap]. *)
 
 type config = {
   label_switching : bool; (** default true *)
@@ -116,8 +151,9 @@ type config = {
   faults : Fault.Schedule.t option;
       (** in-run fault injection: middlebox crash/recovery, link
           fail/restore (routing then reconverges through a live
-          {!Ospf.Session} mid-run), per-link data-packet loss, and
-          control-packet loss.  [None] (the default) leaves every
+          {!Ospf.Session} mid-run), controller-replica crash/recovery
+          (replicated live control plane), per-link data-packet loss,
+          and control-packet loss.  [None] (the default) leaves every
           fault path disabled — no detector, no loss RNG — so a
           fault-free run is bit-identical to one on a build without
           this machinery. *)
@@ -233,6 +269,24 @@ type stats = {
   entity_config_version : int array;
       (** per-device installed version at run end — the lag behind
           [final_config_version] attributes update stalls *)
+  (* Replicated control plane — with [replicas = 1] the round counters
+     still tick (the single replica plays a one-acceptor quorum and
+     commits synchronously) but no quorum message ever hits the wire,
+     so [quorum_msgs], [quorum_lost] and [leader_changes] stay 0. *)
+  quorum_rounds : int;  (** propose/accept/commit rounds started *)
+  quorum_commits : int; (** rounds that reached quorum and committed *)
+  quorum_aborts : int;
+      (** rounds abandoned: quorum unreachable (partition, crashes,
+          retries exhausted) or superseded by a fresher candidate *)
+  quorum_msgs : int;
+      (** proposal / vote / commit-notice transmissions, retries
+          included *)
+  quorum_lost : int; (** of those, lost to the control channel *)
+  leader_changes : int; (** deterministic re-elections after leader crashes *)
+  replica_versions : int array;
+      (** per-replica highest committed version at run end (empty when
+          [live = None]) — divergence from [final_config_version]
+          shows which replicas a partition left behind *)
   audit_report : Audit.Checker.report option;
       (** the invariant auditor's verdict; [None] unless
           {!config.audit} was set *)

@@ -236,6 +236,62 @@ let live_devices_csv (l : Experiment.live_report) =
     l.Experiment.live_devices;
   Buffer.contents buf
 
+let pp_quorum_ablation ppf (q : Experiment.quorum_report) =
+  Format.fprintf ppf
+    "=== ABL-QUORUM: replicated controller under chaos (campus) ===@.";
+  Format.fprintf ppf
+    "%d replicas (majority quorum), leader at router %d; epoch %.1f, \
+     reconcile %.1f@."
+    q.Experiment.q_replicas q.Experiment.q_leader_router q.Experiment.q_epoch
+    q.Experiment.q_reconcile;
+  Format.fprintf ppf
+    "leader crash at %.1f; partition %.1f-%.1f; probe %d events@."
+    q.Experiment.q_crash_at q.Experiment.q_partition_at q.Experiment.q_heal_at
+    q.Experiment.q_probe_events;
+  Format.fprintf ppf
+    "%-13s %5s %9s %10s %9s %7s %8s %7s %6s %6s %6s %9s %6s %6s %12s %6s@."
+    "scenario" "loss" "injected" "delivered" "versions" "rounds" "commits"
+    "aborts" "msgs" "lost" "elect" "degraded" "stale" "uncomm" "replicas"
+    "audit";
+  List.iter
+    (fun (r : Experiment.quorum_row) ->
+      Format.fprintf ppf
+        "%-13s %4.0f%% %9d %10d %9d %7d %8d %7d %6d %6d %6d %9d %6d %6d %12s \
+         %6s@."
+        r.Experiment.qr_scenario
+        (100.0 *. r.Experiment.qr_loss)
+        r.Experiment.qr_injected r.Experiment.qr_delivered
+        r.Experiment.qr_versions r.Experiment.qr_rounds
+        r.Experiment.qr_commits r.Experiment.qr_aborts r.Experiment.qr_msgs
+        r.Experiment.qr_lost r.Experiment.qr_elections
+        r.Experiment.qr_degraded r.Experiment.qr_stale
+        r.Experiment.qr_uncommitted
+        (String.concat "/" (List.map string_of_int r.Experiment.qr_replicas))
+        (audit_cell r.Experiment.qr_audit))
+    q.Experiment.q_rows
+
+let quorum_csv (q : Experiment.quorum_report) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "scenario,loss,injected,delivered,violating,versions,rounds,commits,aborts,msgs,lost,elections,degraded,stale,uncommitted,replica_versions,audit\n";
+  List.iter
+    (fun (r : Experiment.quorum_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s\n"
+           r.Experiment.qr_scenario r.Experiment.qr_loss
+           r.Experiment.qr_injected r.Experiment.qr_delivered
+           r.Experiment.qr_violations r.Experiment.qr_versions
+           r.Experiment.qr_rounds r.Experiment.qr_commits
+           r.Experiment.qr_aborts r.Experiment.qr_msgs r.Experiment.qr_lost
+           r.Experiment.qr_elections r.Experiment.qr_degraded
+           r.Experiment.qr_stale r.Experiment.qr_uncommitted
+           (String.concat "/" (List.map string_of_int r.Experiment.qr_replicas))
+           (match r.Experiment.qr_audit with
+           | None -> ""
+           | Some n -> string_of_int n)))
+    q.Experiment.q_rows;
+  Buffer.contents buf
+
 let pp_sketch_ablation ppf points =
   Format.fprintf ppf
     "=== Ablation: Count-Min sketched measurement vs exact (campus) ===@.";

@@ -24,6 +24,8 @@ val pp_chaos_ablation : Format.formatter -> Experiment.chaos_report -> unit
 
 val pp_live_ablation : Format.formatter -> Experiment.live_report -> unit
 
+val pp_quorum_ablation : Format.formatter -> Experiment.quorum_report -> unit
+
 val pp_sketch_ablation : Format.formatter -> Experiment.sketch_point list -> unit
 
 val pp_epochs : Format.formatter -> Epochsim.epoch_metrics list -> unit
@@ -51,3 +53,9 @@ val live_csv : Experiment.live_report -> string
 val live_devices_csv : Experiment.live_report -> string
 (** Per-device view of ABL-LIVE's lossiest row; header
     [device,version,lag,retries,lost]. *)
+
+val quorum_csv : Experiment.quorum_report -> string
+(** One row per ABL-QUORUM chaos scenario; header
+    [scenario,loss,injected,delivered,violating,versions,rounds,commits,aborts,msgs,lost,elections,degraded,stale,uncommitted,replica_versions,audit].
+    [replica_versions] is "/"-separated per-replica committed
+    versions; the [audit] column is empty when auditing was off. *)

@@ -440,6 +440,102 @@ let test_checker_config_hygiene () =
   let n, _ = violations_of c in
   Alcotest.(check int) "unpublished + regression" 2 n
 
+(* --- Quorum agreement ---------------------------------------------- *)
+
+let test_checker_quorum_clean () =
+  (* The happy path of the replicated control plane: propose, a quorum
+     of accepts, commits on every replica, then publish — no findings.
+     Leader elections are informational and never flagged. *)
+  let c, _ = fresh_checker () in
+  Audit.Checker.record c
+    (Audit.Event.Quorum_propose { time = 1.0; version = 1; replica = 0; digest = 7L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_accept { time = 1.1; version = 1; replica = 0; digest = 7L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_accept { time = 1.2; version = 1; replica = 1; digest = 7L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_commit { time = 1.3; version = 1; replica = 0; digest = 7L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_commit { time = 1.4; version = 1; replica = 1; digest = 7L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_commit { time = 1.5; version = 1; replica = 2; digest = 7L });
+  Audit.Checker.record c (Audit.Event.Leader_elect { time = 1.6; replica = 1; previous = 0 });
+  Audit.Checker.record c (Audit.Event.Config_publish { time = 2.0; version = 1 });
+  let n, _ = violations_of c in
+  Alcotest.(check int) "clean quorum round" 0 n
+
+let test_checker_quorum_publish_gate () =
+  (* Once any quorum event has been seen, no version may reach the
+     publish stage without a commit; a legacy single-controller stream
+     (no quorum events at all) stays exempt. *)
+  let c, _ = fresh_checker () in
+  Audit.Checker.record c (Audit.Event.Config_publish { time = 1.0; version = 1 });
+  let n, _ = violations_of c in
+  Alcotest.(check int) "legacy stream exempt" 0 n;
+  let c, _ = fresh_checker () in
+  Audit.Checker.record c
+    (Audit.Event.Quorum_propose { time = 1.0; version = 1; replica = 0; digest = 7L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_commit { time = 1.1; version = 1; replica = 0; digest = 7L });
+  Audit.Checker.record c (Audit.Event.Config_publish { time = 1.2; version = 1 });
+  Audit.Checker.record c (Audit.Event.Config_publish { time = 2.0; version = 2 });
+  let n, sample = violations_of c in
+  Alcotest.(check int) "uncommitted publish flagged" 1 n;
+  Alcotest.(check bool) "quorum invariant" true
+    (match sample with
+    | [ v ] -> v.Audit.Checker.invariant = Audit.Checker.Quorum
+    | _ -> false)
+
+let test_checker_quorum_divergent_commit () =
+  (* Two replicas committing different digests for one version is the
+     split-brain disaster the round exists to prevent.  A superseding
+     re-proposal of the same version is legal; divergent commits are
+     not. *)
+  let c, _ = fresh_checker () in
+  Audit.Checker.record c
+    (Audit.Event.Quorum_propose { time = 1.0; version = 1; replica = 0; digest = 7L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_propose { time = 1.1; version = 1; replica = 0; digest = 9L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_commit { time = 1.2; version = 1; replica = 0; digest = 7L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_commit { time = 1.3; version = 1; replica = 1; digest = 9L });
+  let n, sample = violations_of c in
+  Alcotest.(check int) "divergent commit flagged" 1 n;
+  Alcotest.(check bool) "quorum invariant" true
+    (match sample with
+    | [ v ] -> v.Audit.Checker.invariant = Audit.Checker.Quorum
+    | _ -> false)
+
+let test_checker_quorum_unproposed () =
+  (* Accepting or committing a (version, digest) nobody proposed means
+     the round was skipped. *)
+  let c, _ = fresh_checker () in
+  Audit.Checker.record c
+    (Audit.Event.Quorum_accept { time = 1.0; version = 3; replica = 1; digest = 7L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_commit { time = 1.1; version = 4; replica = 1; digest = 8L });
+  let n, _ = violations_of c in
+  Alcotest.(check int) "unproposed accept + commit" 2 n
+
+let test_checker_quorum_commit_regression () =
+  (* A replica's committed version may never move backwards. *)
+  let c, _ = fresh_checker () in
+  Audit.Checker.record c
+    (Audit.Event.Quorum_propose { time = 1.0; version = 1; replica = 0; digest = 7L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_propose { time = 1.1; version = 2; replica = 0; digest = 8L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_commit { time = 1.2; version = 2; replica = 0; digest = 8L });
+  Audit.Checker.record c
+    (Audit.Event.Quorum_commit { time = 1.3; version = 1; replica = 0; digest = 7L });
+  let n, sample = violations_of c in
+  Alcotest.(check int) "commit regression flagged" 1 n;
+  Alcotest.(check bool) "quorum invariant" true
+    (match sample with
+    | [ v ] -> v.Audit.Checker.invariant = Audit.Checker.Quorum
+    | _ -> false)
+
 let test_checker_counter_cross_check () =
   let c, controller = fresh_checker () in
   Audit.Checker.record c
@@ -776,6 +872,16 @@ let suite =
       test_checker_label_purged_on_install;
     Alcotest.test_case "checker: config hygiene" `Quick
       test_checker_config_hygiene;
+    Alcotest.test_case "checker: quorum clean round" `Quick
+      test_checker_quorum_clean;
+    Alcotest.test_case "checker: quorum publish gate" `Quick
+      test_checker_quorum_publish_gate;
+    Alcotest.test_case "checker: quorum divergent commit" `Quick
+      test_checker_quorum_divergent_commit;
+    Alcotest.test_case "checker: quorum unproposed" `Quick
+      test_checker_quorum_unproposed;
+    Alcotest.test_case "checker: quorum commit regression" `Quick
+      test_checker_quorum_commit_regression;
     Alcotest.test_case "checker: counter cross-check" `Quick
       test_checker_counter_cross_check;
     Alcotest.test_case "checker: LB feasibility" `Quick

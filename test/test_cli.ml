@@ -1,0 +1,59 @@
+(* sdmctl exit-code contract: flag misuse exits 2, an unknown
+   experiment name exits 3 and lists the known names. *)
+
+(* Under `dune runtest` the cwd is the sandboxed test directory and the
+   declared dependency sits at ../bin; fall back to the build tree so a
+   bare `dune exec test/test_main.exe` from the project root works too. *)
+let sdmctl =
+  List.find Sys.file_exists
+    [ "../bin/sdmctl.exe"; "_build/default/bin/sdmctl.exe"; "bin/sdmctl.exe" ]
+
+(* Run sdmctl with [args], capturing combined stdout+stderr; returns
+   (exit code, output). *)
+let run_sdmctl args =
+  let out = Filename.temp_file "sdmctl" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote sdmctl)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_unknown_experiment () =
+  let code, out = run_sdmctl [ "exp"; "no-such-thing" ] in
+  Alcotest.(check int) "distinct exit code" 3 code;
+  Alcotest.(check bool) "names the unknown" true
+    (contains ~needle:"no-such-thing" out);
+  Alcotest.(check bool) "lists known experiments" true
+    (contains ~needle:"known experiments:" out);
+  (* the list itself must be in the message, not just its header *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " listed") true (contains ~needle:name out))
+    [ "fig4"; "table3"; "chaos"; "live"; "quorum"; "lp" ]
+
+let test_bad_flags () =
+  let code, out = run_sdmctl [ "exp"; "table3"; "--jobs"; "0" ] in
+  Alcotest.(check int) "bad --jobs exits 2" 2 code;
+  Alcotest.(check bool) "explains" true (contains ~needle:"--jobs" out);
+  let code, out = run_sdmctl [ "exp"; "table3"; "--shards"; "0" ] in
+  Alcotest.(check int) "bad --shards exits 2" 2 code;
+  Alcotest.(check bool) "explains" true (contains ~needle:"--shards" out)
+
+let suite =
+  [
+    Alcotest.test_case "unknown experiment lists known names" `Quick
+      test_unknown_experiment;
+    Alcotest.test_case "flag misuse exits 2" `Quick test_bad_flags;
+  ]

@@ -120,6 +120,60 @@ let test_schedule_deployment_validation () =
       (contains e "t=4" && contains e "no preceding crash")
   | Ok () -> Alcotest.fail "recover without crash accepted"
 
+let test_schedule_controller_validation () =
+  let link_exists _ _ = true in
+  let validate ?(n_controllers = 3) events =
+    Fault.Schedule.validate ~n_controllers ~n_mboxes:1 ~link_exists
+      (Fault.Schedule.make events)
+  in
+  let expect_ok label r =
+    match r with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s rejected: %s" label e
+  in
+  let expect_err label r =
+    match r with Ok () -> Alcotest.failf "%s accepted" label | Error _ -> ()
+  in
+  expect_ok "crash, recover, crash again"
+    (validate
+       Fault.Schedule.
+         [
+           { at = 1.0; what = Ctrl_crash 1 };
+           { at = 2.0; what = Ctrl_recover 1 };
+           { at = 3.0; what = Ctrl_crash 1 };
+         ]);
+  expect_err "unknown replica"
+    (validate Fault.Schedule.[ { at = 1.0; what = Ctrl_crash 3 } ]);
+  expect_err "negative replica"
+    (validate Fault.Schedule.[ { at = 1.0; what = Ctrl_recover (-1) } ]);
+  expect_err "recover without crash"
+    (validate Fault.Schedule.[ { at = 1.0; what = Ctrl_recover 0 } ]);
+  expect_err "double crash"
+    (validate
+       Fault.Schedule.
+         [
+           { at = 1.0; what = Ctrl_crash 0 };
+           { at = 2.0; what = Ctrl_crash 0 };
+         ]);
+  (* An unreplicated run (the default n_controllers = 0) admits no
+     controller events at all. *)
+  expect_err "controller events without replicas"
+    (validate ~n_controllers:0
+       Fault.Schedule.[ { at = 1.0; what = Ctrl_crash 0 } ])
+
+let test_schedule_rejects_non_finite_times () =
+  let expect_invalid label events =
+    match Fault.Schedule.make events with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  expect_invalid "NaN event time"
+    Fault.Schedule.[ { at = Float.nan; what = Mbox_crash 0 } ];
+  expect_invalid "infinite event time"
+    Fault.Schedule.[ { at = Float.infinity; what = Mbox_crash 0 } ];
+  expect_invalid "negative event time"
+    Fault.Schedule.[ { at = -1.0; what = Mbox_crash 0 } ]
+
 (* --- Detector ----------------------------------------------------------- *)
 
 let test_detector_delay_window () =
@@ -231,12 +285,30 @@ let test_signature_delay_window () =
   Alcotest.(check int64) "detected recovery restores the clean view" 0L
     (Fault.Detector.belief_signature d ~now:25.0)
 
+let test_detector_rejects_non_finite_delay () =
+  let expect_invalid label delay =
+    match Fault.Detector.create ~n:2 ~delay with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  expect_invalid "NaN delay" Float.nan;
+  expect_invalid "infinite delay" Float.infinity;
+  expect_invalid "negative delay" (-1.0);
+  (* zero stays legal: instantaneous detection *)
+  ignore (Fault.Detector.create ~n:2 ~delay:0.0)
+
 let suite =
   [
     Alcotest.test_case "schedule sorts events" `Quick test_schedule_sorts_events;
     Alcotest.test_case "schedule validation" `Quick test_schedule_validation;
     Alcotest.test_case "schedule deployment validation" `Quick
       test_schedule_deployment_validation;
+    Alcotest.test_case "schedule controller-replica validation" `Quick
+      test_schedule_controller_validation;
+    Alcotest.test_case "schedule rejects non-finite times" `Quick
+      test_schedule_rejects_non_finite_times;
+    Alcotest.test_case "detector rejects non-finite delay" `Quick
+      test_detector_rejects_non_finite_delay;
     Alcotest.test_case "detector delay window" `Quick test_detector_delay_window;
     Alcotest.test_case "detector believed failed" `Quick
       test_detector_believed_failed;

@@ -12,8 +12,10 @@ let () =
       ("policy", Test_policy.suite);
       ("lp", Test_lp.suite);
       ("mbox", Test_mbox.suite);
+      ("quorum", Test_quorum.suite);
       ("sdm", Test_sdm.suite);
       ("sim", Test_sim.suite);
       ("audit", Test_audit.suite);
       ("report", Test_report.suite);
+      ("cli", Test_cli.suite);
     ]

@@ -1105,6 +1105,37 @@ let test_verify_check_mixed () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "mismatched rule sets accepted"
 
+let test_verify_check_window () =
+  let dep = campus_deployment () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:31 ~flows:3_000 () in
+  let rules = workload.Sim.Workload.rules in
+  let traffic = Sim.Workload.measure workload in
+  let configure kind =
+    match Sdm.Controller.configure dep ~rules kind with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  let hp = configure Sdm.Controller.Hot_potato in
+  let lb = configure (Sdm.Controller.Load_balanced traffic) in
+  (* Empty window: vacuously safe. *)
+  (match Sdm.Verify.check_window [] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "empty window rejected");
+  (* Singleton window = plain check. *)
+  Alcotest.(check bool) "singleton = check" true
+    (Sdm.Verify.check_window [ hp ] = Sdm.Verify.check hp);
+  (* Adjacent pair = the mixed-version certification. *)
+  Alcotest.(check bool) "pair = check_mixed" true
+    (Sdm.Verify.check_window [ hp; lb ] = Sdm.Verify.check_mixed hp lb);
+  (* Three coexisting versions are vetoed outright, whatever their
+     contents — the quorum commit gate of the replicated control
+     plane depends on this veto. *)
+  match Sdm.Verify.check_window [ hp; lb; hp ] with
+  | Ok () -> Alcotest.fail "three-version window accepted"
+  | Error vs ->
+    Alcotest.(check bool) "vetoed as too deep" true
+      (vs = [ Sdm.Verify.Window_too_deep 3 ])
+
 let test_verify_catches_duplicate_function () =
   let dep = campus_deployment () in
   let rules =
@@ -1336,6 +1367,8 @@ let suite =
       test_verify_catches_unnormalized_row;
     Alcotest.test_case "verify mixed adjacent versions" `Quick
       test_verify_check_mixed;
+    Alcotest.test_case "verify staged window depth" `Quick
+      test_verify_check_window;
     Alcotest.test_case "sketch roundtrip accuracy" `Quick test_sketch_roundtrip_accuracy;
     Alcotest.test_case "sketch one-sided error" `Quick
       test_sketch_never_underestimates_present_cells;

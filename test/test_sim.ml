@@ -1323,6 +1323,162 @@ let test_pktsim_empty_schedule_inert () =
     ({ s with Sim.Pktsim.loads = [||] } = { calm with Sim.Pktsim.loads = [||] }
     && s.Sim.Pktsim.loads = calm.Sim.Pktsim.loads)
 
+(* ---- Replicated control plane ------------------------------------- *)
+
+let qcheck_push_backoff =
+  (* The retry ladder is monotone non-decreasing in the attempt number
+     and never exceeds the configured cap. *)
+  QCheck.Test.make ~count:200 ~name:"push backoff monotone and capped"
+    QCheck.(make Gen.(int_range 0 1000000))
+    (fun seed ->
+      let rng = Stdx.Rng.create seed in
+      let base = 0.1 +. Stdx.Rng.float rng 10.0 in
+      let cap =
+        if Stdx.Rng.bool rng then infinity
+        else base +. Stdx.Rng.float rng 100.0
+      in
+      let live =
+        {
+          Sim.Pktsim.default_live with
+          push_backoff = base;
+          push_backoff_cap = cap;
+        }
+      in
+      let delay a = Sim.Pktsim.push_backoff_delay live ~attempt:a in
+      let ok = ref (delay 0 = Float.min base cap) in
+      for a = 1 to 24 do
+        ok := !ok && delay a >= delay (a - 1) && delay a <= cap
+      done;
+      !ok)
+
+let test_pktsim_rejects_invalid_live () =
+  (* The configuration gate for the replicated control plane: non-finite
+     timers, a cap below the base backoff, nonsensical replica counts,
+     bad attachment routers and malformed quorum families are all
+     rejected before the run starts. *)
+  let controller, workload = small_pkt_setup ~flows:10 () in
+  let expect_invalid label live =
+    let config = { pkt_config with live = Some live } in
+    match Sim.Pktsim.run ~config ~controller ~workload () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  let live = Sim.Pktsim.default_live in
+  expect_invalid "NaN epoch" { live with epoch_interval = Float.nan };
+  expect_invalid "infinite epoch" { live with epoch_interval = infinity };
+  expect_invalid "NaN reconcile" { live with reconcile_interval = Float.nan };
+  expect_invalid "NaN backoff" { live with push_backoff = Float.nan };
+  expect_invalid "NaN backoff cap" { live with push_backoff_cap = Float.nan };
+  expect_invalid "cap below base backoff"
+    { live with push_backoff = 4.0; push_backoff_cap = 2.0 };
+  expect_invalid "zero replicas" { live with replicas = 0 };
+  expect_invalid "replica routers wrong length"
+    { live with replicas = 3; replica_routers = Some [ 0; 1 ] };
+  expect_invalid "replica router out of range"
+    { live with replicas = 2; replica_routers = Some [ 0; 9999 ] };
+  expect_invalid "duplicate replica routers"
+    { live with replicas = 3; replica_routers = Some [ 0; 0; 1 ] };
+  expect_invalid "weight vector length mismatch"
+    { live with replicas = 3; quorum = Quorum.Weighted [| 1 |] };
+  (* An infinite cap is legal: it simply leaves the ladder uncapped. *)
+  let uncapped = { live with push_backoff_cap = infinity } in
+  match
+    Sim.Pktsim.run
+      ~config:{ pkt_config with live = Some uncapped }
+      ~controller ~workload ()
+  with
+  | exception Invalid_argument e -> Alcotest.failf "infinite cap rejected: %s" e
+  | _ -> ()
+
+let test_pktsim_single_replica_quiet () =
+  (* replicas = 1 (the default) plays a one-acceptor quorum entirely in
+     the leader's head: rounds and commits tick, but nothing touches
+     the wire and no election ever happens. *)
+  let controller, workload = small_pkt_setup ~strategy:`Hp ~flows:120 () in
+  let probe = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let live =
+    {
+      Sim.Pktsim.default_live with
+      epoch_interval = probe.Sim.Pktsim.sim_time /. 4.0;
+      reconcile_interval = probe.Sim.Pktsim.sim_time /. 16.0;
+    }
+  in
+  let config = { pkt_config with live = Some live } in
+  let s = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "versions were published" true
+    (s.Sim.Pktsim.final_config_version > 0);
+  Alcotest.(check int) "every round commits" s.Sim.Pktsim.quorum_rounds
+    s.Sim.Pktsim.quorum_commits;
+  Alcotest.(check int) "commits = reoptimizations" s.Sim.Pktsim.reoptimizations
+    s.Sim.Pktsim.quorum_commits;
+  Alcotest.(check int) "no quorum traffic" 0 s.Sim.Pktsim.quorum_msgs;
+  Alcotest.(check int) "no quorum losses" 0 s.Sim.Pktsim.quorum_lost;
+  Alcotest.(check int) "no elections" 0 s.Sim.Pktsim.leader_changes;
+  Alcotest.(check int) "sole replica at the final version"
+    s.Sim.Pktsim.final_config_version
+    s.Sim.Pktsim.replica_versions.(0)
+
+let test_pktsim_replicated_convergence () =
+  (* Three replicas over a 10%-lossy control channel: every published
+     version must first survive a quorum round, all replicas converge
+     on the final committed version, and the online audit certifies the
+     quorum invariant along the way. *)
+  let controller, workload = small_pkt_setup ~strategy:`Hp ~flows:120 () in
+  let probe = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let live =
+    {
+      Sim.Pktsim.default_live with
+      epoch_interval = probe.Sim.Pktsim.sim_time /. 4.0;
+      reconcile_interval = probe.Sim.Pktsim.sim_time /. 16.0;
+      replicas = 3;
+    }
+  in
+  let schedule = Fault.Schedule.make ~control_loss:0.10 ~loss_seed:5 [] in
+  let config =
+    { pkt_config with faults = Some schedule; live = Some live; audit = true }
+  in
+  let s = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "versions were published" true
+    (s.Sim.Pktsim.final_config_version > 0);
+  Alcotest.(check int) "no version skipped the quorum round"
+    s.Sim.Pktsim.reoptimizations s.Sim.Pktsim.quorum_commits;
+  Alcotest.(check bool) "quorum traffic hit the wire" true
+    (s.Sim.Pktsim.quorum_msgs > 0);
+  Alcotest.(check bool) "loss hit the quorum channel" true
+    (s.Sim.Pktsim.quorum_lost > 0);
+  Alcotest.(check int) "three acceptors" 3
+    (Array.length s.Sim.Pktsim.replica_versions);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d at the final version" i)
+        s.Sim.Pktsim.final_config_version v)
+    s.Sim.Pktsim.replica_versions;
+  Alcotest.(check int) "no stale devices" 0 s.Sim.Pktsim.stale_devices;
+  Alcotest.(check int) "zero version-mixing violations" 0
+    s.Sim.Pktsim.policy_violations;
+  (match s.Sim.Pktsim.audit_report with
+  | None -> Alcotest.fail "audit armed but no report"
+  | Some r ->
+    Alcotest.(check int) "audit clean" 0 r.Audit.Checker.violations);
+  (* Same seed, same draws: the replicated loop replays bit-identically. *)
+  let again = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "deterministic replay" true
+    ({ again with Sim.Pktsim.loads = [||] } = { s with Sim.Pktsim.loads = [||] }
+    && again.Sim.Pktsim.loads = s.Sim.Pktsim.loads)
+
+let test_experiment_quorum_invariant () =
+  (* ABL-QUORUM is bit-identical across the fan-out axes, like every
+     other experiment. *)
+  let run ~jobs ~shards =
+    Sim.Experiment.ablation_quorum ~flows:120 ~jobs ~shards ()
+  in
+  let base = run ~jobs:1 ~shards:1 in
+  Alcotest.(check bool) "quorum jobs=1 = jobs=4" true
+    (base = run ~jobs:4 ~shards:1);
+  Alcotest.(check bool) "quorum shards=1 = shards=2" true
+    (base = run ~jobs:1 ~shards:2)
+
 (* ---- Parallel fan-out determinism --------------------------------- *)
 
 let test_experiment_jobs_invariant_flowsim () =
@@ -1488,6 +1644,15 @@ let suite =
       test_pktsim_rejects_invalid_schedule;
     Alcotest.test_case "pktsim live convergence under loss" `Quick
       test_pktsim_live_convergence;
+    QCheck_alcotest.to_alcotest qcheck_push_backoff;
+    Alcotest.test_case "pktsim rejects invalid live configs" `Quick
+      test_pktsim_rejects_invalid_live;
+    Alcotest.test_case "pktsim single replica stays quiet" `Quick
+      test_pktsim_single_replica_quiet;
+    Alcotest.test_case "pktsim replicated convergence under loss" `Quick
+      test_pktsim_replicated_convergence;
+    Alcotest.test_case "experiment quorum jobs/shards invariance" `Slow
+      test_experiment_quorum_invariant;
     QCheck_alcotest.to_alcotest qcheck_pktsim_chaos;
     QCheck_alcotest.to_alcotest qcheck_pktsim_random_fault_schedules;
     Alcotest.test_case "experiment figure (small)" `Slow test_experiment_figure_small;
