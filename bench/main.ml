@@ -25,6 +25,7 @@
      ABL-FRAG  - fragmentation vs label switching (Sec. III.E)
      ABL-FAIL  - middlebox failure: fast failover vs re-optimization
      ABL-LIVE  - live reconfiguration: versioned config pushes vs control loss
+     ABL-CORRUPT - silent state corruption vs anti-entropy digest repair
      ABL-EPOCH - adaptation across measurement epochs (stale weights)
      ABL-SKETCH- Count-Min sketched measurement vs exact
      ABL-LP    - LP formulation Eq.(1) vs Eq.(2) *)
@@ -335,6 +336,22 @@ let () =
     ~hops:0;
   Format.printf "%a@." Sim.Report.pp_quorum_ablation abq;
   write_csv "abl_quorum.csv" (Sim.Report.quorum_csv abq);
+
+  section "ABL-CORRUPT: silent corruption vs anti-entropy repair";
+  let abc =
+    timed "ABL-CORRUPT" (fun () ->
+        Sim.Experiment.ablation_corrupt ~flows:(if fast then 200 else 400)
+          ~audit ~jobs ~shards ())
+  in
+  note_events "ABL-CORRUPT"
+    ~events:
+      (List.fold_left
+         (fun acc (r : Sim.Experiment.corrupt_row) ->
+           acc + r.Sim.Experiment.cr_events_processed)
+         abc.Sim.Experiment.c_probe_events abc.Sim.Experiment.c_rows)
+    ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_corrupt_ablation abc;
+  write_csv "abl_corrupt.csv" (Sim.Report.corrupt_csv abc);
 
   section "ABL-EPOCH: adaptation across measurement epochs";
   let abe =

@@ -130,15 +130,33 @@ let exp_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "fig4, fig5, table3, k, cache, frag, fail, chaos, live, quorum, \
-             epoch, sketch, queue or lp")
+             corrupt, epoch, sketch, queue or lp")
   in
   let audit_flag =
     Arg.(
       value & flag
       & info [ "audit" ]
           ~doc:
-            "Run the packet-level rows of chaos/live under the online \
-             invariant audit and exit non-zero on any violation")
+            "Run the packet-level rows of chaos/live/quorum/corrupt under \
+             the online invariant audit and exit non-zero on any violation")
+  in
+  let corrupt_rate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corrupt-rate" ] ~docv:"RATE"
+          ~doc:
+            "Corruption events per simulated time unit for $(b,exp corrupt) \
+             (non-negative; overrides the default rate sweep)")
+  in
+  let sweep_period_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sweep-period" ] ~docv:"PERIOD"
+          ~doc:
+            "Anti-entropy sweep period for $(b,exp corrupt) (non-negative; \
+             0 disables the sweep; overrides the default period sweep)")
   in
   let jobs_arg =
     Arg.(
@@ -173,12 +191,13 @@ let exp_cmd =
   let known_experiments =
     [
       "fig4"; "fig5"; "table3"; "k"; "cache"; "frag"; "fail"; "chaos"; "live";
-      "quorum"; "epoch"; "sketch"; "queue"; "lp";
+      "quorum"; "corrupt"; "epoch"; "sketch"; "queue"; "lp";
     ]
   in
-  let run which seed flows audit jobs shards =
-    if audit && which <> "chaos" && which <> "live" && which <> "quorum" then
-      Format.eprintf "note: --audit applies to chaos, live and quorum only@.";
+  let audited_experiments = [ "chaos"; "live"; "quorum"; "corrupt" ] in
+  let run which seed flows audit jobs shards corrupt_rate sweep_period =
+    if audit && not (List.mem which audited_experiments) then
+      Format.eprintf "note: --audit applies to chaos, live, quorum and corrupt only@.";
     if jobs < 1 then begin
       Format.eprintf "--jobs must be >= 1@.";
       exit 2
@@ -187,6 +206,24 @@ let exp_cmd =
       Format.eprintf "--shards must be >= 1@.";
       exit 2
     end;
+    (* The corrupt knobs are parsed by hand so misuse exits 2 with a
+       usage line (same policy as --jobs/--shards), not cmdliner's
+       generic CLI-error code. *)
+    let parse_nonneg name v =
+      match v with
+      | None -> None
+      | Some s -> (
+        match float_of_string_opt s with
+        | Some x when Float.is_finite x && x >= 0.0 -> Some x
+        | _ ->
+          Format.eprintf
+            "%s expects a non-negative number, got %S@.usage: sdmctl exp \
+             corrupt [--corrupt-rate RATE] [--sweep-period PERIOD]@."
+            name s;
+          exit 2)
+    in
+    let corrupt_rate = parse_nonneg "--corrupt-rate" corrupt_rate in
+    let sweep_period = parse_nonneg "--sweep-period" sweep_period in
     match which with
     | "fig4" ->
       Format.printf "%a@." Sim.Report.pp_figure
@@ -257,6 +294,24 @@ let exp_cmd =
              (fun (row : Sim.Experiment.quorum_row) ->
                row.Sim.Experiment.qr_audit)
              r.Sim.Experiment.q_rows)
+    | "corrupt" ->
+      let rates = Option.map (fun r -> [ r ]) corrupt_rate in
+      let sweep_periods =
+        Option.map
+          (fun p -> if p = 0.0 then [ None ] else [ Some p ])
+          sweep_period
+      in
+      let r =
+        Sim.Experiment.ablation_corrupt ~flows:(min flows 400) ~seed ~audit
+          ?rates ?sweep_periods ~jobs ~shards ()
+      in
+      Format.printf "%a@." Sim.Report.pp_corrupt_ablation r;
+      if audit then
+        audit_verdict
+          (List.filter_map
+             (fun (row : Sim.Experiment.corrupt_row) ->
+               row.Sim.Experiment.cr_audit)
+             r.Sim.Experiment.c_rows)
     | "queue" ->
       Format.printf "%a@." Sim.Report.pp_queue_ablation
         (Sim.Experiment.ablation_queue ~seed ~jobs ~shards ())
@@ -274,7 +329,7 @@ let exp_cmd =
     (Cmd.info "exp" ~doc:"Regenerate a paper experiment or ablation")
     Term.(
       const run $ which $ seed_arg $ flows_arg 300_000 $ audit_flag $ jobs_arg
-      $ shards_arg)
+      $ shards_arg $ corrupt_rate_arg $ sweep_period_arg)
 
 (* ---- demo --------------------------------------------------------- *)
 

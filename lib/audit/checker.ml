@@ -1,4 +1,11 @@
-type invariant = Chain | Conservation | Stickiness | Hygiene | Feasibility | Quorum
+type invariant =
+  | Chain
+  | Conservation
+  | Stickiness
+  | Hygiene
+  | Feasibility
+  | Quorum
+  | Repair
 
 let invariant_name = function
   | Chain -> "chain-completeness"
@@ -7,6 +14,7 @@ let invariant_name = function
   | Hygiene -> "table-hygiene"
   | Feasibility -> "lb-feasibility"
   | Quorum -> "quorum-agreement"
+  | Repair -> "corruption-repair"
 
 type violation = {
   invariant : invariant;
@@ -49,6 +57,18 @@ type pkt = {
   mutable chain : (int * Policy.Action.nf) list;
   mutable history : string list;
   mutable flying : bool;
+  mutable tainted : bool;
+      (** hit injected-corrupt state; its chain is excused (conservation
+          is not — even a mis-steered packet must reach one terminal) *)
+}
+
+(* One injected corruption, mirrored from the fault injector's
+   [Corrupt_inject] ground truth. *)
+type corr = {
+  c_site : Event.corrupt_site;
+  c_deadline : float;
+  mutable c_manifested : float option;
+  mutable c_repaired : float option;
 }
 
 type t = {
@@ -82,6 +102,17 @@ type t = {
   q_proposed : (int * int64, unit) Hashtbl.t;
   q_committed : (int, int64) Hashtbl.t;
   q_replica : (int, int) Hashtbl.t;
+  (* Corruption-repair mirror.  [repair_active] flips on the first
+     [Corrupt_inject]: a stream with no injected corruption stays exempt
+     from the Repair rules.  [excused_labels] holds the (mbox, src,
+     label) sites of resurrected entries — hits there are manifestations
+     the injector announces itself, not hygiene violations.  [regressed]
+     marks devices whose config silently regressed by one version, so
+     inserts tagged installed-1 are excused until the re-install. *)
+  mutable repair_active : bool;
+  corruptions : (int, corr) Hashtbl.t;
+  excused_labels : (int * Netpkt.Addr.t * int, int) Hashtbl.t;
+  regressed : (int, unit) Hashtbl.t;
   enforced_at : int array;
   mutable events : int;
   mutable admitted : int;
@@ -129,6 +160,10 @@ let create ?(z = 4.0) ?(min_samples = 64) ?(max_sample = 32) ~controller () =
     q_proposed = Hashtbl.create 16;
     q_committed = Hashtbl.create 16;
     q_replica = Hashtbl.create 8;
+    repair_active = false;
+    corruptions = Hashtbl.create 16;
+    excused_labels = Hashtbl.create 16;
+    regressed = Hashtbl.create 8;
     enforced_at = Array.make n_mboxes 0;
     events = 0;
     admitted = 0;
@@ -188,6 +223,8 @@ let chain_string nfs = Policy.Action.to_string nfs
    action list; a web-proxy cache response may cut the chain short at
    the WP. *)
 let check_chain t p ~time ~served_by_wp =
+  if p.tainted then ()
+  else
   let did = List.rev_map (fun (_, nf) -> nf) p.chain in
   match p.admission with
   | Event.Permit _ | Event.Unmatched ->
@@ -253,6 +290,7 @@ let record t ev =
           chain = [];
           history = [ Event.describe ev ];
           flying = true;
+          tainted = false;
         }
       in
       Hashtbl.replace t.pkts aid p;
@@ -345,8 +383,15 @@ let record t ev =
         (Printf.sprintf "fragmentation of packet #%d that was never admitted"
            aid))
   | Event.Label_insert { mbox; time; src; label; version } ->
-    let installed = t.device_version.(t.n_proxies + mbox) in
-    if version <> installed then
+    let dev = t.n_proxies + mbox in
+    let installed = t.device_version.(dev) in
+    (* A device whose install was silently lost runs installed-1 without
+       the checker's version mirror knowing; the injector's ground truth
+       ([regressed]) excuses exactly that one-version slack. *)
+    let excused =
+      Hashtbl.mem t.regressed dev && version = installed - 1
+    in
+    if version <> installed && not excused then
       violate t Hygiene ~time
         (Printf.sprintf
            "mbox %d tagged label <%s|%d> with v%d while running v%d" mbox
@@ -356,13 +401,17 @@ let record t ev =
   | Event.Label_hit { mbox; time; src; label; version } -> (
     match Hashtbl.find_opt t.labels (mbox, src, label) with
     | None ->
-      violate t Hygiene ~time
-        (Printf.sprintf
-           "mbox %d used label <%s|%d> that was never installed (or was \
-            purged)"
-           mbox
-           (Netpkt.Addr.to_string src)
-           label)
+      (* A hit on a resurrected site is the corruption manifesting —
+         the injector announces it via [Corrupt_manifest]; flagging it
+         as hygiene too would double-count ground-truth faults. *)
+      if not (Hashtbl.mem t.excused_labels (mbox, src, label)) then
+        violate t Hygiene ~time
+          (Printf.sprintf
+             "mbox %d used label <%s|%d> that was never installed (or was \
+              purged)"
+             mbox
+             (Netpkt.Addr.to_string src)
+             label)
     | Some v ->
       if v <> version then
         violate t Hygiene ~time
@@ -372,7 +421,10 @@ let record t ev =
              label version v))
   | Event.Cache_insert { proxy; time; version; _ } ->
     let installed = t.device_version.(proxy) in
-    if version <> installed then
+    let excused =
+      Hashtbl.mem t.regressed proxy && version = installed - 1
+    in
+    if version <> installed && not excused then
       violate t Hygiene ~time
         (Printf.sprintf
            "proxy %d cached a flow under v%d while running v%d" proxy version
@@ -433,9 +485,80 @@ let record t ev =
            t.device_version.(dev) version)
     else begin
       t.device_version.(dev) <- version;
+      Hashtbl.remove t.regressed dev;
       if dev >= t.n_proxies then
         purge_labels t ~mbox:(dev - t.n_proxies) ~below:(version - 1)
     end
+  | Event.Corrupt_inject { time = _; cid; kind; site; deadline } ->
+    t.repair_active <- true;
+    Hashtbl.replace t.corruptions cid
+      { c_site = site; c_deadline = deadline; c_manifested = None;
+        c_repaired = None };
+    (match (kind, site) with
+    | Event.Resurrected, Event.Label_site { mbox; src; label } ->
+      Hashtbl.replace t.excused_labels (mbox, src, label) cid
+    | Event.Lost_config, Event.Config_site { dev } ->
+      Hashtbl.replace t.regressed dev ()
+    | _ -> ())
+  | Event.Corrupt_manifest { time; cid; aid } -> (
+    (match Hashtbl.find_opt t.corruptions cid with
+    | None ->
+      violate t Repair ~time
+        (Printf.sprintf "manifestation of corruption #%d never injected" cid)
+    | Some c ->
+      (match c.c_repaired with
+      | Some r ->
+        violate t Repair ~time
+          (Printf.sprintf
+             "corruption #%d manifested after its repair at t=%.3f" cid r)
+      | None -> ());
+      if c.c_manifested = None then c.c_manifested <- Some time);
+    if aid >= 0 then
+      match find_pkt t ~what:"corruption manifestation" Repair ~aid ~time with
+      | None -> ()
+      | Some p ->
+        p.tainted <- true;
+        p.history <- Event.describe ev :: p.history)
+  | Event.Corrupt_detect { time; _ } ->
+    if not t.repair_active then
+      violate t Repair ~time
+        "sweep reported a digest mismatch with no corruption injected"
+  | Event.Corrupt_repair { time; cid; dev; action } -> (
+    match Hashtbl.find_opt t.corruptions cid with
+    | None ->
+      violate t Repair ~time
+        (Printf.sprintf "repair of corruption #%d never injected" cid)
+    | Some c ->
+      (match c.c_repaired with
+      | Some r ->
+        violate t Repair ~time
+          (Printf.sprintf "corruption #%d repaired twice (first at t=%.3f)"
+             cid r)
+      | None -> c.c_repaired <- Some time);
+      if c.c_manifested <> None && time > c.c_deadline then
+        violate t Repair ~time
+          (Printf.sprintf
+             "corruption #%d manifested but repaired after its deadline \
+              t=%.3f"
+             cid c.c_deadline);
+      (match c.c_site with
+      | Event.Label_site { mbox; src; label } ->
+        Hashtbl.remove t.excused_labels (mbox, src, label)
+      | Event.Cache_site _ | Event.Config_site _ -> ());
+      match action with
+      | Event.Purged | Event.Rebased -> ()
+      | Event.Reinstalled v ->
+        (* A repair may re-push only certified state: a published
+           version, never regressing the device it lands on. *)
+        if v > t.latest then
+          violate t Repair ~time
+            (Printf.sprintf
+               "repair of corruption #%d installed v%d, never published" cid v)
+        else if v < t.device_version.(dev) then
+          violate t Repair ~time
+            (Printf.sprintf
+               "repair of corruption #%d regressed device %d from v%d to v%d"
+               cid dev t.device_version.(dev) v))
 
 (* The LP plan's split probabilities for one (entity, rule, nf) row of
    one configuration version, normalized.  None when the strategy's
@@ -557,6 +680,23 @@ let finalize ?expect t =
       violate t Conservation ~time:0.0
         (Printf.sprintf "load vector has %d entries, deployment has %d mboxes"
            (Array.length e.loads) t.n_mboxes));
+  (* Repair invariant, closing rule: every corruption that manifested
+     must have been repaired — and on time.  Late repairs were already
+     flagged when they arrived; here we catch the never-repaired.  An
+     unmanifested corruption is benign by construction (it provably
+     never influenced the data plane), and with the sweep disabled the
+     deadline is infinite, so only finite bounds are enforceable. *)
+  Hashtbl.iter
+    (fun cid c ->
+      match (c.c_manifested, c.c_repaired) with
+      | Some m, None when Float.is_finite c.c_deadline ->
+        violate t Repair ~time:m
+          (Printf.sprintf
+             "corruption #%d manifested at t=%.3f and was never repaired \
+              (deadline t=%.3f)"
+             cid m c.c_deadline)
+      | _ -> ())
+    t.corruptions;
   check_feasibility t;
   {
     events = t.events;

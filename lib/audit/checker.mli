@@ -33,13 +33,34 @@
       may regress.  Streams without quorum events (single-controller
       runs) are exempt, so the pre-replication event protocol still
       audits clean.
+    - {b corruption repair} (anti-entropy): armed by the first
+      [Corrupt_inject].  Every injected corruption that manifests (its
+      state influenced the data plane) must be repaired by the
+      injector-announced deadline — [2 * sweep_period] past injection —
+      and must never manifest again after its repair; a repair may only
+      re-install a published version and never regress the device; a
+      digest-mismatch detection without any injected corruption is
+      itself a violation (the digests are supposed to be maintained
+      exactly by legitimate mutations).  The injector's ground truth
+      also makes the other invariants corruption-aware: a packet that
+      hit corrupted state has its chain excused, a resurrected entry's
+      label hits are manifestations rather than hygiene violations, and
+      a silently regressed device may tag inserts one version behind
+      until the re-install lands.
 
     Recording is pure bookkeeping: it never raises on a violation
     (violations are collected and reported), and it performs no
     randomness or simulation work, so audited runs stay bit-identical
     to unaudited ones in every other statistic. *)
 
-type invariant = Chain | Conservation | Stickiness | Hygiene | Feasibility | Quorum
+type invariant =
+  | Chain
+  | Conservation
+  | Stickiness
+  | Hygiene
+  | Feasibility
+  | Quorum
+  | Repair
 
 val invariant_name : invariant -> string
 

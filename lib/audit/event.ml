@@ -14,6 +14,20 @@ type drop_reason =
   | Label_miss
   | No_label
 
+type corrupt_kind =
+  | Wrong_steer
+  | Lost_entry
+  | Poisoned
+  | Lost_config
+  | Resurrected
+
+type corrupt_site =
+  | Label_site of { mbox : int; src : Netpkt.Addr.t; label : int }
+  | Cache_site of { proxy : int; flow : Netpkt.Flow.t }
+  | Config_site of { dev : int }
+
+type repair_action = Purged | Rebased | Reinstalled of int
+
 let drop_reason_to_string = function
   | Unroutable -> "unroutable"
   | Link_loss -> "link loss"
@@ -92,6 +106,40 @@ type t =
       digest : int64;
     }
   | Leader_elect of { time : float; replica : int; previous : int }
+  | Corrupt_inject of {
+      time : float;
+      cid : int;
+      kind : corrupt_kind;
+      site : corrupt_site;
+      deadline : float;
+    }
+  | Corrupt_manifest of { time : float; cid : int; aid : int }
+  | Corrupt_detect of { time : float; dev : int }
+  | Corrupt_repair of {
+      time : float;
+      cid : int;
+      dev : int;
+      action : repair_action;
+    }
+
+let corrupt_kind_to_string = function
+  | Wrong_steer -> "wrong-steer"
+  | Lost_entry -> "lost-entry"
+  | Poisoned -> "poisoned"
+  | Lost_config -> "lost-config"
+  | Resurrected -> "resurrected"
+
+let corrupt_site_to_string = function
+  | Label_site { mbox; src; label } ->
+    Printf.sprintf "mbox %d label <%s|%d>" mbox (Netpkt.Addr.to_string src) label
+  | Cache_site { proxy; flow } ->
+    Printf.sprintf "proxy %d flow %s" proxy (Netpkt.Flow.to_string flow)
+  | Config_site { dev } -> Printf.sprintf "device %d config" dev
+
+let repair_action_to_string = function
+  | Purged -> "purged"
+  | Rebased -> "rebased"
+  | Reinstalled v -> Printf.sprintf "reinstalled v%d" v
 
 let admission_to_string = function
   | Permit None -> "permit (cached)"
@@ -165,5 +213,23 @@ let describe = function
   | Leader_elect { time; replica; previous } ->
     Printf.sprintf "t=%.3f replica %d elected leader (was %d)" time replica
       previous
+  | Corrupt_inject { time; cid; kind; site; deadline } ->
+    Printf.sprintf "t=%.3f corruption #%d injected: %s at %s (repair due %s)"
+      time cid
+      (corrupt_kind_to_string kind)
+      (corrupt_site_to_string site)
+      (if Float.is_finite deadline then Printf.sprintf "t=%.3f" deadline
+       else "never: sweep disabled")
+  | Corrupt_manifest { time; cid; aid } ->
+    if aid >= 0 then
+      Printf.sprintf "t=%.3f corruption #%d manifested on pkt#%d" time cid aid
+    else Printf.sprintf "t=%.3f corruption #%d manifested" time cid
+  | Corrupt_detect { time; dev } ->
+    Printf.sprintf "t=%.3f anti-entropy sweep detected digest mismatch at device %d"
+      time dev
+  | Corrupt_repair { time; cid; dev; action } ->
+    Printf.sprintf "t=%.3f corruption #%d repaired at device %d (%s)" time cid
+      dev
+      (repair_action_to_string action)
 
 let pp ppf t = Format.pp_print_string ppf (describe t)

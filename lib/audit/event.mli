@@ -35,6 +35,29 @@ type drop_reason =
 
 val drop_reason_to_string : drop_reason -> string
 
+type corrupt_kind =
+  | Wrong_steer   (** label entry rewritten to steer to the wrong device *)
+  | Lost_entry    (** label entry silently vanished *)
+  | Poisoned      (** flow-cache entry's admission decision rewritten *)
+  | Lost_config   (** config install silently regressed by one version *)
+  | Resurrected   (** purged stale label entry silently reappeared *)
+
+type corrupt_site =
+  | Label_site of { mbox : int; src : Netpkt.Addr.t; label : int }
+  | Cache_site of { proxy : int; flow : Netpkt.Flow.t }
+  | Config_site of { dev : int }
+
+type repair_action =
+  | Purged  (** the offending entry was located by checksum and evicted *)
+  | Rebased
+      (** the digest was rebased over clean state (the corrupt entry had
+          already left the table, e.g. by expiry or a silent drop) *)
+  | Reinstalled of int  (** a lost config install was re-pushed *)
+
+val corrupt_kind_to_string : corrupt_kind -> string
+val corrupt_site_to_string : corrupt_site -> string
+val repair_action_to_string : repair_action -> string
+
 type t =
   | Admitted of {
       aid : int;
@@ -112,6 +135,32 @@ type t =
           at quorum, by every other replica when the commit notice
           reaches it over the lossy control channel. *)
   | Leader_elect of { time : float; replica : int; previous : int }
+  | Corrupt_inject of {
+      time : float;
+      cid : int;
+      kind : corrupt_kind;
+      site : corrupt_site;
+      deadline : float;
+          (** latest time a repair may arrive without violating the
+              Repair invariant; infinite when the sweep is disabled *)
+    }
+      (** Ground truth from the fault injector: corruption [cid] was
+          planted at [site].  Arms the checker's Repair invariant. *)
+  | Corrupt_manifest of { time : float; cid : int; aid : int }
+      (** The corrupted state influenced the data plane.  [aid] names
+          the packet that hit it (the checker excuses that packet's
+          chain, which the corruption may have derailed); -1 for
+          manifestations not tied to one packet (a regressed config
+          steering under stale weights). *)
+  | Corrupt_detect of { time : float; dev : int }
+      (** The anti-entropy sweep found the device's incremental digest
+          disagreeing with the recomputed one. *)
+  | Corrupt_repair of {
+      time : float;
+      cid : int;
+      dev : int;
+      action : repair_action;
+    }
 
 val admission_to_string : admission -> string
 

@@ -44,16 +44,10 @@ let flow_key flow ~entity ~nf =
   let h = Stdx.Xhash.fold_int h (Mbox.Entity.hash_key entity) in
   Stdx.Xhash.fold_int h (Int64.to_int (nf_salt nf))
 
-(* 64-bit avalanche finalizer (murmur3's fmix64).  FNV-1a alone leaves
-   per-candidate hashes correlated when only the trailing id byte
-   differs, which skews the rendezvous scores measurably; the
-   finalizer restores independence. *)
-let fmix64 h =
-  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
-  let h = Int64.mul h 0xFF51AFD7ED558CCDL in
-  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
-  let h = Int64.mul h 0xC4CEB9FE1A85EC53L in
-  Int64.logxor h (Int64.shift_right_logical h 33)
+(* FNV-1a alone leaves per-candidate hashes correlated when only the
+   trailing id byte differs, which skews the rendezvous scores
+   measurably; the avalanche finalizer restores independence. *)
+let fmix64 = Stdx.Xhash.fmix64
 
 let pick_hrw row ~key =
   let best = ref None in

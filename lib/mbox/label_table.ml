@@ -5,28 +5,71 @@ type entry = {
   next : Netpkt.Addr.t option;
   final_dst : Netpkt.Addr.t option;
   version : int;
+  check : int64;
   mutable last_used : float;
 }
 
-type t = { table : (key, entry) Hashtbl.t; timeout : float }
+type t = {
+  table : (key, entry) Hashtbl.t;
+  timeout : float;
+  mutable digest : int64;
+}
 
 let create ?(timeout = infinity) () =
   if timeout <= 0.0 then invalid_arg "Label_table.create: timeout must be positive";
-  { table = Hashtbl.create 256; timeout }
+  { table = Hashtbl.create 256; timeout; digest = 0L }
+
+(* Per-entry hash over the key and the immutable payload ([last_used]
+   is refreshed on every hit and must not perturb the digest).  The
+   avalanche finalizer matters here: entries differing only in the
+   label or version would otherwise produce correlated FNV values
+   whose XOR could cancel. *)
+let entry_hash key ~actions ~next ~final_dst ~version =
+  let h = Stdx.Xhash.fold_int Stdx.Xhash.fnv_offset key.src in
+  let h = Stdx.Xhash.fold_int h key.label in
+  let h =
+    List.fold_left
+      (fun h nf ->
+        Stdx.Xhash.fold_int h
+          (Int64.to_int (Stdx.Xhash.string (Policy.Action.nf_to_string nf))))
+      h actions
+  in
+  let fold_addr_opt h = function
+    | None -> Stdx.Xhash.fold_int h (-1)
+    | Some a -> Stdx.Xhash.fold_int (Stdx.Xhash.fold_int h 1) a
+  in
+  let h = fold_addr_opt h next in
+  let h = fold_addr_opt h final_dst in
+  Stdx.Xhash.fmix64 (Stdx.Xhash.fold_int h version)
+
+(* Legitimate mutations XOR the *stored* checksum in or out, so an
+   insert/remove pair cancels exactly even if the payload was silently
+   corrupted in between; only the unsafe_* faults below skip this. *)
+let forget t entry = t.digest <- Int64.logxor t.digest entry.check
 
 let insert t ~now ?(version = 0) key ~actions ~next ~final_dst =
   (match (next, final_dst) with
   | Some _, Some _ -> invalid_arg "Label_table.insert: both next and final_dst"
   | None, None -> invalid_arg "Label_table.insert: neither next nor final_dst"
   | Some _, None | None, Some _ -> ());
+  if key.label < 0 || key.label > Netpkt.Header.max_label then
+    invalid_arg
+      (Printf.sprintf "Label_table.insert: label %d outside [0, %d]" key.label
+         Netpkt.Header.max_label);
+  (match Hashtbl.find_opt t.table key with
+  | Some old -> forget t old
+  | None -> ());
+  let check = entry_hash key ~actions ~next ~final_dst ~version in
+  t.digest <- Int64.logxor t.digest check;
   Hashtbl.replace t.table key
-    { actions; next; final_dst; version; last_used = now }
+    { actions; next; final_dst; version; check; last_used = now }
 
 let lookup t ~now key =
   match Hashtbl.find_opt t.table key with
   | None -> None
   | Some entry ->
     if now -. entry.last_used > t.timeout then begin
+      forget t entry;
       Hashtbl.remove t.table key;
       None
     end
@@ -36,24 +79,98 @@ let lookup t ~now key =
     end
 
 let size t = Hashtbl.length t.table
+let length = size
+let iter f t = Hashtbl.iter f t.table
 
-let remove t key = Hashtbl.remove t.table key
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some entry ->
+    forget t entry;
+    Hashtbl.remove t.table key
 
 let purge t ~now =
   let expired =
     Hashtbl.fold
       (fun key entry acc ->
-        if now -. entry.last_used > t.timeout then key :: acc else acc)
+        if now -. entry.last_used > t.timeout then (key, entry) :: acc else acc)
       t.table []
   in
-  List.iter (Hashtbl.remove t.table) expired;
+  List.iter
+    (fun (key, entry) ->
+      forget t entry;
+      Hashtbl.remove t.table key)
+    expired;
   List.length expired
 
 let purge_versions_below t ~version =
   let stale =
     Hashtbl.fold
-      (fun key entry acc -> if entry.version < version then key :: acc else acc)
+      (fun key entry acc ->
+        if entry.version < version then (key, entry) :: acc else acc)
       t.table []
   in
-  List.iter (Hashtbl.remove t.table) stale;
+  List.iter
+    (fun (key, entry) ->
+      forget t entry;
+      Hashtbl.remove t.table key)
+    stale;
   List.length stale
+
+let digest t = t.digest
+
+let recompute_digest t =
+  Hashtbl.fold
+    (fun key e acc ->
+      Int64.logxor acc
+        (entry_hash key ~actions:e.actions ~next:e.next ~final_dst:e.final_dst
+           ~version:e.version))
+    t.table 0L
+
+(* Fault-injection back doors: mutate the table the way a bit flip or
+   a lost install would — without touching the incremental digest or
+   the per-entry checksum — so the anti-entropy sweep has something
+   real to find. *)
+
+let unsafe_corrupt t key ~redirect =
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some e ->
+    let corrupted =
+      match e.next with
+      | Some _ -> { e with next = Some redirect }
+      | None -> { e with final_dst = Some redirect }
+    in
+    Hashtbl.replace t.table key corrupted;
+    true
+
+let unsafe_drop t key =
+  if Hashtbl.mem t.table key then begin
+    Hashtbl.remove t.table key;
+    true
+  end
+  else false
+
+let unsafe_resurrect t key entry =
+  if not (Hashtbl.mem t.table key) then begin
+    Hashtbl.replace t.table key entry;
+    true
+  end
+  else false
+
+let scrub t ~version_floor =
+  let bad =
+    Hashtbl.fold
+      (fun key e acc ->
+        let actual =
+          entry_hash key ~actions:e.actions ~next:e.next ~final_dst:e.final_dst
+            ~version:e.version
+        in
+        if not (Int64.equal actual e.check) || e.version < version_floor then
+          key :: acc
+        else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) bad;
+  t.digest <- recompute_digest t;
+  bad

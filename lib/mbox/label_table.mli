@@ -13,7 +13,21 @@
     a [timeout] treats entries idle for longer than that as absent.
     The packet simulator recovers from an expired entry by tearing the
     label-switched path down to the proxy, which falls back to
-    IP-over-IP and re-establishes it. *)
+    IP-over-IP and re-establishes it.
+
+    {2 State digest}
+
+    The table maintains an order-independent digest — the XOR of an
+    avalanche-finalized per-entry hash over every live entry — updated
+    incrementally by each legitimate mutation (insert, remove, expiry,
+    purge).  Each entry additionally stores the hash of its own
+    immutable payload as a checksum.  The [unsafe_*] fault-injection
+    operations mutate the table {e without} maintaining either, which
+    is exactly what a bit flip, a lost install, or a stale resurrection
+    does: {!digest} then disagrees with {!recompute_digest}, the
+    anti-entropy sweep notices, and {!scrub} locates (checksum
+    mismatch, out-of-window version) and purges the offending
+    entries. *)
 
 type key = { src : Netpkt.Addr.t; label : int }
 
@@ -26,6 +40,9 @@ type entry = {
       (** configuration version whose weights installed this entry —
           live reconfiguration expires entries more than one version
           behind the installed configuration *)
+  check : int64;
+      (** checksum of the key and immutable payload, written at insert
+          time; silent payload corruption leaves it stale *)
   mutable last_used : float;
 }
 
@@ -41,13 +58,23 @@ val insert :
   final_dst:Netpkt.Addr.t option ->
   unit
 (** Raises [Invalid_argument] if [next]/[final_dst] are both set or
-    both absent.  [version] defaults to 0 (static configuration). *)
+    both absent, or if the label is negative or exceeds
+    [Netpkt.Header.max_label] (such an entry could never match a real
+    packet's 21-bit label field, so accepting it would hide an
+    encoding bug).  [version] defaults to 0 (static configuration). *)
 
 val lookup : t -> now:float -> key -> entry option
 (** Refreshes [last_used] on hit; an entry idle past the timeout is
     dropped and reported absent. *)
 
 val size : t -> int
+
+val length : t -> int
+(** Alias of {!size} (digest and sweep code reads more naturally). *)
+
+val iter : (key -> entry -> unit) -> t -> unit
+(** Apply to every live entry, in unspecified order.  The callback
+    must not mutate the table. *)
 
 val remove : t -> key -> unit
 
@@ -61,3 +88,41 @@ val purge_versions_below : t -> version:int -> int
     entries stay staged, so flows admitted two or more versions ago
     fall back to path re-establishment instead of following weights
     the verifier never certified against the installed mix. *)
+
+val digest : t -> int64
+(** The incrementally maintained digest.  Empty table = [0L]. *)
+
+val recompute_digest : t -> int64
+(** Walk the live entries and fold their actual payload hashes.
+    Equal to {!digest} iff no unsafe mutation happened since the last
+    {!scrub} (up to a 2{^-64} XOR collision). *)
+
+val entry_hash :
+  key ->
+  actions:Policy.Action.t ->
+  next:Netpkt.Addr.t option ->
+  final_dst:Netpkt.Addr.t option ->
+  version:int ->
+  int64
+(** The per-entry hash the digest folds; exposed for tests. *)
+
+val unsafe_corrupt : t -> key -> redirect:Netpkt.Addr.t -> bool
+(** Fault injection: silently rewrite the entry's steering field
+    ([next] if present, else [final_dst]) to [redirect], leaving
+    checksum and digest untouched.  [false] if the key is absent. *)
+
+val unsafe_drop : t -> key -> bool
+(** Fault injection: silently remove the entry, leaving the digest
+    untouched.  [false] if the key is absent. *)
+
+val unsafe_resurrect : t -> key -> entry -> bool
+(** Fault injection: silently re-install a previously purged entry
+    verbatim (its checksum still validates but its version is stale),
+    leaving the digest untouched.  [false] if the key is occupied. *)
+
+val scrub : t -> version_floor:int -> key list
+(** Locate and purge every entry whose stored checksum disagrees with
+    its actual payload hash or whose version is below [version_floor],
+    then rebase the incremental digest to the recomputed one (so a
+    silently dropped entry's ghost contribution is also cleared).
+    Returns the purged keys. *)

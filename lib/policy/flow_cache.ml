@@ -3,6 +3,7 @@ type entry = {
   rule_id : int;
   label : int option;
   cfg_version : int;
+  check : int64;
   mutable ls_ready : bool;
   mutable last_used : float;
 }
@@ -18,12 +19,22 @@ type stats = {
 type t = {
   table : entry Netpkt.Flow.Table.t;
   timeout : float;
+  negative_timeout : float;
   capacity : int option;
   stats : stats;
+  mutable digest : int64;
 }
 
-let create ?(timeout = 60.0) ?capacity ?expected () =
+let create ?(timeout = 60.0) ?negative_timeout ?capacity ?expected () =
   if timeout <= 0.0 then invalid_arg "Flow_cache.create: timeout must be positive";
+  let negative_timeout =
+    match negative_timeout with
+    | None -> timeout
+    | Some nt ->
+      if nt <= 0.0 then
+        invalid_arg "Flow_cache.create: negative_timeout must be positive";
+      nt
+  in
   (match capacity with
   | Some c when c < 1 -> invalid_arg "Flow_cache.create: capacity must be >= 1"
   | _ -> ());
@@ -40,9 +51,56 @@ let create ?(timeout = 60.0) ?capacity ?expected () =
   {
     table = Netpkt.Flow.Table.create hint;
     timeout;
+    negative_timeout;
     capacity;
     stats = { hits = 0; negative_hits = 0; misses = 0; expirations = 0; evictions = 0 };
+    digest = 0L;
   }
+
+(* Hash of the flow identity and the entry's immutable payload.
+   [ls_ready] and [last_used] are legitimately mutated in place and
+   are excluded, so neither refreshes nor the label-switching control
+   packet perturb the digest. *)
+let entry_hash flow ~actions ~rule_id ~label ~cfg_version =
+  let h =
+    Stdx.Xhash.fold_int Stdx.Xhash.fnv_offset
+      (Int64.to_int (Netpkt.Flow.hash flow))
+  in
+  let h =
+    match actions with
+    | None -> Stdx.Xhash.fold_int h (-2)
+    | Some acts ->
+      List.fold_left
+        (fun h nf ->
+          Stdx.Xhash.fold_int h
+            (Int64.to_int (Stdx.Xhash.string (Action.nf_to_string nf))))
+        (Stdx.Xhash.fold_int h 2)
+        acts
+  in
+  let h = Stdx.Xhash.fold_int h rule_id in
+  let h =
+    match label with
+    | None -> Stdx.Xhash.fold_int h (-1)
+    | Some l -> Stdx.Xhash.fold_int (Stdx.Xhash.fold_int h 1) l
+  in
+  Stdx.Xhash.fmix64 (Stdx.Xhash.fold_int h cfg_version)
+
+(* Legitimate mutations XOR the *stored* checksum in or out, so an
+   insert/remove pair cancels exactly even if the payload was silently
+   poisoned in between; only the unsafe_* faults skip this. *)
+let forget t entry = t.digest <- Int64.logxor t.digest entry.check
+
+let remember t entry = t.digest <- Int64.logxor t.digest entry.check
+
+(* Negative entries (no policy matched) live on their own, typically
+   shorter, TTL: a bogus negative entry must not shadow a real policy
+   match — or pin a cache slot — any longer than that. *)
+let ttl t entry =
+  match entry.actions with None -> t.negative_timeout | Some _ -> t.timeout
+
+let drop t flow entry =
+  forget t entry;
+  Netpkt.Flow.Table.remove t.table flow
 
 let lookup t ~now flow =
   match Netpkt.Flow.Table.find_opt t.table flow with
@@ -50,8 +108,8 @@ let lookup t ~now flow =
     t.stats.misses <- t.stats.misses + 1;
     None
   | Some entry ->
-    if now -. entry.last_used > t.timeout then begin
-      Netpkt.Flow.Table.remove t.table flow;
+    if now -. entry.last_used > ttl t entry then begin
+      drop t flow entry;
       t.stats.expirations <- t.stats.expirations + 1;
       t.stats.misses <- t.stats.misses + 1;
       None
@@ -65,7 +123,8 @@ let lookup t ~now flow =
     end
 
 (* Bounded caches behave like a hardware hash table: when full, expired
-   entries go first, then the least-recently-used live one. *)
+   entries go first (each against its own TTL), then the
+   least-recently-used live one. *)
 let make_room t ~now flow =
   match t.capacity with
   | None -> ()
@@ -76,44 +135,57 @@ let make_room t ~now flow =
     then begin
       let expired =
         Netpkt.Flow.Table.fold
-          (fun f e acc -> if now -. e.last_used > t.timeout then f :: acc else acc)
+          (fun f e acc -> if now -. e.last_used > ttl t e then (f, e) :: acc else acc)
           t.table []
       in
-      List.iter (Netpkt.Flow.Table.remove t.table) expired;
+      List.iter (fun (f, e) -> drop t f e) expired;
       t.stats.expirations <- t.stats.expirations + List.length expired;
       while Netpkt.Flow.Table.length t.table >= cap do
         let victim =
           Netpkt.Flow.Table.fold
             (fun f e acc ->
               match acc with
-              | Some (_, oldest) when oldest <= e.last_used -> acc
-              | _ -> Some (f, e.last_used))
+              | Some (_, oldest, _) when oldest <= e.last_used -> acc
+              | _ -> Some (f, e.last_used, e))
             t.table None
         in
         match victim with
-        | Some (f, _) ->
-          Netpkt.Flow.Table.remove t.table f;
+        | Some (f, _, e) ->
+          drop t f e;
           t.stats.evictions <- t.stats.evictions + 1
         | None -> assert false (* table non-empty while >= cap >= 1 *)
       done
     end
 
+let stash t flow entry =
+  (match Netpkt.Flow.Table.find_opt t.table flow with
+  | Some old -> forget t old
+  | None -> ());
+  remember t entry;
+  Netpkt.Flow.Table.replace t.table flow entry
+
 let insert t ~now flow ~rule_id ~actions ?label ?(cfg_version = 0) () =
   make_room t ~now flow;
-  let entry =
-    { actions = Some actions; rule_id; label; cfg_version; ls_ready = false;
-      last_used = now }
+  let check =
+    entry_hash flow ~actions:(Some actions) ~rule_id ~label ~cfg_version
   in
-  Netpkt.Flow.Table.replace t.table flow entry;
+  let entry =
+    { actions = Some actions; rule_id; label; cfg_version; check;
+      ls_ready = false; last_used = now }
+  in
+  stash t flow entry;
   entry
 
 let insert_negative t ~now flow =
   make_room t ~now flow;
+  let check =
+    entry_hash flow ~actions:None ~rule_id:(-1) ~label:None ~cfg_version:0
+  in
   let entry =
-    { actions = None; rule_id = -1; label = None; cfg_version = 0;
+    { actions = None; rule_id = -1; label = None; cfg_version = 0; check;
       ls_ready = false; last_used = now }
   in
-  Netpkt.Flow.Table.replace t.table flow entry;
+  stash t flow entry;
   entry
 
 let mark_ls_ready t flow =
@@ -127,14 +199,60 @@ let purge t ~now =
   let expired =
     Netpkt.Flow.Table.fold
       (fun flow entry acc ->
-        if now -. entry.last_used > t.timeout then flow :: acc else acc)
+        if now -. entry.last_used > ttl t entry then (flow, entry) :: acc
+        else acc)
       t.table []
   in
-  List.iter (Netpkt.Flow.Table.remove t.table) expired;
+  List.iter (fun (flow, entry) -> drop t flow entry) expired;
   let n = List.length expired in
   t.stats.expirations <- t.stats.expirations + n;
   n
 
 let size t = Netpkt.Flow.Table.length t.table
+let iter f t = Netpkt.Flow.Table.iter f t.table
 let stats t = t.stats
 let timeout t = t.timeout
+let negative_timeout t = t.negative_timeout
+
+let digest t = t.digest
+
+let recompute_digest t =
+  Netpkt.Flow.Table.fold
+    (fun flow e acc ->
+      Int64.logxor acc
+        (entry_hash flow ~actions:e.actions ~rule_id:e.rule_id ~label:e.label
+           ~cfg_version:e.cfg_version))
+    t.table 0L
+
+(* Fault-injection back doors: poison an entry the way a bit flip
+   would — without maintaining checksum or digest — so the
+   anti-entropy sweep has something real to find. *)
+
+let unsafe_poison_negative t flow =
+  match Netpkt.Flow.Table.find_opt t.table flow with
+  | Some ({ actions = Some _; _ } as e) ->
+    Netpkt.Flow.Table.replace t.table flow { e with actions = None };
+    true
+  | Some { actions = None; _ } | None -> false
+
+let unsafe_poison_actions t flow ~actions =
+  match Netpkt.Flow.Table.find_opt t.table flow with
+  | None -> false
+  | Some e ->
+    Netpkt.Flow.Table.replace t.table flow { e with actions = Some actions };
+    true
+
+let scrub t =
+  let bad =
+    Netpkt.Flow.Table.fold
+      (fun flow e acc ->
+        let actual =
+          entry_hash flow ~actions:e.actions ~rule_id:e.rule_id ~label:e.label
+            ~cfg_version:e.cfg_version
+        in
+        if not (Int64.equal actual e.check) then flow :: acc else acc)
+      t.table []
+  in
+  List.iter (Netpkt.Flow.Table.remove t.table) bad;
+  t.digest <- recompute_digest t;
+  bad

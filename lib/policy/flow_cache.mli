@@ -11,7 +11,19 @@
     A proxy additionally stores in each positive entry the locally
     unique label it assigned to the flow and — once the control packet
     from the last middlebox in the chain arrives — the
-    "label-switching ready" flag. *)
+    "label-switching ready" flag.
+
+    Negative entries age against their own [negative_timeout] (default
+    equal to [timeout]), so a bogus or expired negative entry can
+    neither shadow a real policy match nor pin a capacity slot past
+    its own TTL.
+
+    Like {!Mbox.Label_table}, the cache maintains an order-independent
+    XOR digest of avalanche-finalized per-entry hashes, updated
+    incrementally by legitimate mutations, plus a per-entry payload
+    checksum.  The [unsafe_poison_*] fault hooks bypass both; the
+    anti-entropy sweep compares {!digest} against {!recompute_digest}
+    and {!scrub} purges the poisoned entries. *)
 
 type entry = {
   actions : Action.t option;  (** [None] = negative (no policy matched) *)
@@ -21,6 +33,9 @@ type entry = {
       (** configuration version that admitted the flow; steering
           decisions for the flow stay sticky to it across live
           reconfigurations (0 for static configurations) *)
+  check : int64;
+      (** checksum of the flow identity and immutable payload, written
+          at insert time; silent poisoning leaves it stale *)
   mutable ls_ready : bool;    (** label-switched path established *)
   mutable last_used : float;
 }
@@ -35,15 +50,21 @@ type stats = {
 
 type t
 
-val create : ?timeout:float -> ?capacity:int -> ?expected:int -> unit -> t
-(** [timeout] defaults to 60.0 time units.  [capacity] (default
-    unbounded) caps the entry count, as a hardware hash table would:
-    inserting into a full cache first drops expired entries, then
-    evicts the least-recently-used one (counted in
-    {!stats}.[evictions]).  [expected] (default 256) is a sizing hint
-    — the anticipated live population, e.g. flows per device on a
-    large run — that pre-sizes the underlying table (clamped by
-    [capacity]) to avoid rehash churn; it never changes behaviour. *)
+val create :
+  ?timeout:float -> ?negative_timeout:float -> ?capacity:int ->
+  ?expected:int -> unit -> t
+(** [timeout] defaults to 60.0 time units.  [negative_timeout]
+    (default: [timeout]) is the TTL of negative entries — expiry on
+    lookup and the expired-first pass of capacity eviction both honour
+    it, so a negative entry never outlives its own TTL just because
+    positive entries age slower.  [capacity] (default unbounded) caps
+    the entry count, as a hardware hash table would: inserting into a
+    full cache first drops expired entries, then evicts the
+    least-recently-used one (counted in {!stats}.[evictions]).
+    [expected] (default 256) is a sizing hint — the anticipated live
+    population, e.g. flows per device on a large run — that pre-sizes
+    the underlying table (clamped by [capacity]) to avoid rehash
+    churn; it never changes behaviour. *)
 
 val lookup : t -> now:float -> Netpkt.Flow.t -> entry option
 (** Refreshes [last_used] on hit; an entry past its timeout is treated
@@ -64,5 +85,45 @@ val purge : t -> now:float -> int
 (** Evict every expired entry; returns how many were dropped. *)
 
 val size : t -> int
+
+val iter : (Netpkt.Flow.t -> entry -> unit) -> t -> unit
+(** Apply to every entry, in unspecified order, without refreshing
+    [last_used] or touching {!stats}.  The callback must not mutate
+    the cache. *)
+
 val stats : t -> stats
 val timeout : t -> float
+
+val negative_timeout : t -> float
+(** The TTL applied to negative entries. *)
+
+val digest : t -> int64
+(** The incrementally maintained digest.  Empty cache = [0L]. *)
+
+val recompute_digest : t -> int64
+(** Walk the live entries and fold their actual payload hashes.
+    Equal to {!digest} iff no unsafe poisoning happened since the last
+    {!scrub} (up to a 2{^-64} XOR collision). *)
+
+val entry_hash :
+  Netpkt.Flow.t ->
+  actions:Action.t option ->
+  rule_id:int ->
+  label:int option ->
+  cfg_version:int ->
+  int64
+(** The per-entry hash the digest folds; exposed for tests. *)
+
+val unsafe_poison_negative : t -> Netpkt.Flow.t -> bool
+(** Fault injection: silently flip a positive entry to a bogus
+    negative one (checksum and digest untouched).  [false] if the flow
+    is absent or already negative. *)
+
+val unsafe_poison_actions : t -> Netpkt.Flow.t -> actions:Action.t -> bool
+(** Fault injection: silently replace the entry's action list
+    (checksum and digest untouched).  [false] if the flow is absent. *)
+
+val scrub : t -> Netpkt.Flow.t list
+(** Locate and purge every entry whose stored checksum disagrees with
+    its actual payload hash, then rebase the incremental digest to the
+    recomputed one.  Returns the purged flows. *)

@@ -838,6 +838,130 @@ let ablation_quorum ?(flows = 500) ?(seed = 17) ?(audit = false) ?jobs
            [ "leader crash"; "split brain"; "quorum loss" ]);
   }
 
+(* ---- ABL-CORRUPT: silent corruption vs anti-entropy repair ------- *)
+
+type corrupt_row = {
+  cr_strategy : string;
+  cr_rate : float;
+  cr_sweep : float option;
+  cr_injected : int;
+  cr_delivered : int;
+  cr_corruptions : int;
+  cr_manifested : int;
+  cr_detected : int;
+  cr_repaired : int;
+  cr_violations : int;
+  cr_window_mean : float;
+  cr_window_max : float;
+  cr_sweep_rounds : int;
+  cr_sweep_msgs : int;
+  cr_sweep_bytes : int;
+  cr_events_processed : int;
+  cr_audit : int option;
+}
+
+type corrupt_report = {
+  c_horizon : float;
+  c_epoch : float;
+  c_reconcile : float;
+  c_default_sweep : float;
+  c_probe_events : int;
+  c_rows : corrupt_row list;
+}
+
+let ablation_corrupt ?(flows = 500) ?(seed = 17) ?(audit = false)
+    ?(rates = [ 0.1; 0.4 ]) ?sweep_periods ?jobs ?(shards = 1) () =
+  let deployment = build_deployment Campus ~seed in
+  let workload = Workload.generate ~deployment ~seed ~flows () in
+  let rules = workload.Workload.rules in
+  let traffic = Workload.measure workload in
+  let n_proxies = Array.length deployment.Sdm.Deployment.proxies in
+  let n_mboxes = Array.length deployment.Sdm.Deployment.middleboxes in
+  let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
+  let lb = configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic) in
+  (* A fault-free probe fixes the horizon the corruption burst and the
+     sweep cadence are placed within. *)
+  let probe =
+    Pktsim.run
+      ~config:{ Pktsim.default_config with shards }
+      ~controller:hp ~workload ()
+  in
+  let horizon = probe.Pktsim.sim_time in
+  let epoch = horizon /. 5.0 in
+  let reconcile = epoch /. 4.0 in
+  let default_sweep = horizon /. 12.0 in
+  let sweep_periods =
+    match sweep_periods with
+    | Some ps -> ps
+    | None -> [ None; Some default_sweep ]
+  in
+  let row (name, controller) rate sweep =
+    let faults =
+      (* The corruption burst is a pure function of (seed, rate,
+         horizon, deployment) — identical for every sweep period, so a
+         row pair differs only in whether the sweep is armed.  A mild
+         2% control loss keeps the query/re-push ladder honest. *)
+      Fault.Schedule.make ~control_loss:0.02 ~loss_seed:(seed + 3)
+        (Fault.Schedule.corruption_events ~seed:(seed + 5) ~rate ~horizon
+           ~n_proxies ~n_mboxes)
+    in
+    let live =
+      {
+        Pktsim.default_live with
+        epoch_interval = epoch;
+        reconcile_interval = reconcile;
+        sweep_period = sweep;
+      }
+    in
+    let config =
+      {
+        Pktsim.default_config with
+        faults = Some faults;
+        live = Some live;
+        audit;
+        shards;
+      }
+    in
+    let stats = Pktsim.run ~config ~controller ~workload () in
+    {
+      cr_strategy = name;
+      cr_rate = rate;
+      cr_sweep = sweep;
+      cr_injected = stats.Pktsim.injected_packets;
+      cr_delivered = stats.Pktsim.delivered_packets;
+      cr_corruptions = stats.Pktsim.corruptions_injected;
+      cr_manifested = stats.Pktsim.corruptions_manifested;
+      cr_detected = stats.Pktsim.corruptions_detected;
+      cr_repaired = stats.Pktsim.corruptions_repaired;
+      cr_violations = stats.Pktsim.policy_violations;
+      cr_window_mean = stats.Pktsim.repair_window_mean;
+      cr_window_max = stats.Pktsim.repair_window_max;
+      cr_sweep_rounds = stats.Pktsim.sweep_rounds;
+      cr_sweep_msgs = stats.Pktsim.sweep_msgs;
+      cr_sweep_bytes = stats.Pktsim.sweep_bytes;
+      cr_events_processed = stats.Pktsim.events_processed;
+      cr_audit = audit_violations stats;
+    }
+  in
+  let cells =
+    List.concat_map
+      (fun strategy ->
+        List.concat_map
+          (fun rate -> List.map (fun sweep -> (strategy, rate, sweep)) sweep_periods)
+          rates)
+      [ ("HP", hp); ("LB", lb) ]
+  in
+  {
+    c_horizon = horizon;
+    c_epoch = epoch;
+    c_reconcile = reconcile;
+    c_default_sweep = default_sweep;
+    c_probe_events = probe.Pktsim.events_processed;
+    c_rows =
+      fan_out ?jobs
+        (List.map (fun (s, rate, sweep) () -> row s rate sweep) cells);
+  }
+
 type sketch_point = {
   epsilon : float;
   sketch_cells : int;

@@ -353,6 +353,65 @@ val ablation_quorum :
     quorum-agreement invariant).  [audit] runs every row under the
     online invariant audit.  Default 500 flows. *)
 
+type corrupt_row = {
+  cr_strategy : string;    (** "HP" / "LB" — the starting steering plan *)
+  cr_rate : float;         (** corruption events per simulated time unit *)
+  cr_sweep : float option; (** anti-entropy period; [None] = sweep disabled *)
+  cr_injected : int;       (** packets admitted *)
+  cr_delivered : int;
+  cr_corruptions : int;    (** corruption events that actually mutated state *)
+  cr_manifested : int;     (** corruptions the data plane observed pre-repair *)
+  cr_detected : int;       (** digest mismatches the sweep found *)
+  cr_repaired : int;       (** corruptions retired (scrub, overwrite, re-push) *)
+  cr_violations : int;     (** data-plane policy violations (mis-steered,
+                               bypassed or lost-unenforced packets) *)
+  cr_window_mean : float;  (** mean inject-to-repair window *)
+  cr_window_max : float;   (** worst inject-to-repair window *)
+  cr_sweep_rounds : int;
+  cr_sweep_msgs : int;
+  cr_sweep_bytes : int;    (** sweep wire overhead — the repair-traffic cost *)
+  cr_events_processed : int;
+  cr_audit : int option;
+      (** invariant violations found by the online audit (Repair
+          invariant included); [None] when auditing was off *)
+}
+
+type corrupt_report = {
+  c_horizon : float;       (** probe-run horizon the burst is placed within *)
+  c_epoch : float;         (** epoch interval used (horizon / 5) *)
+  c_reconcile : float;     (** reconcile interval used (epoch / 4) *)
+  c_default_sweep : float; (** the default enabled sweep period (horizon / 12) *)
+  c_probe_events : int;
+  c_rows : corrupt_row list;
+}
+
+val ablation_corrupt :
+  ?flows:int ->
+  ?seed:int ->
+  ?audit:bool ->
+  ?rates:float list ->
+  ?sweep_periods:float option list ->
+  ?jobs:int ->
+  ?shards:int ->
+  unit ->
+  corrupt_report
+(** ABL-CORRUPT, the silent-corruption experiment: inject a seeded,
+    deterministic burst of soft-state corruptions — mis-steered and
+    silently dropped label entries, poisoned flow-cache entries,
+    silently lost config installs, resurrected stale entries
+    ({!Fault.Schedule.corruption_events}) — into live-control-plane
+    runs, and sweep corruption rate × anti-entropy period (including
+    the sweep disabled) for both the HP and LB starting plans.  With
+    the sweep on, every corruption that manifests is detected by a
+    digest mismatch and repaired (scrubbed, re-pushed, or naturally
+    overwritten) within two sweep periods — the audit's Repair
+    invariant; with it off, manifested corruptions linger and
+    violations accumulate.  The burst is a pure function of the seed
+    and the probe horizon, so rows are comparable cell-by-cell and the
+    report is bit-identical under [--jobs]/[--shards].  Defaults:
+    500 flows, rates [0.1; 0.4], periods [disabled; horizon/12].
+    [audit] runs every row under the online invariant audit. *)
+
 type sketch_point = {
   epsilon : float;
   sketch_cells : int;       (** counters across all proxy sketches *)

@@ -15,6 +15,10 @@ type live_config = {
   replicas : int;
   quorum : Quorum.family;
   replica_routers : int list option;
+  sweep_period : float option;
+      (* anti-entropy digest sweep over every device's soft state;
+         [None] disables it (and keeps the run bit-identical to a
+         build without the sweep machinery) *)
 }
 
 let default_live =
@@ -31,6 +35,7 @@ let default_live =
     replicas = 1;
     quorum = Quorum.Majority;
     replica_routers = None;
+    sweep_period = None;
   }
 
 (* The retry ladder every control-plane chain (config push, proposal,
@@ -141,6 +146,18 @@ type stats = {
   quorum_lost : int;       (* of those, lost to the control channel *)
   leader_changes : int;    (* re-elections after a leader crash *)
   replica_versions : int array; (* per replica: highest committed version *)
+  (* Silent state corruption and the anti-entropy sweep (all 0 when the
+     schedule has no corruption events / [sweep_period = None]). *)
+  corruptions_injected : int;  (* corruption events that found a target *)
+  corruptions_manifested : int; (* of those, ones the data plane ever used *)
+  corruptions_detected : int;  (* digest mismatches the sweep found *)
+  corruptions_repaired : int;  (* corruptions resolved (purge/rebase/re-push) *)
+  sweep_rounds : int;      (* sweep rounds started *)
+  sweep_msgs : int;        (* digest query/reply transmissions *)
+  sweep_lost : int;        (* of those, lost to the control channel *)
+  sweep_bytes : int;       (* repair-traffic overhead on the wire *)
+  repair_window_mean : float; (* mean inject-to-repair time, 0 if none *)
+  repair_window_max : float;
   audit_report : Audit.Checker.report option; (* None unless [config.audit] *)
 }
 
@@ -176,6 +193,16 @@ type counters = {
   mutable q_msgs : int;
   mutable q_lost : int;
   mutable elections : int;
+  mutable corrupt_injected : int;
+  mutable corrupt_manifested : int;
+  mutable corrupt_detected : int;
+  mutable corrupt_repaired : int;
+  mutable sweep_rounds : int;
+  mutable sweep_msgs : int;
+  mutable sweep_lost : int;
+  mutable sweep_bytes : int;
+  mutable repair_sum : float;
+  mutable repair_max : float;
 }
 
 (* Messages on the wire: ordinary data packets, or the control packet
@@ -193,6 +220,36 @@ type msg =
    endpoint to hand the message to on arrival. *)
 type endpoint = To_subnet of int | To_mbox of int
 
+(* One injected corruption, tracked from injection to repair so the
+   repair-window statistics and the audit's Repair invariant have
+   ground truth to measure against. *)
+type corruption_record = {
+  cr_cid : int;
+  cr_dev : int;  (* device owning the corrupted state, flat indexing *)
+  cr_kind : Audit.Event.corrupt_kind;
+  cr_site : Audit.Event.corrupt_site;
+  cr_injected_at : float;
+  mutable cr_manifested : bool;
+  mutable cr_repaired : bool;
+}
+
+(* Armed only when the schedule carries corruption events.  The RNG is
+   a derived child of the loss seed — a fresh stream, so arming the
+   machinery never perturbs the loss draws of a corruption-free run.
+   The site tables index live (unrepaired) corruptions by where a
+   data-path lookup would trip over them; [graveyard] keeps the entries
+   each install purged, which is what [Stale_resurrect] re-installs. *)
+type corrupt_state = {
+  crng : Stdx.Rng.t;
+  mutable next_cid : int;
+  records : (int, corruption_record) Hashtbl.t;
+  label_sites : (int * Netpkt.Addr.t * int, int) Hashtbl.t;
+  cache_sites : (int * Netpkt.Flow.t, int) Hashtbl.t;
+  config_sites : (int, int) Hashtbl.t;
+  graveyard : (Mbox.Label_table.key * Mbox.Label_table.entry) list array;
+  want_graveyard : bool;
+}
+
 (* Live fault machinery for a run with a schedule: the ground-truth /
    believed-state failure detector, the RNG behind the loss draws, and
    (only when links fail mid-run) the OSPF session whose reconverged
@@ -202,6 +259,7 @@ type fault_state = {
   schedule : Fault.Schedule.t;
   loss_rng : Stdx.Rng.t;
   session : Ospf.Session.t option;
+  corrupt : corrupt_state option;
 }
 
 (* Live control-plane state.  Devices (proxies first, then middleboxes)
@@ -297,6 +355,86 @@ let msg_aid = function
   | Data (_, _, aid) -> aid
   | Control _ | Teardown _ -> -1 (* control traffic: counted, not traced *)
 
+(* ---- Silent-corruption bookkeeping ------------------------------- *)
+
+let corrupt_of w =
+  match w.fault with
+  | Some { corrupt = Some cs; _ } -> Some cs
+  | _ -> None
+
+(* The Repair invariant's bound: a corruption must be repaired within
+   two sweep periods of injection (one period to be visited, one for
+   the lossy query/reply/re-push ladder).  No sweep, no bound. *)
+let repair_deadline w ~now =
+  match w.cfg.live with
+  | Some { sweep_period = Some p; _ } -> now +. (2.0 *. p)
+  | _ -> infinity
+
+(* Register one injected corruption and announce the ground truth to
+   the auditor, which arms its Repair invariant on the first one. *)
+let register_corruption w cs ~dev ~kind ~site =
+  let cid = cs.next_cid in
+  cs.next_cid <- cid + 1;
+  let now = Dess.Engine.now w.engine in
+  Hashtbl.replace cs.records cid
+    { cr_cid = cid; cr_dev = dev; cr_kind = kind; cr_site = site;
+      cr_injected_at = now; cr_manifested = false; cr_repaired = false };
+  (match site with
+  | Audit.Event.Label_site { mbox; src; label } ->
+    Hashtbl.replace cs.label_sites (mbox, src, label) cid
+  | Audit.Event.Cache_site { proxy; flow } ->
+    Hashtbl.replace cs.cache_sites (proxy, flow) cid
+  | Audit.Event.Config_site { dev } -> Hashtbl.replace cs.config_sites dev cid);
+  w.counters.corrupt_injected <- w.counters.corrupt_injected + 1;
+  audit_emit w (fun () ->
+      Audit.Event.Corrupt_inject
+        { time = now; cid; kind; site;
+          deadline = repair_deadline w ~now })
+
+(* The corrupted state just influenced the data plane.  The distinct-
+   corruption counter advances once; packet-scoped manifestations are
+   announced every time so the auditor can excuse each hit packet's
+   chain ([aid] = -1 for decision-scoped ones, announced once). *)
+let manifest_corruption w cs ~cid ~aid =
+  match Hashtbl.find_opt cs.records cid with
+  | None -> ()
+  | Some r ->
+    let first = not r.cr_manifested in
+    if first then begin
+      r.cr_manifested <- true;
+      w.counters.corrupt_manifested <- w.counters.corrupt_manifested + 1
+    end;
+    if aid >= 0 || first then
+      audit_emit w (fun () ->
+          Audit.Event.Corrupt_manifest
+            { time = Dess.Engine.now w.engine; cid; aid })
+
+(* Mark one corruption repaired: record the inject-to-repair window,
+   retire its site (later lookups there see clean state) and announce
+   the repair.  Idempotent — a corruption repairs at most once. *)
+let resolve_corruption w cs ~dev ~action r =
+  if not r.cr_repaired then begin
+    r.cr_repaired <- true;
+    let now = Dess.Engine.now w.engine in
+    let window = now -. r.cr_injected_at in
+    w.counters.corrupt_repaired <- w.counters.corrupt_repaired + 1;
+    w.counters.repair_sum <- w.counters.repair_sum +. window;
+    if window > w.counters.repair_max then w.counters.repair_max <- window;
+    (match r.cr_site with
+    | Audit.Event.Label_site { mbox; src; label } ->
+      Hashtbl.remove cs.label_sites (mbox, src, label)
+    | Audit.Event.Cache_site { proxy; flow } ->
+      Hashtbl.remove cs.cache_sites (proxy, flow)
+    | Audit.Event.Config_site { dev } -> Hashtbl.remove cs.config_sites dev);
+    audit_emit w (fun () ->
+        Audit.Event.Corrupt_repair { time = now; cid = r.cr_cid; dev; action })
+  end
+
+let resolve_cid w cs ~cid ~dev ~action =
+  match Hashtbl.find_opt cs.records cid with
+  | None -> ()
+  | Some r -> resolve_corruption w cs ~dev ~action r
+
 (* The liveness view a steering decision saw: the signature of the
    believed-failed set when failover consults the detector, 0 when no
    liveness filtering applies (the stickiness invariant holds per
@@ -329,6 +467,76 @@ let installed_version w entity =
   | None -> 0
   | Some ls -> ls.device_version.(dev_of_entity w entity)
 
+(* A steering decision at a device whose config install was silently
+   lost runs under regressed weights: that is the lost install
+   manifesting.  Not a policy violation — regression by exactly one
+   version stays inside the certified staged window — but the Repair
+   invariant starts its clock. *)
+let note_config_use w entity =
+  match corrupt_of w with
+  | None -> ()
+  | Some cs -> (
+    match Hashtbl.find_opt cs.config_sites (dev_of_entity w entity) with
+    | Some cid -> manifest_corruption w cs ~cid ~aid:(-1)
+    | None -> ())
+
+(* A legitimate label insert overwriting a corrupted entry replaces it
+   with freshly certified state: the corruption is gone before the
+   sweep ever saw it.  Count that as a (free) repair so the registry
+   stays honest and later hits at the site are not misread as
+   manifestations. *)
+let note_label_overwrite w ~mbox ~src ~label =
+  match corrupt_of w with
+  | None -> ()
+  | Some cs -> (
+    match Hashtbl.find_opt cs.label_sites (mbox, src, label) with
+    | Some cid ->
+      resolve_cid w cs ~cid ~dev:(dev_of_mbox w mbox)
+        ~action:Audit.Event.Rebased
+    | None -> ())
+
+(* A label-switched packet matched a corrupted (mis-steering or
+   resurrected) entry: it is now travelling somewhere the current
+   configuration never certified.  That is both a manifestation and a
+   policy violation. *)
+let note_label_hit w ~mbox ~src ~label ~aid =
+  match corrupt_of w with
+  | None -> ()
+  | Some cs -> (
+    match Hashtbl.find_opt cs.label_sites (mbox, src, label) with
+    | Some cid ->
+      manifest_corruption w cs ~cid ~aid;
+      policy_violation w
+    | None -> ())
+
+(* A label miss at the site of a silently dropped entry: the packet of
+   an established path is lost unenforced, which a mere expiry never
+   does (expiry tears the path down end-to-end). *)
+let note_label_miss w ~mbox ~src ~label ~aid =
+  match corrupt_of w with
+  | None -> ()
+  | Some cs -> (
+    match Hashtbl.find_opt cs.label_sites (mbox, src, label) with
+    | Some cid -> (
+      match Hashtbl.find_opt cs.records cid with
+      | Some r when r.cr_kind = Audit.Event.Lost_entry ->
+        manifest_corruption w cs ~cid ~aid;
+        policy_violation w
+      | Some _ | None -> ())
+    | None -> ())
+
+(* A proxy admission decided from a poisoned cache entry: the packet
+   bypasses (or short-circuits) the chain its policy demands. *)
+let note_cache_bypass w ~proxy ~flow ~aid =
+  match corrupt_of w with
+  | None -> ()
+  | Some cs -> (
+    match Hashtbl.find_opt cs.cache_sites (proxy, flow) with
+    | Some cid ->
+      manifest_corruption w cs ~cid ~aid;
+      policy_violation w
+    | None -> ())
+
 (* The configuration an entity decides with: its installed version —
    or, when the decision belongs to a flow admitted under an older
    version, the admitting version clamped into the staged adjacent
@@ -356,6 +564,7 @@ let decision_controller w ?admitted entity =
    variant directly — candidate sets are non-empty by construction, so
    it cannot raise, and it skips all liveness filtering. *)
 let controller_next_hop w ?admitted entity ~rule ~nf flow =
+  note_config_use w entity;
   let c = decision_controller w ?admitted entity in
   match w.fault with
   | None -> Ok (Sdm.Controller.next_hop c entity ~rule ~nf flow)
@@ -711,6 +920,7 @@ and mbox_process w id pkt ~born ~aid =
                   mbox = y.Mbox.Middlebox.id });
           (match (label, w.cfg.label_switching) with
           | Some l, true ->
+            note_label_overwrite w ~mbox:id ~src:flow.Netpkt.Flow.src ~label:l;
             Mbox.Label_table.insert w.mbox_labels.(id)
               ~now:(Dess.Engine.now w.engine)
               ~version:(installed_version w (Mbox.Entity.Middlebox id))
@@ -734,6 +944,7 @@ and mbox_process w id pkt ~born ~aid =
            confirm the label-switched path to the proxy. *)
         (match (label, w.cfg.label_switching) with
         | Some l, true ->
+          note_label_overwrite w ~mbox:id ~src:flow.Netpkt.Flow.src ~label:l;
           Mbox.Label_table.insert w.mbox_labels.(id)
             ~now:(Dess.Engine.now w.engine)
             ~version:(installed_version w (Mbox.Entity.Middlebox id))
@@ -781,6 +992,8 @@ and mbox_process w id pkt ~born ~aid =
               { aid;
                 time = Dess.Engine.now w.engine;
                 reason = Audit.Event.Label_miss });
+        note_label_miss w ~mbox:id
+          ~src:pkt.Netpkt.Packet.header.Netpkt.Header.src ~label:l ~aid;
         (match
            Sdm.Deployment.proxy_of_addr w.dep
              pkt.Netpkt.Packet.header.Netpkt.Header.src
@@ -806,6 +1019,8 @@ and mbox_process w id pkt ~born ~aid =
                 time = Dess.Engine.now w.engine;
                 mbox = id;
                 nf = mb.Mbox.Middlebox.nf });
+        note_label_hit w ~mbox:id
+          ~src:pkt.Netpkt.Packet.header.Netpkt.Header.src ~label:l ~aid;
         if
           wp_serves_from_cache w mb
             ~src:pkt.Netpkt.Packet.header.Netpkt.Header.src ~label:(Some l)
@@ -900,6 +1115,7 @@ let proxy_emit w (fs : Workload.flow_spec) ~aid =
     audit_admit
       ~admission:(Audit.Event.Permit (Some rule_id))
       ~version:(installed_version w entity) ~label:None;
+    note_cache_bypass w ~proxy:proxy_id ~flow ~aid;
     send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now, aid))
   | Some ({ actions = Some _; rule_id; label; cfg_version; _ } as entry) ->
     w.counters.cache_hits <- w.counters.cache_hits + 1;
@@ -948,6 +1164,7 @@ let proxy_emit w (fs : Workload.flow_spec) ~aid =
     w.counters.cache_negative_hits <- w.counters.cache_negative_hits + 1;
     audit_admit ~admission:Audit.Event.Unmatched
       ~version:(installed_version w entity) ~label:None;
+    note_cache_bypass w ~proxy:proxy_id ~flow ~aid;
     send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now, aid))
   | None -> (
     w.counters.lookups <- w.counters.lookups + 1;
@@ -1004,19 +1221,159 @@ let refresh_tables w session =
     w.ecmp_tables <-
       Some (Netgraph.Routing.build_all_ecmp (Ospf.Session.surviving_graph session))
 
+(* ---- Silent-corruption injection -------------------------------- *)
+
+(* The k-th live entry of a label table, in its (stable, unseeded)
+   iteration order — deterministic for a fixed mutation history, so a
+   seeded index draw picks the same victim on every run. *)
+let nth_label_entry t k =
+  let i = ref 0 and found = ref None in
+  Mbox.Label_table.iter
+    (fun key entry ->
+      if !i = k then found := Some (key, entry);
+      incr i)
+    t;
+  Option.get !found
+
+(* Rewrite one label entry's steering field to some *other* middlebox
+   address — the bit-flip that silently mis-steers every later packet
+   of the path.  Degenerate single-middlebox deployments have no wrong
+   address to point at, so the event no-ops there. *)
+let inject_label_corrupt w cs id =
+  let t = w.mbox_labels.(id) in
+  let n = Mbox.Label_table.length t in
+  if (not (mbox_is_down w id)) && n > 0 then begin
+    let key, entry = nth_label_entry t (Stdx.Rng.int cs.crng n) in
+    let mboxes = w.dep.Sdm.Deployment.middleboxes in
+    let current =
+      match (entry.Mbox.Label_table.next, entry.Mbox.Label_table.final_dst) with
+      | Some a, _ | None, Some a -> a
+      | None, None -> assert false (* Label_table.insert forbids *)
+    in
+    let pick = Stdx.Rng.int cs.crng (Array.length mboxes) in
+    let redirect =
+      let a = mboxes.(pick).Mbox.Middlebox.addr in
+      if a <> current then a
+      else mboxes.((pick + 1) mod Array.length mboxes).Mbox.Middlebox.addr
+    in
+    if redirect <> current && Mbox.Label_table.unsafe_corrupt t key ~redirect
+    then
+      register_corruption w cs ~dev:(dev_of_mbox w id)
+        ~kind:Audit.Event.Wrong_steer
+        ~site:
+          (Audit.Event.Label_site
+             { mbox = id; src = key.Mbox.Label_table.src;
+               label = key.Mbox.Label_table.label })
+  end
+
+let inject_label_drop w cs id =
+  let t = w.mbox_labels.(id) in
+  let n = Mbox.Label_table.length t in
+  if (not (mbox_is_down w id)) && n > 0 then begin
+    let key, _ = nth_label_entry t (Stdx.Rng.int cs.crng n) in
+    if Mbox.Label_table.unsafe_drop t key then
+      register_corruption w cs ~dev:(dev_of_mbox w id)
+        ~kind:Audit.Event.Lost_entry
+        ~site:
+          (Audit.Event.Label_site
+             { mbox = id; src = key.Mbox.Label_table.src;
+               label = key.Mbox.Label_table.label })
+  end
+
+(* Poison one proxy cache entry.  Only chained (positive, non-permit)
+   entries make observable victims: half the draws flip the entry to a
+   bogus negative, half to an unconditional permit — either way later
+   packets of the flow skip the chain their policy demands. *)
+let inject_cache_poison w cs id =
+  let c = w.proxy_caches.(id) in
+  let victims = ref [] and n = ref 0 in
+  Policy.Flow_cache.iter
+    (fun flow e ->
+      match e.Policy.Flow_cache.actions with
+      | Some a when not (Policy.Action.is_permit a) ->
+        victims := flow :: !victims;
+        incr n
+      | Some _ | None -> ())
+    c;
+  if !n > 0 then begin
+    let flow = List.nth (List.rev !victims) (Stdx.Rng.int cs.crng !n) in
+    let poisoned =
+      if Stdx.Rng.int cs.crng 2 = 0 then
+        Policy.Flow_cache.unsafe_poison_negative c flow
+      else
+        Policy.Flow_cache.unsafe_poison_actions c flow
+          ~actions:Policy.Action.permit
+    in
+    if poisoned then
+      register_corruption w cs ~dev:id ~kind:Audit.Event.Poisoned
+        ~site:(Audit.Event.Cache_site { proxy = id; flow })
+  end
+
+(* Silently regress a device's installed version by one: the device
+   keeps acking the lost version, so the ack-driven reconciliation
+   loop can never notice — only the sweep's version report can.  A
+   device still at version 0, or one already carrying an unrepaired
+   loss, has nothing further inside the certified staged window to
+   take back, so the event no-ops. *)
+let inject_config_lose w cs dev =
+  match w.live with
+  | None -> ()
+  | Some ls ->
+    if ls.device_version.(dev) > 0 && not (Hashtbl.mem cs.config_sites dev)
+    then begin
+      ls.device_version.(dev) <- ls.device_version.(dev) - 1;
+      register_corruption w cs ~dev ~kind:Audit.Event.Lost_config
+        ~site:(Audit.Event.Config_site { dev })
+    end
+
+(* Re-install one entry a past config install had purged (recorded in
+   the graveyard at purge time): stale steering state coming back from
+   the dead after the partition heals.  If the key is live again the
+   resurrection loses the race and no-ops. *)
+let inject_stale_resurrect w cs id =
+  if not (mbox_is_down w id) then
+    match cs.graveyard.(id) with
+    | [] -> ()
+    | g ->
+      let k = Stdx.Rng.int cs.crng (List.length g) in
+      let key, entry = List.nth g k in
+      cs.graveyard.(id) <- List.filteri (fun i _ -> i <> k) g;
+      if Mbox.Label_table.unsafe_resurrect w.mbox_labels.(id) key entry then
+        register_corruption w cs ~dev:(dev_of_mbox w id)
+          ~kind:Audit.Event.Resurrected
+          ~site:
+            (Audit.Event.Label_site
+               { mbox = id; src = key.Mbox.Label_table.src;
+                 label = key.Mbox.Label_table.label })
+
 let apply_fault w f what =
   let now = Dess.Engine.now w.engine in
   match what with
   | Fault.Schedule.Mbox_crash id ->
     Fault.Detector.crash f.detector ~now id;
     (* A crash loses the box's soft state: its flow cache and label
-       table come back empty if the box ever recovers. *)
+       table come back empty if the box ever recovers.  Any injected
+       soft-state corruption living there dies with it — repair by
+       destruction, which the registry must record or the Repair
+       invariant would demand fixing state that no longer exists. *)
     w.mbox_caches.(id) <-
       Policy.Flow_cache.create ~timeout:w.cfg.cache_timeout
         ?capacity:w.cfg.cache_capacity ();
     w.mbox_labels.(id) <-
       Mbox.Label_table.create ~timeout:w.cfg.label_timeout ();
-    w.busy_until.(id) <- now
+    w.busy_until.(id) <- now;
+    (match f.corrupt with
+    | None -> ()
+    | Some cs ->
+      let dev = dev_of_mbox w id in
+      Hashtbl.iter
+        (fun _ r ->
+          match r.cr_site with
+          | Audit.Event.Label_site { mbox; _ }
+            when mbox = id && not r.cr_repaired ->
+            resolve_corruption w cs ~dev ~action:Audit.Event.Purged r
+          | _ -> ())
+        cs.records)
   | Fault.Schedule.Mbox_recover id -> Fault.Detector.recover f.detector ~now id
   | Fault.Schedule.Link_fail (u, v) -> (
     match f.session with
@@ -1047,6 +1404,31 @@ let apply_fault w f what =
     | Some ls when id < Array.length ls.replica_up ->
       ls.replica_up.(id) <- true
     | _ -> ())
+  (* Silent state corruption: each event draws its victim from the
+     corruption RNG (a derived child of the loss stream, so the loss
+     draws are unperturbed) and registers the ground truth with the
+     auditor.  Without a [corrupt] state (no corruption events in the
+     schedule) these arms are unreachable. *)
+  | Fault.Schedule.Label_corrupt id -> (
+    match f.corrupt with
+    | Some cs -> inject_label_corrupt w cs id
+    | None -> ())
+  | Fault.Schedule.Label_drop id -> (
+    match f.corrupt with
+    | Some cs -> inject_label_drop w cs id
+    | None -> ())
+  | Fault.Schedule.Cache_poison id -> (
+    match f.corrupt with
+    | Some cs -> inject_cache_poison w cs id
+    | None -> ())
+  | Fault.Schedule.Config_lose dev -> (
+    match f.corrupt with
+    | Some cs -> inject_config_lose w cs dev
+    | None -> ())
+  | Fault.Schedule.Stale_resurrect id -> (
+    match f.corrupt with
+    | Some cs -> inject_stale_resurrect w cs id
+    | None -> ())
 
 (* ---- Live control plane ----------------------------------------- *)
 
@@ -1083,12 +1465,33 @@ let install_config w ls ~dev ~version =
     audit_emit w (fun () ->
         Audit.Event.Config_install
           { dev; time = Dess.Engine.now w.engine; version });
-    match dev_entity w dev with
+    (match dev_entity w dev with
     | Mbox.Entity.Middlebox id ->
+      (* When the schedule can resurrect stale entries, remember what
+         this install is about to purge — the resurrection pool is
+         exactly the state that legitimately died here. *)
+      (match corrupt_of w with
+      | Some cs when cs.want_graveyard ->
+        Mbox.Label_table.iter
+          (fun key e ->
+            if e.Mbox.Label_table.version < version - 1 then
+              cs.graveyard.(id) <- (key, e) :: cs.graveyard.(id))
+          w.mbox_labels.(id)
+      | _ -> ());
       ignore
         (Mbox.Label_table.purge_versions_below w.mbox_labels.(id)
            ~version:(version - 1))
-    | Mbox.Entity.Proxy _ -> ()
+    | Mbox.Entity.Proxy _ -> ());
+    (* A fresh install heals a silently regressed device: the device
+       is back on a published version at least as new as the one the
+       loss took back. *)
+    match corrupt_of w with
+    | Some cs -> (
+      match Hashtbl.find_opt cs.config_sites dev with
+      | Some cid ->
+        resolve_cid w cs ~cid ~dev ~action:(Audit.Event.Reinstalled version)
+      | None -> ())
+    | None -> ()
   end
 
 (* Push one version to one device: per-device ack/retry with
@@ -1159,6 +1562,178 @@ let rec push_config w ls ~dev ~version ~attempt =
                  end))
       end
   end
+
+(* ---- Anti-entropy sweep ------------------------------------------ *)
+
+(* Wire cost of the sweep protocol: an 8-byte digest query down, a
+   24-byte report back (digest, installed version, entry count). *)
+let sweep_query_bytes = 8
+let sweep_reply_bytes = 24
+
+(* The device-side half of a sweep visit: compare the incrementally
+   maintained digest against a fresh walk of the table.  On mismatch,
+   scrub — purge entries whose checksum disagrees with their payload
+   (bit flips, poisonings) or whose version fell out of the staged
+   window (resurrections), and rebase the digest so silently dropped
+   entries stop haunting it.  Each purged site's corruption is
+   resolved; whatever registered corruption remains at this device
+   afterwards no longer has any state to find (expired, evicted, or
+   crashed away) and is retired as rebased. *)
+let sweep_check w ~dev =
+  match corrupt_of w with
+  | None -> ()
+  | Some cs ->
+    let detect () =
+      w.counters.corrupt_detected <- w.counters.corrupt_detected + 1;
+      audit_emit w (fun () ->
+          Audit.Event.Corrupt_detect { time = Dess.Engine.now w.engine; dev })
+    in
+    (match dev_entity w dev with
+    | Mbox.Entity.Proxy i ->
+      let c = w.proxy_caches.(i) in
+      if
+        not
+          (Int64.equal (Policy.Flow_cache.digest c)
+             (Policy.Flow_cache.recompute_digest c))
+      then begin
+        detect ();
+        List.iter
+          (fun flow ->
+            match Hashtbl.find_opt cs.cache_sites (i, flow) with
+            | Some cid ->
+              resolve_cid w cs ~cid ~dev ~action:Audit.Event.Purged
+            | None -> ())
+          (Policy.Flow_cache.scrub c)
+      end
+    | Mbox.Entity.Middlebox id ->
+      if not (mbox_is_down w id) then begin
+        let t = w.mbox_labels.(id) in
+        if
+          not
+            (Int64.equal (Mbox.Label_table.digest t)
+               (Mbox.Label_table.recompute_digest t))
+        then begin
+          detect ();
+          let floor =
+            match w.live with
+            | Some ls -> ls.device_version.(dev) - 1
+            | None -> 0
+          in
+          List.iter
+            (fun (key : Mbox.Label_table.key) ->
+              match
+                Hashtbl.find_opt cs.label_sites (id, key.src, key.label)
+              with
+              | Some cid ->
+                resolve_cid w cs ~cid ~dev ~action:Audit.Event.Purged
+              | None -> ())
+            (Mbox.Label_table.scrub t ~version_floor:floor)
+        end
+      end);
+    Hashtbl.iter
+      (fun _ r ->
+        if r.cr_dev = dev && not r.cr_repaired then
+          match r.cr_site with
+          | Audit.Event.Config_site _ -> () (* repaired by re-install only *)
+          | Audit.Event.Label_site { mbox; src; label } ->
+            Mbox.Label_table.remove w.mbox_labels.(mbox)
+              { Mbox.Label_table.src; label };
+            resolve_corruption w cs ~dev ~action:Audit.Event.Rebased r
+          | Audit.Event.Cache_site _ ->
+            resolve_corruption w cs ~dev ~action:Audit.Event.Rebased r)
+      cs.records
+
+(* The report half of a sweep visit, back at the controller: a device
+   whose installed version trails the latest published one is re-pushed
+   — crucially *resetting its ack watermark first*, because a silently
+   lost install left the stale ack in place and the ack-driven
+   reconciliation loop trusts it. *)
+let sweep_reply w ls ~dev =
+  let v = ls.device_version.(dev) in
+  if v < ls.latest && ls.replica_up.(ls.leader) then begin
+    if ls.device_acked.(dev) > v then ls.device_acked.(dev) <- v;
+    push_config w ls ~dev ~version:ls.latest ~attempt:0
+  end
+
+(* Visit one device: query and report ride the same lossy control
+   channel as config pushes, with the same capped-backoff retry
+   ladder.  The query reaching the device is what triggers the local
+   scrub; losing only the report costs the version check, not the
+   repair of soft state. *)
+let rec sweep_device w ls ~dev ~attempt =
+  if ls.replica_up.(ls.leader) then begin
+    let entity = dev_entity w dev in
+    let target = Sdm.Deployment.entity_router w.dep entity in
+    match route_hops w ~from:ls.replica_router.(ls.leader) ~target with
+    | None ->
+      (* Partitioned: no retry timer helps until routing heals; the
+         next round revisits. *)
+      w.counters.cfg_degraded <- w.counters.cfg_degraded + 1
+    | Some h ->
+      let one_way = float_of_int (h + 1) *. w.cfg.link_delay in
+      let retry () =
+        if attempt < ls.lcfg.push_max_retries then begin
+          w.entity_ctrl_retries.(dev) <- w.entity_ctrl_retries.(dev) + 1;
+          ignore
+            (Dess.Engine.schedule w.engine
+               ~delay:(push_backoff_delay ls.lcfg ~attempt) (fun _ ->
+                 sweep_device w ls ~dev ~attempt:(attempt + 1)))
+        end
+      in
+      w.counters.sweep_msgs <- w.counters.sweep_msgs + 1;
+      w.counters.sweep_bytes <- w.counters.sweep_bytes + sweep_query_bytes;
+      let target_down =
+        match entity with
+        | Mbox.Entity.Middlebox id -> mbox_is_down w id
+        | Mbox.Entity.Proxy _ -> false
+      in
+      if control_loss_draw w || target_down then begin
+        w.counters.sweep_lost <- w.counters.sweep_lost + 1;
+        w.entity_ctrl_lost.(dev) <- w.entity_ctrl_lost.(dev) + 1;
+        retry ()
+      end
+      else begin
+        ignore
+          (Dess.Engine.schedule w.engine ~delay:one_way (fun _ ->
+               sweep_check w ~dev));
+        w.counters.sweep_msgs <- w.counters.sweep_msgs + 1;
+        w.counters.sweep_bytes <- w.counters.sweep_bytes + sweep_reply_bytes;
+        if control_loss_draw w then begin
+          w.counters.sweep_lost <- w.counters.sweep_lost + 1;
+          w.entity_ctrl_lost.(dev) <- w.entity_ctrl_lost.(dev) + 1;
+          retry ()
+        end
+        else
+          ignore
+            (Dess.Engine.schedule w.engine ~delay:(2.0 *. one_way) (fun _ ->
+                 sweep_reply w ls ~dev))
+      end
+  end
+
+(* One anti-entropy round: visit every device, then re-arm.  The loop
+   keeps ticking through the traffic window and until every registered
+   corruption is repaired, with the same generous round cap the
+   reconciliation loop uses as its safety valve. *)
+let rec sweep_round w ls ~period =
+  if ls.replica_up.(ls.leader) then begin
+    w.counters.sweep_rounds <- w.counters.sweep_rounds + 1;
+    for dev = 0 to n_devices w - 1 do
+      sweep_device w ls ~dev ~attempt:0
+    done
+  end;
+  let outstanding =
+    match corrupt_of w with
+    | None -> false
+    | Some cs ->
+      Hashtbl.fold
+        (fun _ r acc -> acc || not r.cr_repaired)
+        cs.records false
+  in
+  let now = Dess.Engine.now w.engine in
+  if (now < ls.horizon || outstanding) && w.counters.sweep_rounds < 10_000 then
+    ignore
+      (Dess.Engine.schedule w.engine ~delay:period (fun _ ->
+           sweep_round w ls ~period))
 
 (* ---- Quorum rounds (replicated controller) ----------------------- *)
 
@@ -1498,7 +2073,7 @@ let run ?(config = default_config) ~controller ~workload () =
       Fault.Schedule.validate
         ~n_controllers:
           (match config.live with Some l -> l.replicas | None -> 0)
-        ~n_mboxes
+        ~n_proxies ~n_mboxes
         ~link_exists:(fun u v -> Netgraph.Graph.has_edge g u v)
         schedule
     with
@@ -1518,6 +2093,9 @@ let run ?(config = default_config) ~controller ~workload () =
       || Float.is_nan l.push_backoff_cap
       || l.push_backoff_cap < l.push_backoff
       || l.push_max_retries < 0
+      || (match l.sweep_period with
+         | Some p -> not (finite_pos p)
+         | None -> false)
     then invalid_arg "Pktsim.run: invalid live-control-plane config";
     if l.replicas < 1 then
       invalid_arg "Pktsim.run: replicas must be >= 1";
@@ -1587,6 +2165,34 @@ let run ?(config = default_config) ~controller ~workload () =
           Some (Ospf.Session.start dep.Sdm.Deployment.topo)
         else None
       in
+      (* The corruption RNG is a *derived child* of the loss stream's
+         seed: drawing victims never advances the loss RNG, so the
+         loss/ack draw sequence — and with it every schedule without
+         corruption events — is bit-identical to before. *)
+      let corrupt =
+        if Fault.Schedule.has_corruption_events schedule then
+          Some
+            {
+              crng =
+                Stdx.Rng.derive
+                  (Stdx.Rng.create schedule.Fault.Schedule.loss_seed)
+                  1;
+              next_cid = 0;
+              records = Hashtbl.create 64;
+              label_sites = Hashtbl.create 64;
+              cache_sites = Hashtbl.create 64;
+              config_sites = Hashtbl.create 16;
+              graveyard = Array.make n_mboxes [];
+              want_graveyard =
+                List.exists
+                  (fun { Fault.Schedule.what; _ } ->
+                    match what with
+                    | Fault.Schedule.Stale_resurrect _ -> true
+                    | _ -> false)
+                  schedule.Fault.Schedule.events;
+            }
+        else None
+      in
       Some
         {
           detector =
@@ -1594,6 +2200,7 @@ let run ?(config = default_config) ~controller ~workload () =
           schedule;
           loss_rng = Stdx.Rng.create schedule.Fault.Schedule.loss_seed;
           session;
+          corrupt;
         }
   in
   let w =
@@ -1653,6 +2260,16 @@ let run ?(config = default_config) ~controller ~workload () =
           q_msgs = 0;
           q_lost = 0;
           elections = 0;
+          corrupt_injected = 0;
+          corrupt_manifested = 0;
+          corrupt_detected = 0;
+          corrupt_repaired = 0;
+          sweep_rounds = 0;
+          sweep_msgs = 0;
+          sweep_lost = 0;
+          sweep_bytes = 0;
+          repair_sum = 0.0;
+          repair_max = 0.0;
         };
       entity_ctrl_retries = Array.make (n_proxies + n_mboxes) 0;
       entity_ctrl_lost = Array.make (n_proxies + n_mboxes) 0;
@@ -1797,7 +2414,15 @@ let run ?(config = default_config) ~controller ~workload () =
     epochs 1;
     ignore
       (Dess.Engine.schedule_at w.engine ~time:ls.lcfg.reconcile_interval
-         (fun _ -> reconcile w ls)));
+         (fun _ -> reconcile w ls));
+    (* The anti-entropy sweep: digest-audit every device each period.
+       [None] arms nothing — no events, no draws, bit-identical. *)
+    match ls.lcfg.sweep_period with
+    | None -> ()
+    | Some p ->
+      ignore
+        (Dess.Engine.schedule_at w.engine ~time:p (fun _ ->
+             sweep_round w ls ~period:p)));
   Dess.Engine.run engine;
   let audit_report =
     match w.audit with
@@ -1899,5 +2524,17 @@ let run ?(config = default_config) ~controller ~workload () =
       (match w.live with
       | None -> [||]
       | Some ls -> Array.map Quorum.Acceptor.committed ls.acceptors);
+    corruptions_injected = w.counters.corrupt_injected;
+    corruptions_manifested = w.counters.corrupt_manifested;
+    corruptions_detected = w.counters.corrupt_detected;
+    corruptions_repaired = w.counters.corrupt_repaired;
+    sweep_rounds = w.counters.sweep_rounds;
+    sweep_msgs = w.counters.sweep_msgs;
+    sweep_lost = w.counters.sweep_lost;
+    sweep_bytes = w.counters.sweep_bytes;
+    repair_window_mean =
+      (if w.counters.corrupt_repaired = 0 then 0.0
+       else w.counters.repair_sum /. float_of_int w.counters.corrupt_repaired);
+    repair_window_max = w.counters.repair_max;
     audit_report;
   }

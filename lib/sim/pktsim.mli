@@ -98,6 +98,18 @@ type live_config = {
           {!Controlplane.replica_routers} placement from the
           controller's router.  Must list [replicas] distinct
           routers. *)
+  sweep_period : float option;
+      (** anti-entropy period: every [p] time units the live leader
+          digest-audits each device's soft state over the lossy
+          control channel — a digest query triggers a local scrub of
+          silently corrupted entries, and the version report exposes
+          silently lost config installs (which the ack-driven
+          reconciliation loop cannot see) for a targeted re-push.
+          [None] (the default) disables the sweep entirely: no events,
+          no loss draws, bit-identical to a build without it.  The
+          sweep bounds corruption repair at [2 * sweep_period]
+          (one period to be visited, one for the retry ladder) — the
+          deadline the audit's Repair invariant enforces. *)
 }
 
 val default_live : live_config
@@ -287,6 +299,31 @@ type stats = {
       (** per-replica highest committed version at run end (empty when
           [live = None]) — divergence from [final_config_version]
           shows which replicas a partition left behind *)
+  (* Silent state corruption and anti-entropy repair.  All zero unless
+     the fault schedule carries corruption events (injection counters)
+     or [live.sweep_period] is set (sweep counters). *)
+  corruptions_injected : int;
+      (** corruption events that actually mutated state (an event
+          aimed at an empty table, a crashed box, or a version-0
+          device no-ops and is not counted) *)
+  corruptions_manifested : int;
+      (** injected corruptions whose state influenced the data plane
+          at least once before repair (mis-steered / bypassed packets,
+          lost-entry drops, regressed-weight decisions) *)
+  corruptions_detected : int;
+      (** digest mismatches the sweep found (one per device visit that
+          scrubbed) *)
+  corruptions_repaired : int;
+      (** injected corruptions retired: scrub-purged, naturally
+          overwritten/rebased, crash-wiped, or config re-installed *)
+  sweep_rounds : int; (** anti-entropy rounds the live leader ran *)
+  sweep_msgs : int;   (** sweep queries + reports sent, retries included *)
+  sweep_lost : int;   (** of those, lost to the control channel *)
+  sweep_bytes : int;  (** sweep wire overhead — the repair-traffic cost *)
+  repair_window_mean : float;
+      (** mean inject-to-repair time over repaired corruptions (0 when
+          none) *)
+  repair_window_max : float; (** worst inject-to-repair window *)
   audit_report : Audit.Checker.report option;
       (** the invariant auditor's verdict; [None] unless
           {!config.audit} was set *)

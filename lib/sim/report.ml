@@ -292,6 +292,60 @@ let quorum_csv (q : Experiment.quorum_report) =
     q.Experiment.q_rows;
   Buffer.contents buf
 
+let sweep_cell = function
+  | None -> "off"
+  | Some p -> Printf.sprintf "%.1f" p
+
+let pp_corrupt_ablation ppf (c : Experiment.corrupt_report) =
+  Format.fprintf ppf
+    "=== ABL-CORRUPT: silent corruption vs anti-entropy repair (campus) ===@.";
+  Format.fprintf ppf
+    "horizon %.1f; epoch %.1f, reconcile %.1f; sweep period %.1f when on; \
+     probe %d events@."
+    c.Experiment.c_horizon c.Experiment.c_epoch c.Experiment.c_reconcile
+    c.Experiment.c_default_sweep c.Experiment.c_probe_events;
+  Format.fprintf ppf
+    "%-4s %5s %6s %9s %10s %7s %6s %6s %6s %9s %8s %8s %7s %6s@." "plan"
+    "rate" "sweep" "injected" "delivered" "corrupt" "manif" "detect" "repair"
+    "violating" "win-mean" "win-max" "swbytes" "audit";
+  List.iter
+    (fun (r : Experiment.corrupt_row) ->
+      Format.fprintf ppf
+        "%-4s %5.2f %6s %9d %10d %7d %6d %6d %6d %9d %8.2f %8.2f %7d %6s@."
+        r.Experiment.cr_strategy r.Experiment.cr_rate
+        (sweep_cell r.Experiment.cr_sweep)
+        r.Experiment.cr_injected r.Experiment.cr_delivered
+        r.Experiment.cr_corruptions r.Experiment.cr_manifested
+        r.Experiment.cr_detected r.Experiment.cr_repaired
+        r.Experiment.cr_violations r.Experiment.cr_window_mean
+        r.Experiment.cr_window_max r.Experiment.cr_sweep_bytes
+        (audit_cell r.Experiment.cr_audit))
+    c.Experiment.c_rows
+
+let corrupt_csv (c : Experiment.corrupt_report) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "plan,rate,sweep_period,injected,delivered,corruptions,manifested,detected,repaired,violating,window_mean,window_max,sweep_rounds,sweep_msgs,sweep_bytes,audit\n";
+  List.iter
+    (fun (r : Experiment.corrupt_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%.3f,%s,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%d,%d,%d,%s\n"
+           r.Experiment.cr_strategy r.Experiment.cr_rate
+           (match r.Experiment.cr_sweep with
+           | None -> ""
+           | Some p -> Printf.sprintf "%.3f" p)
+           r.Experiment.cr_injected r.Experiment.cr_delivered
+           r.Experiment.cr_corruptions r.Experiment.cr_manifested
+           r.Experiment.cr_detected r.Experiment.cr_repaired
+           r.Experiment.cr_violations r.Experiment.cr_window_mean
+           r.Experiment.cr_window_max r.Experiment.cr_sweep_rounds
+           r.Experiment.cr_sweep_msgs r.Experiment.cr_sweep_bytes
+           (match r.Experiment.cr_audit with
+           | None -> ""
+           | Some n -> string_of_int n)))
+    c.Experiment.c_rows;
+  Buffer.contents buf
+
 let pp_sketch_ablation ppf points =
   Format.fprintf ppf
     "=== Ablation: Count-Min sketched measurement vs exact (campus) ===@.";

@@ -26,6 +26,8 @@ val pp_live_ablation : Format.formatter -> Experiment.live_report -> unit
 
 val pp_quorum_ablation : Format.formatter -> Experiment.quorum_report -> unit
 
+val pp_corrupt_ablation : Format.formatter -> Experiment.corrupt_report -> unit
+
 val pp_sketch_ablation : Format.formatter -> Experiment.sketch_point list -> unit
 
 val pp_epochs : Format.formatter -> Epochsim.epoch_metrics list -> unit
@@ -59,3 +61,9 @@ val quorum_csv : Experiment.quorum_report -> string
     [scenario,loss,injected,delivered,violating,versions,rounds,commits,aborts,msgs,lost,elections,degraded,stale,uncommitted,replica_versions,audit].
     [replica_versions] is "/"-separated per-replica committed
     versions; the [audit] column is empty when auditing was off. *)
+
+val corrupt_csv : Experiment.corrupt_report -> string
+(** One row per ABL-CORRUPT cell (plan × rate × sweep period); header
+    [plan,rate,sweep_period,injected,delivered,corruptions,manifested,detected,repaired,violating,window_mean,window_max,sweep_rounds,sweep_msgs,sweep_bytes,audit].
+    [sweep_period] is empty on sweep-disabled rows; the [audit] column
+    is empty when auditing was off. *)

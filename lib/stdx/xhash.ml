@@ -18,6 +18,18 @@ let fold_int acc n =
 
 let ints l = List.fold_left fold_int fnv_offset l
 
+(* Murmur3's 64-bit avalanche finalizer.  FNV-1a alone leaves hashes
+   of near-identical inputs correlated (only the trailing bytes
+   differ); the finalizer flips every output bit with probability ~1/2
+   under a single-bit input change, which is what both the rendezvous
+   selector and the order-independent state digests need. *)
+let fmix64 h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xFF51AFD7ED558CCDL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xC4CEB9FE1A85EC53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
 (* Use the top 53 bits so the float mantissa is filled uniformly. *)
 let to_unit_interval h =
   let bits = Int64.shift_right_logical h 11 in

@@ -19,6 +19,14 @@ val fold_int : int64 -> int -> int64
 val ints : int list -> int64
 (** Hash a list of ints (e.g. the fields of a flow identifier). *)
 
+val fmix64 : int64 -> int64
+(** Murmur3's 64-bit avalanche finalizer: a bijection on [int64] under
+    which a single-bit input change flips every output bit with
+    probability ~1/2.  Applied after an FNV-1a fold when downstream
+    consumers need independent-looking hashes — rendezvous selection
+    scores, and the per-entry hashes XOR-folded into order-independent
+    state digests (a raw FNV hash would let correlated entries cancel). *)
+
 val to_unit_interval : int64 -> float
 (** Map a hash to a float in [\[0, 1)], uniformly. *)
 

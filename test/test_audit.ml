@@ -536,6 +536,141 @@ let test_checker_quorum_commit_regression () =
     | [ v ] -> v.Audit.Checker.invariant = Audit.Checker.Quorum
     | _ -> false)
 
+(* --- Corruption repair --------------------------------------------- *)
+
+let label_site = Audit.Event.Label_site { mbox = 0; src = 7; label = 3 }
+
+let corrupt_inject ?(cid = 0) ?(kind = Audit.Event.Lost_entry)
+    ?(site = label_site) ?(deadline = 10.0) ~time c =
+  Audit.Checker.record c
+    (Audit.Event.Corrupt_inject { time; cid; kind; site; deadline })
+
+let test_checker_repair_clean () =
+  (* The happy anti-entropy path: inject, manifest, detect, repair
+     within the deadline — no findings.  A corruption that never
+     manifested needs no repair either. *)
+  let c, _ = fresh_checker () in
+  corrupt_inject c ~cid:0 ~time:1.0 ~deadline:10.0;
+  Audit.Checker.record c
+    (Audit.Event.Corrupt_manifest { time = 2.0; cid = 0; aid = -1 });
+  Audit.Checker.record c (Audit.Event.Corrupt_detect { time = 3.0; dev = 2 });
+  Audit.Checker.record c
+    (Audit.Event.Corrupt_repair
+       { time = 4.0; cid = 0; dev = 2; action = Audit.Event.Purged });
+  corrupt_inject c ~cid:1 ~time:5.0 ~deadline:6.0;
+  (* cid 1 never manifests: benign by construction, even unrepaired
+     and past its deadline. *)
+  let n, _ = violations_of c in
+  Alcotest.(check int) "clean repair round" 0 n
+
+let test_checker_repair_deadline () =
+  (* A manifested corruption repaired after its deadline is flagged on
+     arrival; one never repaired at all is caught at finalize — but
+     only when the deadline is finite (sweep disabled = infinite). *)
+  let late, _ = fresh_checker () in
+  corrupt_inject late ~cid:0 ~time:1.0 ~deadline:5.0;
+  Audit.Checker.record late
+    (Audit.Event.Corrupt_manifest { time = 2.0; cid = 0; aid = -1 });
+  Audit.Checker.record late
+    (Audit.Event.Corrupt_repair
+       { time = 6.0; cid = 0; dev = 2; action = Audit.Event.Rebased });
+  let n, sample = violations_of late in
+  Alcotest.(check int) "late repair flagged" 1 n;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "repair invariant" true
+        (v.Audit.Checker.invariant = Audit.Checker.Repair))
+    sample;
+  let never, _ = fresh_checker () in
+  corrupt_inject never ~cid:0 ~time:1.0 ~deadline:5.0;
+  Audit.Checker.record never
+    (Audit.Event.Corrupt_manifest { time = 2.0; cid = 0; aid = -1 });
+  let n, _ = violations_of never in
+  Alcotest.(check int) "never repaired flagged at finalize" 1 n;
+  let unswept, _ = fresh_checker () in
+  corrupt_inject unswept ~cid:0 ~time:1.0 ~deadline:infinity;
+  Audit.Checker.record unswept
+    (Audit.Event.Corrupt_manifest { time = 2.0; cid = 0; aid = -1 });
+  let n, _ = violations_of unswept in
+  Alcotest.(check int) "infinite deadline unenforceable" 0 n
+
+let test_checker_repair_stream_hygiene () =
+  (* The repair mirror distrusts the stream itself: detections with
+     nothing injected, repairs of unknown corruption ids, double
+     repairs, and manifestations after the repair are all findings. *)
+  let c, _ = fresh_checker () in
+  Audit.Checker.record c (Audit.Event.Corrupt_detect { time = 0.5; dev = 0 });
+  corrupt_inject c ~cid:0 ~time:1.0 ~deadline:infinity;
+  Audit.Checker.record c
+    (Audit.Event.Corrupt_repair
+       { time = 2.0; cid = 0; dev = 2; action = Audit.Event.Purged });
+  Audit.Checker.record c
+    (Audit.Event.Corrupt_repair
+       { time = 3.0; cid = 0; dev = 2; action = Audit.Event.Purged });
+  Audit.Checker.record c
+    (Audit.Event.Corrupt_manifest { time = 4.0; cid = 0; aid = -1 });
+  Audit.Checker.record c
+    (Audit.Event.Corrupt_repair
+       { time = 5.0; cid = 9; dev = 2; action = Audit.Event.Purged });
+  let n, _ = violations_of c in
+  Alcotest.(check int)
+    "unarmed detect + double repair + manifest-after-repair + unknown cid" 4 n
+
+let test_checker_repair_staged_window () =
+  (* A repair may only re-install certified state: a published version
+     that does not regress the device it lands on. *)
+  let c, _ = fresh_checker () in
+  Audit.Checker.record c (Audit.Event.Config_publish { time = 1.0; version = 1 });
+  Audit.Checker.record c
+    (Audit.Event.Config_install { dev = 0; time = 1.5; version = 1 });
+  Audit.Checker.record c
+    (Audit.Event.Config_install { dev = 1; time = 1.6; version = 1 });
+  corrupt_inject c ~cid:0 ~kind:Audit.Event.Lost_config
+    ~site:(Audit.Event.Config_site { dev = 0 })
+    ~time:2.0 ~deadline:infinity;
+  Audit.Checker.record c
+    (Audit.Event.Corrupt_repair
+       { time = 3.0; cid = 0; dev = 0; action = Audit.Event.Reinstalled 5 });
+  corrupt_inject c ~cid:1 ~kind:Audit.Event.Lost_config
+    ~site:(Audit.Event.Config_site { dev = 1 })
+    ~time:4.0 ~deadline:infinity;
+  Audit.Checker.record c
+    (Audit.Event.Corrupt_repair
+       { time = 5.0; cid = 1; dev = 1; action = Audit.Event.Reinstalled 0 });
+  let n, sample = violations_of c in
+  Alcotest.(check int) "unpublished + regressing reinstall" 2 n;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "repair invariant" true
+        (v.Audit.Checker.invariant = Audit.Checker.Repair))
+    sample
+
+let test_checker_resurrect_excuse () =
+  (* A hit on a resurrected label site is the corruption manifesting —
+     the injector announces it, so hygiene must not double-count it;
+     once the site is repaired the excuse dies with it. *)
+  let c, _ = fresh_checker () in
+  corrupt_inject c ~cid:0 ~kind:Audit.Event.Resurrected ~time:1.0
+    ~deadline:infinity;
+  Audit.Checker.record c
+    (Audit.Event.Label_hit
+       { mbox = 0; time = 2.0; src = 7; label = 3; version = 0 });
+  Audit.Checker.record c
+    (Audit.Event.Corrupt_repair
+       { time = 3.0; cid = 0; dev = 2; action = Audit.Event.Purged });
+  Audit.Checker.record c
+    (Audit.Event.Label_hit
+       { mbox = 0; time = 4.0; src = 7; label = 3; version = 0 });
+  (* Exactly one finding: the pre-repair hit was excused, the
+     post-repair one is ordinary hygiene. *)
+  let n, sample = violations_of c in
+  Alcotest.(check int) "post-repair hit is hygiene again" 1 n;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "hygiene invariant" true
+        (v.Audit.Checker.invariant = Audit.Checker.Hygiene))
+    sample
+
 let test_checker_counter_cross_check () =
   let c, controller = fresh_checker () in
   Audit.Checker.record c
@@ -882,6 +1017,16 @@ let suite =
       test_checker_quorum_unproposed;
     Alcotest.test_case "checker: quorum commit regression" `Quick
       test_checker_quorum_commit_regression;
+    Alcotest.test_case "checker: repair clean round" `Quick
+      test_checker_repair_clean;
+    Alcotest.test_case "checker: repair deadline" `Quick
+      test_checker_repair_deadline;
+    Alcotest.test_case "checker: repair stream hygiene" `Quick
+      test_checker_repair_stream_hygiene;
+    Alcotest.test_case "checker: repair staged window" `Quick
+      test_checker_repair_staged_window;
+    Alcotest.test_case "checker: resurrect excuse" `Quick
+      test_checker_resurrect_excuse;
     Alcotest.test_case "checker: counter cross-check" `Quick
       test_checker_counter_cross_check;
     Alcotest.test_case "checker: LB feasibility" `Quick

@@ -41,7 +41,7 @@ let test_unknown_experiment () =
   List.iter
     (fun name ->
       Alcotest.(check bool) (name ^ " listed") true (contains ~needle:name out))
-    [ "fig4"; "table3"; "chaos"; "live"; "quorum"; "lp" ]
+    [ "fig4"; "table3"; "chaos"; "live"; "quorum"; "corrupt"; "lp" ]
 
 let test_bad_flags () =
   let code, out = run_sdmctl [ "exp"; "table3"; "--jobs"; "0" ] in
@@ -51,9 +51,33 @@ let test_bad_flags () =
   Alcotest.(check int) "bad --shards exits 2" 2 code;
   Alcotest.(check bool) "explains" true (contains ~needle:"--shards" out)
 
+let test_bad_corrupt_flags () =
+  (* The corrupt experiment's numeric knobs: anything non-numeric,
+     negative, or non-finite exits 2 with the usage line. *)
+  let expect_rejected label args needle =
+    let code, out = run_sdmctl ([ "exp"; "corrupt" ] @ args) in
+    Alcotest.(check int) (label ^ " exits 2") 2 code;
+    Alcotest.(check bool) (label ^ " names the flag") true
+      (contains ~needle out);
+    Alcotest.(check bool) (label ^ " prints usage") true
+      (contains ~needle:"usage: sdmctl exp corrupt" out)
+  in
+  expect_rejected "non-numeric sweep period" [ "--sweep-period"; "abc" ]
+    "--sweep-period";
+  expect_rejected "negative sweep period" [ "--sweep-period=-3" ]
+    "--sweep-period";
+  expect_rejected "non-numeric corrupt rate" [ "--corrupt-rate"; "lots" ]
+    "--corrupt-rate";
+  expect_rejected "negative corrupt rate" [ "--corrupt-rate=-0.1" ]
+    "--corrupt-rate";
+  expect_rejected "non-finite corrupt rate" [ "--corrupt-rate"; "nan" ]
+    "--corrupt-rate"
+
 let suite =
   [
     Alcotest.test_case "unknown experiment lists known names" `Quick
       test_unknown_experiment;
     Alcotest.test_case "flag misuse exits 2" `Quick test_bad_flags;
+    Alcotest.test_case "corrupt flag validation exits 2" `Quick
+      test_bad_corrupt_flags;
   ]

@@ -161,6 +161,133 @@ let test_schedule_controller_validation () =
     (validate ~n_controllers:0
        Fault.Schedule.[ { at = 1.0; what = Ctrl_crash 0 } ])
 
+let test_schedule_corruption_validation () =
+  let link_exists _ _ = true in
+  let validate ?(n_proxies = 2) events =
+    Fault.Schedule.validate ~n_proxies ~n_mboxes:3 ~link_exists
+      (Fault.Schedule.make events)
+  in
+  let expect_ok label r =
+    match r with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s rejected: %s" label e
+  in
+  let expect_err label r =
+    match r with Ok () -> Alcotest.failf "%s accepted" label | Error _ -> ()
+  in
+  expect_ok "every corruption kind in range"
+    (validate
+       Fault.Schedule.
+         [
+           { at = 1.0; what = Label_corrupt 0 };
+           { at = 2.0; what = Label_drop 2 };
+           { at = 3.0; what = Cache_poison 1 };
+           { at = 4.0; what = Config_lose 4 };
+           (* device 4 = mbox 2 in proxies-first indexing *)
+           { at = 5.0; what = Stale_resurrect 1 };
+         ]);
+  (* Corruption events carry no pairing constraint: hitting the same
+     table twice in a row is legal (a no-op at worst). *)
+  expect_ok "repeated corruption of one table"
+    (validate
+       Fault.Schedule.
+         [
+           { at = 1.0; what = Label_drop 1 };
+           { at = 2.0; what = Label_drop 1 };
+         ]);
+  expect_err "unknown middlebox"
+    (validate Fault.Schedule.[ { at = 1.0; what = Label_corrupt 3 } ]);
+  expect_err "negative middlebox"
+    (validate Fault.Schedule.[ { at = 1.0; what = Label_drop (-1) } ]);
+  expect_err "unknown proxy"
+    (validate Fault.Schedule.[ { at = 1.0; what = Cache_poison 2 } ]);
+  expect_err "cache poison without proxies"
+    (validate ~n_proxies:0
+       Fault.Schedule.[ { at = 1.0; what = Cache_poison 0 } ]);
+  expect_err "config device beyond the vector"
+    (validate Fault.Schedule.[ { at = 1.0; what = Config_lose 5 } ]);
+  expect_err "unknown resurrect target"
+    (validate Fault.Schedule.[ { at = 1.0; what = Stale_resurrect 7 } ]);
+  Alcotest.(check bool) "has_corruption_events" true
+    (Fault.Schedule.has_corruption_events
+       (Fault.Schedule.make
+          Fault.Schedule.[ { at = 1.0; what = Label_drop 0 } ]));
+  Alcotest.(check bool) "crash alone is not corruption" false
+    (Fault.Schedule.has_corruption_events
+       (Fault.Schedule.make
+          Fault.Schedule.[ { at = 1.0; what = Mbox_crash 0 } ]))
+
+let test_corruption_events_deterministic () =
+  let gen () =
+    Fault.Schedule.corruption_events ~seed:11 ~rate:0.25 ~horizon:200.0
+      ~n_proxies:2 ~n_mboxes:4
+  in
+  let a = gen () and b = gen () in
+  Alcotest.(check int) "count = round(rate * horizon)" 50 (List.length a);
+  Alcotest.(check bool) "pure function of its arguments" true (a = b);
+  List.iter
+    (fun { Fault.Schedule.at; _ } ->
+      if at < 0.0 || at >= 200.0 then Alcotest.failf "event at %f off-horizon" at)
+    a;
+  (* All five kinds show up in a 50-event burst. *)
+  let kinds =
+    List.sort_uniq compare
+      (List.map
+         (fun { Fault.Schedule.what; _ } ->
+           match what with
+           | Fault.Schedule.Label_corrupt _ -> "corrupt"
+           | Label_drop _ -> "drop"
+           | Cache_poison _ -> "poison"
+           | Config_lose _ -> "lose"
+           | Stale_resurrect _ -> "resurrect"
+           | _ -> "other")
+         a)
+  in
+  Alcotest.(check (list string)) "all kinds drawn"
+    [ "corrupt"; "drop"; "lose"; "poison"; "resurrect" ]
+    kinds;
+  (* Changing the seed moves the burst. *)
+  let c =
+    Fault.Schedule.corruption_events ~seed:12 ~rate:0.25 ~horizon:200.0
+      ~n_proxies:2 ~n_mboxes:4
+  in
+  Alcotest.(check bool) "seed matters" true (a <> c);
+  (* A proxy-less deployment degrades Cache_poison to Label_drop. *)
+  List.iter
+    (fun { Fault.Schedule.what; _ } ->
+      match what with
+      | Fault.Schedule.Cache_poison _ ->
+        Alcotest.fail "cache poison drawn without proxies"
+      | _ -> ())
+    (Fault.Schedule.corruption_events ~seed:11 ~rate:0.5 ~horizon:200.0
+       ~n_proxies:0 ~n_mboxes:4);
+  (* The generated burst validates against the deployment it was drawn
+     for, and survives Schedule.make's sorting. *)
+  match
+    Fault.Schedule.validate ~n_proxies:2 ~n_mboxes:4
+      ~link_exists:(fun _ _ -> true)
+      (Fault.Schedule.make a)
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "generated burst rejected: %s" e
+
+let test_corruption_events_rejects_bad_args () =
+  let gen ?(rate = 0.1) ?(horizon = 100.0) ?(n_mboxes = 2) () =
+    Fault.Schedule.corruption_events ~seed:1 ~rate ~horizon ~n_proxies:1
+      ~n_mboxes
+  in
+  let expect_invalid label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  expect_invalid "negative rate" (fun () -> gen ~rate:(-0.1) ());
+  expect_invalid "NaN rate" (fun () -> gen ~rate:Float.nan ());
+  expect_invalid "non-positive horizon" (fun () -> gen ~horizon:0.0 ());
+  expect_invalid "empty deployment" (fun () -> gen ~n_mboxes:0 ());
+  Alcotest.(check int) "zero rate is legal and empty" 0
+    (List.length (gen ~rate:0.0 ()))
+
 let test_schedule_rejects_non_finite_times () =
   let expect_invalid label events =
     match Fault.Schedule.make events with
@@ -307,6 +434,12 @@ let suite =
       test_schedule_controller_validation;
     Alcotest.test_case "schedule rejects non-finite times" `Quick
       test_schedule_rejects_non_finite_times;
+    Alcotest.test_case "schedule corruption validation" `Quick
+      test_schedule_corruption_validation;
+    Alcotest.test_case "corruption events deterministic" `Quick
+      test_corruption_events_deterministic;
+    Alcotest.test_case "corruption events reject bad args" `Quick
+      test_corruption_events_rejects_bad_args;
     Alcotest.test_case "detector rejects non-finite delay" `Quick
       test_detector_rejects_non_finite_delay;
     Alcotest.test_case "detector delay window" `Quick test_detector_delay_window;

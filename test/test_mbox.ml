@@ -135,6 +135,182 @@ let test_label_table_versions () =
   Alcotest.(check int) "nothing left to purge" 0
     (Mbox.Label_table.purge_versions_below t ~version:10)
 
+let test_label_table_accessors () =
+  let t = Mbox.Label_table.create () in
+  Alcotest.(check int) "empty length" 0 (Mbox.Label_table.length t);
+  for i = 0 to 4 do
+    Mbox.Label_table.insert t ~now:0.0 (key "10.0.0.1" i)
+      ~actions:Policy.Action.[ FW ]
+      ~next:(Some 1) ~final_dst:None
+  done;
+  Alcotest.(check int) "length = size" (Mbox.Label_table.size t)
+    (Mbox.Label_table.length t);
+  Alcotest.(check int) "length" 5 (Mbox.Label_table.length t);
+  let seen = ref [] in
+  Mbox.Label_table.iter
+    (fun k _ -> seen := k.Mbox.Label_table.label :: !seen)
+    t;
+  Alcotest.(check (list int)) "iter visits every entry once" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare !seen)
+
+let test_label_table_label_range () =
+  let t = Mbox.Label_table.create () in
+  let insert label =
+    Mbox.Label_table.insert t ~now:0.0 (key "10.0.0.1" label)
+      ~actions:Policy.Action.[ FW ]
+      ~next:(Some 1) ~final_dst:None
+  in
+  Alcotest.check_raises "negative label"
+    (Invalid_argument
+       (Printf.sprintf "Label_table.insert: label -1 outside [0, %d]"
+          Netpkt.Header.max_label))
+    (fun () -> insert (-1));
+  Alcotest.check_raises "label beyond the 21-bit field"
+    (Invalid_argument
+       (Printf.sprintf "Label_table.insert: label %d outside [0, %d]"
+          (Netpkt.Header.max_label + 1)
+          Netpkt.Header.max_label))
+    (fun () -> insert (Netpkt.Header.max_label + 1));
+  Alcotest.(check int) "rejected inserts left no entry" 0
+    (Mbox.Label_table.length t);
+  (* The boundary labels themselves are legal. *)
+  insert 0;
+  insert Netpkt.Header.max_label;
+  Alcotest.(check int) "boundary labels accepted" 2
+    (Mbox.Label_table.length t)
+
+let test_label_table_digest_incremental () =
+  let t = Mbox.Label_table.create () in
+  Alcotest.(check int64) "empty digest" 0L (Mbox.Label_table.digest t);
+  Mbox.Label_table.insert t ~now:0.0 (key "10.0.0.1" 1)
+    ~actions:Policy.Action.[ FW ]
+    ~next:(Some 1) ~final_dst:None;
+  Mbox.Label_table.insert t ~now:0.0 ~version:2 (key "10.0.0.2" 2)
+    ~actions:Policy.Action.[ IDS ]
+    ~next:None ~final_dst:(Some 9);
+  Alcotest.(check int64) "incremental = recomputed"
+    (Mbox.Label_table.recompute_digest t)
+    (Mbox.Label_table.digest t);
+  (* Legitimate mutations keep the two in lockstep. *)
+  Mbox.Label_table.remove t (key "10.0.0.2" 2);
+  Alcotest.(check int64) "after remove"
+    (Mbox.Label_table.recompute_digest t)
+    (Mbox.Label_table.digest t);
+  Mbox.Label_table.remove t (key "10.0.0.1" 1);
+  Alcotest.(check int64) "insert/remove cancels to empty" 0L
+    (Mbox.Label_table.digest t)
+
+let test_label_table_unsafe_and_scrub () =
+  let t = Mbox.Label_table.create () in
+  for i = 0 to 3 do
+    Mbox.Label_table.insert t ~now:0.0 ~version:1 (key "10.0.0.1" i)
+      ~actions:Policy.Action.[ FW ]
+      ~next:(Some 1) ~final_dst:None
+  done;
+  let clean = Mbox.Label_table.digest t in
+  (* A silent steering rewrite leaves the incremental digest stale. *)
+  Alcotest.(check bool) "corrupt hits" true
+    (Mbox.Label_table.unsafe_corrupt t (key "10.0.0.1" 0) ~redirect:42);
+  Alcotest.(check int64) "incremental digest untouched" clean
+    (Mbox.Label_table.digest t);
+  Alcotest.(check bool) "mismatch detectable" true
+    (Mbox.Label_table.digest t <> Mbox.Label_table.recompute_digest t);
+  (* Scrub locates the checksum mismatch, purges it, rebases. *)
+  let purged = Mbox.Label_table.scrub t ~version_floor:0 in
+  Alcotest.(check (list int)) "corrupted key purged" [ 0 ]
+    (List.map (fun k -> k.Mbox.Label_table.label) purged);
+  Alcotest.(check int64) "digest rebased"
+    (Mbox.Label_table.recompute_digest t)
+    (Mbox.Label_table.digest t);
+  (* A silent drop leaves a ghost contribution; scrub clears it even
+     though no live entry is at fault. *)
+  Alcotest.(check bool) "drop hits" true
+    (Mbox.Label_table.unsafe_drop t (key "10.0.0.1" 1));
+  Alcotest.(check bool) "ghost detectable" true
+    (Mbox.Label_table.digest t <> Mbox.Label_table.recompute_digest t);
+  Alcotest.(check (list int)) "nothing live to purge" []
+    (List.map
+       (fun k -> k.Mbox.Label_table.label)
+       (Mbox.Label_table.scrub t ~version_floor:0));
+  Alcotest.(check int64) "ghost cleared"
+    (Mbox.Label_table.recompute_digest t)
+    (Mbox.Label_table.digest t);
+  (* Resurrect a stale-version entry verbatim: its checksum still
+     validates, so only the version floor catches it. *)
+  let stale =
+    match Mbox.Label_table.lookup t ~now:0.0 (key "10.0.0.1" 2) with
+    | Some e -> e
+    | None -> Alcotest.fail "expected survivor"
+  in
+  Mbox.Label_table.remove t (key "10.0.0.1" 2);
+  Alcotest.(check bool) "resurrect hits" true
+    (Mbox.Label_table.unsafe_resurrect t (key "10.0.0.1" 2) stale);
+  Alcotest.(check bool) "occupied slot refuses" false
+    (Mbox.Label_table.unsafe_resurrect t (key "10.0.0.1" 3) stale);
+  (* Bring the other survivor inside the staged window so only the
+     revenant sits below the floor. *)
+  Mbox.Label_table.insert t ~now:0.0 ~version:2 (key "10.0.0.1" 3)
+    ~actions:Policy.Action.[ FW ]
+    ~next:(Some 1) ~final_dst:None;
+  Alcotest.(check (list int)) "version floor purges the revenant" [ 2 ]
+    (List.map
+       (fun k -> k.Mbox.Label_table.label)
+       (Mbox.Label_table.scrub t ~version_floor:2));
+  (* Misses report false and change nothing. *)
+  Alcotest.(check bool) "corrupt miss" false
+    (Mbox.Label_table.unsafe_corrupt t (key "10.0.0.9" 7) ~redirect:1);
+  Alcotest.(check bool) "drop miss" false
+    (Mbox.Label_table.unsafe_drop t (key "10.0.0.9" 7))
+
+(* One arbitrary-but-deterministic entry per (label, version) pair. *)
+let perm_entry i (label, version) =
+  ( key (Printf.sprintf "10.0.%d.%d" (i mod 200) (label mod 200)) label,
+    version )
+
+let qcheck_digest_order_independent =
+  QCheck.Test.make ~count:200 ~name:"label-table digest is order-independent"
+    QCheck.(small_list (pair (int_bound 100) (int_bound 5)))
+    (fun entries ->
+      let entries = List.mapi perm_entry entries in
+      let build es =
+        let t = Mbox.Label_table.create () in
+        List.iter
+          (fun (k, version) ->
+            Mbox.Label_table.insert t ~now:0.0 ~version k
+              ~actions:Policy.Action.[ FW ]
+              ~next:(Some 1) ~final_dst:None)
+          es;
+        t
+      in
+      let a = build entries and b = build (List.rev entries) in
+      Mbox.Label_table.digest a = Mbox.Label_table.digest b
+      && Mbox.Label_table.digest a = Mbox.Label_table.recompute_digest a)
+
+let qcheck_digest_perturbation_sensitive =
+  (* Collision resistance in the sense the sweep needs: perturbing a
+     single entry's version — the cheapest single-field corruption —
+     must move the digest, whatever the rest of the table holds. *)
+  QCheck.Test.make ~count:200
+    ~name:"label-table digest moves under single-entry perturbation"
+    QCheck.(pair (small_list (pair (int_bound 100) (int_bound 5))) (int_bound 100))
+    (fun (entries, victim_label) ->
+      let entries = List.mapi perm_entry entries in
+      let build extra_version =
+        let t = Mbox.Label_table.create () in
+        List.iter
+          (fun (k, version) ->
+            Mbox.Label_table.insert t ~now:0.0 ~version k
+              ~actions:Policy.Action.[ FW ]
+              ~next:(Some 1) ~final_dst:None)
+          entries;
+        Mbox.Label_table.insert t ~now:0.0 ~version:extra_version
+          (key "10.9.9.9" victim_label)
+          ~actions:Policy.Action.[ FW; IDS ]
+          ~next:None ~final_dst:(Some 3);
+        t
+      in
+      Mbox.Label_table.digest (build 7) <> Mbox.Label_table.digest (build 8))
+
 let test_proxy_make () =
   let subnet = Netpkt.Addr.Prefix.of_string "10.3.0.0/16" in
   let p =
@@ -174,4 +350,14 @@ let suite =
     Alcotest.test_case "label table soft state" `Quick test_label_table_soft_state;
     Alcotest.test_case "label table purge" `Quick test_label_table_purge;
     Alcotest.test_case "label table versions" `Quick test_label_table_versions;
+    Alcotest.test_case "label table accessors" `Quick
+      test_label_table_accessors;
+    Alcotest.test_case "label table label range" `Quick
+      test_label_table_label_range;
+    Alcotest.test_case "label table digest incremental" `Quick
+      test_label_table_digest_incremental;
+    Alcotest.test_case "label table unsafe ops and scrub" `Quick
+      test_label_table_unsafe_and_scrub;
+    QCheck_alcotest.to_alcotest qcheck_digest_order_independent;
+    QCheck_alcotest.to_alcotest qcheck_digest_perturbation_sensitive;
   ]

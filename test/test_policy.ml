@@ -530,6 +530,119 @@ let test_cache_negative_entry_shape () =
   Alcotest.(check (float 1e-9)) "default timeout" 60.0
     (Policy.Flow_cache.timeout c)
 
+let test_cache_negative_ttl () =
+  (* Negative entries age against their own, shorter, TTL. *)
+  let c = Policy.Flow_cache.create ~timeout:100.0 ~negative_timeout:5.0 () in
+  Alcotest.(check (float 1e-9)) "accessor" 5.0
+    (Policy.Flow_cache.negative_timeout c);
+  let neg = flow "10.0.0.1" "10.1.0.1" and pos = flow "10.0.0.2" "10.1.0.1" in
+  ignore (Policy.Flow_cache.insert_negative c ~now:0.0 neg);
+  ignore
+    (Policy.Flow_cache.insert c ~now:0.0 pos ~rule_id:0
+       ~actions:Policy.Action.[ FW ] ());
+  Alcotest.(check bool) "negative alive within its TTL" true
+    (Policy.Flow_cache.lookup c ~now:4.0 neg <> None);
+  (* The 4.0 hit refreshed it; expired by 10.0 all the same. *)
+  Alcotest.(check bool) "negative expired at its own TTL" true
+    (Policy.Flow_cache.lookup c ~now:10.0 neg = None);
+  Alcotest.(check bool) "same-age positive survives" true
+    (Policy.Flow_cache.lookup c ~now:10.0 pos <> None);
+  Alcotest.(check int) "expired negative left the table" 1
+    (Policy.Flow_cache.size c);
+  (* A poisoned entry (positive flipped to negative) ages against the
+     negative TTL too — poisoning cannot extend a slot's life. *)
+  ignore
+    (Policy.Flow_cache.insert c ~now:10.0 neg ~rule_id:1
+       ~actions:Policy.Action.[ IDS ] ());
+  Alcotest.(check bool) "poison hits" true
+    (Policy.Flow_cache.unsafe_poison_negative c neg);
+  Alcotest.(check bool) "poisoned entry expired as negative" true
+    (Policy.Flow_cache.lookup c ~now:20.0 neg = None)
+
+let test_cache_negative_capacity_pressure () =
+  (* A negative entry past its own TTL is reclaimed by the
+     expired-first pass: it must not force an LRU eviction of a live
+     positive entry (the slot-pinning regression). *)
+  let c =
+    Policy.Flow_cache.create ~timeout:1000.0 ~negative_timeout:5.0 ~capacity:2
+      ()
+  in
+  let neg = flow "10.0.0.1" "10.1.0.1" in
+  let pos1 = flow "10.0.0.2" "10.1.0.1" and pos2 = flow "10.0.0.3" "10.1.0.1" in
+  ignore (Policy.Flow_cache.insert_negative c ~now:0.0 neg);
+  ignore
+    (Policy.Flow_cache.insert c ~now:1.0 pos1 ~rule_id:0
+       ~actions:Policy.Action.[ FW ] ());
+  ignore
+    (Policy.Flow_cache.insert c ~now:10.0 pos2 ~rule_id:1
+       ~actions:Policy.Action.[ FW ] ());
+  Alcotest.(check int) "no forced eviction" 0
+    (Policy.Flow_cache.stats c).Policy.Flow_cache.evictions;
+  Alcotest.(check bool) "negative slot reclaimed" true
+    (Policy.Flow_cache.lookup c ~now:10.0 neg = None);
+  Alcotest.(check bool) "older positive survives" true
+    (Policy.Flow_cache.lookup c ~now:10.0 pos1 <> None);
+  (* A still-live negative entry is a legal LRU victim like any other:
+     pressure evicts it first when it is the oldest. *)
+  let c2 =
+    Policy.Flow_cache.create ~timeout:1000.0 ~negative_timeout:5.0 ~capacity:2
+      ()
+  in
+  ignore (Policy.Flow_cache.insert_negative c2 ~now:0.0 neg);
+  ignore
+    (Policy.Flow_cache.insert c2 ~now:1.0 pos1 ~rule_id:0
+       ~actions:Policy.Action.[ FW ] ());
+  let pos3 = flow "10.0.0.4" "10.1.0.1" in
+  ignore
+    (Policy.Flow_cache.insert c2 ~now:2.0 pos3 ~rule_id:2
+       ~actions:Policy.Action.[ FW ] ());
+  Alcotest.(check int) "live LRU eviction counted" 1
+    (Policy.Flow_cache.stats c2).Policy.Flow_cache.evictions;
+  Alcotest.(check bool) "live negative was the LRU victim" true
+    (Policy.Flow_cache.lookup c2 ~now:2.0 neg = None);
+  Alcotest.(check bool) "positives survive" true
+    (Policy.Flow_cache.lookup c2 ~now:2.0 pos1 <> None
+    && Policy.Flow_cache.lookup c2 ~now:2.0 pos3 <> None)
+
+let test_cache_digest_and_poison () =
+  let c = Policy.Flow_cache.create () in
+  Alcotest.(check int64) "empty digest" 0L (Policy.Flow_cache.digest c);
+  let f1 = flow "10.0.0.1" "10.1.0.1" and f2 = flow "10.0.0.2" "10.1.0.1" in
+  ignore
+    (Policy.Flow_cache.insert c ~now:0.0 f1 ~rule_id:3
+       ~actions:Policy.Action.[ FW; IDS ] ~label:9 ());
+  ignore (Policy.Flow_cache.insert_negative c ~now:0.0 f2);
+  Alcotest.(check int64) "incremental = recomputed"
+    (Policy.Flow_cache.recompute_digest c)
+    (Policy.Flow_cache.digest c);
+  (* ls_ready and refreshes are legitimate in-place mutations that
+     must not perturb the digest. *)
+  ignore (Policy.Flow_cache.mark_ls_ready c f1);
+  ignore (Policy.Flow_cache.lookup c ~now:5.0 f1);
+  Alcotest.(check int64) "mutable fields excluded"
+    (Policy.Flow_cache.recompute_digest c)
+    (Policy.Flow_cache.digest c);
+  (* Poisoning bypasses maintenance: the digests disagree until scrub
+     purges the stale-checksum entry and rebases. *)
+  Alcotest.(check bool) "poison hits" true
+    (Policy.Flow_cache.unsafe_poison_negative c f1);
+  Alcotest.(check bool) "already-negative refuses" false
+    (Policy.Flow_cache.unsafe_poison_negative c f2);
+  Alcotest.(check bool) "absent flow refuses" false
+    (Policy.Flow_cache.unsafe_poison_actions c
+       (flow "10.0.0.9" "10.1.0.1")
+       ~actions:Policy.Action.[ FW ]);
+  Alcotest.(check bool) "mismatch detectable" true
+    (Policy.Flow_cache.digest c <> Policy.Flow_cache.recompute_digest c);
+  (match Policy.Flow_cache.scrub c with
+  | [ f ] when Netpkt.Flow.equal f f1 -> ()
+  | l -> Alcotest.failf "expected [f1] purged, got %d flows" (List.length l));
+  Alcotest.(check int64) "digest rebased"
+    (Policy.Flow_cache.recompute_digest c)
+    (Policy.Flow_cache.digest c);
+  Alcotest.(check bool) "clean survivor kept" true
+    (Policy.Flow_cache.lookup c ~now:5.0 f2 <> None)
+
 let suite =
   [
     Alcotest.test_case "action structure" `Quick test_action_structure;
@@ -568,4 +681,9 @@ let suite =
     Alcotest.test_case "cache capacity eviction" `Quick test_cache_capacity_eviction;
     Alcotest.test_case "cache capacity prefers expired" `Quick
       test_cache_capacity_prefers_expired;
+    Alcotest.test_case "cache negative TTL" `Quick test_cache_negative_ttl;
+    Alcotest.test_case "cache negative capacity pressure" `Quick
+      test_cache_negative_capacity_pressure;
+    Alcotest.test_case "cache digest and poison" `Quick
+      test_cache_digest_and_poison;
   ]

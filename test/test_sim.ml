@@ -1467,6 +1467,117 @@ let test_pktsim_replicated_convergence () =
     ({ again with Sim.Pktsim.loads = [||] } = { s with Sim.Pktsim.loads = [||] }
     && again.Sim.Pktsim.loads = s.Sim.Pktsim.loads)
 
+(* ---- Silent corruption & anti-entropy sweep ----------------------- *)
+
+let corrupt_pkt_config ?sweep_fraction () =
+  let controller, workload = small_pkt_setup ~strategy:`Hp ~flows:120 () in
+  let probe = Sim.Pktsim.run ~config:pkt_config ~controller ~workload () in
+  let horizon = probe.Sim.Pktsim.sim_time in
+  let dep = controller.Sdm.Controller.deployment in
+  let burst =
+    Fault.Schedule.corruption_events ~seed:19 ~rate:0.3 ~horizon
+      ~n_proxies:(Array.length dep.Sdm.Deployment.proxies)
+      ~n_mboxes:(Array.length dep.Sdm.Deployment.middleboxes)
+  in
+  let sweep_period = Option.map (fun f -> f *. horizon) sweep_fraction in
+  let live =
+    {
+      Sim.Pktsim.default_live with
+      epoch_interval = horizon /. 4.0;
+      reconcile_interval = horizon /. 16.0;
+      sweep_period;
+    }
+  in
+  let config =
+    {
+      pkt_config with
+      faults =
+        Some (Fault.Schedule.make ~control_loss:0.02 ~loss_seed:9 burst);
+      live = Some live;
+      audit = true;
+    }
+  in
+  (config, controller, workload, sweep_period)
+
+let test_pktsim_sweep_repairs_corruption () =
+  (* The anti-entropy loop end to end: a deterministic corruption burst
+     against a sweeping live controller — every corruption resolved
+     within the two-period bound, certified by the online audit, and
+     the whole thing replays bit-identically. *)
+  let config, controller, workload, sweep_period =
+    corrupt_pkt_config ~sweep_fraction:0.1 ()
+  in
+  let period = Option.get sweep_period in
+  let s = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "corruption injected" true
+    (s.Sim.Pktsim.corruptions_injected > 0);
+  Alcotest.(check bool) "digest mismatches detected" true
+    (s.Sim.Pktsim.corruptions_detected > 0);
+  Alcotest.(check int) "every corruption repaired"
+    s.Sim.Pktsim.corruptions_injected s.Sim.Pktsim.corruptions_repaired;
+  Alcotest.(check bool) "sweep actually ran" true
+    (s.Sim.Pktsim.sweep_rounds > 0 && s.Sim.Pktsim.sweep_bytes > 0);
+  Alcotest.(check bool) "repair windows within the two-period bound" true
+    (s.Sim.Pktsim.repair_window_max <= (2.0 *. period) +. 1e-9
+    && s.Sim.Pktsim.repair_window_mean <= s.Sim.Pktsim.repair_window_max);
+  (match s.Sim.Pktsim.audit_report with
+  | None -> Alcotest.fail "audited run produced no report"
+  | Some r ->
+    Alcotest.(check int) "repair invariant clean" 0 r.Audit.Checker.violations);
+  let again = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "deterministic replay" true
+    ({ again with Sim.Pktsim.loads = [||] } = { s with Sim.Pktsim.loads = [||] }
+    && again.Sim.Pktsim.loads = s.Sim.Pktsim.loads)
+
+let test_pktsim_corruption_without_sweep () =
+  (* Sweep disabled: nothing detects, nothing sweeps, and with the
+     repair deadline infinite the audit still closes clean — corruption
+     manifests as policy violations instead. *)
+  let config, controller, workload, _ = corrupt_pkt_config () in
+  let s = Sim.Pktsim.run ~config ~controller ~workload () in
+  Alcotest.(check bool) "corruption injected" true
+    (s.Sim.Pktsim.corruptions_injected > 0);
+  Alcotest.(check int) "no digest detections" 0
+    s.Sim.Pktsim.corruptions_detected;
+  Alcotest.(check int) "no sweep rounds" 0 s.Sim.Pktsim.sweep_rounds;
+  Alcotest.(check int) "no sweep traffic" 0 s.Sim.Pktsim.sweep_bytes;
+  Alcotest.(check bool) "festering corruption mis-steers packets" true
+    (s.Sim.Pktsim.policy_violations > 0);
+  match s.Sim.Pktsim.audit_report with
+  | None -> Alcotest.fail "audited run produced no report"
+  | Some r ->
+    Alcotest.(check int) "unenforceable deadlines stay clean" 0
+      r.Audit.Checker.violations
+
+let test_experiment_corrupt_invariant () =
+  (* ABL-CORRUPT is bit-identical across the fan-out axes, and its
+     sweep-enabled rows repair every injected corruption. *)
+  let run ~jobs ~shards =
+    Sim.Experiment.ablation_corrupt ~flows:120 ~audit:true ~rates:[ 0.3 ]
+      ~jobs ~shards ()
+  in
+  let base = run ~jobs:1 ~shards:1 in
+  Alcotest.(check bool) "corrupt jobs=1 = jobs=4" true
+    (base = run ~jobs:4 ~shards:1);
+  Alcotest.(check bool) "corrupt shards=1 = shards=4" true
+    (base = run ~jobs:1 ~shards:4);
+  List.iter
+    (fun (r : Sim.Experiment.corrupt_row) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "%s rate=%.1f audits clean" r.Sim.Experiment.cr_strategy
+           r.Sim.Experiment.cr_rate)
+        (Some 0) r.Sim.Experiment.cr_audit;
+      match r.Sim.Experiment.cr_sweep with
+      | None ->
+        Alcotest.(check int) "sweep-off row never detects" 0
+          r.Sim.Experiment.cr_detected
+      | Some _ ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s sweep row repairs everything"
+             r.Sim.Experiment.cr_strategy)
+          r.Sim.Experiment.cr_corruptions r.Sim.Experiment.cr_repaired)
+    base.Sim.Experiment.c_rows
+
 let test_experiment_quorum_invariant () =
   (* ABL-QUORUM is bit-identical across the fan-out axes, like every
      other experiment. *)
@@ -1653,6 +1764,12 @@ let suite =
       test_pktsim_replicated_convergence;
     Alcotest.test_case "experiment quorum jobs/shards invariance" `Slow
       test_experiment_quorum_invariant;
+    Alcotest.test_case "pktsim sweep repairs corruption" `Quick
+      test_pktsim_sweep_repairs_corruption;
+    Alcotest.test_case "pktsim corruption without sweep" `Quick
+      test_pktsim_corruption_without_sweep;
+    Alcotest.test_case "experiment corrupt jobs/shards invariance" `Slow
+      test_experiment_corrupt_invariant;
     QCheck_alcotest.to_alcotest qcheck_pktsim_chaos;
     QCheck_alcotest.to_alcotest qcheck_pktsim_random_fault_schedules;
     Alcotest.test_case "experiment figure (small)" `Slow test_experiment_figure_small;

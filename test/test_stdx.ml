@@ -338,6 +338,39 @@ let test_xhash_spread () =
     (fun c -> if c < 700 || c > 1300 then Alcotest.failf "skewed bucket: %d" c)
     buckets
 
+let test_xhash_fmix64_avalanche () =
+  (* The murmur3 finalizer's contract: a single-bit input flip changes
+     about half of the 64 output bits.  Raw FNV fails this badly for
+     small integer inputs, which is why the state digests finalize. *)
+  let popcount x =
+    let c = ref 0 in
+    for i = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr c
+    done;
+    !c
+  in
+  Alcotest.(check int64) "zero is the fixed point" 0L (Stdx.Xhash.fmix64 0L);
+  let n = 500 in
+  let total = ref 0 in
+  for i = 1 to n do
+    let x = Int64.of_int (i * 2654435761) in
+    let flipped = Int64.logxor x (Int64.shift_left 1L (i mod 64)) in
+    total :=
+      !total
+      + popcount (Int64.logxor (Stdx.Xhash.fmix64 x) (Stdx.Xhash.fmix64 flipped))
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  if mean < 28.0 || mean > 36.0 then
+    Alcotest.failf "avalanche mean %.2f, expected ~32" mean
+
+let qcheck_fmix64_injective =
+  (* fmix64 is a bijection on int64: no two distinct inputs may ever
+     collide (the digest's collision resistance leans on this). *)
+  QCheck.Test.make ~count:500 ~name:"fmix64 never collides"
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      a = b || Stdx.Xhash.fmix64 a <> Stdx.Xhash.fmix64 b)
+
 let test_count_min_never_undercounts () =
   let cm = Stdx.Count_min.create ~epsilon:0.01 ~delta:0.01 () in
   let rng = Stdx.Rng.create 3 in
@@ -627,6 +660,9 @@ let suite =
     Alcotest.test_case "xhash deterministic" `Quick test_xhash_deterministic;
     Alcotest.test_case "xhash unit interval" `Quick test_xhash_unit_interval;
     Alcotest.test_case "xhash spread" `Quick test_xhash_spread;
+    Alcotest.test_case "xhash fmix64 avalanche" `Quick
+      test_xhash_fmix64_avalanche;
+    QCheck_alcotest.to_alcotest qcheck_fmix64_injective;
     Alcotest.test_case "count-min never undercounts" `Quick
       test_count_min_never_undercounts;
     Alcotest.test_case "count-min error bound" `Quick test_count_min_error_bound;
