@@ -26,6 +26,7 @@
      ABL-FAIL  - middlebox failure: fast failover vs re-optimization
      ABL-LIVE  - live reconfiguration: versioned config pushes vs control loss
      ABL-CORRUPT - silent state corruption vs anti-entropy digest repair
+     ABL-REOPT - warm-started LP re-optimization vs cold re-solve
      ABL-EPOCH - adaptation across measurement epochs (stale weights)
      ABL-SKETCH- Count-Min sketched measurement vs exact
      ABL-LP    - LP formulation Eq.(1) vs Eq.(2) *)
@@ -132,6 +133,12 @@ let seq_baselines =
    a previous artifact being present). *)
 let scale_record : string option ref = ref None
 
+(* The ABL-REOPT section's record: per-scenario pivot counts and timed
+   warm-vs-cold re-solve latency, written under the top-level "reopt"
+   key.  Pivot counts are deterministic; only the ms figures are
+   wall-clock. *)
+let reopt_record : string option ref = ref None
+
 let write_json () =
   let path = "BENCH_pktsim.json" in
   let oc = open_out path in
@@ -167,9 +174,10 @@ let write_json () =
   in
   Printf.fprintf oc
     "{\n  \"jobs\": %d,\n  \"shards\": %d,\n  \"total_wall_seconds\": %.3f,\n  \
-     \"scaling\": %s,\n  \"experiments\": [\n%s\n  ]\n}\n"
+     \"scaling\": %s,\n  \"reopt\": %s,\n  \"experiments\": [\n%s\n  ]\n}\n"
     jobs shards total_seconds
     (Option.value ~default:"null" !scale_record)
+    (Option.value ~default:"null" !reopt_record)
     (String.concat ",\n" entries);
   close_out oc;
   Format.printf "[wrote %s]@." path
@@ -352,6 +360,116 @@ let () =
     ~hops:0;
   Format.printf "%a@." Sim.Report.pp_corrupt_ablation abc;
   write_csv "abl_corrupt.csv" (Sim.Report.corrupt_csv abc);
+
+  section "ABL-REOPT: warm-started re-optimization vs cold re-solve";
+  (* 400 flows even in fast mode: with fewer flows the measured
+     traffic support keeps growing between epochs and the in-run warm
+     path falls back on every epoch of the small campus topology,
+     hiding the pivot savings the sweep exists to show. *)
+  let reopt_flows = 400 in
+  let abreopt =
+    timed "ABL-REOPT" (fun () ->
+        Sim.Experiment.ablation_reopt ~flows:reopt_flows ~audit ~jobs ~shards ())
+  in
+  note_events "ABL-REOPT"
+    ~events:
+      (List.fold_left
+         (fun acc (r : Sim.Experiment.reopt_row) ->
+           acc + r.Sim.Experiment.rp_events_processed)
+         (List.fold_left
+            (fun acc (i : Sim.Experiment.reopt_scenario_info) ->
+              acc + i.Sim.Experiment.ri_probe_events)
+            0 abreopt.Sim.Experiment.rp_infos)
+         abreopt.Sim.Experiment.rp_rows)
+    ~hops:0;
+  Format.printf "%a@." Sim.Report.pp_reopt_ablation abreopt;
+  write_csv "abl_reopt.csv" (Sim.Report.reopt_csv abreopt);
+  write_csv "abl_reopt_steps.csv" (Sim.Report.reopt_steps_csv abreopt);
+
+  (* Timed warm-vs-cold re-solve latency: replay each scenario's churn
+     chain several times per mode and report ms per reoptimize call.
+     The pivot counts come from the deterministic report above; only
+     the ms figures here are wall-clock, so they stay on bracketed
+     lines and in the JSON. *)
+  let time_chains scenario =
+    let steps =
+      Sim.Experiment.reopt_replay scenario ~flows:reopt_flows ~seed:17 ()
+    in
+    let failure_sets =
+      List.map (fun (s : Sim.Experiment.reopt_step) -> s.Sim.Experiment.rs_failed) steps
+    in
+    let deployment = Sim.Experiment.build_deployment scenario ~seed:17 in
+    let workload =
+      Sim.Workload.generate ~deployment ~seed:17 ~flows:reopt_flows ()
+    in
+    let traffic = Sim.Workload.measure workload in
+    let base =
+      match
+        Sdm.Controller.configure deployment ~rules:workload.Sim.Workload.rules
+          (Sdm.Controller.Load_balanced traffic)
+      with
+      | Ok c -> c
+      | Error e -> failwith ("ABL-REOPT timing: " ^ e)
+    in
+    let reps = 5 in
+    let chain_ms use_warm =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        ignore
+          (List.fold_left
+             (fun c failed ->
+               match
+                 Sdm.Controller.reoptimize c ~failed ~use_warm ~traffic ()
+               with
+               | Ok c' -> c'
+               | Error e -> failwith ("ABL-REOPT timing: " ^ e))
+             base failure_sets)
+      done;
+      (Unix.gettimeofday () -. t0)
+      /. float_of_int (reps * List.length failure_sets)
+      *. 1e3
+    in
+    let cold_ms = chain_ms false and warm_ms = chain_ms true in
+    let sum f = List.fold_left (fun acc s -> acc + f s) 0 steps in
+    Format.printf "[ABL-REOPT %s: cold %.2f ms/solve, warm %.2f ms/solve]@."
+      (Sim.Experiment.scenario_name scenario)
+      cold_ms warm_ms;
+    (scenario, steps, cold_ms, warm_ms,
+     sum (fun s -> s.Sim.Experiment.rs_cold_pivots),
+     sum (fun s -> s.Sim.Experiment.rs_warm_pivots))
+  in
+  let chain_timings =
+    List.map time_chains [ Sim.Experiment.Campus; Sim.Experiment.Waxman ]
+  in
+  reopt_record :=
+    Some
+      (Printf.sprintf "{\"scenarios\": [%s], \"agree_steps\": %d, \"total_steps\": %d}"
+         (String.concat ", "
+            (List.map
+               (fun (scenario, steps, cold_ms, warm_ms, cold_pivots, warm_pivots) ->
+                 let name = Sim.Experiment.scenario_name scenario in
+                 let row warm =
+                   List.find
+                     (fun (r : Sim.Experiment.reopt_row) ->
+                       r.Sim.Experiment.rp_scenario = name
+                       && r.Sim.Experiment.rp_warm = warm)
+                     abreopt.Sim.Experiment.rp_rows
+                 in
+                 let cold_row = row false and warm_row = row true in
+                 Printf.sprintf
+                   "{\"name\": %S, \"routers\": %d, \"replay_steps\": %d, \
+                    \"replay_cold_pivots\": %d, \"replay_warm_pivots\": %d, \
+                    \"cold_ms_per_solve\": %.3f, \"warm_ms_per_solve\": %.3f, \
+                    \"run_cold_pivots\": %d, \"run_warm_pivots\": %d, \
+                    \"run_warm_used\": %d, \"run_fallback\": %d}"
+                   name cold_row.Sim.Experiment.rp_routers (List.length steps)
+                   cold_pivots warm_pivots cold_ms warm_ms
+                   cold_row.Sim.Experiment.rp_pivots
+                   warm_row.Sim.Experiment.rp_pivots
+                   warm_row.Sim.Experiment.rp_warm_used
+                   warm_row.Sim.Experiment.rp_fallback)
+               chain_timings))
+         abreopt.Sim.Experiment.rp_agree abreopt.Sim.Experiment.rp_total);
 
   section "ABL-EPOCH: adaptation across measurement epochs";
   let abe =

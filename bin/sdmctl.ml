@@ -137,8 +137,9 @@ let exp_cmd =
       value & flag
       & info [ "audit" ]
           ~doc:
-            "Run the packet-level rows of chaos/live/quorum/corrupt under \
-             the online invariant audit and exit non-zero on any violation")
+            "Run the packet-level rows of chaos/live/quorum/corrupt/reopt \
+             under the online invariant audit and exit non-zero on any \
+             violation")
   in
   let corrupt_rate_arg =
     Arg.(
@@ -191,13 +192,14 @@ let exp_cmd =
   let known_experiments =
     [
       "fig4"; "fig5"; "table3"; "k"; "cache"; "frag"; "fail"; "chaos"; "live";
-      "quorum"; "corrupt"; "epoch"; "sketch"; "queue"; "lp";
+      "quorum"; "corrupt"; "reopt"; "epoch"; "sketch"; "queue"; "lp";
     ]
   in
-  let audited_experiments = [ "chaos"; "live"; "quorum"; "corrupt" ] in
+  let audited_experiments = [ "chaos"; "live"; "quorum"; "corrupt"; "reopt" ] in
   let run which seed flows audit jobs shards corrupt_rate sweep_period =
     if audit && not (List.mem which audited_experiments) then
-      Format.eprintf "note: --audit applies to chaos, live, quorum and corrupt only@.";
+      Format.eprintf
+        "note: --audit applies to chaos, live, quorum, corrupt and reopt only@.";
     if jobs < 1 then begin
       Format.eprintf "--jobs must be >= 1@.";
       exit 2
@@ -312,6 +314,25 @@ let exp_cmd =
              (fun (row : Sim.Experiment.corrupt_row) ->
                row.Sim.Experiment.cr_audit)
              r.Sim.Experiment.c_rows)
+    | "reopt" ->
+      let r =
+        Sim.Experiment.ablation_reopt ~flows:(min flows 400) ~seed ~audit ~jobs
+          ~shards ()
+      in
+      Format.printf "%a@." Sim.Report.pp_reopt_ablation r;
+      (* The differential oracle fails the invocation on its own, audit
+         or not: a warm optimum disagreeing with the cold solve is a
+         solver bug, not an enforcement-invariant violation. *)
+      if r.Sim.Experiment.rp_agree <> r.Sim.Experiment.rp_total then begin
+        Format.eprintf "reopt: warm/cold objective mismatch (%d/%d steps)@."
+          r.Sim.Experiment.rp_agree r.Sim.Experiment.rp_total;
+        exit 1
+      end;
+      if audit then
+        audit_verdict
+          (List.filter_map
+             (fun (row : Sim.Experiment.reopt_row) -> row.Sim.Experiment.rp_audit)
+             r.Sim.Experiment.rp_rows)
     | "queue" ->
       Format.printf "%a@." Sim.Report.pp_queue_ablation
         (Sim.Experiment.ablation_queue ~seed ~jobs ~shards ())

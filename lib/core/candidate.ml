@@ -1,5 +1,12 @@
 type t = {
   deployment : Deployment.t;
+  k : Policy.Action.nf -> int;
+  excluded : int list;
+  (* Full distance-ranked offering per (entity, function), computed
+     once and shared immutably across every exclusion patch — ranking
+     never depends on who is excluded, so patched sets are filtered
+     views of these lists. *)
+  ranked : (int * Policy.Action.nf, Mbox.Middlebox.t list) Hashtbl.t;
   sets : (int * Policy.Action.nf, Mbox.Middlebox.t list) Hashtbl.t;
 }
 
@@ -9,20 +16,27 @@ let implements (dep : Deployment.t) entity nf =
   | Mbox.Entity.Middlebox i ->
     Policy.Action.equal_nf dep.Deployment.middleboxes.(i).Mbox.Middlebox.nf nf
 
-let compute ?(exclude = []) dep ~k =
+let entities_of dep =
+  List.init (Array.length dep.Deployment.proxies) (fun i -> Mbox.Entity.Proxy i)
+  @ List.init (Array.length dep.Deployment.middleboxes) (fun i ->
+        Mbox.Entity.Middlebox i)
+
+(* The candidate sets for a given exclusion list, as filtered views of
+   the ranked lists.  Filtering commutes with the ranking sort (the
+   order is strict: distance, then the unique id), so this is
+   element-for-element what ranking the filtered offering directly
+   would produce.  Raises [Invalid_argument] exactly where a from-
+   scratch computation would. *)
+let sets_for dep ~k ~excluded ranked =
   let sets = Hashtbl.create 256 in
-  let excluded id = List.mem id exclude in
+  let is_excluded id = List.mem id excluded in
   let functions = Deployment.functions dep in
-  let entities =
-    List.init (Array.length dep.Deployment.proxies) (fun i -> Mbox.Entity.Proxy i)
-    @ List.init (Array.length dep.Deployment.middleboxes) (fun i ->
-          Mbox.Entity.Middlebox i)
-  in
+  let entities = entities_of dep in
   List.iter
     (fun nf ->
       let offering =
         List.filter
-          (fun (m : Mbox.Middlebox.t) -> not (excluded m.id))
+          (fun (m : Mbox.Middlebox.t) -> not (is_excluded m.id))
           (Deployment.middleboxes_of dep nf)
       in
       if offering = [] then
@@ -35,7 +49,36 @@ let compute ?(exclude = []) dep ~k =
       List.iter
         (fun entity ->
           if not (implements dep entity nf) then begin
-            let ranked =
+            let ranked_full =
+              Hashtbl.find ranked (Mbox.Entity.hash_key entity, nf)
+            in
+            let live =
+              List.filter
+                (fun (m : Mbox.Middlebox.t) -> not (is_excluded m.id))
+                ranked_full
+            in
+            let rec take n = function
+              | [] -> []
+              | _ when n = 0 -> []
+              | x :: rest -> x :: take (n - 1) rest
+            in
+            Hashtbl.replace sets (Mbox.Entity.hash_key entity, nf) (take kn live)
+          end)
+        entities)
+    functions;
+  sets
+
+let compute ?(exclude = []) dep ~k =
+  let ranked = Hashtbl.create 256 in
+  let functions = Deployment.functions dep in
+  let entities = entities_of dep in
+  List.iter
+    (fun nf ->
+      let offering = Deployment.middleboxes_of dep nf in
+      List.iter
+        (fun entity ->
+          if not (implements dep entity nf) then begin
+            let sorted =
               List.sort
                 (fun (a : Mbox.Middlebox.t) (b : Mbox.Middlebox.t) ->
                   let da = Deployment.distance dep entity (Mbox.Entity.Middlebox a.id)
@@ -43,16 +86,19 @@ let compute ?(exclude = []) dep ~k =
                   match compare da db with 0 -> compare a.id b.id | c -> c)
                 offering
             in
-            let rec take n = function
-              | [] -> []
-              | _ when n = 0 -> []
-              | x :: rest -> x :: take (n - 1) rest
-            in
-            Hashtbl.replace sets (Mbox.Entity.hash_key entity, nf) (take kn ranked)
+            Hashtbl.replace ranked (Mbox.Entity.hash_key entity, nf) sorted
           end)
         entities)
     functions;
-  { deployment = dep; sets }
+  let sets = sets_for dep ~k ~excluded:exclude ranked in
+  { deployment = dep; k; excluded = exclude; ranked; sets }
+
+let with_excluded t exclude =
+  match sets_for t.deployment ~k:t.k ~excluded:exclude t.ranked with
+  | exception Invalid_argument e -> Error e
+  | sets -> Ok { t with excluded = exclude; sets }
+
+let excluded t = t.excluded
 
 let get t entity nf =
   if implements t.deployment entity nf then
@@ -75,5 +121,15 @@ let fingerprint t entity =
         let ids = List.map (fun (m : Mbox.Middlebox.t) -> m.id) (get t entity nf) in
         -1 :: ids)
     functions
+
+let equal a b =
+  let dump t =
+    Hashtbl.fold
+      (fun (ek, nf) members acc ->
+        ((ek, nf), List.map (fun (m : Mbox.Middlebox.t) -> m.id) members) :: acc)
+      t.sets []
+    |> List.sort compare
+  in
+  dump a = dump b
 
 let deployment t = t.deployment

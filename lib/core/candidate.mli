@@ -14,7 +14,28 @@ val compute :
 (** [k nf] is clamped to [|M^nf|].  [exclude] removes middleboxes (by
     id) from every candidate set — the controller's response to
     reported middlebox failures.  Raises [Invalid_argument] if some
-    function is left with no middlebox or [k nf < 1]. *)
+    function is left with no middlebox or [k nf < 1].
+
+    The full distance ranking per (entity, function) is computed once
+    and kept; {!with_excluded} derives patched candidate sets from it
+    without re-ranking. *)
+
+val with_excluded : t -> int list -> (t, string) result
+(** [with_excluded t ids] is the incremental form of re-running
+    {!compute} with [~exclude:ids] (an absolute exclusion list, not a
+    delta): candidate sets are re-derived by filtering the shared
+    ranked lists — no distance computation, no sorting — and are
+    element-for-element equal to a from-scratch rebuild.  The input
+    [t] is not mutated (configurations are versioned and shared).
+    Errors where {!compute} would raise: a function left without
+    middleboxes. *)
+
+val excluded : t -> int list
+(** The exclusion list this view was derived with. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the candidate sets (entities, functions and
+    member ids) — the oracle face of {!with_excluded}. *)
 
 val get : t -> Mbox.Entity.t -> Policy.Action.nf -> Mbox.Middlebox.t list
 (** Candidates ordered closest-first.  Raises [Not_found] for a

@@ -80,21 +80,72 @@ let configure deployment ~rules ?(k = default_k) ?(failed = []) kind =
           }))
   end
 
-let reoptimize t ?(failed = []) ~traffic () =
+let reoptimize t ?(failed = []) ?(use_warm = false) ~traffic () =
   (* The live controller's reaction to measurements and detected
      failures (Sec. III.C): rebuild candidate sets around the failed
      boxes and re-solve the placement from the traffic observed so
      far.  Whatever the initial strategy, re-optimization produces a
      load-balanced plan — that is the whole point of measuring — with
-     the exact formulation preserved when it was chosen initially. *)
-  let kind =
-    match t.strategy with
-    | Strategy.Load_balanced_exact _ -> Load_balanced_exact traffic
-    | Strategy.Hot_potato | Strategy.Random_uniform | Strategy.Load_balanced _
-      ->
-      Load_balanced traffic
-  in
-  configure t.deployment ~rules:t.rules ~k:t.k ~failed kind
+     the exact formulation preserved when it was chosen initially.
+
+     With [use_warm], the re-optimization is incremental end to end:
+     candidate sets are patched from the previous configuration's
+     ranked lists instead of recomputed ([Candidate.with_excluded]),
+     and the LP warm-starts from the previous plan's basis.  The
+     patched sets are provably equal to a rebuild and the warm solve
+     is an optimum the cold solve would also reach, so only pivot
+     counts — never feasibility or the objective — depend on the
+     flag.  [use_warm = false] is the cold path, bit-identical to
+     builds without warm-start support. *)
+  if not use_warm then
+    let kind =
+      match t.strategy with
+      | Strategy.Load_balanced_exact _ -> Load_balanced_exact traffic
+      | Strategy.Hot_potato | Strategy.Random_uniform
+      | Strategy.Load_balanced _ ->
+        Load_balanced traffic
+    in
+    configure t.deployment ~rules:t.rules ~k:t.k ~failed kind
+  else begin
+    match Candidate.with_excluded t.candidates failed with
+    | Error e -> Error e
+    | Ok candidates -> (
+      let warm = Option.bind t.lp (fun lp -> lp.Lp_formulation.lp_snapshot) in
+      match t.strategy with
+      | Strategy.Load_balanced_exact _ -> (
+        match
+          Lp_formulation.solve_exact candidates ~rules:t.rules ~traffic ?warm ()
+        with
+        | Error e -> Error e
+        | Ok lp ->
+          let sd =
+            Option.value ~default:(Weights_sd.create ())
+              lp.Lp_formulation.weights_sd
+          in
+          Ok
+            {
+              t with
+              candidates;
+              strategy =
+                Strategy.Load_balanced_exact (sd, lp.Lp_formulation.weights);
+              lp = Some lp;
+            })
+      | Strategy.Hot_potato | Strategy.Random_uniform
+      | Strategy.Load_balanced _ -> (
+        match
+          Lp_formulation.solve_simplified candidates ~rules:t.rules ~traffic
+            ?warm ()
+        with
+        | Error e -> Error e
+        | Ok lp ->
+          Ok
+            {
+              t with
+              candidates;
+              strategy = Strategy.Load_balanced lp.Lp_formulation.weights;
+              lp = Some lp;
+            }))
+  end
 
 let policy_table_for t = function
   | Mbox.Entity.Proxy i ->

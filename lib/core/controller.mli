@@ -47,7 +47,7 @@ val configure :
     reported. *)
 
 val reoptimize :
-  t -> ?failed:int list -> traffic:Measurement.t -> unit ->
+  t -> ?failed:int list -> ?use_warm:bool -> traffic:Measurement.t -> unit ->
   (t, string) Stdlib.result
 (** In-run re-optimization: rebuild the configuration over the same
     deployment, rules, and candidate sizing, excluding the [failed]
@@ -56,7 +56,18 @@ val reoptimize :
     re-solves the exact formulation; every other strategy re-optimizes
     to the aggregated [Load_balanced] plan — measurements exist to be
     used.  An empty measurement is legal and yields weight-less rows
-    (closest-live behavior) until traffic accrues. *)
+    (closest-live behavior) until traffic accrues.
+
+    [use_warm] (default false) makes the step incremental: candidate
+    sets are patched from the previous configuration's ranked lists
+    ({!Candidate.with_excluded} — equal to a rebuild) and the LP
+    warm-starts from the previous plan's basis, falling back to the
+    cold two-phase solve whenever the rebuilt LP's layout changed.
+    The result is always an optimum the cold path would also reach;
+    with the flag off the cold code path runs unchanged,
+    bit-identically to builds without warm-start support.  The pivot
+    and fallback counters of the solve land in the result's
+    [lp] field ({!Lp_formulation.result}). *)
 
 val policy_table_for : t -> Mbox.Entity.t -> Policy.Rule.t list
 (** The subset [P_x] the controller sends to entity [x]: for a proxy,

@@ -5,6 +5,11 @@ type result = {
   loads : float array;
   lp_vars : int;
   lp_constraints : int;
+  lp_pivots : int;
+  lp_phase1_pivots : int;
+  lp_warm_used : bool;
+  lp_fallback : bool;
+  lp_snapshot : Lp.Model.snapshot option;
 }
 
 (* Shared LP-building state: the model, the lambda variable, the
@@ -132,7 +137,7 @@ let add_chain ?commodity b cand ~rule_id ~chain ~entry_groups =
 let eps_type_max = 1e-4
 let eps_type_min = 1e-8
 
-let finish b cand ?lambda_cap () =
+let finish b cand ?lambda_cap ?warm () =
   let dep = Candidate.deployment cand in
   (* Per-type max/min variables over middleboxes that can carry load. *)
   let type_vars = Hashtbl.create 8 in
@@ -172,7 +177,13 @@ let finish b cand ?lambda_cap () =
       type_vars []
   in
   Lp.Model.set_objective b.model ((1.0, b.lambda) :: refinement);
-  match Lp.Model.solve b.model with
+  (* [?warm] threads the previous plan's snapshot through the solver:
+     the basis is reused when the rebuilt model still has the same
+     layout (phase 2 only), and the cold two-phase path runs otherwise
+     — float-identical to an un-warmed solve, so warm-off runs stay
+     bit-identical. *)
+  let outcome, sstats, snapshot = Lp.Model.solve_ext ?prev:warm b.model in
+  match outcome with
   | Lp.Model.Infeasible -> Error "load-balancing LP infeasible"
   | Lp.Model.Unbounded -> Error "load-balancing LP unbounded (bug)"
   | Lp.Model.Optimal sol ->
@@ -247,6 +258,11 @@ let finish b cand ?lambda_cap () =
         loads;
         lp_vars = Lp.Model.num_vars b.model;
         lp_constraints = Lp.Model.num_constraints b.model;
+        lp_pivots = sstats.Lp.Simplex.pivots;
+        lp_phase1_pivots = sstats.Lp.Simplex.phase1_pivots;
+        lp_warm_used = sstats.Lp.Simplex.warm_used;
+        lp_fallback = sstats.Lp.Simplex.fallback;
+        lp_snapshot = Some snapshot;
       }
 
 let check_chain rule =
@@ -286,8 +302,8 @@ let group_entry_sources cand ~group_sources sources =
     List.rev_map (fun fp -> !(Hashtbl.find groups fp)) !order
   end
 
-let solve_simplified cand ~rules ~traffic ?(group_sources = true) ?lambda_cap ()
-    =
+let solve_simplified cand ~rules ~traffic ?(group_sources = true) ?lambda_cap
+    ?warm () =
   let b = new_builder (Candidate.deployment cand) in
   let rec add = function
     | [] -> Ok ()
@@ -306,11 +322,11 @@ let solve_simplified cand ~rules ~traffic ?(group_sources = true) ?lambda_cap ()
   in
   match add rules with
   | Error e -> Error e
-  | Ok () -> finish b cand ?lambda_cap ()
+  | Ok () -> finish b cand ?lambda_cap ?warm ()
   | exception Not_found ->
     Error "a rule references a function no middlebox implements"
 
-let solve_exact cand ~rules ~traffic ?lambda_cap () =
+let solve_exact cand ~rules ~traffic ?lambda_cap ?warm () =
   let b = new_builder (Candidate.deployment cand) in
   let rec add = function
     | [] -> Ok ()
@@ -333,6 +349,6 @@ let solve_exact cand ~rules ~traffic ?lambda_cap () =
   in
   match add rules with
   | Error e -> Error e
-  | Ok () -> finish b cand ?lambda_cap ()
+  | Ok () -> finish b cand ?lambda_cap ?warm ()
   | exception Not_found ->
     Error "a rule references a function no middlebox implements"

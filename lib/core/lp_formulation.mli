@@ -35,6 +35,13 @@ type result = {
   loads : float array;     (** predicted volume per middlebox id *)
   lp_vars : int;           (** LP size, for the formulation ablation *)
   lp_constraints : int;
+  lp_pivots : int;         (** simplex pivots this solve performed *)
+  lp_phase1_pivots : int;  (** of those, phase-1 (and drive-out) pivots *)
+  lp_warm_used : bool;     (** a supplied warm basis carried the solve *)
+  lp_fallback : bool;      (** a warm basis was supplied but the cold
+                               two-phase path ran *)
+  lp_snapshot : Lp.Model.snapshot option;
+      (** the solve's basis + row cache, to pass as [?warm] next time *)
 }
 
 val solve_simplified :
@@ -43,6 +50,7 @@ val solve_simplified :
   traffic:Measurement.t ->
   ?group_sources:bool ->
   ?lambda_cap:float ->
+  ?warm:Lp.Model.snapshot ->
   unit ->
   (result, string) Stdlib.result
 
@@ -51,6 +59,7 @@ val solve_exact :
   rules:Policy.Rule.t list ->
   traffic:Measurement.t ->
   ?lambda_cap:float ->
+  ?warm:Lp.Model.snapshot ->
   unit ->
   (result, string) Stdlib.result
 (** Returns both the per-(s,d) rows ([weights_sd]) for faithful Eq. (1)

@@ -3,7 +3,18 @@
     Minimisation over non-negative variables with sparse rows — all
     the generality the paper's load-balancing formulations Eq. (1) and
     Eq. (2) require.  Build a model incrementally, then {!solve} hands
-    it to the {!Simplex} engine. *)
+    it to the {!Simplex} engine.
+
+    {b Incremental re-solving.}  {!solve_ext} returns a {!snapshot}
+    (dense row cache plus the optimal simplex basis); after editing
+    the model — objective coefficients via {!set_objective}, RHS
+    capacities via {!set_rhs}, a bounded set of rows via
+    {!replace_constraint}, or appended constraints — {!resolve} reuses
+    every unchanged dense row and, when the row layout is intact,
+    warm-starts the simplex from the previous basis.  Any structural
+    change (new variables, new rows, a sense or RHS-sign flip) falls
+    back to the cold path automatically; the outcome is always one the
+    cold path would also produce. *)
 
 type t
 
@@ -18,6 +29,15 @@ type solution = {
 }
 
 type outcome = Optimal of solution | Infeasible | Unbounded
+
+type snapshot
+(** The reusable residue of a {!solve_ext}: variable/row counts, the
+    densified rows, and (when the solve was optimal) the final simplex
+    basis.  The row cache is only honoured by the model instance that
+    produced it; the basis is portable to any model whose densified
+    layout still matches (the cross-rebuild warm path the live
+    controller uses), with the simplex engine checking compatibility
+    and falling back cold otherwise. *)
 
 val create : unit -> t
 
@@ -34,11 +54,32 @@ val add_constraint : t -> (float * var) list -> cmp -> float -> unit
 (** [add_constraint t terms cmp rhs] adds [Σ coef·var cmp rhs].
     Repeated variables in [terms] are summed. *)
 
+val set_rhs : t -> int -> float -> unit
+(** [set_rhs t i rhs] replaces the right-hand side of the [i]-th
+    constraint (insertion order).  Raises [Invalid_argument] on a bad
+    index. *)
+
+val replace_constraint : t -> int -> (float * var) list -> cmp -> float -> unit
+(** Replace the [i]-th constraint (insertion order) wholesale; terms
+    are normalised as in {!add_constraint}. *)
+
 val set_objective : t -> (float * var) list -> unit
 (** Minimised objective; variables not mentioned have cost 0. *)
 
 val value : solution -> var -> float
 
 val solve : t -> outcome
+(** Cold solve — bit-identical to {!solve_ext} without a snapshot. *)
+
+val solve_ext : ?prev:snapshot -> t -> outcome * Simplex.stats * snapshot
+(** Solve, reporting pivot/fallback counters and the snapshot for a
+    later {!resolve}.  With [?prev], unchanged rows are not
+    re-densified and the simplex warm-starts from the previous basis
+    when the row layout still matches ([Simplex.stats.warm_used]);
+    otherwise the cold path runs and [fallback] is set. *)
+
+val resolve : t -> prev:snapshot -> outcome * Simplex.stats * snapshot
+(** [resolve t ~prev] = [solve_ext ~prev t]: the diff-aware re-solve
+    after in-place edits. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -2,6 +2,25 @@ type sense = Le | Ge | Eq
 
 type result = Optimal of float array | Infeasible | Unbounded
 
+(* An exported optimal basis: the layout signature of the tableau it
+   came from (variable count and per-row normalised senses — these fix
+   the slack/artificial column assignment) plus the basic column of
+   every constraint row.  Importing it into a compatible perturbed
+   problem skips phase 1 entirely. *)
+type basis = {
+  b_n : int;
+  b_senses : sense array;
+  b_cols : int array;
+}
+
+type stats = {
+  pivots : int;          (* simplex pivots performed by this call *)
+  phase1_pivots : int;   (* of those, phase-1 (and drive-out) pivots *)
+  warm_used : bool;      (* the warm basis carried the solve to optimality *)
+  fallback : bool;       (* a warm basis was supplied but the cold
+                            two-phase path had to run *)
+}
+
 let eps = 1e-9
 
 (* Tableau layout: [a] has [m] constraint rows and one objective row
@@ -84,8 +103,9 @@ exception Unbounded_lp
 
 let iteration_cap = 2_000_000
 
-(* Run simplex iterations until no entering column remains. *)
-let optimise t ~allowed =
+(* Run simplex iterations until no entering column remains.  [count]
+   only observes pivots — no float the tableau sees depends on it. *)
+let optimise t ~count ~allowed =
   let degenerate_streak = ref 0 in
   let bland = ref false in
   let iter = ref 0 in
@@ -105,10 +125,11 @@ let optimise t ~allowed =
           if !degenerate_streak > 1000 then bland := true
         end
         else degenerate_streak := 0;
+        incr count;
         pivot t ~row ~col)
   done
 
-let solve ~cost ~rows =
+let solve_ext ?warm_basis ~cost ~rows () =
   let n = Array.length cost in
   let m = Array.length rows in
   Array.iter
@@ -128,6 +149,7 @@ let solve ~cost ~rows =
         else (coefs, sense, rhs))
       rows
   in
+  let senses = Array.map (fun (_, sense, _) -> sense) norm in
   let slacks = ref 0 and artificials = ref 0 in
   Array.iter
     (fun (_, sense, _) ->
@@ -140,93 +162,210 @@ let solve ~cost ~rows =
       | Eq -> incr artificials)
     norm;
   let width = n + !slacks + !artificials in
-  let a = Array.make_matrix (m + 1) (width + 1) 0.0 in
-  let basis = Array.make m (-1) in
-  let slack_col = ref n and art_col = ref (n + !slacks) in
   let art_first = n + !slacks in
-  Array.iteri
-    (fun i (coefs, sense, rhs) ->
-      Array.blit coefs 0 a.(i) 0 n;
-      a.(i).(width) <- rhs;
-      (match sense with
-      | Le ->
-        a.(i).(!slack_col) <- 1.0;
-        basis.(i) <- !slack_col;
-        incr slack_col
-      | Ge ->
-        a.(i).(!slack_col) <- -1.0;
-        incr slack_col;
-        a.(i).(!art_col) <- 1.0;
-        basis.(i) <- !art_col;
-        incr art_col
-      | Eq ->
-        a.(i).(!art_col) <- 1.0;
-        basis.(i) <- !art_col;
-        incr art_col))
-    norm;
-  let t = { a; m; width; basis } in
+  let build () =
+    let a = Array.make_matrix (m + 1) (width + 1) 0.0 in
+    let basis = Array.make m (-1) in
+    let slack_col = ref n and art_col = ref art_first in
+    Array.iteri
+      (fun i (coefs, sense, rhs) ->
+        Array.blit coefs 0 a.(i) 0 n;
+        a.(i).(width) <- rhs;
+        (match sense with
+        | Le ->
+          a.(i).(!slack_col) <- 1.0;
+          basis.(i) <- !slack_col;
+          incr slack_col
+        | Ge ->
+          a.(i).(!slack_col) <- -1.0;
+          incr slack_col;
+          a.(i).(!art_col) <- 1.0;
+          basis.(i) <- !art_col;
+          incr art_col
+        | Eq ->
+          a.(i).(!art_col) <- 1.0;
+          basis.(i) <- !art_col;
+          incr art_col))
+      norm;
+    { a; m; width; basis }
+  in
   let is_artificial j = j >= art_first in
-  (* ---- Phase 1: minimise the artificial sum. ---- *)
-  if !artificials > 0 then begin
-    (* Objective row = -(sum of artificial rows) expressed on non-basic
-       columns: start from cost 1 on artificials, then eliminate the
-       basic artificials row by row. *)
-    for j = art_first to width - 1 do
-      a.(m).(j) <- 1.0
+  let pivots = ref 0 and phase1_pivots = ref 0 in
+  let export t =
+    Some { b_n = n; b_senses = senses; b_cols = Array.copy t.basis }
+  in
+  (* Phase-2 objective row over the current basis, then optimise with
+     artificial columns barred from entering.  Shared by both paths. *)
+  let phase2 t =
+    let a = t.a in
+    for j = 0 to width do
+      a.(m).(j) <- 0.0
+    done;
+    for j = 0 to n - 1 do
+      a.(m).(j) <- cost.(j)
     done;
     for i = 0 to m - 1 do
-      if is_artificial basis.(i) then
+      let b = t.basis.(i) in
+      if b < n && cost.(b) <> 0.0 then begin
+        let f = cost.(b) in
         for j = 0 to width do
-          a.(m).(j) <- a.(m).(j) -. a.(i).(j)
+          a.(m).(j) <- a.(m).(j) -. (f *. a.(i).(j))
         done
+      end
     done;
-    (try optimise t ~allowed:(fun _ -> true)
-     with Unbounded_lp -> failwith "Simplex: phase 1 cannot be unbounded");
-    let phase1 = -.a.(m).(width) in
-    if phase1 > 1e-6 then raise Exit
-  end;
-  (* Drive any zero-valued basic artificials out of the basis. *)
-  for i = 0 to m - 1 do
-    if is_artificial t.basis.(i) then begin
-      let col = ref (-1) in
-      for j = 0 to art_first - 1 do
-        if !col = -1 && abs_float a.(i).(j) > eps then col := j
-      done;
-      if !col >= 0 then pivot t ~row:i ~col:!col
-      (* Otherwise the row is redundant (all-zero over real columns);
-         the artificial stays basic at value ~0 and, because phase 2
-         never lets artificial columns enter, its value can only change
-         through pivots in this row, which the ratio test performs only
-         at ratio 0 here. *)
-    end
-  done;
-  (* ---- Phase 2: real objective. ---- *)
-  for j = 0 to width do
-    a.(m).(j) <- 0.0
-  done;
-  for j = 0 to n - 1 do
-    a.(m).(j) <- cost.(j)
-  done;
-  for i = 0 to m - 1 do
-    let b = t.basis.(i) in
-    if b < n && cost.(b) <> 0.0 then begin
-      let f = cost.(b) in
-      for j = 0 to width do
-        a.(m).(j) <- a.(m).(j) -. (f *. a.(i).(j))
-      done
-    end
-  done;
-  match optimise t ~allowed:(fun j -> not (is_artificial j)) with
-  | () ->
+    optimise t ~count:pivots ~allowed:(fun j -> not (is_artificial j));
     let values = Array.make n 0.0 in
     for i = 0 to m - 1 do
       if t.basis.(i) < n then values.(t.basis.(i)) <- a.(i).(width)
     done;
     (* Clamp the tiny negatives numerical noise can leave behind. *)
     Array.iteri (fun j v -> if v < 0.0 && v > -1e-7 then values.(j) <- 0.0) values;
-    Optimal values
-  | exception Unbounded_lp -> Unbounded
-  | exception Exit -> Infeasible
+    (values, export t)
+  in
+  (* ---- Warm path: refactorise to the imported basis, verify primal
+     feasibility, run phase 2 only.  Any doubt — layout mismatch,
+     singular basis, infeasible or inconsistent RHS, unboundedness
+     claimed from the warm basis — abandons the attempt and reruns the
+     authoritative cold two-phase path, so a warm answer is only ever
+     an optimum the cold path would also have reached. *)
+  let try_warm b =
+    if
+      b.b_n <> n || m = 0 || n = 0
+      || Array.length b.b_senses <> m
+      || b.b_senses <> senses
+      || Array.length b.b_cols <> m
+      || Array.exists (fun c -> c < 0 || c >= width) b.b_cols
+    then None
+    else begin
+      let cols = Array.copy b.b_cols in
+      Array.sort compare cols;
+      let distinct = ref true in
+      for i = 1 to m - 1 do
+        if cols.(i) = cols.(i - 1) then distinct := false
+      done;
+      if not !distinct then None
+      else begin
+        let t = build () in
+        (* Install the basis as a column set: for each basis column
+           pick the unassigned row with the largest pivot element —
+           insensitive to the row order the exporter happened to have,
+           and singularity shows up as no usable pivot. *)
+        let assigned = Array.make m false in
+        let singular = ref false in
+        Array.iter
+          (fun col ->
+            if not !singular then begin
+              let best = ref (-1) and best_v = ref 0.0 in
+              for i = 0 to m - 1 do
+                if not assigned.(i) then begin
+                  let v = abs_float t.a.(i).(col) in
+                  if v > !best_v then begin
+                    best := i;
+                    best_v := v
+                  end
+                end
+              done;
+              if !best_v <= 1e-7 then singular := true
+              else begin
+                pivot t ~row:!best ~col;
+                assigned.(!best) <- true
+              end
+            end)
+          cols;
+        if !singular then None
+        else begin
+          (* Primal feasibility of the imported basis under the new
+             RHS; an artificial kept basic by the exporter (redundant
+             row) must still carry value ~0 or the perturbed row is
+             inconsistent. *)
+          let feasible = ref true in
+          for i = 0 to m - 1 do
+            let rhs = t.a.(i).(width) in
+            if is_artificial t.basis.(i) then begin
+              if abs_float rhs > 1e-7 then feasible := false
+            end
+            else if rhs < -1e-7 then feasible := false
+            else if rhs < 0.0 then t.a.(i).(width) <- 0.0
+          done;
+          if not !feasible then None
+          else
+            match phase2 t with
+            | values, basis -> Some (Optimal values, basis)
+            | exception Unbounded_lp -> None
+        end
+      end
+    end
+  in
+  let warm =
+    match warm_basis with None -> None | Some b -> try_warm b
+  in
+  match warm with
+  | Some (outcome, basis) ->
+    ( outcome,
+      {
+        pivots = !pivots;
+        phase1_pivots = !phase1_pivots;
+        warm_used = true;
+        fallback = false;
+      },
+      basis )
+  | None ->
+    let fallback = warm_basis <> None in
+    let stats () =
+      {
+        pivots = !pivots;
+        phase1_pivots = !phase1_pivots;
+        warm_used = false;
+        fallback;
+      }
+    in
+    let cold () =
+      let t = build () in
+      let a = t.a in
+      (* ---- Phase 1: minimise the artificial sum. ---- *)
+      if !artificials > 0 then begin
+        (* Objective row = -(sum of artificial rows) expressed on
+           non-basic columns: start from cost 1 on artificials, then
+           eliminate the basic artificials row by row. *)
+        for j = art_first to width - 1 do
+          a.(m).(j) <- 1.0
+        done;
+        for i = 0 to m - 1 do
+          if is_artificial t.basis.(i) then
+            for j = 0 to width do
+              a.(m).(j) <- a.(m).(j) -. a.(i).(j)
+            done
+        done;
+        (try optimise t ~count:phase1_pivots ~allowed:(fun _ -> true)
+         with Unbounded_lp -> failwith "Simplex: phase 1 cannot be unbounded");
+        let phase1 = -.a.(m).(width) in
+        if phase1 > 1e-6 then raise Exit
+      end;
+      (* Drive any zero-valued basic artificials out of the basis. *)
+      for i = 0 to m - 1 do
+        if is_artificial t.basis.(i) then begin
+          let col = ref (-1) in
+          for j = 0 to art_first - 1 do
+            if !col = -1 && abs_float a.(i).(j) > eps then col := j
+          done;
+          if !col >= 0 then begin
+            incr phase1_pivots;
+            pivot t ~row:i ~col:!col
+          end
+          (* Otherwise the row is redundant (all-zero over real
+             columns); the artificial stays basic at value ~0 and,
+             because phase 2 never lets artificial columns enter, its
+             value can only change through pivots in this row, which
+             the ratio test performs only at ratio 0 here. *)
+        end
+      done;
+      (* ---- Phase 2: real objective. ---- *)
+      match phase2 t with
+      | values, basis -> (Optimal values, stats (), basis)
+      | exception Unbounded_lp -> (Unbounded, stats (), None)
+    in
+    (try cold () with Exit -> (Infeasible, stats (), None))
 
 let solve ~cost ~rows =
-  try solve ~cost ~rows with Exit -> Infeasible
+  let outcome, _, _ = solve_ext ~cost ~rows () in
+  outcome

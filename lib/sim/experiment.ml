@@ -962,6 +962,236 @@ let ablation_corrupt ?(flows = 500) ?(seed = 17) ?(audit = false)
         (List.map (fun (s, rate, sweep) () -> row s rate sweep) cells);
   }
 
+(* ---- ABL-REOPT: warm-started re-optimization vs cold re-solve ---- *)
+
+type reopt_step = {
+  rs_failed : int list;
+  rs_cold_pivots : int;
+  rs_warm_pivots : int;
+  rs_cold_lambda : float;
+  rs_warm_lambda : float;
+  rs_warm_used : bool;
+  rs_fallback : bool;
+  rs_agree : bool;
+}
+
+let lambda_agree ~cold ~warm =
+  Float.abs (warm -. cold) <= 1e-6 *. Stdlib.max 1.0 (Float.abs cold)
+
+(* Two boxes from different functions, so excluding either never
+   empties a candidate set (7 FW and 7 IDS boxes are deployed). *)
+let churn_victims deployment =
+  let first nf =
+    (List.hd (Sdm.Deployment.middleboxes_of deployment nf)).Mbox.Middlebox.id
+  in
+  (first Policy.Action.IDS, first Policy.Action.FW)
+
+let reopt_replay scenario ?(flows = 500) ?(seed = 17) () =
+  let deployment = build_deployment scenario ~seed in
+  let workload = Workload.generate ~deployment ~seed ~flows () in
+  let rules = workload.Workload.rules in
+  let traffic = Workload.measure workload in
+  let base =
+    configure_exn deployment ~rules (Sdm.Controller.Load_balanced traffic)
+  in
+  let v1, v2 = churn_victims deployment in
+  (* The churn sequence each chain replays: no change (the warm solve
+     must take zero pivots), a crash, a second concurrent crash, the
+     first recovery, full recovery, and a final no-change step. *)
+  let failure_sets = [ []; [ v1 ]; [ v1; v2 ]; [ v2 ]; []; [] ] in
+  let reopt c ~failed ~use_warm =
+    match Sdm.Controller.reoptimize c ~failed ~use_warm ~traffic () with
+    | Ok c -> c
+    | Error e -> failwith ("reopt_replay: " ^ e)
+  in
+  let lp (c : Sdm.Controller.t) = Option.get c.Sdm.Controller.lp in
+  let _, _, rev =
+    List.fold_left
+      (fun (cold, warm, acc) failed ->
+        let cold' = reopt cold ~failed ~use_warm:false in
+        let warm' = reopt warm ~failed ~use_warm:true in
+        let cl = lp cold' and wl = lp warm' in
+        let cold_lambda = cl.Sdm.Lp_formulation.lambda in
+        let warm_lambda = wl.Sdm.Lp_formulation.lambda in
+        ( cold',
+          warm',
+          {
+            rs_failed = failed;
+            rs_cold_pivots = cl.Sdm.Lp_formulation.lp_pivots;
+            rs_warm_pivots = wl.Sdm.Lp_formulation.lp_pivots;
+            rs_cold_lambda = cold_lambda;
+            rs_warm_lambda = warm_lambda;
+            rs_warm_used = wl.Sdm.Lp_formulation.lp_warm_used;
+            rs_fallback = wl.Sdm.Lp_formulation.lp_fallback;
+            rs_agree = lambda_agree ~cold:cold_lambda ~warm:warm_lambda;
+          }
+          :: acc ))
+      (base, base, []) failure_sets
+  in
+  List.rev rev
+
+type reopt_row = {
+  rp_scenario : string;
+  rp_routers : int;
+  rp_warm : bool;
+  rp_reopts : int;
+  rp_pivots : int;
+  rp_phase1 : int;
+  rp_warm_used : int;
+  rp_fallback : int;
+  rp_injected : int;
+  rp_delivered : int;
+  rp_violations : int;
+  rp_versions : int;
+  rp_degraded : int;
+  rp_max_load : float;
+  rp_events_processed : int;
+  rp_audit : int option;
+}
+
+type reopt_scenario_info = {
+  ri_name : string;
+  ri_routers : int;
+  ri_epoch : float;
+  ri_reconcile : float;
+  ri_victims : int * int;
+  ri_crash1 : float;
+  ri_recover1 : float;
+  ri_crash2 : float;
+  ri_recover2 : float;
+  ri_probe_events : int;
+}
+
+type reopt_report = {
+  rp_control_loss : float;
+  rp_infos : reopt_scenario_info list;
+  rp_rows : reopt_row list;
+  rp_replays : (string * reopt_step list) list;
+  rp_agree : int;
+  rp_total : int;
+}
+
+let ablation_reopt ?(flows = 500) ?(seed = 17) ?(audit = false) ?jobs
+    ?(shards = 1) () =
+  let control_loss = 0.02 in
+  let scenarios = [ Campus; Waxman ] in
+  let scenario_cell scenario () =
+    let deployment = build_deployment scenario ~seed in
+    let workload = Workload.generate ~deployment ~seed ~flows () in
+    let rules = workload.Workload.rules in
+    let hp = configure_exn deployment ~rules Sdm.Controller.Hot_potato in
+    (* A fault-free probe under the stale plan fixes the horizon the
+       epochs and the churn schedule are placed within. *)
+    let probe =
+      Pktsim.run
+        ~config:{ Pktsim.default_config with shards }
+        ~controller:hp ~workload ()
+    in
+    let horizon = probe.Pktsim.sim_time in
+    (* Twice the usual epoch cadence: the sweep's point is the re-solve
+       sequence itself, and a denser cadence gives the warm chain
+       same-layout neighbours (churn-free epochs late in the run) as
+       well as layout-changing ones (around the churn window). *)
+    let epoch = horizon /. 10.0 in
+    let reconcile = epoch /. 4.0 in
+    let v1, v2 = churn_victims deployment in
+    let crash1 = 0.15 *. horizon and recover1 = 0.35 *. horizon in
+    let crash2 = 0.45 *. horizon and recover2 = 0.65 *. horizon in
+    let schedule =
+      Fault.Schedule.make ~control_loss ~loss_seed:(seed + 3)
+        Fault.Schedule.
+          [
+            { at = crash1; what = Mbox_crash v1 };
+            { at = recover1; what = Mbox_recover v1 };
+            { at = crash2; what = Mbox_crash v2 };
+            { at = recover2; what = Mbox_recover v2 };
+          ]
+    in
+    let routers =
+      Netgraph.Graph.node_count
+        deployment.Sdm.Deployment.topo.Netgraph.Topology.graph
+    in
+    let run warm =
+      let live =
+        {
+          Pktsim.default_live with
+          epoch_interval = epoch;
+          reconcile_interval = reconcile;
+          warm_start = warm;
+        }
+      in
+      let config =
+        {
+          Pktsim.default_config with
+          faults = Some schedule;
+          live = Some live;
+          audit;
+          shards;
+        }
+      in
+      let stats = Pktsim.run ~config ~controller:hp ~workload () in
+      {
+        rp_scenario = scenario_name scenario;
+        rp_routers = routers;
+        rp_warm = warm;
+        rp_reopts = stats.Pktsim.reoptimizations;
+        rp_pivots = stats.Pktsim.reopt_pivots;
+        rp_phase1 = stats.Pktsim.reopt_phase1_pivots;
+        rp_warm_used = stats.Pktsim.reopt_warm_used;
+        rp_fallback = stats.Pktsim.reopt_fallback;
+        rp_injected = stats.Pktsim.injected_packets;
+        rp_delivered = stats.Pktsim.delivered_packets;
+        rp_violations = stats.Pktsim.policy_violations;
+        rp_versions = stats.Pktsim.final_config_version;
+        rp_degraded = stats.Pktsim.config_degraded;
+        rp_max_load = Array.fold_left Stdlib.max 0.0 stats.Pktsim.loads;
+        rp_events_processed = stats.Pktsim.events_processed;
+        rp_audit = audit_violations stats;
+      }
+    in
+    let info =
+      {
+        ri_name = scenario_name scenario;
+        ri_routers = routers;
+        ri_epoch = epoch;
+        ri_reconcile = reconcile;
+        ri_victims = (v1, v2);
+        ri_crash1 = crash1;
+        ri_recover1 = recover1;
+        ri_crash2 = crash2;
+        ri_recover2 = recover2;
+        ri_probe_events = probe.Pktsim.events_processed;
+      }
+    in
+    (* The cold/warm pair stays inside the cell so both rows share one
+       probe, schedule and workload — the pair differs only in the
+       [warm_start] flag. *)
+    (info, [ run false; run true ])
+  in
+  let cells = fan_out ?jobs (List.map scenario_cell scenarios) in
+  let replays =
+    fan_out ?jobs
+      (List.map
+         (fun s () -> (scenario_name s, reopt_replay s ~flows ~seed ()))
+         scenarios)
+  in
+  let agree, total =
+    List.fold_left
+      (fun (a, t) (_, steps) ->
+        List.fold_left
+          (fun (a, t) s -> ((if s.rs_agree then a + 1 else a), t + 1))
+          (a, t) steps)
+      (0, 0) replays
+  in
+  {
+    rp_control_loss = control_loss;
+    rp_infos = List.map fst cells;
+    rp_rows = List.concat_map snd cells;
+    rp_replays = replays;
+    rp_agree = agree;
+    rp_total = total;
+  }
+
 type sketch_point = {
   epsilon : float;
   sketch_cells : int;

@@ -412,6 +412,101 @@ val ablation_corrupt :
     500 flows, rates [0.1; 0.4], periods [disabled; horizon/12].
     [audit] runs every row under the online invariant audit. *)
 
+type reopt_step = {
+  rs_failed : int list;    (** failure set the chains re-optimized around *)
+  rs_cold_pivots : int;    (** simplex pivots of the cold two-phase solve *)
+  rs_warm_pivots : int;    (** pivots of the warm-started solve *)
+  rs_cold_lambda : float;
+  rs_warm_lambda : float;
+  rs_warm_used : bool;     (** the warm basis carried the solve *)
+  rs_fallback : bool;      (** the warm chain fell back to the cold path *)
+  rs_agree : bool;
+      (** |λ_warm − λ_cold| ≤ 1e-6·max(1, |λ_cold|) — the differential
+          oracle CI checks on every step *)
+}
+
+val reopt_replay :
+  scenario -> ?flows:int -> ?seed:int -> unit -> reopt_step list
+(** Controller-level churn replay, the differential core of ABL-REOPT:
+    starting from one load-balanced configuration, two chains
+    re-optimize through the same failure-set sequence — no change, one
+    crash, a second concurrent crash, staged recovery, and a final
+    no-change step — one chain cold ([use_warm:false]) and one
+    incremental ([use_warm:true], candidate patching + LP basis reuse
+    threaded step to step).  Per step it records both pivot counts and
+    both optima; the no-change steps must warm-solve in exactly zero
+    pivots, and every step's optima must agree within tolerance.
+    Deterministic: a pure function of (scenario, flows, seed). *)
+
+type reopt_row = {
+  rp_scenario : string;   (** "campus" / "waxman" *)
+  rp_routers : int;       (** topology size (routers) *)
+  rp_warm : bool;         (** this row ran with [live.warm_start] *)
+  rp_reopts : int;        (** configuration versions published in-run *)
+  rp_pivots : int;        (** simplex pivots across every in-run re-solve *)
+  rp_phase1 : int;        (** of those, phase-1 (and drive-out) pivots *)
+  rp_warm_used : int;     (** re-solves carried by a warm basis *)
+  rp_fallback : int;      (** re-solves that fell back to the cold path *)
+  rp_injected : int;
+  rp_delivered : int;
+  rp_violations : int;    (** policy violations; expect 0 *)
+  rp_versions : int;
+  rp_degraded : int;      (** degradations to last-known-good *)
+  rp_max_load : float;    (** busiest-middlebox load at run end *)
+  rp_events_processed : int;
+  rp_audit : int option;
+      (** invariant violations found by the online audit
+          ({!Pktsim.config.audit}); [None] when auditing was off *)
+}
+
+type reopt_scenario_info = {
+  ri_name : string;
+  ri_routers : int;
+  ri_epoch : float;          (** epoch interval used (horizon / 10) *)
+  ri_reconcile : float;      (** reconcile interval used (epoch / 4) *)
+  ri_victims : int * int;    (** (IDS box, FW box) crashed and recovered *)
+  ri_crash1 : float;         (** first crash (15% of the horizon) *)
+  ri_recover1 : float;       (** first recovery (35%) *)
+  ri_crash2 : float;         (** second crash (45%) *)
+  ri_recover2 : float;       (** second recovery (65%) *)
+  ri_probe_events : int;     (** engine events of the fault-free probe *)
+}
+
+type reopt_report = {
+  rp_control_loss : float;   (** control-packet loss applied to every row *)
+  rp_infos : reopt_scenario_info list;
+  rp_rows : reopt_row list;  (** scenario × \{cold, warm\} packet-level runs *)
+  rp_replays : (string * reopt_step list) list;
+      (** per-scenario controller-level differential replay *)
+  rp_agree : int;            (** replay steps whose optima agree *)
+  rp_total : int;            (** replay steps checked *)
+}
+
+val ablation_reopt :
+  ?flows:int ->
+  ?seed:int ->
+  ?audit:bool ->
+  ?jobs:int ->
+  ?shards:int ->
+  unit ->
+  reopt_report
+(** ABL-REOPT, the incremental re-optimization experiment: on both
+    topologies, a live-control-plane run with middlebox churn — an IDS
+    box crashes at 15% of the horizon and recovers at 35%, an FW box
+    crashes at 45% and recovers at 65%, under 2% control loss — is
+    replayed twice, identical except for {!Pktsim.live_config}'s
+    [warm_start] flag.  The cold row re-solves every in-run LP from
+    scratch; the warm row patches candidate sets in place and
+    warm-starts each solve from the previous plan's basis, so its
+    total pivot count is strictly smaller while packets, violations,
+    versions and loads stay comparable (the plans are equal optima,
+    not necessarily identical vertices).  A controller-level
+    {!reopt_replay} rides along as the differential oracle: warm and
+    cold optima must agree on every step ([rp_agree] = [rp_total]).
+    Cold rows are bit-identical to runs of builds without warm-start
+    support.  Defaults: 500 flows, seed 17.  [audit] runs both rows
+    under the online invariant audit ({!Pktsim.config.audit}). *)
+
 type sketch_point = {
   epsilon : float;
   sketch_cells : int;       (** counters across all proxy sketches *)

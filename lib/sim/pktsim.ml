@@ -19,6 +19,11 @@ type live_config = {
       (* anti-entropy digest sweep over every device's soft state;
          [None] disables it (and keeps the run bit-identical to a
          build without the sweep machinery) *)
+  warm_start : bool;
+      (* thread the previous plan's simplex basis through every in-run
+         re-optimization (incremental candidate patching + phase-2-only
+         LP re-solve where the layout held); [false] runs the cold path
+         bit-identically to builds without warm-start support *)
 }
 
 let default_live =
@@ -36,6 +41,7 @@ let default_live =
     quorum = Quorum.Majority;
     replica_routers = None;
     sweep_period = None;
+    warm_start = false;
   }
 
 (* The retry ladder every control-plane chain (config push, proposal,
@@ -158,6 +164,12 @@ type stats = {
   sweep_bytes : int;       (* repair-traffic overhead on the wire *)
   repair_window_mean : float; (* mean inject-to-repair time, 0 if none *)
   repair_window_max : float;
+  (* Incremental re-optimization (all 0 when [live = None]; warm/
+     fallback are 0 unless [warm_start] was on). *)
+  reopt_pivots : int;     (* simplex pivots across all in-run re-solves *)
+  reopt_phase1_pivots : int; (* of those, phase-1 (cold-path) pivots *)
+  reopt_warm_used : int;  (* re-solves the previous basis carried *)
+  reopt_fallback : int;   (* warm attempts that fell back cold *)
   audit_report : Audit.Checker.report option; (* None unless [config.audit] *)
 }
 
@@ -203,6 +215,10 @@ type counters = {
   mutable sweep_bytes : int;
   mutable repair_sum : float;
   mutable repair_max : float;
+  mutable reopt_pivots : int;
+  mutable reopt_phase1 : int;
+  mutable reopt_warm : int;
+  mutable reopt_fallback : int;
 }
 
 (* Messages on the wire: ordinary data packets, or the control packet
@@ -1960,9 +1976,25 @@ let reoptimize w ls =
       | None -> []
     in
     let current = ls.configs.(ls.latest) in
-    match Sdm.Controller.reoptimize current ~failed ~traffic:ls.meas () with
+    match
+      Sdm.Controller.reoptimize current ~failed
+        ~use_warm:ls.lcfg.warm_start ~traffic:ls.meas ()
+    with
     | Error _ -> w.counters.cfg_degraded <- w.counters.cfg_degraded + 1
     | Ok next -> (
+      (* Solver-work accounting happens whether or not verification or
+         the quorum later vetoes the plan — the pivots were spent. *)
+      (match next.Sdm.Controller.lp with
+      | Some lp ->
+        w.counters.reopt_pivots <-
+          w.counters.reopt_pivots + lp.Sdm.Lp_formulation.lp_pivots;
+        w.counters.reopt_phase1 <-
+          w.counters.reopt_phase1 + lp.Sdm.Lp_formulation.lp_phase1_pivots;
+        if lp.Sdm.Lp_formulation.lp_warm_used then
+          w.counters.reopt_warm <- w.counters.reopt_warm + 1;
+        if lp.Sdm.Lp_formulation.lp_fallback then
+          w.counters.reopt_fallback <- w.counters.reopt_fallback + 1
+      | None -> ());
       match
         match Sdm.Verify.check next with
         | Error _ as e -> e
@@ -2270,6 +2302,10 @@ let run ?(config = default_config) ~controller ~workload () =
           sweep_bytes = 0;
           repair_sum = 0.0;
           repair_max = 0.0;
+          reopt_pivots = 0;
+          reopt_phase1 = 0;
+          reopt_warm = 0;
+          reopt_fallback = 0;
         };
       entity_ctrl_retries = Array.make (n_proxies + n_mboxes) 0;
       entity_ctrl_lost = Array.make (n_proxies + n_mboxes) 0;
@@ -2536,5 +2572,9 @@ let run ?(config = default_config) ~controller ~workload () =
       (if w.counters.corrupt_repaired = 0 then 0.0
        else w.counters.repair_sum /. float_of_int w.counters.corrupt_repaired);
     repair_window_max = w.counters.repair_max;
+    reopt_pivots = w.counters.reopt_pivots;
+    reopt_phase1_pivots = w.counters.reopt_phase1;
+    reopt_warm_used = w.counters.reopt_warm;
+    reopt_fallback = w.counters.reopt_fallback;
     audit_report;
   }

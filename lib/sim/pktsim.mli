@@ -110,6 +110,15 @@ type live_config = {
           sweep bounds corruption repair at [2 * sweep_period]
           (one period to be visited, one for the retry ladder) — the
           deadline the audit's Repair invariant enforces. *)
+  warm_start : bool;
+      (** thread the previous plan's simplex basis through every
+          in-run re-optimization: candidate sets are patched from the
+          ranked lists instead of recomputed, and the LP re-runs phase
+          2 only when its layout held ({!Sdm.Controller.reoptimize}
+          with [use_warm]).  Warm plans are optima the cold path would
+          also reach; only the pivot counters change.  [false] (the
+          default) runs the cold path, bit-identical to builds without
+          warm-start support. *)
 }
 
 val default_live : live_config
@@ -324,6 +333,17 @@ type stats = {
       (** mean inject-to-repair time over repaired corruptions (0 when
           none) *)
   repair_window_max : float; (** worst inject-to-repair window *)
+  reopt_pivots : int;
+      (** simplex pivots across every in-run re-optimization (0 when
+          [live = None]) *)
+  reopt_phase1_pivots : int;
+      (** of those, phase-1 and drive-out pivots — cold-path work a
+          successful warm start skips entirely *)
+  reopt_warm_used : int;
+      (** re-solves the previous basis carried to optimality (0 unless
+          [live.warm_start]) *)
+  reopt_fallback : int;
+      (** warm attempts that fell back to the cold two-phase path *)
   audit_report : Audit.Checker.report option;
       (** the invariant auditor's verdict; [None] unless
           {!config.audit} was set *)

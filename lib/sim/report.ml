@@ -346,6 +346,101 @@ let corrupt_csv (c : Experiment.corrupt_report) =
     c.Experiment.c_rows;
   Buffer.contents buf
 
+let pp_reopt_ablation ppf (r : Experiment.reopt_report) =
+  Format.fprintf ppf
+    "=== ABL-REOPT: warm-started re-optimization vs cold re-solve ===@.";
+  Format.fprintf ppf "control-packet loss: %.0f%% (masked by retransmission)@."
+    (100.0 *. r.Experiment.rp_control_loss);
+  List.iter
+    (fun (i : Experiment.reopt_scenario_info) ->
+      let v1, v2 = i.Experiment.ri_victims in
+      Format.fprintf ppf
+        "%s: %d routers; epoch %.1f, reconcile %.1f; churn mbox%d \
+         %.1f-%.1f, mbox%d %.1f-%.1f@."
+        i.Experiment.ri_name i.Experiment.ri_routers i.Experiment.ri_epoch
+        i.Experiment.ri_reconcile v1 i.Experiment.ri_crash1
+        i.Experiment.ri_recover1 v2 i.Experiment.ri_crash2
+        i.Experiment.ri_recover2)
+    r.Experiment.rp_infos;
+  Format.fprintf ppf "%-8s %8s %5s %7s %7s %7s %5s %9s %9s %10s %10s %9s %9s %10s %6s@."
+    "scenario" "routers" "mode" "reopts" "pivots" "phase1" "warm" "fallback"
+    "injected" "delivered" "violating" "versions" "degraded" "max load" "audit";
+  List.iter
+    (fun (row : Experiment.reopt_row) ->
+      Format.fprintf ppf
+        "%-8s %8d %5s %7d %7d %7d %5d %9d %9d %10d %10d %9d %9d %10s %6s@."
+        row.Experiment.rp_scenario row.Experiment.rp_routers
+        (if row.Experiment.rp_warm then "warm" else "cold")
+        row.Experiment.rp_reopts row.Experiment.rp_pivots
+        row.Experiment.rp_phase1 row.Experiment.rp_warm_used
+        row.Experiment.rp_fallback row.Experiment.rp_injected
+        row.Experiment.rp_delivered row.Experiment.rp_violations
+        row.Experiment.rp_versions row.Experiment.rp_degraded
+        (millions row.Experiment.rp_max_load)
+        (audit_cell row.Experiment.rp_audit))
+    r.Experiment.rp_rows;
+  Format.fprintf ppf "@.controller-level churn replay (per re-optimization):@.";
+  Format.fprintf ppf "%-8s %4s %-10s %11s %11s %5s %9s %6s@." "scenario" "step"
+    "failed" "cold pivots" "warm pivots" "warm" "fallback" "agree";
+  List.iter
+    (fun (name, steps) ->
+      List.iteri
+        (fun i (s : Experiment.reopt_step) ->
+          Format.fprintf ppf "%-8s %4d %-10s %11d %11d %5s %9s %6s@." name
+            (i + 1)
+            (match s.Experiment.rs_failed with
+            | [] -> "-"
+            | l -> String.concat "+" (List.map string_of_int l))
+            s.Experiment.rs_cold_pivots s.Experiment.rs_warm_pivots
+            (if s.Experiment.rs_warm_used then "yes" else "no")
+            (if s.Experiment.rs_fallback then "yes" else "no")
+            (if s.Experiment.rs_agree then "yes" else "NO"))
+        steps)
+    r.Experiment.rp_replays;
+  Format.fprintf ppf "warm/cold objective agreement: %d/%d replay steps@."
+    r.Experiment.rp_agree r.Experiment.rp_total
+
+let reopt_csv (r : Experiment.reopt_report) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "scenario,routers,mode,reopts,pivots,phase1,warm_used,fallback,injected,delivered,violating,versions,degraded,max_load,audit\n";
+  List.iter
+    (fun (row : Experiment.reopt_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f,%s\n"
+           row.Experiment.rp_scenario row.Experiment.rp_routers
+           (if row.Experiment.rp_warm then "warm" else "cold")
+           row.Experiment.rp_reopts row.Experiment.rp_pivots
+           row.Experiment.rp_phase1 row.Experiment.rp_warm_used
+           row.Experiment.rp_fallback row.Experiment.rp_injected
+           row.Experiment.rp_delivered row.Experiment.rp_violations
+           row.Experiment.rp_versions row.Experiment.rp_degraded
+           row.Experiment.rp_max_load
+           (match row.Experiment.rp_audit with
+           | None -> ""
+           | Some n -> string_of_int n)))
+    r.Experiment.rp_rows;
+  Buffer.contents buf
+
+let reopt_steps_csv (r : Experiment.reopt_report) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "scenario,step,failed,cold_pivots,warm_pivots,cold_lambda,warm_lambda,warm_used,fallback,agree\n";
+  List.iter
+    (fun (name, steps) ->
+      List.iteri
+        (fun i (s : Experiment.reopt_step) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%s,%d,%d,%.6f,%.6f,%b,%b,%b\n" name (i + 1)
+               (String.concat "+" (List.map string_of_int s.Experiment.rs_failed))
+               s.Experiment.rs_cold_pivots s.Experiment.rs_warm_pivots
+               s.Experiment.rs_cold_lambda s.Experiment.rs_warm_lambda
+               s.Experiment.rs_warm_used s.Experiment.rs_fallback
+               s.Experiment.rs_agree))
+        steps)
+    r.Experiment.rp_replays;
+  Buffer.contents buf
+
 let pp_sketch_ablation ppf points =
   Format.fprintf ppf
     "=== Ablation: Count-Min sketched measurement vs exact (campus) ===@.";

@@ -28,6 +28,11 @@ val pp_quorum_ablation : Format.formatter -> Experiment.quorum_report -> unit
 
 val pp_corrupt_ablation : Format.formatter -> Experiment.corrupt_report -> unit
 
+val pp_reopt_ablation : Format.formatter -> Experiment.reopt_report -> unit
+(** ABL-REOPT: one row per (scenario, cold/warm) packet-level run, the
+    per-step controller-level churn replay, and a final deterministic
+    ["warm/cold objective agreement: A/T replay steps"] line CI greps. *)
+
 val pp_sketch_ablation : Format.formatter -> Experiment.sketch_point list -> unit
 
 val pp_epochs : Format.formatter -> Epochsim.epoch_metrics list -> unit
@@ -67,3 +72,15 @@ val corrupt_csv : Experiment.corrupt_report -> string
     [plan,rate,sweep_period,injected,delivered,corruptions,manifested,detected,repaired,violating,window_mean,window_max,sweep_rounds,sweep_msgs,sweep_bytes,audit].
     [sweep_period] is empty on sweep-disabled rows; the [audit] column
     is empty when auditing was off. *)
+
+val reopt_csv : Experiment.reopt_report -> string
+(** One row per ABL-REOPT packet-level run (scenario × cold/warm);
+    header
+    [scenario,routers,mode,reopts,pivots,phase1,warm_used,fallback,injected,delivered,violating,versions,degraded,max_load,audit].
+    The [audit] column is empty when auditing was off. *)
+
+val reopt_steps_csv : Experiment.reopt_report -> string
+(** Per-step view of ABL-REOPT's controller-level differential replay;
+    header
+    [scenario,step,failed,cold_pivots,warm_pivots,cold_lambda,warm_lambda,warm_used,fallback,agree].
+    [failed] is "+"-separated middlebox ids, empty on no-change steps. *)

@@ -233,6 +233,54 @@ let test_ablation_audit_plumbing () =
         row.Sim.Experiment.chaos_audit)
     plain.Sim.Experiment.chaos_rows
 
+let test_audit_reopt_ablation () =
+  (* Warm-started in-run plans under churn: the audited ABL-REOPT runs
+     — crash, concurrent crash, staged recovery, control loss, warm
+     and cold rows alike — must satisfy every enforcement invariant
+     (LP-plan feasibility and mixed-version hygiene included), and the
+     controller-level replay must agree on the optimum at every
+     step. *)
+  let r = Sim.Experiment.ablation_reopt ~flows:80 ~audit:true () in
+  List.iter
+    (fun (row : Sim.Experiment.reopt_row) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "%s warm=%b audits clean" row.Sim.Experiment.rp_scenario
+           row.Sim.Experiment.rp_warm)
+        (Some 0) row.Sim.Experiment.rp_audit)
+    r.Sim.Experiment.rp_rows;
+  Alcotest.(check int) "four audited rows" 4
+    (List.length r.Sim.Experiment.rp_rows);
+  Alcotest.(check int) "warm/cold optima agree on every replay step"
+    r.Sim.Experiment.rp_total r.Sim.Experiment.rp_agree;
+  (* Warm starting must not perturb the data plane: per scenario the
+     warm row injects the same packets and publishes the same number
+     of versions as the cold row. *)
+  List.iter
+    (fun (info : Sim.Experiment.reopt_scenario_info) ->
+      let row warm =
+        List.find
+          (fun (row : Sim.Experiment.reopt_row) ->
+            row.Sim.Experiment.rp_scenario = info.Sim.Experiment.ri_name
+            && row.Sim.Experiment.rp_warm = warm)
+          r.Sim.Experiment.rp_rows
+      in
+      let cold = row false and warm = row true in
+      Alcotest.(check int)
+        (info.Sim.Experiment.ri_name ^ " same injected")
+        cold.Sim.Experiment.rp_injected warm.Sim.Experiment.rp_injected;
+      Alcotest.(check int)
+        (info.Sim.Experiment.ri_name ^ " same versions")
+        cold.Sim.Experiment.rp_versions warm.Sim.Experiment.rp_versions)
+    r.Sim.Experiment.rp_infos
+
+let test_audit_reopt_jobs_shards_identical () =
+  (* The sharding discipline extends to the new experiment: the whole
+     report — audited rows, pivot counters, replay steps, float
+     lambdas — is structurally identical under {1,1} and {2,2}. *)
+  let a = Sim.Experiment.ablation_reopt ~flows:60 ~audit:true ~jobs:1 ~shards:1 () in
+  let b = Sim.Experiment.ablation_reopt ~flows:60 ~audit:true ~jobs:2 ~shards:2 () in
+  Alcotest.(check bool) "jobs/shards bit-identity" true (a = b)
+
 (* --- Synthetic event streams: each invariant fires ---------------------- *)
 
 let mk_flow i =
@@ -995,6 +1043,10 @@ let suite =
     Alcotest.test_case "live run audits clean" `Quick test_audit_clean_live;
     Alcotest.test_case "ablation audit plumbing" `Slow
       test_ablation_audit_plumbing;
+    Alcotest.test_case "reopt ablation audits clean" `Slow
+      test_audit_reopt_ablation;
+    Alcotest.test_case "reopt jobs/shards bit-identity" `Slow
+      test_audit_reopt_jobs_shards_identical;
     Alcotest.test_case "checker: lost packet" `Quick test_checker_lost_packet;
     Alcotest.test_case "checker: duplicate terminal" `Quick
       test_checker_duplicate_terminal;

@@ -871,6 +871,123 @@ let test_reoptimize_after_failure () =
       (Option.get after.Sdm.Controller.lp).Sdm.Lp_formulation.loads.(dead)
   | Error e, _ | _, Error e -> Alcotest.fail e
 
+(* --- Incremental re-optimization ----------------------------------------- *)
+
+let qcheck_candidate_incremental =
+  (* The candidate-set equality oracle: after any seeded sequence of
+     crash/recover events, patching the candidate sets from the shared
+     ranked lists ([with_excluded]) is element-for-element equal to a
+     from-scratch [compute ~exclude] — and errors exactly where the
+     rebuild would raise (a function left without middleboxes). *)
+  QCheck.Test.make ~count:25 ~name:"with_excluded equals a from-scratch rebuild"
+    QCheck.(
+      make
+        Gen.(
+          pair (int_range 0 99_999)
+            (list_size (int_range 1 10) (int_range 0 21))))
+    (fun (seed, events) ->
+      let dep = Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed in
+      let base = Sdm.Candidate.compute dep ~k:Sdm.Controller.default_k in
+      let module IS = Set.Make (Int) in
+      (* Each event toggles one middlebox: crash if alive, recover if
+         down.  The patched view is chained — each step derives from
+         the previous step's view, as the live controller does. *)
+      let _, _, ok =
+        List.fold_left
+          (fun (excluded, prev, ok) id ->
+            let excluded =
+              if IS.mem id excluded then IS.remove id excluded
+              else IS.add id excluded
+            in
+            let ids = IS.elements excluded in
+            let patched = Sdm.Candidate.with_excluded prev ids in
+            let fresh =
+              match
+                Sdm.Candidate.compute ~exclude:ids dep
+                  ~k:Sdm.Controller.default_k
+              with
+              | c -> Ok c
+              | exception Invalid_argument e -> Error e
+            in
+            match (patched, fresh) with
+            | Ok p, Ok f ->
+              ( excluded,
+                p,
+                ok
+                && Sdm.Candidate.equal p f
+                && Sdm.Candidate.excluded p = ids )
+            | Error _, Error _ ->
+              (* Both refuse: a function lost its last box.  Keep the
+                 last good view, as the controller would. *)
+              (excluded, prev, ok)
+            | Ok _, Error _ | Error _, Ok _ -> (excluded, prev, false))
+          (IS.empty, base, true) events
+      in
+      ok)
+
+let test_reoptimize_warm_matches_cold () =
+  (* The controller-level differential on a short churn chain: warm
+     and cold re-optimization agree on the optimum at every step, the
+     warm solve either carries the basis or honestly falls back, and
+     the no-change steps warm-solve for free. *)
+  let steps = Sim.Experiment.reopt_replay Sim.Experiment.Campus ~flows:200 () in
+  Alcotest.(check bool) "chain is non-trivial" true (List.length steps >= 4);
+  List.iteri
+    (fun i (s : Sim.Experiment.reopt_step) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "step %d optima agree" i)
+        true s.Sim.Experiment.rs_agree;
+      Alcotest.(check bool)
+        (Printf.sprintf "step %d carried xor fell back" i)
+        true
+        (s.Sim.Experiment.rs_warm_used <> s.Sim.Experiment.rs_fallback))
+    steps;
+  (match steps with
+  | first :: _ ->
+    Alcotest.(check bool) "no-op step warm-carried" true
+      first.Sim.Experiment.rs_warm_used;
+    Alcotest.(check int) "no-op step is free" 0
+      first.Sim.Experiment.rs_warm_pivots
+  | [] -> Alcotest.fail "empty replay");
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 steps in
+  let cold = sum (fun s -> s.Sim.Experiment.rs_cold_pivots) in
+  let warm = sum (fun s -> s.Sim.Experiment.rs_warm_pivots) in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm total %d < cold total %d" warm cold)
+    true (warm < cold)
+
+let test_reoptimize_warm_off_is_cold () =
+  (* [use_warm:false] must be the cold path verbatim: same lambda,
+     same pivot counts, no warm/fallback flags. *)
+  let dep = campus_deployment () in
+  let workload = Sim.Workload.generate ~deployment:dep ~seed:5 ~flows:800 () in
+  let traffic = Sim.Workload.measure workload in
+  match
+    Sdm.Controller.configure dep ~rules:workload.Sim.Workload.rules
+      (Sdm.Controller.Load_balanced traffic)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok c -> (
+    match
+      ( Sdm.Controller.reoptimize c ~failed:[] ~use_warm:false ~traffic (),
+        Sdm.Controller.reoptimize c ~failed:[] ~use_warm:true ~traffic () )
+    with
+    | Ok cold, Ok warm ->
+      let lp (c : Sdm.Controller.t) = Option.get c.Sdm.Controller.lp in
+      Alcotest.(check (float 1e-9))
+        "same optimum"
+        (lp cold).Sdm.Lp_formulation.lambda
+        (lp warm).Sdm.Lp_formulation.lambda;
+      Alcotest.(check bool) "cold never claims warm" false
+        (lp cold).Sdm.Lp_formulation.lp_warm_used;
+      Alcotest.(check bool) "cold never counts fallback" false
+        (lp cold).Sdm.Lp_formulation.lp_fallback;
+      Alcotest.(check bool) "unchanged problem warm-carried" true
+        (lp warm).Sdm.Lp_formulation.lp_warm_used;
+      Alcotest.(check int) "unchanged problem is free" 0
+        (lp warm).Sdm.Lp_formulation.lp_pivots
+    | Error e, _ | _, Error e -> Alcotest.fail e)
+
 (* --- Policy updates ------------------------------------------------------- *)
 
 let test_update_rules_delta () =
@@ -1356,6 +1473,11 @@ let suite =
     Alcotest.test_case "failover avoids dead (all strategies)" `Quick
       test_failover_all_strategies_avoid_dead;
     Alcotest.test_case "re-optimize after failure" `Quick test_reoptimize_after_failure;
+    QCheck_alcotest.to_alcotest qcheck_candidate_incremental;
+    Alcotest.test_case "warm re-optimize matches cold" `Quick
+      test_reoptimize_warm_matches_cold;
+    Alcotest.test_case "warm off is the cold path" `Quick
+      test_reoptimize_warm_off_is_cold;
     Alcotest.test_case "policy update delta" `Quick test_update_rules_delta;
     Alcotest.test_case "verify accepts valid configs" `Quick
       test_verify_accepts_valid_configs;
