@@ -58,6 +58,24 @@ let shards = int_flag "--shards" (Stdx.Domain_pool.default_jobs ())
 (* Flow volume of the SCALE section's one big packed run. *)
 let scale_flows = int_flag "--flows" (if fast then 200_000 else 1_000_000)
 
+(* Software classifier backing the packet-level ablations (ABL-CACHE,
+   ABL-FRAG).  All three have identical first-match semantics, so the
+   printed statistics are invariant; only the wall time moves. *)
+let classifier =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then Sim.Pktsim.Trie
+    else if Sys.argv.(i) = "--classifier" then
+      match Sys.argv.(i + 1) with
+      | "trie" -> Sim.Pktsim.Trie
+      | "dectree" -> Sim.Pktsim.Dectree
+      | "linear" -> Sim.Pktsim.Linear
+      | s ->
+        failwith
+          (Printf.sprintf "bench: unknown classifier %S (trie|dectree|linear)" s)
+    else find (i + 1)
+  in
+  find 1
+
 (* Perf trajectory for --json: wall seconds per experiment, plus engine
    event counts for the packet-level ones (events/sec is the packet
    simulator's real throughput metric — hop fast-forwarding lowers the
@@ -139,6 +157,11 @@ let scale_record : string option ref = ref None
    wall-clock. *)
 let reopt_record : string option ref = ref None
 
+(* The ALLOC section's record: minor words per engine event on the two
+   fixed probe workloads, against the committed pre-optimization
+   baselines.  Written under the top-level "alloc" key. *)
+let alloc_record : string option ref = ref None
+
 let write_json () =
   let path = "BENCH_pktsim.json" in
   let oc = open_out path in
@@ -174,10 +197,12 @@ let write_json () =
   in
   Printf.fprintf oc
     "{\n  \"jobs\": %d,\n  \"shards\": %d,\n  \"total_wall_seconds\": %.3f,\n  \
-     \"scaling\": %s,\n  \"reopt\": %s,\n  \"experiments\": [\n%s\n  ]\n}\n"
+     \"scaling\": %s,\n  \"reopt\": %s,\n  \"alloc\": %s,\n  \
+     \"experiments\": [\n%s\n  ]\n}\n"
     jobs shards total_seconds
     (Option.value ~default:"null" !scale_record)
     (Option.value ~default:"null" !reopt_record)
+    (Option.value ~default:"null" !alloc_record)
     (String.concat ",\n" entries);
   close_out oc;
   Format.printf "[wrote %s]@." path
@@ -262,7 +287,7 @@ let () =
   let abc =
     timed "ABL-CACHE" (fun () ->
         Sim.Experiment.ablation_cache ~flows:(if fast then 500 else 2_000)
-          ~shards ())
+          ~shards ~classifier ())
   in
   note_events "ABL-CACHE" ~events:abc.Sim.Experiment.cache_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_cache_ablation abc;
@@ -281,7 +306,7 @@ let () =
   let abf =
     timed "ABL-FRAG" (fun () ->
         Sim.Experiment.ablation_fragmentation
-          ~flows:(if fast then 500 else 2_000) ~jobs ~shards ())
+          ~flows:(if fast then 500 else 2_000) ~jobs ~shards ~classifier ())
   in
   note_events "ABL-FRAG" ~events:abf.Sim.Experiment.frag_events ~hops:0;
   Format.printf "%a@." Sim.Report.pp_frag_ablation abf;
@@ -615,6 +640,92 @@ let run_scale () =
          peak_heap_mb store_mb)
 
 let () = run_scale ()
+
+(* ---- ALLOC: hot-path allocation per event -------------------------- *)
+
+(* Minor-heap allocation per engine event over two fixed probe
+   workloads, against the baselines measured with the same probes at
+   the commit immediately preceding the zero-allocation hot-path work
+   (packed flow keys, flat open-addressing tables, pooled DES events).
+   [Gc.minor_words] counts the calling domain only, so both probes
+   force jobs = 1 / shards = 1 regardless of the bench flags — on the
+   domain pool the numbers would silently undercount.  Everything here
+   is GC telemetry or wall clock, so the whole report stays on
+   bracketed lines (CI's determinism diff filters those); the exact
+   values go into BENCH_pktsim.json under "alloc". *)
+let table3_baseline_words_per_event = 62.65
+let pktsim_baseline_words_per_event = 162.80
+
+let run_alloc () =
+  Format.printf "@.##### ALLOC: hot-path allocation per event #####@.@.";
+  let bracket f =
+    let minor0 = Gc.minor_words () in
+    let promoted0 = (Gc.quick_stat ()).Gc.promoted_words in
+    let t0 = Unix.gettimeofday () in
+    let events = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    ( events,
+      Gc.minor_words () -. minor0,
+      (Gc.quick_stat ()).Gc.promoted_words -. promoted0,
+      dt )
+  in
+  let report name ~events ~minor ~promoted ~dt ~baseline =
+    let per_event = minor /. float_of_int (max 1 events) in
+    let reduction = baseline /. Float.max per_event 1e-9 in
+    let events_per_sec =
+      if dt > 0.0 then float_of_int events /. dt else 0.0
+    in
+    Format.printf
+      "[%s: %d events, %.2f minor words/event (baseline %.2f, %.1fx less), \
+       %.0f promoted words, %.0f events/sec]@."
+      name events per_event baseline reduction promoted events_per_sec;
+    Printf.sprintf
+      "{\"probe\": %S, \"events\": %d, \"minor_words_per_event\": %.2f, \
+       \"baseline_minor_words_per_event\": %.2f, \"reduction_factor\": %.2f, \
+       \"promoted_words\": %.0f, \"events_per_sec\": %.0f, \
+       \"wall_seconds\": %.3f}"
+      name events per_event baseline reduction promoted events_per_sec dt
+  in
+  (* Probe 1: TABLE3's flow-level run — classification + steering for
+     every flow, the Selector/Xhash fast path. *)
+  let t3_events, t3_minor, t3_promoted, t3_dt =
+    bracket (fun () ->
+        (Sim.Experiment.run_table3 ~flows:150_000 ~seed:17 ~jobs:1 ~shards:1 ())
+          .Sim.Experiment.t3_events)
+  in
+  let t3_json =
+    report "TABLE3" ~events:t3_events ~minor:t3_minor ~promoted:t3_promoted
+      ~dt:t3_dt ~baseline:table3_baseline_words_per_event
+  in
+  (* Probe 2: a packet-level run — flow caches, label tables and the
+     pooled event loop.  Setup (deployment, workload, controller) is
+     built outside the bracket; only [Pktsim.run] is measured. *)
+  let deployment =
+    Sim.Experiment.build_deployment Sim.Experiment.Campus ~seed:21
+  in
+  let workload =
+    Sim.Workload.generate ~deployment ~seed:21 ~flows:2_000 ()
+  in
+  let traffic = Sim.Workload.measure workload in
+  let controller =
+    match
+      Sdm.Controller.configure deployment ~rules:workload.Sim.Workload.rules
+        (Sdm.Controller.Load_balanced traffic)
+    with
+    | Ok c -> c
+    | Error e -> failwith ("ALLOC: " ^ e)
+  in
+  let pk_events, pk_minor, pk_promoted, pk_dt =
+    bracket (fun () ->
+        (Sim.Pktsim.run ~controller ~workload ()).Sim.Pktsim.events_processed)
+  in
+  let pk_json =
+    report "PKTSIM" ~events:pk_events ~minor:pk_minor ~promoted:pk_promoted
+      ~dt:pk_dt ~baseline:pktsim_baseline_words_per_event
+  in
+  alloc_record := Some (Printf.sprintf "[%s, %s]" t3_json pk_json)
+
+let () = run_alloc ()
 
 (* ---- Classifier scaling ------------------------------------------- *)
 

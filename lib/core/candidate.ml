@@ -8,7 +8,35 @@ type t = {
      views of these lists. *)
   ranked : (int * Policy.Action.nf, Mbox.Middlebox.t list) Hashtbl.t;
   sets : (int * Policy.Action.nf, Mbox.Middlebox.t list) Hashtbl.t;
+  (* Dense mirror of [sets] for the built-in functions, indexed by
+     [Entity.hash_key * 4 + nf slot].  [get] runs on every steering
+     event of the packet simulator; probing the tuple-keyed table there
+     would allocate a fresh key per packet.  [Custom] functions stay on
+     the Hashtbl. *)
+  fast : Mbox.Middlebox.t list option array;
 }
+
+let nf_slot = function
+  | Policy.Action.FW -> 0
+  | Policy.Action.IDS -> 1
+  | Policy.Action.WP -> 2
+  | Policy.Action.TM -> 3
+  | Policy.Action.Custom _ -> -1
+
+let fast_of_sets (dep : Deployment.t) sets =
+  let n_keys =
+    2
+    * max
+        (Array.length dep.Deployment.proxies)
+        (Array.length dep.Deployment.middleboxes)
+  in
+  let fast = Array.make (4 * n_keys) None in
+  Hashtbl.iter
+    (fun (ek, nf) members ->
+      let slot = nf_slot nf in
+      if slot >= 0 then fast.((ek * 4) + slot) <- Some members)
+    sets;
+  fast
 
 let implements (dep : Deployment.t) entity nf =
   match entity with
@@ -91,21 +119,32 @@ let compute ?(exclude = []) dep ~k =
         entities)
     functions;
   let sets = sets_for dep ~k ~excluded:exclude ranked in
-  { deployment = dep; k; excluded = exclude; ranked; sets }
+  { deployment = dep; k; excluded = exclude; ranked; sets;
+    fast = fast_of_sets dep sets }
 
 let with_excluded t exclude =
   match sets_for t.deployment ~k:t.k ~excluded:exclude t.ranked with
   | exception Invalid_argument e -> Error e
-  | sets -> Ok { t with excluded = exclude; sets }
+  | sets ->
+    Ok { t with excluded = exclude; sets;
+         fast = fast_of_sets t.deployment sets }
 
 let excluded t = t.excluded
 
 let get t entity nf =
   if implements t.deployment entity nf then
     invalid_arg "Candidate.get: entity implements the function itself";
-  match Hashtbl.find_opt t.sets (Mbox.Entity.hash_key entity, nf) with
-  | Some l -> l
-  | None -> raise Not_found
+  let slot = nf_slot nf in
+  if slot >= 0 then begin
+    let idx = (Mbox.Entity.hash_key entity * 4) + slot in
+    if idx < Array.length t.fast then
+      match t.fast.(idx) with Some l -> l | None -> raise Not_found
+    else raise Not_found
+  end
+  else
+    match Hashtbl.find_opt t.sets (Mbox.Entity.hash_key entity, nf) with
+    | Some l -> l
+    | None -> raise Not_found
 
 let closest t entity nf =
   match get t entity nf with

@@ -1,54 +1,79 @@
 let nf_salt nf = Stdx.Xhash.string (Policy.Action.nf_to_string nf)
 
+(* The salt of each built-in function is a constant; recomputing the
+   string FNV on every steering decision would allocate on the
+   per-packet fast path.  [Custom] stays on the slow path. *)
+let fw_salt = Int64.to_int (nf_salt Policy.Action.FW)
+let ids_salt = Int64.to_int (nf_salt Policy.Action.IDS)
+let wp_salt = Int64.to_int (nf_salt Policy.Action.WP)
+let tm_salt = Int64.to_int (nf_salt Policy.Action.TM)
+
+let nf_salt_int = function
+  | Policy.Action.FW -> fw_salt
+  | Policy.Action.IDS -> ids_salt
+  | Policy.Action.WP -> wp_salt
+  | Policy.Action.TM -> tm_salt
+  | Policy.Action.Custom s -> Int64.to_int (Stdx.Xhash.string s)
+
+(* One non-allocating fold over the 5-tuple, the entity key and the
+   salt — bit-identical to hashing the flow and folding the two salts
+   with boxed [Int64] arithmetic, which is what this did before. *)
 let flow_point flow ~entity ~nf =
-  let h = Netpkt.Flow.hash flow in
-  let h = Stdx.Xhash.fold_int h (Mbox.Entity.hash_key entity) in
-  let h = Stdx.Xhash.fold_int h (Int64.to_int (nf_salt nf)) in
-  Stdx.Xhash.to_unit_interval h
+  Stdx.Xhash.combine7_unit flow.Netpkt.Flow.src flow.Netpkt.Flow.dst
+    flow.Netpkt.Flow.proto flow.Netpkt.Flow.sport flow.Netpkt.Flow.dport
+    (Mbox.Entity.hash_key entity) (nf_salt_int nf)
+
+(* Loops over indices, not [Array.fold_left]/[Array.iter]: the
+   polymorphic fold boxes the float accumulator on every element and
+   the callbacks capture refs, which costs ~25 minor words per steering
+   decision on the per-packet fast path.  Local float refs compile to
+   unboxed mutable stack slots; the additions happen in the same order
+   with the same early-stop, so every choice is bit-identical. *)
+let rec last_positive row i =
+  if i < 0 then None
+  else
+    let id, w = row.(i) in
+    if w > 0.0 then Some id else last_positive row (i - 1)
 
 let pick row ~u =
   if u < 0.0 || u >= 1.0 then invalid_arg "Selector.pick: u out of [0,1)";
-  let total =
-    Array.fold_left
-      (fun acc (_, w) ->
-        if w < 0.0 then invalid_arg "Selector.pick: negative weight";
-        acc +. w)
-      0.0 row
-  in
-  if total <= 0.0 then None
+  let n = Array.length row in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    let _, w = row.(i) in
+    if w < 0.0 then invalid_arg "Selector.pick: negative weight";
+    total := !total +. w
+  done;
+  if !total <= 0.0 then None
   else begin
-    let target = u *. total in
-    let acc = ref 0.0 and chosen = ref None in
-    Array.iter
-      (fun (id, w) ->
-        if !chosen = None then begin
-          acc := !acc +. w;
-          if target < !acc then chosen := Some id
-        end)
-      row;
-    (* Floating-point slack can leave the last bucket unmatched. *)
-    match !chosen with
-    | Some id -> Some id
-    | None ->
-      let rec last_positive i =
-        if i < 0 then None
-        else
-          let id, w = row.(i) in
-          if w > 0.0 then Some id else last_positive (i - 1)
-      in
-      last_positive (Array.length row - 1)
+    let target = u *. !total in
+    let acc = ref 0.0 in
+    let found = ref false in
+    let chosen = ref 0 in
+    let i = ref 0 in
+    while (not !found) && !i < n do
+      let id, w = row.(!i) in
+      acc := !acc +. w;
+      if target < !acc then begin
+        found := true;
+        chosen := id
+      end;
+      incr i
+    done;
+    if !found then Some !chosen
+      (* Floating-point slack can leave the last bucket unmatched. *)
+    else last_positive row (n - 1)
   end
 
 let flow_key flow ~entity ~nf =
-  let h = Netpkt.Flow.hash flow in
-  let h = Stdx.Xhash.fold_int h (Mbox.Entity.hash_key entity) in
-  Stdx.Xhash.fold_int h (Int64.to_int (nf_salt nf))
+  Stdx.Xhash.combine7 flow.Netpkt.Flow.src flow.Netpkt.Flow.dst
+    flow.Netpkt.Flow.proto flow.Netpkt.Flow.sport flow.Netpkt.Flow.dport
+    (Mbox.Entity.hash_key entity) (nf_salt_int nf)
 
 (* FNV-1a alone leaves per-candidate hashes correlated when only the
    trailing id byte differs, which skews the rendezvous scores
-   measurably; the avalanche finalizer restores independence. *)
-let fmix64 = Stdx.Xhash.fmix64
-
+   measurably; [Xhash.score_unit] applies the avalanche finalizer to
+   restore independence (without boxing any intermediate). *)
 let pick_hrw row ~key =
   let best = ref None in
   Array.iter
@@ -59,9 +84,7 @@ let pick_hrw row ~key =
            u = hash(key, id) in (0, 1).  The max over the row is what
            makes the choice independent of row order and of which
            losing candidates are present. *)
-        let u =
-          Stdx.Xhash.to_unit_interval (fmix64 (Stdx.Xhash.fold_int key id))
-        in
+        let u = Stdx.Xhash.score_unit key id in
         let u = if u <= 0.0 then epsilon_float else u in
         let score = -.w /. log u in
         match !best with

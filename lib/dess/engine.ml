@@ -1,9 +1,35 @@
-type event = { time : float; seq : int; id : int; action : t -> unit }
+(* Pooled event cells.  The engine used to heap-allocate a
+   closure-carrying record per scheduled event, which made the event
+   loop the simulator's steady-state allocation floor.  Events now
+   live in parallel arrays ([times] an unboxed float array,
+   [seqs]/[ids] int arrays, [actions] the user closures) indexed by
+   cell number; a free list threads recycled cells through [seqs],
+   and the priority queue is an [int Stdx.Heap.t] over cell indices
+   whose comparison reads (time, seq) out of the pool — the same
+   (time, seq) ordering the record heap had, so pop order is
+   bit-identical.  A schedule-one-fire-one simulation allocates no
+   event storage at all in steady state; only the pool's amortized
+   doubling and the caller's own action closures touch the heap. *)
+
+type pool = {
+  mutable times : float array;
+  mutable seqs : int array;
+      (* seq number while queued; free-list link while free *)
+  mutable ids : int array;
+  mutable actions : (t -> unit) array;
+  mutable free : int;  (* head of the free list, -1 = empty *)
+  mutable cap : int;  (* cells ever handed out = pool high-water mark *)
+}
 
 and t = {
-  queue : event Stdx.Heap.t;
+  pool : pool;
+  queue : int Stdx.Heap.t;
   cancelled : (int, unit) Hashtbl.t;
-  mutable clock : float;
+  clock : float array;
+      (* One-element float array, not a mutable float field: moving a
+         time from [times] into a boxed record field would allocate a
+         fresh box per fired event; a flat-float-array store stays
+         unboxed. *)
   mutable next_seq : int;
   mutable next_id : int;
   mutable processed : int;
@@ -11,58 +37,131 @@ and t = {
 
 type handle = int
 
-let cmp a b =
-  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+(* Recycled cells must not retain their last action: such a closure
+   can capture the whole simulation world. *)
+let nop (_ : t) = ()
 
 let create () =
+  let pool =
+    { times = [||]; seqs = [||]; ids = [||]; actions = [||]; free = -1; cap = 0 }
+  in
+  let cmp a b =
+    match Float.compare pool.times.(a) pool.times.(b) with
+    | 0 -> Int.compare pool.seqs.(a) pool.seqs.(b)
+    | c -> c
+  in
   {
+    pool;
     queue = Stdx.Heap.create ~cmp;
     cancelled = Hashtbl.create 64;
-    clock = 0.0;
+    clock = [| 0.0 |];
     next_seq = 0;
     next_id = 0;
     processed = 0;
   }
 
-let now t = t.clock
+let now t = t.clock.(0)
 
-let schedule_at t ~time action =
-  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+let grow_pool p =
+  let old = Array.length p.times in
+  let ncap = if old = 0 then 64 else old * 2 in
+  let times = Array.make ncap 0.0 in
+  Array.blit p.times 0 times 0 old;
+  let seqs = Array.make ncap 0 in
+  Array.blit p.seqs 0 seqs 0 old;
+  let ids = Array.make ncap 0 in
+  Array.blit p.ids 0 ids 0 old;
+  let actions = Array.make ncap nop in
+  Array.blit p.actions 0 actions 0 old;
+  p.times <- times;
+  p.seqs <- seqs;
+  p.ids <- ids;
+  p.actions <- actions
+
+let alloc_cell p =
+  if p.free >= 0 then begin
+    let c = p.free in
+    p.free <- p.seqs.(c);
+    c
+  end
+  else begin
+    if p.cap = Array.length p.times then grow_pool p;
+    let c = p.cap in
+    p.cap <- c + 1;
+    c
+  end
+
+let recycle p c =
+  p.actions.(c) <- nop;
+  p.seqs.(c) <- p.free;
+  p.free <- c
+
+(* Inlined into both entry points so [schedule]'s computed fire time
+   flows straight into the flat [times] array without being boxed for
+   a call boundary. *)
+let[@inline] enqueue t time action =
   let id = t.next_id in
   t.next_id <- id + 1;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Stdx.Heap.push t.queue { time; seq; id; action };
+  let p = t.pool in
+  let c = alloc_cell p in
+  p.times.(c) <- time;
+  p.seqs.(c) <- seq;
+  p.ids.(c) <- id;
+  p.actions.(c) <- action;
+  Stdx.Heap.push t.queue c;
   id
 
+let schedule_at t ~time action =
+  if time < t.clock.(0) then
+    invalid_arg "Engine.schedule_at: time in the past";
+  enqueue t time action
+
+(* No past check needed: [delay >= 0] (NaN included) implies
+   [clock +. delay < clock] is false, exactly the predicate
+   [schedule_at] tests. *)
 let schedule t ~delay action =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.clock +. delay) action
+  enqueue t (t.clock.(0) +. delay) action
 
 let cancel t handle = Hashtbl.replace t.cancelled handle ()
 
 let pending t = Stdx.Heap.length t.queue
 
-(* Pop until a live event is found; cancelled entries are discarded
-   lazily here. *)
+(* Pop until a live cell surfaces; cancelled entries are discarded
+   (and their cells recycled) lazily here.  -1 = queue empty. *)
 let rec next_live t =
-  match Stdx.Heap.pop t.queue with
-  | None -> None
-  | Some ev ->
-    if Hashtbl.mem t.cancelled ev.id then begin
-      Hashtbl.remove t.cancelled ev.id;
+  if Stdx.Heap.is_empty t.queue then -1
+  else begin
+    let c = Stdx.Heap.take t.queue in
+    let p = t.pool in
+    if Hashtbl.mem t.cancelled p.ids.(c) then begin
+      Hashtbl.remove t.cancelled p.ids.(c);
+      recycle p c;
       next_live t
     end
-    else Some ev
+    else c
+  end
+
+(* Fire the event in cell [c].  The cell is recycled *before* the
+   action runs, so the action's own scheduling can reuse it — that is
+   what closes the loop into zero steady-state cell allocation. *)
+let fire t c =
+  let p = t.pool in
+  t.clock.(0) <- p.times.(c);
+  let action = p.actions.(c) in
+  recycle p c;
+  t.processed <- t.processed + 1;
+  action t
 
 let step t =
-  match next_live t with
-  | None -> false
-  | Some ev ->
-    t.clock <- ev.time;
-    t.processed <- t.processed + 1;
-    ev.action t;
+  let c = next_live t in
+  if c < 0 then false
+  else begin
+    fire t c;
     true
+  end
 
 let run ?until t =
   match until with
@@ -70,19 +169,14 @@ let run ?until t =
   | Some horizon ->
     let continue = ref true in
     while !continue do
-      match next_live t with
-      | None -> continue := false
-      | Some ev ->
-        if ev.time > horizon then begin
-          (* Too far in the future: push it back untouched. *)
-          Stdx.Heap.push t.queue ev;
-          continue := false
-        end
-        else begin
-          t.clock <- ev.time;
-          t.processed <- t.processed + 1;
-          ev.action t
-        end
+      let c = next_live t in
+      if c < 0 then continue := false
+      else if t.pool.times.(c) > horizon then begin
+        (* Too far in the future: push the cell back untouched. *)
+        Stdx.Heap.push t.queue c;
+        continue := false
+      end
+      else fire t c
     done
 
 let events_processed t = t.processed

@@ -9,24 +9,29 @@ type entry = {
   mutable last_used : float;
 }
 
+(* Keyed directly on the (src, label) int pair in a flat
+   open-addressing table, so the per-packet label lookup probes two
+   int arrays and allocates nothing.  Iteration is insertion order —
+   deterministic under a seeded run, which the corruption-target
+   selection and the sweep rely on. *)
 type t = {
-  table : (key, entry) Hashtbl.t;
+  table : entry Stdx.Flat_table.t;
   timeout : float;
   mutable digest : int64;
 }
 
 let create ?(timeout = infinity) () =
   if timeout <= 0.0 then invalid_arg "Label_table.create: timeout must be positive";
-  { table = Hashtbl.create 256; timeout; digest = 0L }
+  { table = Stdx.Flat_table.create ~initial:256 (); timeout; digest = 0L }
 
 (* Per-entry hash over the key and the immutable payload ([last_used]
    is refreshed on every hit and must not perturb the digest).  The
    avalanche finalizer matters here: entries differing only in the
    label or version would otherwise produce correlated FNV values
-   whose XOR could cancel. *)
+   whose XOR could cancel.  The first two folds are the non-allocating
+   [combine2] — bit-identical to folding src then label. *)
 let entry_hash key ~actions ~next ~final_dst ~version =
-  let h = Stdx.Xhash.fold_int Stdx.Xhash.fnv_offset key.src in
-  let h = Stdx.Xhash.fold_int h key.label in
+  let h = Stdx.Xhash.combine2 key.src key.label in
   let h =
     List.fold_left
       (fun h nf ->
@@ -42,6 +47,10 @@ let entry_hash key ~actions ~next ~final_dst ~version =
   let h = fold_addr_opt h final_dst in
   Stdx.Xhash.fmix64 (Stdx.Xhash.fold_int h version)
 
+let entry_hash_packed src label (e : entry) =
+  entry_hash { src; label } ~actions:e.actions ~next:e.next
+    ~final_dst:e.final_dst ~version:e.version
+
 (* Legitimate mutations XOR the *stored* checksum in or out, so an
    insert/remove pair cancels exactly even if the payload was silently
    corrupted in between; only the unsafe_* faults below skip this. *)
@@ -56,75 +65,81 @@ let insert t ~now ?(version = 0) key ~actions ~next ~final_dst =
     invalid_arg
       (Printf.sprintf "Label_table.insert: label %d outside [0, %d]" key.label
          Netpkt.Header.max_label);
-  (match Hashtbl.find_opt t.table key with
+  (match Stdx.Flat_table.find t.table key.src key.label with
   | Some old -> forget t old
   | None -> ());
   let check = entry_hash key ~actions ~next ~final_dst ~version in
   t.digest <- Int64.logxor t.digest check;
-  Hashtbl.replace t.table key
+  Stdx.Flat_table.replace t.table key.src key.label
     { actions; next; final_dst; version; check; last_used = now }
 
-let lookup t ~now key =
-  match Hashtbl.find_opt t.table key with
-  | None -> None
-  | Some entry ->
+(* The per-packet entry point: key fields passed flat so the hot path
+   builds no key record. *)
+let find t ~now ~src ~label =
+  let d = Stdx.Flat_table.find_slot t.table src label in
+  if d < 0 then None
+  else begin
+    let entry = Stdx.Flat_table.value t.table d in
     if now -. entry.last_used > t.timeout then begin
       forget t entry;
-      Hashtbl.remove t.table key;
+      Stdx.Flat_table.remove t.table src label;
       None
     end
     else begin
       entry.last_used <- now;
       Some entry
     end
+  end
 
-let size t = Hashtbl.length t.table
+let lookup t ~now key = find t ~now ~src:key.src ~label:key.label
+
+let size t = Stdx.Flat_table.length t.table
 let length = size
-let iter f t = Hashtbl.iter f t.table
+
+let iter f t =
+  Stdx.Flat_table.iter (fun src label e -> f { src; label } e) t.table
 
 let remove t key =
-  match Hashtbl.find_opt t.table key with
+  match Stdx.Flat_table.find t.table key.src key.label with
   | None -> ()
   | Some entry ->
     forget t entry;
-    Hashtbl.remove t.table key
+    Stdx.Flat_table.remove t.table key.src key.label
 
 let purge t ~now =
   let expired =
-    Hashtbl.fold
-      (fun key entry acc ->
-        if now -. entry.last_used > t.timeout then (key, entry) :: acc else acc)
+    Stdx.Flat_table.fold
+      (fun src label entry acc ->
+        if now -. entry.last_used > t.timeout then (src, label, entry) :: acc
+        else acc)
       t.table []
   in
   List.iter
-    (fun (key, entry) ->
+    (fun (src, label, entry) ->
       forget t entry;
-      Hashtbl.remove t.table key)
+      Stdx.Flat_table.remove t.table src label)
     expired;
   List.length expired
 
 let purge_versions_below t ~version =
   let stale =
-    Hashtbl.fold
-      (fun key entry acc ->
-        if entry.version < version then (key, entry) :: acc else acc)
+    Stdx.Flat_table.fold
+      (fun src label entry acc ->
+        if entry.version < version then (src, label, entry) :: acc else acc)
       t.table []
   in
   List.iter
-    (fun (key, entry) ->
+    (fun (src, label, entry) ->
       forget t entry;
-      Hashtbl.remove t.table key)
+      Stdx.Flat_table.remove t.table src label)
     stale;
   List.length stale
 
 let digest t = t.digest
 
 let recompute_digest t =
-  Hashtbl.fold
-    (fun key e acc ->
-      Int64.logxor acc
-        (entry_hash key ~actions:e.actions ~next:e.next ~final_dst:e.final_dst
-           ~version:e.version))
+  Stdx.Flat_table.fold
+    (fun src label e acc -> Int64.logxor acc (entry_hash_packed src label e))
     t.table 0L
 
 (* Fault-injection back doors: mutate the table the way a bit flip or
@@ -133,7 +148,7 @@ let recompute_digest t =
    real to find. *)
 
 let unsafe_corrupt t key ~redirect =
-  match Hashtbl.find_opt t.table key with
+  match Stdx.Flat_table.find t.table key.src key.label with
   | None -> false
   | Some e ->
     let corrupted =
@@ -141,36 +156,34 @@ let unsafe_corrupt t key ~redirect =
       | Some _ -> { e with next = Some redirect }
       | None -> { e with final_dst = Some redirect }
     in
-    Hashtbl.replace t.table key corrupted;
+    Stdx.Flat_table.replace t.table key.src key.label corrupted;
     true
 
 let unsafe_drop t key =
-  if Hashtbl.mem t.table key then begin
-    Hashtbl.remove t.table key;
+  if Stdx.Flat_table.mem t.table key.src key.label then begin
+    Stdx.Flat_table.remove t.table key.src key.label;
     true
   end
   else false
 
 let unsafe_resurrect t key entry =
-  if not (Hashtbl.mem t.table key) then begin
-    Hashtbl.replace t.table key entry;
+  if not (Stdx.Flat_table.mem t.table key.src key.label) then begin
+    Stdx.Flat_table.replace t.table key.src key.label entry;
     true
   end
   else false
 
 let scrub t ~version_floor =
   let bad =
-    Hashtbl.fold
-      (fun key e acc ->
-        let actual =
-          entry_hash key ~actions:e.actions ~next:e.next ~final_dst:e.final_dst
-            ~version:e.version
-        in
-        if not (Int64.equal actual e.check) || e.version < version_floor then
-          key :: acc
+    Stdx.Flat_table.fold
+      (fun src label e acc ->
+        if
+          not (Int64.equal (entry_hash_packed src label e) e.check)
+          || e.version < version_floor
+        then (src, label) :: acc
         else acc)
       t.table []
   in
-  List.iter (Hashtbl.remove t.table) bad;
+  List.iter (fun (src, label) -> Stdx.Flat_table.remove t.table src label) bad;
   t.digest <- recompute_digest t;
-  bad
+  List.rev_map (fun (src, label) -> { src; label }) bad

@@ -67,13 +67,17 @@ val lookup : t -> now:float -> key -> entry option
 (** Refreshes [last_used] on hit; an entry idle past the timeout is
     dropped and reported absent. *)
 
+val find : t -> now:float -> src:Netpkt.Addr.t -> label:int -> entry option
+(** {!lookup} with the key fields passed flat — the per-packet entry
+    point, which builds no key record. *)
+
 val size : t -> int
 
 val length : t -> int
 (** Alias of {!size} (digest and sweep code reads more naturally). *)
 
 val iter : (key -> entry -> unit) -> t -> unit
-(** Apply to every live entry, in unspecified order.  The callback
+(** Apply to every live entry, in insertion order.  The callback
     must not mutate the table. *)
 
 val remove : t -> key -> unit

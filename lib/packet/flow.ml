@@ -6,10 +6,44 @@ let make ~src ~dst ~proto ~sport ~dport =
     invalid_arg "Flow.make: bad port";
   { src; dst; proto; sport; dport }
 
-let compare = Stdlib.compare
-let equal a b = compare a b = 0
+(* Field-wise in declaration order: the same total order
+   [Stdlib.compare] gave this all-int record, without the polymorphic
+   dispatch. *)
+let compare a b =
+  let c = Int.compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.dst b.dst in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.proto b.proto in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.sport b.sport in
+        if c <> 0 then c else Int.compare a.dport b.dport
 
-let hash t = Stdx.Xhash.ints [ t.src; t.dst; t.proto; t.sport; t.dport ]
+let equal a b =
+  a.src = b.src && a.dst = b.dst && a.proto = b.proto && a.sport = b.sport
+  && a.dport = b.dport
+
+(* The 104-bit flow identity packed into two non-negative ints —
+   src·32 + sport·16 in one, dst·32 + dport·16 + proto·8 in the
+   other — so flow-keyed tables can inline keys in int arrays and
+   compare without touching the record.  Addresses are 32-bit
+   ({!Addr.t}), so both halves sit far below the 62-bit limit. *)
+let key t = (t.src lsl 16) lor t.sport
+let key2 t = (t.dst lsl 24) lor (t.dport lsl 8) lor t.proto
+
+let of_key k1 k2 =
+  {
+    src = k1 lsr 16;
+    sport = k1 land 0xFFFF;
+    dst = k2 lsr 24;
+    dport = (k2 lsr 8) land 0xFFFF;
+    proto = k2 land 0xFF;
+  }
+
+let hash t = Stdx.Xhash.combine5 t.src t.dst t.proto t.sport t.dport
 
 let hash_to_unit t = Stdx.Xhash.to_unit_interval (hash t)
 

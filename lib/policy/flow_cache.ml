@@ -16,8 +16,13 @@ type stats = {
   mutable evictions : int;
 }
 
+(* Keyed on the packed 104-bit flow identity ([Flow.key]/[key2]), so
+   the per-packet lookup probes parallel int arrays and allocates
+   nothing.  Iteration is insertion order (a property of the
+   operation sequence, not of hash layout) — what the corruption
+   machinery and the scrub rely on for seeded reproducibility. *)
 type t = {
-  table : entry Netpkt.Flow.Table.t;
+  table : entry Stdx.Flat_table.t;
   timeout : float;
   negative_timeout : float;
   capacity : int option;
@@ -49,7 +54,7 @@ let create ?(timeout = 60.0) ?negative_timeout ?capacity ?expected () =
     match capacity with None -> e | Some c -> min e (max 16 c)
   in
   {
-    table = Netpkt.Flow.Table.create hint;
+    table = Stdx.Flat_table.create ~initial:hint ();
     timeout;
     negative_timeout;
     capacity;
@@ -85,6 +90,10 @@ let entry_hash flow ~actions ~rule_id ~label ~cfg_version =
   in
   Stdx.Xhash.fmix64 (Stdx.Xhash.fold_int h cfg_version)
 
+let entry_hash_packed k1 k2 (e : entry) =
+  entry_hash (Netpkt.Flow.of_key k1 k2) ~actions:e.actions ~rule_id:e.rule_id
+    ~label:e.label ~cfg_version:e.cfg_version
+
 (* Legitimate mutations XOR the *stored* checksum in or out, so an
    insert/remove pair cancels exactly even if the payload was silently
    poisoned in between; only the unsafe_* faults skip this. *)
@@ -98,18 +107,21 @@ let remember t entry = t.digest <- Int64.logxor t.digest entry.check
 let ttl t entry =
   match entry.actions with None -> t.negative_timeout | Some _ -> t.timeout
 
-let drop t flow entry =
+let drop t k1 k2 entry =
   forget t entry;
-  Netpkt.Flow.Table.remove t.table flow
+  Stdx.Flat_table.remove t.table k1 k2
 
 let lookup t ~now flow =
-  match Netpkt.Flow.Table.find_opt t.table flow with
-  | None ->
+  let k1 = Netpkt.Flow.key flow and k2 = Netpkt.Flow.key2 flow in
+  let d = Stdx.Flat_table.find_slot t.table k1 k2 in
+  if d < 0 then begin
     t.stats.misses <- t.stats.misses + 1;
     None
-  | Some entry ->
+  end
+  else begin
+    let entry = Stdx.Flat_table.value t.table d in
     if now -. entry.last_used > ttl t entry then begin
-      drop t flow entry;
+      drop t k1 k2 entry;
       t.stats.expirations <- t.stats.expirations + 1;
       t.stats.misses <- t.stats.misses + 1;
       None
@@ -121,48 +133,53 @@ let lookup t ~now flow =
       | Some _ -> t.stats.hits <- t.stats.hits + 1);
       Some entry
     end
+  end
 
 (* Bounded caches behave like a hardware hash table: when full, expired
    entries go first (each against its own TTL), then the
-   least-recently-used live one. *)
+   least-recently-used live one (first-inserted wins age ties). *)
 let make_room t ~now flow =
   match t.capacity with
   | None -> ()
   | Some cap ->
     if
-      Netpkt.Flow.Table.length t.table >= cap
-      && not (Netpkt.Flow.Table.mem t.table flow)
+      Stdx.Flat_table.length t.table >= cap
+      && not
+           (Stdx.Flat_table.mem t.table (Netpkt.Flow.key flow)
+              (Netpkt.Flow.key2 flow))
     then begin
       let expired =
-        Netpkt.Flow.Table.fold
-          (fun f e acc -> if now -. e.last_used > ttl t e then (f, e) :: acc else acc)
+        Stdx.Flat_table.fold
+          (fun k1 k2 e acc ->
+            if now -. e.last_used > ttl t e then (k1, k2, e) :: acc else acc)
           t.table []
       in
-      List.iter (fun (f, e) -> drop t f e) expired;
+      List.iter (fun (k1, k2, e) -> drop t k1 k2 e) expired;
       t.stats.expirations <- t.stats.expirations + List.length expired;
-      while Netpkt.Flow.Table.length t.table >= cap do
+      while Stdx.Flat_table.length t.table >= cap do
         let victim =
-          Netpkt.Flow.Table.fold
-            (fun f e acc ->
+          Stdx.Flat_table.fold
+            (fun k1 k2 e acc ->
               match acc with
-              | Some (_, oldest, _) when oldest <= e.last_used -> acc
-              | _ -> Some (f, e.last_used, e))
+              | Some (_, _, oldest, _) when oldest <= e.last_used -> acc
+              | _ -> Some (k1, k2, e.last_used, e))
             t.table None
         in
         match victim with
-        | Some (f, _, e) ->
-          drop t f e;
+        | Some (k1, k2, _, e) ->
+          drop t k1 k2 e;
           t.stats.evictions <- t.stats.evictions + 1
         | None -> assert false (* table non-empty while >= cap >= 1 *)
       done
     end
 
 let stash t flow entry =
-  (match Netpkt.Flow.Table.find_opt t.table flow with
+  let k1 = Netpkt.Flow.key flow and k2 = Netpkt.Flow.key2 flow in
+  (match Stdx.Flat_table.find t.table k1 k2 with
   | Some old -> forget t old
   | None -> ());
   remember t entry;
-  Netpkt.Flow.Table.replace t.table flow entry
+  Stdx.Flat_table.replace t.table k1 k2 entry
 
 let insert t ~now flow ~rule_id ~actions ?label ?(cfg_version = 0) () =
   make_room t ~now flow;
@@ -189,7 +206,9 @@ let insert_negative t ~now flow =
   entry
 
 let mark_ls_ready t flow =
-  match Netpkt.Flow.Table.find_opt t.table flow with
+  match
+    Stdx.Flat_table.find t.table (Netpkt.Flow.key flow) (Netpkt.Flow.key2 flow)
+  with
   | Some ({ actions = Some _; _ } as entry) ->
     entry.ls_ready <- true;
     true
@@ -197,19 +216,22 @@ let mark_ls_ready t flow =
 
 let purge t ~now =
   let expired =
-    Netpkt.Flow.Table.fold
-      (fun flow entry acc ->
-        if now -. entry.last_used > ttl t entry then (flow, entry) :: acc
+    Stdx.Flat_table.fold
+      (fun k1 k2 entry acc ->
+        if now -. entry.last_used > ttl t entry then (k1, k2, entry) :: acc
         else acc)
       t.table []
   in
-  List.iter (fun (flow, entry) -> drop t flow entry) expired;
+  List.iter (fun (k1, k2, entry) -> drop t k1 k2 entry) expired;
   let n = List.length expired in
   t.stats.expirations <- t.stats.expirations + n;
   n
 
-let size t = Netpkt.Flow.Table.length t.table
-let iter f t = Netpkt.Flow.Table.iter f t.table
+let size t = Stdx.Flat_table.length t.table
+
+let iter f t =
+  Stdx.Flat_table.iter (fun k1 k2 e -> f (Netpkt.Flow.of_key k1 k2) e) t.table
+
 let stats t = t.stats
 let timeout t = t.timeout
 let negative_timeout t = t.negative_timeout
@@ -217,11 +239,8 @@ let negative_timeout t = t.negative_timeout
 let digest t = t.digest
 
 let recompute_digest t =
-  Netpkt.Flow.Table.fold
-    (fun flow e acc ->
-      Int64.logxor acc
-        (entry_hash flow ~actions:e.actions ~rule_id:e.rule_id ~label:e.label
-           ~cfg_version:e.cfg_version))
+  Stdx.Flat_table.fold
+    (fun k1 k2 e acc -> Int64.logxor acc (entry_hash_packed k1 k2 e))
     t.table 0L
 
 (* Fault-injection back doors: poison an entry the way a bit flip
@@ -229,30 +248,30 @@ let recompute_digest t =
    anti-entropy sweep has something real to find. *)
 
 let unsafe_poison_negative t flow =
-  match Netpkt.Flow.Table.find_opt t.table flow with
+  let k1 = Netpkt.Flow.key flow and k2 = Netpkt.Flow.key2 flow in
+  match Stdx.Flat_table.find t.table k1 k2 with
   | Some ({ actions = Some _; _ } as e) ->
-    Netpkt.Flow.Table.replace t.table flow { e with actions = None };
+    Stdx.Flat_table.replace t.table k1 k2 { e with actions = None };
     true
   | Some { actions = None; _ } | None -> false
 
 let unsafe_poison_actions t flow ~actions =
-  match Netpkt.Flow.Table.find_opt t.table flow with
+  let k1 = Netpkt.Flow.key flow and k2 = Netpkt.Flow.key2 flow in
+  match Stdx.Flat_table.find t.table k1 k2 with
   | None -> false
   | Some e ->
-    Netpkt.Flow.Table.replace t.table flow { e with actions = Some actions };
+    Stdx.Flat_table.replace t.table k1 k2 { e with actions = Some actions };
     true
 
 let scrub t =
   let bad =
-    Netpkt.Flow.Table.fold
-      (fun flow e acc ->
-        let actual =
-          entry_hash flow ~actions:e.actions ~rule_id:e.rule_id ~label:e.label
-            ~cfg_version:e.cfg_version
-        in
-        if not (Int64.equal actual e.check) then flow :: acc else acc)
+    Stdx.Flat_table.fold
+      (fun k1 k2 e acc ->
+        if not (Int64.equal (entry_hash_packed k1 k2 e) e.check) then
+          (k1, k2) :: acc
+        else acc)
       t.table []
   in
-  List.iter (Netpkt.Flow.Table.remove t.table) bad;
+  List.iter (fun (k1, k2) -> Stdx.Flat_table.remove t.table k1 k2) bad;
   t.digest <- recompute_digest t;
-  bad
+  List.rev_map (fun (k1, k2) -> Netpkt.Flow.of_key k1 k2) bad

@@ -87,7 +87,7 @@ val purge : t -> now:float -> int
 val size : t -> int
 
 val iter : (Netpkt.Flow.t -> entry -> unit) -> t -> unit
-(** Apply to every entry, in unspecified order, without refreshing
+(** Apply to every entry, in insertion order, without refreshing
     [last_used] or touching {!stats}.  The callback must not mutate
     the cache. *)
 

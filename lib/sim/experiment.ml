@@ -229,11 +229,12 @@ let pkt_level_controller ?(seed = 17) ~flows () =
   in
   (controller, workload)
 
-let ablation_cache ?(flows = 2_000) ?(seed = 17) ?(shards = 1) () =
+let ablation_cache ?(flows = 2_000) ?(seed = 17) ?(shards = 1)
+    ?(classifier = Pktsim.Trie) () =
   let controller, workload = pkt_level_controller ~seed ~flows () in
   let stats =
     Pktsim.run
-      ~config:{ Pktsim.default_config with shards }
+      ~config:{ Pktsim.default_config with shards; classifier }
       ~controller ~workload ()
   in
   (* Lookup events happen per packet *arrival* at proxies and
@@ -289,11 +290,12 @@ type frag_stats = {
   frag_events : int;
 }
 
-let ablation_fragmentation ?(flows = 2_000) ?(seed = 17) ?jobs ?(shards = 1) () =
+let ablation_fragmentation ?(flows = 2_000) ?(seed = 17) ?jobs ?(shards = 1)
+    ?(classifier = Pktsim.Trie) () =
   let controller, workload = pkt_level_controller ~seed ~flows () in
   let cell label_switching () =
     Pktsim.run
-      ~config:{ Pktsim.default_config with label_switching; shards }
+      ~config:{ Pktsim.default_config with label_switching; shards; classifier }
       ~controller ~workload ()
   in
   match fan_out ?jobs [ cell true; cell false ] with

@@ -132,8 +132,12 @@ type cache_stats = {
   cache_events : int;       (** engine events fired by the run *)
 }
 
-val ablation_cache : ?flows:int -> ?seed:int -> ?shards:int -> unit -> cache_stats
-(** Packet-level run on the campus topology quantifying Sec. III.D. *)
+val ablation_cache :
+  ?flows:int -> ?seed:int -> ?shards:int -> ?classifier:Pktsim.classifier ->
+  unit -> cache_stats
+(** Packet-level run on the campus topology quantifying Sec. III.D.
+    [classifier] (default [Trie]) selects the software classifier
+    backing the policy tables; statistics are invariant to it. *)
 
 type cache_size_point = {
   capacity : int option;     (** [None] = unbounded *)
@@ -158,8 +162,10 @@ type frag_stats = {
 }
 
 val ablation_fragmentation :
-  ?flows:int -> ?seed:int -> ?jobs:int -> ?shards:int -> unit -> frag_stats
-(** Packet-level run quantifying Sec. III.E. *)
+  ?flows:int -> ?seed:int -> ?jobs:int -> ?shards:int ->
+  ?classifier:Pktsim.classifier -> unit -> frag_stats
+(** Packet-level run quantifying Sec. III.E.  [classifier] as in
+    {!ablation_cache}. *)
 
 type failure_report = {
   failed_mbox : int;                  (** the killed middlebox (most-loaded IDS) *)

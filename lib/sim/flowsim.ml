@@ -62,6 +62,37 @@ let result_of acc =
     events = acc.a_events;
   }
 
+(* The chain walk, top-level so each hop closes over nothing: the
+   previous [List.iter] callback plus its entity/here/violated refs
+   cost ~18 minor words per enforced flow on the fast path.  Returns
+   the router the flow ends up at.  A missing candidate stops the walk
+   — exactly what the [violated] flag did; the skipped tail counted no
+   events then either. *)
+let rec walk_chain alive controller ~rule acc dist (fs : Workload.flow_spec)
+    pkts entity here = function
+  | [] -> here
+  | nf :: rest -> (
+    acc.a_events <- acc.a_events + 1;
+    match
+      Sdm.Controller.next_hop_result ?alive controller entity ~rule ~nf
+        fs.Workload.flow
+    with
+    | Error `No_live_candidate ->
+      (* Graceful degradation: the rest of the chain cannot be
+         enforced, so the flow hot-potatoes straight to its
+         destination and every packet counts as a violation. *)
+      acc.a_violating_flows <- acc.a_violating_flows + 1;
+      acc.a_policy_violations <- acc.a_policy_violations + fs.Workload.packets;
+      here
+    | Ok mb ->
+      acc.a_loads.(mb.Mbox.Middlebox.id) <-
+        acc.a_loads.(mb.Mbox.Middlebox.id) +. pkts;
+      acc.a_packet_hops <-
+        acc.a_packet_hops +. (dist.(here).(mb.Mbox.Middlebox.router) *. pkts);
+      walk_chain alive controller ~rule acc dist fs pkts
+        (Mbox.Entity.Middlebox mb.Mbox.Middlebox.id)
+        mb.Mbox.Middlebox.router rest)
+
 let process_flow ?alive ~controller ~rule_of acc (fs : Workload.flow_spec) =
   let dep = controller.Sdm.Controller.deployment in
   let dist = dep.Sdm.Deployment.dist in
@@ -84,37 +115,13 @@ let process_flow ?alive ~controller ~rule_of acc (fs : Workload.flow_spec) =
   | Some rule ->
     acc.a_enforced_flows <- acc.a_enforced_flows + 1;
     acc.a_enforced_packets <- acc.a_enforced_packets + fs.Workload.packets;
-    let entity = ref (Mbox.Entity.Proxy fs.Workload.src_proxy) in
-    let here = ref src_router in
-    let violated = ref false in
-    List.iter
-      (fun nf ->
-        if not !violated then begin
-          acc.a_events <- acc.a_events + 1;
-          match
-            Sdm.Controller.next_hop_result ?alive controller !entity ~rule ~nf
-              fs.Workload.flow
-          with
-          | Error `No_live_candidate ->
-            (* Graceful degradation: the rest of the chain cannot be
-               enforced, so the flow hot-potatoes straight to its
-               destination and every packet counts as a violation. *)
-            violated := true;
-            acc.a_violating_flows <- acc.a_violating_flows + 1;
-            acc.a_policy_violations <-
-              acc.a_policy_violations + fs.Workload.packets
-          | Ok mb ->
-            acc.a_loads.(mb.Mbox.Middlebox.id) <-
-              acc.a_loads.(mb.Mbox.Middlebox.id) +. pkts;
-            acc.a_packet_hops <-
-              acc.a_packet_hops
-              +. (dist.(!here).(mb.Mbox.Middlebox.router) *. pkts);
-            here := mb.Mbox.Middlebox.router;
-            entity := Mbox.Entity.Middlebox mb.Mbox.Middlebox.id
-        end)
-      rule.Policy.Rule.actions;
+    let final_router =
+      walk_chain alive controller ~rule acc dist fs pkts
+        (Mbox.Entity.Proxy fs.Workload.src_proxy)
+        src_router rule.Policy.Rule.actions
+    in
     acc.a_packet_hops <-
-      acc.a_packet_hops +. (dist.(!here).(dst_router) *. pkts)
+      acc.a_packet_hops +. (dist.(final_router).(dst_router) *. pkts)
 
 (* The sharded driver.  [shards = 1] walks every flow in id order on
    the calling domain — exactly the historical sequential path, pinned

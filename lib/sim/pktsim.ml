@@ -1,5 +1,7 @@
 type table_source = Oracle | Distributed_ospf | Distributed_dvr
 
+type classifier = Trie | Dectree | Linear
+
 (* Live control plane (Sec. III.A-III.C run in-line): the controller
    sits at an attachment router, re-optimizes at epoch boundaries and
    on detected failures, and pushes versioned configuration updates to
@@ -59,6 +61,7 @@ type config = {
   cache_timeout : float;
   seed : int;
   table_source : table_source;
+  classifier : classifier;
   service_rate : float;
   label_timeout : float;
   wp_cache_hit_ratio : float;
@@ -85,6 +88,7 @@ let default_config =
     cache_timeout = 1e9;
     seed = 99;
     table_source = Oracle;
+    classifier = Trie;
     service_rate = infinity;
     label_timeout = infinity;
     wp_cache_hit_ratio = 0.0;
@@ -328,13 +332,16 @@ type world = {
   loads : float array;
   (* Per-proxy and per-middlebox soft state. *)
   proxy_caches : Policy.Flow_cache.t array;
-  proxy_tries : Policy.Trie.t array;
+  (* [config.classifier]-selected matcher closures: trie, decision
+     tree or linear scan, all with identical first-match semantics *)
+  proxy_match : (Netpkt.Flow.t -> Policy.Rule.t option) array;
   mutable_label : int array; (* next label per proxy *)
   (* reverse index: label -> flow, so a teardown (which carries only
-     src|label) can find the proxy's flow-cache entry *)
-  proxy_label_index : (int, Netpkt.Flow.t) Hashtbl.t array;
+     src|label) can find the proxy's flow-cache entry; flat-keyed on
+     (label, 0) so installs on the first-packet path stay cheap *)
+  proxy_label_index : Netpkt.Flow.t Stdx.Flat_table.t array;
   mbox_caches : Policy.Flow_cache.t array;
-  mbox_tries : Policy.Trie.t array;
+  mbox_match : (Netpkt.Flow.t -> Policy.Rule.t option) array;
   mbox_labels : Mbox.Label_table.t array;
   (* Address resolution (middleboxes by exact address; stub subnets
      via the deployment's prefix index). *)
@@ -664,7 +671,7 @@ let wp_serves_from_cache w (mb : Mbox.Middlebox.t) ~src ~label ~flow_hash =
   &&
   let h =
     match label with
-    | Some l -> Stdx.Xhash.ints [ src; l; 0x77AC ]
+    | Some l -> Stdx.Xhash.combine3 src l 0x77AC
     | None -> Stdx.Xhash.fold_int flow_hash 0x77AC
   in
   Stdx.Xhash.to_unit_interval h < w.cfg.wp_cache_hit_ratio
@@ -742,11 +749,11 @@ and next_hop_for w ~router ~target_router msg =
         match msg with
         | Data (pkt, _, _) ->
           let hd = pkt.Netpkt.Packet.header in
-          Stdx.Xhash.ints
-            [ router; hd.Netpkt.Header.src; hd.Netpkt.Header.dst;
-              hd.Netpkt.Header.sport; hd.Netpkt.Header.dport ]
+          Stdx.Xhash.combine5 router hd.Netpkt.Header.src
+            hd.Netpkt.Header.dst hd.Netpkt.Header.sport
+            hd.Netpkt.Header.dport
         | Control { dst; _ } | Teardown { dst; _ } ->
-          Stdx.Xhash.ints [ router; dst ]
+          Stdx.Xhash.combine2 router dst
       in
       Some hops.(Stdx.Xhash.to_range h (Array.length hops)))
 
@@ -812,7 +819,7 @@ and deliver w endpoint msg =
     audit_emit w (fun () ->
         Audit.Event.Ls_teardown
           { proxy = proxy_id; time = Dess.Engine.now w.engine; label });
-    match Hashtbl.find_opt w.proxy_label_index.(proxy_id) label with
+    match Stdx.Flat_table.find w.proxy_label_index.(proxy_id) label 0 with
     | None -> ()
     | Some flow -> (
       let now = Dess.Engine.now w.engine in
@@ -856,7 +863,7 @@ and mbox_actions w id flow =
     None
   | None -> (
     w.counters.lookups <- w.counters.lookups + 1;
-    match Policy.Trie.first_match w.mbox_tries.(id) flow with
+    match w.mbox_match.(id) flow with
     | None ->
       ignore (Policy.Flow_cache.insert_negative cache ~now flow);
       None
@@ -989,13 +996,12 @@ and mbox_process w id pkt ~born ~aid =
               time = Dess.Engine.now w.engine;
               reason = Audit.Event.No_label })
     | Some l -> (
-      let key =
-        { Mbox.Label_table.src = pkt.Netpkt.Packet.header.Netpkt.Header.src;
-          label = l }
-      in
+      (* The flat [find] entry point: no key record on the per-packet
+         label-switched path. *)
       match
-        Mbox.Label_table.lookup w.mbox_labels.(id)
-          ~now:(Dess.Engine.now w.engine) key
+        Mbox.Label_table.find w.mbox_labels.(id)
+          ~now:(Dess.Engine.now w.engine)
+          ~src:pkt.Netpkt.Packet.header.Netpkt.Header.src ~label:l
       with
       | None ->
         (* Expired (or never-installed) path: the packet cannot be
@@ -1184,7 +1190,7 @@ let proxy_emit w (fs : Workload.flow_spec) ~aid =
     send w ~from_router:proxy.Mbox.Proxy.router (Data (plain, now, aid))
   | None -> (
     w.counters.lookups <- w.counters.lookups + 1;
-    match Policy.Trie.first_match w.proxy_tries.(proxy_id) flow with
+    match w.proxy_match.(proxy_id) flow with
     | None ->
       ignore (Policy.Flow_cache.insert_negative cache ~now flow);
       audit_admit ~admission:Audit.Event.Unmatched
@@ -1203,7 +1209,7 @@ let proxy_emit w (fs : Workload.flow_spec) ~aid =
         if w.cfg.label_switching then begin
           let l = w.mutable_label.(proxy_id) land Netpkt.Header.max_label in
           w.mutable_label.(proxy_id) <- l + 1;
-          Hashtbl.replace w.proxy_label_index.(proxy_id) l flow;
+          Stdx.Flat_table.replace w.proxy_label_index.(proxy_id) l 0 flow;
           Some l
         end
         else None
@@ -2169,7 +2175,15 @@ let run ?(config = default_config) ~controller ~workload () =
   let proxy_flow_hint = max 64 (n_flows / max 1 n_proxies) in
   let mbox_flow_hint = max 64 (3 * n_flows / max 1 n_mboxes) in
   let entity_table entity =
-    Policy.Trie.build (Sdm.Controller.policy_table_for controller entity)
+    let rules = Sdm.Controller.policy_table_for controller entity in
+    match config.classifier with
+    | Trie ->
+      let t = Policy.Trie.build rules in
+      fun flow -> Policy.Trie.first_match t flow
+    | Dectree ->
+      let t = Policy.Dectree.build rules in
+      fun flow -> Policy.Dectree.first_match t flow
+    | Linear -> fun flow -> Policy.Rule.first_match rules flow
   in
   (* The shardable setup phases: per-entity policy-trie builds and the
      per-source routing tables are pure functions of the immutable
@@ -2316,19 +2330,20 @@ let run ?(config = default_config) ~controller ~workload () =
         Array.init n_proxies (fun _ ->
             Policy.Flow_cache.create ~timeout:config.cache_timeout
               ?capacity:config.cache_capacity ~expected:proxy_flow_hint ());
-      proxy_tries = setup_init n_proxies (fun i -> entity_table (Mbox.Entity.Proxy i));
+      proxy_match = setup_init n_proxies (fun i -> entity_table (Mbox.Entity.Proxy i));
       mutable_label = Array.make n_proxies 0;
       mbox_caches =
         Array.init n_mboxes (fun _ ->
             Policy.Flow_cache.create ~timeout:config.cache_timeout
               ?capacity:config.cache_capacity ~expected:mbox_flow_hint ());
-      mbox_tries =
+      mbox_match =
         setup_init n_mboxes (fun i -> entity_table (Mbox.Entity.Middlebox i));
       mbox_labels =
         Array.init n_mboxes (fun _ ->
             Mbox.Label_table.create ~timeout:config.label_timeout ());
       proxy_label_index =
-        Array.init n_proxies (fun _ -> Hashtbl.create proxy_flow_hint);
+        Array.init n_proxies (fun _ ->
+            Stdx.Flat_table.create ~initial:proxy_flow_hint ());
       mbox_index;
       rule_by_id;
       fault;

@@ -29,6 +29,16 @@ type table_source =
   | Distributed_ospf (** tables from link-state flooding ([Ospf.Protocol]) *)
   | Distributed_dvr  (** tables from distance-vector exchange ([Dvr.Protocol]) *)
 
+(** Which software classifier backs the per-entity policy tables.  All
+    three implement identical first-match (lowest rule id) semantics —
+    property tests enforce the equivalence — so every statistic of a
+    run is invariant to this knob; only classification cost differs,
+    which is what the classifier benchmark measures. *)
+type classifier =
+  | Trie     (** hierarchical source/destination prefix trie (default) *)
+  | Dectree  (** HiCuts-style decision tree ({!Policy.Dectree}) *)
+  | Linear   (** linear scan of the rule list — the small-table baseline *)
+
 (** Live control plane (Sec. III.A-III.C run in-line).
 
     When {!config.live} is set, the controller becomes a simulated
@@ -140,6 +150,10 @@ type config = {
           loads are invariant to this (enforcement decisions do not
           depend on routes); only paths/latencies can differ on
           equal-cost ties. *)
+  classifier : classifier;
+      (** which software classifier backs the proxy/middlebox policy
+          tables.  Match semantics are identical across all three, so
+          every statistic is invariant; default [Trie]. *)
   service_rate : float;
       (** middlebox processing capacity in packets per time unit;
           packets queue FIFO and wait when a box is busy, so an

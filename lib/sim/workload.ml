@@ -247,6 +247,14 @@ let generate ~deployment ?per_class ?seed ?rule_seed ?class_mix ~flows () =
   in
   { rules; flows = !arr; total_packets }
 
+(* Top-level so the per-classification lookup closes over nothing:
+   [List.find_opt (fun r -> ...)] would allocate a closure for every
+   enforced flow on the packet fast path. *)
+let rec find_rule_by_id id = function
+  | [] -> None
+  | r :: rest ->
+    if r.Policy.Rule.id = id then Some r else find_rule_by_id id rest
+
 (* ---- Packed per-flow state ---------------------------------------- *)
 
 (* Every flow_spec field is a small integer (addresses are 32-bit ints,
@@ -334,7 +342,7 @@ module Packed = struct
   let rule_of t fs =
     match fs.rule_id with
     | None -> None
-    | Some id -> List.find_opt (fun r -> r.Policy.Rule.id = id) t.rules
+    | Some id -> find_rule_by_id id t.rules
 end
 
 let generate_packed ~deployment ?per_class ?seed ?rule_seed ?class_mix ~flows ()
@@ -364,4 +372,4 @@ let measure t =
 let rule_of t fs =
   match fs.rule_id with
   | None -> None
-  | Some id -> List.find_opt (fun r -> r.Policy.Rule.id = id) t.rules
+  | Some id -> find_rule_by_id id t.rules

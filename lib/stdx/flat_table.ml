@@ -1,0 +1,176 @@
+(* Open-addressing table keyed by a pair of non-negative ints (packed
+   flow identities, (src, label) pairs), built for the per-packet fast
+   path: lookups touch two parallel int arrays and box nothing.
+
+   Layout follows the compact-dict design: a sparse power-of-two
+   [index] array of linear-probe slots holding [dense + 1] (0 =
+   empty), over dense parallel arrays [k1s]/[k2s]/[vals] that grow by
+   appending — so iteration over the dense arrays is insertion order,
+   which is what keeps seeded simulations reproducible wherever
+   iteration order is observable (corruption target selection,
+   scrubs).  Deletion clears the sparse slot with backward-shift
+   compaction (no tombstones) and leaves a hole in the dense arrays
+   ([k1s.(d) = -1]); holes are squeezed out when the dense region
+   fills, preserving the relative order of survivors.
+
+   The dense region is sized at 3/4 of the sparse capacity, so the
+   probe load factor never exceeds 3/4 by construction. *)
+
+type 'a t = {
+  mutable index : int array;
+  mutable mask : int; (* Array.length index - 1 *)
+  mutable k1s : int array;
+  mutable k2s : int array;
+  mutable vals : 'a array;
+  mutable n : int; (* dense slots consumed, holes included *)
+  mutable live : int;
+}
+
+(* Vacated value slots must not retain their payload (a cache entry
+   can capture arbitrary state).  Same representation argument as
+   [Stdx.Heap]: every backing array is created from this immediate,
+   so the array is always generic and storing the dummy into an ['a]
+   slot is safe. *)
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic ()
+
+let default_capacity = 16
+let dense_of cap = cap * 3 / 4
+
+let rec pow2_above c v = if c >= v then c else pow2_above (c * 2) v
+
+let create ?(initial = default_capacity) () =
+  let cap = pow2_above default_capacity initial in
+  {
+    index = Array.make cap 0;
+    mask = cap - 1;
+    k1s = Array.make (dense_of cap) 0;
+    k2s = Array.make (dense_of cap) 0;
+    vals = Array.make (dense_of cap) (dummy ());
+    n = 0;
+    live = 0;
+  }
+
+let length t = t.live
+
+(* Dense slot of (k1, k2), or -1.  The hot-path entry point: no
+   allocation, no closure, two int-array reads per probe.  The probe
+   loop lives at top level — an inner [let rec] would close over the
+   locals and cost an allocation per lookup. *)
+let rec probe_slot index k1s k2s mask k1 k2 i =
+  let e = index.(i) in
+  if e = 0 then -1
+  else
+    let d = e - 1 in
+    if k1s.(d) = k1 && k2s.(d) = k2 then d
+    else probe_slot index k1s k2s mask k1 k2 ((i + 1) land mask)
+
+let find_slot t k1 k2 =
+  probe_slot t.index t.k1s t.k2s t.mask k1 k2
+    (Xhash.mix2_int k1 k2 land t.mask)
+
+let mem t k1 k2 = find_slot t k1 k2 >= 0
+let value t d = t.vals.(d)
+let set_value t d v = t.vals.(d) <- v
+let key1 t d = t.k1s.(d)
+let key2 t d = t.k2s.(d)
+
+let find t k1 k2 =
+  let d = find_slot t k1 k2 in
+  if d < 0 then None else Some t.vals.(d)
+
+(* Claim a sparse slot for dense entry [d] (key not present). *)
+let rec probe_empty index mask d i =
+  if index.(i) = 0 then index.(i) <- d + 1
+  else probe_empty index mask d ((i + 1) land mask)
+
+let insert_index t d =
+  probe_empty t.index t.mask d
+    (Xhash.mix2_int t.k1s.(d) t.k2s.(d) land t.mask)
+
+let append t k1 k2 v =
+  let d = t.n in
+  t.n <- d + 1;
+  t.k1s.(d) <- k1;
+  t.k2s.(d) <- k2;
+  t.vals.(d) <- v;
+  t.live <- t.live + 1;
+  insert_index t d
+
+(* Squeeze dense holes out (relative order preserved) and rebuild the
+   sparse index; grows only when the survivors genuinely crowd the
+   probe array, so deletion-heavy workloads compact in place. *)
+let rehash t =
+  let cap = Array.length t.index in
+  let cap = if dense_of cap > t.live then cap else cap * 2 in
+  let old_k1 = t.k1s and old_k2 = t.k2s and old_vals = t.vals and old_n = t.n in
+  t.index <- Array.make cap 0;
+  t.mask <- cap - 1;
+  t.k1s <- Array.make (dense_of cap) 0;
+  t.k2s <- Array.make (dense_of cap) 0;
+  t.vals <- Array.make (dense_of cap) (dummy ());
+  t.n <- 0;
+  t.live <- 0;
+  for d = 0 to old_n - 1 do
+    if old_k1.(d) >= 0 then append t old_k1.(d) old_k2.(d) old_vals.(d)
+  done
+
+let replace t k1 k2 v =
+  if k1 < 0 || k2 < 0 then invalid_arg "Flat_table.replace: negative key";
+  let d = find_slot t k1 k2 in
+  if d >= 0 then t.vals.(d) <- v
+  else begin
+    if t.n = Array.length t.k1s then rehash t;
+    append t k1 k2 v
+  end
+
+let remove t k1 k2 =
+  let mask = t.mask in
+  (* Track the sparse slot, not just the dense one: deletion must
+     clear it and backward-shift the probe chain behind it. *)
+  let rec probe i =
+    let e = t.index.(i) in
+    if e = 0 then ()
+    else
+      let d = e - 1 in
+      if t.k1s.(d) = k1 && t.k2s.(d) = k2 then begin
+        t.k1s.(d) <- -1;
+        t.vals.(d) <- dummy ();
+        t.live <- t.live - 1;
+        (* Backward shift: walk the chain after the hole; any entry
+           whose home slot lies at or before the hole (cyclically)
+           moves back into it, leaving a new hole at its old slot. *)
+        let hole = ref i in
+        let j = ref i in
+        let shifting = ref true in
+        while !shifting do
+          j := (!j + 1) land mask;
+          let e = t.index.(!j) in
+          if e = 0 then begin
+            t.index.(!hole) <- 0;
+            shifting := false
+          end
+          else begin
+            let d = e - 1 in
+            let home = Xhash.mix2_int t.k1s.(d) t.k2s.(d) land mask in
+            if (!j - home) land mask >= (!j - !hole) land mask then begin
+              t.index.(!hole) <- e;
+              hole := !j
+            end
+          end
+        done
+      end
+      else probe ((i + 1) land mask)
+  in
+  probe (Xhash.mix2_int k1 k2 land mask)
+
+let iter f t =
+  for d = 0 to t.n - 1 do
+    if t.k1s.(d) >= 0 then f t.k1s.(d) t.k2s.(d) t.vals.(d)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  for d = 0 to t.n - 1 do
+    if t.k1s.(d) >= 0 then acc := f t.k1s.(d) t.k2s.(d) t.vals.(d) !acc
+  done;
+  !acc

@@ -1,0 +1,51 @@
+(** Open-addressing table keyed by two non-negative ints.
+
+    The per-packet fast path's table: packed flow identities
+    ([Netpkt.Flow.key]/[key2]) and [(src, label)] pairs map to
+    entries through a power-of-two linear-probe index over parallel
+    int key arrays, so a lookup ({!find_slot} + {!value}) allocates
+    nothing.  Deletion backward-shifts the probe chain (no
+    tombstones); growth is amortized doubling with in-place
+    compaction of deletion holes.
+
+    Iteration ({!iter}/{!fold}) is {e insertion order} — a
+    deterministic function of the operation sequence alone, never of
+    hash layout — which is what keeps seeded simulations reproducible
+    where iteration order is observable. *)
+
+type 'a t
+
+val create : ?initial:int -> unit -> 'a t
+(** [initial] is a capacity hint (rounded up to a power of two). *)
+
+val length : 'a t -> int
+(** Live entries. *)
+
+val find_slot : 'a t -> int -> int -> int
+(** Slot of key [(k1, k2)], or [-1] if absent.  Allocation-free; pair
+    with {!value}.  Slots are invalidated by any mutation. *)
+
+val value : 'a t -> int -> 'a
+(** Payload at a slot returned by {!find_slot}. *)
+
+val set_value : 'a t -> int -> 'a -> unit
+(** Overwrite the payload at a slot in place (key unchanged). *)
+
+val key1 : 'a t -> int -> int
+val key2 : 'a t -> int -> int
+
+val mem : 'a t -> int -> int -> bool
+val find : 'a t -> int -> int -> 'a option
+
+val replace : 'a t -> int -> int -> 'a -> unit
+(** Insert or overwrite.  Keys must be non-negative
+    ([Invalid_argument] otherwise). *)
+
+val remove : 'a t -> int -> int -> unit
+(** No-op if absent. *)
+
+val iter : (int -> int -> 'a -> unit) -> 'a t -> unit
+(** In insertion order of the live entries. *)
+
+val fold : (int -> int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+(** In insertion order of the live entries. *)

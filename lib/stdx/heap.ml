@@ -33,37 +33,41 @@ let grow t =
    a three-write swap.  The comparison sequence is identical to the
    swap-based version, so the resulting arrangement (and therefore pop
    order under any tie-breaking comparison) is bit-identical. *)
+(* [climb]/[descend] are top-level with the heap and moving element
+   as parameters: as inner [let rec]s capturing [t] and [x] they cost
+   a closure per sift, i.e. per push and per pop — on the event
+   queue's fast path. *)
+let rec climb t x i =
+  if i = 0 then i
+  else begin
+    let parent = (i - 1) / 2 in
+    if t.cmp x t.data.(parent) < 0 then begin
+      t.data.(i) <- t.data.(parent);
+      climb t x parent
+    end
+    else i
+  end
+
 let sift_up t i =
   let x = t.data.(i) in
-  let rec climb i =
-    if i = 0 then i
-    else begin
-      let parent = (i - 1) / 2 in
-      if t.cmp x t.data.(parent) < 0 then begin
-        t.data.(i) <- t.data.(parent);
-        climb parent
-      end
-      else i
+  t.data.(climb t x i) <- x
+
+let rec descend t x i =
+  let l = (2 * i) + 1 in
+  if l >= t.size then i
+  else begin
+    let r = l + 1 in
+    let c = if r < t.size && t.cmp t.data.(r) t.data.(l) < 0 then r else l in
+    if t.cmp t.data.(c) x < 0 then begin
+      t.data.(i) <- t.data.(c);
+      descend t x c
     end
-  in
-  t.data.(climb i) <- x
+    else i
+  end
 
 let sift_down t i =
   let x = t.data.(i) in
-  let rec descend i =
-    let l = (2 * i) + 1 in
-    if l >= t.size then i
-    else begin
-      let r = l + 1 in
-      let c = if r < t.size && t.cmp t.data.(r) t.data.(l) < 0 then r else l in
-      if t.cmp t.data.(c) x < 0 then begin
-        t.data.(i) <- t.data.(c);
-        descend c
-      end
-      else i
-    end
-  in
-  t.data.(descend i) <- x
+  t.data.(descend t x i) <- x
 
 let push t x =
   grow t;
@@ -73,8 +77,12 @@ let push t x =
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let pop t =
-  if t.size = 0 then None
+(* The option-free pop: the event loop calls this once per event, and
+   boxing a [Some] there would defeat the pooled engine's
+   zero-allocation steady state.  Same sift, same comparison
+   sequence. *)
+let take t =
+  if t.size = 0 then invalid_arg "Heap.take: empty heap"
   else begin
     let top = t.data.(0) in
     t.size <- t.size - 1;
@@ -84,13 +92,11 @@ let pop t =
       sift_down t 0
     end
     else t.data.(0) <- dummy ();
-    Some top
+    top
   end
 
-let pop_exn t =
-  match pop t with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+let pop t = if t.size = 0 then None else Some (take t)
+let pop_exn = take
 
 let clear t =
   t.data <- [||];

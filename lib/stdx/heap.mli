@@ -23,6 +23,11 @@ val pop : 'a t -> 'a option
 val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)
 
+val take : 'a t -> 'a
+(** {!pop_exn} under the name the event loop reads best: the
+    option-free pop, which allocates nothing.
+    @raise Invalid_argument on an empty heap. *)
+
 val clear : 'a t -> unit
 
 val to_sorted_list : 'a t -> 'a list

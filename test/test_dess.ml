@@ -126,6 +126,30 @@ let qcheck_ordering =
       in
       sorted fired && List.length fired = List.length delays)
 
+let test_event_pool_reuse () =
+  (* Steady state — a self-rescheduling event chain — must recycle
+     pooled cells instead of allocating one record per event.  A
+     top-level recursive action closes over nothing, so the bracketed
+     minor-heap delta is the engine's own footprint: well under a word
+     per event once the pool and heap are warm (the pre-pool engine
+     cost ~15 words/event in records and heap churn). *)
+  let rec tick e =
+    if Dess.Engine.events_processed e < 50_000 then
+      ignore (Dess.Engine.schedule e ~delay:1.0 tick)
+  in
+  let e = Dess.Engine.create () in
+  (* Warm-up: reach steady state (pool grown, heap array sized). *)
+  ignore (Dess.Engine.schedule e ~delay:1.0 tick);
+  Dess.Engine.run ~until:10_000.0 e;
+  let processed0 = Dess.Engine.events_processed e in
+  let before = Gc.minor_words () in
+  Dess.Engine.run e;
+  let fired = Dess.Engine.events_processed e - processed0 in
+  let per_event = (Gc.minor_words () -. before) /. float_of_int fired in
+  Alcotest.(check bool) "chain ran" true (fired > 30_000);
+  if per_event > 1.0 then
+    Alcotest.failf "steady state allocates %.2f minor words/event" per_event
+
 let suite =
   [
     Alcotest.test_case "empty run" `Quick test_empty_run;
@@ -140,4 +164,5 @@ let suite =
     Alcotest.test_case "step" `Quick test_step;
     Alcotest.test_case "event counters" `Quick test_event_counters;
     QCheck_alcotest.to_alcotest qcheck_ordering;
+    Alcotest.test_case "event pool reuse" `Quick test_event_pool_reuse;
   ]

@@ -197,6 +197,50 @@ let qcheck_fragment_reassemble =
         && (List.length frags > 1 || whole = pkt)
         && (List.length frags = 1 || not (Netpkt.Packet.is_encapsulated whole)))
 
+(* Arbitrary well-formed flows: any addresses, full port and proto
+   ranges — the packed-key injectivity must hold across the whole
+   domain, not just the simulator's subnets. *)
+let gen_flow =
+  QCheck.Gen.(
+    map
+      (fun (((a, b, c, d), (e, f, g, h)), (proto, sport, dport)) ->
+        Netpkt.Flow.make
+          ~src:(Netpkt.Addr.of_string (Printf.sprintf "%d.%d.%d.%d" a b c d))
+          ~dst:(Netpkt.Addr.of_string (Printf.sprintf "%d.%d.%d.%d" e f g h))
+          ~proto ~sport ~dport)
+      (pair
+         (pair
+            (quad (int_bound 255) (int_bound 255) (int_bound 255)
+               (int_bound 255))
+            (quad (int_bound 255) (int_bound 255) (int_bound 255)
+               (int_bound 255)))
+         (triple (int_bound 255) (int_bound 65535) (int_bound 65535))))
+
+let qcheck_flow_key_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"flow packed key round-trips"
+    (QCheck.make gen_flow)
+    (fun f ->
+      let k1 = Netpkt.Flow.key f and k2 = Netpkt.Flow.key2 f in
+      k1 >= 0 && k2 >= 0
+      && Netpkt.Flow.equal (Netpkt.Flow.of_key k1 k2) f
+      && Netpkt.Flow.of_key k1 k2 = f)
+
+let qcheck_flow_compare_agreement =
+  (* The monomorphic field-wise compare must induce exactly the order
+     [Stdlib.compare] does on the record (declaration order of the
+     fields), and equal must agree with both. *)
+  QCheck.Test.make ~count:1000 ~name:"flow compare agrees with Stdlib.compare"
+    (QCheck.make QCheck.Gen.(pair gen_flow gen_flow))
+    (fun (a, b) ->
+      let sign c = Stdlib.compare c 0 in
+      sign (Netpkt.Flow.compare a b) = sign (Stdlib.compare a b)
+      && Netpkt.Flow.compare a a = 0
+      && Netpkt.Flow.equal a b = (Netpkt.Flow.compare a b = 0)
+      (* Distinct flows never collide on the packed identity. *)
+      && (Netpkt.Flow.equal a b
+         || Netpkt.Flow.key a <> Netpkt.Flow.key b
+            || Netpkt.Flow.key2 a <> Netpkt.Flow.key2 b))
+
 let test_reassemble_rejects () =
   Alcotest.(check bool) "empty list" true (Netpkt.Fragment.reassemble [] = None);
   let pkt = Netpkt.Packet.plain (Netpkt.Header.of_flow sample_flow) ~payload_bytes:4000 in
@@ -229,6 +273,8 @@ let suite =
     Alcotest.test_case "fragments conserve payload" `Quick test_fragments_conserve_payload;
     QCheck_alcotest.to_alcotest qcheck_fragment_conservation;
     QCheck_alcotest.to_alcotest qcheck_fragment_reassemble;
+    QCheck_alcotest.to_alcotest qcheck_flow_key_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_flow_compare_agreement;
     Alcotest.test_case "reassemble rejects foreign fragments" `Quick
       test_reassemble_rejects;
   ]

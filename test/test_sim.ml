@@ -234,6 +234,26 @@ let test_pktsim_delivers_everything () =
     stats.Sim.Pktsim.delivered_packets;
   Alcotest.(check int) "no drops" 0 stats.Sim.Pktsim.dropped_packets
 
+let test_pktsim_classifier_invariant () =
+  (* The classifier knob selects a matching structure, never a
+     semantics: all three implement the same first-match (lowest rule
+     id), so every statistic must be identical bit for bit. *)
+  let controller, workload = small_pkt_setup ~flows:120 () in
+  let run classifier =
+    Sim.Pktsim.run
+      ~config:{ pkt_config with classifier }
+      ~controller ~workload ()
+  in
+  let reference = run Sim.Pktsim.Trie in
+  List.iter
+    (fun (name, classifier) ->
+      let stats = run classifier in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s matches Trie exactly" name)
+        true
+        (stats = reference))
+    [ ("dectree", Sim.Pktsim.Dectree); ("linear", Sim.Pktsim.Linear) ]
+
 let test_pktsim_loads_equal_flowsim () =
   (* The headline integration invariant: per-middlebox packet loads
      from the packet-level simulation equal the flow-level ones, for
@@ -1715,6 +1735,8 @@ let suite =
     Alcotest.test_case "flowsim stretch sane" `Quick test_flowsim_stretch;
     Alcotest.test_case "pktsim delivers everything" `Quick
       test_pktsim_delivers_everything;
+    Alcotest.test_case "pktsim classifier knob is stats-invariant" `Quick
+      test_pktsim_classifier_invariant;
     Alcotest.test_case "pktsim loads = flowsim loads" `Slow
       test_pktsim_loads_equal_flowsim;
     Alcotest.test_case "pktsim = flowsim on Waxman" `Slow

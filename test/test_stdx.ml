@@ -622,6 +622,147 @@ let qcheck_shard_permutation_stable =
              = List.sort (fun x y -> compare y x) (Array.to_list a))
            p2)
 
+(* ---- Non-allocating Xhash entry points ---------------------------- *)
+
+(* The limbed combine* family must agree bit-for-bit with the boxed
+   [ints] fold on arbitrary native ints (negatives included — sign
+   extension is where a limb-carry bug would hide), because flow
+   hashes feed seeded steering decisions the oracles pin. *)
+let qcheck_combine_agreement =
+  QCheck.Test.make ~count:1000 ~name:"combine2/3/5/7 agree with ints fold"
+    QCheck.(tup7 int int int int int int int)
+    (fun (a, b, c, d, e, f, g) ->
+      Stdx.Xhash.combine2 a b = Stdx.Xhash.ints [ a; b ]
+      && Stdx.Xhash.combine3 a b c = Stdx.Xhash.ints [ a; b; c ]
+      && Stdx.Xhash.combine5 a b c d e = Stdx.Xhash.ints [ a; b; c; d; e ]
+      && Stdx.Xhash.combine7 a b c d e f g
+         = Stdx.Xhash.ints [ a; b; c; d; e; f; g ])
+
+let qcheck_combine_unit_agreement =
+  QCheck.Test.make ~count:1000
+    ~name:"combine7_unit/score_unit agree with boxed pipeline"
+    QCheck.(tup7 int int int int int int int)
+    (fun (a, b, c, d, e, f, g) ->
+      Stdx.Xhash.combine7_unit a b c d e f g
+      = Stdx.Xhash.to_unit_interval (Stdx.Xhash.combine7 a b c d e f g)
+      && Stdx.Xhash.score_unit (Stdx.Xhash.combine2 a b) g
+         = Stdx.Xhash.to_unit_interval
+             (Stdx.Xhash.fmix64 (Stdx.Xhash.fold_int (Stdx.Xhash.combine2 a b) g)))
+
+(* ---- Flat_table --------------------------------------------------- *)
+
+let test_flat_table_basics () =
+  let t = Stdx.Flat_table.create ~initial:2 () in
+  Alcotest.(check int) "empty" 0 (Stdx.Flat_table.length t);
+  Alcotest.(check (option string)) "miss" None (Stdx.Flat_table.find t 1 2);
+  Stdx.Flat_table.replace t 1 2 "a";
+  Stdx.Flat_table.replace t 3 4 "b";
+  Stdx.Flat_table.replace t 1 2 "a2";
+  Alcotest.(check int) "two live" 2 (Stdx.Flat_table.length t);
+  Alcotest.(check (option string)) "overwrite" (Some "a2")
+    (Stdx.Flat_table.find t 1 2);
+  let s = Stdx.Flat_table.find_slot t 1 2 in
+  Alcotest.(check bool) "slot found" true (s >= 0);
+  Alcotest.(check string) "value at slot" "a2" (Stdx.Flat_table.value t s);
+  Alcotest.(check int) "key1 at slot" 1 (Stdx.Flat_table.key1 t s);
+  Alcotest.(check int) "key2 at slot" 2 (Stdx.Flat_table.key2 t s);
+  Stdx.Flat_table.set_value t s "a3";
+  Alcotest.(check (option string)) "set_value" (Some "a3")
+    (Stdx.Flat_table.find t 1 2);
+  Alcotest.(check int) "absent slot" (-1) (Stdx.Flat_table.find_slot t 9 9);
+  Stdx.Flat_table.remove t 9 9;
+  Stdx.Flat_table.remove t 1 2;
+  Alcotest.(check int) "one live" 1 (Stdx.Flat_table.length t);
+  Alcotest.(check (option string)) "removed" None (Stdx.Flat_table.find t 1 2);
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Flat_table.replace: negative key") (fun () ->
+      Stdx.Flat_table.replace t (-1) 0 "x")
+
+(* Model test against [Hashtbl] over random op sequences.  Keys are
+   drawn from a small range so the sequence revisits keys (overwrite
+   and delete paths), and long insert runs cross resize boundaries;
+   deletion-heavy mixes exercise backward-shift compaction.  Iteration
+   must be insertion order of the live entries — the property seeded
+   simulations lean on wherever iteration order is observable. *)
+let qcheck_flat_table_model =
+  let op =
+    QCheck.(
+      map
+        (fun (k1, k2, v, kind) -> (k1, k2, v, kind))
+        (tup4 (int_bound 31) (int_bound 7) small_nat (int_bound 9)))
+  in
+  QCheck.Test.make ~count:400 ~name:"flat table matches Hashtbl model"
+    QCheck.(list op)
+    (fun ops ->
+      let t = Stdx.Flat_table.create ~initial:2 () in
+      (* Model: value table plus insertion-order key list. *)
+      let m = Hashtbl.create 16 in
+      let order = ref [] in
+      List.iter
+        (fun (k1, k2, v, kind) ->
+          (* 0-2 = remove (deletion-heavy ~30%), else insert. *)
+          if kind < 3 then begin
+            Stdx.Flat_table.remove t k1 k2;
+            Hashtbl.remove m (k1, k2);
+            order := List.filter (fun k -> k <> (k1, k2)) !order
+          end
+          else begin
+            Stdx.Flat_table.replace t k1 k2 v;
+            if not (Hashtbl.mem m (k1, k2)) then order := !order @ [ (k1, k2) ];
+            Hashtbl.replace m (k1, k2) v
+          end)
+        ops;
+      Stdx.Flat_table.length t = Hashtbl.length m
+      && List.for_all
+           (fun ((k1, k2) as k) ->
+             Stdx.Flat_table.find t k1 k2 = Hashtbl.find_opt m k
+             && Stdx.Flat_table.mem t k1 k2)
+           !order
+      (* Probe a band of absent keys too. *)
+      && List.for_all
+           (fun k1 ->
+             List.for_all
+               (fun k2 ->
+                 Stdx.Flat_table.mem t k1 k2 = Hashtbl.mem m (k1, k2))
+               [ 0; 3; 7 ])
+           [ 0; 5; 17; 31 ]
+      (* Insertion-order iteration, fold and iter agreeing. *)
+      && Stdx.Flat_table.fold (fun k1 k2 _ acc -> (k1, k2) :: acc) t []
+         = List.rev !order
+      &&
+      let seen = ref [] in
+      Stdx.Flat_table.iter (fun k1 k2 _ -> seen := (k1, k2) :: !seen) t;
+      List.rev !seen = !order)
+
+let test_flat_table_resize_boundary () =
+  (* Straddle the power-of-two growth points exactly: after inserting
+     n keys for n across a boundary, every key is still present with
+     its latest value. *)
+  let t = Stdx.Flat_table.create ~initial:2 () in
+  for i = 0 to 300 do
+    Stdx.Flat_table.replace t i (i * 7) i
+  done;
+  for i = 0 to 300 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d survives growth" i)
+      (Some i)
+      (Stdx.Flat_table.find t i (i * 7))
+  done;
+  (* Delete half, then grow past the next boundary again. *)
+  for i = 0 to 300 do
+    if i mod 2 = 0 then Stdx.Flat_table.remove t i (i * 7)
+  done;
+  for i = 301 to 700 do
+    Stdx.Flat_table.replace t i (i * 7) i
+  done;
+  for i = 0 to 700 do
+    let expect = if i <= 300 && i mod 2 = 0 then None else Some i in
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d after churn" i)
+      expect
+      (Stdx.Flat_table.find t i (i * 7))
+  done
+
 let suite =
   [
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
@@ -686,4 +827,10 @@ let suite =
     Alcotest.test_case "shard indices match partition" `Quick
       test_shard_indices_match_partition;
     QCheck_alcotest.to_alcotest qcheck_shard_permutation_stable;
+    QCheck_alcotest.to_alcotest qcheck_combine_agreement;
+    QCheck_alcotest.to_alcotest qcheck_combine_unit_agreement;
+    Alcotest.test_case "flat table basics" `Quick test_flat_table_basics;
+    QCheck_alcotest.to_alcotest qcheck_flat_table_model;
+    Alcotest.test_case "flat table resize boundaries" `Quick
+      test_flat_table_resize_boundary;
   ]
